@@ -1,0 +1,451 @@
+//! ANML-dialect XML interchange.
+//!
+//! ANML (the Automata Network Markup Language) is the Micron AP's native
+//! automata format and the format ANMLZoo distributed benchmarks in.
+//! This module emits and parses an ANML-flavoured dialect covering our
+//! element set:
+//!
+//! ```xml
+//! <automata-network id="demo">
+//!   <state-transition-element id="ste0" symbol-set="[\x61-\x63]" start="all-input">
+//!     <report-on-match reportcode="7"/>
+//!     <activate-on-match element="ste1"/>
+//!   </state-transition-element>
+//!   <counter id="c2" target="4" at-target="latch">
+//!     <activate-on-target element="ste3"/>
+//!   </counter>
+//! </automata-network>
+//! ```
+//!
+//! Dialect notes (documented divergences from Micron's schema): the
+//! `start` attribute takes `none | start-of-data | all-input` (Micron
+//! splits this across two attributes); counters use
+//! `activate-on-target` / `report-on-target`; reset edges are
+//! `reset-on-match`. The parser accepts exactly what the writer emits
+//! plus arbitrary attribute order and whitespace.
+
+use std::fmt::Write as _;
+
+use crate::automaton::{Automaton, StateId};
+use crate::element::{CounterMode, ElementKind, Port, StartKind};
+use crate::error::CoreError;
+use crate::symbol::SymbolClass;
+
+/// Renders a symbol class in ANML symbol-set notation (`[..]` with
+/// `\xHH` escapes and ranges). The full class renders as `[\x00-\xff]`.
+pub fn symbol_set_string(class: &SymbolClass) -> String {
+    let mut out = String::from("[");
+    let mut run: Option<(u8, u8)> = None;
+    let flush = |out: &mut String, (lo, hi): (u8, u8)| {
+        if lo == hi {
+            let _ = write!(out, "\\x{lo:02x}");
+        } else {
+            let _ = write!(out, "\\x{lo:02x}-\\x{hi:02x}");
+        }
+    };
+    for b in class.iter() {
+        match run {
+            Some((lo, hi)) if hi as u16 + 1 == b as u16 => run = Some((lo, b)),
+            Some(r) => {
+                flush(&mut out, r);
+                run = Some((b, b));
+            }
+            None => run = Some((b, b)),
+        }
+    }
+    if let Some(r) = run {
+        flush(&mut out, r);
+    }
+    out.push(']');
+    out
+}
+
+/// Parses ANML symbol-set notation produced by [`symbol_set_string`].
+///
+/// # Errors
+///
+/// Returns [`CoreError::Format`] on malformed notation.
+pub fn parse_symbol_set(s: &str) -> Result<SymbolClass, CoreError> {
+    let inner = s
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| CoreError::Format(format!("symbol set '{s}' missing brackets")))?;
+    let bytes = inner.as_bytes();
+    let mut class = SymbolClass::new();
+    let mut i = 0;
+    let take_byte = |i: &mut usize| -> Result<u8, CoreError> {
+        if bytes.get(*i) == Some(&b'\\') && bytes.get(*i + 1) == Some(&b'x') {
+            let hex = inner
+                .get(*i + 2..*i + 4)
+                .ok_or_else(|| CoreError::Format("truncated \\x escape".into()))?;
+            let v = u8::from_str_radix(hex, 16)
+                .map_err(|e| CoreError::Format(format!("bad hex escape: {e}")))?;
+            *i += 4;
+            Ok(v)
+        } else if let Some(&b) = bytes.get(*i) {
+            *i += 1;
+            Ok(b)
+        } else {
+            Err(CoreError::Format("truncated symbol set".into()))
+        }
+    };
+    while i < bytes.len() {
+        let lo = take_byte(&mut i)?;
+        if bytes.get(i) == Some(&b'-') && i + 1 < bytes.len() {
+            i += 1;
+            let hi = take_byte(&mut i)?;
+            if lo > hi {
+                return Err(CoreError::Format(format!("reversed range {lo}-{hi}")));
+            }
+            for b in lo..=hi {
+                class.insert(b);
+            }
+        } else {
+            class.insert(lo);
+        }
+    }
+    Ok(class)
+}
+
+/// Serializes an automaton to the ANML dialect.
+pub fn to_anml(a: &Automaton, network_id: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "<automata-network id=\"{}\">", escape(network_id));
+    for (id, e) in a.iter() {
+        let i = id.index();
+        match &e.kind {
+            ElementKind::Ste { class, start } => {
+                let start = match start {
+                    StartKind::None => "none",
+                    StartKind::StartOfData => "start-of-data",
+                    StartKind::AllInput => "all-input",
+                };
+                let _ = writeln!(
+                    out,
+                    "  <state-transition-element id=\"ste{i}\" symbol-set=\"{}\" start=\"{start}\">",
+                    symbol_set_string(class)
+                );
+                if let Some(code) = e.report {
+                    let eod = if e.report_eod_only {
+                        " eod-only=\"true\""
+                    } else {
+                        ""
+                    };
+                    let _ = writeln!(out, "    <report-on-match reportcode=\"{}\"{eod}/>", code.0);
+                }
+                for edge in a.successors(id) {
+                    let verb = match edge.port {
+                        Port::Activate => "activate-on-match",
+                        Port::Reset => "reset-on-match",
+                    };
+                    let _ = writeln!(out, "    <{verb} element=\"ste{}\"/>", edge.to.index());
+                }
+                let _ = writeln!(out, "  </state-transition-element>");
+            }
+            ElementKind::Counter { target, mode } => {
+                let mode = match mode {
+                    CounterMode::Latch => "latch",
+                    CounterMode::Pulse => "pulse",
+                    CounterMode::Roll => "roll",
+                };
+                let _ = writeln!(
+                    out,
+                    "  <counter id=\"ste{i}\" target=\"{target}\" at-target=\"{mode}\">"
+                );
+                if let Some(code) = e.report {
+                    let _ = writeln!(out, "    <report-on-target reportcode=\"{}\"/>", code.0);
+                }
+                for edge in a.successors(id) {
+                    let _ = writeln!(
+                        out,
+                        "    <activate-on-target element=\"ste{}\"/>",
+                        edge.to.index()
+                    );
+                }
+                let _ = writeln!(out, "  </counter>");
+            }
+        }
+    }
+    out.push_str("</automata-network>\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('"', "&quot;")
+}
+
+/// Parses the ANML dialect emitted by [`to_anml`].
+///
+/// # Errors
+///
+/// Returns [`CoreError::Format`] for malformed documents, unknown tags
+/// or attributes, dangling element references, or invalid symbol sets.
+pub fn from_anml(text: &str) -> Result<Automaton, CoreError> {
+    let mut tags = TagReader::new(text);
+    let Some(root) = tags.next_tag()? else {
+        return Err(CoreError::Format("empty document".into()));
+    };
+    if root.name != "automata-network" || root.kind != TagKind::Open {
+        return Err(CoreError::Format("expected <automata-network>".into()));
+    }
+
+    struct PendingEdge {
+        from: usize,
+        to_name: String,
+        port: Port,
+    }
+    let mut a = Automaton::new();
+    let mut names: std::collections::HashMap<String, StateId> = std::collections::HashMap::new();
+    let mut edges: Vec<PendingEdge> = Vec::new();
+    let mut current: Option<StateId> = None;
+
+    while let Some(tag) = tags.next_tag()? {
+        match (tag.name.as_str(), tag.kind) {
+            ("automata-network", TagKind::Close) => break,
+            ("state-transition-element", TagKind::Open) => {
+                let class = parse_symbol_set(&tag.require("symbol-set")?)?;
+                let start = match tag.require("start")?.as_str() {
+                    "none" => StartKind::None,
+                    "start-of-data" => StartKind::StartOfData,
+                    "all-input" => StartKind::AllInput,
+                    other => {
+                        return Err(CoreError::Format(format!("unknown start '{other}'")))
+                    }
+                };
+                let id = a.add_ste(class, start);
+                names.insert(tag.require("id")?, id);
+                current = Some(id);
+            }
+            ("counter", TagKind::Open) => {
+                let target: u32 = tag
+                    .require("target")?
+                    .parse()
+                    .map_err(|e| CoreError::Format(format!("bad target: {e}")))?;
+                let mode = match tag.require("at-target")?.as_str() {
+                    "latch" => CounterMode::Latch,
+                    "pulse" => CounterMode::Pulse,
+                    "roll" => CounterMode::Roll,
+                    other => {
+                        return Err(CoreError::Format(format!("unknown at-target '{other}'")))
+                    }
+                };
+                let id = a.add_counter(target, mode);
+                names.insert(tag.require("id")?, id);
+                current = Some(id);
+            }
+            ("state-transition-element" | "counter", TagKind::Close) => current = None,
+            ("report-on-match" | "report-on-target", TagKind::Empty) => {
+                let cur = current
+                    .ok_or_else(|| CoreError::Format("report outside an element".into()))?;
+                let code: u32 = tag
+                    .require("reportcode")?
+                    .parse()
+                    .map_err(|e| CoreError::Format(format!("bad reportcode: {e}")))?;
+                a.set_report(cur, code);
+                if tag.attr("eod-only").as_deref() == Some("true") {
+                    a.set_report_eod_only(cur, true);
+                }
+            }
+            ("activate-on-match" | "activate-on-target", TagKind::Empty) => {
+                let cur = current
+                    .ok_or_else(|| CoreError::Format("edge outside an element".into()))?;
+                edges.push(PendingEdge {
+                    from: cur.index(),
+                    to_name: tag.require("element")?,
+                    port: Port::Activate,
+                });
+            }
+            ("reset-on-match", TagKind::Empty) => {
+                let cur = current
+                    .ok_or_else(|| CoreError::Format("edge outside an element".into()))?;
+                edges.push(PendingEdge {
+                    from: cur.index(),
+                    to_name: tag.require("element")?,
+                    port: Port::Reset,
+                });
+            }
+            (other, _) => {
+                return Err(CoreError::Format(format!("unexpected tag '{other}'")));
+            }
+        }
+    }
+    for e in edges {
+        let to = *names
+            .get(&e.to_name)
+            .ok_or_else(|| CoreError::Format(format!("dangling reference '{}'", e.to_name)))?;
+        match e.port {
+            Port::Activate => a.add_edge(StateId::new(e.from), to),
+            Port::Reset => a.add_reset_edge(StateId::new(e.from), to),
+        }
+    }
+    Ok(a)
+}
+
+#[derive(PartialEq, Clone, Copy)]
+enum TagKind {
+    Open,
+    Close,
+    Empty,
+}
+
+struct Tag {
+    name: String,
+    kind: TagKind,
+    attrs: Vec<(String, String)>,
+}
+
+impl Tag {
+    fn attr(&self, name: &str) -> Option<String> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.clone())
+    }
+
+    fn require(&self, name: &str) -> Result<String, CoreError> {
+        self.attr(name)
+            .ok_or_else(|| CoreError::Format(format!("<{}> missing '{name}'", self.name)))
+    }
+}
+
+struct TagReader<'a> {
+    text: &'a str,
+    pos: usize,
+}
+
+impl<'a> TagReader<'a> {
+    fn new(text: &'a str) -> Self {
+        TagReader { text, pos: 0 }
+    }
+
+    fn next_tag(&mut self) -> Result<Option<Tag>, CoreError> {
+        let rest = &self.text[self.pos..];
+        let Some(start) = rest.find('<') else {
+            return Ok(None);
+        };
+        let rest = &rest[start..];
+        let end = rest
+            .find('>')
+            .ok_or_else(|| CoreError::Format("unterminated tag".into()))?;
+        self.pos += start + end + 1;
+        let mut body = &rest[1..end];
+        let kind = if let Some(stripped) = body.strip_prefix('/') {
+            body = stripped;
+            TagKind::Close
+        } else if let Some(stripped) = body.strip_suffix('/') {
+            body = stripped;
+            TagKind::Empty
+        } else {
+            TagKind::Open
+        };
+        let body = body.trim();
+        let name_end = body
+            .find(|c: char| c.is_whitespace())
+            .unwrap_or(body.len());
+        let name = body[..name_end].to_owned();
+        if name.is_empty() {
+            return Err(CoreError::Format("empty tag name".into()));
+        }
+        // Attributes: key="value" pairs.
+        let mut attrs = Vec::new();
+        let mut attr_text = body[name_end..].trim();
+        while !attr_text.is_empty() {
+            let eq = attr_text
+                .find('=')
+                .ok_or_else(|| CoreError::Format(format!("malformed attributes in <{name}>")))?;
+            let key = attr_text[..eq].trim().to_owned();
+            let after = attr_text[eq + 1..].trim_start();
+            let value_body = after
+                .strip_prefix('"')
+                .ok_or_else(|| CoreError::Format(format!("unquoted value in <{name}>")))?;
+            let close = value_body
+                .find('"')
+                .ok_or_else(|| CoreError::Format(format!("unterminated value in <{name}>")))?;
+            let value = value_body[..close]
+                .replace("&quot;", "\"")
+                .replace("&lt;", "<")
+                .replace("&amp;", "&");
+            attrs.push((key, value));
+            attr_text = value_body[close + 1..].trim_start();
+        }
+        Ok(Some(Tag { name, kind, attrs }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Automaton {
+        let mut a = Automaton::new();
+        let s0 = a.add_ste(SymbolClass::from_range(b'a', b'c'), StartKind::AllInput);
+        let s1 = a.add_ste(SymbolClass::from_bytes(&[0, 255]), StartKind::StartOfData);
+        let c = a.add_counter(5, CounterMode::Roll);
+        a.add_edge(s0, s1);
+        a.add_edge(s1, c);
+        a.add_reset_edge(s0, c);
+        a.set_report(s1, 3);
+        a.set_report_eod_only(s1, true);
+        a.set_report(c, 4);
+        a
+    }
+
+    #[test]
+    fn roundtrip_preserves_automaton() {
+        let a = sample();
+        let xml = to_anml(&a, "t");
+        let b = from_anml(&xml).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn symbol_set_notation_roundtrips() {
+        for class in [
+            SymbolClass::from_byte(b'x'),
+            SymbolClass::from_range(0, 255),
+            SymbolClass::from_bytes(&[1, 2, 3, 9, 200]),
+            SymbolClass::from_bytes(&[b'-', b'[', b']']),
+        ] {
+            let s = symbol_set_string(&class);
+            assert_eq!(parse_symbol_set(&s).unwrap(), class, "notation {s}");
+        }
+    }
+
+    #[test]
+    fn emitted_xml_shape() {
+        let xml = to_anml(&sample(), "net");
+        assert!(xml.starts_with("<automata-network id=\"net\">"));
+        assert!(xml.contains("start=\"all-input\""));
+        assert!(xml.contains("<report-on-match reportcode=\"3\" eod-only=\"true\"/>"));
+        assert!(xml.contains("<counter id=\"ste2\" target=\"5\" at-target=\"roll\">"));
+        assert!(xml.contains("<reset-on-match element=\"ste2\"/>"));
+        assert!(xml.trim_end().ends_with("</automata-network>"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(from_anml("").is_err());
+        assert!(from_anml("<wrong-root/>").is_err());
+        assert!(from_anml("<automata-network id=\"x\"><bogus/></automata-network>").is_err());
+        assert!(from_anml(
+            "<automata-network id=\"x\">\
+             <state-transition-element id=\"a\" start=\"none\">\
+             </state-transition-element></automata-network>"
+        )
+        .is_err()); // missing symbol-set
+        assert!(from_anml(
+            "<automata-network id=\"x\">\
+             <state-transition-element id=\"a\" symbol-set=\"[\\x41]\" start=\"all-input\">\
+             <activate-on-match element=\"ghost\"/>\
+             </state-transition-element></automata-network>"
+        )
+        .is_err()); // dangling reference
+    }
+
+    #[test]
+    fn parse_symbol_set_errors() {
+        assert!(parse_symbol_set("no-brackets").is_err());
+        assert!(parse_symbol_set("[\\x4]").is_err());
+        assert!(parse_symbol_set("[\\x63-\\x61]").is_err());
+    }
+}

@@ -1,0 +1,432 @@
+//! The homogeneous-automaton graph container.
+
+use serde::{Deserialize, Serialize};
+
+use crate::element::{CounterMode, Element, ElementKind, Port, ReportCode, StartKind};
+use crate::error::CoreError;
+use crate::symbol::SymbolClass;
+
+/// Index of an element within an [`Automaton`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct StateId(u32);
+
+impl StateId {
+    /// Creates a state id from a raw index.
+    pub fn new(index: usize) -> Self {
+        StateId(u32::try_from(index).expect("automaton larger than u32::MAX states"))
+    }
+
+    /// The raw index of this state.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A directed activation edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Edge {
+    /// Target element.
+    pub to: StateId,
+    /// Which input port of the target this edge drives.
+    pub port: Port,
+}
+
+/// A homogeneous non-deterministic finite automaton with optional counter
+/// elements.
+///
+/// See the [crate-level documentation](crate) for the execution semantics.
+///
+/// # Example
+///
+/// ```
+/// use azoo_core::{Automaton, StartKind, SymbolClass};
+///
+/// let mut a = Automaton::new();
+/// let (first, last) = a.add_chain(
+///     &[
+///         SymbolClass::from_byte(b'h'),
+///         SymbolClass::from_byte(b'i'),
+///     ],
+///     StartKind::AllInput,
+/// );
+/// a.set_report(last, 1);
+/// assert_eq!(a.state_count(), 2);
+/// assert_eq!(a.successors(first).len(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Automaton {
+    elements: Vec<Element>,
+    succ: Vec<Vec<Edge>>,
+}
+
+impl Automaton {
+    /// Creates an empty automaton.
+    pub fn new() -> Self {
+        Automaton::default()
+    }
+
+    /// Creates an empty automaton with element capacity reserved.
+    pub fn with_capacity(states: usize) -> Self {
+        Automaton {
+            elements: Vec::with_capacity(states),
+            succ: Vec::with_capacity(states),
+        }
+    }
+
+    /// Adds an arbitrary element, returning its id.
+    pub fn add_element(&mut self, element: Element) -> StateId {
+        let id = StateId::new(self.elements.len());
+        self.elements.push(element);
+        self.succ.push(Vec::new());
+        id
+    }
+
+    /// Adds an STE with the given class and start kind.
+    pub fn add_ste(&mut self, class: SymbolClass, start: StartKind) -> StateId {
+        self.add_element(Element::ste(class, start))
+    }
+
+    /// Adds a counter element.
+    pub fn add_counter(&mut self, target: u32, mode: CounterMode) -> StateId {
+        self.add_element(Element::counter(target, mode))
+    }
+
+    /// Adds an activation edge `from -> to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn add_edge(&mut self, from: StateId, to: StateId) {
+        assert!(from.index() < self.elements.len(), "bad source {from:?}");
+        assert!(to.index() < self.elements.len(), "bad target {to:?}");
+        self.succ[from.index()].push(Edge {
+            to,
+            port: Port::Activate,
+        });
+    }
+
+    /// Adds a reset edge into a counter element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn add_reset_edge(&mut self, from: StateId, to: StateId) {
+        assert!(from.index() < self.elements.len(), "bad source {from:?}");
+        assert!(to.index() < self.elements.len(), "bad target {to:?}");
+        self.succ[from.index()].push(Edge {
+            to,
+            port: Port::Reset,
+        });
+    }
+
+    /// Marks `id` as reporting with the given code.
+    pub fn set_report(&mut self, id: StateId, code: u32) {
+        self.elements[id.index()].report = Some(ReportCode(code));
+    }
+
+    /// Restricts a report to fire only on the final input symbol
+    /// (implements the `$` end anchor).
+    pub fn set_report_eod_only(&mut self, id: StateId, eod_only: bool) {
+        self.elements[id.index()].report_eod_only = eod_only;
+    }
+
+    /// Convenience: adds a linear chain of STEs, wiring each to the next.
+    ///
+    /// The first state receives `start`; the rest are `StartKind::None`.
+    /// Returns `(first, last)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is empty.
+    pub fn add_chain(&mut self, classes: &[SymbolClass], start: StartKind) -> (StateId, StateId) {
+        assert!(!classes.is_empty(), "chain must have at least one state");
+        let first = self.add_ste(classes[0], start);
+        let mut prev = first;
+        for class in &classes[1..] {
+            let next = self.add_ste(*class, StartKind::None);
+            self.add_edge(prev, next);
+            prev = next;
+        }
+        (first, prev)
+    }
+
+    /// Number of elements (STEs + counters).
+    pub fn state_count(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Number of STE elements.
+    pub fn ste_count(&self) -> usize {
+        self.elements.iter().filter(|e| e.is_ste()).count()
+    }
+
+    /// Number of counter elements.
+    pub fn counter_count(&self) -> usize {
+        self.elements.iter().filter(|e| e.is_counter()).count()
+    }
+
+    /// Total number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.succ.iter().map(Vec::len).sum()
+    }
+
+    /// The element at `id`.
+    pub fn element(&self, id: StateId) -> &Element {
+        &self.elements[id.index()]
+    }
+
+    /// Mutable access to the element at `id`.
+    pub fn element_mut(&mut self, id: StateId) -> &mut Element {
+        &mut self.elements[id.index()]
+    }
+
+    /// Outgoing edges of `id`.
+    pub fn successors(&self, id: StateId) -> &[Edge] {
+        &self.succ[id.index()]
+    }
+
+    /// Iterates over `(id, element)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (StateId, &Element)> {
+        self.elements
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (StateId::new(i), e))
+    }
+
+    /// Ids of all start states.
+    pub fn start_states(&self) -> Vec<StateId> {
+        self.iter()
+            .filter(|(_, e)| e.start_kind() != StartKind::None)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Ids of all reporting elements.
+    pub fn report_states(&self) -> Vec<StateId> {
+        self.iter()
+            .filter(|(_, e)| e.report.is_some())
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Computes the reverse adjacency (predecessors with ports).
+    pub fn predecessors(&self) -> Vec<Vec<(StateId, Port)>> {
+        let mut pred = vec![Vec::new(); self.elements.len()];
+        for (i, edges) in self.succ.iter().enumerate() {
+            for e in edges {
+                pred[e.to.index()].push((StateId::new(i), e.port));
+            }
+        }
+        pred
+    }
+
+    /// Disjoint union: appends all elements and edges of `other`, returning
+    /// the id offset added to `other`'s states.
+    ///
+    /// Benchmarks are assembled by appending one automaton per
+    /// pattern/filter; each appended automaton becomes one connected
+    /// component ("subgraph" in AutomataZoo's Table I).
+    pub fn append(&mut self, other: &Automaton) -> u32 {
+        let offset = self.elements.len() as u32;
+        self.elements.extend(other.elements.iter().cloned());
+        for edges in &other.succ {
+            self.succ.push(
+                edges
+                    .iter()
+                    .map(|e| Edge {
+                        to: StateId(e.to.0 + offset),
+                        port: e.port,
+                    })
+                    .collect(),
+            );
+        }
+        offset
+    }
+
+    /// Builds a new automaton keeping only states where `keep(id)` is true,
+    /// remapping ids densely and dropping edges touching removed states.
+    pub fn retain_states(&self, keep: impl Fn(StateId) -> bool) -> Automaton {
+        let mut remap = vec![u32::MAX; self.elements.len()];
+        let mut out = Automaton::new();
+        for (id, e) in self.iter() {
+            if keep(id) {
+                let new_id = out.add_element(e.clone());
+                remap[id.index()] = new_id.0;
+            }
+        }
+        for (id, _) in self.iter() {
+            let from = remap[id.index()];
+            if from == u32::MAX {
+                continue;
+            }
+            for e in self.successors(id) {
+                let to = remap[e.to.index()];
+                if to != u32::MAX {
+                    out.succ[from as usize].push(Edge {
+                        to: StateId(to),
+                        port: e.port,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Checks structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant:
+    /// empty STE classes, zero counter targets, reset edges into STEs,
+    /// or a complete absence of start states.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        let mut has_start = false;
+        for (id, e) in self.iter() {
+            match &e.kind {
+                ElementKind::Ste { class, start } => {
+                    if class.is_empty() {
+                        return Err(CoreError::EmptySymbolClass(id));
+                    }
+                    if *start != StartKind::None {
+                        has_start = true;
+                    }
+                }
+                ElementKind::Counter { target, .. } => {
+                    if *target == 0 {
+                        return Err(CoreError::ZeroCounterTarget(id));
+                    }
+                }
+            }
+            for edge in self.successors(id) {
+                if edge.to.index() >= self.elements.len() {
+                    return Err(CoreError::InvalidStateId(edge.to));
+                }
+                if edge.port == Port::Reset && self.element(edge.to).is_ste() {
+                    return Err(CoreError::ResetIntoSte { from: id, to: edge.to });
+                }
+            }
+        }
+        if !has_start && !self.elements.is_empty() {
+            return Err(CoreError::NoStartStates);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc() -> Automaton {
+        let mut a = Automaton::new();
+        let (_, last) = a.add_chain(
+            &[
+                SymbolClass::from_byte(b'a'),
+                SymbolClass::from_byte(b'b'),
+                SymbolClass::from_byte(b'c'),
+            ],
+            StartKind::AllInput,
+        );
+        a.set_report(last, 9);
+        a
+    }
+
+    #[test]
+    fn chain_builder_wires_sequentially() {
+        let a = abc();
+        assert_eq!(a.state_count(), 3);
+        assert_eq!(a.edge_count(), 2);
+        assert_eq!(a.start_states(), vec![StateId::new(0)]);
+        assert_eq!(a.report_states(), vec![StateId::new(2)]);
+        assert_eq!(a.successors(StateId::new(0))[0].to, StateId::new(1));
+        a.validate().unwrap();
+    }
+
+    #[test]
+    fn append_offsets_ids() {
+        let mut a = abc();
+        let b = abc();
+        let off = a.append(&b);
+        assert_eq!(off, 3);
+        assert_eq!(a.state_count(), 6);
+        assert_eq!(a.edge_count(), 4);
+        assert_eq!(a.successors(StateId::new(3))[0].to, StateId::new(4));
+        a.validate().unwrap();
+    }
+
+    #[test]
+    fn predecessors_mirror_successors() {
+        let a = abc();
+        let pred = a.predecessors();
+        assert!(pred[0].is_empty());
+        assert_eq!(pred[1], vec![(StateId::new(0), Port::Activate)]);
+        assert_eq!(pred[2], vec![(StateId::new(1), Port::Activate)]);
+    }
+
+    #[test]
+    fn retain_states_remaps_edges() {
+        let a = abc();
+        // Drop the middle state; the chain edge through it disappears.
+        let b = a.retain_states(|id| id.index() != 1);
+        assert_eq!(b.state_count(), 2);
+        assert_eq!(b.edge_count(), 0);
+        assert!(b.element(StateId::new(1)).report.is_some());
+    }
+
+    #[test]
+    fn validate_rejects_empty_class() {
+        let mut a = Automaton::new();
+        a.add_ste(SymbolClass::EMPTY, StartKind::AllInput);
+        assert_eq!(
+            a.validate(),
+            Err(CoreError::EmptySymbolClass(StateId::new(0)))
+        );
+    }
+
+    #[test]
+    fn validate_rejects_no_starts() {
+        let mut a = Automaton::new();
+        a.add_ste(SymbolClass::FULL, StartKind::None);
+        assert_eq!(a.validate(), Err(CoreError::NoStartStates));
+    }
+
+    #[test]
+    fn validate_rejects_reset_into_ste() {
+        let mut a = Automaton::new();
+        let s = a.add_ste(SymbolClass::FULL, StartKind::AllInput);
+        let t = a.add_ste(SymbolClass::FULL, StartKind::None);
+        a.add_reset_edge(s, t);
+        assert!(matches!(a.validate(), Err(CoreError::ResetIntoSte { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_zero_counter_target() {
+        let mut a = Automaton::new();
+        let s = a.add_ste(SymbolClass::FULL, StartKind::AllInput);
+        let c = a.add_counter(0, CounterMode::Latch);
+        a.add_edge(s, c);
+        assert!(matches!(
+            a.validate(),
+            Err(CoreError::ZeroCounterTarget(_))
+        ));
+    }
+
+    #[test]
+    fn counter_counts() {
+        let mut a = Automaton::new();
+        let s = a.add_ste(SymbolClass::FULL, StartKind::AllInput);
+        let c = a.add_counter(3, CounterMode::Latch);
+        a.add_edge(s, c);
+        assert_eq!(a.ste_count(), 1);
+        assert_eq!(a.counter_count(), 1);
+        a.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "chain must have at least one state")]
+    fn empty_chain_panics() {
+        let mut a = Automaton::new();
+        a.add_chain(&[], StartKind::AllInput);
+    }
+}

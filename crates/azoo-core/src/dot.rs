@@ -1,0 +1,127 @@
+//! Graphviz DOT export for automata visualization.
+
+use std::fmt::Write as _;
+
+use crate::automaton::Automaton;
+use crate::element::{ElementKind, Port, StartKind};
+
+/// Renders the automaton as a Graphviz `digraph`.
+///
+/// Start states are drawn as double circles (bold for `AllInput`),
+/// reporting elements are filled, counters are boxes labelled with their
+/// target and mode, and reset edges are dashed.
+///
+/// # Example
+///
+/// ```
+/// use azoo_core::{dot, Automaton, StartKind, SymbolClass};
+///
+/// let mut a = Automaton::new();
+/// let s = a.add_ste(SymbolClass::from_byte(b'x'), StartKind::AllInput);
+/// a.set_report(s, 1);
+/// let rendered = dot::to_dot(&a, "demo");
+/// assert!(rendered.starts_with("digraph demo"));
+/// assert!(rendered.contains("doublecircle"));
+/// ```
+pub fn to_dot(a: &Automaton, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", sanitize(name));
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [fontsize=10];");
+    for (id, e) in a.iter() {
+        let i = id.index();
+        match &e.kind {
+            ElementKind::Ste { class, start } => {
+                let shape = match start {
+                    StartKind::None => "circle",
+                    StartKind::StartOfData | StartKind::AllInput => "doublecircle",
+                };
+                let style = match (e.report.is_some(), start) {
+                    (true, _) => "filled",
+                    (false, StartKind::AllInput) => "bold",
+                    _ => "solid",
+                };
+                let mut label = format!("{i}\\n{class:?}");
+                if let Some(code) = e.report {
+                    let _ = write!(label, "\\nR{}", code.0);
+                }
+                let _ = writeln!(
+                    out,
+                    "  n{i} [shape={shape} style={style} label=\"{}\"];",
+                    label.replace("SymbolClass", "")
+                );
+            }
+            ElementKind::Counter { target, mode } => {
+                let mut label = format!("{i}\\ncount {target} {mode:?}");
+                if let Some(code) = e.report {
+                    let _ = write!(label, "\\nR{}", code.0);
+                }
+                let _ = writeln!(out, "  n{i} [shape=box label=\"{label}\"];");
+            }
+        }
+    }
+    for (id, _) in a.iter() {
+        for edge in a.successors(id) {
+            let style = match edge.port {
+                Port::Activate => "",
+                Port::Reset => " [style=dashed label=\"reset\"]",
+            };
+            let _ = writeln!(out, "  n{} -> n{}{};", id.index(), edge.to.index(), style);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    if cleaned.chars().next().is_some_and(|c| c.is_ascii_digit()) || cleaned.is_empty() {
+        format!("g{cleaned}")
+    } else {
+        cleaned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::CounterMode;
+    use crate::symbol::SymbolClass;
+
+    #[test]
+    fn renders_states_edges_and_counters() {
+        let mut a = Automaton::new();
+        let s = a.add_ste(SymbolClass::from_byte(b'a'), StartKind::AllInput);
+        let t = a.add_ste(SymbolClass::from_range(b'0', b'9'), StartKind::None);
+        let c = a.add_counter(3, CounterMode::Pulse);
+        a.add_edge(s, t);
+        a.add_edge(t, c);
+        a.add_reset_edge(s, c);
+        a.set_report(c, 5);
+        let d = to_dot(&a, "test graph");
+        assert!(d.starts_with("digraph test_graph {"));
+        assert!(d.contains("n0 -> n1;"));
+        assert!(d.contains("n1 -> n2;"));
+        assert!(d.contains("style=dashed"));
+        assert!(d.contains("count 3 Pulse"));
+        assert!(d.contains("R5"));
+        assert!(d.ends_with("}\n"));
+    }
+
+    #[test]
+    fn sanitize_names() {
+        assert_eq!(sanitize("ok_name1"), "ok_name1");
+        assert_eq!(sanitize("9bad"), "g9bad");
+        assert_eq!(sanitize("with space"), "with_space");
+        assert_eq!(sanitize(""), "g");
+    }
+
+    #[test]
+    fn empty_automaton_renders() {
+        let d = to_dot(&Automaton::new(), "empty");
+        assert!(d.contains("digraph empty"));
+    }
+}

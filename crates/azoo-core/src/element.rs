@@ -1,0 +1,172 @@
+//! Automaton elements: STEs and counter elements.
+
+use serde::{Deserialize, Serialize};
+
+use crate::symbol::SymbolClass;
+
+/// When a state becomes enabled independently of incoming activations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum StartKind {
+    /// Never self-enabled; only enabled by an incoming activation.
+    #[default]
+    None,
+    /// Enabled only for the first input symbol (`start-of-data` in ANML).
+    StartOfData,
+    /// Re-enabled on every input symbol (`all-input`), giving
+    /// match-anywhere search semantics.
+    AllInput,
+}
+
+/// An identifier carried by reports emitted from a reporting element.
+///
+/// Benchmarks use report codes to identify which rule/pattern/filter fired
+/// (e.g. the rule index in Snort, or the predicted class in Random Forest).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ReportCode(pub u32);
+
+impl From<u32> for ReportCode {
+    fn from(v: u32) -> Self {
+        ReportCode(v)
+    }
+}
+
+impl std::fmt::Display for ReportCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Behaviour of a counter element once its target is reached.
+///
+/// These mirror the Micron AP counter modes as modelled by VASim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CounterMode {
+    /// Fire once and keep the output asserted every subsequent cycle until
+    /// reset.
+    Latch,
+    /// Assert the output for a single cycle each time the count reaches the
+    /// target; the count holds at the target until reset.
+    Pulse,
+    /// Assert the output for one cycle and roll the count back to zero.
+    Roll,
+}
+
+/// The input port an edge drives on a counter element.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub enum Port {
+    /// Ordinary activation input. For STEs this enables the state; for
+    /// counters this is the count-enable input.
+    #[default]
+    Activate,
+    /// Counter reset input. Meaningless for STE targets.
+    Reset,
+}
+
+/// The functional payload of an element.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ElementKind {
+    /// A State Transition Element: matches a symbol class when enabled.
+    Ste {
+        /// Symbols this state matches.
+        class: SymbolClass,
+        /// Self-enabling behaviour.
+        start: StartKind,
+    },
+    /// A counter element: counts activation signals; fires at `target`.
+    Counter {
+        /// Count at which the counter fires.
+        target: u32,
+        /// Behaviour at/after the target.
+        mode: CounterMode,
+    },
+}
+
+/// A single automaton element plus its (optional) report code.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Element {
+    /// STE or counter payload.
+    pub kind: ElementKind,
+    /// If set, the element reports with this code when it matches/fires.
+    pub report: Option<ReportCode>,
+    /// If true, a report from this element is only valid when it coincides
+    /// with the final input symbol (used to implement the `$` anchor).
+    pub report_eod_only: bool,
+}
+
+impl Element {
+    /// Creates an STE element.
+    pub fn ste(class: SymbolClass, start: StartKind) -> Self {
+        Element {
+            kind: ElementKind::Ste { class, start },
+            report: None,
+            report_eod_only: false,
+        }
+    }
+
+    /// Creates a counter element.
+    pub fn counter(target: u32, mode: CounterMode) -> Self {
+        Element {
+            kind: ElementKind::Counter { target, mode },
+            report: None,
+            report_eod_only: false,
+        }
+    }
+
+    /// Whether this element is an STE.
+    pub fn is_ste(&self) -> bool {
+        matches!(self.kind, ElementKind::Ste { .. })
+    }
+
+    /// Whether this element is a counter.
+    pub fn is_counter(&self) -> bool {
+        matches!(self.kind, ElementKind::Counter { .. })
+    }
+
+    /// The symbol class, if this element is an STE.
+    pub fn class(&self) -> Option<&SymbolClass> {
+        match &self.kind {
+            ElementKind::Ste { class, .. } => Some(class),
+            ElementKind::Counter { .. } => None,
+        }
+    }
+
+    /// The start kind for STEs; counters are never start elements.
+    pub fn start_kind(&self) -> StartKind {
+        match self.kind {
+            ElementKind::Ste { start, .. } => start,
+            ElementKind::Counter { .. } => StartKind::None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ste_accessors() {
+        let e = Element::ste(SymbolClass::from_byte(b'x'), StartKind::AllInput);
+        assert!(e.is_ste());
+        assert!(!e.is_counter());
+        assert_eq!(e.start_kind(), StartKind::AllInput);
+        assert!(e.class().unwrap().contains(b'x'));
+        assert!(e.report.is_none());
+    }
+
+    #[test]
+    fn counter_accessors() {
+        let e = Element::counter(5, CounterMode::Latch);
+        assert!(e.is_counter());
+        assert!(e.class().is_none());
+        assert_eq!(e.start_kind(), StartKind::None);
+    }
+
+    #[test]
+    fn report_code_display_and_from() {
+        let r: ReportCode = 42u32.into();
+        assert_eq!(r.to_string(), "42");
+        assert_eq!(r, ReportCode(42));
+    }
+}

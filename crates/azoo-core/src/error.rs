@@ -1,0 +1,71 @@
+//! Error types for the core automata model.
+
+use std::fmt;
+
+use crate::automaton::StateId;
+
+/// Errors raised by automaton construction and validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// An edge references a state id outside the automaton.
+    InvalidStateId(StateId),
+    /// An STE has an empty symbol class; it could never match.
+    EmptySymbolClass(StateId),
+    /// A counter element was given a start kind or a symbol class.
+    MalformedCounter(StateId),
+    /// A counter target of zero would fire before any count.
+    ZeroCounterTarget(StateId),
+    /// A reset edge targets an STE, which has no reset port.
+    ResetIntoSte {
+        /// Source of the offending edge.
+        from: StateId,
+        /// STE target that has no reset port.
+        to: StateId,
+    },
+    /// The automaton has no start element, so it can never match.
+    NoStartStates,
+    /// Deserialization of an automaton interchange document failed.
+    Format(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidStateId(id) => write!(f, "edge references unknown state {id:?}"),
+            CoreError::EmptySymbolClass(id) => {
+                write!(f, "state {id:?} has an empty symbol class")
+            }
+            CoreError::MalformedCounter(id) => write!(f, "counter {id:?} is malformed"),
+            CoreError::ZeroCounterTarget(id) => {
+                write!(f, "counter {id:?} has a zero target")
+            }
+            CoreError::ResetIntoSte { from, to } => {
+                write!(f, "reset edge {from:?} -> {to:?} targets an STE")
+            }
+            CoreError::NoStartStates => write!(f, "automaton has no start states"),
+            CoreError::Format(msg) => write!(f, "invalid automaton document: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_prose() {
+        let e = CoreError::NoStartStates;
+        assert_eq!(e.to_string(), "automaton has no start states");
+        let e = CoreError::Format("bad json".into());
+        assert!(e.to_string().contains("bad json"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

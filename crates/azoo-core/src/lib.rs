@@ -1,0 +1,53 @@
+//! Core data model for homogeneous finite automata, as used by automata
+//! processing accelerators and the AutomataZoo benchmark suite.
+//!
+//! The model follows the ANML/MNRL conventions established by Micron's
+//! Automata Processor and the VASim/MNCaRT toolchain:
+//!
+//! * Automata are **homogeneous**: the symbol class ("character set") lives
+//!   on the *state* (called an STE — State Transition Element), not on the
+//!   edge. A state *matches* when it is enabled and the current input symbol
+//!   is in its class; a matching state *activates*, which enables all of its
+//!   successors for the next input symbol.
+//! * States can be **start states**: either `StartOfData` (enabled only
+//!   before the first symbol) or `AllInput` (re-enabled on every symbol,
+//!   giving "match anywhere" search semantics).
+//! * States can **report**: when a reporting state matches, it emits a
+//!   report `(input offset, report code)`.
+//! * **Counter elements** (an extended-automata feature of the AP) count
+//!   activation signals and fire when a target is reached.
+//!
+//! # Example
+//!
+//! ```
+//! use azoo_core::{Automaton, StartKind, SymbolClass};
+//!
+//! // Build an automaton matching the literal "cat" anywhere in the input.
+//! let mut a = Automaton::new();
+//! let c = a.add_ste(SymbolClass::from_byte(b'c'), StartKind::AllInput);
+//! let s1 = a.add_ste(SymbolClass::from_byte(b'a'), StartKind::None);
+//! let s2 = a.add_ste(SymbolClass::from_byte(b't'), StartKind::None);
+//! a.add_edge(c, s1);
+//! a.add_edge(s1, s2);
+//! a.set_report(s2, 0);
+//! assert_eq!(a.state_count(), 3);
+//! a.validate().unwrap();
+//! ```
+
+pub mod anml;
+pub mod bitset;
+pub mod dot;
+pub mod element;
+pub mod error;
+pub mod mnrl;
+pub mod stats;
+pub mod symbol;
+
+mod automaton;
+
+pub use automaton::{Automaton, Edge, StateId};
+pub use bitset::BitSet;
+pub use element::{CounterMode, Element, ElementKind, Port, ReportCode, StartKind};
+pub use error::CoreError;
+pub use stats::AutomatonStats;
+pub use symbol::SymbolClass;

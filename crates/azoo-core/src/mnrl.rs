@@ -1,0 +1,286 @@
+//! MNRL-style JSON interchange for automata.
+//!
+//! MNRL (the MNCaRT Network Representation Language) is the open JSON
+//! automata format used by the AutomataZoo toolchain. This module emits and
+//! parses an MNRL-flavoured document: homogeneous states (`hState`) with a
+//! symbol set, enable signal, and report id; `upCounter` nodes; and typed
+//! output connections. Symbol sets are encoded as inclusive `[lo, hi]` byte
+//! ranges for compactness.
+//!
+//! # Example
+//!
+//! ```
+//! use azoo_core::{mnrl, Automaton, StartKind, SymbolClass};
+//!
+//! let mut a = Automaton::new();
+//! let s = a.add_ste(SymbolClass::from_byte(b'z'), StartKind::AllInput);
+//! a.set_report(s, 3);
+//! let doc = mnrl::to_json(&a, "demo");
+//! let back = mnrl::from_json(&doc)?;
+//! assert_eq!(a, back);
+//! # Ok::<(), azoo_core::CoreError>(())
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use crate::automaton::{Automaton, StateId};
+use crate::element::{CounterMode, ElementKind, Port, StartKind};
+use crate::error::CoreError;
+use crate::symbol::SymbolClass;
+
+#[derive(Serialize, Deserialize)]
+struct Document {
+    id: String,
+    nodes: Vec<Node>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct Node {
+    id: String,
+    #[serde(rename = "type")]
+    node_type: String,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    enable: Option<String>,
+    #[serde(default)]
+    report: bool,
+    #[serde(skip_serializing_if = "Option::is_none", rename = "reportId")]
+    report_id: Option<u32>,
+    #[serde(default, rename = "reportOnLast")]
+    report_on_last: bool,
+    #[serde(skip_serializing_if = "Option::is_none", rename = "symbolSet")]
+    symbol_set: Option<Vec<[u8; 2]>>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    target: Option<u32>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    mode: Option<String>,
+    #[serde(rename = "outputConnections")]
+    outputs: Vec<Connection>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct Connection {
+    id: String,
+    port: String,
+}
+
+fn class_to_ranges(c: &SymbolClass) -> Vec<[u8; 2]> {
+    let mut ranges = Vec::new();
+    let mut run: Option<(u8, u8)> = None;
+    for b in c.iter() {
+        match run {
+            Some((lo, hi)) if hi as u16 + 1 == b as u16 => run = Some((lo, b)),
+            Some((lo, hi)) => {
+                ranges.push([lo, hi]);
+                run = Some((b, b));
+            }
+            None => run = Some((b, b)),
+        }
+    }
+    if let Some((lo, hi)) = run {
+        ranges.push([lo, hi]);
+    }
+    ranges
+}
+
+fn ranges_to_class(ranges: &[[u8; 2]]) -> Result<SymbolClass, CoreError> {
+    let mut c = SymbolClass::new();
+    for r in ranges {
+        if r[0] > r[1] {
+            return Err(CoreError::Format(format!(
+                "reversed symbol range {}..{}",
+                r[0], r[1]
+            )));
+        }
+        for b in r[0]..=r[1] {
+            c.insert(b);
+        }
+    }
+    Ok(c)
+}
+
+/// Serializes an automaton to an MNRL-style JSON string.
+pub fn to_json(a: &Automaton, network_id: &str) -> String {
+    let nodes = a
+        .iter()
+        .map(|(id, e)| {
+            let outputs = a
+                .successors(id)
+                .iter()
+                .map(|edge| Connection {
+                    id: format!("n{}", edge.to.index()),
+                    port: match edge.port {
+                        Port::Activate => "activate".to_owned(),
+                        Port::Reset => "reset".to_owned(),
+                    },
+                })
+                .collect();
+            match &e.kind {
+                ElementKind::Ste { class, start } => Node {
+                    id: format!("n{}", id.index()),
+                    node_type: "hState".to_owned(),
+                    enable: Some(
+                        match start {
+                            StartKind::None => "onActivateIn",
+                            StartKind::StartOfData => "onStartOfData",
+                            StartKind::AllInput => "always",
+                        }
+                        .to_owned(),
+                    ),
+                    report: e.report.is_some(),
+                    report_id: e.report.map(|r| r.0),
+                    report_on_last: e.report_eod_only,
+                    symbol_set: Some(class_to_ranges(class)),
+                    target: None,
+                    mode: None,
+                    outputs,
+                },
+                ElementKind::Counter { target, mode } => Node {
+                    id: format!("n{}", id.index()),
+                    node_type: "upCounter".to_owned(),
+                    enable: None,
+                    report: e.report.is_some(),
+                    report_id: e.report.map(|r| r.0),
+                    report_on_last: e.report_eod_only,
+                    symbol_set: None,
+                    target: Some(*target),
+                    mode: Some(
+                        match mode {
+                            CounterMode::Latch => "latch",
+                            CounterMode::Pulse => "pulse",
+                            CounterMode::Roll => "roll",
+                        }
+                        .to_owned(),
+                    ),
+                    outputs,
+                },
+            }
+        })
+        .collect();
+    let doc = Document {
+        id: network_id.to_owned(),
+        nodes,
+    };
+    serde_json::to_string_pretty(&doc).expect("document serialization cannot fail")
+}
+
+/// Parses an MNRL-style JSON string into an automaton.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Format`] for malformed JSON, unknown node types or
+/// enables, dangling connection ids, or reversed symbol ranges.
+pub fn from_json(json: &str) -> Result<Automaton, CoreError> {
+    let doc: Document =
+        serde_json::from_str(json).map_err(|e| CoreError::Format(e.to_string()))?;
+    let mut a = Automaton::with_capacity(doc.nodes.len());
+    let mut index_of = std::collections::HashMap::with_capacity(doc.nodes.len());
+    for node in &doc.nodes {
+        let id = match node.node_type.as_str() {
+            "hState" => {
+                let class = ranges_to_class(node.symbol_set.as_deref().unwrap_or(&[]))?;
+                let start = match node.enable.as_deref() {
+                    Some("onActivateIn") | None => StartKind::None,
+                    Some("onStartOfData") => StartKind::StartOfData,
+                    Some("always") => StartKind::AllInput,
+                    Some(other) => {
+                        return Err(CoreError::Format(format!("unknown enable '{other}'")))
+                    }
+                };
+                a.add_ste(class, start)
+            }
+            "upCounter" => {
+                let target = node
+                    .target
+                    .ok_or_else(|| CoreError::Format("counter missing target".into()))?;
+                let mode = match node.mode.as_deref() {
+                    Some("latch") | None => CounterMode::Latch,
+                    Some("pulse") => CounterMode::Pulse,
+                    Some("roll") => CounterMode::Roll,
+                    Some(other) => {
+                        return Err(CoreError::Format(format!("unknown counter mode '{other}'")))
+                    }
+                };
+                a.add_counter(target, mode)
+            }
+            other => return Err(CoreError::Format(format!("unknown node type '{other}'"))),
+        };
+        if node.report {
+            a.set_report(id, node.report_id.unwrap_or(0));
+        }
+        a.set_report_eod_only(id, node.report_on_last);
+        index_of.insert(node.id.clone(), id);
+    }
+    for node in &doc.nodes {
+        let from = index_of[&node.id];
+        for conn in &node.outputs {
+            let to: StateId = *index_of
+                .get(&conn.id)
+                .ok_or_else(|| CoreError::Format(format!("dangling connection '{}'", conn.id)))?;
+            match conn.port.as_str() {
+                "activate" => a.add_edge(from, to),
+                "reset" => a.add_reset_edge(from, to),
+                other => return Err(CoreError::Format(format!("unknown port '{other}'"))),
+            }
+        }
+    }
+    Ok(a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::CounterMode;
+
+    fn sample() -> Automaton {
+        let mut a = Automaton::new();
+        let s0 = a.add_ste(SymbolClass::from_range(b'a', b'f'), StartKind::AllInput);
+        let s1 = a.add_ste(SymbolClass::from_bytes(&[0, 255, 7]), StartKind::None);
+        let c = a.add_counter(4, CounterMode::Pulse);
+        a.add_edge(s0, s1);
+        a.add_edge(s1, c);
+        a.add_reset_edge(s0, c);
+        a.set_report(s1, 11);
+        a.set_report(c, 12);
+        a.set_report_eod_only(s1, true);
+        a
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let a = sample();
+        let json = to_json(&a, "t");
+        let b = from_json(&json).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ranges_encoding_is_compact() {
+        let mut c = SymbolClass::from_range(10, 20);
+        c.insert(42);
+        assert_eq!(class_to_ranges(&c), vec![[10, 20], [42, 42]]);
+        assert_eq!(ranges_to_class(&class_to_ranges(&c)).unwrap(), c);
+    }
+
+    #[test]
+    fn full_class_is_one_range() {
+        assert_eq!(class_to_ranges(&SymbolClass::FULL), vec![[0, 255]]);
+    }
+
+    #[test]
+    fn rejects_unknown_node_type() {
+        let json = r#"{"id":"x","nodes":[{"id":"a","type":"quantum","outputConnections":[]}]}"#;
+        assert!(matches!(from_json(json), Err(CoreError::Format(_))));
+    }
+
+    #[test]
+    fn rejects_dangling_connection() {
+        let json = r#"{"id":"x","nodes":[{"id":"a","type":"hState","enable":"always",
+            "symbolSet":[[97,97]],"outputConnections":[{"id":"ghost","port":"activate"}]}]}"#;
+        assert!(matches!(from_json(json), Err(CoreError::Format(_))));
+    }
+
+    #[test]
+    fn rejects_bad_json() {
+        assert!(matches!(from_json("{nope"), Err(CoreError::Format(_))));
+    }
+}

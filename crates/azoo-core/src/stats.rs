@@ -1,0 +1,233 @@
+//! Static statistics over automata, matching the columns of AutomataZoo's
+//! Table I (states, edges, edges/node, subgraph count, average subgraph
+//! size, standard deviation).
+
+use crate::automaton::{Automaton, StateId};
+
+/// Static graph statistics for an automaton.
+///
+/// Produced by [`AutomatonStats::compute`]. "Subgraphs" are weakly connected
+/// components — one per appended pattern/filter in a well-formed benchmark.
+///
+/// # Example
+///
+/// ```
+/// use azoo_core::{Automaton, AutomatonStats, StartKind, SymbolClass};
+///
+/// let mut a = Automaton::new();
+/// a.add_chain(&[SymbolClass::from_byte(b'x'); 4], StartKind::AllInput);
+/// a.add_chain(&[SymbolClass::from_byte(b'y'); 2], StartKind::AllInput);
+/// let stats = AutomatonStats::compute(&a);
+/// assert_eq!(stats.states, 6);
+/// assert_eq!(stats.subgraphs, 2);
+/// assert_eq!(stats.avg_subgraph_size, 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AutomatonStats {
+    /// Total element count.
+    pub states: usize,
+    /// Total edge count.
+    pub edges: usize,
+    /// Edges per node.
+    pub edges_per_node: f64,
+    /// Number of weakly connected components.
+    pub subgraphs: usize,
+    /// Mean component size in states.
+    pub avg_subgraph_size: f64,
+    /// Population standard deviation of component sizes.
+    pub stddev_subgraph_size: f64,
+}
+
+impl AutomatonStats {
+    /// Computes statistics for `a`.
+    pub fn compute(a: &Automaton) -> AutomatonStats {
+        let states = a.state_count();
+        let edges = a.edge_count();
+        let sizes = component_sizes(a);
+        let subgraphs = sizes.len();
+        let avg = if subgraphs == 0 {
+            0.0
+        } else {
+            states as f64 / subgraphs as f64
+        };
+        let var = if subgraphs == 0 {
+            0.0
+        } else {
+            sizes
+                .iter()
+                .map(|&s| {
+                    let d = s as f64 - avg;
+                    d * d
+                })
+                .sum::<f64>()
+                / subgraphs as f64
+        };
+        AutomatonStats {
+            states,
+            edges,
+            edges_per_node: if states == 0 {
+                0.0
+            } else {
+                edges as f64 / states as f64
+            },
+            subgraphs,
+            avg_subgraph_size: avg,
+            stddev_subgraph_size: var.sqrt(),
+        }
+    }
+}
+
+/// Sizes of the weakly connected components of `a`, via union-find.
+pub fn component_sizes(a: &Automaton) -> Vec<usize> {
+    let n = a.state_count();
+    let mut uf = UnionFind::new(n);
+    for (id, _) in a.iter() {
+        for e in a.successors(id) {
+            uf.union(id.index(), e.to.index());
+        }
+    }
+    let mut counts = std::collections::HashMap::new();
+    for i in 0..n {
+        *counts.entry(uf.find(i)).or_insert(0usize) += 1;
+    }
+    let mut sizes: Vec<usize> = counts.into_values().collect();
+    sizes.sort_unstable();
+    sizes
+}
+
+/// Assigns each state its weakly-connected-component index (dense, ordered
+/// by smallest member id).
+pub fn component_labels(a: &Automaton) -> Vec<usize> {
+    let n = a.state_count();
+    let mut uf = UnionFind::new(n);
+    for (id, _) in a.iter() {
+        for e in a.successors(id) {
+            uf.union(id.index(), e.to.index());
+        }
+    }
+    let mut label_of_root = std::collections::HashMap::new();
+    let mut labels = vec![0usize; n];
+    let mut next = 0usize;
+    for (i, label) in labels.iter_mut().enumerate() {
+        let root = uf.find(i);
+        *label = *label_of_root.entry(root).or_insert_with(|| {
+            let l = next;
+            next += 1;
+            l
+        });
+    }
+    labels
+}
+
+/// Ids of states reachable from any start state (forward closure over
+/// activation and reset edges).
+pub fn reachable_from_starts(a: &Automaton) -> Vec<bool> {
+    let mut seen = vec![false; a.state_count()];
+    let mut stack: Vec<StateId> = a.start_states();
+    for s in &stack {
+        seen[s.index()] = true;
+    }
+    while let Some(s) = stack.pop() {
+        for e in a.successors(s) {
+            if !seen[e.to.index()] {
+                seen[e.to.index()] = true;
+                stack.push(e.to);
+            }
+        }
+    }
+    seen
+}
+
+struct UnionFind {
+    parent: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] as usize != x {
+            let gp = self.parent[self.parent[x] as usize];
+            self.parent[x] = gp;
+            x = gp as usize;
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parent[rb] = ra as u32;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::StartKind;
+    use crate::symbol::SymbolClass;
+
+    fn chain(len: usize) -> Automaton {
+        let mut a = Automaton::new();
+        a.add_chain(
+            &vec![SymbolClass::from_byte(b'a'); len],
+            StartKind::AllInput,
+        );
+        a
+    }
+
+    #[test]
+    fn stats_of_empty_automaton() {
+        let s = AutomatonStats::compute(&Automaton::new());
+        assert_eq!(s.states, 0);
+        assert_eq!(s.subgraphs, 0);
+        assert_eq!(s.avg_subgraph_size, 0.0);
+    }
+
+    #[test]
+    fn stats_of_uniform_components() {
+        let mut a = chain(5);
+        for _ in 0..3 {
+            a.append(&chain(5));
+        }
+        let s = AutomatonStats::compute(&a);
+        assert_eq!(s.states, 20);
+        assert_eq!(s.edges, 16);
+        assert_eq!(s.subgraphs, 4);
+        assert_eq!(s.avg_subgraph_size, 5.0);
+        assert_eq!(s.stddev_subgraph_size, 0.0);
+        assert!((s.edges_per_node - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_of_mixed_components() {
+        let mut a = chain(2);
+        a.append(&chain(6));
+        let s = AutomatonStats::compute(&a);
+        assert_eq!(s.subgraphs, 2);
+        assert_eq!(s.avg_subgraph_size, 4.0);
+        assert_eq!(s.stddev_subgraph_size, 2.0);
+    }
+
+    #[test]
+    fn component_labels_are_dense() {
+        let mut a = chain(2);
+        a.append(&chain(3));
+        let labels = component_labels(&a);
+        assert_eq!(labels, vec![0, 0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn reachability_ignores_orphans() {
+        let mut a = chain(3);
+        a.add_ste(SymbolClass::FULL, StartKind::None); // orphan
+        let r = reachable_from_starts(&a);
+        assert_eq!(r, vec![true, true, true, false]);
+    }
+}

@@ -1,0 +1,337 @@
+//! 256-bit symbol classes ("character sets") recognized by automata states.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A set of 8-bit input symbols, stored as a 256-bit mask.
+///
+/// This is the "character class" configured into an STE. All set operations
+/// are O(1) over four machine words.
+///
+/// # Example
+///
+/// ```
+/// use azoo_core::SymbolClass;
+///
+/// let digits = SymbolClass::from_range(b'0', b'9');
+/// assert!(digits.contains(b'5'));
+/// assert!(!digits.contains(b'a'));
+/// assert_eq!(digits.len(), 10);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct SymbolClass {
+    bits: [u64; 4],
+}
+
+impl SymbolClass {
+    /// The empty class, matching no symbol.
+    pub const EMPTY: SymbolClass = SymbolClass { bits: [0; 4] };
+
+    /// The full class, matching every symbol (`*` in ANML notation).
+    pub const FULL: SymbolClass = SymbolClass { bits: [u64::MAX; 4] };
+
+    /// Creates an empty class. Equivalent to [`SymbolClass::EMPTY`].
+    pub fn new() -> Self {
+        Self::EMPTY
+    }
+
+    /// Creates a class containing exactly one symbol.
+    pub fn from_byte(b: u8) -> Self {
+        let mut c = Self::EMPTY;
+        c.insert(b);
+        c
+    }
+
+    /// Creates a class containing the inclusive range `lo..=hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn from_range(lo: u8, hi: u8) -> Self {
+        assert!(lo <= hi, "invalid symbol range {lo}..={hi}");
+        let mut c = Self::EMPTY;
+        for b in lo..=hi {
+            c.insert(b);
+        }
+        c
+    }
+
+    /// Creates a class containing every symbol in `bytes`.
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        let mut c = Self::EMPTY;
+        for &b in bytes {
+            c.insert(b);
+        }
+        c
+    }
+
+    /// Adds a symbol to the class.
+    pub fn insert(&mut self, b: u8) {
+        self.bits[(b >> 6) as usize] |= 1u64 << (b & 63);
+    }
+
+    /// Removes a symbol from the class.
+    pub fn remove(&mut self, b: u8) {
+        self.bits[(b >> 6) as usize] &= !(1u64 << (b & 63));
+    }
+
+    /// Tests whether the class contains `b`.
+    #[inline]
+    pub fn contains(&self, b: u8) -> bool {
+        self.bits[(b >> 6) as usize] & (1u64 << (b & 63)) != 0
+    }
+
+    /// Number of symbols in the class.
+    pub fn len(&self) -> u32 {
+        self.bits.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Whether the class matches no symbol.
+    pub fn is_empty(&self) -> bool {
+        self.bits == [0; 4]
+    }
+
+    /// Whether the class matches every symbol.
+    pub fn is_full(&self) -> bool {
+        self.bits == [u64::MAX; 4]
+    }
+
+    /// Set union.
+    #[must_use]
+    pub fn union(&self, other: &SymbolClass) -> SymbolClass {
+        let mut out = *self;
+        for i in 0..4 {
+            out.bits[i] |= other.bits[i];
+        }
+        out
+    }
+
+    /// Set intersection.
+    #[must_use]
+    pub fn intersect(&self, other: &SymbolClass) -> SymbolClass {
+        let mut out = *self;
+        for i in 0..4 {
+            out.bits[i] &= other.bits[i];
+        }
+        out
+    }
+
+    /// Set complement over the 256-symbol alphabet.
+    #[must_use]
+    pub fn complement(&self) -> SymbolClass {
+        let mut out = *self;
+        for w in &mut out.bits {
+            *w = !*w;
+        }
+        out
+    }
+
+    /// Iterates over the symbols in the class in ascending order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            class: self,
+            next: 0,
+            done: false,
+        }
+    }
+
+    /// Case-insensitive closure: for every ASCII letter in the class, adds
+    /// the letter of the opposite case.
+    #[must_use]
+    pub fn ascii_case_fold(&self) -> SymbolClass {
+        let mut out = *self;
+        for b in self.iter() {
+            if b.is_ascii_lowercase() {
+                out.insert(b.to_ascii_uppercase());
+            } else if b.is_ascii_uppercase() {
+                out.insert(b.to_ascii_lowercase());
+            }
+        }
+        out
+    }
+
+    /// Raw 256-bit mask, low word first.
+    pub fn as_words(&self) -> &[u64; 4] {
+        &self.bits
+    }
+}
+
+impl FromIterator<u8> for SymbolClass {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        let mut c = Self::EMPTY;
+        for b in iter {
+            c.insert(b);
+        }
+        c
+    }
+}
+
+impl Extend<u8> for SymbolClass {
+    fn extend<I: IntoIterator<Item = u8>>(&mut self, iter: I) {
+        for b in iter {
+            self.insert(b);
+        }
+    }
+}
+
+/// Iterator over the symbols of a [`SymbolClass`].
+#[derive(Debug, Clone)]
+pub struct Iter<'a> {
+    class: &'a SymbolClass,
+    next: u8,
+    done: bool,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = u8;
+
+    fn next(&mut self) -> Option<u8> {
+        while !self.done {
+            let b = self.next;
+            if self.next == 255 {
+                self.done = true;
+            } else {
+                self.next += 1;
+            }
+            if self.class.contains(b) {
+                return Some(b);
+            }
+        }
+        None
+    }
+}
+
+impl fmt::Debug for SymbolClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_full() {
+            return write!(f, "SymbolClass(*)");
+        }
+        write!(f, "SymbolClass[")?;
+        // Render as compact ranges.
+        let mut first = true;
+        let mut run: Option<(u8, u8)> = None;
+        let flush = |f: &mut fmt::Formatter<'_>, run: (u8, u8), first: &mut bool| {
+            if !*first {
+                write!(f, ",")?;
+            }
+            *first = false;
+            let show = |b: u8| -> String {
+                if b.is_ascii_graphic() {
+                    format!("{}", b as char)
+                } else {
+                    format!("\\x{b:02x}")
+                }
+            };
+            if run.0 == run.1 {
+                write!(f, "{}", show(run.0))
+            } else {
+                write!(f, "{}-{}", show(run.0), show(run.1))
+            }
+        };
+        for b in self.iter() {
+            match run {
+                Some((lo, hi)) if hi as u16 + 1 == b as u16 => run = Some((lo, b)),
+                Some(r) => {
+                    flush(f, r, &mut first)?;
+                    run = Some((b, b));
+                }
+                None => run = Some((b, b)),
+            }
+        }
+        if let Some(r) = run {
+            flush(f, r, &mut first)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_full() {
+        assert!(SymbolClass::EMPTY.is_empty());
+        assert_eq!(SymbolClass::EMPTY.len(), 0);
+        assert!(SymbolClass::FULL.is_full());
+        assert_eq!(SymbolClass::FULL.len(), 256);
+        assert!(SymbolClass::FULL.contains(0));
+        assert!(SymbolClass::FULL.contains(255));
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut c = SymbolClass::new();
+        c.insert(b'a');
+        c.insert(0);
+        c.insert(255);
+        assert!(c.contains(b'a'));
+        assert!(c.contains(0));
+        assert!(c.contains(255));
+        assert_eq!(c.len(), 3);
+        c.remove(b'a');
+        assert!(!c.contains(b'a'));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn range_boundaries() {
+        let c = SymbolClass::from_range(10, 20);
+        assert!(!c.contains(9));
+        assert!(c.contains(10));
+        assert!(c.contains(20));
+        assert!(!c.contains(21));
+        assert_eq!(c.len(), 11);
+        let whole = SymbolClass::from_range(0, 255);
+        assert!(whole.is_full());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid symbol range")]
+    fn reversed_range_panics() {
+        let _ = SymbolClass::from_range(5, 1);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = SymbolClass::from_range(b'a', b'm');
+        let b = SymbolClass::from_range(b'g', b'z');
+        let u = a.union(&b);
+        let i = a.intersect(&b);
+        assert_eq!(u.len(), 26);
+        assert_eq!(i.len(), (b'm' - b'g' + 1) as u32);
+        assert_eq!(a.complement().complement(), a);
+        assert_eq!(a.union(&a.complement()), SymbolClass::FULL);
+        assert!(a.intersect(&a.complement()).is_empty());
+    }
+
+    #[test]
+    fn iter_yields_sorted_members() {
+        let c = SymbolClass::from_bytes(&[200, 3, 5, 255, 0]);
+        let v: Vec<u8> = c.iter().collect();
+        assert_eq!(v, vec![0, 3, 5, 200, 255]);
+    }
+
+    #[test]
+    fn case_folding() {
+        let c = SymbolClass::from_bytes(b"aZ9");
+        let f = c.ascii_case_fold();
+        assert!(f.contains(b'A'));
+        assert!(f.contains(b'z'));
+        assert!(f.contains(b'9'));
+        assert_eq!(f.len(), 5);
+    }
+
+    #[test]
+    fn debug_renders_ranges() {
+        let c = SymbolClass::from_range(b'a', b'c');
+        assert_eq!(format!("{c:?}"), "SymbolClass[a-c]");
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let c: SymbolClass = (b'0'..=b'9').collect();
+        assert_eq!(c, SymbolClass::from_range(b'0', b'9'));
+    }
+}

@@ -1,0 +1,233 @@
+//! Dense bit-parallel (multi-pattern Shift-And) engine for chain-shaped
+//! automata.
+//!
+//! Benchmarks built from per-pattern chains — Random Forest leaf chains,
+//! CRISPR guide filters, entity-resolution name chains — have a special
+//! shape: every state has at most one non-self successor and one non-self
+//! predecessor. Laying the chains out consecutively lets the whole active
+//! set live in a bitmask, advanced with one shift and a handful of ANDs
+//! per 64 states per symbol:
+//!
+//! ```text
+//! matched = active & accept[symbol]
+//! active' = ((matched & advance) << 1) | (matched & selfloop) | always
+//! ```
+//!
+//! This is the CPU technique family (bit-parallelism over dense state
+//! vectors) that production engines use for literal-heavy pattern sets.
+
+use azoo_core::{Automaton, ElementKind, StartKind, StateId};
+
+use crate::sink::ReportSink;
+use crate::stream::StreamingEngine;
+use crate::{Engine, EngineError};
+
+const NO_REPORT: u32 = u32::MAX;
+
+/// Bit-parallel executor for chain-shaped automata.
+#[derive(Debug, Clone)]
+pub struct BitParallelEngine {
+    words: usize,
+    accept: Vec<Vec<u64>>, // [256][words]
+    advance: Vec<u64>,
+    selfloop: Vec<u64>,
+    always: Vec<u64>,
+    sod: Vec<u64>,
+    report: Vec<u64>,
+    report_code: Vec<u32>, // by position
+    report_eod: Vec<bool>,
+
+    active: Vec<u64>,
+    scratch: Vec<u64>,
+    cycle_codes: Vec<u32>,
+    stream_offset: u64,
+}
+
+impl BitParallelEngine {
+    /// Compiles `a`, internally re-ordering states into chain layout.
+    ///
+    /// # Errors
+    ///
+    /// * [`EngineError::CountersUnsupported`] for counter elements.
+    /// * [`EngineError::NotChainShaped`] if any state has more than one
+    ///   non-self successor/predecessor or lies on a multi-state cycle.
+    /// * [`EngineError::Invalid`] if validation fails.
+    pub fn new(a: &Automaton) -> Result<Self, EngineError> {
+        a.validate()?;
+        let n = a.state_count();
+        // Verify shape and compute the forward successor of each state.
+        let mut fwd: Vec<Option<u32>> = vec![None; n];
+        let mut selfloop_flags = vec![false; n];
+        let mut in_deg = vec![0u32; n];
+        for (id, e) in a.iter() {
+            if e.is_counter() {
+                return Err(EngineError::CountersUnsupported(id));
+            }
+            for edge in a.successors(id) {
+                if edge.to == id {
+                    selfloop_flags[id.index()] = true;
+                } else {
+                    if fwd[id.index()].is_some() {
+                        return Err(EngineError::NotChainShaped(id));
+                    }
+                    fwd[id.index()] = Some(edge.to.index() as u32);
+                    in_deg[edge.to.index()] += 1;
+                    if in_deg[edge.to.index()] > 1 {
+                        return Err(EngineError::NotChainShaped(edge.to));
+                    }
+                }
+            }
+        }
+        // Chain layout: walk from heads.
+        let mut position = vec![u32::MAX; n];
+        let mut order: Vec<u32> = Vec::with_capacity(n);
+        for head in 0..n {
+            if in_deg[head] != 0 {
+                continue;
+            }
+            let mut cur = head as u32;
+            loop {
+                position[cur as usize] = order.len() as u32;
+                order.push(cur);
+                match fwd[cur as usize] {
+                    Some(next) => cur = next,
+                    None => break,
+                }
+            }
+        }
+        if order.len() != n {
+            // Leftover states form a non-self cycle.
+            let bad = position
+                .iter()
+                .position(|&p| p == u32::MAX)
+                .expect("some state is unplaced");
+            return Err(EngineError::NotChainShaped(StateId::new(bad)));
+        }
+
+        let words = n.div_ceil(64);
+        let mut accept = vec![vec![0u64; words]; 256];
+        let mut advance = vec![0u64; words];
+        let mut selfloop = vec![0u64; words];
+        let mut always = vec![0u64; words];
+        let mut sod = vec![0u64; words];
+        let mut report = vec![0u64; words];
+        let mut report_code = vec![NO_REPORT; n];
+        let mut report_eod = vec![false; n];
+        for (id, e) in a.iter() {
+            let p = position[id.index()] as usize;
+            let (w, m) = (p >> 6, 1u64 << (p & 63));
+            let ElementKind::Ste { class, start } = &e.kind else {
+                unreachable!("counters rejected above")
+            };
+            for b in class.iter() {
+                accept[b as usize][w] |= m;
+            }
+            match start {
+                StartKind::None => {}
+                StartKind::StartOfData => sod[w] |= m,
+                StartKind::AllInput => always[w] |= m,
+            }
+            if fwd[id.index()].is_some() {
+                advance[w] |= m;
+            }
+            if selfloop_flags[id.index()] {
+                selfloop[w] |= m;
+            }
+            if let Some(code) = e.report {
+                report[w] |= m;
+                report_code[p] = code.0;
+                report_eod[p] = e.report_eod_only;
+            }
+        }
+        Ok(BitParallelEngine {
+            words,
+            accept,
+            advance,
+            selfloop,
+            always,
+            sod,
+            report,
+            report_code,
+            report_eod,
+            active: vec![0; words],
+            scratch: vec![0; words],
+            cycle_codes: Vec::new(),
+            stream_offset: 0,
+        })
+    }
+
+    /// Number of 64-bit words in the state vector.
+    pub fn word_count(&self) -> usize {
+        self.words
+    }
+}
+
+impl BitParallelEngine {
+    fn reset_active(&mut self) {
+        for w in 0..self.words {
+            self.active[w] = self.sod[w] | self.always[w];
+        }
+    }
+
+    fn process(&mut self, input: &[u8], base: u64, eod: bool, sink: &mut dyn ReportSink) {
+        let words = self.words;
+        if words == 0 {
+            return;
+        }
+        let len = input.len();
+        for (pos, &c) in input.iter().enumerate() {
+            let acc = &self.accept[c as usize];
+            let last = eod && pos + 1 == len;
+            self.cycle_codes.clear();
+            // matched (in scratch) and reports (deduplicated per code).
+            for w in 0..words {
+                let matched = self.active[w] & acc[w];
+                self.scratch[w] = matched;
+                let mut r = matched & self.report[w];
+                while r != 0 {
+                    let bit = r.trailing_zeros() as usize;
+                    r &= r - 1;
+                    let p = w * 64 + bit;
+                    let code = self.report_code[p];
+                    if (!self.report_eod[p] || last) && !self.cycle_codes.contains(&code) {
+                        self.cycle_codes.push(code);
+                        sink.report(base + pos as u64, azoo_core::ReportCode(code));
+                    }
+                }
+            }
+            // active' = ((matched & advance) << 1) | (matched & selfloop) | always
+            let mut carry = 0u64;
+            for w in 0..words {
+                let m = self.scratch[w];
+                let adv = m & self.advance[w];
+                let shifted = (adv << 1) | carry;
+                carry = adv >> 63;
+                self.active[w] = shifted | (m & self.selfloop[w]) | self.always[w];
+            }
+        }
+    }
+}
+
+impl StreamingEngine for BitParallelEngine {
+    fn reset_stream(&mut self) {
+        self.reset_active();
+        self.stream_offset = 0;
+    }
+
+    fn feed(&mut self, chunk: &[u8], eod: bool, sink: &mut dyn ReportSink) {
+        let base = self.stream_offset;
+        self.process(chunk, base, eod, sink);
+        self.stream_offset = base + chunk.len() as u64;
+    }
+}
+
+impl Engine for BitParallelEngine {
+    fn scan(&mut self, input: &[u8], sink: &mut dyn ReportSink) {
+        self.reset_active();
+        self.process(input, 0, true, sink);
+    }
+
+    fn name(&self) -> &'static str {
+        "bit-parallel"
+    }
+}

@@ -1,0 +1,391 @@
+//! A Hyperscan/RE2-style lazy-DFA engine.
+//!
+//! Subset construction is performed on the fly: each distinct set of
+//! dynamically enabled NFA states becomes a DFA state, and transitions are
+//! built (and cached) the first time they are taken. Throughput is then
+//! one table lookup per input symbol, independent of the NFA active set —
+//! the property that makes DFA-based engines like Intel Hyperscan fast on
+//! CPUs. A bounded state cache with RE2-style full flushes keeps memory
+//! finite on automata that determinize badly.
+
+use std::collections::HashMap;
+
+use azoo_core::{Automaton, ElementKind, StartKind, SymbolClass};
+
+use crate::sink::ReportSink;
+use crate::stream::StreamingEngine;
+use crate::{Engine, EngineError};
+
+const UNBUILT: u32 = u32::MAX;
+const NO_REPORT: u32 = u32::MAX;
+
+/// Lazily determinized automaton executor.
+///
+/// Does not support counter elements (extended automata are outside the
+/// DFA model, as they are for production regex engines).
+#[derive(Debug, Clone)]
+pub struct LazyDfaEngine {
+    // NFA side.
+    classes: Vec<SymbolClass>,
+    report_code: Vec<u32>,
+    report_eod: Vec<bool>,
+    is_always: Vec<bool>,
+    succ_off: Vec<u32>,
+    succ_tgt: Vec<u32>,
+    always: Vec<u32>,
+    start_key: Box<[u32]>,
+
+    // Alphabet compression.
+    byte_class: [u16; 256],
+    class_rep: Vec<u8>,
+    n_classes: usize,
+
+    // DFA cache.
+    max_states: usize,
+    states: Vec<Box<[u32]>>,
+    intern: HashMap<Box<[u32]>, u32>,
+    trans: Vec<u32>,
+    trans_rep: Vec<u32>,
+    rep_lists: Vec<Vec<(u32, bool)>>,
+    rep_intern: HashMap<Vec<(u32, bool)>, u32>,
+    flushes: u64,
+    stream_cur: u32,
+    stream_offset: u64,
+}
+
+impl LazyDfaEngine {
+    /// Default bound on cached DFA states before a full flush.
+    pub const DEFAULT_MAX_STATES: usize = 1 << 15;
+
+    /// Compiles `a` with the default cache bound.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::CountersUnsupported`] if `a` has counters, or
+    /// [`EngineError::Invalid`] if it fails validation.
+    pub fn new(a: &Automaton) -> Result<Self, EngineError> {
+        Self::with_max_states(a, Self::DEFAULT_MAX_STATES)
+    }
+
+    /// Compiles `a` with an explicit DFA-state cache bound.
+    ///
+    /// # Errors
+    ///
+    /// See [`LazyDfaEngine::new`].
+    pub fn with_max_states(a: &Automaton, max_states: usize) -> Result<Self, EngineError> {
+        a.validate()?;
+        let n = a.state_count();
+        let mut classes = vec![SymbolClass::EMPTY; n];
+        let mut report_code = vec![NO_REPORT; n];
+        let mut report_eod = vec![false; n];
+        let mut is_always = vec![false; n];
+        let mut always = Vec::new();
+        let mut sod = Vec::new();
+        for (id, e) in a.iter() {
+            let i = id.index();
+            match &e.kind {
+                ElementKind::Counter { .. } => {
+                    return Err(EngineError::CountersUnsupported(id));
+                }
+                ElementKind::Ste { class, start } => {
+                    classes[i] = *class;
+                    match start {
+                        StartKind::None => {}
+                        StartKind::StartOfData => sod.push(i as u32),
+                        StartKind::AllInput => {
+                            is_always[i] = true;
+                            always.push(i as u32);
+                        }
+                    }
+                }
+            }
+            if let Some(code) = e.report {
+                report_code[i] = code.0;
+            }
+            report_eod[i] = e.report_eod_only;
+        }
+        let mut succ_off = Vec::with_capacity(n + 1);
+        let mut succ_tgt = Vec::with_capacity(a.edge_count());
+        succ_off.push(0);
+        for (id, _) in a.iter() {
+            for edge in a.successors(id) {
+                succ_tgt.push(edge.to.index() as u32);
+            }
+            succ_off.push(succ_tgt.len() as u32);
+        }
+        sod.sort_unstable();
+        sod.dedup();
+
+        // Alphabet compression: bytes indistinguishable by every symbol
+        // class share a DFA column.
+        let mut distinct: Vec<SymbolClass> = Vec::new();
+        {
+            let mut seen = std::collections::HashSet::new();
+            for c in &classes {
+                if seen.insert(*c.as_words()) {
+                    distinct.push(*c);
+                }
+            }
+        }
+        let mut byte_class = [0u16; 256];
+        let mut n_classes = 1usize;
+        for c in &distinct {
+            let mut remap: HashMap<(u16, bool), u16> = HashMap::new();
+            let mut next = 0u16;
+            let mut new_class = [0u16; 256];
+            for b in 0..256usize {
+                let key = (byte_class[b], c.contains(b as u8));
+                let id = *remap.entry(key).or_insert_with(|| {
+                    let v = next;
+                    next += 1;
+                    v
+                });
+                new_class[b] = id;
+            }
+            byte_class = new_class;
+            n_classes = next as usize;
+        }
+        let mut class_rep = vec![0u8; n_classes];
+        for b in (0..256usize).rev() {
+            class_rep[byte_class[b] as usize] = b as u8;
+        }
+
+        let mut engine = LazyDfaEngine {
+            classes,
+            report_code,
+            report_eod,
+            is_always,
+            succ_off,
+            succ_tgt,
+            always,
+            start_key: sod.into_boxed_slice(),
+            byte_class,
+            class_rep,
+            n_classes,
+            max_states: max_states.max(2),
+            states: Vec::new(),
+            intern: HashMap::new(),
+            trans: Vec::new(),
+            trans_rep: Vec::new(),
+            rep_lists: vec![Vec::new()],
+            rep_intern: HashMap::new(),
+            flushes: 0,
+            stream_cur: 0,
+            stream_offset: 0,
+        };
+        engine.rep_intern.insert(Vec::new(), 0);
+        let start = engine.start_key.clone();
+        engine.intern_state(start);
+        Ok(engine)
+    }
+
+    /// Number of DFA states currently cached.
+    pub fn cached_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of cache flushes performed so far.
+    pub fn flush_count(&self) -> u64 {
+        self.flushes
+    }
+
+    /// Number of compressed alphabet classes.
+    pub fn alphabet_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn flush(&mut self) {
+        self.flushes += 1;
+        self.states.clear();
+        self.intern.clear();
+        self.trans.clear();
+        self.trans_rep.clear();
+        let start = self.start_key.clone();
+        self.push_state(start);
+    }
+
+    fn push_state(&mut self, key: Box<[u32]>) -> u32 {
+        let id = self.states.len() as u32;
+        self.intern.insert(key.clone(), id);
+        self.states.push(key);
+        self.trans.extend(std::iter::repeat_n(UNBUILT, self.n_classes));
+        self.trans_rep.extend(std::iter::repeat_n(0, self.n_classes));
+        id
+    }
+
+    /// Interns a state key, flushing the cache if full. Returns the id.
+    fn intern_state(&mut self, key: Box<[u32]>) -> u32 {
+        if let Some(&id) = self.intern.get(&key) {
+            return id;
+        }
+        if self.states.len() >= self.max_states {
+            self.flush();
+            if let Some(&id) = self.intern.get(&key) {
+                return id; // key was the start state
+            }
+        }
+        self.push_state(key)
+    }
+
+    /// Computes (and caches when possible) the transition out of `cur` on
+    /// alphabet class `k`. Returns `(next_state, report_list)`.
+    fn take_transition(&mut self, cur: u32, k: usize) -> (u32, u32) {
+        let idx = cur as usize * self.n_classes + k;
+        if self.trans[idx] != UNBUILT {
+            return (self.trans[idx], self.trans_rep[idx]);
+        }
+        let byte = self.class_rep[k];
+        let mut next: Vec<u32> = Vec::new();
+        let mut reports: Vec<(u32, bool)> = Vec::new();
+        let key = std::mem::take(&mut self.states[cur as usize]);
+        let always = std::mem::take(&mut self.always);
+        for &s in key.iter().chain(always.iter()) {
+            let si = s as usize;
+            if !self.classes[si].contains(byte) {
+                continue;
+            }
+            if self.report_code[si] != NO_REPORT {
+                reports.push((self.report_code[si], self.report_eod[si]));
+            }
+            let lo = self.succ_off[si] as usize;
+            let hi = self.succ_off[si + 1] as usize;
+            for &t in &self.succ_tgt[lo..hi] {
+                if !self.is_always[t as usize] {
+                    next.push(t);
+                }
+            }
+        }
+        self.states[cur as usize] = key;
+        self.always = always;
+        next.sort_unstable();
+        next.dedup();
+        reports.sort_unstable();
+        reports.dedup();
+        let rep_id = if reports.is_empty() {
+            0
+        } else {
+            match self.rep_intern.get(&reports) {
+                Some(&id) => id,
+                None => {
+                    let id = self.rep_lists.len() as u32;
+                    self.rep_intern.insert(reports.clone(), id);
+                    self.rep_lists.push(reports);
+                    id
+                }
+            }
+        };
+        let flushes_before = self.flushes;
+        let next_id = self.intern_state(next.into_boxed_slice());
+        if self.flushes == flushes_before {
+            let idx = cur as usize * self.n_classes + k;
+            self.trans[idx] = next_id;
+            self.trans_rep[idx] = rep_id;
+        }
+        (next_id, rep_id)
+    }
+}
+
+impl LazyDfaEngine {
+    /// Runs `input` from DFA state `cur`; returns the final state.
+    fn process(
+        &mut self,
+        mut cur: u32,
+        input: &[u8],
+        base: u64,
+        eod: bool,
+        sink: &mut dyn ReportSink,
+    ) -> u32 {
+        let len = input.len();
+        for (pos, &b) in input.iter().enumerate() {
+            let k = self.byte_class[b as usize] as usize;
+            let (next, rep) = self.take_transition(cur, k);
+            if rep != 0 {
+                let last = eod && pos + 1 == len;
+                // Clone is cheap: report lists are tiny and rare.
+                let list = self.rep_lists[rep as usize].clone();
+                for (code, eod_only) in list {
+                    if !eod_only || last {
+                        sink.report(base + pos as u64, azoo_core::ReportCode(code));
+                    }
+                }
+            }
+            cur = next;
+        }
+        cur
+    }
+}
+
+impl StreamingEngine for LazyDfaEngine {
+    fn reset_stream(&mut self) {
+        self.stream_cur = self.intern_state(self.start_key.clone());
+        self.stream_offset = 0;
+    }
+
+    fn feed(&mut self, chunk: &[u8], eod: bool, sink: &mut dyn ReportSink) {
+        let base = self.stream_offset;
+        self.stream_cur = self.process(self.stream_cur, chunk, base, eod, sink);
+        self.stream_offset = base + chunk.len() as u64;
+    }
+}
+
+impl Engine for LazyDfaEngine {
+    fn scan(&mut self, input: &[u8], sink: &mut dyn ReportSink) {
+        let start = self.intern_state(self.start_key.clone());
+        self.process(start, input, 0, true, sink);
+    }
+
+    fn name(&self) -> &'static str {
+        "lazy-dfa"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::CollectSink;
+
+    fn abc() -> Automaton {
+        let mut a = Automaton::new();
+        let classes: Vec<SymbolClass> =
+            b"abc".iter().map(|&b| SymbolClass::from_byte(b)).collect();
+        let (_, last) = a.add_chain(&classes, StartKind::AllInput);
+        a.set_report(last, 0);
+        a
+    }
+
+    #[test]
+    fn alphabet_compression_groups_bytes() {
+        let engine = LazyDfaEngine::new(&abc()).unwrap();
+        // Classes: {a}, {b}, {c}, everything-else.
+        assert_eq!(engine.alphabet_classes(), 4);
+    }
+
+    #[test]
+    fn cache_grows_lazily() {
+        let mut engine = LazyDfaEngine::new(&abc()).unwrap();
+        assert_eq!(engine.cached_states(), 1); // just the start state
+        let mut sink = CollectSink::new();
+        engine.scan(b"ababcxyz", &mut sink);
+        assert!(engine.cached_states() > 1);
+        assert_eq!(engine.flush_count(), 0);
+        assert_eq!(sink.reports().len(), 1);
+    }
+
+    #[test]
+    fn tiny_cache_flushes_but_stays_correct() {
+        let mut engine = LazyDfaEngine::with_max_states(&abc(), 2).unwrap();
+        let mut sink = CollectSink::new();
+        engine.scan(b"abcabcabc", &mut sink);
+        assert_eq!(sink.reports().len(), 3);
+        assert!(engine.flush_count() > 0);
+    }
+
+    #[test]
+    fn full_class_automaton_compresses_to_one_class() {
+        let mut a = Automaton::new();
+        let s = a.add_ste(SymbolClass::FULL, StartKind::AllInput);
+        a.set_report(s, 0);
+        let engine = LazyDfaEngine::new(&a).unwrap();
+        assert_eq!(engine.alphabet_classes(), 1);
+    }
+}

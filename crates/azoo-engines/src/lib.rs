@@ -1,0 +1,114 @@
+//! CPU automata-processing engines.
+//!
+//! AutomataZoo's evaluation compares automata execution across software
+//! engines and spatial architectures. This crate provides the software
+//! side as a portfolio behind one [`Engine`] trait:
+//!
+//! * [`NfaEngine`] — a VASim-equivalent sparse active-set simulator.
+//!   Supports the full element set (STEs and counters) and collects the
+//!   per-symbol activity [`Profile`] used for the paper's *active set*
+//!   metric. Throughput is proportional to active-set size.
+//! * [`LazyDfaEngine`] — an RE2/Hyperscan-style engine that determinizes
+//!   the automaton on the fly with a bounded state cache, giving
+//!   active-set-independent throughput on DFA-friendly workloads.
+//! * [`BitParallelEngine`] — a dense multi-pattern Shift-And engine for
+//!   chain-shaped automata (e.g. Random Forest leaf chains), processing
+//!   64 states per machine word per symbol.
+//!
+//! All engines produce identical report streams for the automata they
+//! support, which the test suite cross-validates.
+//!
+//! # Example
+//!
+//! ```
+//! use azoo_core::{Automaton, StartKind, SymbolClass};
+//! use azoo_engines::{CollectSink, Engine, NfaEngine};
+//!
+//! let mut a = Automaton::new();
+//! let (_, last) = a.add_chain(
+//!     &[SymbolClass::from_byte(b'h'), SymbolClass::from_byte(b'i')],
+//!     StartKind::AllInput,
+//! );
+//! a.set_report(last, 0);
+//! let mut engine = NfaEngine::new(&a)?;
+//! let mut sink = CollectSink::new();
+//! engine.scan(b"hi there, hi!", &mut sink);
+//! let offsets: Vec<u64> = sink.reports().iter().map(|r| r.offset).collect();
+//! assert_eq!(offsets, vec![1, 11]);
+//! # Ok::<(), azoo_engines::EngineError>(())
+//! ```
+
+mod bitpar;
+mod lazy_dfa;
+mod nfa;
+mod profile;
+mod report_stats;
+mod select;
+mod sink;
+mod stream;
+
+pub use bitpar::BitParallelEngine;
+pub use lazy_dfa::LazyDfaEngine;
+pub use nfa::NfaEngine;
+pub use profile::Profile;
+pub use report_stats::ReportStats;
+pub use select::{select_engine, EngineChoice};
+pub use sink::{CollectSink, CountSink, NullSink, Report, ReportSink};
+pub use stream::StreamingEngine;
+
+use azoo_core::StateId;
+
+/// A compiled automaton executor.
+///
+/// `scan` always starts from the automaton's initial conditions; engines
+/// are reusable across calls.
+pub trait Engine {
+    /// Scans `input`, emitting every report into `sink`.
+    fn scan(&mut self, input: &[u8], sink: &mut dyn ReportSink);
+
+    /// A short engine name for harness output.
+    fn name(&self) -> &'static str;
+}
+
+/// Errors raised when compiling an automaton for an engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// The engine does not support counter elements.
+    CountersUnsupported(StateId),
+    /// The automaton is not chain-shaped (required by
+    /// [`BitParallelEngine`]): some state has more than one non-self
+    /// successor or more than one non-self predecessor.
+    NotChainShaped(StateId),
+    /// The automaton failed core validation.
+    Invalid(azoo_core::CoreError),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::CountersUnsupported(id) => {
+                write!(f, "engine does not support counter element {id:?}")
+            }
+            EngineError::NotChainShaped(id) => {
+                write!(f, "state {id:?} breaks the chain shape")
+            }
+            EngineError::Invalid(e) => write!(f, "invalid automaton: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<azoo_core::CoreError> for EngineError {
+    fn from(e: azoo_core::CoreError) -> Self {
+        EngineError::Invalid(e)
+    }
+}

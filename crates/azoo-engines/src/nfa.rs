@@ -1,0 +1,468 @@
+//! The VASim-equivalent sparse active-set NFA engine.
+
+use azoo_core::{Automaton, CounterMode, ElementKind, StartKind};
+
+use crate::profile::Profile;
+use crate::sink::ReportSink;
+use crate::stream::StreamingEngine;
+use crate::{Engine, EngineError};
+
+const NO_REPORT: u32 = u32::MAX;
+const PORT_BIT: u32 = 1 << 31;
+
+/// Sparse active-set simulator for homogeneous automata with counters.
+///
+/// This engine mirrors VASim's execution model: it tracks the set of
+/// dynamically enabled states, tests each against the input symbol, and
+/// propagates activations. Work per symbol is proportional to the active
+/// set, which is why AutomataZoo reports active set as the CPU performance
+/// proxy.
+///
+/// Always-enabled (`AllInput`) start states are handled via a precomputed
+/// per-byte match list, and — following the VASim convention — are *not*
+/// counted in the [`Profile`]'s active set.
+///
+/// Reports are canonical: at most one report per `(offset, code)` pair,
+/// even when several reporting states share a code and match together.
+#[derive(Debug, Clone)]
+pub struct NfaEngine {
+    n: usize,
+    classes: Vec<azoo_core::SymbolClass>,
+    report_code: Vec<u32>,
+    report_eod: Vec<bool>,
+    is_always: Vec<bool>,
+    is_counter: Vec<bool>,
+    counter_idx: Vec<u32>,
+    // CSR adjacency over all elements; top bit of a target marks the
+    // reset port.
+    succ_off: Vec<u32>,
+    succ_tgt: Vec<u32>,
+    sod_list: Vec<u32>,
+    always_by_byte: Vec<Vec<u32>>,
+    counters: Vec<CounterDef>,
+    counter_elem_ids: Vec<u32>,
+
+    // Reusable runtime scratch.
+    cur: Vec<u32>,
+    next: Vec<u32>,
+    stamp: Vec<u32>,
+    generation: u32,
+    counts: Vec<u32>,
+    latched: Vec<bool>,
+    cnt_enable: Vec<bool>,
+    cnt_reset: Vec<bool>,
+    touched: Vec<u32>,
+    latched_list: Vec<u32>,
+    cycle_codes: Vec<u32>,
+    stream_offset: u64,
+}
+
+#[derive(Debug, Clone)]
+struct CounterDef {
+    target: u32,
+    mode: CounterMode,
+}
+
+impl NfaEngine {
+    /// Compiles `a` for execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Invalid`] if `a` fails
+    /// [`Automaton::validate`].
+    pub fn new(a: &Automaton) -> Result<Self, EngineError> {
+        a.validate()?;
+        let n = a.state_count();
+        let mut classes = vec![azoo_core::SymbolClass::EMPTY; n];
+        let mut report_code = vec![NO_REPORT; n];
+        let mut report_eod = vec![false; n];
+        let mut is_always = vec![false; n];
+        let mut is_counter = vec![false; n];
+        let mut counter_idx = vec![u32::MAX; n];
+        let mut sod_list = Vec::new();
+        let mut counters = Vec::new();
+        let mut counter_elem_ids = Vec::new();
+        let mut always = Vec::new();
+        for (id, e) in a.iter() {
+            let i = id.index();
+            if let Some(code) = e.report {
+                report_code[i] = code.0;
+            }
+            report_eod[i] = e.report_eod_only;
+            match &e.kind {
+                ElementKind::Ste { class, start } => {
+                    classes[i] = *class;
+                    match start {
+                        StartKind::None => {}
+                        StartKind::StartOfData => sod_list.push(i as u32),
+                        StartKind::AllInput => {
+                            is_always[i] = true;
+                            always.push(i as u32);
+                        }
+                    }
+                }
+                ElementKind::Counter { target, mode } => {
+                    is_counter[i] = true;
+                    counter_idx[i] = counters.len() as u32;
+                    counter_elem_ids.push(i as u32);
+                    counters.push(CounterDef {
+                        target: *target,
+                        mode: *mode,
+                    });
+                }
+            }
+        }
+        let mut succ_off = Vec::with_capacity(n + 1);
+        let mut succ_tgt = Vec::with_capacity(a.edge_count());
+        succ_off.push(0);
+        for (id, _) in a.iter() {
+            for edge in a.successors(id) {
+                let mut t = edge.to.index() as u32;
+                if edge.port == azoo_core::Port::Reset {
+                    t |= PORT_BIT;
+                }
+                succ_tgt.push(t);
+            }
+            succ_off.push(succ_tgt.len() as u32);
+        }
+        let mut always_by_byte = vec![Vec::new(); 256];
+        for &s in &always {
+            for b in classes[s as usize].iter() {
+                always_by_byte[b as usize].push(s);
+            }
+        }
+        let n_counters = counters.len();
+        Ok(NfaEngine {
+            n,
+            classes,
+            report_code,
+            report_eod,
+            is_always,
+            is_counter,
+            counter_idx,
+            succ_off,
+            succ_tgt,
+            sod_list,
+            always_by_byte,
+            counters,
+            counter_elem_ids,
+            cur: Vec::new(),
+            next: Vec::new(),
+            stamp: vec![0; n],
+            generation: 0,
+            counts: vec![0; n_counters],
+            latched: vec![false; n_counters],
+            cnt_enable: vec![false; n_counters],
+            cnt_reset: vec![false; n_counters],
+            touched: Vec::new(),
+            latched_list: Vec::new(),
+            cycle_codes: Vec::new(),
+            stream_offset: 0,
+        })
+    }
+
+    /// Number of automaton elements.
+    pub fn state_count(&self) -> usize {
+        self.n
+    }
+
+    /// Scans `input` while collecting an activity [`Profile`].
+    pub fn scan_profiled(&mut self, input: &[u8], sink: &mut dyn ReportSink) -> Profile {
+        self.run::<true>(input, sink)
+    }
+
+    fn run<const PROFILE: bool>(&mut self, input: &[u8], sink: &mut dyn ReportSink) -> Profile {
+        self.reset_run_state();
+        self.process::<PROFILE>(input, 0, true, sink)
+    }
+
+    fn reset_run_state(&mut self) {
+        self.cur.clear();
+        self.next.clear();
+        self.counts.fill(0);
+        self.latched.fill(false);
+        self.latched_list.clear();
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            self.stamp.fill(u32::MAX);
+            self.generation = 1;
+        }
+        // Seed start-of-data states.
+        let gen = self.generation;
+        for i in 0..self.sod_list.len() {
+            let s = self.sod_list[i];
+            if self.stamp[s as usize] != gen {
+                self.stamp[s as usize] = gen;
+                self.cur.push(s);
+            }
+        }
+    }
+
+    fn process<const PROFILE: bool>(
+        &mut self,
+        input: &[u8],
+        base: u64,
+        eod: bool,
+        sink: &mut dyn ReportSink,
+    ) -> Profile {
+        let mut profile = Profile::default();
+        for (pos, &c) in input.iter().enumerate() {
+            let pos = base as usize + pos;
+            let last = eod && pos + 1 == base as usize + input.len();
+            if PROFILE {
+                profile.symbols += 1;
+                profile.total_enabled += self.cur.len() as u64;
+            }
+            self.generation = self.generation.wrapping_add(1);
+            if self.generation == 0 {
+                self.stamp.fill(u32::MAX);
+                self.generation = 1;
+            }
+            let gen = self.generation;
+            let mut matched_count = 0u64;
+            let mut reports = 0u64;
+            self.cycle_codes.clear();
+
+            // Dynamically enabled states.
+            for ci in 0..self.cur.len() {
+                let s = self.cur[ci] as usize;
+                if !self.classes[s].contains(c) {
+                    continue;
+                }
+                matched_count += 1;
+                let code = self.report_code[s];
+                if code != NO_REPORT
+                    && (!self.report_eod[s] || last)
+                    && !self.cycle_codes.contains(&code)
+                {
+                    self.cycle_codes.push(code);
+                    sink.report(pos as u64, azoo_core::ReportCode(code));
+                    reports += 1;
+                }
+                reports += self.activate(s, gen, pos as u64);
+            }
+            // Always-enabled start states that match this byte.
+            // (Split borrows: temporarily take the list to appease the
+            // borrow checker without cloning.)
+            let alist = std::mem::take(&mut self.always_by_byte[c as usize]);
+            for &su in &alist {
+                let s = su as usize;
+                matched_count += 1;
+                let code = self.report_code[s];
+                if code != NO_REPORT
+                    && (!self.report_eod[s] || last)
+                    && !self.cycle_codes.contains(&code)
+                {
+                    self.cycle_codes.push(code);
+                    sink.report(pos as u64, azoo_core::ReportCode(code));
+                    reports += 1;
+                }
+                reports += self.activate(s, gen, pos as u64);
+            }
+            self.always_by_byte[c as usize] = alist;
+
+            // Counter bookkeeping at end of cycle.
+            reports += self.settle_counters(gen, pos as u64, last, sink);
+
+            if PROFILE {
+                profile.total_matched += matched_count;
+                profile.total_reports += reports;
+            }
+            std::mem::swap(&mut self.cur, &mut self.next);
+            self.next.clear();
+        }
+        profile
+    }
+
+    /// Propagates an activation from element `s`; returns reports emitted
+    /// (counters never report here — they report in `settle_counters`).
+    #[inline]
+    fn activate(&mut self, s: usize, gen: u32, _pos: u64) -> u64 {
+        let lo = self.succ_off[s] as usize;
+        let hi = self.succ_off[s + 1] as usize;
+        for ei in lo..hi {
+            let raw = self.succ_tgt[ei];
+            let reset = raw & PORT_BIT != 0;
+            let t = (raw & !PORT_BIT) as usize;
+            if self.is_counter[t] {
+                let ci = self.counter_idx[t] as usize;
+                if !self.cnt_enable[ci] && !self.cnt_reset[ci] {
+                    self.touched.push(ci as u32);
+                }
+                if reset {
+                    self.cnt_reset[ci] = true;
+                } else {
+                    self.cnt_enable[ci] = true;
+                }
+            } else if !self.is_always[t] && self.stamp[t] != gen {
+                self.stamp[t] = gen;
+                self.next.push(t as u32);
+            }
+        }
+        0
+    }
+
+    fn settle_counters(
+        &mut self,
+        gen: u32,
+        pos: u64,
+        last: bool,
+        sink: &mut dyn ReportSink,
+    ) -> u64 {
+        let mut reports = 0u64;
+        // `activate` below may append to `touched` (counter-to-counter
+        // edges), so iterate with a growing bound.
+        let mut ti = 0;
+        while ti < self.touched.len() {
+            let ci = self.touched[ti] as usize;
+            ti += 1;
+            let def_target = self.counters[ci].target;
+            let mode = self.counters[ci].mode;
+            let mut fired = false;
+            if self.cnt_reset[ci] {
+                self.counts[ci] = 0;
+                if self.latched[ci] {
+                    self.latched[ci] = false;
+                    self.latched_list.retain(|&x| x as usize != ci);
+                }
+            } else if self.cnt_enable[ci] && self.counts[ci] < def_target {
+                self.counts[ci] += 1;
+                if self.counts[ci] == def_target {
+                    fired = true;
+                    match mode {
+                        CounterMode::Latch => {
+                            if !self.latched[ci] {
+                                self.latched[ci] = true;
+                                self.latched_list.push(ci as u32);
+                            }
+                        }
+                        CounterMode::Pulse => {}
+                        CounterMode::Roll => self.counts[ci] = 0,
+                    }
+                }
+            }
+            self.cnt_enable[ci] = false;
+            self.cnt_reset[ci] = false;
+            if fired {
+                let elem = self.counter_element(ci);
+                let code = self.report_code[elem];
+                if code != NO_REPORT
+                    && (!self.report_eod[elem] || last)
+                    && !self.cycle_codes.contains(&code)
+                {
+                    self.cycle_codes.push(code);
+                    sink.report(pos, azoo_core::ReportCode(code));
+                    reports += 1;
+                }
+                reports += self.activate(elem, gen, pos);
+            }
+        }
+        self.touched.clear();
+        // Latched counters keep driving their successors every cycle.
+        let llist = std::mem::take(&mut self.latched_list);
+        for &ci in &llist {
+            let elem = self.counter_element(ci as usize);
+            self.activate(elem, gen, pos);
+        }
+        self.latched_list = llist;
+        reports
+    }
+
+    fn counter_element(&self, ci: usize) -> usize {
+        self.counter_elem_ids[ci] as usize
+    }
+}
+
+impl StreamingEngine for NfaEngine {
+    fn reset_stream(&mut self) {
+        self.reset_run_state();
+        self.stream_offset = 0;
+    }
+
+    fn feed(&mut self, chunk: &[u8], eod: bool, sink: &mut dyn ReportSink) {
+        let base = self.stream_offset;
+        self.process::<false>(chunk, base, eod, sink);
+        self.stream_offset = base + chunk.len() as u64;
+    }
+}
+
+impl Engine for NfaEngine {
+    fn scan(&mut self, input: &[u8], sink: &mut dyn ReportSink) {
+        self.run::<false>(input, sink);
+    }
+
+    fn name(&self) -> &'static str {
+        "nfa"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{CollectSink, CountSink};
+    use azoo_core::SymbolClass;
+
+    #[test]
+    fn state_count_reflects_elements() {
+        let mut a = Automaton::new();
+        let s = a.add_ste(SymbolClass::FULL, StartKind::AllInput);
+        a.add_counter(2, CounterMode::Roll);
+        a.set_report(s, 0);
+        let engine = NfaEngine::new(&a).unwrap();
+        assert_eq!(engine.state_count(), 2);
+    }
+
+    #[test]
+    fn rejects_invalid_automata() {
+        let mut a = Automaton::new();
+        a.add_ste(SymbolClass::EMPTY, StartKind::AllInput);
+        assert!(matches!(NfaEngine::new(&a), Err(crate::EngineError::Invalid(_))));
+    }
+
+    #[test]
+    fn generation_wraparound_is_survivable() {
+        // Force the generation counter near wrap and verify scans still
+        // produce correct results afterwards.
+        let mut a = Automaton::new();
+        let (_, last) = a.add_chain(
+            &[SymbolClass::from_byte(b'x'), SymbolClass::from_byte(b'y')],
+            StartKind::AllInput,
+        );
+        a.set_report(last, 0);
+        let mut engine = NfaEngine::new(&a).unwrap();
+        engine.generation = u32::MAX - 3;
+        for _ in 0..8 {
+            let mut sink = CountSink::new();
+            engine.scan(b"xy", &mut sink);
+            assert_eq!(sink.count(), 1);
+        }
+    }
+
+    #[test]
+    fn same_code_reports_deduplicate_per_cycle() {
+        // Two parallel states with the same code matching together yield
+        // one canonical report.
+        let mut a = Automaton::new();
+        for _ in 0..2 {
+            let s = a.add_ste(SymbolClass::from_byte(b'k'), StartKind::AllInput);
+            a.set_report(s, 7);
+        }
+        let mut engine = NfaEngine::new(&a).unwrap();
+        let mut sink = CollectSink::new();
+        engine.scan(b"kk", &mut sink);
+        assert_eq!(sink.reports().len(), 2); // one per offset, not four
+    }
+
+    #[test]
+    fn distinct_codes_all_fire() {
+        let mut a = Automaton::new();
+        for code in 0..3 {
+            let s = a.add_ste(SymbolClass::from_byte(b'k'), StartKind::AllInput);
+            a.set_report(s, code);
+        }
+        let mut engine = NfaEngine::new(&a).unwrap();
+        let mut sink = CollectSink::new();
+        engine.scan(b"k", &mut sink);
+        assert_eq!(sink.reports().len(), 3);
+    }
+}

@@ -1,0 +1,94 @@
+//! Dynamic activity profiling (the paper's *active set* metric).
+
+/// Aggregated per-symbol activity statistics collected by
+/// [`NfaEngine::scan_profiled`](crate::NfaEngine::scan_profiled).
+///
+/// AutomataZoo defines *active set* as "the average number of states that
+/// compute (attempt a match) per input symbol" — the enabled-state count,
+/// which dominates the runtime of sequential memory-based engines.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Profile {
+    /// Input symbols processed.
+    pub symbols: u64,
+    /// Sum over symbols of the number of enabled states.
+    pub total_enabled: u64,
+    /// Sum over symbols of the number of states that matched.
+    pub total_matched: u64,
+    /// Total reports emitted.
+    pub total_reports: u64,
+}
+
+impl Profile {
+    /// Mean enabled states per symbol — the paper's "Active Set" column.
+    pub fn active_set(&self) -> f64 {
+        if self.symbols == 0 {
+            0.0
+        } else {
+            self.total_enabled as f64 / self.symbols as f64
+        }
+    }
+
+    /// Mean matching states per symbol.
+    pub fn match_rate(&self) -> f64 {
+        if self.symbols == 0 {
+            0.0
+        } else {
+            self.total_matched as f64 / self.symbols as f64
+        }
+    }
+
+    /// Reports per million input symbols (the Figure-1 metric).
+    pub fn reports_per_million(&self) -> f64 {
+        if self.symbols == 0 {
+            0.0
+        } else {
+            self.total_reports as f64 * 1.0e6 / self.symbols as f64
+        }
+    }
+
+    /// Merges another profile into this one (for multi-trial averaging).
+    pub fn merge(&mut self, other: &Profile) {
+        self.symbols += other.symbols;
+        self.total_enabled += other.total_enabled;
+        self.total_matched += other.total_matched;
+        self.total_reports += other.total_reports;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_handle_zero_symbols() {
+        let p = Profile::default();
+        assert_eq!(p.active_set(), 0.0);
+        assert_eq!(p.reports_per_million(), 0.0);
+    }
+
+    #[test]
+    fn rates_compute() {
+        let p = Profile {
+            symbols: 1_000_000,
+            total_enabled: 5_000_000,
+            total_matched: 2_000_000,
+            total_reports: 3,
+        };
+        assert_eq!(p.active_set(), 5.0);
+        assert_eq!(p.match_rate(), 2.0);
+        assert_eq!(p.reports_per_million(), 3.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Profile {
+            symbols: 10,
+            total_enabled: 20,
+            total_matched: 5,
+            total_reports: 1,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.symbols, 20);
+        assert_eq!(a.total_enabled, 40);
+    }
+}

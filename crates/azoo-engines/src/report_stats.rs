@@ -1,0 +1,140 @@
+//! Report-stream analytics: per-rule report counts, rates, and outlier
+//! identification — the measurements behind the paper's Section V
+//! (reporting-rate) methodology and its output-bottleneck discussion.
+
+use azoo_core::ReportCode;
+
+use crate::sink::Report;
+
+/// Aggregate statistics over a report stream.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReportStats {
+    total: u64,
+    symbols: u64,
+    per_code: std::collections::HashMap<u32, u64>,
+    reporting_symbols: u64,
+}
+
+impl ReportStats {
+    /// Computes statistics for `reports` gathered over `symbols` input
+    /// symbols.
+    pub fn compute(reports: &[Report], symbols: u64) -> ReportStats {
+        let mut per_code = std::collections::HashMap::new();
+        let mut offsets: Vec<u64> = Vec::with_capacity(reports.len());
+        for r in reports {
+            *per_code.entry(r.code.0).or_insert(0u64) += 1;
+            offsets.push(r.offset);
+        }
+        offsets.sort_unstable();
+        offsets.dedup();
+        ReportStats {
+            total: reports.len() as u64,
+            symbols,
+            per_code,
+            reporting_symbols: offsets.len() as u64,
+        }
+    }
+
+    /// Total reports.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Reports per input symbol.
+    pub fn rate(&self) -> f64 {
+        if self.symbols == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.symbols as f64
+        }
+    }
+
+    /// Fraction of input symbols on which at least one report fired —
+    /// the paper's "matched patterns on 99.5% of all input bytes" metric.
+    pub fn reporting_symbol_fraction(&self) -> f64 {
+        if self.symbols == 0 {
+            0.0
+        } else {
+            self.reporting_symbols as f64 / self.symbols as f64
+        }
+    }
+
+    /// Number of distinct rules that reported.
+    pub fn distinct_codes(&self) -> usize {
+        self.per_code.len()
+    }
+
+    /// Reports attributed to `code`.
+    pub fn count_for(&self, code: ReportCode) -> u64 {
+        self.per_code.get(&code.0).copied().unwrap_or(0)
+    }
+
+    /// The loudest rule and its share of all reports, if any fired.
+    pub fn outlier(&self) -> Option<(ReportCode, f64)> {
+        self.per_code
+            .iter()
+            .max_by_key(|(_, &c)| c)
+            .map(|(&code, &count)| (ReportCode(code), count as f64 / self.total.max(1) as f64))
+    }
+
+    /// The `k` loudest rules, descending by count.
+    pub fn top_k(&self, k: usize) -> Vec<(ReportCode, u64)> {
+        let mut v: Vec<(ReportCode, u64)> = self
+            .per_code
+            .iter()
+            .map(|(&code, &count)| (ReportCode(code), count))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(k);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(offset: u64, code: u32) -> Report {
+        Report {
+            offset,
+            code: ReportCode(code),
+        }
+    }
+
+    #[test]
+    fn computes_counts_and_rates() {
+        let reports = vec![report(0, 1), report(0, 2), report(5, 1), report(9, 1)];
+        let stats = ReportStats::compute(&reports, 10);
+        assert_eq!(stats.total(), 4);
+        assert_eq!(stats.rate(), 0.4);
+        assert_eq!(stats.distinct_codes(), 2);
+        assert_eq!(stats.count_for(ReportCode(1)), 3);
+        assert_eq!(stats.count_for(ReportCode(7)), 0);
+        // Offsets 0, 5, 9 reported: 30% of symbols.
+        assert!((stats.reporting_symbol_fraction() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outlier_and_top_k() {
+        let mut reports = vec![report(1, 9)];
+        for i in 0..7 {
+            reports.push(report(i, 3));
+        }
+        let stats = ReportStats::compute(&reports, 100);
+        let (code, share) = stats.outlier().expect("has reports");
+        assert_eq!(code, ReportCode(3));
+        assert!((share - 7.0 / 8.0).abs() < 1e-12);
+        let top = stats.top_k(5);
+        assert_eq!(top[0], (ReportCode(3), 7));
+        assert_eq!(top[1], (ReportCode(9), 1));
+        assert_eq!(top.len(), 2);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let stats = ReportStats::compute(&[], 0);
+        assert_eq!(stats.total(), 0);
+        assert_eq!(stats.rate(), 0.0);
+        assert!(stats.outlier().is_none());
+    }
+}

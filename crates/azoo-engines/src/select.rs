@@ -1,0 +1,106 @@
+//! Automatic engine selection.
+//!
+//! Different benchmark shapes favour different engines (the core lesson
+//! of the paper's cross-engine experiments): chain automata run fastest
+//! bit-parallel, small-alphabet regex automata determinize well, and
+//! counters or explosive subset construction require the sparse NFA
+//! engine. [`select_engine`] encodes that portfolio policy.
+
+use azoo_core::Automaton;
+
+use crate::{BitParallelEngine, Engine, EngineError, LazyDfaEngine, NfaEngine};
+
+/// Which engine [`select_engine`] picked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineChoice {
+    /// The dense bit-parallel Shift-And engine.
+    BitParallel,
+    /// The lazy-DFA engine.
+    LazyDfa,
+    /// The sparse active-set NFA engine.
+    Nfa,
+}
+
+/// Picks the fastest applicable engine for `a`:
+///
+/// 1. chain-shaped automata → [`BitParallelEngine`] (dense bitwise
+///    advance; best for literal sets, RF chains, CRISPR filters) —
+///    chosen only while the state vector stays cache-resident;
+/// 2. counter-free automata of bounded size → [`LazyDfaEngine`];
+/// 3. everything else (counters, huge NFAs) → [`NfaEngine`].
+///
+/// # Errors
+///
+/// Propagates [`EngineError::Invalid`] if the automaton fails
+/// validation.
+pub fn select_engine(a: &Automaton) -> Result<(EngineChoice, Box<dyn Engine>), EngineError> {
+    a.validate()?;
+    // Bit-parallel: chain-shaped and small enough that the per-symbol
+    // mask walk stays cheap (~256 KiB of active-set words).
+    if a.state_count() <= 2_000_000 {
+        if let Ok(engine) = BitParallelEngine::new(a) {
+            return Ok((EngineChoice::BitParallel, Box::new(engine)));
+        }
+    }
+    if a.counter_count() == 0 && a.state_count() <= 200_000 {
+        if let Ok(engine) = LazyDfaEngine::new(a) {
+            return Ok((EngineChoice::LazyDfa, Box::new(engine)));
+        }
+    }
+    Ok((EngineChoice::Nfa, Box::new(NfaEngine::new(a)?)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::CollectSink;
+    use azoo_core::{CounterMode, StartKind, SymbolClass};
+
+    #[test]
+    fn chains_get_bit_parallel() {
+        let mut a = Automaton::new();
+        let (_, last) = a.add_chain(&[SymbolClass::from_byte(b'x'); 4], StartKind::AllInput);
+        a.set_report(last, 0);
+        let (choice, mut engine) = select_engine(&a).unwrap();
+        assert_eq!(choice, EngineChoice::BitParallel);
+        let mut sink = CollectSink::new();
+        engine.scan(b"xxxx", &mut sink);
+        assert_eq!(sink.reports().len(), 1);
+    }
+
+    #[test]
+    fn fanout_gets_lazy_dfa() {
+        let mut a = Automaton::new();
+        let s = a.add_ste(SymbolClass::from_byte(b'a'), StartKind::AllInput);
+        let t1 = a.add_ste(SymbolClass::from_byte(b'b'), StartKind::None);
+        let t2 = a.add_ste(SymbolClass::from_byte(b'c'), StartKind::None);
+        a.add_edge(s, t1);
+        a.add_edge(s, t2);
+        a.set_report(t1, 0);
+        a.set_report(t2, 1);
+        let (choice, _) = select_engine(&a).unwrap();
+        assert_eq!(choice, EngineChoice::LazyDfa);
+    }
+
+    #[test]
+    fn counters_force_nfa() {
+        let mut a = Automaton::new();
+        let s = a.add_ste(SymbolClass::from_byte(b'a'), StartKind::AllInput);
+        let t = a.add_ste(SymbolClass::from_byte(b'b'), StartKind::None);
+        a.add_edge(s, t);
+        a.add_edge(s, s); // self loop plus fan-out breaks the chain shape
+        a.add_edge(t, s);
+        let c = a.add_counter(2, CounterMode::Latch);
+        a.add_edge(t, c);
+        a.set_report(c, 0);
+        let (choice, _) = select_engine(&a).unwrap();
+        assert_eq!(choice, EngineChoice::Nfa);
+    }
+
+    #[test]
+    fn invalid_automata_error() {
+        let mut a = Automaton::new();
+        a.add_ste(SymbolClass::EMPTY, StartKind::AllInput);
+        assert!(select_engine(&a).is_err());
+    }
+}

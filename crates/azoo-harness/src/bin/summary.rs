@@ -1,0 +1,44 @@
+//! One-shot suite overview: builds every benchmark, prints its domain,
+//! sizes, and generation notes — the "what is in the suite" companion to
+//! the numeric tables.
+//!
+//! Usage: `summary [--scale tiny|small|full] [--notes]`
+
+use azoo_harness::{fmt_count, scale_from_args, Table};
+use azoo_zoo::BenchmarkId;
+
+fn main() {
+    let scale = scale_from_args();
+    let show_notes = std::env::args().any(|a| a == "--notes");
+    println!("== AutomataZoo suite overview (scale: {scale:?}) ==\n");
+    let table = Table::new(&[
+        ("Benchmark", 20),
+        ("Domain", 32),
+        ("States", 10),
+        ("Edges", 10),
+        ("Input B", 10),
+    ]);
+    let mut total_states = 0usize;
+    for id in BenchmarkId::ALL {
+        let bench = id.build(scale);
+        total_states += bench.automaton.state_count();
+        table.row(&[
+            id.name().into(),
+            id.domain().into(),
+            fmt_count(bench.automaton.state_count()),
+            fmt_count(bench.automaton.edge_count()),
+            fmt_count(bench.input.len()),
+        ]);
+        if show_notes {
+            println!("    {}\n", id.generation_notes());
+        }
+    }
+    println!(
+        "\n{} benchmarks, {} total states",
+        BenchmarkId::ALL.len(),
+        fmt_count(total_states)
+    );
+    if !show_notes {
+        println!("(re-run with --notes for per-benchmark generation instructions)");
+    }
+}

@@ -1,0 +1,82 @@
+//! Regenerates **Table II**: Random Forest benchmark variant trade-offs —
+//! features, max leaves, automaton states, model accuracy, and relative
+//! runtime.
+//!
+//! Runtime is reported two ways (see DESIGN.md §3.1 on the chain-encoding
+//! substitution): the classification stream length (symbols consumed per
+//! classification by the automaton) and the end-to-end symbol count
+//! including feature ingestion (pool features + stream), both normalized
+//! to variant B as the paper does.
+//!
+//! Usage: `table2 [--scale tiny|small|full]`
+
+use azoo_harness::{fmt_count, scale_from_args, Table};
+use azoo_zoo::random_forest::{build, RandomForestParams, Variant};
+use azoo_zoo::Scale;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("== Table II: Random Forest variant trade-offs (scale: {scale:?}) ==\n");
+    let mut rows = Vec::new();
+    for variant in [Variant::A, Variant::B, Variant::C] {
+        let mut params = RandomForestParams::published(variant);
+        match scale {
+            Scale::Tiny => {
+                params.trees = 5;
+                params.train_samples = 500;
+                params.test_samples = 100;
+            }
+            Scale::Small => {
+                params.trees = 10;
+                params.train_samples = 2000;
+                params.test_samples = 200;
+            }
+            Scale::Full => {}
+        }
+        let bench = build(&params);
+        let fp = variant.params(params.trees, 0);
+        rows.push((
+            variant,
+            fp.feature_pool,
+            fp.max_leaves,
+            bench.fa.automaton.state_count(),
+            bench.accuracy,
+            bench.fa.symbols_per_classification,
+            fp.feature_pool + bench.fa.symbols_per_classification,
+        ));
+    }
+    let b_stream = rows[1].5 as f64;
+    let b_e2e = rows[1].6 as f64;
+    let table = Table::new(&[
+        ("Variant", 8),
+        ("Features", 9),
+        ("MaxLeaves", 10),
+        ("States", 10),
+        ("Accuracy", 9),
+        ("Runtime", 8),
+        ("Rt(e2e)", 8),
+        ("Paper-Rt", 9),
+    ]);
+    for (variant, features, leaves, states, acc, stream, e2e) in &rows {
+        let paper_rt = match variant {
+            Variant::A => "1.35x",
+            _ => "1.0x",
+        };
+        table.row(&[
+            format!("{variant:?}"),
+            features.to_string(),
+            leaves.to_string(),
+            fmt_count(*states),
+            format!("{:.2}%", acc * 100.0),
+            format!("{:.2}x", *stream as f64 / b_stream),
+            format!("{:.2}x", *e2e as f64 / b_e2e),
+            paper_rt.to_owned(),
+        ]);
+    }
+    println!(
+        "\npaper trends to check: accuracy A > B (more features), C > B \
+         (more leaves); states C ~= 4x B; runtime A > B in proportion to \
+         the feature count (our per-tree-segment encoding shows this in \
+         the e2e column — see EXPERIMENTS.md)."
+    );
+}

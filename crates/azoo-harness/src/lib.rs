@@ -1,0 +1,121 @@
+//! Shared infrastructure for the table/figure regeneration binaries.
+//!
+//! Each binary regenerates one artifact of the AutomataZoo paper:
+//!
+//! | binary     | artifact |
+//! |------------|----------|
+//! | `table1`   | Table I — the 25-row benchmark-suite statistics table |
+//! | `table2`   | Table II — Random Forest variant trade-offs |
+//! | `table3`   | Table III — AP-padding overhead on CPU engines |
+//! | `table4`   | Table IV — Random Forest throughput across engines |
+//! | `fig1`     | Figure 1 + Table V — profile-driven mesh pruning |
+//! | `section5` | Section V — Snort rule-filtering report-rate drops |
+//! | `ablation` | DESIGN.md §7 — pass/engine/striding ablations |
+//!
+//! All binaries accept `--scale tiny|small|full` (default `small`).
+
+use std::time::Instant;
+
+use azoo_engines::{Engine, NullSink, ReportSink};
+use azoo_zoo::Scale;
+
+/// Parses `--scale` from argv; defaults to [`Scale::Small`].
+pub fn scale_from_args() -> Scale {
+    let args: Vec<String> = std::env::args().collect();
+    match arg_value(&args, "--scale").as_deref() {
+        Some("tiny") => Scale::Tiny,
+        Some("full") => Scale::Full,
+        Some("small") | None => Scale::Small,
+        Some(other) => {
+            eprintln!("unknown scale '{other}', using small");
+            Scale::Small
+        }
+    }
+}
+
+/// Extracts the value following a `--flag` in argv.
+pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Times one engine scan; returns `(seconds, MB/s)`.
+pub fn time_scan(engine: &mut dyn Engine, input: &[u8]) -> (f64, f64) {
+    let mut sink = NullSink::new();
+    let t = Instant::now();
+    engine.scan(input, &mut sink);
+    let secs = t.elapsed().as_secs_f64();
+    (secs, input.len() as f64 / secs / 1e6)
+}
+
+/// Times one engine scan with a custom sink; returns seconds.
+pub fn time_scan_with(engine: &mut dyn Engine, input: &[u8], sink: &mut dyn ReportSink) -> f64 {
+    let t = Instant::now();
+    engine.scan(input, sink);
+    t.elapsed().as_secs_f64()
+}
+
+/// A minimal fixed-width table printer.
+pub struct Table {
+    widths: Vec<usize>,
+}
+
+impl Table {
+    /// Starts a table and prints the header row.
+    pub fn new(headers: &[(&str, usize)]) -> Table {
+        let widths: Vec<usize> = headers.iter().map(|(_, w)| *w).collect();
+        let mut line = String::new();
+        for ((h, _), w) in headers.iter().zip(&widths) {
+            line.push_str(&format!("{h:>w$}  "));
+        }
+        println!("{line}");
+        println!("{}", "-".repeat(line.len()));
+        Table { widths }
+    }
+
+    /// Prints one row.
+    pub fn row(&self, cells: &[String]) {
+        let mut line = String::new();
+        for (c, w) in cells.iter().zip(&self.widths) {
+            line.push_str(&format!("{c:>w$}  "));
+        }
+        println!("{line}");
+    }
+}
+
+/// Human-formats a count with thousands separators.
+pub fn fmt_count(n: usize) -> String {
+    let s = n.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_count_groups_thousands() {
+        assert_eq!(fmt_count(5), "5");
+        assert_eq!(fmt_count(1234), "1,234");
+        assert_eq!(fmt_count(2374717), "2,374,717");
+    }
+
+    #[test]
+    fn arg_value_finds_flag() {
+        let args: Vec<String> = ["bin", "--scale", "full"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(arg_value(&args, "--scale").as_deref(), Some("full"));
+        assert_eq!(arg_value(&args, "--missing"), None);
+    }
+}

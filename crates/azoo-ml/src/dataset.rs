@@ -1,0 +1,209 @@
+//! Datasets: quantized feature matrices with class labels, and the
+//! synthetic MNIST stand-in.
+
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A classification dataset with byte-quantized features.
+///
+/// Features are stored row-major: sample `i` occupies
+/// `features[i * n_features .. (i + 1) * n_features]`. Byte quantization
+/// (0..=255) matches both MNIST pixel intensities and the 8-bit symbol
+/// alphabet of automata processing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dataset {
+    /// Number of features per sample.
+    pub n_features: usize,
+    /// Number of distinct class labels.
+    pub n_classes: usize,
+    features: Vec<u8>,
+    labels: Vec<u8>,
+}
+
+impl Dataset {
+    /// Creates a dataset from row-major features and labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature length is not `labels.len() * n_features`.
+    pub fn new(n_features: usize, n_classes: usize, features: Vec<u8>, labels: Vec<u8>) -> Self {
+        assert_eq!(features.len(), labels.len() * n_features);
+        Dataset {
+            n_features,
+            n_classes,
+            features,
+            labels,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Feature vector of sample `i`.
+    pub fn sample(&self, i: usize) -> &[u8] {
+        &self.features[i * self.n_features..(i + 1) * self.n_features]
+    }
+
+    /// Label of sample `i`.
+    pub fn label(&self, i: usize) -> u8 {
+        self.labels[i]
+    }
+
+    /// Splits into `(first, second)` at `fraction` of the samples.
+    pub fn split(&self, fraction: f64) -> (Dataset, Dataset) {
+        let cut = ((self.len() as f64) * fraction) as usize;
+        let first = Dataset {
+            n_features: self.n_features,
+            n_classes: self.n_classes,
+            features: self.features[..cut * self.n_features].to_vec(),
+            labels: self.labels[..cut].to_vec(),
+        };
+        let second = Dataset {
+            n_features: self.n_features,
+            n_classes: self.n_classes,
+            features: self.features[cut * self.n_features..].to_vec(),
+            labels: self.labels[cut..].to_vec(),
+        };
+        (first, second)
+    }
+
+    /// Per-feature variance, used to rank features when restricting a
+    /// model to a feature pool (Table II's *features* hyperparameter).
+    pub fn feature_variances(&self) -> Vec<f64> {
+        let n = self.len().max(1) as f64;
+        let mut sums = vec![0f64; self.n_features];
+        let mut sq = vec![0f64; self.n_features];
+        for i in 0..self.len() {
+            for (f, &v) in self.sample(i).iter().enumerate() {
+                sums[f] += v as f64;
+                sq[f] += (v as f64) * (v as f64);
+            }
+        }
+        sums.iter()
+            .zip(&sq)
+            .map(|(&s, &q)| q / n - (s / n) * (s / n))
+            .collect()
+    }
+}
+
+/// Generates a synthetic MNIST-like dataset: 784 features (28x28), 10
+/// classes, each class defined by a smooth random prototype image with
+/// per-sample noise, jitter, and intensity scaling.
+///
+/// This stands in for the real MNIST database (unavailable offline). The
+/// structure preserves what the Random Forest benchmarks exercise:
+/// informative low-variance and high-variance pixels, class-dependent
+/// pixel correlations, and byte-quantized intensities.
+pub fn synthetic_mnist(seed: u64, n_samples: usize) -> Dataset {
+    const SIDE: usize = 28;
+    const N_FEATURES: usize = SIDE * SIDE;
+    const N_CLASSES: usize = 10;
+    let mut r = ChaCha8Rng::seed_from_u64(seed);
+    // Class prototypes: sums of random Gaussian-ish blobs ("strokes").
+    let mut prototypes = vec![[0f32; N_FEATURES]; N_CLASSES];
+    for proto in prototypes.iter_mut() {
+        for _ in 0..r.random_range(3..7) {
+            let cx = r.random_range(4..24) as f32;
+            let cy = r.random_range(4..24) as f32;
+            let sx = r.random_range(2..6) as f32;
+            let sy = r.random_range(2..6) as f32;
+            let amp = 120.0 + 135.0 * r.random::<f32>();
+            for y in 0..SIDE {
+                for x in 0..SIDE {
+                    let dx = (x as f32 - cx) / sx;
+                    let dy = (y as f32 - cy) / sy;
+                    proto[y * SIDE + x] += amp * (-(dx * dx + dy * dy)).exp();
+                }
+            }
+        }
+    }
+    let mut features = Vec::with_capacity(n_samples * N_FEATURES);
+    let mut labels = Vec::with_capacity(n_samples);
+    for i in 0..n_samples {
+        let class = (i % N_CLASSES) as u8;
+        let proto = &prototypes[class as usize];
+        // Jitter: shift the prototype by up to ±2 pixels.
+        let (jx, jy) = (r.random_range(-2..3i32), r.random_range(-2..3i32));
+        let scale = 0.8 + 0.4 * r.random::<f32>();
+        for y in 0..SIDE as i32 {
+            for x in 0..SIDE as i32 {
+                let (sx, sy) = (x - jx, y - jy);
+                let base = if (0..SIDE as i32).contains(&sx) && (0..SIDE as i32).contains(&sy) {
+                    proto[(sy as usize) * SIDE + sx as usize]
+                } else {
+                    0.0
+                };
+                let noise = (r.random::<f32>() - 0.5) * 60.0;
+                features.push((base * scale + noise).clamp(0.0, 255.0) as u8);
+            }
+        }
+        labels.push(class);
+    }
+    Dataset::new(N_FEATURES, N_CLASSES, features, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnist_shape_and_determinism() {
+        let d = synthetic_mnist(1, 100);
+        assert_eq!(d.len(), 100);
+        assert_eq!(d.n_features, 784);
+        assert_eq!(d.n_classes, 10);
+        assert_eq!(d.sample(0).len(), 784);
+        let e = synthetic_mnist(1, 100);
+        assert_eq!(d, e);
+    }
+
+    #[test]
+    fn labels_cycle_classes() {
+        let d = synthetic_mnist(2, 30);
+        for i in 0..30 {
+            assert_eq!(d.label(i), (i % 10) as u8);
+        }
+    }
+
+    #[test]
+    fn split_partitions() {
+        let d = synthetic_mnist(3, 50);
+        let (a, b) = d.split(0.8);
+        assert_eq!(a.len(), 40);
+        assert_eq!(b.len(), 10);
+        assert_eq!(a.sample(0), d.sample(0));
+        assert_eq!(b.sample(0), d.sample(40));
+    }
+
+    #[test]
+    fn classes_are_separable() {
+        // Same-class samples should correlate more than cross-class ones.
+        let d = synthetic_mnist(4, 40);
+        let dist = |a: &[u8], b: &[u8]| -> f64 {
+            a.iter()
+                .zip(b)
+                .map(|(&x, &y)| {
+                    let d = x as f64 - y as f64;
+                    d * d
+                })
+                .sum()
+        };
+        // samples 0 and 10 are class 0; sample 1 is class 1.
+        let same = dist(d.sample(0), d.sample(10));
+        let diff = dist(d.sample(0), d.sample(1));
+        assert!(same < diff, "same-class distance {same} >= cross {diff}");
+    }
+
+    #[test]
+    fn variances_nonnegative() {
+        let d = synthetic_mnist(5, 20);
+        assert!(d.feature_variances().iter().all(|&v| v >= -1e-9));
+    }
+}

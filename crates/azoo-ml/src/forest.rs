@@ -1,0 +1,268 @@
+//! Random forests: training, native inference, and multi-threaded batch
+//! prediction.
+
+use rand::RngExt;
+use rand_chacha::ChaCha8Rng;
+
+use crate::dataset::Dataset;
+use crate::tree::Tree;
+
+/// Hyperparameters for [`Forest::train`], mirroring the knobs the paper's
+/// Table II varies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ForestParams {
+    /// Number of trees (the paper trains 20).
+    pub trees: usize,
+    /// Leaf budget per tree (Table II: 400 or 800).
+    pub max_leaves: usize,
+    /// Size of the feature pool the model may use, selected by variance
+    /// ranking (Table II: 270 or 200 "features").
+    pub feature_pool: usize,
+    /// Random subspace size per tree; with the +1 separator state this is
+    /// the automata chain length (30 → 31-state chains, as in Table I).
+    pub subspace: usize,
+    /// Training seed.
+    pub seed: u64,
+}
+
+/// A trained random forest.
+#[derive(Debug, Clone)]
+pub struct Forest {
+    trees: Vec<Tree>,
+    /// Number of classes in the training data.
+    pub n_classes: usize,
+    /// Number of features per sample.
+    pub n_features: usize,
+    /// The hyperparameters the forest was trained with.
+    pub params: ForestParams,
+}
+
+impl Forest {
+    /// Trains a forest: ranks features by variance, keeps the top
+    /// `feature_pool`, then grows `trees` CART trees on bootstrap samples,
+    /// each restricted to a random `subspace` of the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subspace > feature_pool` or `feature_pool` exceeds the
+    /// dataset's feature count.
+    pub fn train(data: &Dataset, params: &ForestParams) -> Forest {
+        assert!(params.feature_pool <= data.n_features);
+        assert!(params.subspace <= params.feature_pool);
+        assert!(params.subspace > 0 && params.trees > 0);
+        use rand::SeedableRng;
+        let mut rng = ChaCha8Rng::seed_from_u64(params.seed);
+        // Variance-ranked feature pool.
+        let variances = data.feature_variances();
+        let mut ranked: Vec<u32> = (0..data.n_features as u32).collect();
+        ranked.sort_by(|&a, &b| variances[b as usize].total_cmp(&variances[a as usize]));
+        let pool = &ranked[..params.feature_pool];
+
+        let mtry = (params.subspace as f64).sqrt().ceil() as usize * 2;
+        let mut trees = Vec::with_capacity(params.trees);
+        for t in 0..params.trees {
+            // Bootstrap rows.
+            let rows: Vec<u32> = (0..data.len())
+                .map(|_| rng.random_range(0..data.len()) as u32)
+                .collect();
+            // Random subspace from the pool.
+            let mut pool_shuffled = pool.to_vec();
+            for i in (1..pool_shuffled.len()).rev() {
+                let j = rng.random_range(0..=i);
+                pool_shuffled.swap(i, j);
+            }
+            let subspace = pool_shuffled[..params.subspace].to_vec();
+            trees.push(Tree::train(
+                data,
+                &rows,
+                subspace,
+                params.max_leaves,
+                mtry,
+                params.seed ^ (t as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            ));
+        }
+        Forest {
+            trees,
+            n_classes: data.n_classes,
+            n_features: data.n_features,
+            params: *params,
+        }
+    }
+
+    /// The trained trees.
+    pub fn trees(&self) -> &[Tree] {
+        &self.trees
+    }
+
+    /// Majority-vote prediction for one sample (ties break toward the
+    /// smaller class label).
+    pub fn predict(&self, sample: &[u8]) -> u8 {
+        let mut votes = vec![0u32; self.n_classes];
+        for tree in &self.trees {
+            votes[tree.predict(sample) as usize] += 1;
+        }
+        majority(&votes)
+    }
+
+    /// Serial batch prediction (the "Scikit Learn" row of Table IV).
+    pub fn predict_batch(&self, data: &Dataset) -> Vec<u8> {
+        (0..data.len()).map(|i| self.predict(data.sample(i))).collect()
+    }
+
+    /// Multi-threaded batch prediction over `threads` worker threads (the
+    /// "Scikit Learn MT" row of Table IV).
+    pub fn predict_batch_parallel(&self, data: &Dataset, threads: usize) -> Vec<u8> {
+        let threads = threads.max(1);
+        let n = data.len();
+        let chunk = n.div_ceil(threads);
+        let mut out = vec![0u8; n];
+        crossbeam::thread::scope(|scope| {
+            for (t, slot) in out.chunks_mut(chunk).enumerate() {
+                let start = t * chunk;
+                scope.spawn(move |_| {
+                    for (k, o) in slot.iter_mut().enumerate() {
+                        *o = self.predict(data.sample(start + k));
+                    }
+                });
+            }
+        })
+        .expect("prediction workers never panic");
+        out
+    }
+
+    /// Classification accuracy on `data`.
+    pub fn accuracy(&self, data: &Dataset) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let preds = self.predict_batch(data);
+        let correct = preds
+            .iter()
+            .enumerate()
+            .filter(|&(i, &p)| p == data.label(i))
+            .count();
+        correct as f64 / data.len() as f64
+    }
+
+    /// Total number of leaves across all trees (one automata chain each).
+    pub fn total_leaves(&self) -> usize {
+        self.trees.iter().map(Tree::leaf_count).sum()
+    }
+
+    /// Split-frequency feature importance, normalized to sum to 1
+    /// (all-zero if the forest somehow made no splits).
+    pub fn feature_importance(&self) -> Vec<f64> {
+        let mut counts = vec![0u32; self.n_features];
+        for tree in &self.trees {
+            for (f, c) in tree.split_counts(self.n_features).iter().enumerate() {
+                counts[f] += c;
+            }
+        }
+        let total: u32 = counts.iter().sum();
+        if total == 0 {
+            return vec![0.0; self.n_features];
+        }
+        counts.iter().map(|&c| c as f64 / total as f64).collect()
+    }
+}
+
+/// Index of the maximum vote, ties toward the smaller index.
+pub(crate) fn majority(votes: &[u32]) -> u8 {
+    votes
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+        .map(|(i, _)| i as u8)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::synthetic_mnist;
+
+    fn quick_forest() -> (Dataset, Dataset, Forest) {
+        let data = synthetic_mnist(11, 400);
+        let (train, test) = data.split(0.75);
+        let forest = Forest::train(
+            &train,
+            &ForestParams {
+                trees: 8,
+                max_leaves: 60,
+                feature_pool: 200,
+                subspace: 30,
+                seed: 5,
+            },
+        );
+        (train, test, forest)
+    }
+
+    #[test]
+    fn forest_beats_chance_convincingly() {
+        let (_, test, forest) = quick_forest();
+        let acc = forest.accuracy(&test);
+        assert!(acc > 0.6, "test accuracy only {acc}");
+    }
+
+    #[test]
+    fn parallel_prediction_matches_serial() {
+        let (_, test, forest) = quick_forest();
+        let serial = forest.predict_batch(&test);
+        for threads in [1, 2, 3, 7] {
+            assert_eq!(forest.predict_batch_parallel(&test, threads), serial);
+        }
+    }
+
+    #[test]
+    fn more_leaves_do_not_hurt_training_fit() {
+        let data = synthetic_mnist(12, 300);
+        let small = Forest::train(
+            &data,
+            &ForestParams {
+                trees: 4,
+                max_leaves: 10,
+                feature_pool: 150,
+                subspace: 25,
+                seed: 1,
+            },
+        );
+        let big = Forest::train(
+            &data,
+            &ForestParams {
+                trees: 4,
+                max_leaves: 120,
+                feature_pool: 150,
+                subspace: 25,
+                seed: 1,
+            },
+        );
+        assert!(big.accuracy(&data) >= small.accuracy(&data));
+        assert!(big.total_leaves() > small.total_leaves());
+    }
+
+    #[test]
+    fn majority_tie_breaks_low() {
+        assert_eq!(majority(&[3, 3, 1]), 0);
+        assert_eq!(majority(&[1, 3, 3]), 1);
+        assert_eq!(majority(&[]), 0);
+    }
+
+    #[test]
+    fn feature_importance_is_a_distribution_over_the_pool() {
+        let (_, _, forest) = quick_forest();
+        let imp = forest.feature_importance();
+        let sum: f64 = imp.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        let used = imp.iter().filter(|&&v| v > 0.0).count();
+        assert!(used > 20, "only {used} features ever split on");
+        assert!(used <= 200, "importance leaked outside the pool");
+    }
+
+    #[test]
+    fn subspaces_restricted_to_pool() {
+        let (_, _, forest) = quick_forest();
+        for tree in forest.trees() {
+            assert_eq!(tree.subspace.len(), 30);
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Decision-tree / Random Forest substrate for the AutomataZoo Random
+//! Forest benchmarks (Tracy et al., "Towards machine learning on the
+//! automata processor").
+//!
+//! The paper's pipeline is: train a Random Forest on MNIST with
+//! scikit-learn, convert each leaf path into an automata chain, and
+//! compare automata-based inference (CPU engines, FPGA) against native
+//! decision-tree inference. This crate rebuilds that pipeline from
+//! scratch:
+//!
+//! * [`Dataset`] / [`synthetic_mnist`] — a seeded, 784-feature, 10-class
+//!   digit-like dataset standing in for MNIST (which is not shipped).
+//! * [`Tree`] — CART training with Gini impurity and best-first growth to
+//!   a leaf budget (the paper's *max leaves* hyperparameter).
+//! * [`Forest`] — random-subspace forests with bootstrap sampling, plus
+//!   single- and multi-threaded native batch inference (the
+//!   scikit-learn / scikit-learn-MT comparison rows of Table IV).
+//! * [`ForestAutomaton`] — the forest-to-automata conversion and the
+//!   symbol-stream encoder; automata classification is exactly equivalent
+//!   to native forest prediction, which the tests verify.
+//!
+//! # Example
+//!
+//! ```
+//! use azoo_ml::{synthetic_mnist, Forest, ForestParams};
+//!
+//! let data = synthetic_mnist(1, 300);
+//! let (train, test) = data.split(0.8);
+//! let forest = Forest::train(&train, &ForestParams {
+//!     trees: 5,
+//!     max_leaves: 40,
+//!     feature_pool: 100,
+//!     subspace: 30,
+//!     seed: 7,
+//! });
+//! let acc = forest.accuracy(&test);
+//! assert!(acc > 0.5, "forest should beat chance by far, got {acc}");
+//! ```
+
+mod automata;
+mod dataset;
+mod forest;
+mod spatial;
+mod tree;
+
+pub use automata::ForestAutomaton;
+pub use dataset::{synthetic_mnist, Dataset};
+pub use forest::{Forest, ForestParams};
+pub use spatial::SpatialModel;
+pub use tree::Tree;

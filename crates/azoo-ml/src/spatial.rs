@@ -1,0 +1,93 @@
+//! Analytic throughput/capacity model for spatial automata-processing
+//! architectures (FPGA overlays like REAPR, and Micron's AP).
+//!
+//! The AutomataZoo paper itself evaluates the FPGA this way: "multiplying
+//! the resulting maximum virtual clock frequency by the number of input
+//! symbols required to drive the automaton". Spatial architectures consume
+//! one symbol per clock regardless of active set, but are bounded by
+//! state capacity (requiring sequential passes when a benchmark exceeds
+//! one chip).
+
+/// An analytic spatial-architecture model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpatialModel {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Symbols consumed per second (one per clock).
+    pub clock_hz: f64,
+    /// Automaton states placeable on one chip.
+    pub states_per_chip: usize,
+}
+
+impl SpatialModel {
+    /// A REAPR-style overlay on a Xilinx Kintex Ultrascale KU060
+    /// (the FPGA used in the paper's Table IV).
+    pub const REAPR_KU060: SpatialModel = SpatialModel {
+        name: "REAPR (Kintex KU060)",
+        clock_hz: 250.0e6,
+        states_per_chip: 300_000,
+    };
+
+    /// Micron's D480 Automata Processor: 133 MB/s symbol rate, 49,152
+    /// STEs per chip.
+    pub const AP_D480: SpatialModel = SpatialModel {
+        name: "Micron AP D480",
+        clock_hz: 133.0e6,
+        states_per_chip: 49_152,
+    };
+
+    /// Chips (or sequential passes on one chip) needed for an automaton
+    /// of `states`.
+    pub fn chips_required(&self, states: usize) -> usize {
+        states.div_ceil(self.states_per_chip).max(1)
+    }
+
+    /// Classifications (or other fixed-size work items) per second, given
+    /// the number of input symbols each item consumes, assuming the
+    /// automaton fits on the available chips.
+    pub fn items_per_second(&self, symbols_per_item: usize) -> f64 {
+        self.clock_hz / symbols_per_item.max(1) as f64
+    }
+
+    /// Sustained input bandwidth in megabytes per second.
+    pub fn bandwidth_mbps(&self) -> f64 {
+        self.clock_hz / 1.0e6
+    }
+
+    /// Items per second when the automaton needs `passes` sequential
+    /// passes because it exceeds one chip.
+    pub fn items_per_second_partitioned(&self, symbols_per_item: usize, states: usize) -> f64 {
+        self.items_per_second(symbols_per_item) / self.chips_required(states) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chips_round_up() {
+        let m = SpatialModel::AP_D480;
+        assert_eq!(m.chips_required(1), 1);
+        assert_eq!(m.chips_required(49_152), 1);
+        assert_eq!(m.chips_required(49_153), 2);
+        assert_eq!(m.chips_required(0), 1);
+    }
+
+    #[test]
+    fn throughput_scales_inversely_with_item_size() {
+        let m = SpatialModel::REAPR_KU060;
+        let fast = m.items_per_second(100);
+        let slow = m.items_per_second(200);
+        assert!((fast / slow - 2.0).abs() < 1e-9);
+        assert_eq!(m.bandwidth_mbps(), 250.0);
+    }
+
+    #[test]
+    fn partitioning_divides_throughput() {
+        let m = SpatialModel::AP_D480;
+        let one = m.items_per_second_partitioned(620, 40_000);
+        let two = m.items_per_second_partitioned(620, 90_000);
+        assert!((one / two - 2.0).abs() < 1e-9);
+    }
+}

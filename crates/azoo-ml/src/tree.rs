@@ -1,0 +1,467 @@
+//! CART decision trees with best-first growth to a leaf budget.
+
+use rand::RngExt;
+use rand_chacha::ChaCha8Rng;
+
+use crate::dataset::Dataset;
+
+/// A trained decision tree over byte features.
+///
+/// Internal nodes route on `value <= threshold`; leaves predict a class.
+#[derive(Debug, Clone)]
+pub struct Tree {
+    nodes: Vec<Node>,
+    /// The features this tree was allowed to split on (its random
+    /// subspace), sorted ascending.
+    pub subspace: Vec<u32>,
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Split {
+        feature: u32,
+        threshold: u8,
+        left: u32,
+        right: u32,
+    },
+    Leaf {
+        class: u8,
+    },
+}
+
+/// A root-to-leaf path constraint set: for each constrained feature, the
+/// inclusive byte interval a sample must fall in to reach the leaf.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeafPath {
+    /// `(feature, lo, hi)` constraints, one per constrained feature.
+    pub constraints: Vec<(u32, u8, u8)>,
+    /// The class predicted at the leaf.
+    pub class: u8,
+}
+
+struct Builder<'a> {
+    data: &'a Dataset,
+    rows: Vec<u32>,
+    nodes: Vec<Node>,
+    subspace: Vec<u32>,
+    mtry: usize,
+    rng: ChaCha8Rng,
+}
+
+struct Candidate {
+    node: u32,
+    rows: std::ops::Range<usize>,
+    gain: f64,
+    feature: u32,
+    threshold: u8,
+}
+
+impl Tree {
+    /// Trains a tree on `rows` of `data`, splitting only on features in
+    /// `subspace`, growing best-first until `max_leaves`.
+    ///
+    /// `mtry` candidate features are examined per split (classic Random
+    /// Forest de-correlation).
+    pub fn train(
+        data: &Dataset,
+        rows: &[u32],
+        mut subspace: Vec<u32>,
+        max_leaves: usize,
+        mtry: usize,
+        seed: u64,
+    ) -> Tree {
+        use rand::SeedableRng;
+        subspace.sort_unstable();
+        subspace.dedup();
+        let mut b = Builder {
+            data,
+            rows: rows.to_vec(),
+            nodes: Vec::new(),
+            subspace,
+            mtry: mtry.max(1),
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        };
+        b.grow(max_leaves);
+        Tree {
+            nodes: b.nodes,
+            subspace: b.subspace,
+        }
+    }
+
+    /// Predicts the class of `sample`.
+    pub fn predict(&self, sample: &[u8]) -> u8 {
+        let mut at = 0u32;
+        loop {
+            match &self.nodes[at as usize] {
+                Node::Leaf { class } => return *class,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    at = if sample[*feature as usize] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Maximum root-to-leaf depth (a single leaf has depth 0).
+    pub fn depth(&self) -> usize {
+        let mut max = 0;
+        let mut stack = vec![(0u32, 0usize)];
+        while let Some((at, d)) = stack.pop() {
+            match &self.nodes[at as usize] {
+                Node::Leaf { .. } => max = max.max(d),
+                Node::Split { left, right, .. } => {
+                    stack.push((*left, d + 1));
+                    stack.push((*right, d + 1));
+                }
+            }
+        }
+        max
+    }
+
+    /// How many internal splits test each feature, a simple
+    /// split-frequency importance measure.
+    pub fn split_counts(&self, n_features: usize) -> Vec<u32> {
+        let mut counts = vec![0u32; n_features];
+        for node in &self.nodes {
+            if let Node::Split { feature, .. } = node {
+                counts[*feature as usize] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Leaf { .. }))
+            .count()
+    }
+
+    /// Enumerates every root-to-leaf path with its merged feature
+    /// intervals — the form the automata conversion consumes.
+    pub fn leaf_paths(&self) -> Vec<LeafPath> {
+        let mut out = Vec::new();
+        // (node, constraints by feature: map feature -> (lo, hi))
+        let mut stack: Vec<(u32, Vec<(u32, u8, u8)>)> = vec![(0, Vec::new())];
+        while let Some((at, constraints)) = stack.pop() {
+            match &self.nodes[at as usize] {
+                Node::Leaf { class } => out.push(LeafPath {
+                    constraints: constraints.clone(),
+                    class: *class,
+                }),
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    let narrow = |cs: &[(u32, u8, u8)], lo: u8, hi: u8| {
+                        let mut cs = cs.to_vec();
+                        match cs.iter_mut().find(|c| c.0 == *feature) {
+                            Some(c) => {
+                                c.1 = c.1.max(lo);
+                                c.2 = c.2.min(hi);
+                            }
+                            None => cs.push((*feature, lo, hi)),
+                        }
+                        cs
+                    };
+                    stack.push((*left, narrow(&constraints, 0, *threshold)));
+                    if *threshold < 255 {
+                        stack.push((*right, narrow(&constraints, *threshold + 1, 255)));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// All thresholds used for `feature`, sorted and deduplicated.
+    pub fn thresholds_of(&self, feature: u32) -> Vec<u8> {
+        let mut t: Vec<u8> = self
+            .nodes
+            .iter()
+            .filter_map(|n| match n {
+                Node::Split {
+                    feature: f,
+                    threshold,
+                    ..
+                } if *f == feature => Some(*threshold),
+                _ => None,
+            })
+            .collect();
+        t.sort_unstable();
+        t.dedup();
+        t
+    }
+}
+
+impl Builder<'_> {
+    fn grow(&mut self, max_leaves: usize) {
+        let n = self.rows.len();
+        self.nodes.push(self.leaf_for(0..n));
+        let mut leaves = 1;
+        // Best-first frontier ordered by impurity gain.
+        let mut frontier = Vec::new();
+        if let Some(c) = self.best_split(0, 0..n) {
+            frontier.push(c);
+        }
+        while leaves < max_leaves {
+            // Pop the highest-gain candidate.
+            let Some(best_idx) = frontier
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.gain.total_cmp(&b.1.gain))
+                .map(|(i, _)| i)
+            else {
+                break;
+            };
+            let cand = frontier.swap_remove(best_idx);
+            if cand.gain <= 1e-12 {
+                break;
+            }
+            // Partition rows in place around the split.
+            let mid = partition(
+                self.data,
+                &mut self.rows,
+                cand.rows.clone(),
+                cand.feature,
+                cand.threshold,
+            );
+            if mid == cand.rows.start || mid == cand.rows.end {
+                continue; // degenerate split; drop the candidate
+            }
+            let left_range = cand.rows.start..mid;
+            let right_range = mid..cand.rows.end;
+            let left = self.nodes.len() as u32;
+            let node_l = self.leaf_for(left_range.clone());
+            self.nodes.push(node_l);
+            let right = self.nodes.len() as u32;
+            let node_r = self.leaf_for(right_range.clone());
+            self.nodes.push(node_r);
+            self.nodes[cand.node as usize] = Node::Split {
+                feature: cand.feature,
+                threshold: cand.threshold,
+                left,
+                right,
+            };
+            leaves += 1;
+            if let Some(c) = self.best_split(left, left_range) {
+                frontier.push(c);
+            }
+            if let Some(c) = self.best_split(right, right_range) {
+                frontier.push(c);
+            }
+        }
+    }
+
+    fn leaf_for(&self, rows: std::ops::Range<usize>) -> Node {
+        let mut counts = vec![0u32; self.data.n_classes];
+        for &row in &self.rows[rows] {
+            counts[self.data.label(row as usize) as usize] += 1;
+        }
+        let class = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .map(|(i, _)| i as u8)
+            .unwrap_or(0);
+        Node::Leaf { class }
+    }
+
+    /// Finds the best (feature, threshold) over `mtry` random candidate
+    /// features via 256-bin class histograms.
+    fn best_split(&mut self, node: u32, rows: std::ops::Range<usize>) -> Option<Candidate> {
+        let n = rows.len();
+        if n < 2 {
+            return None;
+        }
+        let n_classes = self.data.n_classes;
+        let mut total = vec![0u32; n_classes];
+        for &row in &self.rows[rows.clone()] {
+            total[self.data.label(row as usize) as usize] += 1;
+        }
+        let parent_gini = gini(&total, n as u32);
+        if parent_gini <= 1e-12 {
+            return None; // pure node
+        }
+        let mut best: Option<Candidate> = None;
+        for _ in 0..self.mtry {
+            let feature = self.subspace[self.rng.random_range(0..self.subspace.len())];
+            // Class histogram over the 256 byte values.
+            let mut hist = vec![0u32; 256 * n_classes];
+            for &row in &self.rows[rows.clone()] {
+                let v = self.data.sample(row as usize)[feature as usize] as usize;
+                let c = self.data.label(row as usize) as usize;
+                hist[v * n_classes + c] += 1;
+            }
+            // Sweep thresholds, maintaining left-side counts.
+            let mut left = vec![0u32; n_classes];
+            let mut left_n = 0u32;
+            for threshold in 0..255usize {
+                let mut any = false;
+                for c in 0..n_classes {
+                    let h = hist[threshold * n_classes + c];
+                    if h > 0 {
+                        left[c] += h;
+                        left_n += h;
+                        any = true;
+                    }
+                }
+                if !any || left_n == 0 || left_n == n as u32 {
+                    continue;
+                }
+                let right_n = n as u32 - left_n;
+                let right: Vec<u32> = total.iter().zip(&left).map(|(&t, &l)| t - l).collect();
+                let w_gini = (left_n as f64 * gini(&left, left_n)
+                    + right_n as f64 * gini(&right, right_n))
+                    / n as f64;
+                let gain = parent_gini - w_gini;
+                if best.as_ref().is_none_or(|b| gain > b.gain) {
+                    best = Some(Candidate {
+                        node,
+                        rows: rows.clone(),
+                        gain,
+                        feature,
+                        threshold: threshold as u8,
+                    });
+                }
+            }
+        }
+        best
+    }
+}
+
+fn gini(counts: &[u32], n: u32) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let n = n as f64;
+    1.0 - counts
+        .iter()
+        .map(|&c| {
+            let p = c as f64 / n;
+            p * p
+        })
+        .sum::<f64>()
+}
+
+/// Partitions `rows[range]` so samples with `feature <= threshold` come
+/// first; returns the split point.
+fn partition(
+    data: &Dataset,
+    rows: &mut [u32],
+    range: std::ops::Range<usize>,
+    feature: u32,
+    threshold: u8,
+) -> usize {
+    let slice = &mut rows[range.clone()];
+    let mut i = 0;
+    let mut j = slice.len();
+    while i < j {
+        if data.sample(slice[i] as usize)[feature as usize] <= threshold {
+            i += 1;
+        } else {
+            j -= 1;
+            slice.swap(i, j);
+        }
+    }
+    range.start + i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::synthetic_mnist;
+
+    fn small_tree() -> (Dataset, Tree) {
+        let data = synthetic_mnist(1, 200);
+        let rows: Vec<u32> = (0..data.len() as u32).collect();
+        let subspace: Vec<u32> = (0..784).step_by(7).collect();
+        let tree = Tree::train(&data, &rows, subspace, 30, 16, 99);
+        (data, tree)
+    }
+
+    #[test]
+    fn tree_respects_leaf_budget() {
+        let (_, tree) = small_tree();
+        assert!(tree.leaf_count() <= 30);
+        assert!(tree.leaf_count() > 5, "tree barely grew");
+    }
+
+    #[test]
+    fn tree_fits_training_data_reasonably() {
+        let (data, tree) = small_tree();
+        let correct = (0..data.len())
+            .filter(|&i| tree.predict(data.sample(i)) == data.label(i))
+            .count();
+        let acc = correct as f64 / data.len() as f64;
+        assert!(acc > 0.5, "training accuracy only {acc}");
+    }
+
+    #[test]
+    fn leaf_paths_partition_the_space() {
+        let (data, tree) = small_tree();
+        let paths = tree.leaf_paths();
+        assert_eq!(paths.len(), tree.leaf_count());
+        // Every sample satisfies exactly one path, and its class matches
+        // tree.predict.
+        for i in 0..50 {
+            let s = data.sample(i);
+            let matching: Vec<&LeafPath> = paths
+                .iter()
+                .filter(|p| {
+                    p.constraints
+                        .iter()
+                        .all(|&(f, lo, hi)| (lo..=hi).contains(&s[f as usize]))
+                })
+                .collect();
+            assert_eq!(matching.len(), 1, "sample {i} matches {}", matching.len());
+            assert_eq!(matching[0].class, tree.predict(s));
+        }
+    }
+
+    #[test]
+    fn paths_only_use_subspace_features() {
+        let (_, tree) = small_tree();
+        for p in tree.leaf_paths() {
+            for (f, _, _) in p.constraints {
+                assert!(tree.subspace.contains(&f));
+            }
+        }
+    }
+
+    #[test]
+    fn depth_and_split_counts() {
+        let (data, tree) = small_tree();
+        let depth = tree.depth();
+        assert!(depth >= 2 && depth < 30, "depth {depth}");
+        let counts = tree.split_counts(data.n_features);
+        let total: u32 = counts.iter().sum();
+        assert_eq!(total as usize, tree.leaf_count() - 1, "splits = leaves - 1");
+        // Only subspace features are ever split on.
+        for (f, &c) in counts.iter().enumerate() {
+            if c > 0 {
+                assert!(tree.subspace.contains(&(f as u32)));
+            }
+        }
+    }
+
+    #[test]
+    fn thresholds_are_sorted_unique() {
+        let (_, tree) = small_tree();
+        for &f in &tree.subspace {
+            let t = tree.thresholds_of(f);
+            assert!(t.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

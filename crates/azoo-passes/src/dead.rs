@@ -1,0 +1,104 @@
+//! Dead-state elimination.
+
+use azoo_core::{stats::reachable_from_starts, Automaton};
+
+/// Removes states that are unreachable from every start state, or that can
+/// never influence a report (no forward path to a reporting element).
+///
+/// Returns the pruned automaton; ids are remapped densely.
+///
+/// # Example
+///
+/// ```
+/// use azoo_core::{Automaton, StartKind, SymbolClass};
+/// use azoo_passes::remove_dead;
+///
+/// let mut a = Automaton::new();
+/// let s = a.add_ste(SymbolClass::from_byte(b'a'), StartKind::AllInput);
+/// let t = a.add_ste(SymbolClass::from_byte(b'b'), StartKind::None);
+/// a.add_edge(s, t);
+/// a.set_report(t, 0);
+/// // An orphan that matches but never reports:
+/// a.add_ste(SymbolClass::from_byte(b'z'), StartKind::AllInput);
+/// let pruned = remove_dead(&a);
+/// assert_eq!(pruned.state_count(), 2);
+/// ```
+pub fn remove_dead(a: &Automaton) -> Automaton {
+    let forward = reachable_from_starts(a);
+    // Backward reachability from reporting elements.
+    let pred = a.predecessors();
+    let mut useful = vec![false; a.state_count()];
+    let mut stack = Vec::new();
+    for (id, e) in a.iter() {
+        if e.report.is_some() {
+            useful[id.index()] = true;
+            stack.push(id);
+        }
+    }
+    while let Some(s) = stack.pop() {
+        for &(p, _) in &pred[s.index()] {
+            if !useful[p.index()] {
+                useful[p.index()] = true;
+                stack.push(p);
+            }
+        }
+    }
+    a.retain_states(|id| forward[id.index()] && useful[id.index()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use azoo_core::{StartKind, SymbolClass};
+
+    #[test]
+    fn keeps_live_chain_intact() {
+        let mut a = Automaton::new();
+        let (_, last) = a.add_chain(&[SymbolClass::from_byte(b'k'); 5], StartKind::AllInput);
+        a.set_report(last, 0);
+        let pruned = remove_dead(&a);
+        assert_eq!(pruned.state_count(), 5);
+        assert_eq!(pruned.edge_count(), 4);
+    }
+
+    #[test]
+    fn drops_unreachable_reporter() {
+        let mut a = Automaton::new();
+        let s = a.add_ste(SymbolClass::from_byte(b'a'), StartKind::AllInput);
+        a.set_report(s, 0);
+        // Reporter with no path from a start state.
+        let orphan = a.add_ste(SymbolClass::from_byte(b'b'), StartKind::None);
+        a.set_report(orphan, 1);
+        let pruned = remove_dead(&a);
+        assert_eq!(pruned.state_count(), 1);
+    }
+
+    #[test]
+    fn drops_non_reporting_tail() {
+        let mut a = Automaton::new();
+        let s = a.add_ste(SymbolClass::from_byte(b'a'), StartKind::AllInput);
+        a.set_report(s, 0);
+        let tail = a.add_ste(SymbolClass::from_byte(b'b'), StartKind::None);
+        a.add_edge(s, tail); // tail never reports
+        let pruned = remove_dead(&a);
+        assert_eq!(pruned.state_count(), 1);
+        assert_eq!(pruned.edge_count(), 0);
+    }
+
+    #[test]
+    fn counter_paths_survive() {
+        let mut a = Automaton::new();
+        let s = a.add_ste(SymbolClass::from_byte(b'c'), StartKind::AllInput);
+        let c = a.add_counter(2, azoo_core::CounterMode::Latch);
+        a.add_edge(s, c);
+        a.set_report(c, 0);
+        let pruned = remove_dead(&a);
+        assert_eq!(pruned.state_count(), 2);
+    }
+
+    #[test]
+    fn empty_automaton_is_noop() {
+        let pruned = remove_dead(&Automaton::new());
+        assert_eq!(pruned.state_count(), 0);
+    }
+}

@@ -1,0 +1,319 @@
+//! Prefix and suffix state-merging optimizations.
+//!
+//! Two STEs are *left-equivalent* when they have the same symbol class,
+//! the same start kind, the same report behaviour, and identical
+//! predecessor sets (treating a self-loop as a reference to "myself").
+//! Left-equivalent states are always enabled together and match together,
+//! so they can be merged, unioning their successor lists. Iterating to a
+//! fixpoint collapses common prefixes of the automaton — VASim's standard
+//! optimization, and the source of the "Compressed states" column in
+//! AutomataZoo's Table I.
+//!
+//! Suffix merging is the dual: states with identical class, start kind,
+//! report behaviour, and successor sets produce indistinguishable futures
+//! and can be merged, unioning their predecessor edges.
+
+use std::collections::HashMap;
+
+use azoo_core::{Automaton, ElementKind, Port, StateId};
+
+/// Result of a merge pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MergeStats {
+    /// State count before merging.
+    pub states_before: usize,
+    /// State count after merging.
+    pub states_after: usize,
+    /// Number of fixpoint rounds executed.
+    pub rounds: usize,
+}
+
+impl MergeStats {
+    /// Fraction of states removed (the paper's "Compr. factor").
+    pub fn compression_factor(&self) -> f64 {
+        if self.states_before == 0 {
+            0.0
+        } else {
+            1.0 - self.states_after as f64 / self.states_before as f64
+        }
+    }
+}
+
+/// Self-loop-normalized adjacency signature entry.
+const SELF: u32 = u32::MAX;
+
+fn normalize(list: &mut Vec<(u32, Port)>, me: u32) {
+    for e in list.iter_mut() {
+        if e.0 == me {
+            e.0 = SELF;
+        }
+    }
+    list.sort_unstable();
+    list.dedup();
+}
+
+/// Merges left-equivalent states to a fixpoint. Returns the optimized
+/// automaton and statistics.
+///
+/// Counters are never merged, but their edges participate in signatures.
+///
+/// # Example
+///
+/// ```
+/// use azoo_core::{Automaton, StartKind, SymbolClass};
+/// use azoo_passes::merge_prefixes;
+///
+/// // Two patterns sharing the prefix "ab": "abc" and "abd".
+/// let mut a = Automaton::new();
+/// for last in [b'c', b'd'] {
+///     let (_, end) = a.add_chain(
+///         &[
+///             SymbolClass::from_byte(b'a'),
+///             SymbolClass::from_byte(b'b'),
+///             SymbolClass::from_byte(last),
+///         ],
+///         StartKind::AllInput,
+///     );
+///     a.set_report(end, last as u32);
+/// }
+/// let (merged, stats) = merge_prefixes(&a);
+/// assert_eq!(stats.states_before, 6);
+/// assert_eq!(merged.state_count(), 4); // a, b shared; c, d distinct
+/// ```
+pub fn merge_prefixes(a: &Automaton) -> (Automaton, MergeStats) {
+    merge(a, Direction::Prefix)
+}
+
+/// Merges right-equivalent states to a fixpoint (suffix collapse).
+pub fn merge_suffixes(a: &Automaton) -> (Automaton, MergeStats) {
+    merge(a, Direction::Suffix)
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    Prefix,
+    Suffix,
+}
+
+fn merge(a: &Automaton, dir: Direction) -> (Automaton, MergeStats) {
+    let states_before = a.state_count();
+    let mut current = a.clone();
+    let mut rounds = 0;
+    loop {
+        rounds += 1;
+        let (next, changed) = merge_round(&current, dir);
+        current = next;
+        if !changed {
+            break;
+        }
+    }
+    let stats = MergeStats {
+        states_before,
+        states_after: current.state_count(),
+        rounds,
+    };
+    (current, stats)
+}
+
+fn merge_round(a: &Automaton, dir: Direction) -> (Automaton, bool) {
+    let n = a.state_count();
+    // The adjacency side that must match for equivalence.
+    let mut sig_adj: Vec<Vec<(u32, Port)>> = vec![Vec::new(); n];
+    match dir {
+        Direction::Prefix => {
+            for (id, _) in a.iter() {
+                for e in a.successors(id) {
+                    sig_adj[e.to.index()].push((id.index() as u32, e.port));
+                }
+            }
+        }
+        Direction::Suffix => {
+            for (id, _) in a.iter() {
+                sig_adj[id.index()] = a
+                    .successors(id)
+                    .iter()
+                    .map(|e| (e.to.index() as u32, e.port))
+                    .collect();
+            }
+        }
+    }
+    for (i, list) in sig_adj.iter_mut().enumerate() {
+        normalize(list, i as u32);
+    }
+
+    // Group mergeable states by signature. `leader[i]` is the state i is
+    // merged into (identity when unmerged).
+    #[derive(Hash, PartialEq, Eq)]
+    struct Sig<'a> {
+        element: &'a azoo_core::Element,
+        adj: &'a [(u32, Port)],
+    }
+    let mut leader: Vec<u32> = (0..n as u32).collect();
+    let mut groups: HashMap<Sig<'_>, u32> = HashMap::new();
+    let mut changed = false;
+    for (id, e) in a.iter() {
+        if matches!(e.kind, ElementKind::Counter { .. }) {
+            continue; // counters carry hidden state; never merge
+        }
+        let sig = Sig {
+            element: e,
+            adj: &sig_adj[id.index()],
+        };
+        match groups.entry(sig) {
+            std::collections::hash_map::Entry::Occupied(o) => {
+                leader[id.index()] = *o.get();
+                changed = true;
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(id.index() as u32);
+            }
+        }
+    }
+    if !changed {
+        return (a.clone(), false);
+    }
+
+    // Rebuild: keep only leaders, redirect edges through `leader`, and
+    // union adjacency of merged states.
+    let mut remap = vec![u32::MAX; n];
+    let mut out = Automaton::with_capacity(n);
+    for (id, e) in a.iter() {
+        if leader[id.index()] == id.index() as u32 {
+            let new_id = out.add_element(e.clone());
+            remap[id.index()] = new_id.index() as u32;
+        }
+    }
+    let mut seen: HashMap<(u32, u32, Port), ()> = HashMap::new();
+    for (id, _) in a.iter() {
+        let from = remap[leader[id.index()] as usize];
+        for e in a.successors(id) {
+            let to = remap[leader[e.to.index()] as usize];
+            if seen.insert((from, to, e.port), ()).is_none() {
+                let f = StateId::new(from as usize);
+                let t = StateId::new(to as usize);
+                match e.port {
+                    Port::Activate => out.add_edge(f, t),
+                    Port::Reset => out.add_reset_edge(f, t),
+                }
+            }
+        }
+    }
+    (out, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use azoo_core::{StartKind, SymbolClass};
+
+    fn literal_set(words: &[&str]) -> Automaton {
+        let mut a = Automaton::new();
+        for (i, w) in words.iter().enumerate() {
+            let classes: Vec<SymbolClass> =
+                w.bytes().map(SymbolClass::from_byte).collect();
+            let (_, last) = a.add_chain(&classes, StartKind::AllInput);
+            a.set_report(last, i as u32);
+        }
+        a
+    }
+
+    #[test]
+    fn shared_prefix_collapses() {
+        let a = literal_set(&["hello", "help", "hero"]);
+        let (m, stats) = merge_prefixes(&a);
+        // "he" shared by all three (2 states), "l" shared by hello/help
+        // (1 state), then tails "lo", "p", "ro" (5 states).
+        assert_eq!(stats.states_before, 5 + 4 + 4);
+        assert_eq!(m.state_count(), 2 + 1 + 5);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn different_reports_do_not_merge() {
+        // Identical single-state patterns with different report codes must
+        // stay distinct.
+        let mut a = Automaton::new();
+        for code in 0..2 {
+            let s = a.add_ste(SymbolClass::from_byte(b'x'), StartKind::AllInput);
+            a.set_report(s, code);
+        }
+        let (m, _) = merge_prefixes(&a);
+        assert_eq!(m.state_count(), 2);
+    }
+
+    #[test]
+    fn identical_reports_merge() {
+        let mut a = Automaton::new();
+        for _ in 0..3 {
+            let s = a.add_ste(SymbolClass::from_byte(b'x'), StartKind::AllInput);
+            a.set_report(s, 7);
+        }
+        let (m, stats) = merge_prefixes(&a);
+        assert_eq!(m.state_count(), 1);
+        assert!((stats.compression_factor() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_loops_merge_when_symmetric() {
+        let mut a = Automaton::new();
+        for _ in 0..2 {
+            let s = a.add_ste(SymbolClass::from_byte(b'q'), StartKind::AllInput);
+            a.add_edge(s, s);
+        }
+        let (m, _) = merge_prefixes(&a);
+        assert_eq!(m.state_count(), 1);
+        assert_eq!(m.edge_count(), 1);
+    }
+
+    #[test]
+    fn suffix_merge_collapses_shared_tails() {
+        // "xab" and "yab" share the suffix "ab" plus the same report code.
+        let mut a = Automaton::new();
+        for first in [b'x', b'y'] {
+            let (_, last) = a.add_chain(
+                &[
+                    SymbolClass::from_byte(first),
+                    SymbolClass::from_byte(b'a'),
+                    SymbolClass::from_byte(b'b'),
+                ],
+                StartKind::AllInput,
+            );
+            a.set_report(last, 1);
+        }
+        let (m, _) = merge_suffixes(&a);
+        assert_eq!(m.state_count(), 4);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn counters_are_never_merged() {
+        let mut a = Automaton::new();
+        for _ in 0..2 {
+            let s = a.add_ste(SymbolClass::from_byte(b'c'), StartKind::AllInput);
+            let c = a.add_counter(3, azoo_core::CounterMode::Latch);
+            a.add_edge(s, c);
+            a.set_report(c, 0);
+        }
+        let (m, _) = merge_prefixes(&a);
+        // The two STEs differ in successor counters, which never merge.
+        assert_eq!(m.counter_count(), 2);
+    }
+
+    #[test]
+    fn merge_is_idempotent() {
+        let a = literal_set(&["abc", "abd", "abe", "xyz"]);
+        let (m1, _) = merge_prefixes(&a);
+        let (m2, s2) = merge_prefixes(&m1);
+        assert_eq!(m1.state_count(), m2.state_count());
+        assert_eq!(s2.compression_factor(), 0.0);
+    }
+
+    #[test]
+    fn start_kinds_distinguish() {
+        let mut a = Automaton::new();
+        a.add_ste(SymbolClass::from_byte(b'z'), StartKind::AllInput);
+        a.add_ste(SymbolClass::from_byte(b'z'), StartKind::StartOfData);
+        let (m, _) = merge_prefixes(&a);
+        assert_eq!(m.state_count(), 2);
+    }
+}

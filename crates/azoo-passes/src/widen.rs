@@ -1,0 +1,119 @@
+//! 16-bit widening (Section IX-A of the AutomataZoo paper).
+//!
+//! Widened rules read two bytes per logical symbol, where every other input
+//! byte is zero (the little-endian UTF-16 encoding of ASCII text, common in
+//! Windows malware). Widening an automaton interleaves a `\0`-matching
+//! state after every original STE, so the widened automaton accepts exactly
+//! the widened encodings of the strings the original accepted.
+
+use azoo_core::{Automaton, ElementKind, StartKind, SymbolClass};
+
+use crate::PassError;
+
+/// Widens `a` for zero-interleaved 16-bit input.
+///
+/// After every STE `s`, a new state matching only `0x00` is inserted; the
+/// original out-edges of `s` are moved onto the new state, and reports move
+/// with them (a widened match is observed on the trailing zero byte).
+///
+/// # Errors
+///
+/// Returns [`PassError::CountersUnsupported`] if `a` contains counters.
+///
+/// # Example
+///
+/// ```
+/// use azoo_core::{Automaton, StartKind, SymbolClass};
+/// use azoo_passes::widen;
+///
+/// let mut a = Automaton::new();
+/// let (_, last) = a.add_chain(
+///     &[SymbolClass::from_byte(b'h'), SymbolClass::from_byte(b'i')],
+///     StartKind::AllInput,
+/// );
+/// a.set_report(last, 0);
+/// let wide = widen(&a)?;
+/// assert_eq!(wide.state_count(), 4); // h, \0, i, \0
+/// # Ok::<(), azoo_passes::PassError>(())
+/// ```
+pub fn widen(a: &Automaton) -> Result<Automaton, PassError> {
+    for (id, e) in a.iter() {
+        if e.is_counter() {
+            return Err(PassError::CountersUnsupported(id));
+        }
+    }
+    let n = a.state_count();
+    let mut out = Automaton::with_capacity(2 * n);
+    let zero = SymbolClass::from_byte(0);
+    // Element layout: original state i -> 2i, its pad state -> 2i + 1.
+    for (_, e) in a.iter() {
+        let ElementKind::Ste { class, start } = e.kind else {
+            unreachable!("counters rejected above")
+        };
+        let s = out.add_ste(class, start);
+        let z = out.add_ste(zero, StartKind::None);
+        out.add_edge(s, z);
+        if let Some(code) = e.report {
+            out.set_report(z, code.0);
+            out.set_report_eod_only(z, e.report_eod_only);
+        }
+    }
+    for (id, _) in a.iter() {
+        let pad = azoo_core::StateId::new(2 * id.index() + 1);
+        for edge in a.successors(id) {
+            out.add_edge(pad, azoo_core::StateId::new(2 * edge.to.index()));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widened_chain_doubles_states_and_moves_report() {
+        let mut a = Automaton::new();
+        let (_, last) = a.add_chain(
+            &[SymbolClass::from_byte(b'a'), SymbolClass::from_byte(b'b')],
+            StartKind::AllInput,
+        );
+        a.set_report(last, 3);
+        let w = widen(&a).unwrap();
+        assert_eq!(w.state_count(), 4);
+        assert_eq!(w.edge_count(), 3);
+        // Reports live on pad states only.
+        for (id, e) in w.iter() {
+            if e.report.is_some() {
+                assert_eq!(id.index() % 2, 1);
+            }
+        }
+        w.validate().unwrap();
+    }
+
+    #[test]
+    fn self_loop_routes_through_pad() {
+        let mut a = Automaton::new();
+        let s = a.add_ste(SymbolClass::from_byte(b'x'), StartKind::AllInput);
+        a.add_edge(s, s);
+        a.set_report(s, 0);
+        let w = widen(&a).unwrap();
+        // s -> pad -> s
+        assert_eq!(w.state_count(), 2);
+        assert_eq!(w.edge_count(), 2);
+        let pad = azoo_core::StateId::new(1);
+        assert_eq!(w.successors(pad)[0].to.index(), 0);
+    }
+
+    #[test]
+    fn counters_are_rejected() {
+        let mut a = Automaton::new();
+        let s = a.add_ste(SymbolClass::FULL, StartKind::AllInput);
+        let c = a.add_counter(2, azoo_core::CounterMode::Latch);
+        a.add_edge(s, c);
+        assert!(matches!(
+            widen(&a),
+            Err(PassError::CountersUnsupported(_))
+        ));
+    }
+}

@@ -1,0 +1,93 @@
+//! Pattern syntax tree.
+
+use azoo_core::SymbolClass;
+
+/// Pattern flags from `/pattern/flags` notation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Flags {
+    /// `i`: ASCII case-insensitive matching.
+    pub case_insensitive: bool,
+    /// `s`: `.` also matches `\n`.
+    pub dot_all: bool,
+    /// `m`: accepted for compatibility; has no effect because only edge
+    /// anchors are supported.
+    pub multiline: bool,
+}
+
+/// A parsed pattern: syntax tree plus anchoring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pattern {
+    /// The pattern body.
+    pub ast: Ast,
+    /// Whether the pattern began with `^`.
+    pub anchored_start: bool,
+    /// Whether the pattern ended with `$`.
+    pub anchored_end: bool,
+    /// Flags the pattern was parsed with.
+    pub flags: Flags,
+}
+
+/// Regular-expression syntax tree over byte classes.
+///
+/// Quantifiers are normalized at parse time into `Star`, `Alt`-with-
+/// `Empty`, and duplication, so the compiler only sees these five forms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ast {
+    /// Matches the empty string.
+    Empty,
+    /// Matches one input symbol from the class.
+    Class(SymbolClass),
+    /// Matches the concatenation of the children.
+    Concat(Vec<Ast>),
+    /// Matches any one child.
+    Alt(Vec<Ast>),
+    /// Matches zero or more repetitions of the child.
+    Star(Box<Ast>),
+}
+
+impl Ast {
+    /// Number of Glushkov positions (class leaves) in the tree.
+    pub fn positions(&self) -> usize {
+        match self {
+            Ast::Empty => 0,
+            Ast::Class(_) => 1,
+            Ast::Concat(v) | Ast::Alt(v) => v.iter().map(Ast::positions).sum(),
+            Ast::Star(n) => n.positions(),
+        }
+    }
+
+    /// Whether the tree can match the empty string.
+    pub fn nullable(&self) -> bool {
+        match self {
+            Ast::Empty | Ast::Star(_) => true,
+            Ast::Class(_) => false,
+            Ast::Concat(v) => v.iter().all(Ast::nullable),
+            Ast::Alt(v) => v.iter().any(Ast::nullable),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positions_count_leaves() {
+        let a = Ast::Concat(vec![
+            Ast::Class(SymbolClass::from_byte(b'a')),
+            Ast::Star(Box::new(Ast::Class(SymbolClass::from_byte(b'b')))),
+            Ast::Alt(vec![Ast::Empty, Ast::Class(SymbolClass::from_byte(b'c'))]),
+        ]);
+        assert_eq!(a.positions(), 3);
+        assert!(!a.nullable());
+    }
+
+    #[test]
+    fn nullability() {
+        assert!(Ast::Empty.nullable());
+        assert!(Ast::Star(Box::new(Ast::Class(SymbolClass::FULL))).nullable());
+        assert!(!Ast::Class(SymbolClass::FULL).nullable());
+        assert!(Ast::Concat(vec![]).nullable());
+        assert!(!Ast::Alt(vec![Ast::Class(SymbolClass::FULL)]).nullable());
+    }
+}

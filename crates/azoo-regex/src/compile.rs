@@ -1,0 +1,260 @@
+//! Glushkov position construction: pattern → homogeneous automaton.
+
+use azoo_core::{Automaton, StartKind, StateId, SymbolClass};
+
+use crate::ast::{Ast, Pattern};
+use crate::parser::parse;
+use crate::{RegexError, MAX_POSITIONS};
+
+/// Parses and compiles a pattern into a homogeneous automaton whose
+/// reports carry `code`.
+///
+/// # Errors
+///
+/// Propagates parse errors; see [`parse`] and [`compile_pattern`].
+pub fn compile(pattern: &str, code: u32) -> Result<Automaton, RegexError> {
+    compile_pattern(&parse(pattern)?, code)
+}
+
+/// Compiles an already-parsed pattern.
+///
+/// Every class leaf becomes one STE (the Glushkov position). First
+/// positions become start states — `AllInput` when unanchored, giving
+/// match-anywhere semantics. Last positions report with `code`; if the
+/// pattern ends in `$`, those reports are end-of-data conditional.
+///
+/// # Errors
+///
+/// * [`RegexError::MatchesEmpty`] if the pattern is nullable.
+/// * [`RegexError::TooLarge`] if it has more than [`MAX_POSITIONS`]
+///   positions.
+pub fn compile_pattern(pattern: &Pattern, code: u32) -> Result<Automaton, RegexError> {
+    if pattern.ast.nullable() {
+        return Err(RegexError::MatchesEmpty);
+    }
+    let npos = pattern.ast.positions();
+    if npos > MAX_POSITIONS {
+        return Err(RegexError::TooLarge {
+            positions: npos,
+            limit: MAX_POSITIONS,
+        });
+    }
+    let mut g = Glushkov {
+        classes: Vec::with_capacity(npos),
+        follow: vec![Vec::new(); npos],
+    };
+    let info = g.build(&pattern.ast);
+    let mut a = Automaton::with_capacity(npos);
+    let start_kind = if pattern.anchored_start {
+        StartKind::StartOfData
+    } else {
+        StartKind::AllInput
+    };
+    for class in &g.classes {
+        a.add_ste(*class, StartKind::None);
+    }
+    for &p in &info.first {
+        if let azoo_core::ElementKind::Ste { start, .. } =
+            &mut a.element_mut(StateId::new(p as usize)).kind
+        {
+            *start = start_kind;
+        }
+    }
+    for (p, follows) in g.follow.iter().enumerate() {
+        for &q in follows {
+            a.add_edge(StateId::new(p), StateId::new(q as usize));
+        }
+    }
+    for &p in &info.last {
+        let id = StateId::new(p as usize);
+        a.set_report(id, code);
+        if pattern.anchored_end {
+            a.set_report_eod_only(id, true);
+        }
+    }
+    Ok(a)
+}
+
+struct Glushkov {
+    classes: Vec<SymbolClass>,
+    follow: Vec<Vec<u32>>,
+}
+
+struct Info {
+    nullable: bool,
+    first: Vec<u32>,
+    last: Vec<u32>,
+}
+
+impl Glushkov {
+    fn build(&mut self, ast: &Ast) -> Info {
+        match ast {
+            Ast::Empty => Info {
+                nullable: true,
+                first: Vec::new(),
+                last: Vec::new(),
+            },
+            Ast::Class(c) => {
+                let p = self.classes.len() as u32;
+                self.classes.push(*c);
+                Info {
+                    nullable: false,
+                    first: vec![p],
+                    last: vec![p],
+                }
+            }
+            Ast::Concat(parts) => {
+                let mut acc = Info {
+                    nullable: true,
+                    first: Vec::new(),
+                    last: Vec::new(),
+                };
+                for part in parts {
+                    let info = self.build(part);
+                    for &l in &acc.last {
+                        self.follow[l as usize].extend_from_slice(&info.first);
+                    }
+                    if acc.nullable {
+                        acc.first.extend_from_slice(&info.first);
+                    }
+                    if info.nullable {
+                        acc.last.extend_from_slice(&info.last);
+                    } else {
+                        acc.last = info.last;
+                    }
+                    acc.nullable &= info.nullable;
+                }
+                acc
+            }
+            Ast::Alt(branches) => {
+                let mut acc = Info {
+                    nullable: false,
+                    first: Vec::new(),
+                    last: Vec::new(),
+                };
+                for branch in branches {
+                    let info = self.build(branch);
+                    acc.nullable |= info.nullable;
+                    acc.first.extend(info.first);
+                    acc.last.extend(info.last);
+                }
+                acc
+            }
+            Ast::Star(inner) => {
+                let mut info = self.build(inner);
+                for &l in &info.last.clone() {
+                    self.follow[l as usize].extend_from_slice(&info.first);
+                }
+                info.nullable = true;
+                info
+            }
+        }
+    }
+}
+
+/// Result of compiling a whole ruleset with per-rule error tolerance.
+///
+/// AutomataZoo's methodology includes every rule "that can be successfully
+/// compiled" by the open-source front end; this mirrors that: rules whose
+/// patterns use unsupported constructs are recorded in `skipped` rather
+/// than aborting the build.
+#[derive(Debug, Clone)]
+pub struct Ruleset {
+    /// The union automaton; each compiled rule is one subgraph reporting
+    /// its rule index.
+    pub automaton: Automaton,
+    /// Number of rules compiled into the automaton.
+    pub compiled: usize,
+    /// Rules that failed to compile, with their indices and errors.
+    pub skipped: Vec<(usize, RegexError)>,
+}
+
+/// Compiles many patterns into one automaton; rule `i` reports with code
+/// `i`.
+pub fn compile_ruleset<'a, I>(patterns: I) -> Ruleset
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    let mut automaton = Automaton::new();
+    let mut compiled = 0;
+    let mut skipped = Vec::new();
+    for (i, p) in patterns.into_iter().enumerate() {
+        match compile(p, i as u32) {
+            Ok(a) => {
+                automaton.append(&a);
+                compiled += 1;
+            }
+            Err(e) => skipped.push((i, e)),
+        }
+    }
+    Ruleset {
+        automaton,
+        compiled,
+        skipped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_compiles_to_chain() {
+        let a = compile("abc", 0).unwrap();
+        assert_eq!(a.state_count(), 3);
+        assert_eq!(a.edge_count(), 2);
+        assert_eq!(a.start_states().len(), 1);
+        assert_eq!(a.report_states().len(), 1);
+        a.validate().unwrap();
+    }
+
+    #[test]
+    fn alternation_fans_out_starts_and_reports() {
+        let a = compile("ab|cd|e", 3).unwrap();
+        assert_eq!(a.state_count(), 5);
+        assert_eq!(a.start_states().len(), 3);
+        assert_eq!(a.report_states().len(), 3);
+    }
+
+    #[test]
+    fn star_wires_back_edges() {
+        // ab*c: b follows itself.
+        let a = compile("ab*c", 0).unwrap();
+        assert_eq!(a.state_count(), 3);
+        let b = StateId::new(1);
+        assert!(a.successors(b).iter().any(|e| e.to == b));
+    }
+
+    #[test]
+    fn nullable_pattern_rejected() {
+        assert_eq!(compile("a*", 0), Err(RegexError::MatchesEmpty));
+        assert_eq!(compile("(a?)(b?)", 0), Err(RegexError::MatchesEmpty));
+    }
+
+    #[test]
+    fn anchored_pattern_uses_start_of_data() {
+        let a = compile("^ab", 0).unwrap();
+        assert!(a
+            .start_states()
+            .iter()
+            .all(|&s| a.element(s).start_kind() == StartKind::StartOfData));
+        let a = compile("ab$", 0).unwrap();
+        assert!(a.element(a.report_states()[0]).report_eod_only);
+    }
+
+    #[test]
+    fn ruleset_tolerates_bad_rules() {
+        let rs = compile_ruleset(["abc", r"bad\1ref", "x+y"]);
+        assert_eq!(rs.compiled, 2);
+        assert_eq!(rs.skipped.len(), 1);
+        assert_eq!(rs.skipped[0].0, 1);
+        // Report codes are original indices.
+        let codes: Vec<u32> = rs
+            .automaton
+            .report_states()
+            .iter()
+            .map(|&s| rs.automaton.element(s).report.unwrap().0)
+            .collect();
+        assert!(codes.contains(&0) && codes.contains(&2));
+    }
+}

@@ -1,0 +1,96 @@
+//! A PCRE-subset regular-expression compiler producing homogeneous
+//! automata — the open-source `pcre2mnrl` / Hyperscan front-end of the
+//! AutomataZoo toolchain, reimplemented from scratch.
+//!
+//! The supported subset covers what the AutomataZoo rulesets need:
+//! literals; escapes (`\n`, `\t`, `\xHH`, `\d`, `\w`, `\s`, ...);
+//! character classes with ranges and negation; `.`; grouping; alternation;
+//! the quantifiers `*`, `+`, `?`, `{n}`, `{n,}`, `{n,m}`; the `^`/`$` edge
+//! anchors; and the `i` (case-insensitive) and `s` (dot-all) flags in
+//! `/pattern/flags` notation.
+//!
+//! Compilation uses the **Glushkov position construction**, which directly
+//! yields homogeneous automata: every position in the pattern becomes one
+//! state carrying its symbol class — exactly the STE model of ANML/MNRL.
+//! Unanchored patterns produce `AllInput` start states (match-anywhere
+//! search semantics); `$` maps to end-of-data-conditional reports.
+//!
+//! # Example
+//!
+//! ```
+//! use azoo_engines::{CollectSink, Engine, NfaEngine};
+//! use azoo_regex::compile;
+//!
+//! let a = compile("/colou?r/i", 7)?;
+//! let mut engine = NfaEngine::new(&a).unwrap();
+//! let mut sink = CollectSink::new();
+//! engine.scan(b"COLOR and colour", &mut sink);
+//! assert_eq!(sink.reports().len(), 2);
+//! # Ok::<(), azoo_regex::RegexError>(())
+//! ```
+
+mod ast;
+mod compile;
+mod parser;
+
+pub use ast::{Ast, Flags, Pattern};
+pub use compile::{compile, compile_pattern, compile_ruleset, Ruleset};
+pub use parser::parse;
+
+/// Errors raised while parsing or compiling a pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RegexError {
+    /// Syntax error at byte offset, with a description.
+    Syntax {
+        /// Byte offset in the pattern text.
+        at: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The construct is valid PCRE but outside the supported subset
+    /// (back-references, look-around, mid-pattern anchors, ...).
+    Unsupported {
+        /// Byte offset in the pattern text.
+        at: usize,
+        /// The unsupported construct.
+        construct: String,
+    },
+    /// The pattern can match the empty string, which has no homogeneous
+    /// automaton representation (a report must consume a symbol).
+    MatchesEmpty,
+    /// Quantifier expansion would exceed the position budget.
+    TooLarge {
+        /// Number of positions required.
+        positions: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl std::fmt::Display for RegexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegexError::Syntax { at, message } => {
+                write!(f, "syntax error at offset {at}: {message}")
+            }
+            RegexError::Unsupported { at, construct } => {
+                write!(f, "unsupported construct at offset {at}: {construct}")
+            }
+            RegexError::MatchesEmpty => {
+                write!(f, "pattern matches the empty string")
+            }
+            RegexError::TooLarge { positions, limit } => {
+                write!(
+                    f,
+                    "pattern needs {positions} positions, exceeding the limit of {limit}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegexError {}
+
+/// Maximum number of Glushkov positions a single pattern may expand to.
+pub const MAX_POSITIONS: usize = 65_536;

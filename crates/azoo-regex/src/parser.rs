@@ -1,0 +1,575 @@
+//! Recursive-descent parser for the PCRE subset.
+
+use azoo_core::SymbolClass;
+
+use crate::ast::{Ast, Flags, Pattern};
+use crate::{RegexError, MAX_POSITIONS};
+
+/// Parses a pattern, in either bare (`abc+`) or delimited (`/abc+/i`)
+/// notation.
+///
+/// # Errors
+///
+/// Returns [`RegexError::Syntax`] for malformed patterns,
+/// [`RegexError::Unsupported`] for constructs outside the subset
+/// (back-references, look-around, word boundaries, inline flags,
+/// mid-pattern anchors), and [`RegexError::TooLarge`] if quantifier
+/// expansion exceeds [`MAX_POSITIONS`].
+pub fn parse(text: &str) -> Result<Pattern, RegexError> {
+    let (body, mut flags) = split_delimited(text)?;
+    // Leading inline flag groups `(?ism)` (common in rule exports).
+    let mut body = body;
+    while let Some(rest) = body.strip_prefix("(?") {
+        let Some(end) = rest.find(')') else { break };
+        let letters = &rest[..end];
+        if letters.is_empty() || !letters.chars().all(|c| "ism".contains(c)) {
+            break; // a real group, not an inline flag set
+        }
+        for c in letters.chars() {
+            match c {
+                'i' => flags.case_insensitive = true,
+                's' => flags.dot_all = true,
+                _ => flags.multiline = true,
+            }
+        }
+        body = &rest[end + 1..];
+    }
+    let mut parser = Parser {
+        bytes: body.as_bytes(),
+        pos: 0,
+        flags,
+        anchored_start: false,
+        anchored_end: false,
+    };
+    if parser.peek() == Some(b'^') {
+        parser.pos += 1;
+        parser.anchored_start = true;
+    }
+    let ast = parser.parse_alt()?;
+    if parser.pos != parser.bytes.len() {
+        return Err(RegexError::Syntax {
+            at: parser.pos,
+            message: "unexpected character (unbalanced ')'?)".into(),
+        });
+    }
+    Ok(Pattern {
+        ast,
+        anchored_start: parser.anchored_start,
+        anchored_end: parser.anchored_end,
+        flags,
+    })
+}
+
+fn split_delimited(text: &str) -> Result<(&str, Flags), RegexError> {
+    if !text.starts_with('/') {
+        return Ok((text, Flags::default()));
+    }
+    let end = text.rfind('/').expect("starts with '/'");
+    if end == 0 {
+        return Err(RegexError::Syntax {
+            at: text.len(),
+            message: "missing closing '/'".into(),
+        });
+    }
+    let mut flags = Flags::default();
+    for (i, f) in text[end + 1..].char_indices() {
+        match f {
+            'i' => flags.case_insensitive = true,
+            's' => flags.dot_all = true,
+            'm' => flags.multiline = true,
+            other => {
+                return Err(RegexError::Unsupported {
+                    at: end + 1 + i,
+                    construct: format!("flag '{other}'"),
+                })
+            }
+        }
+    }
+    Ok((&text[1..end], flags))
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    flags: Flags,
+    anchored_start: bool,
+    anchored_end: bool,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn syntax<T>(&self, message: impl Into<String>) -> Result<T, RegexError> {
+        Err(RegexError::Syntax {
+            at: self.pos,
+            message: message.into(),
+        })
+    }
+
+    fn unsupported<T>(&self, construct: impl Into<String>) -> Result<T, RegexError> {
+        Err(RegexError::Unsupported {
+            at: self.pos,
+            construct: construct.into(),
+        })
+    }
+
+    fn parse_alt(&mut self) -> Result<Ast, RegexError> {
+        let mut branches = vec![self.parse_concat()?];
+        while self.peek() == Some(b'|') {
+            self.pos += 1;
+            branches.push(self.parse_concat()?);
+        }
+        Ok(if branches.len() == 1 {
+            branches.pop().expect("one branch")
+        } else {
+            Ast::Alt(branches)
+        })
+    }
+
+    fn parse_concat(&mut self) -> Result<Ast, RegexError> {
+        let mut parts = Vec::new();
+        loop {
+            match self.peek() {
+                None | Some(b'|') | Some(b')') => break,
+                Some(b'$') => {
+                    if self.pos + 1 == self.bytes.len() {
+                        self.pos += 1;
+                        self.anchored_end = true;
+                        break;
+                    }
+                    return self.unsupported("mid-pattern '$' anchor");
+                }
+                Some(b'^') => return self.unsupported("mid-pattern '^' anchor"),
+                _ => {
+                    let atom = self.parse_atom()?;
+                    let atom = self.parse_quantifier(atom)?;
+                    parts.push(atom);
+                }
+            }
+        }
+        Ok(match parts.len() {
+            0 => Ast::Empty,
+            1 => parts.pop().expect("one part"),
+            _ => Ast::Concat(parts),
+        })
+    }
+
+    fn parse_atom(&mut self) -> Result<Ast, RegexError> {
+        match self.bump().expect("caller checked non-empty") {
+            b'(' => {
+                if self.peek() == Some(b'?') {
+                    // (?:...) is supported; every other (?...) form is not.
+                    if self.bytes.get(self.pos + 1) == Some(&b':') {
+                        self.pos += 2;
+                    } else {
+                        return self.unsupported("(?...) group");
+                    }
+                }
+                let inner = self.parse_alt()?;
+                if self.bump() != Some(b')') {
+                    return self.syntax("missing ')'");
+                }
+                Ok(inner)
+            }
+            b'[' => {
+                let class = self.parse_class()?;
+                Ok(Ast::Class(self.fold(class)))
+            }
+            b'.' => {
+                let mut c = SymbolClass::FULL;
+                if !self.flags.dot_all {
+                    c.remove(b'\n');
+                }
+                Ok(Ast::Class(c))
+            }
+            b'\\' => {
+                let class = self.parse_escape(false)?;
+                Ok(Ast::Class(self.fold(class)))
+            }
+            b'*' | b'+' | b'?' => self.syntax("quantifier with nothing to repeat"),
+            b @ (b'{' | b'}' | b']') => Ok(Ast::Class(self.fold(SymbolClass::from_byte(b)))),
+            b => Ok(Ast::Class(self.fold(SymbolClass::from_byte(b)))),
+        }
+    }
+
+    fn fold(&self, c: SymbolClass) -> SymbolClass {
+        if self.flags.case_insensitive {
+            c.ascii_case_fold()
+        } else {
+            c
+        }
+    }
+
+    /// Parses one escape sequence (after the `\`). `in_class` selects the
+    /// class-context interpretation of `\b` (backspace).
+    fn parse_escape(&mut self, in_class: bool) -> Result<SymbolClass, RegexError> {
+        let Some(b) = self.bump() else {
+            return self.syntax("dangling '\\'");
+        };
+        let single = |b: u8| Ok(SymbolClass::from_byte(b));
+        match b {
+            b'n' => single(b'\n'),
+            b'r' => single(b'\r'),
+            b't' => single(b'\t'),
+            b'f' => single(0x0c),
+            b'v' => single(0x0b),
+            b'0' => single(0),
+            b'a' => single(0x07),
+            b'e' => single(0x1b),
+            b'd' => Ok(SymbolClass::from_range(b'0', b'9')),
+            b'D' => Ok(SymbolClass::from_range(b'0', b'9').complement()),
+            b'w' => Ok(word_class()),
+            b'W' => Ok(word_class().complement()),
+            b's' => Ok(space_class()),
+            b'S' => Ok(space_class().complement()),
+            b'x' => {
+                let hi = self.hex_digit()?;
+                let lo = self.hex_digit()?;
+                single(hi * 16 + lo)
+            }
+            b'b' if in_class => single(0x08),
+            b'b' | b'B' => self.unsupported("word-boundary assertion"),
+            b'A' | b'z' | b'Z' | b'G' => self.unsupported("\\-anchor assertion"),
+            b'1'..=b'9' => self.unsupported("back-reference"),
+            b'p' | b'P' => self.unsupported("unicode property class"),
+            other => single(other),
+        }
+    }
+
+    fn hex_digit(&mut self) -> Result<u8, RegexError> {
+        match self.bump() {
+            Some(b @ b'0'..=b'9') => Ok(b - b'0'),
+            Some(b @ b'a'..=b'f') => Ok(b - b'a' + 10),
+            Some(b @ b'A'..=b'F') => Ok(b - b'A' + 10),
+            _ => self.syntax("expected hex digit"),
+        }
+    }
+
+    fn parse_class(&mut self) -> Result<SymbolClass, RegexError> {
+        let mut negate = false;
+        if self.peek() == Some(b'^') {
+            negate = true;
+            self.pos += 1;
+        }
+        let mut class = SymbolClass::new();
+        let mut first = true;
+        loop {
+            let Some(b) = self.bump() else {
+                return self.syntax("unterminated character class");
+            };
+            if b == b']' && !first {
+                break;
+            }
+            first = false;
+            let lo_class = if b == b'\\' {
+                self.parse_escape(true)?
+            } else {
+                SymbolClass::from_byte(b)
+            };
+            // Range? Only when the left side is a single literal byte.
+            if self.peek() == Some(b'-')
+                && self.bytes.get(self.pos + 1).is_some_and(|&n| n != b']')
+                && lo_class.len() == 1
+            {
+                self.pos += 1; // consume '-'
+                let rb = self.bump().expect("peeked above");
+                let hi_class = if rb == b'\\' {
+                    self.parse_escape(true)?
+                } else {
+                    SymbolClass::from_byte(rb)
+                };
+                if hi_class.len() != 1 {
+                    return self.syntax("invalid range endpoint");
+                }
+                let lo = lo_class.iter().next().expect("len 1");
+                let hi = hi_class.iter().next().expect("len 1");
+                if lo > hi {
+                    return self.syntax("reversed range");
+                }
+                class = class.union(&SymbolClass::from_range(lo, hi));
+            } else {
+                class = class.union(&lo_class);
+            }
+        }
+        if negate {
+            class = class.complement();
+        }
+        if class.is_empty() {
+            return self.syntax("empty character class");
+        }
+        Ok(class)
+    }
+
+    fn parse_quantifier(&mut self, atom: Ast) -> Result<Ast, RegexError> {
+        let (min, max) = match self.peek() {
+            Some(b'*') => {
+                self.pos += 1;
+                (0, None)
+            }
+            Some(b'+') => {
+                self.pos += 1;
+                (1, None)
+            }
+            Some(b'?') => {
+                self.pos += 1;
+                (0, Some(1))
+            }
+            Some(b'{') => {
+                match self.try_parse_counted() {
+                    Some((min, max)) => (min, max),
+                    None => return Ok(atom), // literal '{'
+                }
+            }
+            _ => return Ok(atom),
+        };
+        // Laziness / possessiveness modifiers do not change which matches
+        // exist, only which a backtracker prefers; automata report all.
+        if matches!(self.peek(), Some(b'?') | Some(b'+')) {
+            self.pos += 1;
+        }
+        if let Some(max) = max {
+            if max < min {
+                return self.syntax("quantifier max below min");
+            }
+        }
+        let per = atom.positions();
+        let copies = max.unwrap_or(min + 1) as usize;
+        let needed = per.saturating_mul(copies.max(1));
+        if needed > MAX_POSITIONS {
+            return Err(RegexError::TooLarge {
+                positions: needed,
+                limit: MAX_POSITIONS,
+            });
+        }
+        Ok(expand_repeat(atom, min, max))
+    }
+
+    /// Attempts `{n}`, `{n,}`, `{n,m}` starting at `{`; restores position
+    /// and returns `None` if the braces are not a counted quantifier.
+    fn try_parse_counted(&mut self) -> Option<(u32, Option<u32>)> {
+        let save = self.pos;
+        self.pos += 1; // '{'
+        let Some(min) = self.parse_number() else {
+            self.pos = save;
+            return None;
+        };
+        match self.peek() {
+            Some(b'}') => {
+                self.pos += 1;
+                Some((min, Some(min)))
+            }
+            Some(b',') => {
+                self.pos += 1;
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Some((min, None));
+                }
+                let Some(max) = self.parse_number() else {
+                    self.pos = save;
+                    return None;
+                };
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    Some((min, Some(max)))
+                } else {
+                    self.pos = save;
+                    None
+                }
+            }
+            _ => {
+                self.pos = save;
+                None
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Option<u32> {
+        let start = self.pos;
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start || self.pos - start > 6 {
+            self.pos = start;
+            return None;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()?
+            .parse()
+            .ok()
+    }
+}
+
+fn word_class() -> SymbolClass {
+    let mut c = SymbolClass::from_range(b'a', b'z');
+    c = c.union(&SymbolClass::from_range(b'A', b'Z'));
+    c = c.union(&SymbolClass::from_range(b'0', b'9'));
+    c.insert(b'_');
+    c
+}
+
+fn space_class() -> SymbolClass {
+    SymbolClass::from_bytes(&[b' ', b'\t', b'\n', b'\r', 0x0b, 0x0c])
+}
+
+fn expand_repeat(atom: Ast, min: u32, max: Option<u32>) -> Ast {
+    match (min, max) {
+        (0, Some(0)) => Ast::Empty,
+        (0, None) => Ast::Star(Box::new(atom)),
+        (1, None) => Ast::Concat(vec![atom.clone(), Ast::Star(Box::new(atom))]),
+        (n, None) => {
+            let mut parts = vec![atom.clone(); n as usize];
+            parts.push(Ast::Star(Box::new(atom)));
+            Ast::Concat(parts)
+        }
+        (0, Some(1)) => Ast::Alt(vec![Ast::Empty, atom]),
+        (n, Some(m)) => {
+            let mut parts = vec![atom.clone(); n as usize];
+            for _ in n..m {
+                parts.push(Ast::Alt(vec![Ast::Empty, atom.clone()]));
+            }
+            if parts.len() == 1 {
+                parts.pop().expect("one part")
+            } else if parts.is_empty() {
+                Ast::Empty
+            } else {
+                Ast::Concat(parts)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Pattern {
+        parse(s).unwrap()
+    }
+
+    #[test]
+    fn literal_concat() {
+        let pat = p("abc");
+        assert_eq!(pat.ast.positions(), 3);
+        assert!(!pat.anchored_start && !pat.anchored_end);
+    }
+
+    #[test]
+    fn delimited_flags() {
+        let pat = p("/ab/is");
+        assert!(pat.flags.case_insensitive);
+        assert!(pat.flags.dot_all);
+        let Ast::Concat(v) = &pat.ast else { panic!() };
+        let Ast::Class(c) = &v[0] else { panic!() };
+        assert!(c.contains(b'A') && c.contains(b'a'));
+    }
+
+    #[test]
+    fn anchors() {
+        let pat = p("^ab$");
+        assert!(pat.anchored_start && pat.anchored_end);
+        assert_eq!(pat.ast.positions(), 2);
+        assert!(matches!(
+            parse("a^b"),
+            Err(RegexError::Unsupported { .. })
+        ));
+        assert!(matches!(
+            parse("a$b"),
+            Err(RegexError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn classes_ranges_negation() {
+        let pat = p("[a-cx]");
+        let Ast::Class(c) = &pat.ast else { panic!() };
+        assert_eq!(c.len(), 4);
+        let pat = p("[^\\x00]");
+        let Ast::Class(c) = &pat.ast else { panic!() };
+        assert_eq!(c.len(), 255);
+        // ']' first is literal; '-' last is literal.
+        let pat = p("[]a-]");
+        let Ast::Class(c) = &pat.ast else { panic!() };
+        assert!(c.contains(b']') && c.contains(b'a') && c.contains(b'-'));
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn escapes() {
+        let pat = p(r"\d\x41\\\.");
+        assert_eq!(pat.ast.positions(), 4);
+        let Ast::Concat(v) = &pat.ast else { panic!() };
+        let Ast::Class(c) = &v[1] else { panic!() };
+        assert!(c.contains(b'A'));
+    }
+
+    #[test]
+    fn quantifiers_expand() {
+        assert_eq!(p("a{3}").ast.positions(), 3);
+        assert_eq!(p("a{2,4}").ast.positions(), 4);
+        assert_eq!(p("a{2,}").ast.positions(), 3); // a a a*
+        assert_eq!(p("(ab){2}").ast.positions(), 4);
+        assert_eq!(p("a*?").ast.positions(), 1); // lazy accepted
+        assert_eq!(p("a{x}").ast.positions(), 4); // literal braces
+    }
+
+    #[test]
+    fn inline_flag_groups() {
+        let pat = p("(?i)ab");
+        assert!(pat.flags.case_insensitive);
+        let Ast::Concat(v) = &pat.ast else { panic!() };
+        let Ast::Class(c) = &v[0] else { panic!() };
+        assert!(c.contains(b'A'));
+        let pat = p("(?is)a.");
+        assert!(pat.flags.case_insensitive && pat.flags.dot_all);
+        // A non-flag (?...) construct is still rejected.
+        assert!(matches!(parse("(?i)(?=x)"), Err(RegexError::Unsupported { .. })));
+        // (?:...) group is untouched by the flag scanner.
+        assert_eq!(p("(?i)(?:ab)+").ast.positions(), 4); // ab + starred copy
+    }
+
+    #[test]
+    fn unsupported_constructs() {
+        for bad in [r"a\1", r"(?=a)", r"a\b", "/a/g"] {
+            assert!(
+                matches!(parse(bad), Err(RegexError::Unsupported { .. })),
+                "{bad} should be unsupported"
+            );
+        }
+    }
+
+    #[test]
+    fn syntax_errors() {
+        for bad in ["(a", "[a", "a)", "*a", "a{3,1}", r"\x4"] {
+            assert!(
+                matches!(parse(bad), Err(RegexError::Syntax { .. })),
+                "{bad} should be a syntax error"
+            );
+        }
+    }
+
+    #[test]
+    fn too_large_guard() {
+        assert!(matches!(
+            parse("a{70000}"),
+            Err(RegexError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn dot_excludes_newline_by_default() {
+        let Ast::Class(c) = p(".").ast else { panic!() };
+        assert!(!c.contains(b'\n'));
+        let Ast::Class(c) = p("/./s").ast else { panic!() };
+        assert!(c.contains(b'\n'));
+    }
+}

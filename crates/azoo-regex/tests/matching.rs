@@ -1,0 +1,112 @@
+//! End-to-end behavioural tests: compiled patterns must match like the
+//! regular expressions they came from.
+
+use azoo_engines::{CollectSink, Engine, LazyDfaEngine, NfaEngine};
+use azoo_regex::compile;
+
+/// Offsets (of the final symbol of each match) reported on `input`.
+fn match_offsets(pattern: &str, input: &[u8]) -> Vec<u64> {
+    let a = compile(pattern, 0).unwrap();
+    let mut engine = NfaEngine::new(&a).unwrap();
+    let mut sink = CollectSink::new();
+    engine.scan(input, &mut sink);
+    let mut nfa: Vec<u64> = sink.reports().iter().map(|r| r.offset).collect();
+    nfa.sort_unstable();
+    nfa.dedup();
+    // The lazy DFA must agree.
+    let mut engine = LazyDfaEngine::new(&a).unwrap();
+    let mut sink = CollectSink::new();
+    engine.scan(input, &mut sink);
+    let mut dfa: Vec<u64> = sink.reports().iter().map(|r| r.offset).collect();
+    dfa.sort_unstable();
+    dfa.dedup();
+    assert_eq!(nfa, dfa, "engines disagree on {pattern}");
+    nfa
+}
+
+#[test]
+fn literal_search_anywhere() {
+    assert_eq!(match_offsets("ab", b"xxabxxab"), vec![3, 7]);
+    assert_eq!(match_offsets("ab", b"ba"), Vec::<u64>::new());
+}
+
+#[test]
+fn alternation() {
+    assert_eq!(match_offsets("cat|dog", b"cat dog"), vec![2, 6]);
+}
+
+#[test]
+fn optional_and_star() {
+    // colou?r
+    assert_eq!(match_offsets("colou?r", b"color colour"), vec![4, 11]);
+    // ab*c matches ac, abc, abbc...
+    assert_eq!(match_offsets("ab*c", b"ac abc abbbc"), vec![1, 5, 11]);
+}
+
+#[test]
+fn plus_requires_one() {
+    assert_eq!(match_offsets("ab+c", b"ac abc abbc"), vec![5, 10]);
+}
+
+#[test]
+fn counted_repetition() {
+    assert_eq!(match_offsets("a{3}", b"aa aaa aaaa"), vec![5, 9, 10]);
+    assert_eq!(match_offsets("ba{1,2}b", b"bab baab baaab"), vec![2, 7]);
+    assert_eq!(match_offsets("a{2,}b", b"ab aab aaab"), vec![5, 10]);
+}
+
+#[test]
+fn character_classes() {
+    assert_eq!(match_offsets("[0-9]+%", b"50% a% 7%"), vec![2, 8]);
+    assert_eq!(match_offsets(r"[^a]x", b"ax bx"), vec![4]);
+    assert_eq!(match_offsets(r"\d\d", b"a12b3"), vec![2]);
+    assert_eq!(match_offsets(r"\w+@\w+", b"hi bob@box now"), vec![7, 8, 9]);
+}
+
+#[test]
+fn dot_and_dotall() {
+    assert_eq!(match_offsets("a.c", b"abc a\nc axc"), vec![2, 10]);
+    assert_eq!(match_offsets("/a.c/s", b"abc a\nc"), vec![2, 6]);
+}
+
+#[test]
+fn case_insensitive_flag() {
+    assert_eq!(match_offsets("/AbC/i", b"abc ABC aBc"), vec![2, 6, 10]);
+    assert_eq!(match_offsets("AbC", b"abc ABC AbC"), vec![10]);
+}
+
+#[test]
+fn anchors_constrain_matches() {
+    assert_eq!(match_offsets("^ab", b"abab"), vec![1]);
+    assert_eq!(match_offsets("ab$", b"abab"), vec![3]);
+    assert_eq!(match_offsets("^ab$", b"ab"), vec![1]);
+    assert_eq!(match_offsets("^ab$", b"abx"), Vec::<u64>::new());
+}
+
+#[test]
+fn groups_and_nesting() {
+    assert_eq!(match_offsets("(ab)+c", b"abc ababc abac"), vec![2, 8]);
+    assert_eq!(match_offsets("a(b|cd)e", b"abe acde"), vec![2, 7]);
+    assert_eq!(match_offsets("(?:xy){2}", b"xyxy"), vec![3]);
+}
+
+#[test]
+fn hex_escapes_and_binary() {
+    assert_eq!(match_offsets(r"\x00\xff", &[0, 0xff, 0, 0xff]), vec![1, 3]);
+    assert_eq!(match_offsets(r"[\x01-\x03]+", &[1, 2, 3]), vec![0, 1, 2]);
+}
+
+#[test]
+fn snort_like_rule_compiles_and_matches() {
+    let pattern = r"/^GET \/[a-z0-9_\/]{0,64}\.php\?id=\d{1,5}/i";
+    let offsets = match_offsets(pattern, b"GET /admin/login.php?id=42 HTTP/1.1");
+    assert!(!offsets.is_empty());
+    let none = match_offsets(pattern, b"POST /admin/login.php?id=42");
+    assert!(none.is_empty());
+}
+
+#[test]
+fn overlapping_matches_all_reported() {
+    // "aa" in "aaaa" ends at offsets 1, 2, 3.
+    assert_eq!(match_offsets("aa", b"aaaa"), vec![1, 2, 3]);
+}

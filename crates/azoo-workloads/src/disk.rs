@@ -1,0 +1,148 @@
+//! Disk-image stimulus for the ClamAV benchmark, and malware-file
+//! stimulus for YARA.
+//!
+//! AutomataZoo's ClamAV input is "a disk image including various files and
+//! two embedded virus fragments". This builder concatenates synthetic
+//! files of several types (text, binary, zip-like, media-like) and plants
+//! signature fragments at deterministic offsets.
+
+use rand::RngExt;
+
+/// Configuration for [`disk_image`].
+#[derive(Debug, Clone)]
+pub struct DiskConfig {
+    /// Approximate image size in bytes.
+    pub len: usize,
+    /// Virus/malware fragments to embed.
+    pub planted: Vec<Vec<u8>>,
+}
+
+impl Default for DiskConfig {
+    fn default() -> Self {
+        DiskConfig {
+            len: 1 << 20,
+            planted: Vec::new(),
+        }
+    }
+}
+
+/// Builds a synthetic disk image. Returns the image and the offsets where
+/// each planted fragment was embedded.
+pub fn disk_image(seed: u64, config: &DiskConfig) -> (Vec<u8>, Vec<usize>) {
+    let mut r = crate::rng(seed);
+    let mut out = Vec::with_capacity(config.len + 4096);
+    while out.len() < config.len {
+        match r.random_range(0..4) {
+            0 => {
+                // Text file.
+                let t = crate::text::english_like(r.random(), r.random_range(512..4096));
+                out.extend_from_slice(&t);
+            }
+            1 => {
+                // Binary blob (executable-ish: header + sections).
+                out.extend_from_slice(b"\x7fELF");
+                let n = r.random_range(512..4096);
+                for _ in 0..n {
+                    out.push(r.random());
+                }
+            }
+            2 => {
+                // Zip-like container with a few entries.
+                for _ in 0..r.random_range(1..4) {
+                    out.extend_from_slice(&crate::media::zip_local_header(&mut r, "doc.txt"));
+                    let n = r.random_range(128..1024);
+                    for _ in 0..n {
+                        out.push(r.random());
+                    }
+                }
+            }
+            _ => {
+                // Media-ish stream.
+                out.extend_from_slice(&crate::media::mpeg_stream(&mut r, 2048));
+            }
+        }
+    }
+    out.truncate(config.len);
+    // Plant the fragments at spread offsets (like the paper's two
+    // VirusSign fragments).
+    let mut offsets = Vec::new();
+    if !config.planted.is_empty() {
+        let stride = config.len / (config.planted.len() + 1);
+        for (i, frag) in config.planted.iter().enumerate() {
+            let at = (i + 1) * stride;
+            if at + frag.len() <= out.len() {
+                out[at..at + frag.len()].copy_from_slice(frag);
+                offsets.push(at);
+            }
+        }
+    }
+    (out, offsets)
+}
+
+/// A set of synthetic "malware files" for the YARA benchmark: mostly
+/// random binary, with the given hex-pattern byte strings planted into a
+/// subset of files.
+pub fn malware_files(
+    seed: u64,
+    n_files: usize,
+    file_len: usize,
+    planted: &[Vec<u8>],
+) -> Vec<Vec<u8>> {
+    let mut r = crate::rng(seed);
+    let mut files = Vec::with_capacity(n_files);
+    for i in 0..n_files {
+        let mut f: Vec<u8> = (0..file_len).map(|_| r.random()).collect();
+        // Every third file carries one planted pattern.
+        if !planted.is_empty() && i % 3 == 0 {
+            let p = &planted[i / 3 % planted.len()];
+            if p.len() <= f.len() {
+                let at = r.random_range(0..=(f.len() - p.len()));
+                f[at..at + p.len()].copy_from_slice(p);
+            }
+        }
+        files.push(f);
+    }
+    files
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_is_sized_and_plants_fragments() {
+        let cfg = DiskConfig {
+            len: 100_000,
+            planted: vec![b"VIRUS_FRAGMENT_ALPHA".to_vec(), b"VIRUS_BETA".to_vec()],
+        };
+        let (img, offsets) = disk_image(1, &cfg);
+        assert_eq!(img.len(), 100_000);
+        assert_eq!(offsets.len(), 2);
+        for (frag, &at) in cfg.planted.iter().zip(&offsets) {
+            assert_eq!(&img[at..at + frag.len()], &frag[..]);
+        }
+    }
+
+    #[test]
+    fn image_contains_multiple_file_types() {
+        let (img, _) = disk_image(2, &DiskConfig {
+            len: 200_000,
+            planted: vec![],
+        });
+        let has = |needle: &[u8]| img.windows(needle.len()).any(|w| w == needle);
+        assert!(has(b"\x7fELF"), "no binary files");
+        assert!(has(b"PK\x03\x04"), "no zip entries");
+    }
+
+    #[test]
+    fn malware_files_carry_patterns() {
+        let planted = vec![vec![0x9c, 0x50, 0xa1, 0x77, 0x58, 0x0f, 0x85]];
+        let files = malware_files(3, 9, 4096, &planted);
+        assert_eq!(files.len(), 9);
+        let carriers = files
+            .iter()
+            .filter(|f| f.windows(planted[0].len()).any(|w| w == &planted[0][..]))
+            .count();
+        assert!(carriers >= 3);
+    }
+}

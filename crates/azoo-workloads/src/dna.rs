@@ -1,0 +1,106 @@
+//! DNA and protein sequence stimuli.
+
+use rand::RngExt;
+
+/// The DNA alphabet used by Hamming, Levenshtein, and CRISPR benchmarks.
+pub const DNA: [u8; 4] = *b"ACGT";
+
+/// The 20 standard amino acids (for Protomata).
+pub const AMINO_ACIDS: [u8; 20] = *b"ACDEFGHIKLMNPQRSTVWY";
+
+/// Uniformly random DNA base-pairs.
+pub fn random_dna(seed: u64, len: usize) -> Vec<u8> {
+    let mut r = crate::rng(seed);
+    (0..len).map(|_| DNA[r.random_range(0..4)]).collect()
+}
+
+/// Random DNA with `patterns` planted at deterministic, spread-out
+/// offsets, so that filters have true positives to find. Returns the
+/// sequence and the offsets where each pattern begins.
+///
+/// # Panics
+///
+/// Panics if a pattern is longer than `len / patterns.len()`.
+pub fn dna_with_planted(seed: u64, len: usize, patterns: &[Vec<u8>]) -> (Vec<u8>, Vec<usize>) {
+    let mut seq = random_dna(seed, len);
+    let mut offsets = Vec::with_capacity(patterns.len());
+    if patterns.is_empty() {
+        return (seq, offsets);
+    }
+    let stride = len / patterns.len();
+    for (i, p) in patterns.iter().enumerate() {
+        assert!(p.len() <= stride, "pattern {i} longer than its slot");
+        let at = i * stride;
+        seq[at..at + p.len()].copy_from_slice(p);
+        offsets.push(at);
+    }
+    (seq, offsets)
+}
+
+/// A random 20-letter protein database with `motifs` planted, separated by
+/// newline record breaks every ~60 residues (FASTA-like body).
+pub fn protein_database(seed: u64, len: usize, motifs: &[Vec<u8>]) -> Vec<u8> {
+    let mut r = crate::rng(seed);
+    let mut seq: Vec<u8> = (0..len)
+        .map(|i| {
+            if i % 61 == 60 {
+                b'\n'
+            } else {
+                AMINO_ACIDS[r.random_range(0..20)]
+            }
+        })
+        .collect();
+    if !motifs.is_empty() {
+        let stride = len / motifs.len();
+        for (i, m) in motifs.iter().enumerate() {
+            let at = i * stride;
+            if at + m.len() <= seq.len() {
+                seq[at..at + m.len()].copy_from_slice(m);
+            }
+        }
+    }
+    seq
+}
+
+/// A random guide-RNA-like DNA pattern of length `len`.
+pub fn random_guide(seed: u64, len: usize) -> Vec<u8> {
+    random_dna(seed, len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dna_alphabet_only() {
+        let d = random_dna(3, 1000);
+        assert!(d.iter().all(|c| DNA.contains(c)));
+        assert_eq!(d.len(), 1000);
+    }
+
+    #[test]
+    fn dna_is_deterministic() {
+        assert_eq!(random_dna(9, 64), random_dna(9, 64));
+        assert_ne!(random_dna(9, 64), random_dna(10, 64));
+    }
+
+    #[test]
+    fn planting_places_patterns() {
+        let patterns = vec![b"AAAATTTT".to_vec(), b"GGGGCCCC".to_vec()];
+        let (seq, offsets) = dna_with_planted(1, 1000, &patterns);
+        for (p, &at) in patterns.iter().zip(&offsets) {
+            assert_eq!(&seq[at..at + p.len()], &p[..]);
+        }
+        assert_eq!(offsets, vec![0, 500]);
+    }
+
+    #[test]
+    fn protein_db_has_record_breaks_and_motifs() {
+        let motif = b"HKWWRDE".to_vec();
+        let db = protein_database(5, 10_000, &[motif.clone()]);
+        assert!(db.windows(motif.len()).any(|w| w == &motif[..]));
+        assert!(db.contains(&b'\n'));
+        let residues = db.iter().filter(|&&c| c != b'\n').count();
+        assert!(residues > 9_000);
+    }
+}

@@ -1,0 +1,209 @@
+//! Multi-media file stimuli for the File Carving benchmark: zip local
+//! file headers (with real MS-DOS timestamp bit-fields), MPEG program
+//! streams, and forensic text (e-mails, SSNs) embedded in filler.
+
+use rand::RngExt;
+use rand_chacha::ChaCha8Rng;
+
+/// Encodes an MS-DOS time: bits 0-4 seconds/2 (0..=29), 5-10 minutes
+/// (0..=59), 11-15 hours (0..=23).
+pub fn dos_time(hours: u16, minutes: u16, seconds: u16) -> u16 {
+    assert!(hours < 24 && minutes < 60 && seconds < 60);
+    (hours << 11) | (minutes << 5) | (seconds / 2)
+}
+
+/// Encodes an MS-DOS date: bits 0-4 day (1..=31), 5-8 month (1..=12),
+/// 9-15 years since 1980.
+pub fn dos_date(year: u16, month: u16, day: u16) -> u16 {
+    assert!((1980..2108).contains(&year) && (1..=12).contains(&month) && (1..=31).contains(&day));
+    ((year - 1980) << 9) | (month << 5) | day
+}
+
+/// A PKZip local-file-header (`PK\x03\x04`) with a valid random DOS
+/// timestamp, followed by the file name.
+pub fn zip_local_header(r: &mut ChaCha8Rng, name: &str) -> Vec<u8> {
+    let mut h = Vec::with_capacity(30 + name.len());
+    h.extend_from_slice(b"PK\x03\x04");
+    h.extend_from_slice(&20u16.to_le_bytes()); // version needed
+    h.extend_from_slice(&0u16.to_le_bytes()); // flags
+    h.extend_from_slice(&8u16.to_le_bytes()); // method: deflate
+    let t = dos_time(
+        r.random_range(0..24),
+        r.random_range(0..60),
+        r.random_range(0..60),
+    );
+    let d = dos_date(
+        r.random_range(1990..2030),
+        r.random_range(1..13),
+        r.random_range(1..29),
+    );
+    h.extend_from_slice(&t.to_le_bytes());
+    h.extend_from_slice(&d.to_le_bytes());
+    h.extend_from_slice(&r.random::<u32>().to_le_bytes()); // crc
+    let size: u32 = r.random_range(64..4096);
+    h.extend_from_slice(&size.to_le_bytes()); // compressed
+    h.extend_from_slice(&size.to_le_bytes()); // uncompressed
+    h.extend_from_slice(&(name.len() as u16).to_le_bytes());
+    h.extend_from_slice(&0u16.to_le_bytes()); // extra len
+    h.extend_from_slice(name.as_bytes());
+    h
+}
+
+/// An MPEG-2 program-stream fragment: pack start code, a few PES packets,
+/// then random payload; `len` bytes total.
+pub fn mpeg_stream(r: &mut ChaCha8Rng, len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len + 64);
+    out.extend_from_slice(&[0x00, 0x00, 0x01, 0xba]); // pack header
+    out.push(0x44); // system-clock-reference byte: '01' marker bits
+    while out.len() < len {
+        out.extend_from_slice(&[0x00, 0x00, 0x01, 0xe0]); // video PES
+        let n = r.random_range(64..512).min(len.saturating_sub(out.len()) + 8);
+        for _ in 0..n {
+            out.push(r.random());
+        }
+    }
+    out.truncate(len);
+    out
+}
+
+/// An MPEG-4 (ISO BMFF) file start: size + `ftyp` box.
+pub fn mp4_header(brand: &[u8; 4]) -> Vec<u8> {
+    let mut h = Vec::with_capacity(16);
+    h.extend_from_slice(&20u32.to_be_bytes());
+    h.extend_from_slice(b"ftyp");
+    h.extend_from_slice(brand);
+    h.extend_from_slice(&0u32.to_be_bytes());
+    h
+}
+
+/// Configuration for [`carving_stimulus`].
+#[derive(Debug, Clone)]
+pub struct CarvingConfig {
+    /// Approximate size in bytes.
+    pub len: usize,
+    /// Number of zip headers to embed.
+    pub zips: usize,
+    /// Number of mpeg fragments to embed.
+    pub mpegs: usize,
+    /// Number of mp4 headers to embed.
+    pub mp4s: usize,
+    /// E-mail addresses to embed in text regions.
+    pub emails: usize,
+    /// SSN-formatted numbers to embed.
+    pub ssns: usize,
+}
+
+impl Default for CarvingConfig {
+    fn default() -> Self {
+        CarvingConfig {
+            len: 1 << 20,
+            zips: 20,
+            mpegs: 10,
+            mp4s: 10,
+            emails: 20,
+            ssns: 20,
+        }
+    }
+}
+
+/// A "corrupted filesystem" byte stream containing file headers and
+/// forensic metadata scattered through random filler — the File Carving
+/// benchmark's standard input.
+pub fn carving_stimulus(seed: u64, config: &CarvingConfig) -> Vec<u8> {
+    let mut r = crate::rng(seed);
+    let mut artifacts: Vec<Vec<u8>> = Vec::new();
+    for i in 0..config.zips {
+        artifacts.push(zip_local_header(&mut r, &format!("file{i}.dat")));
+    }
+    for _ in 0..config.mpegs {
+        artifacts.push(mpeg_stream(&mut r, 256));
+    }
+    for i in 0..config.mp4s {
+        artifacts.push(mp4_header(if i % 2 == 0 { b"isom" } else { b"mp42" }));
+    }
+    for _ in 0..config.emails {
+        let user = crate::text::word(&mut r);
+        let host = crate::text::word(&mut r);
+        artifacts.push(format!(" {user}@{host}.com ").into_bytes());
+    }
+    for _ in 0..config.ssns {
+        artifacts.push(
+            format!(
+                " {:03}-{:02}-{:04} ",
+                r.random_range(1..900u32),
+                r.random_range(1..100u32),
+                r.random_range(1..10000u32)
+            )
+            .into_bytes(),
+        );
+    }
+    // Interleave artifacts with filler.
+    let mut out = Vec::with_capacity(config.len + 4096);
+    let filler_per = config.len / (artifacts.len() + 1);
+    for a in &artifacts {
+        let n = r.random_range(filler_per / 2..filler_per + filler_per / 2);
+        if r.random_bool(0.5) {
+            for _ in 0..n {
+                out.push(r.random());
+            }
+        } else {
+            out.extend_from_slice(&crate::text::english_like(r.random(), n));
+        }
+        out.extend_from_slice(a);
+    }
+    while out.len() < config.len {
+        out.push(r.random());
+    }
+    out.truncate(config.len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dos_time_bitfields() {
+        let t = dos_time(23, 59, 58);
+        assert_eq!(t >> 11, 23);
+        assert_eq!((t >> 5) & 0x3f, 59);
+        assert_eq!(t & 0x1f, 29);
+        assert_eq!(dos_time(0, 0, 0), 0);
+    }
+
+    #[test]
+    fn dos_date_bitfields() {
+        let d = dos_date(2020, 7, 15);
+        assert_eq!((d >> 9) + 1980, 2020);
+        assert_eq!((d >> 5) & 0xf, 7);
+        assert_eq!(d & 0x1f, 15);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_dos_time_panics() {
+        dos_time(24, 0, 0);
+    }
+
+    #[test]
+    fn zip_header_magic_and_name() {
+        let mut r = crate::rng(1);
+        let h = zip_local_header(&mut r, "a.txt");
+        assert_eq!(&h[0..4], b"PK\x03\x04");
+        assert!(h.ends_with(b"a.txt"));
+        assert_eq!(h.len(), 30 + 5);
+    }
+
+    #[test]
+    fn stimulus_contains_all_artifact_kinds() {
+        let s = carving_stimulus(1, &CarvingConfig {
+            len: 300_000,
+            ..CarvingConfig::default()
+        });
+        let has = |needle: &[u8]| s.windows(needle.len()).any(|w| w == needle);
+        assert!(has(b"PK\x03\x04"));
+        assert!(has(&[0x00, 0x00, 0x01, 0xba]));
+        assert!(has(b"ftyp"));
+        assert!(has(b".com "));
+    }
+}

@@ -1,0 +1,222 @@
+//! Name-database generator for the Entity Resolution benchmark.
+//!
+//! AutomataZoo replaced ANMLZoo's lexicographically-similar 500-name list
+//! with "a name generator that can introduce arbitrary names of different
+//! formats, and also introduce various errors". This module reproduces
+//! that toolchain: diverse synthetic names, multiple rendering formats,
+//! and configurable error injection (typos, dropped characters,
+//! transpositions), plus a streaming-database renderer.
+
+use rand::RngExt;
+use rand_chacha::ChaCha8Rng;
+
+const FIRST_PARTS: [&str; 16] = [
+    "al", "ber", "chris", "da", "el", "fran", "gio", "han", "isa", "jo", "ka", "lu", "mar", "ni",
+    "ro", "sa",
+];
+const LAST_PARTS: [&str; 16] = [
+    "son", "ман", "berg", "etti", "ez", "ford", "grove", "hill", "ins", "kov", "land", "man",
+    "ner", "ton", "wood", "ski",
+];
+
+/// How a name is rendered into the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NameFormat {
+    /// `first last`
+    FirstLast,
+    /// `last, first`
+    LastCommaFirst,
+    /// `f. last`
+    InitialLast,
+}
+
+/// A generated person name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Name {
+    /// Given name, lowercase.
+    pub first: String,
+    /// Family name, lowercase.
+    pub last: String,
+}
+
+impl Name {
+    /// Renders the name in `format`.
+    pub fn render(&self, format: NameFormat) -> String {
+        match format {
+            NameFormat::FirstLast => format!("{} {}", self.first, self.last),
+            NameFormat::LastCommaFirst => format!("{}, {}", self.last, self.first),
+            NameFormat::InitialLast => {
+                format!("{}. {}", &self.first[0..1], self.last)
+            }
+        }
+    }
+}
+
+fn ascii_name_part(r: &mut ChaCha8Rng, parts: &[&str]) -> String {
+    let mut s = String::new();
+    for _ in 0..r.random_range(1..3) {
+        let p = parts[r.random_range(0..parts.len())];
+        // Skip the one intentionally non-ASCII decoy part; the automata
+        // alphabet is bytes and the benchmark uses ASCII names.
+        if p.is_ascii() {
+            s.push_str(p);
+        }
+    }
+    if s.is_empty() {
+        s.push_str("lee");
+    }
+    s
+}
+
+/// Generates `n` unique names.
+pub fn unique_names(seed: u64, n: usize) -> Vec<Name> {
+    let mut r = crate::rng(seed);
+    let mut seen = std::collections::HashSet::new();
+    let mut names = Vec::with_capacity(n);
+    while names.len() < n {
+        let name = Name {
+            first: ascii_name_part(&mut r, &FIRST_PARTS),
+            last: ascii_name_part(&mut r, &LAST_PARTS),
+        };
+        if seen.insert(name.clone()) {
+            names.push(name);
+        }
+    }
+    names
+}
+
+/// Injects one random error into `s`: substitution, deletion, insertion,
+/// or adjacent transposition.
+pub fn inject_error(r: &mut ChaCha8Rng, s: &str) -> String {
+    let bytes = s.as_bytes();
+    if bytes.is_empty() {
+        return s.to_owned();
+    }
+    let mut v = bytes.to_vec();
+    let i = r.random_range(0..v.len());
+    match r.random_range(0..4) {
+        0 => v[i] = b'a' + r.random_range(0..26) as u8, // substitute
+        1 => {
+            v.remove(i); // delete
+        }
+        2 => v.insert(i, b'a' + r.random_range(0..26) as u8), // insert
+        _ => {
+            if i + 1 < v.len() {
+                v.swap(i, i + 1); // transpose
+            }
+        }
+    }
+    String::from_utf8_lossy(&v).into_owned()
+}
+
+/// Configuration for [`streaming_database`].
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Number of records to emit.
+    pub records: usize,
+    /// Probability that a record is a (possibly corrupted) duplicate of a
+    /// known name rather than a fresh distractor.
+    pub duplicate_rate: f64,
+    /// Probability that a duplicate carries an injected error.
+    pub error_rate: f64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            records: 10_000,
+            duplicate_rate: 0.3,
+            error_rate: 0.3,
+        }
+    }
+}
+
+/// Renders a newline-separated streaming database of name records, a
+/// mix of duplicates of `known` (with errors and format variation) and
+/// fresh distractor names.
+pub fn streaming_database(seed: u64, known: &[Name], config: &StreamConfig) -> Vec<u8> {
+    let mut r = crate::rng(seed ^ 0x5eed_0002);
+    let mut out = Vec::new();
+    for _ in 0..config.records {
+        let rendered = if !known.is_empty() && r.random_bool(config.duplicate_rate) {
+            let name = &known[r.random_range(0..known.len())];
+            let fmt = match r.random_range(0..3) {
+                0 => NameFormat::FirstLast,
+                1 => NameFormat::LastCommaFirst,
+                _ => NameFormat::InitialLast,
+            };
+            let s = name.render(fmt);
+            if r.random_bool(config.error_rate) {
+                inject_error(&mut r, &s)
+            } else {
+                s
+            }
+        } else {
+            Name {
+                first: ascii_name_part(&mut r, &FIRST_PARTS),
+                last: ascii_name_part(&mut r, &LAST_PARTS),
+            }
+            .render(NameFormat::FirstLast)
+        };
+        out.extend_from_slice(rendered.as_bytes());
+        out.push(b'\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_ascii() {
+        let names = unique_names(1, 500);
+        assert_eq!(names.len(), 500);
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), 500);
+        assert!(names.iter().all(|n| n.first.is_ascii() && n.last.is_ascii()));
+    }
+
+    #[test]
+    fn formats_render_differently() {
+        let n = Name {
+            first: "maria".into(),
+            last: "kovson".into(),
+        };
+        assert_eq!(n.render(NameFormat::FirstLast), "maria kovson");
+        assert_eq!(n.render(NameFormat::LastCommaFirst), "kovson, maria");
+        assert_eq!(n.render(NameFormat::InitialLast), "m. kovson");
+    }
+
+    #[test]
+    fn error_injection_changes_string() {
+        let mut r = crate::rng(3);
+        let mut changed = 0;
+        for _ in 0..50 {
+            if inject_error(&mut r, "jonathan") != "jonathan" {
+                changed += 1;
+            }
+        }
+        assert!(changed > 40, "errors rarely injected: {changed}/50");
+    }
+
+    #[test]
+    fn database_contains_duplicates_of_known_names() {
+        let known = unique_names(2, 50);
+        let db = streaming_database(
+            7,
+            &known,
+            &StreamConfig {
+                records: 2000,
+                duplicate_rate: 0.5,
+                error_rate: 0.0,
+            },
+        );
+        let text = String::from_utf8(db).unwrap();
+        let hits = known
+            .iter()
+            .filter(|n| text.contains(&n.render(NameFormat::FirstLast)))
+            .count();
+        assert!(hits > 25, "only {hits}/50 known names appear");
+    }
+}

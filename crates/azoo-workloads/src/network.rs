@@ -1,0 +1,120 @@
+//! Network-capture-like stimulus for the Snort benchmark.
+//!
+//! The paper streams a PCAP file through the Snort ruleset. This generator
+//! emits a concatenation of synthetic packets — binary-ish headers
+//! followed by HTTP-flavoured payloads — with a configurable fraction of
+//! payloads containing planted attack strings so the ruleset has true
+//! positives.
+
+use rand::RngExt;
+
+/// Configuration for [`pcap_like`].
+#[derive(Debug, Clone)]
+pub struct PcapConfig {
+    /// Approximate total size in bytes.
+    pub len: usize,
+    /// Strings planted into a fraction of payloads (attack content).
+    pub planted: Vec<Vec<u8>>,
+    /// Probability that any packet carries one planted string.
+    pub plant_rate: f64,
+}
+
+impl Default for PcapConfig {
+    fn default() -> Self {
+        PcapConfig {
+            len: 1 << 20,
+            planted: Vec::new(),
+            plant_rate: 0.01,
+        }
+    }
+}
+
+const METHODS: [&str; 4] = ["GET", "POST", "HEAD", "PUT"];
+const PATHS: [&str; 6] = [
+    "/index.html",
+    "/login.php",
+    "/api/v1/items",
+    "/images/logo.png",
+    "/admin/config",
+    "/search",
+];
+
+/// Generates a PCAP-like byte stream.
+pub fn pcap_like(seed: u64, config: &PcapConfig) -> Vec<u8> {
+    let mut r = crate::rng(seed);
+    let mut out = Vec::with_capacity(config.len + 2048);
+    while out.len() < config.len {
+        // 16-byte pseudo packet header (timestamps / lengths).
+        for _ in 0..16 {
+            out.push(r.random());
+        }
+        // HTTP-ish request line + headers.
+        let m = METHODS[r.random_range(0..4)];
+        let p = PATHS[r.random_range(0..PATHS.len())];
+        out.extend_from_slice(m.as_bytes());
+        out.push(b' ');
+        out.extend_from_slice(p.as_bytes());
+        if r.random_bool(0.5) {
+            out.extend_from_slice(format!("?id={}", r.random_range(0..100000u32)).as_bytes());
+        }
+        out.extend_from_slice(b" HTTP/1.1\r\nHost: example.test\r\n");
+        // Payload: text or binary.
+        let payload_len = r.random_range(40..400);
+        if r.random_bool(0.7) {
+            let text = crate::text::english_like(r.random(), payload_len);
+            out.extend_from_slice(&text);
+        } else {
+            for _ in 0..payload_len {
+                out.push(r.random());
+            }
+        }
+        if !config.planted.is_empty() && r.random_bool(config.plant_rate) {
+            let s = &config.planted[r.random_range(0..config.planted.len())];
+            out.extend_from_slice(s);
+        }
+        out.extend_from_slice(b"\r\n\r\n");
+    }
+    out.truncate(config.len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_has_requested_size_and_structure() {
+        let cfg = PcapConfig {
+            len: 50_000,
+            ..PcapConfig::default()
+        };
+        let s = pcap_like(1, &cfg);
+        assert_eq!(s.len(), 50_000);
+        let text = String::from_utf8_lossy(&s);
+        assert!(text.contains("HTTP/1.1"));
+    }
+
+    #[test]
+    fn planted_strings_appear() {
+        let cfg = PcapConfig {
+            len: 200_000,
+            planted: vec![b"EVIL_SHELLCODE_MARKER".to_vec()],
+            plant_rate: 0.2,
+        };
+        let s = pcap_like(2, &cfg);
+        let needle = b"EVIL_SHELLCODE_MARKER";
+        assert!(
+            s.windows(needle.len()).any(|w| w == needle),
+            "planted string absent"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = PcapConfig {
+            len: 10_000,
+            ..PcapConfig::default()
+        };
+        assert_eq!(pcap_like(5, &cfg), pcap_like(5, &cfg));
+    }
+}

@@ -1,0 +1,88 @@
+//! Natural-language-like text stimuli: a synthetic Brown-corpus stand-in
+//! for the Brill benchmark and generic English-like filler for disk
+//! images.
+
+use rand::RngExt;
+use rand_chacha::ChaCha8Rng;
+
+/// Part-of-speech tags used by the synthetic tagged corpus, mirroring the
+/// coarse Brown-corpus tag classes the Brill benchmark rewrites.
+pub const TAGS: [&str; 12] = [
+    "NN", "NNS", "VB", "VBD", "VBG", "JJ", "RB", "DT", "IN", "PRP", "CC", "CD",
+];
+
+const SYLLABLES: [&str; 24] = [
+    "ta", "re", "mi", "con", "ver", "lo", "san", "del", "mor", "ti", "ka", "ble", "ing", "ed",
+    "er", "an", "or", "ran", "pos", "net", "dis", "pre", "sub", "ter",
+];
+
+/// A pseudo-English word of 1..=4 syllables.
+pub fn word(r: &mut ChaCha8Rng) -> String {
+    let n = r.random_range(1..5);
+    let mut w = String::new();
+    for _ in 0..n {
+        w.push_str(SYLLABLES[r.random_range(0..SYLLABLES.len())]);
+    }
+    w
+}
+
+/// English-like filler text of approximately `len` bytes.
+pub fn english_like(seed: u64, len: usize) -> Vec<u8> {
+    let mut r = crate::rng(seed);
+    let mut out = Vec::with_capacity(len + 16);
+    while out.len() < len {
+        let w = word(&mut r);
+        out.extend_from_slice(w.as_bytes());
+        out.push(if r.random_bool(0.1) { b'.' } else { b' ' });
+    }
+    out.truncate(len);
+    out
+}
+
+/// One token of a tagged corpus: `word/TAG `.
+///
+/// The Brill benchmark streams tagged text and patches incorrect tags; the
+/// automata match on `word/TAG` contexts, so the stimulus interleaves
+/// words with their tags exactly like the tagged Brown corpus does.
+pub fn tagged_corpus(seed: u64, tokens: usize) -> Vec<u8> {
+    let mut r = crate::rng(seed);
+    let mut out = Vec::with_capacity(tokens * 10);
+    for i in 0..tokens {
+        let w = word(&mut r);
+        let tag = TAGS[r.random_range(0..TAGS.len())];
+        out.extend_from_slice(w.as_bytes());
+        out.push(b'/');
+        out.extend_from_slice(tag.as_bytes());
+        out.push(if i % 17 == 16 { b'\n' } else { b' ' });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn english_like_is_sized_and_ascii() {
+        let t = english_like(1, 5000);
+        assert_eq!(t.len(), 5000);
+        assert!(t.iter().all(u8::is_ascii));
+    }
+
+    #[test]
+    fn tagged_corpus_contains_tags() {
+        let t = tagged_corpus(2, 500);
+        let s = String::from_utf8(t).unwrap();
+        let with_tag = s
+            .split_whitespace()
+            .filter(|tok| TAGS.iter().any(|tag| tok.ends_with(&format!("/{tag}"))))
+            .count();
+        assert!(with_tag >= 490, "only {with_tag} of 500 tokens tagged");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(tagged_corpus(3, 50), tagged_corpus(3, 50));
+        assert_eq!(english_like(3, 100), english_like(3, 100));
+    }
+}

@@ -1,0 +1,106 @@
+//! Determinism and well-formedness properties for every stimulus
+//! generator: identical seeds yield identical bytes, different seeds
+//! diverge, and each generator's structural invariants hold across the
+//! seed space.
+
+use azoo_workloads::disk::{disk_image, malware_files, DiskConfig};
+use azoo_workloads::media::{carving_stimulus, CarvingConfig};
+use azoo_workloads::names::{streaming_database, unique_names, StreamConfig};
+use azoo_workloads::network::{pcap_like, PcapConfig};
+use azoo_workloads::{dna, random_bytes, text};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn dna_deterministic_and_well_formed(seed in 0u64..1000, len in 1usize..2000) {
+        let a = dna::random_dna(seed, len);
+        prop_assert_eq!(&a, &dna::random_dna(seed, len));
+        prop_assert_eq!(a.len(), len);
+        prop_assert!(a.iter().all(|c| dna::DNA.contains(c)));
+    }
+
+    #[test]
+    fn protein_db_deterministic(seed in 0u64..1000, len in 100usize..5000) {
+        let a = dna::protein_database(seed, len, &[]);
+        prop_assert_eq!(&a, &dna::protein_database(seed, len, &[]));
+        prop_assert!(a
+            .iter()
+            .all(|&c| c == b'\n' || dna::AMINO_ACIDS.contains(&c)));
+    }
+
+    #[test]
+    fn random_bytes_deterministic(seed in 0u64..1000, len in 0usize..4000) {
+        prop_assert_eq!(random_bytes(seed, len), random_bytes(seed, len));
+    }
+
+    #[test]
+    fn tagged_corpus_tokens_carry_tags(seed in 0u64..200, tokens in 1usize..300) {
+        let corpus = text::tagged_corpus(seed, tokens);
+        let s = String::from_utf8(corpus).expect("ascii");
+        let toks: Vec<&str> = s.split_whitespace().collect();
+        prop_assert_eq!(toks.len(), tokens);
+        for tok in toks {
+            prop_assert!(
+                tok.rsplit_once('/')
+                    .is_some_and(|(_, tag)| text::TAGS.contains(&tag)),
+                "token '{tok}' lacks a known tag"
+            );
+        }
+    }
+
+    #[test]
+    fn pcap_stream_deterministic(seed in 0u64..200, len in 1024usize..20_000) {
+        let cfg = PcapConfig { len, ..PcapConfig::default() };
+        let a = pcap_like(seed, &cfg);
+        prop_assert_eq!(a.len(), len);
+        prop_assert_eq!(a, pcap_like(seed, &cfg));
+    }
+
+    #[test]
+    fn disk_image_deterministic(seed in 0u64..200, len in 4096usize..40_000) {
+        let cfg = DiskConfig { len, planted: vec![b"XYZZY".to_vec()] };
+        let (a, offsets_a) = disk_image(seed, &cfg);
+        let (b, offsets_b) = disk_image(seed, &cfg);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(offsets_a, offsets_b);
+    }
+
+    #[test]
+    fn names_unique_across_seed_space(seed in 0u64..100) {
+        let names = unique_names(seed, 64);
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        prop_assert_eq!(set.len(), 64);
+    }
+
+    #[test]
+    fn database_has_one_record_per_line(seed in 0u64..100, records in 1usize..400) {
+        let names = unique_names(1, 10);
+        let db = streaming_database(
+            seed,
+            &names,
+            &StreamConfig { records, ..StreamConfig::default() },
+        );
+        let lines = db.iter().filter(|&&b| b == b'\n').count();
+        prop_assert_eq!(lines, records);
+    }
+
+    #[test]
+    fn malware_files_shape(seed in 0u64..100, n in 1usize..12) {
+        let planted = vec![vec![0xAA, 0xBB, 0xCC]];
+        let files = malware_files(seed, n, 1024, &planted);
+        prop_assert_eq!(files.len(), n);
+        prop_assert!(files.iter().all(|f| f.len() == 1024));
+    }
+
+    #[test]
+    fn carving_stimulus_contains_zip_magic(seed in 0u64..50) {
+        let s = carving_stimulus(
+            seed,
+            &CarvingConfig { len: 60_000, ..CarvingConfig::default() },
+        );
+        prop_assert_eq!(s.len(), 60_000);
+        prop_assert!(s.windows(4).any(|w| w == b"PK\x03\x04"));
+    }
+}

@@ -1,0 +1,333 @@
+//! The AP PRNG benchmarks (Wadden et al., ICCD 2016).
+//!
+//! Driving automata with uniformly random symbols turns state transitions
+//! into probabilistic events: each Markov-chain automaton simulates an
+//! N-sided die, and many chains in parallel yield a high-throughput
+//! pseudo-random bit source. A chain over `N` faces has one homogeneous
+//! state per `(face, incoming byte-range)` pair (`N²` states) plus `N`
+//! output states that report whenever face 0 is entered — 20 states for
+//! the 4-sided chain and 72 for the 8-sided one, matching Table I.
+
+use azoo_core::{Automaton, StartKind, SymbolClass};
+
+/// Parameters for the AP PRNG benchmarks.
+#[derive(Debug, Clone, Copy)]
+pub struct ApPrngParams {
+    /// Number of die faces (4 or 8 in the paper).
+    pub sides: usize,
+    /// Number of parallel chains (paper: 1,000).
+    pub chains: usize,
+    /// Random input length in bytes.
+    pub input_len: usize,
+    /// Generation seed (for the input stimulus).
+    pub seed: u64,
+}
+
+impl ApPrngParams {
+    /// Full-scale published variant.
+    pub fn published(sides: usize) -> Self {
+        ApPrngParams {
+            sides,
+            chains: 1000,
+            input_len: 1 << 20,
+            seed: 0x99A6,
+        }
+    }
+}
+
+/// The byte range owned by roll `q` of an `sides`-sided die.
+fn roll_class(sides: usize, q: usize) -> SymbolClass {
+    let width = 256 / sides;
+    let lo = (q * width) as u8;
+    let hi = if q + 1 == sides {
+        255
+    } else {
+        (lo as usize + width - 1) as u8
+    };
+    SymbolClass::from_range(lo, hi)
+}
+
+/// Next face after rolling `q` on face `f`. The per-face offsets are
+/// derived from `salt` so that parallel chains follow *different* walks —
+/// otherwise identically-built chains driven by the shared input stay in
+/// lockstep and their combined output degenerates.
+fn next_face(f: usize, q: usize, sides: usize, salt: u64) -> usize {
+    let mix = salt
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(f as u64)
+        .wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    (f + q + 1 + (mix >> 32) as usize) % sides
+}
+
+/// Builds one `sides`-sided Markov-chain automaton reporting (with
+/// `code`) every time face 0 is entered. `salt` decorrelates parallel
+/// chains.
+///
+/// # Panics
+///
+/// Panics unless `sides` divides 256.
+pub fn markov_chain_salted(sides: usize, code: u32, salt: u64) -> Automaton {
+    assert!(sides > 1 && 256 % sides == 0, "sides must divide 256");
+    let mut a = Automaton::new();
+    // face_state[f][q]: on face f, entered by roll q.
+    let mut face_state = vec![vec![azoo_core::StateId::new(0); sides]; sides];
+    for f in 0..sides {
+        for q in 0..sides {
+            // Initially-enabled states: those the initial face (0) rolls
+            // into at the very first symbol.
+            let start = if next_face(0, q, sides, salt) == f {
+                StartKind::StartOfData
+            } else {
+                StartKind::None
+            };
+            face_state[f][q] = a.add_ste(roll_class(sides, q), start);
+        }
+    }
+    // Output states: report whenever face 0 is entered via roll q. Only
+    // rolls that can actually lead to face 0 get an output state (the
+    // salted walk may not use every roll for that step).
+    let used: std::collections::HashSet<usize> = (0..sides)
+        .flat_map(|f| (0..sides).map(move |q| (f, q)))
+        .filter(|&(f, q)| next_face(f, q, sides, salt) == 0)
+        .map(|(_, q)| q)
+        .collect();
+    let mut out_state = vec![None; sides];
+    for q in 0..sides {
+        if !used.contains(&q) {
+            continue;
+        }
+        let start = if next_face(0, q, sides, salt) == 0 {
+            StartKind::StartOfData
+        } else {
+            StartKind::None
+        };
+        let s = a.add_ste(roll_class(sides, q), start);
+        a.set_report(s, code);
+        out_state[q] = Some(s);
+    }
+    for f in 0..sides {
+        for q in 0..sides {
+            let from = face_state[f][q];
+            for q2 in 0..sides {
+                let to_face = next_face(f, q2, sides, salt);
+                a.add_edge(from, face_state[to_face][q2]);
+                if to_face == 0 {
+                    a.add_edge(from, out_state[q2].expect("created for used rolls"));
+                }
+            }
+        }
+    }
+    a
+}
+
+/// Builds one chain with a zero salt (convenient for single-chain use).
+pub fn markov_chain(sides: usize, code: u32) -> Automaton {
+    markov_chain_salted(sides, code, 0)
+}
+
+/// Builds the benchmark: `chains` parallel Markov chains plus uniform
+/// random bytes.
+pub fn build(params: &ApPrngParams) -> (Automaton, Vec<u8>) {
+    let mut a = Automaton::new();
+    for i in 0..params.chains {
+        a.append(&markov_chain_salted(params.sides, i as u32, i as u64 + 1));
+    }
+    let input = azoo_workloads::random_bytes(params.seed, params.input_len);
+    (a, input)
+}
+
+/// Extracts a pseudo-random bit stream from a report stream: one bit per
+/// input symbol, the parity of the number of chains that entered face 0
+/// on that symbol.
+pub fn extract_bits(reports: &[(u64, u32)], symbols: usize) -> Vec<bool> {
+    let mut counts = vec![0u32; symbols];
+    for &(offset, _) in reports {
+        if (offset as usize) < symbols {
+            counts[offset as usize] += 1;
+        }
+    }
+    counts.into_iter().map(|c| c % 2 == 1).collect()
+}
+
+/// Statistical quality metrics for a generated bit stream (the checks
+/// the AP PRNG paper runs on its output).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BitQuality {
+    /// Fraction of one-bits (ideal 0.5).
+    pub ones_fraction: f64,
+    /// Fraction of adjacent equal pairs (ideal 0.5).
+    pub serial_agreement: f64,
+    /// Chi-square statistic of the byte histogram against uniform
+    /// (255 degrees of freedom; < ~310 passes at alpha = 0.01).
+    pub byte_chi_square: f64,
+    /// Longest run of equal bits.
+    pub longest_run: usize,
+}
+
+/// Computes [`BitQuality`] for `bits`.
+///
+/// # Panics
+///
+/// Panics if fewer than 16 bits are provided.
+pub fn bit_quality(bits: &[bool]) -> BitQuality {
+    assert!(bits.len() >= 16, "need at least 16 bits");
+    let ones = bits.iter().filter(|&&b| b).count() as f64;
+    let agree = bits.windows(2).filter(|w| w[0] == w[1]).count() as f64;
+    let mut longest = 0usize;
+    let mut run = 0usize;
+    let mut prev = None;
+    for &b in bits {
+        if Some(b) == prev {
+            run += 1;
+        } else {
+            run = 1;
+            prev = Some(b);
+        }
+        longest = longest.max(run);
+    }
+    let bytes: Vec<u8> = bits
+        .chunks_exact(8)
+        .map(|c| c.iter().fold(0u8, |acc, &b| (acc << 1) | b as u8))
+        .collect();
+    let mut hist = [0u64; 256];
+    for &b in &bytes {
+        hist[b as usize] += 1;
+    }
+    let expected = bytes.len() as f64 / 256.0;
+    let chi: f64 = if expected > 0.0 {
+        hist.iter()
+            .map(|&c| {
+                let d = c as f64 - expected;
+                d * d / expected
+            })
+            .sum()
+    } else {
+        0.0
+    };
+    BitQuality {
+        ones_fraction: ones / bits.len() as f64,
+        serial_agreement: agree / (bits.len() - 1) as f64,
+        byte_chi_square: chi,
+        longest_run: longest,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use azoo_engines::{CollectSink, CountSink, Engine, NfaEngine};
+
+    #[test]
+    fn state_counts_match_table_i() {
+        // sides^2 face states plus up to `sides` output states (Table I:
+        // 20 and 72 per chain).
+        let four = markov_chain(4, 0).state_count();
+        let eight = markov_chain(8, 0).state_count();
+        assert!((17..=20).contains(&four), "4-sided chain has {four}");
+        assert!((65..=72).contains(&eight), "8-sided chain has {eight}");
+    }
+
+    #[test]
+    fn chain_never_dies_and_visits_face0_at_expected_rate() {
+        let a = markov_chain(4, 0);
+        a.validate().unwrap();
+        let input = azoo_workloads::random_bytes(1, 40_000);
+        let mut engine = NfaEngine::new(&a).unwrap();
+        let mut sink = CountSink::new();
+        let profile = engine.scan_profiled(&input, &mut sink);
+        // Exactly `sides` face states enabled every cycle, plus one
+        // output state when face 0 is next.
+        assert!(profile.active_set() >= 4.0 && profile.active_set() <= 6.0);
+        // Face 0 is visited with probability 1/4 per symbol.
+        let rate = sink.count() as f64 / input.len() as f64;
+        assert!((rate - 0.25).abs() < 0.02, "face-0 rate {rate}");
+    }
+
+    #[test]
+    fn eight_sided_rate_is_one_eighth() {
+        let a = markov_chain(8, 0);
+        let input = azoo_workloads::random_bytes(2, 40_000);
+        let mut engine = NfaEngine::new(&a).unwrap();
+        let mut sink = CountSink::new();
+        engine.scan(&input, &mut sink);
+        let rate = sink.count() as f64 / input.len() as f64;
+        assert!((rate - 0.125).abs() < 0.01, "face-0 rate {rate}");
+    }
+
+    #[test]
+    fn bitstream_is_balanced_and_uncorrelated() {
+        let (a, input) = build(&ApPrngParams {
+            sides: 4,
+            chains: 64,
+            input_len: 20_000,
+            seed: 3,
+        });
+        let mut engine = NfaEngine::new(&a).unwrap();
+        let mut sink = CollectSink::new();
+        engine.scan(&input, &mut sink);
+        let pairs: Vec<(u64, u32)> = sink
+            .reports()
+            .iter()
+            .map(|r| (r.offset, r.code.0))
+            .collect();
+        let bits = extract_bits(&pairs, input.len());
+        // Monobit test: ones fraction near 1/2.
+        let ones = bits.iter().filter(|&&b| b).count() as f64 / bits.len() as f64;
+        assert!((ones - 0.5).abs() < 0.02, "ones fraction {ones}");
+        // Serial test: adjacent-bit agreement near 1/2.
+        let agree = bits
+            .windows(2)
+            .filter(|w| w[0] == w[1])
+            .count() as f64
+            / (bits.len() - 1) as f64;
+        assert!((agree - 0.5).abs() < 0.02, "serial agreement {agree}");
+    }
+
+    #[test]
+    fn bit_quality_detects_bias() {
+        // A fair-ish alternating-block stream vs an all-ones stream.
+        let biased = vec![true; 1024];
+        let q = bit_quality(&biased);
+        assert_eq!(q.ones_fraction, 1.0);
+        assert_eq!(q.longest_run, 1024);
+        assert!(q.byte_chi_square > 10_000.0);
+        // The actual PRNG output passes.
+        let (a, input) = build(&ApPrngParams {
+            sides: 4,
+            chains: 32,
+            input_len: 60_000,
+            seed: 11,
+        });
+        let mut engine = NfaEngine::new(&a).unwrap();
+        let mut sink = CollectSink::new();
+        engine.scan(&input, &mut sink);
+        let pairs: Vec<(u64, u32)> = sink
+            .reports()
+            .iter()
+            .map(|r| (r.offset, r.code.0))
+            .collect();
+        let q = bit_quality(&extract_bits(&pairs, input.len()));
+        assert!((q.ones_fraction - 0.5).abs() < 0.02);
+        assert!((q.serial_agreement - 0.5).abs() < 0.02);
+        assert!(q.byte_chi_square < 400.0, "chi^2 {}", q.byte_chi_square);
+        assert!(q.longest_run < 40);
+    }
+
+    #[test]
+    fn deterministic_build() {
+        let (a1, i1) = build(&ApPrngParams {
+            sides: 8,
+            chains: 3,
+            input_len: 100,
+            seed: 7,
+        });
+        let (a2, i2) = build(&ApPrngParams {
+            sides: 8,
+            chains: 3,
+            input_len: 100,
+            seed: 7,
+        });
+        assert_eq!(a1, a2);
+        assert_eq!(i1, i2);
+    }
+}

@@ -1,0 +1,291 @@
+//! The Brill part-of-speech-tagging benchmark.
+//!
+//! Brill tagging patches incorrectly-tagged tokens using contextual
+//! rewrite rules learned from a corpus. Each rule's *condition* is a
+//! pattern over a window of `word/TAG` tokens, which is what the automata
+//! match. AutomataZoo uses 5,000 rules from the open-source BrillPlusPlus
+//! generator; this module generates 5,000 rules from the same contextual
+//! rule templates over a synthetic tagged corpus.
+
+use azoo_regex::{compile_ruleset, Ruleset};
+use azoo_workloads::text::{tagged_corpus, TAGS};
+use rand::RngExt;
+use rand_chacha::ChaCha8Rng;
+
+/// Parameters for the Brill benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct BrillParams {
+    /// Number of contextual rules (AutomataZoo: 5,000).
+    pub rules: usize,
+    /// Input size in tokens.
+    pub input_tokens: usize,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+impl Default for BrillParams {
+    fn default() -> Self {
+        BrillParams {
+            rules: 5000,
+            input_tokens: 150_000,
+            seed: 0xB211,
+        }
+    }
+}
+
+fn tag(r: &mut ChaCha8Rng) -> &'static str {
+    TAGS[r.random_range(0..TAGS.len())]
+}
+
+/// Generates one contextual rule condition as a regex over the
+/// `word/TAG` token stream. The templates mirror Brill's classic
+/// transformation templates (previous tag, next tag, surrounding tags,
+/// specific word with tag).
+pub fn generate_rule(r: &mut ChaCha8Rng) -> String {
+    let word = r"[a-z][a-z]*";
+    match r.random_range(0..5) {
+        // PREVTAG: retag when the previous token has tag T1.
+        0 => format!(r"/{word}\/{} {word}\/{}/", tag(r), tag(r)),
+        // NEXTTAG: condition on the following token's tag.
+        1 => format!(r"/{word}\/{} {word}\/{}/", tag(r), tag(r)),
+        // SURROUNDTAG: both neighbours.
+        2 => format!(
+            r"/{word}\/{} {word}\/{} {word}\/{}/",
+            tag(r),
+            tag(r),
+            tag(r)
+        ),
+        // CURWORD: a specific word carrying a tag.
+        3 => {
+            let w = azoo_workloads::text::word(r);
+            format!(r"/{w}\/{}/", tag(r))
+        }
+        // PREVWORD: specific word before a tagged token.
+        _ => {
+            let w = azoo_workloads::text::word(r);
+            format!(r"/{w}\/{} {word}\/{}/", tag(r), tag(r))
+        }
+    }
+}
+
+/// Generates and compiles the full rule list.
+pub fn compile_rules(seed: u64, n: usize) -> Ruleset {
+    let mut r = azoo_workloads::rng(seed);
+    let rules: Vec<String> = (0..n).map(|_| generate_rule(&mut r)).collect();
+    compile_ruleset(rules.iter().map(String::as_str))
+}
+
+/// Builds the benchmark: rule automata plus a tagged corpus stream.
+pub fn build(params: &BrillParams) -> (azoo_core::Automaton, Vec<u8>) {
+    let ruleset = compile_rules(params.seed, params.rules);
+    let input = tagged_corpus(params.seed ^ 0xB0B, params.input_tokens);
+    (ruleset.automaton, input)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use azoo_engines::{CountSink, Engine, NfaEngine};
+
+    #[test]
+    fn rules_compile_cleanly() {
+        let rs = compile_rules(1, 300);
+        assert_eq!(rs.compiled, 300);
+        assert!(rs.skipped.is_empty());
+        let stats = azoo_core::AutomatonStats::compute(&rs.automaton);
+        assert_eq!(stats.subgraphs, 300);
+        // Average rule automata are small (paper: 19.4 states).
+        assert!(stats.avg_subgraph_size > 5.0 && stats.avg_subgraph_size < 45.0);
+    }
+
+    #[test]
+    fn rules_fire_on_tagged_text() {
+        let (a, input) = build(&BrillParams {
+            rules: 400,
+            input_tokens: 5_000,
+            seed: 2,
+        });
+        let mut engine = NfaEngine::new(&a).unwrap();
+        let mut sink = CountSink::new();
+        engine.scan(&input, &mut sink);
+        // Tag-context rules over a 12-tag alphabet fire routinely.
+        assert!(sink.count() > 10, "only {} reports", sink.count());
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = compile_rules(9, 50);
+        let b = compile_rules(9, 50);
+        assert_eq!(a.automaton, b.automaton);
+    }
+}
+
+/// A contextual rule with its rewrite action: when the condition matches,
+/// the token ending the matched window is retagged.
+#[derive(Debug, Clone)]
+pub struct BrillRule {
+    /// The condition pattern (a regex over the `word/TAG` stream).
+    pub condition: String,
+    /// The corrected tag applied to the final token of the match.
+    pub new_tag: &'static str,
+}
+
+/// Generates `n` full rules (condition + action).
+pub fn generate_full_rules(seed: u64, n: usize) -> Vec<BrillRule> {
+    let mut r = azoo_workloads::rng(seed);
+    (0..n)
+        .map(|_| {
+            let condition = generate_rule(&mut r);
+            let new_tag = tag(&mut r);
+            BrillRule { condition, new_tag }
+        })
+        .collect()
+}
+
+/// Applies matched rules to the tagged corpus — the *full Brill kernel*:
+/// each report retags the token in which the match ended (first matching
+/// rule per token wins, in rule order, as Brill applies its learned rule
+/// sequence).
+///
+/// `reports` are `(offset, rule_index)` pairs from scanning `corpus`
+/// with the compiled conditions.
+pub fn apply_corrections(corpus: &[u8], reports: &[(u64, u32)], rules: &[BrillRule]) -> Vec<u8> {
+    // Token spans: maximal runs of non-whitespace.
+    let mut spans: Vec<(usize, usize)> = Vec::new();
+    let mut start = None;
+    for (i, &b) in corpus.iter().enumerate() {
+        let ws = b == b' ' || b == b'\n';
+        match (ws, start) {
+            (false, None) => start = Some(i),
+            (true, Some(s)) => {
+                spans.push((s, i));
+                start = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(s) = start {
+        spans.push((s, corpus.len()));
+    }
+    // Winning rule per token: lowest rule index among reports ending in it.
+    let mut winner: Vec<Option<u32>> = vec![None; spans.len()];
+    for &(offset, rule) in reports {
+        if rule as usize >= rules.len() {
+            continue;
+        }
+        if let Some(tok) = spans
+            .iter()
+            .position(|&(s, e)| (s..e).contains(&(offset as usize)))
+        {
+            let w = &mut winner[tok];
+            if w.is_none() || rule < w.expect("checked") {
+                *w = Some(rule);
+            }
+        }
+    }
+    // Rewrite tags.
+    let mut out = Vec::with_capacity(corpus.len());
+    let mut pos = 0;
+    for (tok, &(s, e)) in spans.iter().enumerate() {
+        out.extend_from_slice(&corpus[pos..s]);
+        let token = &corpus[s..e];
+        match winner[tok] {
+            Some(rule) => {
+                let slash = token.iter().rposition(|&b| b == b'/');
+                match slash {
+                    Some(cut) => {
+                        out.extend_from_slice(&token[..=cut]);
+                        out.extend_from_slice(rules[rule as usize].new_tag.as_bytes());
+                    }
+                    None => out.extend_from_slice(token),
+                }
+            }
+            None => out.extend_from_slice(token),
+        }
+        pos = e;
+    }
+    out.extend_from_slice(&corpus[pos..]);
+    out
+}
+
+#[cfg(test)]
+mod kernel_tests {
+    use super::*;
+    use azoo_engines::{CollectSink, Engine, NfaEngine};
+
+    #[test]
+    fn corrections_retag_the_matched_token() {
+        let rules = vec![
+            BrillRule {
+                condition: r"/[a-z][a-z]*\/DT [a-z][a-z]*\/VB/".into(),
+                new_tag: "NN",
+            },
+        ];
+        let ruleset = azoo_regex::compile_ruleset(rules.iter().map(|r| r.condition.as_str()));
+        assert_eq!(ruleset.compiled, 1);
+        let corpus = b"the/DT run/VB fast/RB".to_vec();
+        let mut engine = NfaEngine::new(&ruleset.automaton).unwrap();
+        let mut sink = CollectSink::new();
+        engine.scan(&corpus, &mut sink);
+        assert!(!sink.reports().is_empty(), "condition must match");
+        let pairs: Vec<(u64, u32)> = sink
+            .reports()
+            .iter()
+            .map(|r| (r.offset, r.code.0))
+            .collect();
+        let corrected = apply_corrections(&corpus, &pairs, &rules);
+        assert_eq!(
+            String::from_utf8(corrected).unwrap(),
+            "the/DT run/NN fast/RB",
+            "VB after DT is retagged to NN"
+        );
+    }
+
+    #[test]
+    fn lowest_rule_index_wins() {
+        let rules = vec![
+            BrillRule {
+                condition: "x".into(),
+                new_tag: "AA",
+            },
+            BrillRule {
+                condition: "x".into(),
+                new_tag: "BB",
+            },
+        ];
+        let corpus = b"wx/CC".to_vec();
+        // Both rules "match" at offset 1 (inside the token).
+        let corrected = apply_corrections(&corpus, &[(1, 1), (1, 0)], &rules);
+        assert_eq!(String::from_utf8(corrected).unwrap(), "wx/AA");
+    }
+
+    #[test]
+    fn unmatched_tokens_are_untouched() {
+        let rules = generate_full_rules(1, 5);
+        let corpus = b"alpha/NN beta/VB\ngamma/JJ".to_vec();
+        let same = apply_corrections(&corpus, &[], &rules);
+        assert_eq!(same, corpus);
+    }
+
+    #[test]
+    fn full_kernel_runs_end_to_end() {
+        let rules = generate_full_rules(3, 200);
+        let ruleset =
+            azoo_regex::compile_ruleset(rules.iter().map(|r| r.condition.as_str()));
+        let corpus = azoo_workloads::text::tagged_corpus(9, 2000);
+        let mut engine = NfaEngine::new(&ruleset.automaton).unwrap();
+        let mut sink = CollectSink::new();
+        engine.scan(&corpus, &mut sink);
+        let pairs: Vec<(u64, u32)> = sink
+            .reports()
+            .iter()
+            .map(|r| (r.offset, r.code.0))
+            .collect();
+        let corrected = apply_corrections(&corpus, &pairs, &rules);
+        // Some corrections should actually land on a 2,000-token corpus.
+        assert_ne!(corrected, corpus, "no rule ever fired");
+        // Token count unchanged.
+        let count = |c: &[u8]| c.split(|&b| b == b' ' || b == b'\n').count();
+        assert_eq!(count(&corrected), count(&corpus));
+    }
+}

@@ -1,0 +1,235 @@
+//! The ClamAV virus-detection benchmark.
+//!
+//! ClamAV signatures are hexadecimal body patterns with `??` wildcard
+//! bytes, bounded `{n-m}` jumps, and unbounded `*` jumps. The paper's
+//! pipeline converts signatures to regular expressions and compiles them
+//! with the open-source front end; the input is a disk image with two
+//! embedded virus fragments. The real signature database is not
+//! redistributable, so a synthetic database with the same pattern grammar
+//! and length statistics is generated.
+
+use azoo_regex::{compile_ruleset, Ruleset};
+use azoo_workloads::disk::{disk_image, DiskConfig};
+use rand::RngExt;
+
+/// Parameters for the ClamAV benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct ClamAvParams {
+    /// Number of signatures.
+    pub signatures: usize,
+    /// Disk-image size in bytes.
+    pub input_len: usize,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+impl Default for ClamAvParams {
+    fn default() -> Self {
+        ClamAvParams {
+            signatures: 33_000,
+            input_len: 1 << 20,
+            seed: 0xC1A3,
+        }
+    }
+}
+
+/// Generates a synthetic hex signature: mostly fixed bytes, occasional
+/// `??` wildcards and `{n-m}` jumps.
+pub fn generate_signature(r: &mut rand_chacha::ChaCha8Rng) -> String {
+    let body_len = r.random_range(40..100);
+    let mut sig = String::new();
+    let mut i = 0;
+    while i < body_len {
+        let roll = r.random_range(0..100);
+        if roll < 88 {
+            sig.push_str(&format!("{:02x}", r.random::<u8>()));
+            i += 1;
+        } else if roll < 96 {
+            sig.push_str("??");
+            i += 1;
+        } else {
+            let lo = r.random_range(1..6);
+            let hi = lo + r.random_range(0..8);
+            sig.push_str(&format!("{{{lo}-{hi}}}"));
+            i += 2;
+        }
+    }
+    sig
+}
+
+/// Converts a ClamAV hex signature to a delimited regular expression
+/// (`/.../s` — dot must match newline in binary data).
+///
+/// # Errors
+///
+/// Returns a description of the malformed token on failure.
+pub fn sig_to_regex(sig: &str) -> Result<String, String> {
+    let bytes = sig.as_bytes();
+    let mut out = String::from("/");
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'?' => {
+                if bytes.get(i + 1) == Some(&b'?') {
+                    out.push('.');
+                    i += 2;
+                } else {
+                    return Err(format!("lone '?' at {i}"));
+                }
+            }
+            b'*' => {
+                out.push_str(".*");
+                i += 1;
+            }
+            b'{' => {
+                let end = sig[i..]
+                    .find('}')
+                    .ok_or_else(|| format!("unterminated jump at {i}"))?
+                    + i;
+                let body = &sig[i + 1..end];
+                let (lo, hi) = body
+                    .split_once('-')
+                    .ok_or_else(|| format!("malformed jump '{body}'"))?;
+                out.push_str(&format!(".{{{lo},{hi}}}"));
+                i = end + 1;
+            }
+            _ => {
+                let pair = sig
+                    .get(i..i + 2)
+                    .ok_or_else(|| format!("dangling nibble at {i}"))?;
+                let v = u8::from_str_radix(pair, 16).map_err(|e| format!("bad hex: {e}"))?;
+                out.push_str(&format!(r"\x{v:02x}"));
+                i += 2;
+            }
+        }
+    }
+    out.push_str("/s");
+    Ok(out)
+}
+
+/// Renders a concrete byte instance of a signature (wildcards filled),
+/// used to plant true positives in the disk image.
+pub fn instantiate(sig: &str, r: &mut rand_chacha::ChaCha8Rng) -> Vec<u8> {
+    let bytes = sig.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'?' => {
+                out.push(r.random());
+                i += 2;
+            }
+            b'*' => i += 1,
+            b'{' => {
+                let end = sig[i..].find('}').expect("validated") + i;
+                let body = &sig[i + 1..end];
+                let (lo, _) = body.split_once('-').expect("validated");
+                for _ in 0..lo.parse::<usize>().expect("validated") {
+                    out.push(r.random());
+                }
+                i = end + 1;
+            }
+            _ => {
+                out.push(u8::from_str_radix(&sig[i..i + 2], 16).expect("validated"));
+                i += 2;
+            }
+        }
+    }
+    out
+}
+
+/// Generates the database and compiles it.
+pub fn compile_database(seed: u64, n: usize) -> (Vec<String>, Ruleset) {
+    let mut r = azoo_workloads::rng(seed);
+    let sigs: Vec<String> = (0..n).map(|_| generate_signature(&mut r)).collect();
+    let regexes: Vec<String> = sigs
+        .iter()
+        .map(|s| sig_to_regex(s).expect("generated signatures are well-formed"))
+        .collect();
+    let ruleset = compile_ruleset(regexes.iter().map(String::as_str));
+    (sigs, ruleset)
+}
+
+/// Builds the benchmark: the signature automaton plus a disk image with
+/// two planted virus fragments (as the paper does with VirusSign
+/// samples).
+pub fn build(params: &ClamAvParams) -> (azoo_core::Automaton, Vec<u8>) {
+    let (sigs, ruleset) = compile_database(params.seed, params.signatures);
+    let mut r = azoo_workloads::rng(params.seed ^ 0x77);
+    let planted: Vec<Vec<u8>> = sigs.iter().take(2).map(|s| instantiate(s, &mut r)).collect();
+    let (image, _) = disk_image(
+        params.seed ^ 0x99,
+        &DiskConfig {
+            len: params.input_len,
+            planted,
+        },
+    );
+    (ruleset.automaton, image)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use azoo_engines::{CollectSink, Engine, NfaEngine};
+
+    #[test]
+    fn sig_to_regex_translates_tokens() {
+        assert_eq!(sig_to_regex("9c50").unwrap(), r"/\x9c\x50/s");
+        assert_eq!(sig_to_regex("9c??50").unwrap(), r"/\x9c.\x50/s");
+        assert_eq!(sig_to_regex("9c{2-5}50").unwrap(), r"/\x9c.{2,5}\x50/s");
+        assert_eq!(sig_to_regex("aa*bb").unwrap(), r"/\xaa.*\xbb/s");
+        assert!(sig_to_regex("9").is_err());
+        assert!(sig_to_regex("9c{2-").is_err());
+        assert!(sig_to_regex("zz").is_err());
+    }
+
+    #[test]
+    fn instance_matches_its_own_signature() {
+        let mut r = azoo_workloads::rng(5);
+        for _ in 0..10 {
+            let sig = generate_signature(&mut r);
+            let regex = sig_to_regex(&sig).unwrap();
+            let a = azoo_regex::compile(&regex, 0).unwrap();
+            let instance = instantiate(&sig, &mut r);
+            let mut engine = NfaEngine::new(&a).unwrap();
+            let mut sink = CollectSink::new();
+            engine.scan(&instance, &mut sink);
+            assert!(
+                !sink.reports().is_empty(),
+                "instance of '{sig}' not matched by its own automaton"
+            );
+        }
+    }
+
+    #[test]
+    fn benchmark_detects_planted_viruses() {
+        let params = ClamAvParams {
+            signatures: 50,
+            input_len: 200_000,
+            seed: 21,
+        };
+        let (a, image) = build(&params);
+        a.validate().unwrap();
+        let mut engine = NfaEngine::new(&a).unwrap();
+        let mut sink = CollectSink::new();
+        engine.scan(&image, &mut sink);
+        // The two planted fragments are instances of signatures 0 and 1.
+        let codes: std::collections::HashSet<u32> =
+            sink.reports().iter().map(|r| r.code.0).collect();
+        assert!(
+            codes.contains(&0) && codes.contains(&1),
+            "planted fragments not detected: {codes:?}"
+        );
+    }
+
+    #[test]
+    fn database_compiles_fully() {
+        let (_, rs) = compile_database(1, 100);
+        assert_eq!(rs.compiled, 100);
+        assert!(rs.skipped.is_empty());
+        let stats = azoo_core::AutomatonStats::compute(&rs.automaton);
+        assert_eq!(stats.subgraphs, 100);
+        // Signatures average ~40-100 states (paper: 71.6).
+        assert!(stats.avg_subgraph_size > 30.0 && stats.avg_subgraph_size < 130.0);
+    }
+}

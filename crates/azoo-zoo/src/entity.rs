@@ -1,0 +1,213 @@
+//! The Entity Resolution benchmark.
+//!
+//! Entity resolution finds duplicate database entries despite format
+//! variation and typos (Bo et al.). AutomataZoo rebuilt this benchmark
+//! with a name generator producing 10,000+ unique names rendered in
+//! several formats and an error-injecting streaming database. Each name
+//! compiles to one automaton recognizing its format variants
+//! case-insensitively.
+
+use azoo_regex::{compile_ruleset, Ruleset};
+use azoo_workloads::names::{streaming_database, unique_names, Name, StreamConfig};
+
+/// Parameters for the Entity Resolution benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct EntityParams {
+    /// Number of unique names to resolve (AutomataZoo: 10,000).
+    pub names: usize,
+    /// Records in the streaming database input.
+    pub records: usize,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+impl Default for EntityParams {
+    fn default() -> Self {
+        EntityParams {
+            names: 10_000,
+            records: 100_000,
+            seed: 0xE277,
+        }
+    }
+}
+
+/// The matcher pattern for one name: an alternation of its rendering
+/// formats with flexible separators, case-insensitive.
+pub fn name_pattern(name: &Name) -> String {
+    let first = &name.first;
+    let last = &name.last;
+    let initial = &first[0..1];
+    format!(r"/({first} +{last}|{last}, *{first}|{initial}\. {last})/i")
+}
+
+/// Compiles the matcher set for `names`.
+pub fn compile_names(names: &[Name]) -> Ruleset {
+    let patterns: Vec<String> = names.iter().map(name_pattern).collect();
+    compile_ruleset(patterns.iter().map(String::as_str))
+}
+
+/// Builds the benchmark: matchers for `names` unique names plus the
+/// streaming database with duplicates, format variation, and injected
+/// errors.
+pub fn build(params: &EntityParams) -> (azoo_core::Automaton, Vec<u8>) {
+    let names = unique_names(params.seed, params.names);
+    let ruleset = compile_names(&names);
+    let input = streaming_database(
+        params.seed ^ 0xD00D,
+        &names,
+        &StreamConfig {
+            records: params.records,
+            duplicate_rate: 0.3,
+            error_rate: 0.3,
+        },
+    );
+    (ruleset.automaton, input)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use azoo_engines::{CollectSink, Engine, NfaEngine};
+    use azoo_workloads::names::NameFormat;
+
+    #[test]
+    fn pattern_matches_all_formats_case_insensitively() {
+        let name = Name {
+            first: "maria".into(),
+            last: "kovson".into(),
+        };
+        let a = azoo_regex::compile(&name_pattern(&name), 0).unwrap();
+        let mut engine = NfaEngine::new(&a).unwrap();
+        for fmt in [
+            NameFormat::FirstLast,
+            NameFormat::LastCommaFirst,
+            NameFormat::InitialLast,
+        ] {
+            let mut text = name.render(fmt).to_uppercase().into_bytes();
+            text.push(b'\n');
+            let mut sink = CollectSink::new();
+            engine.scan(&text, &mut sink);
+            assert!(!sink.reports().is_empty(), "format {fmt:?} missed");
+        }
+    }
+
+    #[test]
+    fn pattern_rejects_other_names() {
+        let a = azoo_regex::compile(
+            &name_pattern(&Name {
+                first: "maria".into(),
+                last: "kovson".into(),
+            }),
+            0,
+        )
+        .unwrap();
+        let mut engine = NfaEngine::new(&a).unwrap();
+        let mut sink = CollectSink::new();
+        engine.scan(b"johan bergman\nkovson, pietro\n", &mut sink);
+        assert!(sink.reports().is_empty());
+    }
+
+    #[test]
+    fn benchmark_resolves_duplicates_in_stream() {
+        let (a, input) = build(&EntityParams {
+            names: 150,
+            records: 3000,
+            seed: 4,
+        });
+        a.validate().unwrap();
+        let stats = azoo_core::AutomatonStats::compute(&a);
+        // The Glushkov construction gives one component per format
+        // alternative (three per name).
+        assert_eq!(stats.subgraphs, 450);
+        // Per-name automata are a few dozen states across their three
+        // format components (paper: 41.3 avg per name).
+        let per_name = stats.states as f64 / 150.0;
+        assert!(per_name > 15.0 && per_name < 80.0, "{per_name} states/name");
+        let mut engine = NfaEngine::new(&a).unwrap();
+        let mut sink = CollectSink::new();
+        engine.scan(&input, &mut sink);
+        let distinct: std::collections::HashSet<u32> =
+            sink.reports().iter().map(|r| r.code.0).collect();
+        // With a 30% duplicate rate over 3000 records, a large share of
+        // the 150 names must be resolved at least once.
+        assert!(distinct.len() > 75, "only {} names resolved", distinct.len());
+    }
+}
+
+/// A resolved duplicate: which database record matched which known name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Resolution {
+    /// Zero-based record (line) number in the streaming database.
+    pub record: usize,
+    /// Index of the known name that matched.
+    pub name_index: u32,
+}
+
+/// Turns a report stream from scanning the newline-separated database
+/// into record-level resolutions — the interpretable full-kernel output
+/// (which record duplicates which entity), deduplicated.
+pub fn resolve(database: &[u8], reports: &[(u64, u32)]) -> Vec<Resolution> {
+    // Prefix count of newlines up to each offset.
+    let mut line_starts = vec![0usize];
+    for (i, &b) in database.iter().enumerate() {
+        if b == b'\n' {
+            line_starts.push(i + 1);
+        }
+    }
+    let mut out: Vec<Resolution> = reports
+        .iter()
+        .map(|&(offset, name_index)| {
+            let record = line_starts
+                .partition_point(|&s| s <= offset as usize)
+                .saturating_sub(1);
+            Resolution { record, name_index }
+        })
+        .collect();
+    out.sort_unstable_by_key(|r| (r.record, r.name_index));
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod kernel_tests {
+    use super::*;
+    use azoo_engines::{CollectSink, Engine, NfaEngine};
+    use azoo_workloads::names::Name;
+
+    #[test]
+    fn resolutions_point_at_the_right_records() {
+        let names = vec![
+            Name { first: "maria".into(), last: "kovson".into() },
+            Name { first: "johan".into(), last: "bergman".into() },
+        ];
+        let ruleset = compile_names(&names);
+        let db = b"nobody special\nkovson, maria\nx\njohan bergman\n".to_vec();
+        let mut engine = NfaEngine::new(&ruleset.automaton).unwrap();
+        let mut sink = CollectSink::new();
+        engine.scan(&db, &mut sink);
+        let pairs: Vec<(u64, u32)> = sink
+            .reports()
+            .iter()
+            .map(|r| (r.offset, r.code.0))
+            .collect();
+        let resolutions = resolve(&db, &pairs);
+        assert_eq!(
+            resolutions,
+            vec![
+                Resolution { record: 1, name_index: 0 },
+                Resolution { record: 3, name_index: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn resolve_dedups_multiple_format_hits() {
+        // One record matching twice (e.g. overlapping alternatives) still
+        // yields one resolution.
+        let reports = vec![(5, 0), (7, 0), (5, 0)];
+        let db = b"maria kovson\n".to_vec();
+        let r = resolve(&db, &reports);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0], Resolution { record: 0, name_index: 0 });
+    }
+}

@@ -1,0 +1,193 @@
+//! Hamming-distance mesh automata (Roy & Aluru; AutomataZoo Section X).
+//!
+//! A Hamming filter for pattern `p` of length `l` and distance `d`
+//! reports every input window of length `l` within Hamming distance `d`
+//! of `p`. The mesh tracks `(position, mismatches)` with two state tracks
+//! — one entered by matching `p[i]`, one by mismatching — which makes the
+//! automaton homogeneous (the symbol class lives on the state).
+
+use azoo_core::{Automaton, StartKind, SymbolClass};
+use azoo_workloads::dna;
+
+/// Parameters for the Hamming benchmark family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HammingParams {
+    /// Encoded pattern length `l`.
+    pub length: usize,
+    /// Mismatch threshold `d`.
+    pub distance: usize,
+    /// Number of filters `N`.
+    pub filters: usize,
+    /// Input length in base-pairs.
+    pub input_len: usize,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+impl HammingParams {
+    /// The paper's three published variants (Table V): `18x3`, `22x5`,
+    /// `31x10`, each with 1,000 filters.
+    pub fn published(length: usize, distance: usize) -> Self {
+        HammingParams {
+            length,
+            distance,
+            filters: 1000,
+            input_len: 1 << 20,
+            seed: 0xA200 + (length * 100 + distance) as u64,
+        }
+    }
+}
+
+/// Builds one Hamming filter automaton for `pattern` within distance `d`.
+/// All final-column states report with `code`.
+///
+/// # Panics
+///
+/// Panics if the pattern is empty or `d >= pattern.len()`.
+pub fn hamming_filter(pattern: &[u8], d: usize, code: u32) -> Automaton {
+    let l = pattern.len();
+    assert!(l > 0, "empty pattern");
+    assert!(d < l, "distance must be below pattern length");
+    let mut a = Automaton::new();
+    // State (i, k, track): consumed i symbols (1-based), k mismatches;
+    // track 0 = entered by match, track 1 = entered by mismatch.
+    // ids[i-1][k][track]
+    let mut ids = vec![[[None::<azoo_core::StateId>; 2]; 32]; l];
+    assert!(d < 31, "distance out of supported range");
+    for i in 1..=l {
+        let sym = SymbolClass::from_byte(pattern[i - 1]);
+        let nsym = sym.complement();
+        for k in 0..=d.min(i) {
+            // Match track: k mismatches among first i-1 symbols, i-th
+            // matched. Exists when k <= i-1.
+            if k <= i - 1 {
+                let start = if i == 1 {
+                    StartKind::AllInput
+                } else {
+                    StartKind::None
+                };
+                let s = a.add_ste(sym, start);
+                ids[i - 1][k][0] = Some(s);
+            }
+            // Mismatch track: i-th symbol mismatched, so k >= 1.
+            if k >= 1 {
+                let start = if i == 1 {
+                    StartKind::AllInput
+                } else {
+                    StartKind::None
+                };
+                let s = a.add_ste(nsym, start);
+                ids[i - 1][k][1] = Some(s);
+            }
+        }
+    }
+    // Wire transitions and reports.
+    for i in 1..=l {
+        for k in 0..=d.min(i) {
+            for track in 0..2 {
+                let Some(s) = ids[i - 1][k][track] else {
+                    continue;
+                };
+                if i == l {
+                    a.set_report(s, code);
+                    continue;
+                }
+                if let Some(m) = ids[i][k][0] {
+                    a.add_edge(s, m);
+                }
+                if k + 1 <= d {
+                    if let Some(mm) = ids[i][k + 1][1] {
+                        a.add_edge(s, mm);
+                    }
+                }
+            }
+        }
+    }
+    a
+}
+
+/// Builds the full benchmark: `filters` filters over random DNA patterns,
+/// plus the standard random-DNA input stimulus.
+pub fn build(params: &HammingParams) -> (Automaton, Vec<u8>) {
+    let mut a = Automaton::new();
+    for i in 0..params.filters {
+        let pattern = dna::random_dna(params.seed ^ (i as u64 + 1), params.length);
+        let f = hamming_filter(&pattern, params.distance, i as u32);
+        a.append(&f);
+    }
+    let input = dna::random_dna(params.seed ^ 0xFFFF_0001, params.input_len);
+    (a, input)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use azoo_engines::{CollectSink, Engine, NfaEngine};
+
+    /// Reference: all window end-offsets within Hamming distance d.
+    fn naive_hamming(pattern: &[u8], d: usize, input: &[u8]) -> Vec<u64> {
+        let l = pattern.len();
+        let mut out = Vec::new();
+        for start in 0..input.len().saturating_sub(l - 1) {
+            let mism = pattern
+                .iter()
+                .zip(&input[start..start + l])
+                .filter(|(a, b)| a != b)
+                .count();
+            if mism <= d {
+                out.push((start + l - 1) as u64);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn filter_agrees_with_naive_scan() {
+        let pattern = b"ACGTAC";
+        for d in 0..4 {
+            let a = hamming_filter(pattern, d, 0);
+            a.validate().unwrap();
+            let input = dna::random_dna(5, 400);
+            let mut engine = NfaEngine::new(&a).unwrap();
+            let mut sink = CollectSink::new();
+            engine.scan(&input, &mut sink);
+            let mut got: Vec<u64> = sink.reports().iter().map(|r| r.offset).collect();
+            got.sort_unstable();
+            got.dedup();
+            assert_eq!(got, naive_hamming(pattern, d, &input), "d={d}");
+        }
+    }
+
+    #[test]
+    fn exact_match_reports_once_per_occurrence() {
+        let a = hamming_filter(b"AAAA", 0, 0);
+        let mut engine = NfaEngine::new(&a).unwrap();
+        let mut sink = CollectSink::new();
+        engine.scan(b"CCAAAACC", &mut sink);
+        assert_eq!(sink.reports().len(), 1);
+    }
+
+    #[test]
+    fn state_count_scales_with_l_and_d() {
+        let small = hamming_filter(&dna::random_dna(1, 18), 3, 0);
+        let large = hamming_filter(&dna::random_dna(1, 31), 10, 0);
+        assert!(large.state_count() > 2 * small.state_count());
+        // Roughly 2(d+1) states per column.
+        assert!(small.state_count() >= 18 * 4 && small.state_count() <= 18 * 8);
+    }
+
+    #[test]
+    fn benchmark_has_one_subgraph_per_filter() {
+        let (a, input) = build(&HammingParams {
+            length: 10,
+            distance: 2,
+            filters: 7,
+            input_len: 500,
+            seed: 1,
+        });
+        let stats = azoo_core::AutomatonStats::compute(&a);
+        assert_eq!(stats.subgraphs, 7);
+        assert_eq!(input.len(), 500);
+        a.validate().unwrap();
+    }
+}

@@ -1,0 +1,240 @@
+//! Levenshtein (edit-distance) mesh automata (Tracy et al.; AutomataZoo
+//! Section X).
+//!
+//! A Levenshtein filter for pattern `p` and distance `d` reports at every
+//! input offset where some suffix of the stream so far is within edit
+//! distance `d` of `p` (insertions, deletions, substitutions). The
+//! construction is the classic Levenshtein NFA over configurations
+//! `(consumed, edits)` with deletion ε-moves pre-expanded by closure, and
+//! made homogeneous with two tracks per configuration: one entered by a
+//! match (class `{p[i]}`) and one entered by an insert/substitute (class
+//! `Σ`).
+
+use azoo_core::{Automaton, StartKind, StateId, SymbolClass};
+use azoo_workloads::dna;
+
+/// Parameters for the Levenshtein benchmark family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevenshteinParams {
+    /// Encoded pattern length `l`.
+    pub length: usize,
+    /// Edit-distance threshold `d`.
+    pub distance: usize,
+    /// Number of filters `N`.
+    pub filters: usize,
+    /// Input length in base-pairs.
+    pub input_len: usize,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+impl LevenshteinParams {
+    /// The paper's three published variants (Table V): `19x3`, `24x5`,
+    /// `37x10`, each with 1,000 filters.
+    pub fn published(length: usize, distance: usize) -> Self {
+        LevenshteinParams {
+            length,
+            distance,
+            filters: 1000,
+            input_len: 1 << 20,
+            seed: 0x1EE7 + (length * 100 + distance) as u64,
+        }
+    }
+}
+
+/// Builds one Levenshtein filter automaton for `pattern` within edit
+/// distance `d`, reporting with `code`.
+///
+/// # Panics
+///
+/// Panics if the pattern is empty or `d >= pattern.len()`.
+pub fn levenshtein_filter(pattern: &[u8], d: usize, code: u32) -> Automaton {
+    let l = pattern.len();
+    assert!(l > 0, "empty pattern");
+    assert!(d < l, "distance must be below pattern length");
+    let mut a = Automaton::new();
+    // Track 0: entered by matching p[i-1]; track 1: entered by any symbol
+    // (insertion or substitution).
+    let mut ids = vec![vec![[None::<StateId>; 2]; d + 1]; l + 1];
+    let accepting = |i: usize, e: usize| l - i <= d - e;
+    for i in 0..=l {
+        for e in 0..=d {
+            if i >= 1 {
+                let s = a.add_ste(SymbolClass::from_byte(pattern[i - 1]), StartKind::None);
+                ids[i][e][0] = Some(s);
+                if accepting(i, e) {
+                    a.set_report(s, code);
+                }
+            }
+            if e >= 1 {
+                let s = a.add_ste(SymbolClass::FULL, StartKind::None);
+                ids[i][e][1] = Some(s);
+                if accepting(i, e) {
+                    a.set_report(s, code);
+                }
+            }
+        }
+    }
+    // Deletion closure of configuration (i, e).
+    let closure = |i: usize, e: usize| -> Vec<(usize, usize)> {
+        (0..=(l - i).min(d - e)).map(|j| (i + j, e + j)).collect()
+    };
+    // Symbol successors of a configuration set (match / substitute /
+    // insert), as homogeneous target states.
+    let targets_of = |cfg: (usize, usize)| -> Vec<StateId> {
+        let mut out = Vec::new();
+        for (i, e) in closure(cfg.0, cfg.1) {
+            if i < l {
+                if let Some(m) = ids[i + 1][e][0] {
+                    out.push(m);
+                }
+                if e < d {
+                    if let Some(s) = ids[i + 1][e + 1][1] {
+                        out.push(s);
+                    }
+                }
+            }
+            if e < d {
+                if let Some(ins) = ids[i][e + 1][1] {
+                    out.push(ins);
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    };
+    for i in 0..=l {
+        for e in 0..=d {
+            for track in 0..2 {
+                let Some(s) = ids[i][e][track] else { continue };
+                for t in targets_of((i, e)) {
+                    a.add_edge(s, t);
+                }
+            }
+        }
+    }
+    // Start states: symbol successors of the initial configuration (0,0).
+    for t in targets_of((0, 0)) {
+        if let azoo_core::ElementKind::Ste { start, .. } = &mut a.element_mut(t).kind {
+            *start = StartKind::AllInput;
+        }
+    }
+    // The uniform (i, e) grid creates some configurations no path can
+    // reach (e.g. high-edit cells next to the start); prune them.
+    azoo_passes::remove_dead(&a)
+}
+
+/// Builds the full benchmark: `filters` filters over random DNA patterns,
+/// plus the standard random-DNA input.
+pub fn build(params: &LevenshteinParams) -> (Automaton, Vec<u8>) {
+    let mut a = Automaton::new();
+    for i in 0..params.filters {
+        let pattern = dna::random_dna(params.seed ^ (i as u64 + 1), params.length);
+        let f = levenshtein_filter(&pattern, params.distance, i as u32);
+        a.append(&f);
+    }
+    let input = dna::random_dna(params.seed ^ 0xFFFF_0002, params.input_len);
+    (a, input)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use azoo_engines::{CollectSink, Engine, NfaEngine};
+
+    /// Sellers' algorithm: offsets where some stream suffix is within
+    /// edit distance d of the pattern.
+    fn naive_levenshtein(pattern: &[u8], d: usize, input: &[u8]) -> Vec<u64> {
+        let l = pattern.len();
+        let mut prev: Vec<usize> = (0..=l).collect();
+        let mut out = Vec::new();
+        for (o, &c) in input.iter().enumerate() {
+            let mut cur = vec![0usize; l + 1];
+            for j in 1..=l {
+                let sub = prev[j - 1] + usize::from(c != pattern[j - 1]);
+                let ins = prev[j] + 1;
+                let del = cur[j - 1] + 1;
+                cur[j] = sub.min(ins).min(del);
+            }
+            if cur[l] <= d {
+                out.push(o as u64);
+            }
+            prev = cur;
+        }
+        out
+    }
+
+    #[test]
+    fn filter_agrees_with_sellers_dp() {
+        let pattern = b"ACGTTGA";
+        for d in 1..4 {
+            let a = levenshtein_filter(pattern, d, 0);
+            a.validate().unwrap();
+            let input = dna::random_dna(17, 300);
+            let mut engine = NfaEngine::new(&a).unwrap();
+            let mut sink = CollectSink::new();
+            engine.scan(&input, &mut sink);
+            let mut got: Vec<u64> = sink.reports().iter().map(|r| r.offset).collect();
+            got.sort_unstable();
+            got.dedup();
+            assert_eq!(got, naive_levenshtein(pattern, d, &input), "d={d}");
+        }
+    }
+
+    #[test]
+    fn detects_each_edit_kind() {
+        let a = levenshtein_filter(b"ACGTACGT", 1, 0);
+        let mut engine = NfaEngine::new(&a).unwrap();
+        for (mutated, kind) in [
+            (&b"ACGTACGT"[..], "exact"),
+            (&b"ACGAACGT"[..], "substitution"),
+            (&b"ACGACGT"[..], "deletion"),
+            (&b"ACGTTACGT"[..], "insertion"),
+        ] {
+            let mut padded = b"CCCC".to_vec();
+            padded.extend_from_slice(mutated);
+            padded.extend_from_slice(b"CCCC");
+            let mut sink = CollectSink::new();
+            engine.scan(&padded, &mut sink);
+            assert!(!sink.reports().is_empty(), "{kind} not detected");
+        }
+    }
+
+    #[test]
+    fn two_edits_not_detected_at_d1() {
+        let a = levenshtein_filter(b"AAAACCCCGGGG", 1, 0);
+        let mut engine = NfaEngine::new(&a).unwrap();
+        let mut sink = CollectSink::new();
+        // Two substitutions, far apart.
+        engine.scan(b"TTTT AATACCCCGGTG TTTT", &mut sink);
+        assert!(sink.reports().is_empty());
+    }
+
+    #[test]
+    fn edge_density_exceeds_hamming() {
+        // Table I: Levenshtein meshes are much denser than Hamming.
+        let lev = levenshtein_filter(&dna::random_dna(2, 19), 3, 0);
+        let ham = crate::hamming::hamming_filter(&dna::random_dna(2, 18), 3, 0);
+        let lev_density = lev.edge_count() as f64 / lev.state_count() as f64;
+        let ham_density = ham.edge_count() as f64 / ham.state_count() as f64;
+        assert!(
+            lev_density > 1.5 * ham_density,
+            "lev {lev_density} vs ham {ham_density}"
+        );
+    }
+
+    #[test]
+    fn benchmark_builds_per_filter_subgraphs() {
+        let (a, input) = build(&LevenshteinParams {
+            length: 9,
+            distance: 2,
+            filters: 5,
+            input_len: 400,
+            seed: 3,
+        });
+        let stats = azoo_core::AutomatonStats::compute(&a);
+        assert_eq!(stats.subgraphs, 5);
+        assert_eq!(input.len(), 400);
+    }
+}

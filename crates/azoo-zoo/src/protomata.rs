@@ -1,0 +1,252 @@
+//! The Protomata protein-motif benchmark.
+//!
+//! Protomata scans protein databases for the 1,309 PROSITE motifs. The
+//! PROSITE database itself is not shipped, so motifs are generated in
+//! genuine PROSITE syntax with realistic structure, translated to regular
+//! expressions, and compiled. AutomataZoo deliberately keeps the original
+//! 1,309-pattern problem size ("free-form benchmarks": no synthetic
+//! padding to fill an AP chip).
+
+use azoo_regex::{compile_ruleset, Ruleset};
+use azoo_workloads::dna::{protein_database, AMINO_ACIDS};
+use rand::RngExt;
+use rand_chacha::ChaCha8Rng;
+
+/// Parameters for the Protomata benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct ProtomataParams {
+    /// Number of motifs (the canonical problem size is 1,309).
+    pub motifs: usize,
+    /// Protein database size in residues.
+    pub input_len: usize,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+impl Default for ProtomataParams {
+    fn default() -> Self {
+        ProtomataParams {
+            motifs: 1309,
+            input_len: 1 << 20,
+            seed: 0x9607,
+        }
+    }
+}
+
+/// Generates one motif in PROSITE syntax, e.g.
+/// `C-x(2,4)-[LIVM]-{P}-G-H-x(3)-C`.
+pub fn generate_motif(r: &mut ChaCha8Rng) -> String {
+    let elements = r.random_range(6..16);
+    let mut parts = Vec::with_capacity(elements);
+    for _ in 0..elements {
+        let roll = r.random_range(0..100);
+        if roll < 55 {
+            // Specific residue.
+            parts.push((AMINO_ACIDS[r.random_range(0..20)] as char).to_string());
+        } else if roll < 70 {
+            // Residue class.
+            let k = r.random_range(2..5);
+            let mut set = String::new();
+            for _ in 0..k {
+                set.push(AMINO_ACIDS[r.random_range(0..20)] as char);
+            }
+            parts.push(format!("[{set}]"));
+        } else if roll < 80 {
+            // Excluded residue.
+            parts.push(format!(
+                "{{{}}}",
+                AMINO_ACIDS[r.random_range(0..20)] as char
+            ));
+        } else if roll < 92 {
+            // Fixed gap.
+            parts.push(format!("x({})", r.random_range(1..4)));
+        } else {
+            // Variable gap.
+            let lo = r.random_range(1..3);
+            parts.push(format!("x({},{})", lo, lo + r.random_range(1..4)));
+        }
+    }
+    parts.join("-")
+}
+
+/// Translates a PROSITE motif into a delimited regular expression over
+/// the amino-acid alphabet.
+///
+/// Supported syntax: residues, `x`, `x(n)`, `x(n,m)`, `[classes]`,
+/// `{exclusions}`, and the `<` / `>` anchors.
+///
+/// # Errors
+///
+/// Returns a description of the offending element.
+pub fn prosite_to_regex(motif: &str) -> Result<String, String> {
+    let amino: String = AMINO_ACIDS.iter().map(|&c| c as char).collect();
+    let mut out = String::from("/");
+    let mut body = motif.trim().trim_end_matches('.');
+    if let Some(rest) = body.strip_prefix('<') {
+        out.push('^');
+        body = rest;
+    }
+    let anchored_end = body.ends_with('>');
+    let body = body.trim_end_matches('>');
+    for element in body.split('-') {
+        let element = element.trim();
+        if element.is_empty() {
+            return Err("empty element".into());
+        }
+        if let Some(rest) = element.strip_prefix('x') {
+            let any = format!("[{amino}]");
+            if rest.is_empty() {
+                out.push_str(&any);
+            } else if let Some(args) = rest.strip_prefix('(').and_then(|s| s.strip_suffix(')')) {
+                match args.split_once(',') {
+                    Some((lo, hi)) => out.push_str(&format!("{any}{{{lo},{hi}}}")),
+                    None => out.push_str(&format!("{any}{{{args}}}")),
+                }
+            } else {
+                return Err(format!("malformed gap '{element}'"));
+            }
+        } else if let Some(set) = element.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+            out.push_str(&format!("[{set}]"));
+        } else if let Some(not) = element.strip_prefix('{').and_then(|s| s.strip_suffix('}')) {
+            // Exclusion, restricted to the amino alphabet.
+            let allowed: String = amino.chars().filter(|c| !not.contains(*c)).collect();
+            out.push_str(&format!("[{allowed}]"));
+        } else if element.len() == 1 && amino.contains(element) {
+            out.push_str(element);
+        } else {
+            return Err(format!("unsupported element '{element}'"));
+        }
+    }
+    if anchored_end {
+        out.push('$');
+    }
+    out.push('/');
+    Ok(out)
+}
+
+/// Renders a concrete instance of a motif (for planting true positives).
+pub fn instantiate(motif: &str, r: &mut ChaCha8Rng) -> Vec<u8> {
+    let mut out = Vec::new();
+    for element in motif.trim_end_matches('>').trim_start_matches('<').split('-') {
+        let element = element.trim();
+        if let Some(rest) = element.strip_prefix('x') {
+            let n = if let Some(args) = rest.strip_prefix('(').and_then(|s| s.strip_suffix(')')) {
+                match args.split_once(',') {
+                    Some((lo, _)) => lo.parse().unwrap_or(1),
+                    None => args.parse().unwrap_or(1),
+                }
+            } else {
+                1
+            };
+            for _ in 0..n {
+                out.push(AMINO_ACIDS[r.random_range(0..20)]);
+            }
+        } else if let Some(set) = element.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+            let bytes = set.as_bytes();
+            out.push(bytes[r.random_range(0..bytes.len())]);
+        } else if let Some(not) = element.strip_prefix('{').and_then(|s| s.strip_suffix('}')) {
+            loop {
+                let c = AMINO_ACIDS[r.random_range(0..20)];
+                if !not.contains(c as char) {
+                    out.push(c);
+                    break;
+                }
+            }
+        } else if !element.is_empty() {
+            out.push(element.as_bytes()[0]);
+        }
+    }
+    out
+}
+
+/// Builds the benchmark: motif automata plus a protein database with a
+/// handful of planted motif instances.
+pub fn build(params: &ProtomataParams) -> (azoo_core::Automaton, Vec<u8>) {
+    let mut r = azoo_workloads::rng(params.seed);
+    let motifs: Vec<String> = (0..params.motifs).map(|_| generate_motif(&mut r)).collect();
+    let regexes: Vec<String> = motifs
+        .iter()
+        .map(|m| prosite_to_regex(m).expect("generated motifs are well-formed"))
+        .collect();
+    let ruleset: Ruleset = compile_ruleset(regexes.iter().map(String::as_str));
+    let planted: Vec<Vec<u8>> = motifs
+        .iter()
+        .take(8)
+        .map(|m| instantiate(m, &mut r))
+        .collect();
+    let input = protein_database(params.seed ^ 0x1234, params.input_len, &planted);
+    (ruleset.automaton, input)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use azoo_engines::{CollectSink, Engine, NfaEngine};
+
+    #[test]
+    fn translation_of_known_motif() {
+        // The classic zinc-finger-like motif shape.
+        let re = prosite_to_regex("C-x(2,4)-C-x(3)-[LIVMFYWC]-x(8)-H-x(3,5)-H").unwrap();
+        assert!(re.starts_with('/') && re.ends_with('/'));
+        assert!(re.contains("{2,4}"));
+        let a = azoo_regex::compile(&re, 0).unwrap();
+        a.validate().unwrap();
+    }
+
+    #[test]
+    fn anchors_translate() {
+        let re = prosite_to_regex("<A-C-D>").unwrap();
+        assert!(re.starts_with("/^"));
+        assert!(re.ends_with("$/"));
+    }
+
+    #[test]
+    fn exclusion_excludes() {
+        let re = prosite_to_regex("{P}").unwrap();
+        assert!(!re[2..re.len() - 2].contains('P'));
+        assert!(re.contains('A'));
+    }
+
+    #[test]
+    fn malformed_motifs_error() {
+        assert!(prosite_to_regex("A--C").is_err());
+        assert!(prosite_to_regex("x(").is_err());
+        assert!(prosite_to_regex("B1").is_err());
+    }
+
+    #[test]
+    fn instances_match_their_motifs() {
+        let mut r = azoo_workloads::rng(3);
+        for _ in 0..10 {
+            let motif = generate_motif(&mut r);
+            let re = prosite_to_regex(&motif).unwrap();
+            let a = azoo_regex::compile(&re, 0).unwrap();
+            let instance = instantiate(&motif, &mut r);
+            let mut engine = NfaEngine::new(&a).unwrap();
+            let mut sink = CollectSink::new();
+            engine.scan(&instance, &mut sink);
+            assert!(
+                !sink.reports().is_empty(),
+                "instance of '{motif}' (re {re}) not matched"
+            );
+        }
+    }
+
+    #[test]
+    fn benchmark_finds_planted_motifs() {
+        let (a, input) = build(&ProtomataParams {
+            motifs: 40,
+            input_len: 100_000,
+            seed: 6,
+        });
+        let mut engine = NfaEngine::new(&a).unwrap();
+        let mut sink = CollectSink::new();
+        engine.scan(&input, &mut sink);
+        let codes: std::collections::HashSet<u32> =
+            sink.reports().iter().map(|r| r.code.0).collect();
+        // At least half of the eight planted motifs must be found (some
+        // instances may be clipped by record breaks).
+        let planted_found = (0..8).filter(|c| codes.contains(c)).count();
+        assert!(planted_found >= 4, "only {planted_found}/8 planted found");
+    }
+}

@@ -1,0 +1,387 @@
+//! The Sequence Matching (sequential pattern mining) benchmarks
+//! (Wang et al.; AutomataZoo Sections IV and VII).
+//!
+//! Input: a stream of *transactions* — sorted, distinct item symbols
+//! (`1..=100`) terminated by a separator (`0xFF`); the stream begins with
+//! one separator. A filter for a candidate sequence `[S_1, ..., S_p]`
+//! reports when the itemsets appear, each inside one transaction, in
+//! order across distinct transactions.
+//!
+//! Variants:
+//!
+//! * `wC` — a counter element accumulates occurrences and only reports
+//!   when the support threshold is reached, collapsing the output stream
+//!   (the paper's motivation for counter elements).
+//! * *padded* — each itemset slot is provisioned for `capacity` items but
+//!   soft-configured for fewer, leaving extra states that match a symbol
+//!   never present in the input. These are the architecture-specific
+//!   soft-reconfiguration states whose CPU cost Section VII measures
+//!   (our Table III).
+
+use azoo_core::{Automaton, CounterMode, StartKind, StateId, SymbolClass};
+use rand::RngExt;
+
+/// Largest item symbol; items are `1..=ITEM_MAX`.
+pub const ITEM_MAX: u8 = 100;
+/// Transaction separator symbol.
+pub const SEP: u8 = 0xFF;
+/// Pad symbol configured into soft-reconfiguration states; never occurs
+/// in input.
+pub const PAD: u8 = 0xFD;
+
+/// Parameters for the Sequence Matching benchmarks.
+#[derive(Debug, Clone, Copy)]
+pub struct SeqMatchParams {
+    /// Itemsets per candidate sequence (`6p` / `10p`).
+    pub itemsets: usize,
+    /// Maximum items per itemset (`6w`).
+    pub width: usize,
+    /// Attach support counters (`wC`).
+    pub counters: bool,
+    /// Soft-reconfiguration capacity per itemset slot (Section VII pads
+    /// each slot to this size).
+    pub pad_capacity: Option<usize>,
+    /// Number of candidate-sequence filters (AutomataZoo: 1,719).
+    pub filters: usize,
+    /// Counter support threshold for `wC`.
+    pub min_support: u32,
+    /// Transactions in the input stream.
+    pub transactions: usize,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+impl SeqMatchParams {
+    /// Full-scale published variant.
+    pub fn published(itemsets: usize, counters: bool) -> Self {
+        SeqMatchParams {
+            itemsets,
+            width: 6,
+            counters,
+            pad_capacity: None,
+            filters: 1719,
+            min_support: 3,
+            transactions: 60_000,
+            seed: 0x5EC5,
+        }
+    }
+}
+
+/// One candidate sequence: `p` itemsets of sorted distinct items.
+pub type Sequence = Vec<Vec<u8>>;
+
+/// Generates a random candidate sequence.
+pub fn generate_sequence(r: &mut rand_chacha::ChaCha8Rng, itemsets: usize, width: usize) -> Sequence {
+    (0..itemsets)
+        .map(|_| {
+            let k = r.random_range(2..=width.max(2));
+            let mut items = std::collections::BTreeSet::new();
+            while items.len() < k {
+                items.insert(r.random_range(1..=ITEM_MAX));
+            }
+            items.into_iter().collect()
+        })
+        .collect()
+}
+
+/// Appends one sequence filter to `a`, reporting with `code`.
+pub fn append_filter(
+    a: &mut Automaton,
+    sequence: &Sequence,
+    code: u32,
+    counter: Option<(u32, CounterMode)>,
+    pad_capacity: Option<usize>,
+) {
+    assert!(!sequence.is_empty());
+    let items_class = SymbolClass::from_range(1, ITEM_MAX);
+    let sep_class = SymbolClass::from_byte(SEP);
+    let pad_class = SymbolClass::from_byte(PAD);
+
+    // Global starter fires at every transaction boundary.
+    let starter = a.add_ste(sep_class, StartKind::AllInput);
+    let mut entry_sources: Vec<StateId> = vec![starter];
+
+    for (si, itemset) in sequence.iter().enumerate() {
+        let k = itemset.len();
+        let last_itemset = si + 1 == sequence.len();
+        // States. sk[j] = "skipping items after j matches"; the post-
+        // completion skip is the separate `tail` state below.
+        let sk: Vec<StateId> = (0..k)
+            .map(|_| a.add_ste(items_class, StartKind::None))
+            .collect();
+        let m: Vec<StateId> = itemset
+            .iter()
+            .map(|&item| a.add_ste(SymbolClass::from_byte(item), StartKind::None))
+            .collect();
+        let r_sep = a.add_ste(sep_class, StartKind::None);
+        // Entry set: skip, first item, retry-at-separator.
+        let entry = [sk[0], m[0], r_sep];
+        for &src in &entry_sources {
+            for &e in &entry {
+                a.add_edge(src, e);
+            }
+        }
+        // Retry re-launches this itemset at the next transaction.
+        for &e in &entry {
+            a.add_edge(r_sep, e);
+        }
+        // Skip machinery and item progression.
+        for j in 0..k {
+            a.add_edge(sk[j], sk[j]);
+            a.add_edge(sk[j], m[j]);
+            a.add_edge(sk[j], r_sep);
+            a.add_edge(m[j], r_sep);
+            if j + 1 < k {
+                a.add_edge(m[j], m[j + 1]);
+                a.add_edge(m[j], sk[j + 1]);
+            }
+        }
+        // Soft-reconfiguration pads: the capacity-minus-k provisioned
+        // item slots. On the physical fabric these sit wired into the
+        // filter's live routing, so the active machinery (skip and match
+        // states) keeps enabling them every transaction even though they
+        // never match — exactly the do-no-computation states whose CPU
+        // cost Section VII measures.
+        if let Some(cap) = pad_capacity {
+            for t in 0..cap.saturating_sub(k) {
+                let pad = a.add_ste(pad_class, StartKind::None);
+                a.add_edge(sk[t % k], pad);
+                a.add_edge(m[t % k], pad);
+            }
+        }
+        let m_last = m[k - 1];
+        if last_itemset {
+            match counter {
+                Some((target, mode)) => {
+                    let c = a.add_counter(target, mode);
+                    a.add_edge(m_last, c);
+                    a.set_report(c, code);
+                }
+                None => a.set_report(m_last, code),
+            }
+            entry_sources = Vec::new();
+        } else {
+            // Consume the rest of the transaction, then hand over to the
+            // next itemset at the separator.
+            let tail = a.add_ste(items_class, StartKind::None);
+            let sep_found = a.add_ste(sep_class, StartKind::None);
+            a.add_edge(m_last, tail);
+            a.add_edge(m_last, sep_found);
+            a.add_edge(tail, tail);
+            a.add_edge(tail, sep_found);
+            entry_sources = vec![sep_found];
+        }
+    }
+}
+
+/// Generates the transaction stream: a leading separator, then
+/// `transactions` sorted transactions of 6..=14 distinct items.
+pub fn transaction_stream(seed: u64, transactions: usize) -> Vec<u8> {
+    let mut r = azoo_workloads::rng(seed);
+    let mut out = vec![SEP];
+    for _ in 0..transactions {
+        let k = r.random_range(6..=14);
+        let mut items = std::collections::BTreeSet::new();
+        while items.len() < k {
+            items.insert(r.random_range(1..=ITEM_MAX));
+        }
+        out.extend(items);
+        out.push(SEP);
+    }
+    out
+}
+
+/// Builds the benchmark: `filters` sequence filters plus the standard
+/// transaction stream.
+pub fn build(params: &SeqMatchParams) -> (Automaton, Vec<u8>) {
+    let mut r = azoo_workloads::rng(params.seed);
+    let mut a = Automaton::new();
+    let counter = params
+        .counters
+        .then_some((params.min_support, CounterMode::Latch));
+    for i in 0..params.filters {
+        let seq = generate_sequence(&mut r, params.itemsets, params.width);
+        append_filter(&mut a, &seq, i as u32, counter, params.pad_capacity);
+    }
+    let input = transaction_stream(params.seed ^ 0x7A57, params.transactions);
+    (a, input)
+}
+
+/// Embeds `sequence` into a stream: each itemset inside one transaction,
+/// in order, `occurrences` times. Used by tests and the Table III
+/// harness to guarantee activity.
+pub fn stream_with_sequence(seed: u64, sequence: &Sequence, occurrences: usize) -> Vec<u8> {
+    let mut r = azoo_workloads::rng(seed);
+    let mut out = vec![SEP];
+    for _ in 0..occurrences {
+        // A couple of distractor transactions.
+        for _ in 0..r.random_range(1..3) {
+            let mut items = std::collections::BTreeSet::new();
+            while items.len() < 8 {
+                items.insert(r.random_range(1..=ITEM_MAX));
+            }
+            out.extend(items);
+            out.push(SEP);
+        }
+        for itemset in sequence {
+            let mut items: std::collections::BTreeSet<u8> = itemset.iter().copied().collect();
+            while items.len() < itemset.len() + 3 {
+                items.insert(r.random_range(1..=ITEM_MAX));
+            }
+            out.extend(items);
+            out.push(SEP);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use azoo_engines::{CollectSink, CountSink, Engine, NfaEngine};
+
+    fn seq(sets: &[&[u8]]) -> Sequence {
+        sets.iter().map(|s| s.to_vec()).collect()
+    }
+
+    fn count(a: &Automaton, input: &[u8]) -> u64 {
+        let mut engine = NfaEngine::new(a).unwrap();
+        let mut sink = CountSink::new();
+        engine.scan(input, &mut sink);
+        sink.count()
+    }
+
+    fn stream(transactions: &[&[u8]]) -> Vec<u8> {
+        let mut out = vec![SEP];
+        for t in transactions {
+            out.extend_from_slice(t);
+            out.push(SEP);
+        }
+        out
+    }
+
+    #[test]
+    fn matches_itemsets_in_order_across_transactions() {
+        let mut a = Automaton::new();
+        append_filter(&mut a, &seq(&[&[2, 5], &[3, 7]]), 0, None, None);
+        a.validate().unwrap();
+        // {2,5} in transaction 1, {3,7} in transaction 2.
+        assert!(count(&a, &stream(&[&[1, 2, 5, 9], &[3, 6, 7]])) > 0);
+        // Subset semantics: extra items are fine.
+        assert!(count(&a, &stream(&[&[2, 4, 5], &[1, 3, 7, 8]])) > 0);
+        // Gap transactions between the itemsets are fine.
+        assert!(count(&a, &stream(&[&[2, 5], &[40, 41], &[3, 7]])) > 0);
+    }
+
+    #[test]
+    fn rejects_wrong_order_and_same_transaction() {
+        let mut a = Automaton::new();
+        append_filter(&mut a, &seq(&[&[2, 5], &[3, 7]]), 0, None, None);
+        // Both itemsets in one transaction: no sequence.
+        assert_eq!(count(&a, &stream(&[&[2, 3, 5, 7]])), 0);
+        // Reversed order.
+        assert_eq!(count(&a, &stream(&[&[3, 7], &[2, 5]])), 0);
+        // First itemset incomplete.
+        assert_eq!(count(&a, &stream(&[&[2, 9], &[3, 7]])), 0);
+    }
+
+    #[test]
+    fn itemset_requires_all_items() {
+        let mut a = Automaton::new();
+        append_filter(&mut a, &seq(&[&[2, 5, 9]]), 0, None, None);
+        assert!(count(&a, &stream(&[&[2, 5, 9]])) > 0);
+        assert!(count(&a, &stream(&[&[1, 2, 3, 5, 8, 9]])) > 0);
+        assert_eq!(count(&a, &stream(&[&[2, 5]])), 0);
+    }
+
+    #[test]
+    fn retry_searches_later_transactions() {
+        let mut a = Automaton::new();
+        append_filter(&mut a, &seq(&[&[2, 5], &[3, 7]]), 0, None, None);
+        // The second itemset only appears three transactions later.
+        assert!(count(&a, &stream(&[&[2, 5], &[1, 9], &[10, 11], &[3, 7]])) > 0);
+    }
+
+    #[test]
+    fn counter_variant_reports_only_at_support() {
+        let sequence = seq(&[&[2, 5], &[3, 7]]);
+        let mut plain = Automaton::new();
+        append_filter(&mut plain, &sequence, 0, None, None);
+        let mut counted = Automaton::new();
+        append_filter(
+            &mut counted,
+            &sequence,
+            0,
+            Some((3, CounterMode::Latch)),
+            None,
+        );
+        let input = stream_with_sequence(1, &sequence, 5);
+        let plain_reports = count(&plain, &input);
+        let counted_reports = count(&counted, &input);
+        assert!(plain_reports >= 5, "plain reports {plain_reports}");
+        assert!(
+            counted_reports >= 1 && counted_reports < plain_reports,
+            "counter should collapse {plain_reports} reports, got {counted_reports}"
+        );
+        // Below support: silence.
+        let short = stream_with_sequence(2, &sequence, 2);
+        assert_eq!(count(&counted, &short), 0);
+        assert!(count(&plain, &short) >= 2);
+    }
+
+    #[test]
+    fn padding_adds_states_not_matches() {
+        let sequence = seq(&[&[2, 5, 6], &[3, 7]]);
+        let mut native = Automaton::new();
+        append_filter(&mut native, &sequence, 0, None, None);
+        let mut padded = Automaton::new();
+        append_filter(&mut padded, &sequence, 0, None, Some(10));
+        assert!(padded.state_count() > native.state_count());
+        let input = stream_with_sequence(3, &sequence, 4);
+        assert_eq!(count(&native, &input), count(&padded, &input));
+    }
+
+    #[test]
+    fn padded_variant_has_higher_active_set() {
+        let mut r = azoo_workloads::rng(5);
+        let sequence = generate_sequence(&mut r, 4, 6);
+        let mut native = Automaton::new();
+        append_filter(&mut native, &sequence, 0, None, None);
+        let mut padded = Automaton::new();
+        append_filter(&mut padded, &sequence, 0, None, Some(10));
+        let input = transaction_stream(9, 300);
+        let mut sink = CountSink::new();
+        let p_native = NfaEngine::new(&native)
+            .unwrap()
+            .scan_profiled(&input, &mut sink);
+        let p_padded = NfaEngine::new(&padded)
+            .unwrap()
+            .scan_profiled(&input, &mut sink);
+        assert!(
+            p_padded.active_set() > p_native.active_set(),
+            "padded {} vs native {}",
+            p_padded.active_set(),
+            p_native.active_set()
+        );
+    }
+
+    #[test]
+    fn benchmark_scales_and_validates() {
+        let (a, input) = build(&SeqMatchParams {
+            itemsets: 3,
+            width: 4,
+            counters: true,
+            pad_capacity: None,
+            filters: 20,
+            min_support: 2,
+            transactions: 100,
+            seed: 1,
+        });
+        a.validate().unwrap();
+        assert_eq!(a.counter_count(), 20);
+        assert!(input.len() > 100);
+        let mut reports = CollectSink::new();
+        NfaEngine::new(&a).unwrap().scan(&input, &mut reports);
+        // No assertion on count: random candidates rarely complete.
+    }
+}

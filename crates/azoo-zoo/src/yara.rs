@@ -1,0 +1,509 @@
+//! The YARA malware-pattern benchmarks (Section IX-A).
+//!
+//! YARA hex strings describe patterns at *nibble* (4-bit) granularity:
+//! `9C 50 A1 ?? (?A ?? 00 | 66 A9 D?) [2-6] 58 0F 85`. Byte-level
+//! automata toolchains cannot consume these directly, so AutomataZoo
+//! builds a converter that lifts nibble wildcards into byte character
+//! classes, alternation groups into automaton alternation, and `[n-m]`
+//! jumps into bounded repetition. The **Wide** variant additionally
+//! applies the 16-bit widening transformation (every other input byte
+//! zero).
+
+use azoo_core::{Automaton, SymbolClass};
+use azoo_passes::widen;
+use azoo_regex::{compile_pattern, Ast, Flags, Pattern};
+use azoo_workloads::disk::malware_files;
+use rand::RngExt;
+use rand_chacha::ChaCha8Rng;
+
+/// One YARA string, in any of the language's three pattern classes
+/// (Section IX-A: "exact string matches, hexadecimal 4-bit expressions,
+/// or regular expressions").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum YaraString {
+    /// A hex string with nibble wildcards, jumps, and groups.
+    Hex(String),
+    /// A text string, optionally case-insensitive (`nocase`).
+    Text {
+        /// The literal text.
+        value: String,
+        /// YARA's `nocase` modifier.
+        nocase: bool,
+    },
+    /// A regular expression in `/pattern/flags` notation.
+    Regex(String),
+}
+
+impl YaraString {
+    /// Compiles this string into an (optionally widened) automaton.
+    ///
+    /// # Errors
+    ///
+    /// Returns parse/compile errors as strings.
+    pub fn compile(&self, code: u32, wide: bool) -> Result<Automaton, String> {
+        match self {
+            YaraString::Hex(hex) => compile_hex(hex, code, wide),
+            YaraString::Text { value, nocase } => {
+                let mut escaped = String::new();
+                for b in value.bytes() {
+                    escaped.push_str(&format!("\\x{b:02x}"));
+                }
+                let pattern = if *nocase {
+                    format!("/{escaped}/i")
+                } else {
+                    format!("/{escaped}/")
+                };
+                let a = azoo_regex::compile(&pattern, code).map_err(|e| e.to_string())?;
+                if wide {
+                    widen(&a).map_err(|e| e.to_string())
+                } else {
+                    Ok(a)
+                }
+            }
+            YaraString::Regex(pattern) => {
+                let a = azoo_regex::compile(pattern, code).map_err(|e| e.to_string())?;
+                if wide {
+                    widen(&a).map_err(|e| e.to_string())
+                } else {
+                    Ok(a)
+                }
+            }
+        }
+    }
+}
+
+/// Parameters for the YARA benchmarks.
+#[derive(Debug, Clone, Copy)]
+pub struct YaraParams {
+    /// Number of rules (AutomataZoo: ~23,500 narrow / 2,620 wide).
+    pub rules: usize,
+    /// Widen every rule (the YARA Wide variant).
+    pub wide: bool,
+    /// Input size in bytes (concatenated malware files).
+    pub input_len: usize,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+impl YaraParams {
+    /// Full-scale parameters.
+    pub fn published(wide: bool) -> Self {
+        YaraParams {
+            rules: if wide { 2620 } else { 23_500 },
+            wide,
+            input_len: 1 << 20,
+            seed: 0x5A8A,
+        }
+    }
+}
+
+/// Parses one hex-string token pair like `9C`, `?A`, `D?` or `??` into
+/// the byte class it denotes.
+fn nibble_class(hi: u8, lo: u8) -> Result<SymbolClass, String> {
+    let nib = |c: u8| -> Result<Option<u8>, String> {
+        match c {
+            b'?' => Ok(None),
+            b'0'..=b'9' => Ok(Some(c - b'0')),
+            b'a'..=b'f' => Ok(Some(c - b'a' + 10)),
+            b'A'..=b'F' => Ok(Some(c - b'A' + 10)),
+            _ => Err(format!("invalid nibble '{}'", c as char)),
+        }
+    };
+    let (h, l) = (nib(hi)?, nib(lo)?);
+    let mut class = SymbolClass::new();
+    for b in 0..=255u8 {
+        let ok_h = h.is_none_or(|v| b >> 4 == v);
+        let ok_l = l.is_none_or(|v| b & 0x0f == v);
+        if ok_h && ok_l {
+            class.insert(b);
+        }
+    }
+    Ok(class)
+}
+
+/// Parses a YARA hex string into a pattern syntax tree.
+///
+/// Supported: hex byte tokens with nibble wildcards, `[n-m]` and `[n]`
+/// jumps, and one level of `( alt | alt )` grouping.
+///
+/// # Errors
+///
+/// Returns a description of the malformed token.
+pub fn hex_to_ast(hex: &str) -> Result<Ast, String> {
+    let tokens: Vec<&str> = hex.split_whitespace().collect();
+    let mut i = 0;
+    parse_seq(&tokens, &mut i, false)
+}
+
+fn parse_seq(tokens: &[&str], i: &mut usize, in_group: bool) -> Result<Ast, String> {
+    let mut parts = Vec::new();
+    while *i < tokens.len() {
+        let tok = tokens[*i];
+        match tok {
+            "(" => {
+                *i += 1;
+                let mut branches = vec![parse_seq(tokens, i, true)?];
+                while tokens.get(*i) == Some(&"|") {
+                    *i += 1;
+                    branches.push(parse_seq(tokens, i, true)?);
+                }
+                if tokens.get(*i) != Some(&")") {
+                    return Err("unterminated group".into());
+                }
+                *i += 1;
+                parts.push(Ast::Alt(branches));
+            }
+            "|" | ")" if in_group => break,
+            _ if tok.starts_with('[') => {
+                let body = tok
+                    .strip_prefix('[')
+                    .and_then(|s| s.strip_suffix(']'))
+                    .ok_or_else(|| format!("malformed jump '{tok}'"))?;
+                let (lo, hi) = match body.split_once('-') {
+                    Some((l, h)) => (
+                        l.parse::<usize>().map_err(|e| e.to_string())?,
+                        h.parse::<usize>().map_err(|e| e.to_string())?,
+                    ),
+                    None => {
+                        let n = body.parse::<usize>().map_err(|e| e.to_string())?;
+                        (n, n)
+                    }
+                };
+                if hi < lo || hi > 256 {
+                    return Err(format!("bad jump bounds [{lo}-{hi}]"));
+                }
+                let mut jump = vec![Ast::Class(SymbolClass::FULL); lo];
+                for _ in lo..hi {
+                    jump.push(Ast::Alt(vec![
+                        Ast::Empty,
+                        Ast::Class(SymbolClass::FULL),
+                    ]));
+                }
+                parts.push(Ast::Concat(jump));
+                *i += 1;
+            }
+            _ if tok.len() == 2 => {
+                let b = tok.as_bytes();
+                parts.push(Ast::Class(nibble_class(b[0], b[1])?));
+                *i += 1;
+            }
+            _ => return Err(format!("unrecognized token '{tok}'")),
+        }
+    }
+    if parts.is_empty() {
+        return Err("empty pattern".into());
+    }
+    Ok(Ast::Concat(parts))
+}
+
+/// Compiles a YARA hex string into an (optionally widened) automaton.
+///
+/// # Errors
+///
+/// Returns parse errors as strings; compile errors are formatted in.
+pub fn compile_hex(hex: &str, code: u32, wide: bool) -> Result<Automaton, String> {
+    let ast = hex_to_ast(hex)?;
+    let pattern = Pattern {
+        ast,
+        anchored_start: false,
+        anchored_end: false,
+        flags: Flags::default(),
+    };
+    let a = compile_pattern(&pattern, code).map_err(|e| e.to_string())?;
+    if wide {
+        widen(&a).map_err(|e| e.to_string())
+    } else {
+        Ok(a)
+    }
+}
+
+/// Generates one synthetic YARA string of any class: ~70% hex, ~20%
+/// text, ~10% regex (the language mix Section IX-A describes).
+pub fn generate_string(r: &mut ChaCha8Rng) -> YaraString {
+    let roll = r.random_range(0..100);
+    if roll < 70 {
+        YaraString::Hex(generate_rule(r))
+    } else if roll < 90 {
+        let len = r.random_range(6..20);
+        let value: String = (0..len)
+            .map(|_| (b'a' + r.random_range(0..26)) as char)
+            .collect();
+        YaraString::Text {
+            value,
+            nocase: r.random_bool(0.4),
+        }
+    } else {
+        let word: String = (0..r.random_range(4..9))
+            .map(|_| (b'a' + r.random_range(0..26)) as char)
+            .collect();
+        YaraString::Regex(match r.random_range(0..3) {
+            0 => format!(r"/{word}[0-9a-f]{{4,12}}\.dll/i"),
+            1 => format!(r"/\x4d\x5a.{{8,40}}{word}/s"),
+            _ => format!(r"/({word}|{word}32)\.(exe|sys)/i"),
+        })
+    }
+}
+
+/// Generates one synthetic YARA hex rule.
+pub fn generate_rule(r: &mut ChaCha8Rng) -> String {
+    let mut toks: Vec<String> = Vec::new();
+    let len = r.random_range(24..60);
+    let mut budget = len;
+    while budget > 0 {
+        let roll = r.random_range(0..100);
+        if roll < 70 {
+            toks.push(format!("{:02X}", r.random::<u8>()));
+            budget -= 1;
+        } else if roll < 82 {
+            let b: u8 = r.random();
+            toks.push(if r.random_bool(0.5) {
+                format!("?{:X}", b & 0xf)
+            } else {
+                format!("{:X}?", b >> 4)
+            });
+            budget -= 1;
+        } else if roll < 90 && budget >= 2 {
+            let lo = r.random_range(1..4);
+            toks.push(format!("[{}-{}]", lo, lo + r.random_range(0..5)));
+            budget -= 2;
+        } else if roll < 96 && budget >= 3 {
+            let alt1 = format!("{:02X} {:02X}", r.random::<u8>(), r.random::<u8>());
+            let alt2 = format!("{:02X} ??", r.random::<u8>());
+            toks.push(format!("( {alt1} | {alt2} )"));
+            budget -= 3;
+        } else {
+            toks.push("??".to_owned());
+            budget -= 1;
+        }
+    }
+    toks.join(" ")
+}
+
+/// Renders one concrete byte instance of a hex rule (wildcards filled,
+/// first alternative taken, minimal jumps), for planting true positives.
+pub fn instantiate(hex: &str, r: &mut ChaCha8Rng) -> Vec<u8> {
+    let ast = hex_to_ast(hex).expect("generated rules are well-formed");
+    let mut out = Vec::new();
+    instantiate_ast(&ast, r, &mut out);
+    out
+}
+
+fn instantiate_ast(ast: &Ast, r: &mut ChaCha8Rng, out: &mut Vec<u8>) {
+    match ast {
+        Ast::Empty => {}
+        Ast::Class(c) => {
+            let k = r.random_range(0..c.len());
+            out.push(c.iter().nth(k as usize).expect("class non-empty"));
+        }
+        Ast::Concat(v) => v.iter().for_each(|a| instantiate_ast(a, r, out)),
+        Ast::Alt(v) => {
+            // Prefer a non-empty branch so the instance stays matchable.
+            let pick = v
+                .iter()
+                .find(|b| !matches!(b, Ast::Empty))
+                .unwrap_or(&v[0]);
+            instantiate_ast(pick, r, out);
+        }
+        Ast::Star(_) => {}
+    }
+}
+
+/// Builds the benchmark: compiled (and optionally widened) rules plus a
+/// malware-file stream with planted instances.
+pub fn build(params: &YaraParams) -> (Automaton, Vec<u8>) {
+    let mut r = azoo_workloads::rng(params.seed);
+    let rules: Vec<YaraString> = (0..params.rules).map(|_| generate_string(&mut r)).collect();
+    let mut automaton = Automaton::new();
+    for (i, rule) in rules.iter().enumerate() {
+        let a = rule
+            .compile(i as u32, params.wide)
+            .expect("generated rules compile");
+        automaton.append(&a);
+    }
+    let mut planted: Vec<Vec<u8>> = rules
+        .iter()
+        .take(12)
+        .map(|rule| match rule {
+            YaraString::Hex(hex) => instantiate(hex, &mut r),
+            YaraString::Text { value, .. } => value.clone().into_bytes(),
+            // Regex instances are not planted; natural hits only.
+            YaraString::Regex(_) => Vec::new(),
+        })
+        .filter(|p| !p.is_empty())
+        .collect();
+    if params.wide {
+        // Widen the planted instances: interleave zero bytes.
+        for p in &mut planted {
+            *p = p.iter().flat_map(|&b| [b, 0]).collect();
+        }
+    }
+    let file_len = 16_384;
+    let n_files = params.input_len.div_ceil(file_len);
+    let files = malware_files(params.seed ^ 0xF11E, n_files, file_len, &planted);
+    let mut input: Vec<u8> = files.concat();
+    input.truncate(params.input_len);
+    (automaton, input)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use azoo_engines::{CollectSink, Engine, NfaEngine};
+
+    fn matches(a: &Automaton, input: &[u8]) -> usize {
+        let mut engine = NfaEngine::new(a).unwrap();
+        let mut sink = CollectSink::new();
+        engine.scan(input, &mut sink);
+        sink.reports().len()
+    }
+
+    #[test]
+    fn nibble_classes() {
+        assert_eq!(nibble_class(b'9', b'C').unwrap(), SymbolClass::from_byte(0x9c));
+        let low_wild = nibble_class(b'A', b'?').unwrap();
+        assert_eq!(low_wild.len(), 16);
+        assert!(low_wild.contains(0xA0) && low_wild.contains(0xAF));
+        assert!(!low_wild.contains(0xB0));
+        let hi_wild = nibble_class(b'?', b'3').unwrap();
+        assert_eq!(hi_wild.len(), 16);
+        assert!(hi_wild.contains(0x03) && hi_wild.contains(0xF3));
+        assert!(nibble_class(b'G', b'0').is_err());
+    }
+
+    #[test]
+    fn paper_example_pattern_matches() {
+        // The exact example from Section IX-A.
+        let hex = "9C 50 A1 ?? ( ?A ?? 00 | 66 A9 D? ) ?? 58 0F 85";
+        let a = compile_hex(hex, 7, false).unwrap();
+        a.validate().unwrap();
+        // First alternative: ?A ?? 00.
+        let hit1 = [0x9c, 0x50, 0xa1, 0x11, 0x2a, 0x33, 0x00, 0x44, 0x58, 0x0f, 0x85];
+        // Second alternative: 66 A9 D?.
+        let hit2 = [0x9c, 0x50, 0xa1, 0x99, 0x66, 0xa9, 0xd7, 0x12, 0x58, 0x0f, 0x85];
+        // Wrong: neither alternative.
+        let miss = [0x9c, 0x50, 0xa1, 0x99, 0x66, 0xa9, 0xc7, 0x12, 0x58, 0x0f, 0x85];
+        assert_eq!(matches(&a, &hit1), 1);
+        assert_eq!(matches(&a, &hit2), 1);
+        assert_eq!(matches(&a, &miss), 0);
+    }
+
+    #[test]
+    fn jumps_expand_to_bounded_gaps() {
+        let a = compile_hex("AA [1-3] BB", 0, false).unwrap();
+        assert_eq!(matches(&a, &[0xaa, 1, 0xbb]), 1);
+        assert_eq!(matches(&a, &[0xaa, 1, 2, 3, 0xbb]), 1);
+        assert_eq!(matches(&a, &[0xaa, 0xbb]), 0);
+        assert_eq!(matches(&a, &[0xaa, 1, 2, 3, 4, 0xbb]), 0);
+    }
+
+    #[test]
+    fn widened_rules_match_widened_input_only() {
+        let a = compile_hex("41 42 43", 0, true).unwrap();
+        let wide_input: Vec<u8> = b"ABC".iter().flat_map(|&b| [b, 0]).collect();
+        assert_eq!(matches(&a, &wide_input), 1);
+        assert_eq!(matches(&a, b"ABC"), 0);
+    }
+
+    #[test]
+    fn instances_match_their_rules() {
+        let mut r = azoo_workloads::rng(8);
+        for _ in 0..15 {
+            let rule = generate_rule(&mut r);
+            let a = compile_hex(&rule, 0, false).unwrap();
+            let inst = instantiate(&rule, &mut r);
+            assert!(
+                matches(&a, &inst) >= 1,
+                "instance of '{rule}' not matched"
+            );
+        }
+    }
+
+    #[test]
+    fn benchmark_finds_planted_malware() {
+        let (a, input) = build(&YaraParams {
+            rules: 60,
+            wide: false,
+            input_len: 300_000,
+            seed: 3,
+        });
+        let mut engine = NfaEngine::new(&a).unwrap();
+        let mut sink = CollectSink::new();
+        engine.scan(&input, &mut sink);
+        let codes: std::collections::HashSet<u32> =
+            sink.reports().iter().map(|r| r.code.0).collect();
+        // 300 kB is ~19 files, so only the first ~7 planted patterns get
+        // a carrier (one in every third file).
+        let found = (0..7).filter(|c| codes.contains(c)).count();
+        assert!(found >= 5, "only {found}/7 planted rules fired");
+    }
+}
+
+#[cfg(test)]
+mod string_class_tests {
+    use super::*;
+    use azoo_engines::{CollectSink, Engine, NfaEngine};
+
+    fn hits(a: &Automaton, input: &[u8]) -> usize {
+        let mut engine = NfaEngine::new(a).unwrap();
+        let mut sink = CollectSink::new();
+        engine.scan(input, &mut sink);
+        sink.reports().len()
+    }
+
+    #[test]
+    fn text_strings_respect_nocase() {
+        let cased = YaraString::Text {
+            value: "MalwareSig".into(),
+            nocase: false,
+        };
+        let nocase = YaraString::Text {
+            value: "MalwareSig".into(),
+            nocase: true,
+        };
+        let a = cased.compile(0, false).unwrap();
+        let b = nocase.compile(0, false).unwrap();
+        assert_eq!(hits(&a, b"..MalwareSig.."), 1);
+        assert_eq!(hits(&a, b"..MALWARESIG.."), 0);
+        assert_eq!(hits(&b, b"..mAlWaReSiG.."), 1);
+    }
+
+    #[test]
+    fn regex_strings_compile_and_match() {
+        let rule = YaraString::Regex(r"/evil[0-9a-f]{4,12}\.dll/i".into());
+        let a = rule.compile(3, false).unwrap();
+        assert_eq!(hits(&a, b"load EVIL1f2e3d.DLL now"), 1);
+        assert_eq!(hits(&a, b"load evil.dll now"), 0);
+    }
+
+    #[test]
+    fn wide_text_strings_match_utf16le() {
+        let rule = YaraString::Text {
+            value: "kernel".into(),
+            nocase: false,
+        };
+        let a = rule.compile(0, true).unwrap();
+        let wide: Vec<u8> = b"kernel".iter().flat_map(|&b| [b, 0]).collect();
+        assert_eq!(hits(&a, &wide), 1);
+        assert_eq!(hits(&a, b"kernel"), 0);
+    }
+
+    #[test]
+    fn generated_strings_cover_all_classes() {
+        let mut r = azoo_workloads::rng(42);
+        let strings: Vec<YaraString> = (0..300).map(|_| generate_string(&mut r)).collect();
+        let hex = strings.iter().filter(|s| matches!(s, YaraString::Hex(_))).count();
+        let text = strings
+            .iter()
+            .filter(|s| matches!(s, YaraString::Text { .. }))
+            .count();
+        let regex = strings
+            .iter()
+            .filter(|s| matches!(s, YaraString::Regex(_)))
+            .count();
+        assert!(hex > 150 && text > 30 && regex > 10, "{hex}/{text}/{regex}");
+        for (i, s) in strings.iter().enumerate() {
+            s.compile(i as u32, false)
+                .unwrap_or_else(|e| panic!("{s:?} failed: {e}"));
+        }
+    }
+}

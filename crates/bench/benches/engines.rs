@@ -1,0 +1,59 @@
+//! Engine-portfolio throughput: the same ruleset scanned by the sparse
+//! NFA engine, the lazy DFA, and (for chain shapes) the bit-parallel
+//! engine. This is the performance dimension behind Table I's active-set
+//! proxy.
+
+use azoo_bench::{literal_set, small_ruleset};
+use azoo_engines::{BitParallelEngine, Engine, LazyDfaEngine, NfaEngine, NullSink};
+use azoo_workloads::network::{pcap_like, PcapConfig};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_engines(c: &mut Criterion) {
+    let ruleset = small_ruleset();
+    let input = pcap_like(
+        1,
+        &PcapConfig {
+            len: 1 << 17,
+            ..PcapConfig::default()
+        },
+    );
+    let mut group = c.benchmark_group("ruleset_scan");
+    group.throughput(Throughput::Bytes(input.len() as u64));
+    group.bench_function("nfa", |b| {
+        let mut engine = NfaEngine::new(&ruleset).expect("valid");
+        let mut sink = NullSink::new();
+        b.iter(|| engine.scan(&input, &mut sink));
+    });
+    group.bench_function("lazy_dfa", |b| {
+        let mut engine = LazyDfaEngine::new(&ruleset).expect("no counters");
+        let mut sink = NullSink::new();
+        engine.scan(&input, &mut sink); // warm the cache
+        b.iter(|| engine.scan(&input, &mut sink));
+    });
+    group.finish();
+
+    let literals = literal_set(256);
+    let text = azoo_workloads::text::english_like(3, 1 << 17);
+    let mut group = c.benchmark_group("literal_scan");
+    group.throughput(Throughput::Bytes(text.len() as u64));
+    group.bench_function("nfa", |b| {
+        let mut engine = NfaEngine::new(&literals).expect("valid");
+        let mut sink = NullSink::new();
+        b.iter(|| engine.scan(&text, &mut sink));
+    });
+    group.bench_function("bit_parallel", |b| {
+        let mut engine = BitParallelEngine::new(&literals).expect("chain-shaped");
+        let mut sink = NullSink::new();
+        b.iter(|| engine.scan(&text, &mut sink));
+    });
+    group.bench_function("lazy_dfa", |b| {
+        let mut engine = LazyDfaEngine::new(&literals).expect("no counters");
+        let mut sink = NullSink::new();
+        engine.scan(&text, &mut sink);
+        b.iter(|| engine.scan(&text, &mut sink));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

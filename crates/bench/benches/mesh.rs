@@ -1,0 +1,47 @@
+//! Mesh-automata simulation cost by (l, d) — the engine-side cost model
+//! behind Figure 1's profiling sweep and Table V's variants.
+
+use azoo_engines::{Engine, NfaEngine, NullSink};
+use azoo_workloads::dna;
+use azoo_zoo::{hamming, levenshtein};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_mesh(c: &mut Criterion) {
+    let input = dna::random_dna(1, 1 << 15);
+    let mut group = c.benchmark_group("hamming_filter");
+    group.throughput(Throughput::Bytes(input.len() as u64));
+    for (l, d) in [(18, 3), (22, 5), (31, 10)] {
+        let pattern = dna::random_dna(7, l);
+        let automaton = hamming::hamming_filter(&pattern, d, 0);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{l}x{d}")),
+            &automaton,
+            |b, a| {
+                let mut engine = NfaEngine::new(a).expect("valid");
+                let mut sink = NullSink::new();
+                b.iter(|| engine.scan(&input, &mut sink));
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("levenshtein_filter");
+    group.throughput(Throughput::Bytes(input.len() as u64));
+    for (l, d) in [(19, 3), (24, 5), (37, 10)] {
+        let pattern = dna::random_dna(7, l);
+        let automaton = levenshtein::levenshtein_filter(&pattern, d, 0);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{l}x{d}")),
+            &automaton,
+            |b, a| {
+                let mut engine = NfaEngine::new(a).expect("valid");
+                let mut sink = NullSink::new();
+                b.iter(|| engine.scan(&input, &mut sink));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mesh);
+criterion_main!(benches);

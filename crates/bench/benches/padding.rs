@@ -1,0 +1,46 @@
+//! Table III's performance dimension: the cost of AP soft-reconfiguration
+//! padding on the active-set engine vs the lazy DFA.
+
+use azoo_core::Automaton;
+use azoo_engines::{Engine, LazyDfaEngine, NfaEngine, NullSink};
+use azoo_zoo::sequence_match::{append_filter, generate_sequence, transaction_stream};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn build_pair(filters: usize) -> (Automaton, Automaton) {
+    let mut rng = azoo_workloads::rng(0x7AB3);
+    let mut native = Automaton::new();
+    let mut padded = Automaton::new();
+    for i in 0..filters {
+        let seq = generate_sequence(&mut rng, 6, 6);
+        append_filter(&mut native, &seq, i as u32, None, None);
+        append_filter(&mut padded, &seq, i as u32, None, Some(10));
+    }
+    (native, padded)
+}
+
+fn bench_padding(c: &mut Criterion) {
+    let (native, padded) = build_pair(24);
+    let input = transaction_stream(0x17EA, 3000);
+    let mut group = c.benchmark_group("seqmatch_padding");
+    group.throughput(Throughput::Bytes(input.len() as u64));
+    for (name, automaton) in [("nfa_native", &native), ("nfa_padded", &padded)] {
+        group.bench_function(name, |b| {
+            let mut engine = NfaEngine::new(automaton).expect("valid");
+            let mut sink = NullSink::new();
+            b.iter(|| engine.scan(&input, &mut sink));
+        });
+    }
+    for (name, automaton) in [("dfa_native", &native), ("dfa_padded", &padded)] {
+        group.bench_function(name, |b| {
+            let mut engine =
+                LazyDfaEngine::with_max_states(automaton, 1 << 17).expect("no counters");
+            let mut sink = NullSink::new();
+            engine.scan(&input, &mut sink); // warm
+            b.iter(|| engine.scan(&input, &mut sink));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_padding);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Pass costs: prefix merging on a ruleset and 8-striding of a bit-level
+//! automaton (the transformations the benchmark generation pipeline runs).
+
+use azoo_bench::small_ruleset;
+use azoo_passes::{merge_prefixes, remove_dead, stride8};
+use azoo_regex::{compile_pattern, Flags, Pattern};
+use azoo_zoo::file_carving::zip_local_header_bits;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_passes(c: &mut Criterion) {
+    let ruleset = small_ruleset();
+    c.bench_function("merge_prefixes_ruleset", |b| {
+        b.iter(|| std::hint::black_box(merge_prefixes(&ruleset)));
+    });
+    c.bench_function("remove_dead_ruleset", |b| {
+        b.iter(|| std::hint::black_box(remove_dead(&ruleset)));
+    });
+    let bit_nfa = compile_pattern(
+        &Pattern {
+            ast: zip_local_header_bits(),
+            anchored_start: false,
+            anchored_end: false,
+            flags: Flags::default(),
+        },
+        0,
+    )
+    .expect("well-formed");
+    c.bench_function("stride8_zip_header", |b| {
+        b.iter(|| std::hint::black_box(stride8(&bit_nfa).expect("strides")));
+    });
+}
+
+criterion_group!(benches, bench_passes);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Tables II/IV performance dimension: Random Forest classification —
+//! native tree inference (single- and multi-threaded) versus automata
+//! execution on the bit-parallel engine.
+
+use azoo_engines::{BitParallelEngine, Engine, NullSink};
+use azoo_ml::{synthetic_mnist, Forest, ForestAutomaton, ForestParams};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_random_forest(c: &mut Criterion) {
+    let data = synthetic_mnist(1, 700);
+    let (train, test) = data.split(0.7);
+    let forest = Forest::train(
+        &train,
+        &ForestParams {
+            trees: 8,
+            max_leaves: 100,
+            feature_pool: 200,
+            subspace: 30,
+            seed: 5,
+        },
+    );
+    let fa = ForestAutomaton::build(&forest);
+    let stream = fa.encode_batch(&test);
+    let n = test.len() as u64;
+
+    let mut group = c.benchmark_group("rf_classification");
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("native_serial", |b| {
+        b.iter(|| std::hint::black_box(forest.predict_batch(&test)));
+    });
+    group.bench_function("native_mt4", |b| {
+        b.iter(|| std::hint::black_box(forest.predict_batch_parallel(&test, 4)));
+    });
+    group.bench_function("automata_bit_parallel", |b| {
+        let mut engine = BitParallelEngine::new(&fa.automaton).expect("chains");
+        let mut sink = NullSink::new();
+        b.iter(|| engine.scan(&stream, &mut sink));
+    });
+    group.bench_function("encode_stream", |b| {
+        b.iter(|| std::hint::black_box(fa.encode_batch(&test)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_random_forest);
+criterion_main!(benches);

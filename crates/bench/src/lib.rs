@@ -1,0 +1,34 @@
+//! Fixtures shared by the Criterion benchmarks.
+//!
+//! Each bench target regenerates the performance dimension of one paper
+//! artifact at reduced scale (Criterion needs many iterations):
+//!
+//! * `engines` — engine portfolio throughput on regex rulesets (Table I's
+//!   performance dimension).
+//! * `mesh` — Hamming/Levenshtein mesh simulation by (l, d) (Figure 1 /
+//!   Table V cost model).
+//! * `padding` — padded vs native Sequence Matching (Table III).
+//! * `random_forest` — native vs automata classification (Tables II/IV).
+//! * `passes` — prefix merging and 8-striding cost.
+
+use azoo_core::Automaton;
+use azoo_regex::compile_ruleset;
+
+/// A small Snort-like ruleset automaton for engine benches.
+pub fn small_ruleset() -> Automaton {
+    let rules = azoo_zoo::snort::generate_ruleset(1, 150);
+    let kept = azoo_zoo::snort::filter_rules(&rules, true, true);
+    azoo_zoo::snort::compile_rules(&kept).automaton
+}
+
+/// A small literal-set automaton (chain-shaped) for bit-parallel benches.
+pub fn literal_set(n: usize) -> Automaton {
+    let mut rng = azoo_workloads::rng(2);
+    let patterns: Vec<String> = (0..n)
+        .map(|i| {
+            let w = azoo_workloads::text::word(&mut rng);
+            format!("{w}{i:04}")
+        })
+        .collect();
+    compile_ruleset(patterns.iter().map(String::as_str)).automaton
+}

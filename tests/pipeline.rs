@@ -1,0 +1,126 @@
+//! Cross-crate integration tests: the full pipeline from pattern sources
+//! through compilation, transformation, serialization, and execution.
+
+use automatazoo::core::{mnrl, AutomatonStats};
+use automatazoo::engines::{CollectSink, Engine, LazyDfaEngine, NfaEngine, Report};
+use automatazoo::passes::{merge_prefixes, merge_suffixes, remove_dead};
+use automatazoo::regex::compile_ruleset;
+use automatazoo::zoo::{BenchmarkId, Scale};
+
+fn reports(engine: &mut dyn Engine, input: &[u8]) -> Vec<Report> {
+    let mut sink = CollectSink::new();
+    engine.scan(input, &mut sink);
+    sink.sorted_reports()
+}
+
+#[test]
+fn regex_to_mnrl_roundtrip_preserves_matching() {
+    let rules = [r"/virus_[0-9]{3}/i", r"/\x00\xff+/s", "cat|dog"];
+    let ruleset = compile_ruleset(rules);
+    let json = mnrl::to_json(&ruleset.automaton, "roundtrip");
+    let back = mnrl::from_json(&json).expect("valid document");
+    assert_eq!(ruleset.automaton, back);
+    let input = b"a dog with VIRUS_123 and \x00\xff\xff bytes";
+    let a = reports(&mut NfaEngine::new(&ruleset.automaton).unwrap(), input);
+    let b = reports(&mut NfaEngine::new(&back).unwrap(), input);
+    assert_eq!(a, b);
+    assert_eq!(a.len(), 4);
+}
+
+#[test]
+fn optimization_passes_preserve_benchmark_semantics() {
+    // For a sample of counter-free benchmarks: prefix merge, suffix
+    // merge, and dead-state removal must not change the report stream.
+    for id in [
+        BenchmarkId::Protomata,
+        BenchmarkId::Brill,
+        BenchmarkId::Hamming18x3,
+        BenchmarkId::EntityResolution,
+        BenchmarkId::FileCarving,
+    ] {
+        let bench = id.build(Scale::Tiny);
+        let window = bench.input.len().min(20_000);
+        let input = &bench.input[..window];
+        let baseline = reports(&mut NfaEngine::new(&bench.automaton).unwrap(), input);
+        for (name, transformed) in [
+            ("prefix", merge_prefixes(&bench.automaton).0),
+            ("suffix", merge_suffixes(&bench.automaton).0),
+            ("dead", remove_dead(&bench.automaton)),
+        ] {
+            let got = reports(&mut NfaEngine::new(&transformed).unwrap(), input);
+            assert_eq!(baseline, got, "{name} pass broke {}", id.name());
+        }
+    }
+}
+
+#[test]
+fn engines_agree_on_benchmarks() {
+    // NFA and lazy DFA must agree on every counter-free benchmark.
+    for id in [
+        BenchmarkId::Snort,
+        BenchmarkId::ClamAv,
+        BenchmarkId::Protomata,
+        BenchmarkId::Brill,
+        BenchmarkId::Levenshtein19x3,
+        BenchmarkId::SeqMatch6w6p,
+        BenchmarkId::CrisprCasOffinder,
+        BenchmarkId::Yara,
+        BenchmarkId::YaraWide,
+        BenchmarkId::FileCarving,
+        BenchmarkId::ApPrng4,
+    ] {
+        let bench = id.build(Scale::Tiny);
+        let window = bench.input.len().min(10_000);
+        let input = &bench.input[..window];
+        let nfa = reports(&mut NfaEngine::new(&bench.automaton).unwrap(), input);
+        let dfa = reports(
+            &mut LazyDfaEngine::with_max_states(&bench.automaton, 1 << 14).unwrap(),
+            input,
+        );
+        assert_eq!(nfa, dfa, "engines disagree on {}", id.name());
+    }
+}
+
+#[test]
+fn benchmark_statistics_are_self_consistent() {
+    for id in BenchmarkId::ALL {
+        let bench = id.build(Scale::Tiny);
+        let stats = AutomatonStats::compute(&bench.automaton);
+        assert_eq!(stats.states, bench.automaton.state_count());
+        assert_eq!(stats.edges, bench.automaton.edge_count());
+        let total: f64 = stats.avg_subgraph_size * stats.subgraphs as f64;
+        assert!(
+            (total - stats.states as f64).abs() < 1e-6,
+            "{}: avg * subgraphs != states",
+            id.name()
+        );
+        // Compression never grows the automaton and keeps it valid.
+        let (merged, mstats) = merge_prefixes(&bench.automaton);
+        assert!(merged.state_count() <= stats.states);
+        assert!(mstats.compression_factor() >= 0.0);
+        merged.validate().expect("merged automaton valid");
+    }
+}
+
+#[test]
+fn mnrl_roundtrips_every_benchmark() {
+    for id in BenchmarkId::ALL {
+        let bench = id.build(Scale::Tiny);
+        let json = mnrl::to_json(&bench.automaton, id.name());
+        let back = mnrl::from_json(&json)
+            .unwrap_or_else(|e| panic!("{} failed roundtrip: {e}", id.name()));
+        assert_eq!(bench.automaton, back, "{} roundtrip mismatch", id.name());
+    }
+}
+
+#[test]
+fn facade_reexports_compose() {
+    // The README quickstart flow, via the facade only.
+    let automaton = automatazoo::regex::compile("/ab+c/i", 9).expect("compiles");
+    let (optimized, _) = automatazoo::passes::merge_prefixes(&automaton);
+    let mut engine = automatazoo::engines::NfaEngine::new(&optimized).expect("valid");
+    let mut sink = automatazoo::engines::CollectSink::new();
+    engine.scan(b"xxABBBCxx", &mut sink);
+    assert_eq!(sink.reports().len(), 1);
+    assert_eq!(sink.reports()[0].code.0, 9);
+}

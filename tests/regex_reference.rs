@@ -1,0 +1,158 @@
+//! Differential testing of the Glushkov compiler against a naive
+//! backtracking reference matcher over the same syntax tree.
+//!
+//! The reference derives match end-positions directly from the AST by
+//! recursion; the compiled automaton must report exactly those positions
+//! under match-anywhere search semantics.
+
+use std::collections::BTreeSet;
+
+use automatazoo::core::SymbolClass;
+use automatazoo::engines::{CollectSink, Engine, NfaEngine};
+use automatazoo::regex::{compile_pattern, Ast, Flags, Pattern};
+use proptest::prelude::*;
+
+/// All positions `end` such that `ast` matches `input[start..end]`.
+fn ends_from(ast: &Ast, input: &[u8], start: usize) -> BTreeSet<usize> {
+    match ast {
+        Ast::Empty => [start].into(),
+        Ast::Class(c) => {
+            if input.get(start).is_some_and(|&b| c.contains(b)) {
+                [start + 1].into()
+            } else {
+                BTreeSet::new()
+            }
+        }
+        Ast::Concat(parts) => {
+            let mut fronts: BTreeSet<usize> = [start].into();
+            for part in parts {
+                let mut next = BTreeSet::new();
+                for f in fronts {
+                    next.extend(ends_from(part, input, f));
+                }
+                fronts = next;
+                if fronts.is_empty() {
+                    break;
+                }
+            }
+            fronts
+        }
+        Ast::Alt(branches) => branches
+            .iter()
+            .flat_map(|b| ends_from(b, input, start))
+            .collect(),
+        Ast::Star(inner) => {
+            // Fixed point of repeated application.
+            let mut all: BTreeSet<usize> = [start].into();
+            let mut frontier: BTreeSet<usize> = [start].into();
+            while !frontier.is_empty() {
+                let mut fresh = BTreeSet::new();
+                for f in &frontier {
+                    for e in ends_from(inner, input, *f) {
+                        if e > *f && all.insert(e) {
+                            fresh.insert(e);
+                        }
+                    }
+                }
+                frontier = fresh;
+            }
+            all
+        }
+    }
+}
+
+/// Reference search: offsets (of the final consumed symbol) where some
+/// non-empty match of `ast` ends, starting anywhere.
+fn reference_offsets(ast: &Ast, input: &[u8]) -> BTreeSet<u64> {
+    let mut out = BTreeSet::new();
+    for start in 0..=input.len() {
+        for end in ends_from(ast, input, start) {
+            if end > start {
+                out.insert((end - 1) as u64);
+            }
+        }
+    }
+    out
+}
+
+/// Strategy: random ASTs over the alphabet {a, b, c}.
+fn arb_ast() -> impl Strategy<Value = Ast> {
+    let class = proptest::collection::vec(prop::bool::ANY, 3).prop_map(|bits| {
+        let mut c = SymbolClass::new();
+        for (i, &on) in bits.iter().enumerate() {
+            if on {
+                c.insert(b'a' + i as u8);
+            }
+        }
+        if c.is_empty() {
+            c.insert(b'a');
+        }
+        Ast::Class(c)
+    });
+    class.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(Ast::Concat),
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(Ast::Alt),
+            inner.prop_map(|a| Ast::Star(Box::new(a))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn glushkov_matches_reference(
+        ast in arb_ast(),
+        input in proptest::collection::vec(
+            proptest::sample::select(vec![b'a', b'b', b'c']), 0..40),
+    ) {
+        let pattern = Pattern {
+            ast: ast.clone(),
+            anchored_start: false,
+            anchored_end: false,
+            flags: Flags::default(),
+        };
+        match compile_pattern(&pattern, 0) {
+            Err(_) => {
+                // Only nullable patterns are rejected.
+                prop_assert!(ast.nullable());
+            }
+            Ok(automaton) => {
+                let mut engine = NfaEngine::new(&automaton).expect("valid");
+                let mut sink = CollectSink::new();
+                engine.scan(&input, &mut sink);
+                let got: BTreeSet<u64> =
+                    sink.reports().iter().map(|r| r.offset).collect();
+                prop_assert_eq!(got, reference_offsets(&ast, &input));
+            }
+        }
+    }
+
+    #[test]
+    fn anchored_glushkov_matches_reference(
+        ast in arb_ast(),
+        input in proptest::collection::vec(
+            proptest::sample::select(vec![b'a', b'b', b'c']), 0..25),
+    ) {
+        let pattern = Pattern {
+            ast: ast.clone(),
+            anchored_start: true,
+            anchored_end: false,
+            flags: Flags::default(),
+        };
+        if let Ok(automaton) = compile_pattern(&pattern, 0) {
+            let mut engine = NfaEngine::new(&automaton).expect("valid");
+            let mut sink = CollectSink::new();
+            engine.scan(&input, &mut sink);
+            let got: BTreeSet<u64> = sink.reports().iter().map(|r| r.offset).collect();
+            // Anchored: only matches starting at 0.
+            let expected: BTreeSet<u64> = ends_from(&ast, &input, 0)
+                .into_iter()
+                .filter(|&e| e > 0)
+                .map(|e| (e - 1) as u64)
+                .collect();
+            prop_assert_eq!(got, expected);
+        }
+    }
+}
