@@ -171,7 +171,9 @@ pub fn to_anml(a: &Automaton, network_id: &str) -> String {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('"', "&quot;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('"', "&quot;")
 }
 
 /// Parses the ANML dialect emitted by [`to_anml`].
@@ -208,9 +210,7 @@ pub fn from_anml(text: &str) -> Result<Automaton, CoreError> {
                     "none" => StartKind::None,
                     "start-of-data" => StartKind::StartOfData,
                     "all-input" => StartKind::AllInput,
-                    other => {
-                        return Err(CoreError::Format(format!("unknown start '{other}'")))
-                    }
+                    other => return Err(CoreError::Format(format!("unknown start '{other}'"))),
                 };
                 let id = a.add_ste(class, start);
                 names.insert(tag.require("id")?, id);
@@ -225,9 +225,7 @@ pub fn from_anml(text: &str) -> Result<Automaton, CoreError> {
                     "latch" => CounterMode::Latch,
                     "pulse" => CounterMode::Pulse,
                     "roll" => CounterMode::Roll,
-                    other => {
-                        return Err(CoreError::Format(format!("unknown at-target '{other}'")))
-                    }
+                    other => return Err(CoreError::Format(format!("unknown at-target '{other}'"))),
                 };
                 let id = a.add_counter(target, mode);
                 names.insert(tag.require("id")?, id);
@@ -235,8 +233,8 @@ pub fn from_anml(text: &str) -> Result<Automaton, CoreError> {
             }
             ("state-transition-element" | "counter", TagKind::Close) => current = None,
             ("report-on-match" | "report-on-target", TagKind::Empty) => {
-                let cur = current
-                    .ok_or_else(|| CoreError::Format("report outside an element".into()))?;
+                let cur =
+                    current.ok_or_else(|| CoreError::Format("report outside an element".into()))?;
                 let code: u32 = tag
                     .require("reportcode")?
                     .parse()
@@ -247,8 +245,8 @@ pub fn from_anml(text: &str) -> Result<Automaton, CoreError> {
                 }
             }
             ("activate-on-match" | "activate-on-target", TagKind::Empty) => {
-                let cur = current
-                    .ok_or_else(|| CoreError::Format("edge outside an element".into()))?;
+                let cur =
+                    current.ok_or_else(|| CoreError::Format("edge outside an element".into()))?;
                 edges.push(PendingEdge {
                     from: cur.index(),
                     to_name: tag.require("element")?,
@@ -256,8 +254,8 @@ pub fn from_anml(text: &str) -> Result<Automaton, CoreError> {
                 });
             }
             ("reset-on-match", TagKind::Empty) => {
-                let cur = current
-                    .ok_or_else(|| CoreError::Format("edge outside an element".into()))?;
+                let cur =
+                    current.ok_or_else(|| CoreError::Format("edge outside an element".into()))?;
                 edges.push(PendingEdge {
                     from: cur.index(),
                     to_name: tag.require("element")?,
@@ -339,9 +337,7 @@ impl<'a> TagReader<'a> {
             TagKind::Open
         };
         let body = body.trim();
-        let name_end = body
-            .find(|c: char| c.is_whitespace())
-            .unwrap_or(body.len());
+        let name_end = body.find(|c: char| c.is_whitespace()).unwrap_or(body.len());
         let name = body[..name_end].to_owned();
         if name.is_empty() {
             return Err(CoreError::Format("empty tag name".into()));
@@ -404,7 +400,7 @@ mod tests {
             SymbolClass::from_byte(b'x'),
             SymbolClass::from_range(0, 255),
             SymbolClass::from_bytes(&[1, 2, 3, 9, 200]),
-            SymbolClass::from_bytes(&[b'-', b'[', b']']),
+            SymbolClass::from_bytes(b"-[]"),
         ] {
             let s = symbol_set_string(&class);
             assert_eq!(parse_symbol_set(&s).unwrap(), class, "notation {s}");

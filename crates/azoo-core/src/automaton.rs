@@ -1,13 +1,11 @@
 //! The homogeneous-automaton graph container.
 
-use serde::{Deserialize, Serialize};
-
 use crate::element::{CounterMode, Element, ElementKind, Port, ReportCode, StartKind};
 use crate::error::CoreError;
 use crate::symbol::SymbolClass;
 
 /// Index of an element within an [`Automaton`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct StateId(u32);
 
 impl StateId {
@@ -24,7 +22,7 @@ impl StateId {
 }
 
 /// A directed activation edge.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Edge {
     /// Target element.
     pub to: StateId,
@@ -54,7 +52,7 @@ pub struct Edge {
 /// assert_eq!(a.state_count(), 2);
 /// assert_eq!(a.successors(first).len(), 1);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Automaton {
     elements: Vec<Element>,
     succ: Vec<Vec<Edge>>,
@@ -303,7 +301,10 @@ impl Automaton {
                     return Err(CoreError::InvalidStateId(edge.to));
                 }
                 if edge.port == Port::Reset && self.element(edge.to).is_ste() {
-                    return Err(CoreError::ResetIntoSte { from: id, to: edge.to });
+                    return Err(CoreError::ResetIntoSte {
+                        from: id,
+                        to: edge.to,
+                    });
                 }
             }
         }
@@ -406,10 +407,7 @@ mod tests {
         let s = a.add_ste(SymbolClass::FULL, StartKind::AllInput);
         let c = a.add_counter(0, CounterMode::Latch);
         a.add_edge(s, c);
-        assert!(matches!(
-            a.validate(),
-            Err(CoreError::ZeroCounterTarget(_))
-        ));
+        assert!(matches!(a.validate(), Err(CoreError::ZeroCounterTarget(_))));
     }
 
     #[test]

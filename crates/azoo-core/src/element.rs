@@ -1,11 +1,9 @@
 //! Automaton elements: STEs and counter elements.
 
-use serde::{Deserialize, Serialize};
-
 use crate::symbol::SymbolClass;
 
 /// When a state becomes enabled independently of incoming activations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum StartKind {
     /// Never self-enabled; only enabled by an incoming activation.
     #[default]
@@ -21,7 +19,7 @@ pub enum StartKind {
 ///
 /// Benchmarks use report codes to identify which rule/pattern/filter fired
 /// (e.g. the rule index in Snort, or the predicted class in Random Forest).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ReportCode(pub u32);
 
 impl From<u32> for ReportCode {
@@ -39,7 +37,7 @@ impl std::fmt::Display for ReportCode {
 /// Behaviour of a counter element once its target is reached.
 ///
 /// These mirror the Micron AP counter modes as modelled by VASim.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CounterMode {
     /// Fire once and keep the output asserted every subsequent cycle until
     /// reset.
@@ -52,9 +50,7 @@ pub enum CounterMode {
 }
 
 /// The input port an edge drives on a counter element.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub enum Port {
     /// Ordinary activation input. For STEs this enables the state; for
     /// counters this is the count-enable input.
@@ -65,7 +61,7 @@ pub enum Port {
 }
 
 /// The functional payload of an element.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum ElementKind {
     /// A State Transition Element: matches a symbol class when enabled.
     Ste {
@@ -84,7 +80,7 @@ pub enum ElementKind {
 }
 
 /// A single automaton element plus its (optional) report code.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Element {
     /// STE or counter payload.
     pub kind: ElementKind,

@@ -39,6 +39,7 @@ pub mod bitset;
 pub mod dot;
 pub mod element;
 pub mod error;
+pub mod json;
 pub mod mnrl;
 pub mod stats;
 pub mod symbol;

@@ -7,6 +7,11 @@
 //! output connections. Symbol sets are encoded as inclusive `[lo, hi]` byte
 //! ranges for compactness.
 //!
+//! Documents are built on the in-tree [`crate::json`] module (the build is
+//! offline, so there is no serde); optional fields are omitted when absent,
+//! and `report` / `reportOnLast` default to `false` when missing, matching
+//! the previous serde-derived behaviour.
+//!
 //! # Example
 //!
 //! ```
@@ -21,47 +26,11 @@
 //! # Ok::<(), azoo_core::CoreError>(())
 //! ```
 
-use serde::{Deserialize, Serialize};
-
 use crate::automaton::{Automaton, StateId};
 use crate::element::{CounterMode, ElementKind, Port, StartKind};
 use crate::error::CoreError;
+use crate::json::{self, Json};
 use crate::symbol::SymbolClass;
-
-#[derive(Serialize, Deserialize)]
-struct Document {
-    id: String,
-    nodes: Vec<Node>,
-}
-
-#[derive(Serialize, Deserialize)]
-struct Node {
-    id: String,
-    #[serde(rename = "type")]
-    node_type: String,
-    #[serde(skip_serializing_if = "Option::is_none")]
-    enable: Option<String>,
-    #[serde(default)]
-    report: bool,
-    #[serde(skip_serializing_if = "Option::is_none", rename = "reportId")]
-    report_id: Option<u32>,
-    #[serde(default, rename = "reportOnLast")]
-    report_on_last: bool,
-    #[serde(skip_serializing_if = "Option::is_none", rename = "symbolSet")]
-    symbol_set: Option<Vec<[u8; 2]>>,
-    #[serde(skip_serializing_if = "Option::is_none")]
-    target: Option<u32>,
-    #[serde(skip_serializing_if = "Option::is_none")]
-    mode: Option<String>,
-    #[serde(rename = "outputConnections")]
-    outputs: Vec<Connection>,
-}
-
-#[derive(Serialize, Deserialize)]
-struct Connection {
-    id: String,
-    port: String,
-}
 
 fn class_to_ranges(c: &SymbolClass) -> Vec<[u8; 2]> {
     let mut ranges = Vec::new();
@@ -100,67 +69,141 @@ fn ranges_to_class(ranges: &[[u8; 2]]) -> Result<SymbolClass, CoreError> {
 
 /// Serializes an automaton to an MNRL-style JSON string.
 pub fn to_json(a: &Automaton, network_id: &str) -> String {
-    let nodes = a
+    let nodes: Vec<Json> = a
         .iter()
         .map(|(id, e)| {
-            let outputs = a
+            let outputs: Vec<Json> = a
                 .successors(id)
                 .iter()
-                .map(|edge| Connection {
-                    id: format!("n{}", edge.to.index()),
-                    port: match edge.port {
-                        Port::Activate => "activate".to_owned(),
-                        Port::Reset => "reset".to_owned(),
-                    },
+                .map(|edge| {
+                    Json::Obj(vec![
+                        ("id".into(), Json::Str(format!("n{}", edge.to.index()))),
+                        (
+                            "port".into(),
+                            Json::Str(
+                                match edge.port {
+                                    Port::Activate => "activate",
+                                    Port::Reset => "reset",
+                                }
+                                .into(),
+                            ),
+                        ),
+                    ])
                 })
                 .collect();
+            let mut node = vec![("id".into(), Json::Str(format!("n{}", id.index())))];
             match &e.kind {
-                ElementKind::Ste { class, start } => Node {
-                    id: format!("n{}", id.index()),
-                    node_type: "hState".to_owned(),
-                    enable: Some(
-                        match start {
-                            StartKind::None => "onActivateIn",
-                            StartKind::StartOfData => "onStartOfData",
-                            StartKind::AllInput => "always",
-                        }
-                        .to_owned(),
-                    ),
-                    report: e.report.is_some(),
-                    report_id: e.report.map(|r| r.0),
-                    report_on_last: e.report_eod_only,
-                    symbol_set: Some(class_to_ranges(class)),
-                    target: None,
-                    mode: None,
-                    outputs,
-                },
-                ElementKind::Counter { target, mode } => Node {
-                    id: format!("n{}", id.index()),
-                    node_type: "upCounter".to_owned(),
-                    enable: None,
-                    report: e.report.is_some(),
-                    report_id: e.report.map(|r| r.0),
-                    report_on_last: e.report_eod_only,
-                    symbol_set: None,
-                    target: Some(*target),
-                    mode: Some(
-                        match mode {
-                            CounterMode::Latch => "latch",
-                            CounterMode::Pulse => "pulse",
-                            CounterMode::Roll => "roll",
-                        }
-                        .to_owned(),
-                    ),
-                    outputs,
-                },
+                ElementKind::Ste { class, start } => {
+                    node.push(("type".into(), Json::Str("hState".into())));
+                    node.push((
+                        "enable".into(),
+                        Json::Str(
+                            match start {
+                                StartKind::None => "onActivateIn",
+                                StartKind::StartOfData => "onStartOfData",
+                                StartKind::AllInput => "always",
+                            }
+                            .into(),
+                        ),
+                    ));
+                    node.push(("report".into(), Json::Bool(e.report.is_some())));
+                    if let Some(r) = e.report {
+                        node.push(("reportId".into(), Json::Int(i64::from(r.0))));
+                    }
+                    node.push(("reportOnLast".into(), Json::Bool(e.report_eod_only)));
+                    node.push((
+                        "symbolSet".into(),
+                        Json::Arr(
+                            class_to_ranges(class)
+                                .iter()
+                                .map(|r| {
+                                    Json::Arr(vec![
+                                        Json::Int(i64::from(r[0])),
+                                        Json::Int(i64::from(r[1])),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ));
+                }
+                ElementKind::Counter { target, mode } => {
+                    node.push(("type".into(), Json::Str("upCounter".into())));
+                    node.push(("report".into(), Json::Bool(e.report.is_some())));
+                    if let Some(r) = e.report {
+                        node.push(("reportId".into(), Json::Int(i64::from(r.0))));
+                    }
+                    node.push(("reportOnLast".into(), Json::Bool(e.report_eod_only)));
+                    node.push(("target".into(), Json::Int(i64::from(*target))));
+                    node.push((
+                        "mode".into(),
+                        Json::Str(
+                            match mode {
+                                CounterMode::Latch => "latch",
+                                CounterMode::Pulse => "pulse",
+                                CounterMode::Roll => "roll",
+                            }
+                            .into(),
+                        ),
+                    ));
+                }
             }
+            node.push(("outputConnections".into(), Json::Arr(outputs)));
+            Json::Obj(node)
         })
         .collect();
-    let doc = Document {
-        id: network_id.to_owned(),
-        nodes,
-    };
-    serde_json::to_string_pretty(&doc).expect("document serialization cannot fail")
+    Json::Obj(vec![
+        ("id".into(), Json::Str(network_id.into())),
+        ("nodes".into(), Json::Arr(nodes)),
+    ])
+    .pretty()
+}
+
+fn node_str<'a>(node: &'a Json, key: &str) -> Option<&'a str> {
+    node.get(key).and_then(Json::as_str)
+}
+
+fn node_u32(node: &Json, key: &str) -> Result<Option<u32>, CoreError> {
+    match node.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_i64()
+            .and_then(|n| u32::try_from(n).ok())
+            .map(Some)
+            .ok_or_else(|| CoreError::Format(format!("field '{key}' is not a u32"))),
+    }
+}
+
+fn node_bool(node: &Json, key: &str) -> Result<bool, CoreError> {
+    match node.get(key) {
+        None => Ok(false),
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| CoreError::Format(format!("field '{key}' is not a boolean"))),
+    }
+}
+
+fn parse_ranges(node: &Json) -> Result<Vec<[u8; 2]>, CoreError> {
+    let bad = || CoreError::Format("symbolSet must be an array of [lo, hi] byte pairs".into());
+    match node.get("symbolSet") {
+        None | Some(Json::Null) => Ok(Vec::new()),
+        Some(v) => v
+            .as_arr()
+            .ok_or_else(bad)?
+            .iter()
+            .map(|pair| {
+                let pair = pair.as_arr().ok_or_else(bad)?;
+                if pair.len() != 2 {
+                    return Err(bad());
+                }
+                let lo = pair[0].as_i64().and_then(|n| u8::try_from(n).ok());
+                let hi = pair[1].as_i64().and_then(|n| u8::try_from(n).ok());
+                match (lo, hi) {
+                    (Some(lo), Some(hi)) => Ok([lo, hi]),
+                    _ => Err(bad()),
+                }
+            })
+            .collect(),
+    }
 }
 
 /// Parses an MNRL-style JSON string into an automaton.
@@ -169,16 +212,21 @@ pub fn to_json(a: &Automaton, network_id: &str) -> String {
 ///
 /// Returns [`CoreError::Format`] for malformed JSON, unknown node types or
 /// enables, dangling connection ids, or reversed symbol ranges.
-pub fn from_json(json: &str) -> Result<Automaton, CoreError> {
-    let doc: Document =
-        serde_json::from_str(json).map_err(|e| CoreError::Format(e.to_string()))?;
-    let mut a = Automaton::with_capacity(doc.nodes.len());
-    let mut index_of = std::collections::HashMap::with_capacity(doc.nodes.len());
-    for node in &doc.nodes {
-        let id = match node.node_type.as_str() {
-            "hState" => {
-                let class = ranges_to_class(node.symbol_set.as_deref().unwrap_or(&[]))?;
-                let start = match node.enable.as_deref() {
+pub fn from_json(text: &str) -> Result<Automaton, CoreError> {
+    let doc = json::parse(text)?;
+    let nodes = doc
+        .get("nodes")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| CoreError::Format("document has no 'nodes' array".into()))?;
+    let mut a = Automaton::with_capacity(nodes.len());
+    let mut index_of = std::collections::HashMap::with_capacity(nodes.len());
+    for node in nodes {
+        let node_id = node_str(node, "id")
+            .ok_or_else(|| CoreError::Format("node missing string 'id'".into()))?;
+        let id = match node_str(node, "type") {
+            Some("hState") => {
+                let class = ranges_to_class(&parse_ranges(node)?)?;
+                let start = match node_str(node, "enable") {
                     Some("onActivateIn") | None => StartKind::None,
                     Some("onStartOfData") => StartKind::StartOfData,
                     Some("always") => StartKind::AllInput,
@@ -188,11 +236,10 @@ pub fn from_json(json: &str) -> Result<Automaton, CoreError> {
                 };
                 a.add_ste(class, start)
             }
-            "upCounter" => {
-                let target = node
-                    .target
+            Some("upCounter") => {
+                let target = node_u32(node, "target")?
                     .ok_or_else(|| CoreError::Format("counter missing target".into()))?;
-                let mode = match node.mode.as_deref() {
+                let mode = match node_str(node, "mode") {
                     Some("latch") | None => CounterMode::Latch,
                     Some("pulse") => CounterMode::Pulse,
                     Some("roll") => CounterMode::Roll,
@@ -202,24 +249,34 @@ pub fn from_json(json: &str) -> Result<Automaton, CoreError> {
                 };
                 a.add_counter(target, mode)
             }
-            other => return Err(CoreError::Format(format!("unknown node type '{other}'"))),
+            Some(other) => return Err(CoreError::Format(format!("unknown node type '{other}'"))),
+            None => return Err(CoreError::Format("node missing 'type'".into())),
         };
-        if node.report {
-            a.set_report(id, node.report_id.unwrap_or(0));
+        if node_bool(node, "report")? {
+            a.set_report(id, node_u32(node, "reportId")?.unwrap_or(0));
         }
-        a.set_report_eod_only(id, node.report_on_last);
-        index_of.insert(node.id.clone(), id);
+        a.set_report_eod_only(id, node_bool(node, "reportOnLast")?);
+        index_of.insert(node_id.to_owned(), id);
     }
-    for node in &doc.nodes {
-        let from = index_of[&node.id];
-        for conn in &node.outputs {
+    for node in nodes {
+        let node_id = node_str(node, "id").expect("validated above");
+        let from = index_of[node_id];
+        let outputs = match node.get("outputConnections") {
+            None | Some(Json::Null) => &[][..],
+            Some(v) => v
+                .as_arr()
+                .ok_or_else(|| CoreError::Format("outputConnections must be an array".into()))?,
+        };
+        for conn in outputs {
+            let conn_id = node_str(conn, "id")
+                .ok_or_else(|| CoreError::Format("connection missing 'id'".into()))?;
             let to: StateId = *index_of
-                .get(&conn.id)
-                .ok_or_else(|| CoreError::Format(format!("dangling connection '{}'", conn.id)))?;
-            match conn.port.as_str() {
-                "activate" => a.add_edge(from, to),
-                "reset" => a.add_reset_edge(from, to),
-                other => return Err(CoreError::Format(format!("unknown port '{other}'"))),
+                .get(conn_id)
+                .ok_or_else(|| CoreError::Format(format!("dangling connection '{conn_id}'")))?;
+            match node_str(conn, "port") {
+                Some("activate") | None => a.add_edge(from, to),
+                Some("reset") => a.add_reset_edge(from, to),
+                Some(other) => return Err(CoreError::Format(format!("unknown port '{other}'"))),
             }
         }
     }
@@ -282,5 +339,13 @@ mod tests {
     #[test]
     fn rejects_bad_json() {
         assert!(matches!(from_json("{nope"), Err(CoreError::Format(_))));
+    }
+
+    #[test]
+    fn missing_report_fields_default_to_false() {
+        let json = r#"{"id":"x","nodes":[{"id":"a","type":"hState","enable":"always",
+            "symbolSet":[[97,97]],"outputConnections":[]}]}"#;
+        let a = from_json(json).unwrap();
+        assert_eq!(a.report_states().len(), 0);
     }
 }

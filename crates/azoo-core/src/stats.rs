@@ -138,6 +138,63 @@ pub fn reachable_from_starts(a: &Automaton) -> Vec<bool> {
     seen
 }
 
+/// Number of states on the longest simple activation path from any start
+/// state, or `None` when a cycle is reachable from a start state (path
+/// length unbounded).
+///
+/// This bounds how many input symbols a single match can span: each STE on
+/// a path consumes one symbol, so a match ending at offset `p` began no
+/// earlier than `p - (len - 1)`. Counter elements on a path consume no
+/// symbol, so for automata with counters the bound is conservative (an
+/// over-estimate), never an under-estimate. Engines use this as the
+/// overlap window when splitting an input across chunk workers.
+///
+/// Both activation and reset edges are followed; states unreachable from
+/// any start state are ignored (they can never become active).
+pub fn longest_path_from_starts(a: &Automaton) -> Option<usize> {
+    const WHITE: u8 = 0; // unvisited
+    const GRAY: u8 = 1; // on the DFS stack
+    const BLACK: u8 = 2; // finished, `depth` valid
+    let mut color = vec![WHITE; a.state_count()];
+    // Longest path (in states) starting at each finished node.
+    let mut depth = vec![0usize; a.state_count()];
+    let mut best = 0usize;
+    let mut stack: Vec<(usize, usize)> = Vec::new();
+    for start in a.start_states() {
+        let s = start.index();
+        if color[s] == BLACK {
+            best = best.max(depth[s]);
+            continue;
+        }
+        color[s] = GRAY;
+        stack.push((s, 0));
+        while let Some(frame) = stack.last_mut() {
+            let (v, ei) = *frame;
+            let succs = a.successors(StateId::new(v));
+            if ei < succs.len() {
+                frame.1 += 1;
+                let t = succs[ei].to.index();
+                match color[t] {
+                    WHITE => {
+                        color[t] = GRAY;
+                        stack.push((t, 0));
+                    }
+                    GRAY => return None, // back edge: reachable cycle
+                    _ => {}
+                }
+            } else {
+                // All successors finished (a gray successor would have
+                // returned above), so their depths are final.
+                depth[v] = 1 + succs.iter().map(|e| depth[e.to.index()]).max().unwrap_or(0);
+                color[v] = BLACK;
+                stack.pop();
+            }
+        }
+        best = best.max(depth[s]);
+    }
+    Some(best)
+}
+
 struct UnionFind {
     parent: Vec<u32>,
 }
@@ -221,6 +278,61 @@ mod tests {
         a.append(&chain(3));
         let labels = component_labels(&a);
         assert_eq!(labels, vec![0, 0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn longest_path_of_chains_is_longest_chain() {
+        let mut a = chain(3);
+        a.append(&chain(7));
+        a.append(&chain(2));
+        assert_eq!(longest_path_from_starts(&a), Some(7));
+    }
+
+    #[test]
+    fn longest_path_sees_through_diamonds() {
+        // start -> {b, c}; b -> d; c -> e -> d: longest path is 4 states.
+        let mut a = Automaton::new();
+        let s = a.add_ste(SymbolClass::FULL, StartKind::AllInput);
+        let b = a.add_ste(SymbolClass::FULL, StartKind::None);
+        let c = a.add_ste(SymbolClass::FULL, StartKind::None);
+        let d = a.add_ste(SymbolClass::FULL, StartKind::None);
+        let e = a.add_ste(SymbolClass::FULL, StartKind::None);
+        a.add_edge(s, b);
+        a.add_edge(s, c);
+        a.add_edge(b, d);
+        a.add_edge(c, e);
+        a.add_edge(e, d);
+        assert_eq!(longest_path_from_starts(&a), Some(4));
+    }
+
+    #[test]
+    fn reachable_cycle_is_unbounded() {
+        let mut a = chain(2);
+        a.add_edge(StateId::new(1), StateId::new(0));
+        assert_eq!(longest_path_from_starts(&a), None);
+    }
+
+    #[test]
+    fn self_loop_is_unbounded() {
+        let mut a = chain(1);
+        a.add_edge(StateId::new(0), StateId::new(0));
+        assert_eq!(longest_path_from_starts(&a), None);
+    }
+
+    #[test]
+    fn unreachable_cycle_is_ignored() {
+        let mut a = chain(4);
+        // An orphan two-cycle no start state reaches.
+        let x = a.add_ste(SymbolClass::FULL, StartKind::None);
+        let y = a.add_ste(SymbolClass::FULL, StartKind::None);
+        a.add_edge(x, y);
+        a.add_edge(y, x);
+        assert_eq!(longest_path_from_starts(&a), Some(4));
+    }
+
+    #[test]
+    fn empty_automaton_has_zero_path() {
+        assert_eq!(longest_path_from_starts(&Automaton::new()), Some(0));
     }
 
     #[test]

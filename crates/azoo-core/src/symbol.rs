@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A set of 8-bit input symbols, stored as a 256-bit mask.
 ///
 /// This is the "character class" configured into an STE. All set operations
@@ -19,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(!digits.contains(b'a'));
 /// assert_eq!(digits.len(), 10);
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct SymbolClass {
     bits: [u64; 4],
 }
@@ -29,7 +27,9 @@ impl SymbolClass {
     pub const EMPTY: SymbolClass = SymbolClass { bits: [0; 4] };
 
     /// The full class, matching every symbol (`*` in ANML notation).
-    pub const FULL: SymbolClass = SymbolClass { bits: [u64::MAX; 4] };
+    pub const FULL: SymbolClass = SymbolClass {
+        bits: [u64::MAX; 4],
+    };
 
     /// Creates an empty class. Equivalent to [`SymbolClass::EMPTY`].
     pub fn new() -> Self {

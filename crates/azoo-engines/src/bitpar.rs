@@ -81,8 +81,8 @@ impl BitParallelEngine {
         // Chain layout: walk from heads.
         let mut position = vec![u32::MAX; n];
         let mut order: Vec<u32> = Vec::with_capacity(n);
-        for head in 0..n {
-            if in_deg[head] != 0 {
+        for (head, &deg) in in_deg.iter().enumerate() {
+            if deg != 0 {
                 continue;
             }
             let mut cur = head as u32;
@@ -180,8 +180,8 @@ impl BitParallelEngine {
             let last = eod && pos + 1 == len;
             self.cycle_codes.clear();
             // matched (in scratch) and reports (deduplicated per code).
-            for w in 0..words {
-                let matched = self.active[w] & acc[w];
+            for (w, &acc_w) in acc.iter().enumerate() {
+                let matched = self.active[w] & acc_w;
                 self.scratch[w] = matched;
                 let mut r = matched & self.report[w];
                 while r != 0 {

@@ -208,8 +208,10 @@ impl LazyDfaEngine {
         let id = self.states.len() as u32;
         self.intern.insert(key.clone(), id);
         self.states.push(key);
-        self.trans.extend(std::iter::repeat_n(UNBUILT, self.n_classes));
-        self.trans_rep.extend(std::iter::repeat_n(0, self.n_classes));
+        self.trans
+            .extend(std::iter::repeat_n(UNBUILT, self.n_classes));
+        self.trans_rep
+            .extend(std::iter::repeat_n(0, self.n_classes));
         id
     }
 
@@ -346,8 +348,7 @@ mod tests {
 
     fn abc() -> Automaton {
         let mut a = Automaton::new();
-        let classes: Vec<SymbolClass> =
-            b"abc".iter().map(|&b| SymbolClass::from_byte(b)).collect();
+        let classes: Vec<SymbolClass> = b"abc".iter().map(|&b| SymbolClass::from_byte(b)).collect();
         let (_, last) = a.add_chain(&classes, StartKind::AllInput);
         a.set_report(last, 0);
         a

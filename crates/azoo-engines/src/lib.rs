@@ -14,6 +14,9 @@
 //! * [`BitParallelEngine`] — a dense multi-pattern Shift-And engine for
 //!   chain-shaped automata (e.g. Random Forest leaf chains), processing
 //!   64 states per machine word per symbol.
+//! * [`ParallelScanner`] — a multi-threaded wrapper that shards the
+//!   automaton by connected component and (where sound) chunks the input
+//!   across workers, merging reports into the canonical sorted stream.
 //!
 //! All engines produce identical report streams for the automata they
 //! support, which the test suite cross-validates.
@@ -41,6 +44,7 @@
 mod bitpar;
 mod lazy_dfa;
 mod nfa;
+mod parallel;
 mod profile;
 mod report_stats;
 mod select;
@@ -50,9 +54,10 @@ mod stream;
 pub use bitpar::BitParallelEngine;
 pub use lazy_dfa::LazyDfaEngine;
 pub use nfa::NfaEngine;
+pub use parallel::ParallelScanner;
 pub use profile::Profile;
 pub use report_stats::ReportStats;
-pub use select::{select_engine, EngineChoice};
+pub use select::{select_engine, select_engine_threaded, EngineChoice};
 pub use sink::{CollectSink, CountSink, NullSink, Report, ReportSink};
 pub use stream::StreamingEngine;
 

@@ -416,7 +416,10 @@ mod tests {
     fn rejects_invalid_automata() {
         let mut a = Automaton::new();
         a.add_ste(SymbolClass::EMPTY, StartKind::AllInput);
-        assert!(matches!(NfaEngine::new(&a), Err(crate::EngineError::Invalid(_))));
+        assert!(matches!(
+            NfaEngine::new(&a),
+            Err(crate::EngineError::Invalid(_))
+        ));
     }
 
     #[test]

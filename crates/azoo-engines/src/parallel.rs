@@ -1,0 +1,556 @@
+//! Multi-threaded scanning with a deterministic report merge.
+//!
+//! AutomataZoo's benchmarks expose two independent axes of parallelism,
+//! and [`ParallelScanner`] exploits both:
+//!
+//! 1. **Automaton sharding.** Weakly connected components never interact,
+//!    so the automaton is split into shards (via the same
+//!    first-fit-decreasing packing as [`azoo_passes::partition`]) and each
+//!    shard scans the input independently.
+//! 2. **Input chunking.** A shard that is counter-free, acyclic, and
+//!    all-input-start (no `StartOfData` elements) matches at most
+//!    `longest_path_from_starts` symbols per report, so the input can be
+//!    cut into chunks that different workers scan concurrently. Each
+//!    worker re-scans a bounded *overlap window* before its chunk to
+//!    catch matches that span the boundary, and discards reports it does
+//!    not own. Shards with counters, cycles, or start-of-data anchors
+//!    fall back to scanning the whole input on one worker (shard-level
+//!    parallelism still applies).
+//!
+//! Workers drain a shared job queue and the merged stream is sorted by
+//! `(offset, code)` and deduplicated, so the output is **byte-identical
+//! to a single [`NfaEngine`] scan** and independent of thread scheduling
+//! — the property the differential tests pin down.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use azoo_core::stats::{component_sizes, longest_path_from_starts};
+use azoo_core::{Automaton, ElementKind, StartKind};
+use azoo_passes::partition;
+
+use crate::nfa::NfaEngine;
+use crate::sink::{Report, ReportSink};
+use crate::stream::StreamingEngine;
+use crate::{Engine, EngineError};
+
+/// One automaton shard plus its chunking capability.
+#[derive(Debug, Clone)]
+struct Shard {
+    /// Prototype engine; cloned per job during `scan`, fed in place
+    /// during streaming.
+    engine: NfaEngine,
+    /// `Some(w)`: input-chunkable, matches span at most `w` symbols.
+    /// `None`: must scan the input sequentially.
+    window: Option<usize>,
+}
+
+/// A unit of work: one shard over one input range.
+#[derive(Debug, Clone, Copy)]
+struct Job {
+    shard: usize,
+    /// Input range this job owns reports for.
+    start: usize,
+    end: usize,
+    /// Overlap window for chunk jobs; `None` means scan `start..end` as a
+    /// complete input (whole-input job).
+    window: Option<usize>,
+}
+
+/// Scans with a pool of worker threads, merging shard and chunk report
+/// streams into the canonical `(offset, code)`-sorted order.
+///
+/// # Example
+///
+/// ```
+/// use azoo_core::{Automaton, StartKind, SymbolClass};
+/// use azoo_engines::{CollectSink, Engine, ParallelScanner};
+///
+/// let mut a = Automaton::new();
+/// for (code, word) in [&b"cat"[..], &b"dog"[..]].iter().enumerate() {
+///     let classes: Vec<SymbolClass> =
+///         word.iter().map(|&b| SymbolClass::from_byte(b)).collect();
+///     let (_, last) = a.add_chain(&classes, StartKind::AllInput);
+///     a.set_report(last, code as u32);
+/// }
+/// let mut engine = ParallelScanner::new(&a, 4)?;
+/// let mut sink = CollectSink::new();
+/// engine.scan(b"catdogcat", &mut sink);
+/// let offsets: Vec<u64> = sink.reports().iter().map(|r| r.offset).collect();
+/// assert_eq!(offsets, vec![2, 5, 8]);
+/// # Ok::<(), azoo_engines::EngineError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParallelScanner {
+    shards: Vec<Shard>,
+    threads: usize,
+}
+
+impl ParallelScanner {
+    /// Compiles `a` for scanning with `threads` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Invalid`] if `a` fails
+    /// [`Automaton::validate`].
+    pub fn new(a: &Automaton, threads: usize) -> Result<Self, EngineError> {
+        assert!(threads > 0, "thread count must be positive");
+        a.validate()?;
+        // Pack components into about `threads` shards; a component can
+        // never be split, so the capacity is at least the largest one.
+        let max_component = component_sizes(a).last().copied().unwrap_or(0);
+        let capacity = a.state_count().div_ceil(threads).max(max_component).max(1);
+        let parts = partition(a, capacity).expect("capacity covers the largest component");
+        let shards = parts
+            .iter()
+            // A shard whose components have no start state can never
+            // activate anything — drop it rather than fail its
+            // (per-shard) validation. The whole automaton validated
+            // above, so at least one shard survives.
+            .filter(|p| !p.start_states().is_empty())
+            .map(|p| {
+                Ok(Shard {
+                    engine: NfaEngine::new(p)?,
+                    window: chunk_window(p),
+                })
+            })
+            .collect::<Result<Vec<Shard>, EngineError>>()?;
+        Ok(ParallelScanner { shards, threads })
+    }
+
+    /// Worker thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Number of automaton shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of shards eligible for input chunking.
+    pub fn chunkable_shard_count(&self) -> usize {
+        self.shards.iter().filter(|s| s.window.is_some()).count()
+    }
+
+    /// Scans `input` and returns the merged, `(offset, code)`-sorted,
+    /// deduplicated report stream.
+    fn scan_merged(&self, input: &[u8]) -> Vec<Report> {
+        let mut jobs = Vec::new();
+        for (si, shard) in self.shards.iter().enumerate() {
+            match shard.window {
+                // Chunking pays off only with input to split and more
+                // workers than shards.
+                Some(w) if self.threads > 1 && !input.is_empty() => {
+                    let k = self.threads.min(input.len());
+                    for c in 0..k {
+                        jobs.push(Job {
+                            shard: si,
+                            start: input.len() * c / k,
+                            end: input.len() * (c + 1) / k,
+                            window: Some(w),
+                        });
+                    }
+                }
+                _ => jobs.push(Job {
+                    shard: si,
+                    start: 0,
+                    end: input.len(),
+                    window: None,
+                }),
+            }
+        }
+        let workers = self.threads.min(jobs.len());
+        let mut merged: Vec<Report> = if workers <= 1 {
+            // Run inline: the single-thread baseline should not pay a
+            // spawn/join round trip.
+            let mut worker = Worker::new(&self.shards);
+            let mut out = Vec::new();
+            for job in &jobs {
+                worker.run_job(*job, input, &mut out);
+            }
+            out
+        } else {
+            let queue = AtomicUsize::new(0);
+            let (queue, jobs, shards) = (&queue, &jobs[..], &self.shards[..]);
+            let per_worker = crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(move |_| {
+                            let mut worker = Worker::new(shards);
+                            let mut out = Vec::new();
+                            loop {
+                                let j = queue.fetch_add(1, Ordering::Relaxed);
+                                let Some(job) = jobs.get(j) else { break };
+                                worker.run_job(*job, input, &mut out);
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("scan worker panicked"))
+                    .collect::<Vec<Vec<Report>>>()
+            })
+            .expect("scan worker panicked");
+            per_worker.into_iter().flatten().collect()
+        };
+        // Canonical order. Distinct shards may report the same code at
+        // the same offset; a single engine deduplicates those per cycle,
+        // so the merge must too.
+        merged.sort_unstable();
+        merged.dedup();
+        merged
+    }
+}
+
+/// `Some(longest match span)` if `p` supports input chunking: no
+/// counters (their state depends on the whole prefix), no start-of-data
+/// anchors (chunk workers start mid-stream), and no reachable cycles
+/// (unbounded match length means no finite overlap window).
+fn chunk_window(p: &Automaton) -> Option<usize> {
+    if p.counter_count() > 0 {
+        return None;
+    }
+    let anchored = p.iter().any(|(_, e)| {
+        matches!(
+            e.kind,
+            ElementKind::Ste {
+                start: StartKind::StartOfData,
+                ..
+            }
+        )
+    });
+    if anchored {
+        return None;
+    }
+    longest_path_from_starts(p).filter(|&w| w > 0)
+}
+
+/// Per-thread job executor. Keeps one engine clone per shard so a worker
+/// that draws several chunks of the same shard clones it only once
+/// (both `scan` and `reset_stream`/`feed` restart from initial state, so
+/// reuse across jobs is sound).
+struct Worker<'a> {
+    shards: &'a [Shard],
+    engines: Vec<Option<NfaEngine>>,
+}
+
+impl<'a> Worker<'a> {
+    fn new(shards: &'a [Shard]) -> Self {
+        Worker {
+            shards,
+            engines: vec![None; shards.len()],
+        }
+    }
+
+    /// Executes one job, appending owned reports (absolute offsets in
+    /// `job.start..job.end`) to `out`.
+    fn run_job(&mut self, job: Job, input: &[u8], out: &mut Vec<Report>) {
+        let engine =
+            self.engines[job.shard].get_or_insert_with(|| self.shards[job.shard].engine.clone());
+        match job.window {
+            None => {
+                let mut sink = VecSink(out);
+                engine.scan(input, &mut sink);
+            }
+            Some(window) => {
+                // Re-scan up to `window - 1` bytes before the chunk so
+                // matches spanning the boundary are seen, then keep only
+                // the reports this chunk owns.
+                let slice_start = job.start.saturating_sub(window - 1);
+                let eod = job.end == input.len();
+                let mut sink = RebaseSink {
+                    base: slice_start as u64,
+                    min: job.start as u64,
+                    out,
+                };
+                engine.reset_stream();
+                engine.feed(&input[slice_start..job.end], eod, &mut sink);
+            }
+        }
+    }
+}
+
+/// Appends reports verbatim.
+struct VecSink<'a>(&'a mut Vec<Report>);
+
+impl ReportSink for VecSink<'_> {
+    fn report(&mut self, offset: u64, code: azoo_core::ReportCode) {
+        self.0.push(Report { offset, code });
+    }
+}
+
+/// Rebases slice-relative offsets to absolute ones and drops reports
+/// below the chunk's owned range.
+struct RebaseSink<'a> {
+    base: u64,
+    min: u64,
+    out: &'a mut Vec<Report>,
+}
+
+impl ReportSink for RebaseSink<'_> {
+    fn report(&mut self, offset: u64, code: azoo_core::ReportCode) {
+        let offset = offset + self.base;
+        if offset >= self.min {
+            self.out.push(Report { offset, code });
+        }
+    }
+}
+
+impl Engine for ParallelScanner {
+    fn scan(&mut self, input: &[u8], sink: &mut dyn ReportSink) {
+        for r in self.scan_merged(input) {
+            sink.report(r.offset, r.code);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "parallel"
+    }
+}
+
+impl StreamingEngine for ParallelScanner {
+    fn reset_stream(&mut self) {
+        for s in &mut self.shards {
+            s.engine.reset_stream();
+        }
+    }
+
+    /// Streaming parallelizes across shards only: chunk workers need the
+    /// whole input range up front, but each shard's streaming engine
+    /// carries state across `feed` calls independently of the others.
+    fn feed(&mut self, chunk: &[u8], eod: bool, sink: &mut dyn ReportSink) {
+        let workers = self.threads.min(self.shards.len());
+        let mut merged: Vec<Report> = if workers <= 1 {
+            let mut out = Vec::new();
+            for s in &mut self.shards {
+                s.engine.feed(chunk, eod, &mut VecSink(&mut out));
+            }
+            out
+        } else {
+            let per_worker = self.shards.len().div_ceil(workers);
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .chunks_mut(per_worker)
+                    .map(|group| {
+                        scope.spawn(move |_| {
+                            let mut out = Vec::new();
+                            for s in group {
+                                s.engine.feed(chunk, eod, &mut VecSink(&mut out));
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("feed worker panicked"))
+                    .collect::<Vec<Report>>()
+            })
+            .expect("feed worker panicked")
+        };
+        merged.sort_unstable();
+        merged.dedup();
+        for r in merged {
+            sink.report(r.offset, r.code);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::CollectSink;
+    use azoo_core::{CounterMode, SymbolClass};
+
+    fn words(list: &[&[u8]]) -> Automaton {
+        let mut a = Automaton::new();
+        for (code, word) in list.iter().enumerate() {
+            let classes: Vec<SymbolClass> =
+                word.iter().map(|&b| SymbolClass::from_byte(b)).collect();
+            let (_, last) = a.add_chain(&classes, StartKind::AllInput);
+            a.set_report(last, code as u32);
+        }
+        a
+    }
+
+    fn nfa_reports(a: &Automaton, input: &[u8]) -> Vec<Report> {
+        let mut sink = CollectSink::new();
+        NfaEngine::new(a).unwrap().scan(input, &mut sink);
+        sink.sorted_reports()
+    }
+
+    fn parallel_reports(a: &Automaton, threads: usize, input: &[u8]) -> Vec<Report> {
+        let mut sink = CollectSink::new();
+        ParallelScanner::new(a, threads)
+            .unwrap()
+            .scan(input, &mut sink);
+        sink.reports().to_vec()
+    }
+
+    #[test]
+    fn matches_nfa_on_multi_component_words() {
+        let a = words(&[b"cat", b"dog", b"catalog", b"og"]);
+        let input = b"the catalog lists a dog and a catdog";
+        let expected = nfa_reports(&a, input);
+        assert!(!expected.is_empty());
+        for threads in [1, 2, 4, 8] {
+            assert_eq!(
+                parallel_reports(&a, threads, input),
+                expected,
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn output_is_already_sorted_and_deduped() {
+        // Two shards reporting the same code at the same offsets: a
+        // single engine dedups per cycle, so the merge must as well.
+        let mut a = words(&[b"aa"]);
+        let other = words(&[b"aa"]);
+        a.append(&other);
+        // Both chains share code 0 now.
+        let input = b"aaaa";
+        for threads in [1, 2, 4] {
+            let got = parallel_reports(&a, threads, input);
+            assert_eq!(got, nfa_reports(&a, input), "{threads} threads");
+            let mut sorted = got.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(got, sorted);
+        }
+    }
+
+    #[test]
+    fn counters_fall_back_to_whole_input() {
+        // k at least 3 times (latched counter).
+        let mut a = Automaton::new();
+        let s = a.add_ste(SymbolClass::from_byte(b'k'), StartKind::AllInput);
+        let c = a.add_counter(3, CounterMode::Latch);
+        a.add_edge(s, c);
+        a.set_report(c, 9);
+        let scanner = ParallelScanner::new(&a, 4).unwrap();
+        assert_eq!(scanner.chunkable_shard_count(), 0);
+        let input = b"kkxkkkxk";
+        for threads in [1, 2, 4] {
+            assert_eq!(parallel_reports(&a, threads, input), nfa_reports(&a, input));
+        }
+    }
+
+    #[test]
+    fn cycles_fall_back_to_whole_input() {
+        // a(b)*c — unbounded match span.
+        let mut a = Automaton::new();
+        let s = a.add_ste(SymbolClass::from_byte(b'a'), StartKind::AllInput);
+        let loop_ = a.add_ste(SymbolClass::from_byte(b'b'), StartKind::None);
+        let end = a.add_ste(SymbolClass::from_byte(b'c'), StartKind::None);
+        a.add_edge(s, loop_);
+        a.add_edge(loop_, loop_);
+        a.add_edge(s, end);
+        a.add_edge(loop_, end);
+        a.set_report(end, 0);
+        let scanner = ParallelScanner::new(&a, 4).unwrap();
+        assert_eq!(scanner.chunkable_shard_count(), 0);
+        let input = b"abbbbbbbbbbcxac";
+        for threads in [1, 2, 4, 8] {
+            assert_eq!(parallel_reports(&a, threads, input), nfa_reports(&a, input));
+        }
+    }
+
+    #[test]
+    fn start_of_data_falls_back_to_whole_input() {
+        let mut a = Automaton::new();
+        let (_, last) = a.add_chain(
+            &[SymbolClass::from_byte(b'q'), SymbolClass::from_byte(b'r')],
+            StartKind::StartOfData,
+        );
+        a.set_report(last, 0);
+        let scanner = ParallelScanner::new(&a, 4).unwrap();
+        assert_eq!(scanner.chunkable_shard_count(), 0);
+        // Must match only at offset 1, never at the later "qr".
+        let input = b"qrxqr";
+        for threads in [1, 2, 4] {
+            let got = parallel_reports(&a, threads, input);
+            assert_eq!(got.len(), 1);
+            assert_eq!(got[0].offset, 1);
+        }
+    }
+
+    #[test]
+    fn eod_anchored_reports_only_fire_at_end() {
+        let mut a = words(&[b"ab"]);
+        let z = a.add_ste(SymbolClass::from_byte(b'z'), StartKind::AllInput);
+        a.set_report(z, 7);
+        a.set_report_eod_only(z, true);
+        let input = b"zabzzzabz";
+        for threads in [1, 2, 4, 8] {
+            assert_eq!(parallel_reports(&a, threads, input), nfa_reports(&a, input));
+        }
+    }
+
+    #[test]
+    fn streaming_matches_whole_scan() {
+        let a = words(&[b"abc", b"cab"]);
+        let input = b"xabcabcabx";
+        let mut scanner = ParallelScanner::new(&a, 4).unwrap();
+        let whole = nfa_reports(&a, input);
+        for cut in 0..=input.len() {
+            let mut sink = CollectSink::new();
+            scanner.scan_chunks([&input[..cut], &input[cut..]], &mut sink);
+            assert_eq!(sink.reports().to_vec(), whole, "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn scan_is_reusable() {
+        let a = words(&[b"xy"]);
+        let mut scanner = ParallelScanner::new(&a, 2).unwrap();
+        for _ in 0..3 {
+            let mut sink = CollectSink::new();
+            scanner.scan(b"xyxy", &mut sink);
+            assert_eq!(sink.reports().len(), 2);
+        }
+    }
+
+    #[test]
+    fn startless_components_are_skipped_not_fatal() {
+        // A component with no start state can never activate; a single
+        // NfaEngine tolerates it because the whole automaton still has
+        // starts, and the scanner must too even when partitioning
+        // isolates it into its own shard.
+        let mut a = words(&[b"ab"]);
+        let x = a.add_ste(SymbolClass::from_byte(b'x'), StartKind::None);
+        let y = a.add_ste(SymbolClass::from_byte(b'y'), StartKind::None);
+        a.add_edge(x, y);
+        a.set_report(y, 5);
+        for threads in [1, 2, 4] {
+            let scanner = ParallelScanner::new(&a, threads).unwrap();
+            assert!(scanner.shard_count() >= 1);
+            assert_eq!(
+                parallel_reports(&a, threads, b"abxyab"),
+                nfa_reports(&a, b"abxyab")
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_threads_panics() {
+        let a = words(&[b"a"]);
+        let _ = ParallelScanner::new(&a, 0);
+    }
+
+    #[test]
+    fn invalid_automaton_errors() {
+        let mut a = Automaton::new();
+        a.add_ste(SymbolClass::EMPTY, StartKind::AllInput);
+        assert!(ParallelScanner::new(&a, 2).is_err());
+    }
+}

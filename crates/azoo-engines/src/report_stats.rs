@@ -70,10 +70,11 @@ impl ReportStats {
     }
 
     /// The loudest rule and its share of all reports, if any fired.
+    /// Ties go to the lowest code so the answer is deterministic.
     pub fn outlier(&self) -> Option<(ReportCode, f64)> {
         self.per_code
             .iter()
-            .max_by_key(|(_, &c)| c)
+            .max_by_key(|&(&code, &c)| (c, std::cmp::Reverse(code)))
             .map(|(&code, &count)| (ReportCode(code), count as f64 / self.total.max(1) as f64))
     }
 

@@ -8,7 +8,7 @@
 
 use azoo_core::Automaton;
 
-use crate::{BitParallelEngine, Engine, EngineError, LazyDfaEngine, NfaEngine};
+use crate::{BitParallelEngine, Engine, EngineError, LazyDfaEngine, NfaEngine, ParallelScanner};
 
 /// Which engine [`select_engine`] picked.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -19,6 +19,11 @@ pub enum EngineChoice {
     LazyDfa,
     /// The sparse active-set NFA engine.
     Nfa,
+    /// The multi-threaded sharding/chunking scanner.
+    Parallel {
+        /// Worker thread count.
+        threads: usize,
+    },
 }
 
 /// Picks the fastest applicable engine for `a`:
@@ -48,6 +53,26 @@ pub fn select_engine(a: &Automaton) -> Result<(EngineChoice, Box<dyn Engine>), E
         }
     }
     Ok((EngineChoice::Nfa, Box::new(NfaEngine::new(a)?)))
+}
+
+/// Thread-aware variant of [`select_engine`]: with more than one thread
+/// it builds a [`ParallelScanner`] (whose merged stream matches the
+/// single-threaded engines byte for byte), otherwise it defers to the
+/// single-threaded portfolio.
+///
+/// # Errors
+///
+/// Propagates [`EngineError::Invalid`] if the automaton fails
+/// validation.
+pub fn select_engine_threaded(
+    a: &Automaton,
+    threads: usize,
+) -> Result<(EngineChoice, Box<dyn Engine>), EngineError> {
+    if threads > 1 {
+        let engine = ParallelScanner::new(a, threads)?;
+        return Ok((EngineChoice::Parallel { threads }, Box::new(engine)));
+    }
+    select_engine(a)
 }
 
 #[cfg(test)]
@@ -95,6 +120,27 @@ mod tests {
         a.set_report(c, 0);
         let (choice, _) = select_engine(&a).unwrap();
         assert_eq!(choice, EngineChoice::Nfa);
+    }
+
+    #[test]
+    fn threaded_selection_uses_parallel_scanner() {
+        let mut a = Automaton::new();
+        let (_, last) = a.add_chain(&[SymbolClass::from_byte(b'x'); 4], StartKind::AllInput);
+        a.set_report(last, 0);
+        let (choice, mut engine) = select_engine_threaded(&a, 4).unwrap();
+        assert_eq!(choice, EngineChoice::Parallel { threads: 4 });
+        let mut sink = CollectSink::new();
+        engine.scan(b"xxxxx", &mut sink);
+        assert_eq!(sink.reports().len(), 2);
+    }
+
+    #[test]
+    fn single_thread_defers_to_portfolio() {
+        let mut a = Automaton::new();
+        let (_, last) = a.add_chain(&[SymbolClass::from_byte(b'x'); 4], StartKind::AllInput);
+        a.set_report(last, 0);
+        let (choice, _) = select_engine_threaded(&a, 1).unwrap();
+        assert_eq!(choice, EngineChoice::BitParallel);
     }
 
     #[test]

@@ -90,10 +90,7 @@ impl CollectSink {
 
 impl ReportSink for CollectSink {
     fn report(&mut self, offset: u64, code: ReportCode) {
-        self.reports.push(Report {
-            offset,
-            code,
-        });
+        self.reports.push(Report { offset, code });
     }
 }
 

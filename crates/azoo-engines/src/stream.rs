@@ -52,8 +52,7 @@ mod tests {
 
     fn pattern() -> Automaton {
         let mut a = Automaton::new();
-        let classes: Vec<SymbolClass> =
-            b"abc".iter().map(|&b| SymbolClass::from_byte(b)).collect();
+        let classes: Vec<SymbolClass> = b"abc".iter().map(|&b| SymbolClass::from_byte(b)).collect();
         let (_, last) = a.add_chain(&classes, StartKind::AllInput);
         a.set_report(last, 0);
         // A second, $-anchored pattern.

@@ -8,22 +8,36 @@
 //!    automata (8 bit-symbols per byte) vs the 8-strided byte automata.
 //! 4. **Counters**: report volume of Sequence Matching with and without
 //!    support counters.
+//! 5. **Parallel scanning**: Snort throughput of the sharding/chunking
+//!    [`ParallelScanner`] as the worker count doubles up to `--threads`.
 //!
-//! Usage: `ablation [--scale tiny|small|full]`
+//! Usage: `ablation [--scale tiny|small|full] [--threads N]`
 
 use azoo_core::{Automaton, CounterMode};
-use azoo_engines::{CountSink, Engine, LazyDfaEngine, NfaEngine};
-use azoo_harness::{fmt_count, scale_from_args, time_scan, Table};
+use azoo_engines::{CountSink, Engine, LazyDfaEngine, NfaEngine, ParallelScanner};
+use azoo_harness::{arg_value, fmt_count, scale_from_args, time_scan, Table};
 use azoo_passes::merge_prefixes;
 use azoo_zoo::{sequence_match, BenchmarkId, Scale};
 
 fn main() {
     let scale = scale_from_args();
+    let args: Vec<String> = std::env::args().collect();
+    // Sweep worker counts up to --threads (default: the machine, capped
+    // at 8 so the table stays readable).
+    let max_threads = arg_value(&args, "--threads")
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map_or(4, |n| n.get())
+                .min(8)
+        });
     println!("== Ablations (scale: {scale:?}) ==");
     prefix_merge_ablation(scale);
     engine_ablation(scale);
     striding_ablation(scale);
     counter_ablation(scale);
+    parallel_ablation(scale, max_threads);
 }
 
 fn profile_and_speed(a: &Automaton, input: &[u8]) -> (f64, f64) {
@@ -165,6 +179,44 @@ fn striding_ablation(scale: Scale) {
     );
 }
 
+fn parallel_ablation(scale: Scale, max_threads: usize) {
+    println!("\n-- 5. parallel scanning (automaton sharding + input chunking) --\n");
+    let bench = BenchmarkId::Snort.build(scale);
+    let window = bench.input.len().min(1 << 18);
+    let input = &bench.input[..window];
+    let table = Table::new(&[
+        ("Workers", 8),
+        ("Shards", 7),
+        ("Chunkable", 10),
+        ("MB/s", 9),
+        ("Speedup", 8),
+    ]);
+    let mut baseline = None;
+    let mut threads = 1;
+    while threads <= max_threads {
+        let mut engine = ParallelScanner::new(&bench.automaton, threads).expect("valid");
+        // Warm once (page in the input), then measure.
+        let mut sink = azoo_engines::NullSink::new();
+        engine.scan(&input[..window.min(1 << 14)], &mut sink);
+        let (_, mbps) = time_scan(&mut engine, input);
+        let base = *baseline.get_or_insert(mbps);
+        table.row(&[
+            threads.to_string(),
+            engine.shard_count().to_string(),
+            format!(
+                "{}/{}",
+                engine.chunkable_shard_count(),
+                engine.shard_count()
+            ),
+            format!("{mbps:.1}"),
+            format!("{:.2}x", mbps / base),
+        ]);
+        threads *= 2;
+    }
+    println!("\nexpected: near-linear scaling while shards/chunks outnumber workers;");
+    println!("the merged report stream is byte-identical at every worker count.");
+}
+
 fn counter_ablation(scale: Scale) {
     println!("\n-- 4. counters vs counter-free Sequence Matching --\n");
     let filters = match scale {
@@ -196,7 +248,9 @@ fn counter_ablation(scale: Scale) {
     let mut s1 = CountSink::new();
     let mut s2 = CountSink::new();
     NfaEngine::new(&plain).expect("valid").scan(&input, &mut s1);
-    NfaEngine::new(&counted).expect("valid").scan(&input, &mut s2);
+    NfaEngine::new(&counted)
+        .expect("valid")
+        .scan(&input, &mut s2);
     println!(
         "plain:    {} reports over {} bytes",
         fmt_count(s1.count() as usize),

@@ -8,16 +8,22 @@
 //! extreme outlier responsible for over half of all reports) cuts a
 //! further ~2x.
 //!
-//! Usage: `section5 [--scale tiny|small|full]`
+//! Usage: `section5 [--scale tiny|small|full] [--threads N]`
+//!
+//! With `--threads N` the rulesets are scanned by the multi-threaded
+//! [`ParallelScanner`]; the report stream (and thus every number in the
+//! table) is identical to the single-threaded scan.
 
-use azoo_engines::{CollectSink, Engine, NfaEngine};
-use azoo_harness::{fmt_count, scale_from_args, Table};
+use azoo_engines::{CollectSink, Engine, NfaEngine, ParallelScanner};
+use azoo_harness::{fmt_count, scale_from_args, threads_from_args, Table};
 use azoo_workloads::network::{pcap_like, PcapConfig};
 use azoo_zoo::snort::{compile_rules, filter_rules, generate_ruleset};
 use azoo_zoo::Scale;
 
 fn main() {
     let scale = scale_from_args();
+    let args: Vec<String> = std::env::args().collect();
+    let threads = threads_from_args(&args);
     let (n_rules, input_len) = match scale {
         Scale::Tiny => (400, 1 << 16),
         Scale::Small => (1200, 1 << 18),
@@ -25,7 +31,8 @@ fn main() {
     };
     println!(
         "== Section V: Snort rule filtering (scale: {scale:?}, {n_rules} rules, \
-         {input_len}-byte PCAP-like stream) ==\n"
+         {input_len}-byte PCAP-like stream, {threads} scan thread{}) ==\n",
+        if threads == 1 { "" } else { "s" }
     );
     let rules = generate_ruleset(0x5210, n_rules);
     let input = pcap_like(
@@ -53,7 +60,11 @@ fn main() {
     for (name, no_buffer, no_isdataat) in stages {
         let kept = filter_rules(&rules, no_buffer, no_isdataat);
         let ruleset = compile_rules(&kept);
-        let mut engine = NfaEngine::new(&ruleset.automaton).expect("valid");
+        let mut engine: Box<dyn Engine> = if threads > 1 {
+            Box::new(ParallelScanner::new(&ruleset.automaton, threads).expect("valid"))
+        } else {
+            Box::new(NfaEngine::new(&ruleset.automaton).expect("valid"))
+        };
         let mut sink = CollectSink::new();
         engine.scan(&input, &mut sink);
         let reports = sink.reports().len();
@@ -76,7 +87,11 @@ fn main() {
             for r in sink.reports() {
                 *counts.entry(r.code).or_insert(0usize) += 1;
             }
-            if let Some((&code, &max)) = counts.iter().max_by_key(|(_, &c)| c) {
+            // Ties go to the lowest code so reruns print the same rule.
+            if let Some((&code, &max)) = counts
+                .iter()
+                .max_by_key(|&(&code, &c)| (c, std::cmp::Reverse(code)))
+            {
                 outlier_share = max as f64 / reports.max(1) as f64;
                 println!(
                     "  (loudest rule: #{code} with {} reports = {:.0}% of all)",

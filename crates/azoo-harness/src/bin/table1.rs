@@ -4,13 +4,17 @@
 //! compression factor, and the dynamic active set measured with the
 //! VASim-equivalent engine on the standard input.
 //!
-//! Usage: `table1 [--scale tiny|small|full] [--profile-bytes N]`
+//! Usage: `table1 [--scale tiny|small|full] [--profile-bytes N] [--threads N]`
+//!
+//! The `MB/s` column times an NFA scan over the profile window — with
+//! `--threads N` it uses the sharding/chunking [`ParallelScanner`]
+//! instead, whose report stream is identical.
 //!
 //! Paper reference values (states / active set) are printed alongside for
 //! the rows the paper reports.
 
-use azoo_engines::{NfaEngine, NullSink};
-use azoo_harness::{arg_value, fmt_count, scale_from_args, Table};
+use azoo_engines::{Engine, NfaEngine, NullSink, ParallelScanner};
+use azoo_harness::{arg_value, fmt_count, scale_from_args, threads_from_args, time_scan, Table};
 use azoo_passes::merge_prefixes;
 use azoo_zoo::{BenchmarkId, Scale};
 
@@ -52,9 +56,12 @@ fn main() {
     let profile_bytes: usize = arg_value(&args, "--profile-bytes")
         .and_then(|v| v.parse().ok())
         .unwrap_or(16_384);
+    let threads = threads_from_args(&args);
     println!(
         "== Table I: AutomataZoo benchmark statistics (scale: {scale:?}, \
-         active set over {profile_bytes} input symbols) ==\n"
+         active set over {profile_bytes} input symbols, {threads} scan \
+         thread{}) ==\n",
+        if threads == 1 { "" } else { "s" }
     );
     let table = Table::new(&[
         ("Benchmark", 20),
@@ -67,6 +74,7 @@ fn main() {
         ("Compr", 10),
         ("CmprF", 6),
         ("ActiveSet", 10),
+        ("MB/s", 8),
         ("Paper-S", 10),
         ("Paper-AS", 9),
     ]);
@@ -78,6 +86,12 @@ fn main() {
         let mut sink = NullSink::new();
         let window = bench.input.len().min(profile_bytes);
         let profile = engine.scan_profiled(&bench.input[..window], &mut sink);
+        let mut scan_engine: Box<dyn Engine> = if threads > 1 {
+            Box::new(ParallelScanner::new(&bench.automaton, threads).expect("valid benchmark"))
+        } else {
+            Box::new(engine)
+        };
+        let (_, mbps) = time_scan(scan_engine.as_mut(), &bench.input[..window]);
         let (paper_states, paper_as) = paper_values(id);
         let scale_note = if scale == Scale::Full { "" } else { "~" };
         table.row(&[
@@ -91,6 +105,7 @@ fn main() {
             fmt_count(compressed.state_count()),
             format!("{:.2}", mstats.compression_factor()),
             format!("{:.1}", profile.active_set()),
+            format!("{mbps:.1}"),
             format!("{scale_note}{}", fmt_count(paper_states)),
             format!("{paper_as:.0}"),
         ]);

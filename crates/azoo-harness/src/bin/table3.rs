@@ -11,8 +11,8 @@
 
 use azoo_core::Automaton;
 use azoo_engines::{Engine, LazyDfaEngine, NfaEngine};
-use azoo_passes::remove_dead;
 use azoo_harness::{arg_value, scale_from_args, Table};
+use azoo_passes::remove_dead;
 use azoo_zoo::sequence_match::{append_filter, generate_sequence, transaction_stream};
 use azoo_zoo::Scale;
 

@@ -6,6 +6,7 @@
 //! Rows:
 //! * lazy-DFA engine (the Hyperscan stand-in, = 1x baseline)
 //! * bit-parallel engine (our stronger CPU automata row)
+//! * parallel scanner (sharded/chunked NFA across `--threads` workers)
 //! * native forest inference, single-threaded (the scikit-learn row)
 //! * native forest inference, multi-threaded (scikit-learn MT)
 //! * REAPR FPGA analytic model (clock x symbols, as the paper computes)
@@ -14,7 +15,7 @@
 
 use std::time::Instant;
 
-use azoo_engines::{BitParallelEngine, Engine, LazyDfaEngine, NullSink};
+use azoo_engines::{BitParallelEngine, Engine, LazyDfaEngine, NullSink, ParallelScanner};
 use azoo_harness::{arg_value, scale_from_args, Table};
 use azoo_ml::SpatialModel;
 use azoo_zoo::random_forest::{build, RandomForestParams, Variant};
@@ -78,6 +79,15 @@ fn main() {
         let kcps = n as f64 / t.elapsed().as_secs_f64() / 1e3;
         rows.push(("Bit-parallel (ours)".into(), kcps));
     }
+    // Sharded/chunked NFA across worker threads.
+    {
+        let mut par = ParallelScanner::new(&bench.fa.automaton, threads).expect("valid");
+        let mut sink = NullSink::new();
+        let t = Instant::now();
+        par.scan(&bench.input, &mut sink);
+        let kcps = n as f64 / t.elapsed().as_secs_f64() / 1e3;
+        rows.push((format!("Parallel NFA x{threads}"), kcps));
+    }
     // Native, single-threaded. Repeat to get a measurable duration.
     {
         let reps = (10_000 / n).max(1);
@@ -115,7 +125,7 @@ fn main() {
         ("Speedup", 9),
         ("Paper", 7),
     ]);
-    let paper = ["1x", "-", "141.5x", "401.1x", "817.9x"];
+    let paper = ["1x", "-", "-", "141.5x", "401.1x", "817.9x"];
     for ((name, kcps), paper_cell) in rows.iter().zip(paper) {
         table.row(&[
             name.clone(),

@@ -12,7 +12,12 @@
 //! | `section5` | Section V — Snort rule-filtering report-rate drops |
 //! | `ablation` | DESIGN.md §7 — pass/engine/striding ablations |
 //!
-//! All binaries accept `--scale tiny|small|full` (default `small`).
+//! All binaries accept `--scale tiny|small|full` (default `small`);
+//! `table1`, `table4`, `section5`, and `ablation` also accept
+//! `--threads N` to scan with the multi-threaded [`ParallelScanner`]
+//! (default 1 = the single-threaded engines).
+//!
+//! [`ParallelScanner`]: azoo_engines::ParallelScanner
 
 use std::time::Instant;
 
@@ -31,6 +36,15 @@ pub fn scale_from_args() -> Scale {
             Scale::Small
         }
     }
+}
+
+/// Parses `--threads` from `args`; defaults to 1 (single-threaded).
+/// Zero and unparsable values also fall back to 1.
+pub fn threads_from_args(args: &[String]) -> usize {
+    arg_value(args, "--threads")
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1)
 }
 
 /// Extracts the value following a `--flag` in argv.
@@ -90,7 +104,7 @@ pub fn fmt_count(n: usize) -> String {
     let s = n.to_string();
     let mut out = String::new();
     for (i, c) in s.chars().enumerate() {
-        if i > 0 && (s.len() - i) % 3 == 0 {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
             out.push(',');
         }
         out.push(c);
@@ -107,6 +121,22 @@ mod tests {
         assert_eq!(fmt_count(5), "5");
         assert_eq!(fmt_count(1234), "1,234");
         assert_eq!(fmt_count(2374717), "2,374,717");
+    }
+
+    #[test]
+    fn threads_default_and_parse() {
+        let args: Vec<String> = ["bin", "--threads", "4"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(threads_from_args(&args), 4);
+        let none: Vec<String> = vec!["bin".into()];
+        assert_eq!(threads_from_args(&none), 1);
+        let zero: Vec<String> = ["bin", "--threads", "0"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(threads_from_args(&zero), 1);
     }
 
     #[test]

@@ -105,10 +105,7 @@ impl ForestAutomaton {
             }
             encoders.push(encoder);
         }
-        let symbols_per_classification = encoders
-            .iter()
-            .map(|e| e.features.len() + 1)
-            .sum();
+        let symbols_per_classification = encoders.iter().map(|e| e.features.len() + 1).sum();
         ForestAutomaton {
             automaton,
             symbols_per_classification,
@@ -207,10 +204,7 @@ mod tests {
     fn automata_classification_equals_native() {
         let (test, forest, fa) = setup();
         let stream = fa.encode_batch(&test);
-        assert_eq!(
-            stream.len(),
-            test.len() * fa.symbols_per_classification
-        );
+        assert_eq!(stream.len(), test.len() * fa.symbols_per_classification);
         let mut engine = NfaEngine::new(&fa.automaton).unwrap();
         let mut sink = CollectSink::new();
         engine.scan(&stream, &mut sink);

@@ -106,7 +106,9 @@ impl Forest {
 
     /// Serial batch prediction (the "Scikit Learn" row of Table IV).
     pub fn predict_batch(&self, data: &Dataset) -> Vec<u8> {
-        (0..data.len()).map(|i| self.predict(data.sample(i))).collect()
+        (0..data.len())
+            .map(|i| self.predict(data.sample(i)))
+            .collect()
     }
 
     /// Multi-threaded batch prediction over `threads` worker threads (the

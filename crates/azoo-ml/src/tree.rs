@@ -151,7 +151,8 @@ impl Tree {
     pub fn leaf_paths(&self) -> Vec<LeafPath> {
         let mut out = Vec::new();
         // (node, constraints by feature: map feature -> (lo, hi))
-        let mut stack: Vec<(u32, Vec<(u32, u8, u8)>)> = vec![(0, Vec::new())];
+        type Constraints = Vec<(u32, u8, u8)>;
+        let mut stack: Vec<(u32, Constraints)> = vec![(0, Vec::new())];
         while let Some((at, constraints)) = stack.pop() {
             match &self.nodes[at as usize] {
                 Node::Leaf { class } => out.push(LeafPath {
@@ -444,7 +445,7 @@ mod tests {
     fn depth_and_split_counts() {
         let (data, tree) = small_tree();
         let depth = tree.depth();
-        assert!(depth >= 2 && depth < 30, "depth {depth}");
+        assert!((2..30).contains(&depth), "depth {depth}");
         let counts = tree.split_counts(data.n_features);
         let total: u32 = counts.iter().sum();
         assert_eq!(total as usize, tree.leaf_count() - 1, "splits = leaves - 1");

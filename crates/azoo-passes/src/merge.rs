@@ -209,8 +209,7 @@ mod tests {
     fn literal_set(words: &[&str]) -> Automaton {
         let mut a = Automaton::new();
         for (i, w) in words.iter().enumerate() {
-            let classes: Vec<SymbolClass> =
-                w.bytes().map(SymbolClass::from_byte).collect();
+            let classes: Vec<SymbolClass> = w.bytes().map(SymbolClass::from_byte).collect();
             let (_, last) = a.add_chain(&classes, StartKind::AllInput);
             a.set_report(last, i as u32);
         }

@@ -299,8 +299,7 @@ mod tests {
     #[test]
     fn low_nibble_wildcard_expands_to_sixteen_bytes() {
         // 0100 ???? : matches 0x40..=0x4f.
-        let mut bits: Vec<Option<bool>> =
-            vec![Some(false), Some(true), Some(false), Some(false)];
+        let mut bits: Vec<Option<bool>> = vec![Some(false), Some(true), Some(false), Some(false)];
         bits.extend([None; 4]);
         let a = bit_pattern_chain(&bits, 0, StartKind::AllInput);
         let b = stride8(&a).unwrap();
@@ -317,8 +316,7 @@ mod tests {
         // depends on byte-0 wildcards instead:
         // bits: 4 fixed (0001), 8 wildcard, 4 fixed (0010) — the wildcard
         // run straddles the byte 0 / byte 1 boundary.
-        let mut bits: Vec<Option<bool>> =
-            vec![Some(false), Some(false), Some(false), Some(true)];
+        let mut bits: Vec<Option<bool>> = vec![Some(false), Some(false), Some(false), Some(true)];
         bits.extend([None; 8]);
         bits.extend([Some(false), Some(false), Some(true), Some(false)]);
         let a = bit_pattern_chain(&bits, 9, StartKind::StartOfData);
@@ -398,7 +396,11 @@ mod tests {
     #[test]
     fn stride_one_is_identity_language() {
         use azoo_engines::{CollectSink, Engine, NfaEngine};
-        let a = bit_pattern_chain(&[Some(true), Some(false), Some(true)], 0, StartKind::AllInput);
+        let a = bit_pattern_chain(
+            &[Some(true), Some(false), Some(true)],
+            0,
+            StartKind::AllInput,
+        );
         let b = stride_bits(&a, 1).unwrap();
         let input = [1u8, 0, 1, 1, 0, 1, 0, 1];
         let run = |a: &Automaton| -> Vec<u64> {

@@ -111,9 +111,6 @@ mod tests {
         let s = a.add_ste(SymbolClass::FULL, StartKind::AllInput);
         let c = a.add_counter(2, azoo_core::CounterMode::Latch);
         a.add_edge(s, c);
-        assert!(matches!(
-            widen(&a),
-            Err(PassError::CountersUnsupported(_))
-        ));
+        assert!(matches!(widen(&a), Err(PassError::CountersUnsupported(_))));
     }
 }

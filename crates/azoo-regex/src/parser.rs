@@ -478,14 +478,8 @@ mod tests {
         let pat = p("^ab$");
         assert!(pat.anchored_start && pat.anchored_end);
         assert_eq!(pat.ast.positions(), 2);
-        assert!(matches!(
-            parse("a^b"),
-            Err(RegexError::Unsupported { .. })
-        ));
-        assert!(matches!(
-            parse("a$b"),
-            Err(RegexError::Unsupported { .. })
-        ));
+        assert!(matches!(parse("a^b"), Err(RegexError::Unsupported { .. })));
+        assert!(matches!(parse("a$b"), Err(RegexError::Unsupported { .. })));
     }
 
     #[test]
@@ -532,7 +526,10 @@ mod tests {
         let pat = p("(?is)a.");
         assert!(pat.flags.case_insensitive && pat.flags.dot_all);
         // A non-flag (?...) construct is still rejected.
-        assert!(matches!(parse("(?i)(?=x)"), Err(RegexError::Unsupported { .. })));
+        assert!(matches!(
+            parse("(?i)(?=x)"),
+            Err(RegexError::Unsupported { .. })
+        ));
         // (?:...) group is untouched by the flag scanner.
         assert_eq!(p("(?i)(?:ab)+").ast.positions(), 4); // ab + starred copy
     }
@@ -569,7 +566,9 @@ mod tests {
     fn dot_excludes_newline_by_default() {
         let Ast::Class(c) = p(".").ast else { panic!() };
         assert!(!c.contains(b'\n'));
-        let Ast::Class(c) = p("/./s").ast else { panic!() };
+        let Ast::Class(c) = p("/./s").ast else {
+            panic!()
+        };
         assert!(c.contains(b'\n'));
     }
 }

@@ -125,10 +125,13 @@ mod tests {
 
     #[test]
     fn image_contains_multiple_file_types() {
-        let (img, _) = disk_image(2, &DiskConfig {
-            len: 200_000,
-            planted: vec![],
-        });
+        let (img, _) = disk_image(
+            2,
+            &DiskConfig {
+                len: 200_000,
+                planted: vec![],
+            },
+        );
         let has = |needle: &[u8]| img.windows(needle.len()).any(|w| w == needle);
         assert!(has(b"\x7fELF"), "no binary files");
         assert!(has(b"PK\x03\x04"), "no zip entries");

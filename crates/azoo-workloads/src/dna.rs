@@ -97,7 +97,7 @@ mod tests {
     #[test]
     fn protein_db_has_record_breaks_and_motifs() {
         let motif = b"HKWWRDE".to_vec();
-        let db = protein_database(5, 10_000, &[motif.clone()]);
+        let db = protein_database(5, 10_000, std::slice::from_ref(&motif));
         assert!(db.windows(motif.len()).any(|w| w == &motif[..]));
         assert!(db.contains(&b'\n'));
         let residues = db.iter().filter(|&&c| c != b'\n').count();

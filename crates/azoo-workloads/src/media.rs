@@ -57,7 +57,9 @@ pub fn mpeg_stream(r: &mut ChaCha8Rng, len: usize) -> Vec<u8> {
     out.push(0x44); // system-clock-reference byte: '01' marker bits
     while out.len() < len {
         out.extend_from_slice(&[0x00, 0x00, 0x01, 0xe0]); // video PES
-        let n = r.random_range(64..512).min(len.saturating_sub(out.len()) + 8);
+        let n = r
+            .random_range(64..512)
+            .min(len.saturating_sub(out.len()) + 8);
         for _ in 0..n {
             out.push(r.random());
         }
@@ -196,10 +198,13 @@ mod tests {
 
     #[test]
     fn stimulus_contains_all_artifact_kinds() {
-        let s = carving_stimulus(1, &CarvingConfig {
-            len: 300_000,
-            ..CarvingConfig::default()
-        });
+        let s = carving_stimulus(
+            1,
+            &CarvingConfig {
+                len: 300_000,
+                ..CarvingConfig::default()
+            },
+        );
         let has = |needle: &[u8]| s.windows(needle.len()).any(|w| w == needle);
         assert!(has(b"PK\x03\x04"));
         assert!(has(&[0x00, 0x00, 0x01, 0xba]));

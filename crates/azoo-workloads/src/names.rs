@@ -174,7 +174,9 @@ mod tests {
         assert_eq!(names.len(), 500);
         let set: std::collections::HashSet<_> = names.iter().collect();
         assert_eq!(set.len(), 500);
-        assert!(names.iter().all(|n| n.first.is_ascii() && n.last.is_ascii()));
+        assert!(names
+            .iter()
+            .all(|n| n.first.is_ascii() && n.last.is_ascii()));
     }
 
     #[test]

@@ -66,6 +66,7 @@ fn next_face(f: usize, q: usize, sides: usize, salt: u64) -> usize {
 /// # Panics
 ///
 /// Panics unless `sides` divides 256.
+#[allow(clippy::needless_range_loop)] // index loops mirror the (face, roll) mesh
 pub fn markov_chain_salted(sides: usize, code: u32, salt: u64) -> Automaton {
     assert!(sides > 1 && 256 % sides == 0, "sides must divide 256");
     let mut a = Automaton::new();
@@ -275,11 +276,8 @@ mod tests {
         let ones = bits.iter().filter(|&&b| b).count() as f64 / bits.len() as f64;
         assert!((ones - 0.5).abs() < 0.02, "ones fraction {ones}");
         // Serial test: adjacent-bit agreement near 1/2.
-        let agree = bits
-            .windows(2)
-            .filter(|w| w[0] == w[1])
-            .count() as f64
-            / (bits.len() - 1) as f64;
+        let agree =
+            bits.windows(2).filter(|w| w[0] == w[1]).count() as f64 / (bits.len() - 1) as f64;
         assert!((agree - 0.5).abs() < 0.02, "serial agreement {agree}");
     }
 

@@ -215,12 +215,10 @@ mod kernel_tests {
 
     #[test]
     fn corrections_retag_the_matched_token() {
-        let rules = vec![
-            BrillRule {
-                condition: r"/[a-z][a-z]*\/DT [a-z][a-z]*\/VB/".into(),
-                new_tag: "NN",
-            },
-        ];
+        let rules = vec![BrillRule {
+            condition: r"/[a-z][a-z]*\/DT [a-z][a-z]*\/VB/".into(),
+            new_tag: "NN",
+        }];
         let ruleset = azoo_regex::compile_ruleset(rules.iter().map(|r| r.condition.as_str()));
         assert_eq!(ruleset.compiled, 1);
         let corpus = b"the/DT run/VB fast/RB".to_vec();
@@ -270,8 +268,7 @@ mod kernel_tests {
     #[test]
     fn full_kernel_runs_end_to_end() {
         let rules = generate_full_rules(3, 200);
-        let ruleset =
-            azoo_regex::compile_ruleset(rules.iter().map(|r| r.condition.as_str()));
+        let ruleset = azoo_regex::compile_ruleset(rules.iter().map(|r| r.condition.as_str()));
         let corpus = azoo_workloads::text::tagged_corpus(9, 2000);
         let mut engine = NfaEngine::new(&ruleset.automaton).unwrap();
         let mut sink = CollectSink::new();

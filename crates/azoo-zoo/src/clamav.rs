@@ -156,7 +156,11 @@ pub fn compile_database(seed: u64, n: usize) -> (Vec<String>, Ruleset) {
 pub fn build(params: &ClamAvParams) -> (azoo_core::Automaton, Vec<u8>) {
     let (sigs, ruleset) = compile_database(params.seed, params.signatures);
     let mut r = azoo_workloads::rng(params.seed ^ 0x77);
-    let planted: Vec<Vec<u8>> = sigs.iter().take(2).map(|s| instantiate(s, &mut r)).collect();
+    let planted: Vec<Vec<u8>> = sigs
+        .iter()
+        .take(2)
+        .map(|s| instantiate(s, &mut r))
+        .collect();
     let (image, _) = disk_image(
         params.seed ^ 0x99,
         &DiskConfig {

@@ -181,8 +181,12 @@ mod tests {
         assert!(ot.state_count() > off.state_count());
         let input = dna::random_dna(9, 20_000);
         let mut sink = azoo_engines::NullSink::new();
-        let p_off = NfaEngine::new(&off).unwrap().scan_profiled(&input, &mut sink);
-        let p_ot = NfaEngine::new(&ot).unwrap().scan_profiled(&input, &mut sink);
+        let p_off = NfaEngine::new(&off)
+            .unwrap()
+            .scan_profiled(&input, &mut sink);
+        let p_ot = NfaEngine::new(&ot)
+            .unwrap()
+            .scan_profiled(&input, &mut sink);
         assert!(
             p_ot.active_set() > 2.0 * p_off.active_set(),
             "ot {} vs off {}",

@@ -130,7 +130,11 @@ mod tests {
             sink.reports().iter().map(|r| r.code.0).collect();
         // With a 30% duplicate rate over 3000 records, a large share of
         // the 150 names must be resolved at least once.
-        assert!(distinct.len() > 75, "only {} names resolved", distinct.len());
+        assert!(
+            distinct.len() > 75,
+            "only {} names resolved",
+            distinct.len()
+        );
     }
 }
 
@@ -177,8 +181,14 @@ mod kernel_tests {
     #[test]
     fn resolutions_point_at_the_right_records() {
         let names = vec![
-            Name { first: "maria".into(), last: "kovson".into() },
-            Name { first: "johan".into(), last: "bergman".into() },
+            Name {
+                first: "maria".into(),
+                last: "kovson".into(),
+            },
+            Name {
+                first: "johan".into(),
+                last: "bergman".into(),
+            },
         ];
         let ruleset = compile_names(&names);
         let db = b"nobody special\nkovson, maria\nx\njohan bergman\n".to_vec();
@@ -194,8 +204,14 @@ mod kernel_tests {
         assert_eq!(
             resolutions,
             vec![
-                Resolution { record: 1, name_index: 0 },
-                Resolution { record: 3, name_index: 1 },
+                Resolution {
+                    record: 1,
+                    name_index: 0
+                },
+                Resolution {
+                    record: 3,
+                    name_index: 1
+                },
             ]
         );
     }
@@ -208,6 +224,12 @@ mod kernel_tests {
         let db = b"maria kovson\n".to_vec();
         let r = resolve(&db, &reports);
         assert_eq!(r.len(), 1);
-        assert_eq!(r[0], Resolution { record: 0, name_index: 0 });
+        assert_eq!(
+            r[0],
+            Resolution {
+                record: 0,
+                name_index: 0
+            }
+        );
     }
 }

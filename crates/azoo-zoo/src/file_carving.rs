@@ -246,15 +246,15 @@ pub fn build_automaton() -> Automaton {
         (r"/PK\x05\x06/s", Carved::ZipEndOfDirectory),
         (r"/\x00\x00\x01\xbb/s", Carved::Mpeg2System),
         (r"/\x00\x00\x01\xb9/s", Carved::MpegProgramEnd),
-        (
-            r"/\x00\x00\x00.ftyp(isom|mp42|avc1)/s",
-            Carved::Mp4Ftyp,
-        ),
+        (r"/\x00\x00\x00.ftyp(isom|mp42|avc1)/s", Carved::Mp4Ftyp),
         (
             r"/[a-z0-9_]{1,16}@[a-z0-9_]{1,12}\.(com|net|org|edu)/",
             Carved::Email,
         ),
-        (r"/[0-8][0-9][0-9]-[0-9][0-9]-[0-9][0-9][0-9][0-9]/", Carved::Ssn),
+        (
+            r"/[0-8][0-9][0-9]-[0-9][0-9]-[0-9][0-9][0-9][0-9]/",
+            Carved::Ssn,
+        ),
     ];
     for (pattern, code) in byte_patterns {
         a.append(&compile(pattern, code as u32).expect("carving patterns are well-formed"));

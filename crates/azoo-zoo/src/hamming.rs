@@ -44,6 +44,7 @@ impl HammingParams {
 /// # Panics
 ///
 /// Panics if the pattern is empty or `d >= pattern.len()`.
+#[allow(clippy::needless_range_loop)] // index loops mirror the (i, k, track) mesh
 pub fn hamming_filter(pattern: &[u8], d: usize, code: u32) -> Automaton {
     let l = pattern.len();
     assert!(l > 0, "empty pattern");
@@ -60,7 +61,7 @@ pub fn hamming_filter(pattern: &[u8], d: usize, code: u32) -> Automaton {
         for k in 0..=d.min(i) {
             // Match track: k mismatches among first i-1 symbols, i-th
             // matched. Exists when k <= i-1.
-            if k <= i - 1 {
+            if k < i {
                 let start = if i == 1 {
                     StartKind::AllInput
                 } else {
@@ -95,7 +96,7 @@ pub fn hamming_filter(pattern: &[u8], d: usize, code: u32) -> Automaton {
                 if let Some(m) = ids[i][k][0] {
                     a.add_edge(s, m);
                 }
-                if k + 1 <= d {
+                if k < d {
                     if let Some(mm) = ids[i][k + 1][1] {
                         a.add_edge(s, mm);
                     }

@@ -48,6 +48,7 @@ impl LevenshteinParams {
 /// # Panics
 ///
 /// Panics if the pattern is empty or `d >= pattern.len()`.
+#[allow(clippy::needless_range_loop)] // index loops mirror the (i, e, track) mesh
 pub fn levenshtein_filter(pattern: &[u8], d: usize, code: u32) -> Automaton {
     let l = pattern.len();
     assert!(l > 0, "empty pattern");

@@ -127,7 +127,11 @@ pub fn prosite_to_regex(motif: &str) -> Result<String, String> {
 /// Renders a concrete instance of a motif (for planting true positives).
 pub fn instantiate(motif: &str, r: &mut ChaCha8Rng) -> Vec<u8> {
     let mut out = Vec::new();
-    for element in motif.trim_end_matches('>').trim_start_matches('<').split('-') {
+    for element in motif
+        .trim_end_matches('>')
+        .trim_start_matches('<')
+        .split('-')
+    {
         let element = element.trim();
         if let Some(rest) = element.strip_prefix('x') {
             let n = if let Some(args) = rest.strip_prefix('(').and_then(|s| s.strip_suffix(')')) {

@@ -101,7 +101,10 @@ pub fn build(params: &RandomForestParams) -> RandomForestBenchmark {
     let total = params.train_samples + params.test_samples;
     let data = synthetic_mnist(params.seed, total);
     let (train, test) = data.split(params.train_samples as f64 / total as f64);
-    let forest = Forest::train(&train, &params.variant.params(params.trees, params.seed ^ 0xF0));
+    let forest = Forest::train(
+        &train,
+        &params.variant.params(params.trees, params.seed ^ 0xF0),
+    );
     let fa = ForestAutomaton::build(&forest);
     let input = fa.encode_batch(&test);
     let accuracy = forest.accuracy(&test);

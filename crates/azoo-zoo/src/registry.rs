@@ -393,11 +393,7 @@ mod tests {
     fn every_benchmark_builds_at_tiny_scale() {
         for id in BenchmarkId::ALL {
             let bench = id.build(Scale::Tiny);
-            assert!(
-                bench.automaton.state_count() > 0,
-                "{} is empty",
-                id.name()
-            );
+            assert!(bench.automaton.state_count() > 0, "{} is empty", id.name());
             assert!(!bench.input.is_empty(), "{} has no input", id.name());
             bench
                 .automaton
@@ -409,7 +405,11 @@ mod tests {
     #[test]
     fn every_benchmark_has_generation_notes() {
         for id in BenchmarkId::ALL {
-            assert!(id.generation_notes().len() > 40, "{} lacks notes", id.name());
+            assert!(
+                id.generation_notes().len() > 40,
+                "{} lacks notes",
+                id.name()
+            );
             assert!(!id.domain().is_empty());
         }
     }

@@ -71,7 +71,11 @@ impl SeqMatchParams {
 pub type Sequence = Vec<Vec<u8>>;
 
 /// Generates a random candidate sequence.
-pub fn generate_sequence(r: &mut rand_chacha::ChaCha8Rng, itemsets: usize, width: usize) -> Sequence {
+pub fn generate_sequence(
+    r: &mut rand_chacha::ChaCha8Rng,
+    itemsets: usize,
+    width: usize,
+) -> Sequence {
     (0..itemsets)
         .map(|_| {
             let k = r.random_range(2..=width.max(2));

@@ -160,8 +160,8 @@ pub fn filter_rules(
     rules
         .iter()
         .filter(|rule| {
-            !(exclude_http_buffer && rule.modifiers.contains(&Modifier::HttpBuffer))
-                && !(exclude_isdataat && rule.modifiers.contains(&Modifier::IsDataAt))
+            !((exclude_http_buffer && rule.modifiers.contains(&Modifier::HttpBuffer))
+                || (exclude_isdataat && rule.modifiers.contains(&Modifier::IsDataAt)))
         })
         .collect()
 }

@@ -174,10 +174,7 @@ fn parse_seq(tokens: &[&str], i: &mut usize, in_group: bool) -> Result<Ast, Stri
                 }
                 let mut jump = vec![Ast::Class(SymbolClass::FULL); lo];
                 for _ in lo..hi {
-                    jump.push(Ast::Alt(vec![
-                        Ast::Empty,
-                        Ast::Class(SymbolClass::FULL),
-                    ]));
+                    jump.push(Ast::Alt(vec![Ast::Empty, Ast::Class(SymbolClass::FULL)]));
                 }
                 parts.push(Ast::Concat(jump));
                 *i += 1;
@@ -298,10 +295,7 @@ fn instantiate_ast(ast: &Ast, r: &mut ChaCha8Rng, out: &mut Vec<u8>) {
         Ast::Concat(v) => v.iter().for_each(|a| instantiate_ast(a, r, out)),
         Ast::Alt(v) => {
             // Prefer a non-empty branch so the instance stays matchable.
-            let pick = v
-                .iter()
-                .find(|b| !matches!(b, Ast::Empty))
-                .unwrap_or(&v[0]);
+            let pick = v.iter().find(|b| !matches!(b, Ast::Empty)).unwrap_or(&v[0]);
             instantiate_ast(pick, r, out);
         }
         Ast::Star(_) => {}
@@ -359,7 +353,10 @@ mod tests {
 
     #[test]
     fn nibble_classes() {
-        assert_eq!(nibble_class(b'9', b'C').unwrap(), SymbolClass::from_byte(0x9c));
+        assert_eq!(
+            nibble_class(b'9', b'C').unwrap(),
+            SymbolClass::from_byte(0x9c)
+        );
         let low_wild = nibble_class(b'A', b'?').unwrap();
         assert_eq!(low_wild.len(), 16);
         assert!(low_wild.contains(0xA0) && low_wild.contains(0xAF));
@@ -377,11 +374,17 @@ mod tests {
         let a = compile_hex(hex, 7, false).unwrap();
         a.validate().unwrap();
         // First alternative: ?A ?? 00.
-        let hit1 = [0x9c, 0x50, 0xa1, 0x11, 0x2a, 0x33, 0x00, 0x44, 0x58, 0x0f, 0x85];
+        let hit1 = [
+            0x9c, 0x50, 0xa1, 0x11, 0x2a, 0x33, 0x00, 0x44, 0x58, 0x0f, 0x85,
+        ];
         // Second alternative: 66 A9 D?.
-        let hit2 = [0x9c, 0x50, 0xa1, 0x99, 0x66, 0xa9, 0xd7, 0x12, 0x58, 0x0f, 0x85];
+        let hit2 = [
+            0x9c, 0x50, 0xa1, 0x99, 0x66, 0xa9, 0xd7, 0x12, 0x58, 0x0f, 0x85,
+        ];
         // Wrong: neither alternative.
-        let miss = [0x9c, 0x50, 0xa1, 0x99, 0x66, 0xa9, 0xc7, 0x12, 0x58, 0x0f, 0x85];
+        let miss = [
+            0x9c, 0x50, 0xa1, 0x99, 0x66, 0xa9, 0xc7, 0x12, 0x58, 0x0f, 0x85,
+        ];
         assert_eq!(matches(&a, &hit1), 1);
         assert_eq!(matches(&a, &hit2), 1);
         assert_eq!(matches(&a, &miss), 0);
@@ -411,10 +414,7 @@ mod tests {
             let rule = generate_rule(&mut r);
             let a = compile_hex(&rule, 0, false).unwrap();
             let inst = instantiate(&rule, &mut r);
-            assert!(
-                matches(&a, &inst) >= 1,
-                "instance of '{rule}' not matched"
-            );
+            assert!(matches(&a, &inst) >= 1, "instance of '{rule}' not matched");
         }
     }
 
@@ -491,7 +491,10 @@ mod string_class_tests {
     fn generated_strings_cover_all_classes() {
         let mut r = azoo_workloads::rng(42);
         let strings: Vec<YaraString> = (0..300).map(|_| generate_string(&mut r)).collect();
-        let hex = strings.iter().filter(|s| matches!(s, YaraString::Hex(_))).count();
+        let hex = strings
+            .iter()
+            .filter(|s| matches!(s, YaraString::Hex(_)))
+            .count();
         let text = strings
             .iter()
             .filter(|s| matches!(s, YaraString::Text { .. }))

@@ -1,0 +1,72 @@
+//! Parallel-scanning throughput: the sharding/chunking `ParallelScanner`
+//! at 1/2/4/8 worker threads against the single-threaded NFA baseline, on
+//! the two workload shapes the design targets:
+//!
+//! * a Snort-like ruleset — many connected components, so both automaton
+//!   sharding and input chunking apply;
+//! * Random Forest leaf chains — thousands of tiny chunkable components,
+//!   the best case for chunked scanning.
+
+use azoo_bench::small_ruleset;
+use azoo_engines::{Engine, NfaEngine, NullSink, ParallelScanner};
+use azoo_workloads::network::{pcap_like, PcapConfig};
+use azoo_zoo::random_forest::{build, RandomForestParams, Variant};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_parallel(c: &mut Criterion) {
+    let ruleset = small_ruleset();
+    let input = pcap_like(
+        7,
+        &PcapConfig {
+            len: 1 << 17,
+            ..PcapConfig::default()
+        },
+    );
+    let mut group = c.benchmark_group("parallel_snort");
+    group.throughput(Throughput::Bytes(input.len() as u64));
+    group.bench_function("nfa_baseline", |b| {
+        let mut engine = NfaEngine::new(&ruleset).expect("valid");
+        let mut sink = NullSink::new();
+        b.iter(|| engine.scan(&input, &mut sink));
+    });
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                let mut engine = ParallelScanner::new(&ruleset, threads).expect("valid");
+                let mut sink = NullSink::new();
+                b.iter(|| engine.scan(&input, &mut sink));
+            },
+        );
+    }
+    group.finish();
+
+    let mut params = RandomForestParams::published(Variant::B);
+    params.trees = 10;
+    params.train_samples = 2000;
+    params.test_samples = 200;
+    let bench = build(&params);
+    let mut group = c.benchmark_group("parallel_random_forest");
+    group.throughput(Throughput::Bytes(bench.input.len() as u64));
+    group.bench_function("nfa_baseline", |b| {
+        let mut engine = NfaEngine::new(&bench.fa.automaton).expect("valid");
+        let mut sink = NullSink::new();
+        b.iter(|| engine.scan(&bench.input, &mut sink));
+    });
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                let mut engine = ParallelScanner::new(&bench.fa.automaton, threads).expect("valid");
+                let mut sink = NullSink::new();
+                b.iter(|| engine.scan(&bench.input, &mut sink));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

@@ -10,6 +10,8 @@
 //! * `padding` — padded vs native Sequence Matching (Table III).
 //! * `random_forest` — native vs automata classification (Tables II/IV).
 //! * `passes` — prefix merging and 8-striding cost.
+//! * `parallel` — `ParallelScanner` scaling at 1/2/4/8 worker threads on
+//!   Snort and Random Forest workloads.
 
 use azoo_core::Automaton;
 use azoo_regex::compile_ruleset;

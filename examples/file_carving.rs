@@ -54,7 +54,11 @@ fn main() {
     let mut engine = NfaEngine::new(&automaton).expect("valid");
     let mut sink = CollectSink::new();
     engine.scan(&image, &mut sink);
-    println!("\ncarved {} artifacts from {} bytes:", sink.reports().len(), image.len());
+    println!(
+        "\ncarved {} artifacts from {} bytes:",
+        sink.reports().len(),
+        image.len()
+    );
     let mut counts = std::collections::BTreeMap::new();
     for report in sink.reports() {
         *counts.entry(report.code.0).or_insert(0usize) += 1;

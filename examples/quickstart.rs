@@ -4,9 +4,7 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use automatazoo::core::AutomatonStats;
-use automatazoo::engines::{
-    BitParallelEngine, CollectSink, Engine, LazyDfaEngine, NfaEngine,
-};
+use automatazoo::engines::{BitParallelEngine, CollectSink, Engine, LazyDfaEngine, NfaEngine};
 use automatazoo::passes::{merge_prefixes, remove_dead};
 use automatazoo::regex::compile_ruleset;
 

@@ -35,7 +35,11 @@ fn main() {
             planted,
         },
     );
-    println!("disk image: {} bytes, infections at {:?}", image.len(), offsets);
+    println!(
+        "disk image: {} bytes, infections at {:?}",
+        image.len(),
+        offsets
+    );
 
     // Scan with both engines and time them.
     let mut nfa = NfaEngine::new(&ruleset.automaton).expect("valid");

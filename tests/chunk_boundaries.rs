@@ -1,0 +1,136 @@
+//! Regression tests for the parallel scanner's input-chunking edge
+//! cases: a chunkable shard's input is cut at `len * c / threads`, each
+//! worker re-scans a bounded overlap window before its chunk, and
+//! ownership of an offset belongs to exactly one chunk. These tests pin
+//! the boundary arithmetic with hand-placed matches.
+
+use automatazoo::core::{Automaton, StartKind, SymbolClass};
+use automatazoo::engines::{CollectSink, Engine, NfaEngine, ParallelScanner, Report};
+
+/// One all-input chain per word, reporting `code = index`.
+fn words(list: &[&[u8]]) -> Automaton {
+    let mut a = Automaton::new();
+    for (code, word) in list.iter().enumerate() {
+        let classes: Vec<SymbolClass> = word.iter().map(|&b| SymbolClass::from_byte(b)).collect();
+        let (_, last) = a.add_chain(&classes, StartKind::AllInput);
+        a.set_report(last, code as u32);
+    }
+    a
+}
+
+fn nfa(a: &Automaton, input: &[u8]) -> Vec<Report> {
+    let mut sink = CollectSink::new();
+    NfaEngine::new(a).expect("valid").scan(input, &mut sink);
+    sink.sorted_reports()
+}
+
+fn parallel(a: &Automaton, threads: usize, input: &[u8]) -> Vec<Report> {
+    let mut sink = CollectSink::new();
+    ParallelScanner::new(a, threads)
+        .expect("valid")
+        .scan(input, &mut sink);
+    sink.reports().to_vec()
+}
+
+#[test]
+fn match_spanning_adjacent_chunks_is_found_once() {
+    // 16-byte input, 4 threads: chunk boundaries at 4, 8, 12. Place
+    // "abcd" at offsets 6..10 so it starts in chunk 1 and ends in chunk
+    // 2 — only the overlap window lets the chunk-2 worker see it.
+    let a = words(&[b"abcd"]);
+    let mut input = vec![b'x'; 16];
+    input[6..10].copy_from_slice(b"abcd");
+    let expected = nfa(&a, &input);
+    assert_eq!(expected.len(), 1);
+    assert_eq!(expected[0].offset, 9);
+    assert_eq!(parallel(&a, 4, &input), expected);
+}
+
+#[test]
+fn match_ending_exactly_at_chunk_boundary() {
+    // Chunk boundary at 8 (16 bytes, 2 threads): a match whose last
+    // byte is offset 7 belongs to chunk 0; one ending at offset 8
+    // belongs to chunk 1 but starts inside chunk 0.
+    let a = words(&[b"ab"]);
+    let mut input = vec![b'x'; 16];
+    input[6..8].copy_from_slice(b"ab"); // report at 7 (last byte of chunk 0)
+    input[7] = b'a'; // overwrite: "a" at 7, "b" at 8 -> report at 8
+    input[8] = b'b';
+    let expected = nfa(&a, &input);
+    assert_eq!(
+        expected.iter().map(|r| r.offset).collect::<Vec<_>>(),
+        vec![8]
+    );
+    for threads in [1, 2, 4, 8] {
+        assert_eq!(parallel(&a, threads, &input), expected, "{threads} threads");
+    }
+    // Now a clean match ending exactly on the boundary's last owned
+    // offset (7).
+    let mut input = vec![b'x'; 16];
+    input[6..8].copy_from_slice(b"ab");
+    let expected = nfa(&a, &input);
+    assert_eq!(
+        expected.iter().map(|r| r.offset).collect::<Vec<_>>(),
+        vec![7]
+    );
+    for threads in [1, 2, 4, 8] {
+        assert_eq!(parallel(&a, threads, &input), expected, "{threads} threads");
+    }
+}
+
+#[test]
+fn every_cut_position_of_a_sliding_match_agrees() {
+    // Slide a 3-byte pattern across every offset of a 24-byte input and
+    // compare against the NFA at several worker counts: every possible
+    // relation between match span and chunk boundary is covered.
+    let a = words(&[b"abc"]);
+    for pos in 0..=21 {
+        let mut input = vec![b'.'; 24];
+        input[pos..pos + 3].copy_from_slice(b"abc");
+        let expected = nfa(&a, &input);
+        assert_eq!(expected.len(), 1, "pattern at {pos}");
+        for threads in [2, 3, 4, 8] {
+            assert_eq!(
+                parallel(&a, threads, &input),
+                expected,
+                "pattern at {pos}, {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn input_shorter_than_thread_count() {
+    let a = words(&[b"ab", b"b"]);
+    for input in [&b"ab"[..], &b"b"[..], &b"a"[..]] {
+        for threads in [4, 8, 16] {
+            assert_eq!(
+                parallel(&a, threads, input),
+                nfa(&a, input),
+                "input {input:?}, {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn empty_input_yields_no_reports() {
+    let a = words(&[b"ab"]);
+    for threads in [1, 2, 8] {
+        assert_eq!(parallel(&a, threads, b""), Vec::new(), "{threads} threads");
+    }
+}
+
+#[test]
+fn single_byte_patterns_at_every_boundary() {
+    // Window = 1 (no overlap at all): every offset must still be owned
+    // by exactly one chunk — a duplicated or dropped boundary byte would
+    // change the count.
+    let a = words(&[b"k"]);
+    let input = vec![b'k'; 13]; // 13 is indivisible by 2, 4, 8
+    for threads in [2, 4, 8] {
+        let got = parallel(&a, threads, &input);
+        assert_eq!(got.len(), 13, "{threads} threads");
+        assert_eq!(got, nfa(&a, &input), "{threads} threads");
+    }
+}

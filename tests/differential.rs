@@ -1,0 +1,150 @@
+//! Cross-engine differential testing: every engine that accepts an
+//! automaton must emit the *byte-identical* `(offset, code)`-sorted
+//! report stream — the invariant that makes the engine portfolio (and
+//! the parallel scanner's merge) safe to select from freely.
+//!
+//! Random automata (with cycles and anchors) and random chain sets are
+//! scanned by the NFA engine (reference), the lazy DFA, the bit-parallel
+//! engine (where the shape allows), and the parallel scanner at 1, 2,
+//! and 4 worker threads.
+
+use automatazoo::core::{Automaton, StartKind, StateId, SymbolClass};
+use automatazoo::engines::{
+    BitParallelEngine, CollectSink, Engine, LazyDfaEngine, NfaEngine, ParallelScanner, Report,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random counter-free automaton over `{a..d}` with random
+/// edges (cycles included), start kinds, and report codes.
+fn arb_automaton() -> impl Strategy<Value = Automaton> {
+    let state = (
+        proptest::collection::vec(prop::bool::ANY, 4),
+        0..3u8,
+        proptest::option::of(0..8u32),
+    );
+    (
+        proptest::collection::vec(state, 1..12),
+        proptest::collection::vec((0..12usize, 0..12usize), 0..24),
+    )
+        .prop_map(|(states, edges)| {
+            let n = states.len();
+            let mut a = Automaton::new();
+            for (class_bits, start, report) in &states {
+                let mut class = SymbolClass::new();
+                for (i, &set) in class_bits.iter().enumerate() {
+                    if set {
+                        class.insert(b'a' + i as u8);
+                    }
+                }
+                if class.is_empty() {
+                    class.insert(b'a');
+                }
+                let start = match start {
+                    0 => StartKind::AllInput,
+                    1 => StartKind::StartOfData,
+                    _ => StartKind::None,
+                };
+                let id = a.add_ste(class, start);
+                if let Some(code) = report {
+                    a.set_report(id, *code);
+                }
+            }
+            for &(from, to) in &edges {
+                a.add_edge(StateId::new(from % n), StateId::new(to % n));
+            }
+            a
+        })
+        .prop_filter("needs a start state", |a| a.validate().is_ok())
+}
+
+/// Strategy: a multi-component set of literal chains — the chunkable
+/// shape (all-input starts, acyclic) that exercises input chunking and
+/// the bit-parallel engine.
+fn arb_chains() -> impl Strategy<Value = Automaton> {
+    proptest::collection::vec(
+        proptest::collection::vec(proptest::sample::select(vec![b'a', b'b', b'c']), 1..6),
+        1..8,
+    )
+    .prop_map(|words| {
+        let mut a = Automaton::new();
+        for (code, w) in words.iter().enumerate() {
+            let classes: Vec<SymbolClass> = w.iter().map(|&b| SymbolClass::from_byte(b)).collect();
+            let (_, last) = a.add_chain(&classes, StartKind::AllInput);
+            a.set_report(last, code as u32);
+        }
+        a
+    })
+}
+
+fn arb_input() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(
+        proptest::sample::select(vec![b'a', b'b', b'c', b'd', b'e']),
+        0..150,
+    )
+}
+
+fn sorted_reports(engine: &mut dyn Engine, input: &[u8]) -> Vec<Report> {
+    let mut sink = CollectSink::new();
+    engine.scan(input, &mut sink);
+    sink.sorted_reports()
+}
+
+/// The parallel scanner's stream as emitted — it must already be in
+/// canonical sorted order, so no re-sorting here.
+fn parallel_reports(a: &Automaton, threads: usize, input: &[u8]) -> Vec<Report> {
+    let mut sink = CollectSink::new();
+    ParallelScanner::new(a, threads)
+        .expect("valid")
+        .scan(input, &mut sink);
+    sink.reports().to_vec()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn engines_agree_on_random_automata(a in arb_automaton(), input in arb_input()) {
+        let reference = sorted_reports(&mut NfaEngine::new(&a).expect("valid"), &input);
+        let mut dfa = LazyDfaEngine::with_max_states(&a, 16).expect("no counters");
+        prop_assert_eq!(&reference, &sorted_reports(&mut dfa, &input));
+        if let Ok(mut bp) = BitParallelEngine::new(&a) {
+            prop_assert_eq!(&reference, &sorted_reports(&mut bp, &input));
+        }
+        for threads in [1usize, 2, 4] {
+            prop_assert_eq!(&reference, &parallel_reports(&a, threads, &input),
+                            "parallel @ {} threads", threads);
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_chain_sets(a in arb_chains(), input in arb_input()) {
+        let reference = sorted_reports(&mut NfaEngine::new(&a).expect("valid"), &input);
+        prop_assert_eq!(
+            &reference,
+            &sorted_reports(&mut LazyDfaEngine::with_max_states(&a, 16).expect("no counters"), &input)
+        );
+        prop_assert_eq!(
+            &reference,
+            &sorted_reports(&mut BitParallelEngine::new(&a).expect("chains"), &input)
+        );
+        for threads in [1usize, 2, 4] {
+            prop_assert_eq!(&reference, &parallel_reports(&a, threads, &input),
+                            "parallel @ {} threads", threads);
+        }
+    }
+
+    #[test]
+    fn parallel_streaming_agrees_with_whole_scan(
+        a in arb_chains(),
+        input in arb_input(),
+        cut_frac in 0..100usize,
+    ) {
+        use automatazoo::engines::StreamingEngine;
+        let reference = sorted_reports(&mut NfaEngine::new(&a).expect("valid"), &input);
+        let cut = input.len() * cut_frac / 100;
+        let mut par = ParallelScanner::new(&a, 4).expect("valid");
+        let mut sink = CollectSink::new();
+        par.scan_chunks([&input[..cut], &input[cut..]], &mut sink);
+        prop_assert_eq!(&reference, &sink.sorted_reports());
+    }
+}

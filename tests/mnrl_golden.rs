@@ -1,0 +1,93 @@
+//! Golden-file round trip for MNRL JSON serialization.
+//!
+//! A fixed automaton exercising every serialized feature (all-input and
+//! start-of-data STEs, multi-byte symbol classes, an up-counter with
+//! activate and reset inputs, report codes, end-of-data-only reports) is
+//! serialized and compared byte-for-byte against a checked-in golden
+//! file; the golden file is then parsed back and compared structurally
+//! *and* by report-stream equality. Any format drift — field renames,
+//! ordering changes, default-handling changes — fails one of the three
+//! comparisons.
+//!
+//! To regenerate the golden file after an intentional format change:
+//! `BLESS=1 cargo test --test mnrl_golden`.
+
+use automatazoo::core::{mnrl, Automaton, CounterMode, StartKind, SymbolClass};
+use automatazoo::engines::{CollectSink, Engine, NfaEngine, Report};
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("feature_zoo.mnrl.json")
+}
+
+/// The fixture: one of everything the format can express.
+fn feature_zoo() -> Automaton {
+    let mut a = Automaton::new();
+    // A literal chain with a multi-byte class in the middle.
+    let h = a.add_ste(SymbolClass::from_byte(b'h'), StartKind::AllInput);
+    let vowel = a.add_ste(SymbolClass::from_bytes(b"aeiou"), StartKind::None);
+    let t = a.add_ste(SymbolClass::from_byte(b't'), StartKind::None);
+    a.add_edge(h, vowel);
+    a.add_edge(vowel, t);
+    a.set_report(t, 0);
+    // A start-of-data anchored reporter.
+    let q = a.add_ste(SymbolClass::from_byte(b'q'), StartKind::StartOfData);
+    a.set_report(q, 1);
+    // An end-of-data-only reporter.
+    let z = a.add_ste(SymbolClass::from_byte(b'z'), StartKind::AllInput);
+    a.set_report(z, 2);
+    a.set_report_eod_only(z, true);
+    // A latched counter with both an activate and a reset driver.
+    let k = a.add_ste(SymbolClass::from_byte(b'k'), StartKind::AllInput);
+    let r = a.add_ste(SymbolClass::from_byte(b'r'), StartKind::AllInput);
+    let c = a.add_counter(3, CounterMode::Latch);
+    a.add_edge(k, c);
+    a.add_reset_edge(r, c);
+    a.set_report(c, 3);
+    // A rolling counter driven by the chain tail.
+    let roll = a.add_counter(2, CounterMode::Roll);
+    a.add_edge(t, roll);
+    a.set_report(roll, 4);
+    a
+}
+
+fn report_stream(a: &Automaton, input: &[u8]) -> Vec<Report> {
+    let mut sink = CollectSink::new();
+    NfaEngine::new(a).expect("valid").scan(input, &mut sink);
+    sink.sorted_reports()
+}
+
+#[test]
+fn golden_file_round_trips() {
+    let a = feature_zoo();
+    let json = mnrl::to_json(&a, "feature_zoo");
+    let path = golden_path();
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(&path, &json).expect("write golden");
+    }
+    let golden =
+        std::fs::read_to_string(&path).expect("golden file present (regenerate with BLESS=1)");
+    // 1. Serialization is byte-stable against the checked-in golden.
+    assert_eq!(
+        json, golden,
+        "MNRL serialization drifted from the golden file"
+    );
+    // 2. The golden file parses back to a structurally equal automaton.
+    let back = mnrl::from_json(&golden).expect("golden parses");
+    assert_eq!(a, back);
+    // 3. ...and to a behaviourally equal one.
+    let input = b"hatqzkkkrkkkhithotz";
+    let expected = report_stream(&a, input);
+    assert!(!expected.is_empty());
+    assert_eq!(expected, report_stream(&back, input));
+}
+
+#[test]
+fn reserialization_is_idempotent() {
+    let a = feature_zoo();
+    let once = mnrl::to_json(&a, "feature_zoo");
+    let twice = mnrl::to_json(&mnrl::from_json(&once).expect("parses"), "feature_zoo");
+    assert_eq!(once, twice);
+}

@@ -172,7 +172,7 @@ proptest! {
         // the bit automaton on the bit expansion equals running the
         // strided automaton on the bytes.
         let mut pattern: Vec<Option<bool>> = bits;
-        while pattern.len() % 8 != 0 {
+        while !pattern.len().is_multiple_of(8) {
             pattern.push(None);
         }
         let bit_nfa = bit_pattern_chain(&pattern, 3, StartKind::AllInput);
@@ -221,6 +221,27 @@ proptest! {
             prop_assert_eq!(a.contains(byte), bytes1.contains(&byte));
         }
     }
+}
+
+/// Concrete replay of the proptest-regressions case
+/// `bits = [None], input = [0, 0]` for `stride8_matches_bit_simulation`:
+/// a single wildcard bit padded to one wildcard byte must report at every
+/// byte of the all-zero input, identically at bit and byte level.
+#[test]
+fn stride8_single_wildcard_bit_on_zero_bytes() {
+    let pattern: Vec<Option<bool>> = vec![None; 8];
+    let bit_nfa = bit_pattern_chain(&pattern, 3, StartKind::AllInput);
+    let byte_nfa = stride8(&bit_nfa).expect("bit level");
+    let input = [0u8, 0u8];
+    let bit_input = [0u8; 16];
+    let bit_reports: Vec<u64> = run(&bit_nfa, &bit_input)
+        .iter()
+        .filter(|r| (r.offset + 1) % 8 == 0)
+        .map(|r| r.offset / 8)
+        .collect();
+    let byte_reports: Vec<u64> = run(&byte_nfa, &input).iter().map(|r| r.offset).collect();
+    assert_eq!(bit_reports, vec![0, 1]);
+    assert_eq!(byte_reports, vec![0, 1]);
 }
 
 /// Bit reports at a non-final bit of a byte are attributed to that byte;

@@ -1,0 +1,118 @@
+//! Offline vendored shim for the `crossbeam` scoped-thread API.
+//!
+//! Wraps `std::thread::scope` (stable since Rust 1.63) behind the
+//! `crossbeam::thread::scope` interface the workspace uses: the scope
+//! closure and each spawned closure receive a [`thread::Scope`] handle,
+//! and the top-level call returns `Err` instead of unwinding when a
+//! worker panics.
+
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Result of a scoped run: `Err` carries a worker's panic payload.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// Handle for spawning threads tied to the enclosing scope.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// Join handle for a thread spawned in a scope.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result (`Err` on panic).
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope handle
+        /// so workers can spawn further workers.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&scope)),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope handle; all spawned threads are joined before
+    /// this returns. A panicking worker surfaces as `Err` rather than an
+    /// unwind, matching crossbeam's contract.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let data = [1u64, 2, 3, 4];
+        let mut sums = vec![0u64; 2];
+        thread::scope(|scope| {
+            for (i, slot) in sums.iter_mut().enumerate() {
+                let half = &data[i * 2..i * 2 + 2];
+                scope.spawn(move |_| {
+                    *slot = half.iter().sum();
+                });
+            }
+        })
+        .expect("workers do not panic");
+        assert_eq!(sums, vec![3, 7]);
+    }
+
+    #[test]
+    fn join_returns_value() {
+        let got = thread::scope(|scope| {
+            let h = scope.spawn(|_| 21 * 2);
+            h.join().expect("no panic")
+        })
+        .expect("no panic");
+        assert_eq!(got, 42);
+    }
+
+    #[test]
+    fn worker_panic_becomes_err() {
+        let res = thread::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+        });
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_through_handle() {
+        let out = thread::scope(|scope| {
+            scope
+                .spawn(|inner| inner.spawn(|_| 7).join().expect("inner ok"))
+                .join()
+                .expect("outer ok")
+        })
+        .expect("scope ok");
+        assert_eq!(out, 7);
+    }
+}
