@@ -1,0 +1,94 @@
+//! Per-rule severity overrides and heuristic thresholds.
+
+use crate::diag::Severity;
+
+/// Effective reporting level for one rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// Suppress the rule entirely.
+    Allow,
+    /// Report at `Warn`.
+    Warn,
+    /// Report at `Error` (non-zero `azoo-lint` exit).
+    Error,
+}
+
+/// Analysis configuration: rule overrides plus the tunable thresholds of
+/// the heuristic rules.
+///
+/// The defaults reproduce the registry's per-rule severities. Overrides
+/// apply to any rule id, including the structural (`Error`-default)
+/// rules — demoting those silences real breakage, so the `azoo-lint`
+/// harness surfaces overrides on the command line (`--allow`/`--deny`)
+/// rather than hiding them in a file.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    overrides: Vec<(String, Level)>,
+    /// `nfa-hotspot`: minimum number of successors of one state
+    /// simultaneously enabled by a single byte before warning.
+    pub hotspot_fanout: usize,
+    /// `all-input-explosion`: warn when the expected number of states
+    /// matching per input symbol (summed over `AllInput` states, class
+    /// width / 256, plus their immediate fan-out) exceeds this budget.
+    pub active_set_budget: f64,
+    /// Cap on diagnostics emitted per rule; the rest fold into one
+    /// summary diagnostic so a degenerate machine cannot flood output.
+    pub max_per_rule: usize,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig {
+            overrides: Vec::new(),
+            hotspot_fanout: 8,
+            active_set_budget: 64.0,
+            max_per_rule: 16,
+        }
+    }
+}
+
+impl LintConfig {
+    /// A default configuration.
+    pub fn new() -> Self {
+        LintConfig::default()
+    }
+
+    /// Overrides one rule's level (later calls win).
+    pub fn set_level(&mut self, rule: &str, level: Level) -> &mut Self {
+        self.overrides.push((rule.to_owned(), level));
+        self
+    }
+
+    /// The effective severity for `rule`, or `None` when suppressed.
+    pub fn effective(&self, rule: &str, default: Severity) -> Option<Severity> {
+        match self.overrides.iter().rev().find(|(r, _)| r == rule) {
+            Some((_, Level::Allow)) => None,
+            Some((_, Level::Warn)) => Some(Severity::Warn),
+            Some((_, Level::Error)) => Some(Severity::Error),
+            None => Some(default),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_pass_through() {
+        let cfg = LintConfig::default();
+        assert_eq!(cfg.effective("x", Severity::Warn), Some(Severity::Warn));
+        assert_eq!(cfg.effective("x", Severity::Error), Some(Severity::Error));
+    }
+
+    #[test]
+    fn overrides_apply_and_last_wins() {
+        let mut cfg = LintConfig::new();
+        cfg.set_level("x", Level::Error);
+        assert_eq!(cfg.effective("x", Severity::Warn), Some(Severity::Error));
+        cfg.set_level("x", Level::Allow);
+        assert_eq!(cfg.effective("x", Severity::Warn), None);
+        cfg.set_level("x", Level::Warn);
+        assert_eq!(cfg.effective("x", Severity::Error), Some(Severity::Warn));
+    }
+}

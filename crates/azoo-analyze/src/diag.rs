@@ -1,0 +1,168 @@
+//! The diagnostic type and its text / JSON renderings.
+
+use std::fmt;
+
+use azoo_core::json::Json;
+use azoo_core::StateId;
+
+/// How serious a finding is.
+///
+/// `Error` findings describe automata that are structurally broken — an
+/// engine either rejects them or silently computes nonsense. `Warn`
+/// findings describe machines that simulate correctly but are almost
+/// certainly not what the author meant (dead states, unfireable
+/// counters) or that predict pathological performance (active-set
+/// blowup).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but simulable.
+    Warn,
+    /// Structurally broken; engines reject these.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warn => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One analysis finding.
+///
+/// Renders like a compiler diagnostic:
+///
+/// ```text
+/// error[duplicate-edge] state 3: duplicate edge StateId(3) -> StateId(4)
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable rule id (kebab-case, see the registry in [`crate::rules`]).
+    pub rule: &'static str,
+    /// Effective severity after config overrides.
+    pub severity: Severity,
+    /// The state the finding anchors to, when it concerns one state.
+    pub state: Option<StateId>,
+    /// Human-readable description of the finding.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic anchored to a state.
+    pub fn on_state(
+        rule: &'static str,
+        severity: Severity,
+        state: StateId,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            rule,
+            severity,
+            state: Some(state),
+            message: message.into(),
+        }
+    }
+
+    /// Creates an automaton-level diagnostic.
+    pub fn global(rule: &'static str, severity: Severity, message: impl Into<String>) -> Self {
+        Diagnostic {
+            rule,
+            severity,
+            state: None,
+            message: message.into(),
+        }
+    }
+
+    /// JSON object form (used by `azoo-lint --json`).
+    pub fn to_json(&self) -> Json {
+        let mut members = vec![
+            ("rule".into(), Json::Str(self.rule.into())),
+            ("severity".into(), Json::Str(self.severity.to_string())),
+        ];
+        match self.state {
+            Some(id) => members.push((
+                "state".into(),
+                Json::Int(i64::try_from(id.index()).unwrap_or(i64::MAX)),
+            )),
+            None => members.push(("state".into(), Json::Null)),
+        }
+        members.push(("message".into(), Json::Str(self.message.clone())));
+        Json::Obj(members)
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.state {
+            Some(id) => write!(
+                f,
+                "{}[{}] state {}: {}",
+                self.severity,
+                self.rule,
+                id.index(),
+                self.message
+            ),
+            None => write!(f, "{}[{}] {}", self.severity, self.rule, self.message),
+        }
+    }
+}
+
+/// Renders a batch of diagnostics as a JSON document:
+/// `{"diagnostics": [...], "errors": N, "warnings": N}`.
+pub fn to_json_report(diags: &[Diagnostic]) -> String {
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = diags.len() - errors;
+    Json::Obj(vec![
+        (
+            "diagnostics".into(),
+            Json::Arr(diags.iter().map(Diagnostic::to_json).collect()),
+        ),
+        (
+            "errors".into(),
+            Json::Int(i64::try_from(errors).unwrap_or(i64::MAX)),
+        ),
+        (
+            "warnings".into(),
+            Json::Int(i64::try_from(warnings).unwrap_or(i64::MAX)),
+        ),
+    ])
+    .pretty()
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_compiler_style() {
+        let d = Diagnostic::on_state("empty-symbol-class", Severity::Error, StateId::new(7), "x");
+        assert_eq!(d.to_string(), "error[empty-symbol-class] state 7: x");
+        let g = Diagnostic::global("no-start-states", Severity::Warn, "y");
+        assert_eq!(g.to_string(), "warning[no-start-states] y");
+    }
+
+    #[test]
+    fn json_report_counts_severities() {
+        let diags = vec![
+            Diagnostic::global("a", Severity::Error, "m"),
+            Diagnostic::global("b", Severity::Warn, "m"),
+            Diagnostic::global("c", Severity::Warn, "m"),
+        ];
+        let text = to_json_report(&diags);
+        let doc = azoo_core::json::parse(&text).unwrap();
+        assert_eq!(doc.get("errors").unwrap().as_i64(), Some(1));
+        assert_eq!(doc.get("warnings").unwrap().as_i64(), Some(2));
+        assert_eq!(doc.get("diagnostics").unwrap().as_arr().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn severity_orders_warn_below_error() {
+        assert!(Severity::Warn < Severity::Error);
+    }
+}

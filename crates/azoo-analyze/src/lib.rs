@@ -1,0 +1,53 @@
+//! Static analysis and linting for homogeneous automata.
+//!
+//! This crate is the correctness-tooling layer of the workspace: it
+//! finds automata that are structurally broken (Error) or almost
+//! certainly wrong or pathological (Warn) *before* they reach an
+//! engine, and it differentially verifies that `azoo-passes`
+//! transformations preserve the language they claim to preserve.
+//!
+//! Three entry points:
+//!
+//! * [`analyze`] / [`analyze_with`] — run every lint rule over an
+//!   [`Automaton`](azoo_core::Automaton), returning [`Diagnostic`]s with
+//!   stable rule ids ([`RULES`] is the registry).
+//! * [`verify_pass`] — compare an automaton before and after a
+//!   transformation: structure, report-code set, and sampled language.
+//! * [`to_json_report`] — machine-readable rendering for tooling
+//!   (`azoo-lint --json`).
+//!
+//! Error-level structural rules share one implementation with
+//! `Automaton::validate` (both delegate to `Automaton::validate_all`),
+//! so the linter and the engines can never disagree about what is
+//! fatally malformed.
+//!
+//! # Example
+//!
+//! ```
+//! use azoo_analyze::{analyze, Severity};
+//! use azoo_core::{Automaton, StartKind, SymbolClass};
+//!
+//! let mut a = Automaton::new();
+//! let s = a.add_ste(SymbolClass::from_byte(b'x'), StartKind::AllInput);
+//! a.set_report(s, 0);
+//! assert!(analyze(&a).is_empty());
+//!
+//! // An orphan state draws a Warn-level diagnostic.
+//! a.add_ste(SymbolClass::from_byte(b'y'), StartKind::None);
+//! let diags = analyze(&a);
+//! assert_eq!(diags.len(), 1);
+//! assert_eq!(diags[0].rule, "unreachable-state");
+//! assert_eq!(diags[0].severity, Severity::Warn);
+//! ```
+
+#![warn(clippy::unwrap_used)]
+
+pub mod config;
+pub mod diag;
+pub mod rules;
+pub mod verify;
+
+pub use config::{Level, LintConfig};
+pub use diag::{to_json_report, Diagnostic, Severity};
+pub use rules::{analyze, analyze_with, rule, rule_for_core_error, Rule, RULES};
+pub use verify::{verify_pass, InputMap, VerifySpec};

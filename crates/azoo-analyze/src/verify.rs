@@ -1,0 +1,449 @@
+//! Differential verification of `azoo-passes` transformations.
+//!
+//! [`verify_pass`] snapshots structural invariants and a *language
+//! sample* of an automaton before and after a transformation and reports
+//! every violation as a [`Diagnostic`] under the `pass-invariant` rule.
+//! The language sample runs [`NfaEngine`] over deterministic
+//! pseudo-random inputs drawn from the automaton's own alphabet, so a
+//! pass that silently changes matching behaviour is caught without any
+//! hand-written oracle.
+//!
+//! Offset conventions for rescaling passes follow the engine test suite:
+//!
+//! * [`InputMap::Stride8`] — the pre-pass automaton is bit-level (one
+//!   symbol per bit, MSB first); sampled bytes are expanded 8:1 for it.
+//!   Only byte-aligned matches survive striding, so pre-pass reports are
+//!   filtered to offsets with `(o + 1) % 8 == 0` and mapped to `o / 8`.
+//!   This is exact for whole-byte patterns (the only shape `stride8`
+//!   accepts from `bit_pattern_chain`-built machines).
+//! * [`InputMap::Widen`] — the post-pass automaton consumes
+//!   zero-interleaved input (`b` → `b, 0`); a pre-pass report at `o`
+//!   maps to `2 * o + 1` (the pad state reports). Samples are NUL-free
+//!   so pad positions can never alias alphabet bytes.
+
+use azoo_core::Automaton;
+use azoo_engines::{CollectSink, Engine, NfaEngine};
+
+use crate::diag::{Diagnostic, Severity};
+
+/// How the sampled input / report offsets relate across the pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InputMap {
+    /// Input and offsets are unchanged (merging, dead-state removal).
+    Identity,
+    /// Pre-pass machine is bit-level, post-pass machine is byte-level.
+    Stride8,
+    /// Post-pass machine consumes zero-interleaved (16-bit padded) input.
+    Widen,
+}
+
+/// What to verify about one transformation.
+#[derive(Debug, Clone)]
+pub struct VerifySpec {
+    /// Pass name, used in diagnostic messages and as the sample seed.
+    pub pass: &'static str,
+    /// Number of pseudo-random sample inputs.
+    pub samples: usize,
+    /// Maximum sample length in (pre-pass) symbols of the *post* side's
+    /// natural unit: bytes for `Stride8`, pre-pass bytes otherwise.
+    pub sample_len: usize,
+    /// Input/offset relation across the pass.
+    pub map: InputMap,
+    /// Whether the pass must not increase state or edge counts
+    /// (merging and dead-state removal shrink; striding may not).
+    pub expect_no_growth: bool,
+}
+
+impl VerifySpec {
+    /// A spec with the defaults: 8 identity-mapped samples of up to 64
+    /// symbols, growth allowed.
+    pub fn new(pass: &'static str) -> Self {
+        VerifySpec {
+            pass,
+            samples: 8,
+            sample_len: 64,
+            map: InputMap::Identity,
+            expect_no_growth: false,
+        }
+    }
+
+    /// Sets the input map.
+    #[must_use]
+    pub fn map(mut self, map: InputMap) -> Self {
+        self.map = map;
+        self
+    }
+
+    /// Requires the pass not to grow the automaton.
+    #[must_use]
+    pub fn no_growth(mut self) -> Self {
+        self.expect_no_growth = true;
+        self
+    }
+
+    /// Sets the sample count.
+    #[must_use]
+    pub fn samples(mut self, n: usize) -> Self {
+        self.samples = n;
+        self
+    }
+
+    /// Sets the maximum sample length.
+    #[must_use]
+    pub fn sample_len(mut self, n: usize) -> Self {
+        self.sample_len = n;
+        self
+    }
+}
+
+/// Deterministic xorshift64 generator (the build is offline and
+/// `azoo-analyze` keeps its dependency set minimal, so no `rand` here;
+/// statistical quality is irrelevant for sample inputs).
+struct XorShift64(u64);
+
+impl XorShift64 {
+    fn seeded(name: &str) -> Self {
+        let mut s = 0x9E37_79B9_7F4A_7C15u64;
+        for b in name.bytes() {
+            s = (s ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
+        }
+        XorShift64(s | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+/// Verifies that `after` is a faithful transformation of `before`.
+///
+/// Checks, in order:
+///
+/// 1. `before` passes validation (precondition — if it does not, that
+///    single finding is returned and the comparison is skipped);
+/// 2. `after` passes [`Automaton::validate_all`] (every violation is a
+///    finding);
+/// 3. if [`VerifySpec::expect_no_growth`], state and edge counts do not
+///    increase;
+/// 4. the set of report codes `after` can emit is a subset of
+///    `before`'s;
+/// 5. on every sampled input, `after`'s report stream equals `before`'s
+///    mapped through [`VerifySpec::map`].
+///
+/// Returns one `pass-invariant` Error diagnostic per violation; an
+/// empty vector means the pass held its invariants on this automaton.
+pub fn verify_pass(before: &Automaton, after: &Automaton, spec: &VerifySpec) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let pass = spec.pass;
+    if let Err(e) = before.validate() {
+        return vec![Diagnostic::global(
+            "pass-invariant",
+            Severity::Error,
+            format!("{pass}: input automaton fails validation: {e}"),
+        )];
+    }
+    for e in after.validate_all() {
+        diags.push(Diagnostic::global(
+            "pass-invariant",
+            Severity::Error,
+            format!("{pass}: output automaton fails validation: {e}"),
+        ));
+    }
+    if spec.expect_no_growth {
+        if after.state_count() > before.state_count() {
+            diags.push(Diagnostic::global(
+                "pass-invariant",
+                Severity::Error,
+                format!(
+                    "{pass}: state count grew {} -> {}",
+                    before.state_count(),
+                    after.state_count()
+                ),
+            ));
+        }
+        if after.edge_count() > before.edge_count() {
+            diags.push(Diagnostic::global(
+                "pass-invariant",
+                Severity::Error,
+                format!(
+                    "{pass}: edge count grew {} -> {}",
+                    before.edge_count(),
+                    after.edge_count()
+                ),
+            ));
+        }
+    }
+    let codes_before = report_codes(before);
+    for code in report_codes(after) {
+        if !codes_before.contains(&code) {
+            diags.push(Diagnostic::global(
+                "pass-invariant",
+                Severity::Error,
+                format!("{pass}: output reports code {code} the input never reports"),
+            ));
+        }
+    }
+    // Language sampling needs both machines to compile.
+    if !diags.is_empty() {
+        return diags;
+    }
+    let (Ok(mut eng_before), Ok(mut eng_after)) = (NfaEngine::new(before), NfaEngine::new(after))
+    else {
+        diags.push(Diagnostic::global(
+            "pass-invariant",
+            Severity::Error,
+            format!("{pass}: an automaton failed to compile for sampling"),
+        ));
+        return diags;
+    };
+    let alphabet = sample_alphabet(before, spec.map);
+    let mut rng = XorShift64::seeded(pass);
+    for i in 0..spec.samples {
+        let len = (rng.next() as usize) % (spec.sample_len + 1);
+        let input: Vec<u8> = (0..len)
+            .map(|_| alphabet[(rng.next() as usize) % alphabet.len()])
+            .collect();
+        let (input_before, input_after) = match spec.map {
+            InputMap::Identity => (input.clone(), input.clone()),
+            InputMap::Stride8 => (
+                input
+                    .iter()
+                    .flat_map(|&b| (0..8).map(move |j| (b >> (7 - j)) & 1))
+                    .collect(),
+                input.clone(),
+            ),
+            InputMap::Widen => (input.clone(), input.iter().flat_map(|&b| [b, 0]).collect()),
+        };
+        let expected: Vec<(u64, u32)> = scan(&mut eng_before, &input_before)
+            .into_iter()
+            .filter_map(|(o, c)| match spec.map {
+                InputMap::Identity => Some((o, c)),
+                InputMap::Stride8 => ((o + 1) % 8 == 0).then_some((o / 8, c)),
+                InputMap::Widen => Some((2 * o + 1, c)),
+            })
+            .collect();
+        let got = scan(&mut eng_after, &input_after);
+        if got != expected {
+            diags.push(Diagnostic::global(
+                "pass-invariant",
+                Severity::Error,
+                format!(
+                    "{pass}: language mismatch on sample {i} (len {len}): \
+                     expected {} report(s), got {} — first divergence {:?} vs {:?}",
+                    expected.len(),
+                    got.len(),
+                    first_divergence(&expected, &got).0,
+                    first_divergence(&expected, &got).1,
+                ),
+            ));
+        }
+    }
+    diags
+}
+
+type Report = (u64, u32);
+
+fn first_divergence(expected: &[Report], got: &[Report]) -> (Option<Report>, Option<Report>) {
+    let i = expected
+        .iter()
+        .zip(got.iter())
+        .take_while(|(a, b)| a == b)
+        .count();
+    (expected.get(i).copied(), got.get(i).copied())
+}
+
+fn scan(engine: &mut NfaEngine, input: &[u8]) -> Vec<(u64, u32)> {
+    let mut sink = CollectSink::new();
+    engine.scan(input, &mut sink);
+    sink.sorted_reports()
+        .into_iter()
+        .map(|r| (r.offset, r.code.0))
+        .collect()
+}
+
+fn report_codes(a: &Automaton) -> Vec<u32> {
+    let mut codes: Vec<u32> = a
+        .iter()
+        .filter_map(|(_, e)| e.report.map(|c| c.0))
+        .collect();
+    codes.sort_unstable();
+    codes.dedup();
+    codes
+}
+
+/// Bytes to draw samples from: the union of the pre-pass machine's
+/// symbol classes plus one out-of-alphabet byte, so both matching and
+/// non-matching transitions are exercised. Bit-level machines
+/// ([`InputMap::Stride8`]) sample raw bytes; [`InputMap::Widen`]
+/// excludes NUL (the pad symbol).
+fn sample_alphabet(before: &Automaton, map: InputMap) -> Vec<u8> {
+    if map == InputMap::Stride8 {
+        // The byte side sees arbitrary bytes; the bit expansion exercises
+        // the bit-level machine on every path.
+        return (0..=255).collect();
+    }
+    let mut in_class = [false; 256];
+    for (_, e) in before.iter() {
+        if let Some(class) = e.class() {
+            for b in class.iter() {
+                in_class[b as usize] = true;
+            }
+        }
+    }
+    let forbid_nul = map == InputMap::Widen;
+    let mut alphabet: Vec<u8> = (0u16..256)
+        .map(|b| b as u8)
+        .filter(|&b| in_class[b as usize] && !(forbid_nul && b == 0))
+        .collect();
+    // One miss byte keeps the sample from being all-matching.
+    if let Some(miss) = (0u16..256)
+        .map(|b| b as u8)
+        .find(|&b| !(in_class[b as usize] || forbid_nul && b == 0))
+    {
+        alphabet.push(miss);
+    }
+    if alphabet.is_empty() {
+        alphabet.push(b'a');
+    }
+    alphabet
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use azoo_core::{StartKind, StateId, SymbolClass};
+    use azoo_passes::{
+        bit_pattern_chain, bits_of_bytes, merge_prefixes, remove_dead, stride8, widen,
+    };
+
+    fn two_words() -> Automaton {
+        let mut a = Automaton::new();
+        let w1: Vec<SymbolClass> = b"cart".iter().map(|&b| SymbolClass::from_byte(b)).collect();
+        let w2: Vec<SymbolClass> = b"care".iter().map(|&b| SymbolClass::from_byte(b)).collect();
+        let (_, l1) = a.add_chain(&w1, StartKind::AllInput);
+        a.set_report(l1, 1);
+        let mut b2 = Automaton::new();
+        let (_, l2) = b2.add_chain(&w2, StartKind::AllInput);
+        b2.set_report(l2, 2);
+        a.append(&b2);
+        a
+    }
+
+    #[test]
+    fn honest_merge_passes_verification() {
+        let a = two_words();
+        let (merged, _) = merge_prefixes(&a);
+        let diags = verify_pass(&a, &merged, &VerifySpec::new("merge_prefixes").no_growth());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn honest_dead_removal_passes_verification() {
+        let mut a = two_words();
+        a.add_ste(SymbolClass::from_byte(b'z'), StartKind::None); // dead
+        let pruned = remove_dead(&a);
+        let diags = verify_pass(&a, &pruned, &VerifySpec::new("remove_dead").no_growth());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn honest_stride8_passes_verification() {
+        let bits = bit_pattern_chain(&bits_of_bytes(b"ab"), 7, StartKind::AllInput);
+        let bytes = stride8(&bits).unwrap();
+        let diags = verify_pass(
+            &bits,
+            &bytes,
+            &VerifySpec::new("stride8").map(InputMap::Stride8),
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn honest_widen_passes_verification() {
+        let a = two_words();
+        let wide = widen(&a).unwrap();
+        let diags = verify_pass(&a, &wide, &VerifySpec::new("widen").map(InputMap::Widen));
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn broken_pass_report_retarget_is_caught() {
+        // A "pass" that moves the report one state earlier: structure is
+        // valid, but the language changes — only sampling can catch it.
+        let a = two_words();
+        let mut broken = a.clone();
+        broken.set_report(StateId::new(2), 1);
+        let diags = verify_pass(&a, &broken, &VerifySpec::new("broken"));
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.message.contains("language mismatch")),
+            "{diags:?}"
+        );
+        assert!(diags.iter().all(|d| d.severity == Severity::Error));
+    }
+
+    #[test]
+    fn broken_pass_new_code_is_caught() {
+        let a = two_words();
+        let mut broken = a.clone();
+        broken.set_report(StateId::new(3), 99);
+        let diags = verify_pass(&a, &broken, &VerifySpec::new("newcode"));
+        assert!(
+            diags.iter().any(|d| d.message.contains("code 99")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn broken_pass_growth_is_caught() {
+        let a = two_words();
+        let mut grown = a.clone();
+        grown.add_ste(SymbolClass::from_byte(b'q'), StartKind::AllInput);
+        let diags = verify_pass(&a, &grown, &VerifySpec::new("grow").no_growth());
+        assert!(
+            diags.iter().any(|d| d.message.contains("state count grew")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn broken_pass_invalid_output_is_caught() {
+        let a = two_words();
+        let mut broken = a.clone();
+        broken.element_mut(StateId::new(1)).kind = azoo_core::ElementKind::Ste {
+            class: SymbolClass::EMPTY,
+            start: StartKind::None,
+        };
+        let diags = verify_pass(&a, &broken, &VerifySpec::new("invalid"));
+        assert!(
+            diags.iter().any(|d| d.message.contains("fails validation")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn invalid_input_short_circuits() {
+        let mut bad = Automaton::new();
+        bad.add_ste(SymbolClass::EMPTY, StartKind::AllInput);
+        let diags = verify_pass(&bad, &bad, &VerifySpec::new("pre"));
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("input automaton"));
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let a = two_words();
+        let mut broken = a.clone();
+        broken.set_report(StateId::new(2), 1);
+        let d1 = verify_pass(&a, &broken, &VerifySpec::new("det"));
+        let d2 = verify_pass(&a, &broken, &VerifySpec::new("det"));
+        assert_eq!(d1, d2);
+    }
+}

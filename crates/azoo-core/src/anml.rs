@@ -369,6 +369,7 @@ impl<'a> TagReader<'a> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

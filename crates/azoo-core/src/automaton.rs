@@ -77,6 +77,7 @@ impl Automaton {
         let id = StateId::new(self.elements.len());
         self.elements.push(element);
         self.succ.push(Vec::new());
+        debug_assert_eq!(self.elements.len(), self.succ.len());
         id
     }
 
@@ -120,6 +121,10 @@ impl Automaton {
 
     /// Marks `id` as reporting with the given code.
     pub fn set_report(&mut self, id: StateId, code: u32) {
+        debug_assert!(
+            id.index() < self.elements.len(),
+            "set_report on unknown state {id:?}"
+        );
         self.elements[id.index()].report = Some(ReportCode(code));
     }
 
@@ -226,7 +231,13 @@ impl Automaton {
     /// pattern/filter; each appended automaton becomes one connected
     /// component ("subgraph" in AutomataZoo's Table I).
     pub fn append(&mut self, other: &Automaton) -> u32 {
-        let offset = self.elements.len() as u32;
+        let offset = u32::try_from(self.elements.len()).expect("automaton exceeds u32::MAX states");
+        debug_assert!(
+            (offset as usize)
+                .checked_add(other.elements.len())
+                .is_some(),
+            "appended automaton overflows the state index space"
+        );
         self.elements.extend(other.elements.iter().cloned());
         for edges in &other.succ {
             self.succ.push(
@@ -271,20 +282,49 @@ impl Automaton {
         out
     }
 
-    /// Checks structural invariants.
+    /// Checks structural invariants, stopping at the first violation.
+    ///
+    /// This is a thin wrapper over [`Automaton::validate_all`], which is
+    /// the single source of truth for Error-level structural rules (the
+    /// `azoo-analyze` linter reports the same findings, one diagnostic
+    /// per violation).
     ///
     /// # Errors
     ///
-    /// Returns the first violated invariant:
-    /// empty STE classes, zero counter targets, reset edges into STEs,
-    /// or a complete absence of start states.
+    /// Returns the first violated invariant: empty STE classes, zero
+    /// counter targets, edges referencing missing states, duplicate
+    /// edges, reset edges into STEs, or a complete absence of start
+    /// states.
     pub fn validate(&self) -> Result<(), CoreError> {
+        match self.validate_all().into_iter().next() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Checks every structural invariant and returns *all* violations, in
+    /// state order.
+    ///
+    /// The checks, per state:
+    ///
+    /// * STEs must have a non-empty symbol class ([`CoreError::EmptySymbolClass`]);
+    /// * counters must have a non-zero target ([`CoreError::ZeroCounterTarget`]);
+    /// * edges must reference existing states ([`CoreError::InvalidStateId`]);
+    /// * reset edges must target counters ([`CoreError::ResetIntoSte`]);
+    /// * no `(target, port)` pair may appear twice on one source state
+    ///   ([`CoreError::DuplicateEdge`]);
+    ///
+    /// and globally, a non-empty automaton must have at least one start
+    /// state ([`CoreError::NoStartStates`]).
+    pub fn validate_all(&self) -> Vec<CoreError> {
+        let mut errors = Vec::new();
         let mut has_start = false;
+        let mut seen: Vec<Edge> = Vec::new();
         for (id, e) in self.iter() {
             match &e.kind {
                 ElementKind::Ste { class, start } => {
                     if class.is_empty() {
-                        return Err(CoreError::EmptySymbolClass(id));
+                        errors.push(CoreError::EmptySymbolClass(id));
                     }
                     if *start != StartKind::None {
                         has_start = true;
@@ -292,30 +332,41 @@ impl Automaton {
                 }
                 ElementKind::Counter { target, .. } => {
                     if *target == 0 {
-                        return Err(CoreError::ZeroCounterTarget(id));
+                        errors.push(CoreError::ZeroCounterTarget(id));
                     }
                 }
             }
+            seen.clear();
             for edge in self.successors(id) {
                 if edge.to.index() >= self.elements.len() {
-                    return Err(CoreError::InvalidStateId(edge.to));
+                    errors.push(CoreError::InvalidStateId(edge.to));
+                    continue;
                 }
                 if edge.port == Port::Reset && self.element(edge.to).is_ste() {
-                    return Err(CoreError::ResetIntoSte {
+                    errors.push(CoreError::ResetIntoSte {
                         from: id,
                         to: edge.to,
                     });
                 }
+                if seen.contains(edge) {
+                    errors.push(CoreError::DuplicateEdge {
+                        from: id,
+                        to: edge.to,
+                    });
+                } else {
+                    seen.push(*edge);
+                }
             }
         }
         if !has_start && !self.elements.is_empty() {
-            return Err(CoreError::NoStartStates);
+            errors.push(CoreError::NoStartStates);
         }
-        Ok(())
+        errors
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -408,6 +459,69 @@ mod tests {
         let c = a.add_counter(0, CounterMode::Latch);
         a.add_edge(s, c);
         assert!(matches!(a.validate(), Err(CoreError::ZeroCounterTarget(_))));
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_edges() {
+        let mut a = Automaton::new();
+        let s = a.add_ste(SymbolClass::FULL, StartKind::AllInput);
+        let t = a.add_ste(SymbolClass::FULL, StartKind::None);
+        a.add_edge(s, t);
+        a.add_edge(s, t);
+        assert_eq!(
+            a.validate(),
+            Err(CoreError::DuplicateEdge { from: s, to: t })
+        );
+        // An activate and a reset edge to the same target are distinct.
+        let mut b = Automaton::new();
+        let s = b.add_ste(SymbolClass::FULL, StartKind::AllInput);
+        let c = b.add_counter(2, CounterMode::Latch);
+        b.add_edge(s, c);
+        b.add_reset_edge(s, c);
+        b.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_dangling_edge_target() {
+        let mut a = abc();
+        // Forge an edge to a state that does not exist (the public
+        // `add_edge` panics on this, but deserializers and passes build
+        // adjacency directly).
+        a.succ[0].push(Edge {
+            to: StateId::new(99),
+            port: Port::Activate,
+        });
+        assert_eq!(
+            a.validate(),
+            Err(CoreError::InvalidStateId(StateId::new(99)))
+        );
+    }
+
+    #[test]
+    fn validate_all_collects_every_violation() {
+        let mut a = Automaton::new();
+        let empty = a.add_ste(SymbolClass::EMPTY, StartKind::None);
+        let c = a.add_counter(0, CounterMode::Latch);
+        a.add_edge(empty, c);
+        a.add_edge(empty, c);
+        let errors = a.validate_all();
+        assert_eq!(
+            errors,
+            vec![
+                CoreError::EmptySymbolClass(empty),
+                CoreError::DuplicateEdge { from: empty, to: c },
+                CoreError::ZeroCounterTarget(c),
+                CoreError::NoStartStates,
+            ]
+        );
+        // `validate` reports exactly the first of these.
+        assert_eq!(a.validate(), Err(CoreError::EmptySymbolClass(empty)));
+    }
+
+    #[test]
+    fn validate_all_is_empty_for_valid_automata() {
+        assert!(abc().validate_all().is_empty());
+        assert!(Automaton::new().validate_all().is_empty());
     }
 
     #[test]

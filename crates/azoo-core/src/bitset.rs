@@ -158,6 +158,7 @@ impl Iterator for IterOnes<'_> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

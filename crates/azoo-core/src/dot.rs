@@ -86,6 +86,7 @@ fn sanitize(name: &str) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::element::CounterMode;

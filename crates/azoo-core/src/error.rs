@@ -25,6 +25,19 @@ pub enum CoreError {
     },
     /// The automaton has no start element, so it can never match.
     NoStartStates,
+    /// The same `(target, port)` edge appears twice on one source state.
+    ///
+    /// Duplicate edges are always a construction bug: activation is
+    /// level-triggered (an enable signal is boolean, not counted), so the
+    /// second edge can never change behaviour — but it doubles engine
+    /// fan-out work and, on counter targets, *looks* like it should count
+    /// twice when it never will.
+    DuplicateEdge {
+        /// Source of the duplicated edge.
+        from: StateId,
+        /// Target of the duplicated edge.
+        to: StateId,
+    },
     /// Deserialization of an automaton interchange document failed.
     Format(String),
 }
@@ -44,6 +57,9 @@ impl fmt::Display for CoreError {
                 write!(f, "reset edge {from:?} -> {to:?} targets an STE")
             }
             CoreError::NoStartStates => write!(f, "automaton has no start states"),
+            CoreError::DuplicateEdge { from, to } => {
+                write!(f, "duplicate edge {from:?} -> {to:?}")
+            }
             CoreError::Format(msg) => write!(f, "invalid automaton document: {msg}"),
         }
     }
@@ -52,6 +68,7 @@ impl fmt::Display for CoreError {
 impl std::error::Error for CoreError {}
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

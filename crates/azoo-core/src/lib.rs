@@ -34,6 +34,11 @@
 //! a.validate().unwrap();
 //! ```
 
+// Library code must not panic on malformed input: parse and validation
+// failures are `CoreError`s the lint layer can report as diagnostics.
+// Tests opt back in with a module-level allow.
+#![warn(clippy::unwrap_used)]
+
 pub mod anml;
 pub mod bitset;
 pub mod dot;

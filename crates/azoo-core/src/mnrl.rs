@@ -259,8 +259,11 @@ pub fn from_json(text: &str) -> Result<Automaton, CoreError> {
         index_of.insert(node_id.to_owned(), id);
     }
     for node in nodes {
-        let node_id = node_str(node, "id").expect("validated above");
-        let from = index_of[node_id];
+        let node_id =
+            node_str(node, "id").ok_or_else(|| CoreError::Format("node missing 'id'".into()))?;
+        let from = *index_of
+            .get(node_id)
+            .ok_or_else(|| CoreError::Format(format!("unknown node id '{node_id}'")))?;
         let outputs = match node.get("outputConnections") {
             None | Some(Json::Null) => &[][..],
             Some(v) => v
@@ -284,6 +287,7 @@ pub fn from_json(text: &str) -> Result<Automaton, CoreError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::element::CounterMode;

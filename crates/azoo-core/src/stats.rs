@@ -225,6 +225,7 @@ impl UnionFind {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::element::StartKind;

@@ -247,6 +247,7 @@ impl fmt::Debug for SymbolClass {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -38,8 +38,27 @@ pub enum EngineChoice {
 ///
 /// Propagates [`EngineError::Invalid`] if the automaton fails
 /// validation.
+/// Pre-flight structural check run before any engine is constructed.
+///
+/// Release builds run [`Automaton::validate`] (stops at the first
+/// violation). Debug builds run the full Error-level rule set
+/// ([`Automaton::validate_all`]) — the same rules `azoo-analyze` reports
+/// as Error diagnostics — and reject the automaton with the earliest
+/// violation, so a machine that lints dirty can never reach an engine
+/// in development even if `validate`'s early-exit order changes.
+fn preflight(a: &Automaton) -> Result<(), EngineError> {
+    if cfg!(debug_assertions) {
+        match a.validate_all().into_iter().next() {
+            Some(e) => Err(EngineError::Invalid(e)),
+            None => Ok(()),
+        }
+    } else {
+        Ok(a.validate()?)
+    }
+}
+
 pub fn select_engine(a: &Automaton) -> Result<(EngineChoice, Box<dyn Engine>), EngineError> {
-    a.validate()?;
+    preflight(a)?;
     // Bit-parallel: chain-shaped and small enough that the per-symbol
     // mask walk stays cheap (~256 KiB of active-set words).
     if a.state_count() <= 2_000_000 {
@@ -69,6 +88,7 @@ pub fn select_engine_threaded(
     threads: usize,
 ) -> Result<(EngineChoice, Box<dyn Engine>), EngineError> {
     if threads > 1 {
+        preflight(a)?;
         let engine = ParallelScanner::new(a, threads)?;
         return Ok((EngineChoice::Parallel { threads }, Box::new(engine)));
     }
@@ -148,5 +168,22 @@ mod tests {
         let mut a = Automaton::new();
         a.add_ste(SymbolClass::EMPTY, StartKind::AllInput);
         assert!(select_engine(&a).is_err());
+    }
+
+    #[test]
+    fn preflight_rejects_duplicate_edges() {
+        let mut a = Automaton::new();
+        let s = a.add_ste(SymbolClass::from_byte(b'a'), StartKind::AllInput);
+        let t = a.add_ste(SymbolClass::from_byte(b'b'), StartKind::None);
+        a.add_edge(s, t);
+        a.add_edge(s, t);
+        a.set_report(t, 0);
+        assert!(matches!(
+            select_engine(&a),
+            Err(EngineError::Invalid(
+                azoo_core::CoreError::DuplicateEdge { .. }
+            ))
+        ));
+        assert!(select_engine_threaded(&a, 4).is_err());
     }
 }

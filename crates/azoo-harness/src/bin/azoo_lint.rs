@@ -1,0 +1,224 @@
+//! `azoo-lint` — static analysis over MNRL files and zoo benchmarks.
+//!
+//! ```text
+//! azoo-lint [TARGETS] [OPTIONS]
+//!
+//! Targets (default: --bench all):
+//!   --mnrl FILE     lint an MNRL JSON file (repeatable)
+//!   --bench NAME    lint a generated zoo benchmark (repeatable; `all`
+//!                   lints every benchmark; names match Table I rows,
+//!                   case- and punctuation-insensitively: `snort`,
+//!                   `random-forest-a`, `hamming-18x3`, ...)
+//!
+//! Options:
+//!   --scale S       benchmark scale: tiny (default) | small | full
+//!   --json          machine-readable JSON report on stdout
+//!   --allow RULE    suppress a rule (repeatable)
+//!   --deny RULE     promote a rule to Error (repeatable)
+//!   --list-rules    print the rule registry and exit
+//!
+//! Exit status: 0 clean (warnings allowed), 1 any Error-level finding,
+//! 2 usage or I/O error.
+//! ```
+
+use azoo_analyze::{analyze_with, rule, rule_for_core_error, Diagnostic, Severity};
+use azoo_analyze::{Level, LintConfig, RULES};
+use azoo_core::json::Json;
+use azoo_core::mnrl;
+use azoo_zoo::{BenchmarkId, Scale};
+
+fn main() {
+    std::process::exit(run());
+}
+
+fn fail(msg: &str) -> i32 {
+    eprintln!("azoo-lint: {msg}");
+    2
+}
+
+fn usage() -> String {
+    "usage: azoo-lint [--mnrl FILE]... [--bench NAME|all]... \
+     [--scale tiny|small|full] [--json] [--allow RULE]... [--deny RULE]... \
+     [--list-rules]"
+        .into()
+}
+
+/// Case- and punctuation-insensitive benchmark name key.
+fn slug(name: &str) -> String {
+    name.chars()
+        .filter(char::is_ascii_alphanumeric)
+        .map(|c| c.to_ascii_lowercase())
+        .collect()
+}
+
+fn find_benchmark(name: &str) -> Option<BenchmarkId> {
+    BenchmarkId::ALL
+        .into_iter()
+        .find(|id| slug(id.name()) == slug(name))
+}
+
+enum Target {
+    Mnrl(String),
+    Bench(BenchmarkId),
+}
+
+fn run() -> i32 {
+    let args: Vec<String> = std::env::args().collect();
+    let mut targets: Vec<Target> = Vec::new();
+    let mut cfg = LintConfig::new();
+    let mut scale = Scale::Tiny;
+    let mut json = false;
+    let mut i = 1;
+    let value_of = |args: &[String], i: usize| -> Result<String, String> {
+        args.get(i + 1)
+            .cloned()
+            .ok_or_else(|| format!("{} needs a value\n{}", args[i], usage()))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--mnrl" => {
+                match value_of(&args, i) {
+                    Ok(f) => targets.push(Target::Mnrl(f)),
+                    Err(e) => return fail(&e),
+                }
+                i += 2;
+            }
+            "--bench" => {
+                let name = match value_of(&args, i) {
+                    Ok(n) => n,
+                    Err(e) => return fail(&e),
+                };
+                if slug(&name) == "all" {
+                    targets.extend(BenchmarkId::ALL.into_iter().map(Target::Bench));
+                } else {
+                    match find_benchmark(&name) {
+                        Some(id) => targets.push(Target::Bench(id)),
+                        None => return fail(&format!("unknown benchmark '{name}'")),
+                    }
+                }
+                i += 2;
+            }
+            "--scale" => {
+                scale = match value_of(&args, i).as_deref() {
+                    Ok("tiny") => Scale::Tiny,
+                    Ok("small") => Scale::Small,
+                    Ok("full") => Scale::Full,
+                    Ok(other) => return fail(&format!("unknown scale '{other}'")),
+                    Err(e) => return fail(e),
+                };
+                i += 2;
+            }
+            "--json" => {
+                json = true;
+                i += 1;
+            }
+            "--allow" | "--deny" => {
+                let level = if args[i] == "--allow" {
+                    Level::Allow
+                } else {
+                    Level::Error
+                };
+                let id = match value_of(&args, i) {
+                    Ok(r) => r,
+                    Err(e) => return fail(&e),
+                };
+                if rule(&id).is_none() {
+                    return fail(&format!("unknown rule '{id}' (try --list-rules)"));
+                }
+                cfg.set_level(&id, level);
+                i += 2;
+            }
+            "--list-rules" => {
+                for r in RULES {
+                    println!("{:<7} {:<28} {}", r.severity.to_string(), r.id, r.summary);
+                }
+                return 0;
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return 0;
+            }
+            other => return fail(&format!("unknown argument '{other}'\n{}", usage())),
+        }
+    }
+    if targets.is_empty() {
+        targets.extend(BenchmarkId::ALL.into_iter().map(Target::Bench));
+    }
+
+    let mut json_targets: Vec<Json> = Vec::new();
+    let mut total_errors = 0usize;
+    let mut total_warnings = 0usize;
+    for target in &targets {
+        let (name, diags) = match target {
+            Target::Mnrl(path) => {
+                let diags = match std::fs::read_to_string(path) {
+                    Err(e) => return fail(&format!("cannot read {path}: {e}")),
+                    Ok(text) => match mnrl::from_json(&text) {
+                        Ok(a) => analyze_with(&a, &cfg),
+                        Err(e) => core_error_diagnostics(&e, &cfg),
+                    },
+                };
+                (path.clone(), diags)
+            }
+            Target::Bench(id) => {
+                let bench = id.build(scale);
+                (id.name().to_owned(), analyze_with(&bench.automaton, &cfg))
+            }
+        };
+        let errors = diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count();
+        let warnings = diags.len() - errors;
+        total_errors += errors;
+        total_warnings += warnings;
+        if json {
+            json_targets.push(Json::Obj(vec![
+                ("name".into(), Json::Str(name)),
+                (
+                    "diagnostics".into(),
+                    Json::Arr(diags.iter().map(Diagnostic::to_json).collect()),
+                ),
+                ("errors".into(), Json::Int(errors as i64)),
+                ("warnings".into(), Json::Int(warnings as i64)),
+            ]));
+        } else if diags.is_empty() {
+            println!("{name}: clean");
+        } else {
+            println!("{name}: {errors} error(s), {warnings} warning(s)");
+            for d in &diags {
+                println!("  {d}");
+            }
+        }
+    }
+    if json {
+        let doc = Json::Obj(vec![
+            ("targets".into(), Json::Arr(json_targets)),
+            ("errors".into(), Json::Int(total_errors as i64)),
+            ("warnings".into(), Json::Int(total_warnings as i64)),
+        ]);
+        println!("{}", doc.pretty());
+    } else {
+        println!(
+            "{} target(s): {total_errors} error(s), {total_warnings} warning(s)",
+            targets.len()
+        );
+    }
+    i32::from(total_errors > 0)
+}
+
+/// Renders a frontend (parse/validation) failure as diagnostics,
+/// honouring rule overrides.
+fn core_error_diagnostics(e: &azoo_core::CoreError, cfg: &LintConfig) -> Vec<Diagnostic> {
+    let (rule_id, state) = rule_for_core_error(e);
+    let default = rule(rule_id).map_or(Severity::Error, |r| r.severity);
+    match cfg.effective(rule_id, default) {
+        None => Vec::new(),
+        Some(severity) => vec![Diagnostic {
+            rule: rule_id,
+            severity,
+            state,
+            message: e.to_string(),
+        }],
+    }
+}

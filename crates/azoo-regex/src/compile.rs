@@ -61,8 +61,14 @@ pub fn compile_pattern(pattern: &Pattern, code: u32) -> Result<Automaton, RegexE
         }
     }
     for (p, follows) in g.follow.iter().enumerate() {
+        // Follow sets repeat positions under nested repetition (`(ab)+`
+        // contributes b→a once per level); a duplicate edge is a no-op
+        // under level-triggered activation, so emit each target once.
+        let mut seen = std::collections::HashSet::new();
         for &q in follows {
-            a.add_edge(StateId::new(p), StateId::new(q as usize));
+            if seen.insert(q) {
+                a.add_edge(StateId::new(p), StateId::new(q as usize));
+            }
         }
     }
     for &p in &info.last {

@@ -12,6 +12,7 @@
 //! This crate is a facade that re-exports the workspace:
 //!
 //! * [`core`] — automata data model ([`azoo_core`])
+//! * [`analyze`] — lint rules & pass-invariant verification ([`azoo_analyze`])
 //! * [`passes`] — optimization & transformation passes ([`azoo_passes`])
 //! * [`regex`] — PCRE-subset → Glushkov NFA compiler ([`azoo_regex`])
 //! * [`engines`] — NFA / lazy-DFA / bit-parallel engines ([`azoo_engines`])
@@ -42,6 +43,7 @@
 //! assert!(bench.automaton.state_count() >= 10 * 17); // ten ~20-state chains
 //! ```
 
+pub use azoo_analyze as analyze;
 pub use azoo_core as core;
 pub use azoo_engines as engines;
 pub use azoo_ml as ml;

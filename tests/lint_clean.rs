@@ -1,0 +1,80 @@
+//! The lint-clean suite: every shipped automaton — all 25 generated zoo
+//! benchmarks and a spread of `azoo-regex`-compiled patterns — must
+//! produce **zero Error-level** diagnostics from `azoo-analyze`.
+//!
+//! Warnings are allowed (Snort's fan-out hotspots and the Random Forest
+//! report-code reuse are real properties of the paper's benchmarks, and
+//! flagging them is the point), but an Error here means a generator
+//! builds a structurally broken machine.
+
+use automatazoo::analyze::{analyze, Severity};
+use automatazoo::core::Automaton;
+use automatazoo::zoo::{BenchmarkId, Scale};
+
+fn errors_of(a: &Automaton) -> Vec<String> {
+    analyze(a)
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .map(ToString::to_string)
+        .collect()
+}
+
+#[test]
+fn every_zoo_benchmark_is_error_clean() {
+    for id in BenchmarkId::ALL {
+        let bench = id.build(Scale::Tiny);
+        let errors = errors_of(&bench.automaton);
+        assert!(
+            errors.is_empty(),
+            "{} has Error-level findings: {errors:?}",
+            id.name()
+        );
+    }
+}
+
+#[test]
+fn compiled_regex_examples_are_error_clean() {
+    // One pattern per syntax feature the compiler supports.
+    let patterns = [
+        r"cat",
+        r"/virus_[0-9]{4}/i",
+        r"a|b|cd",
+        r"x[^\n]*y",
+        r"(ab)+c?",
+        r"\x00\xff",
+        r"[a-fA-F0-9]{2,8}",
+        r"^anchored$",
+        r".\w\s\d",
+        r"(foo|bar)(baz)*qux",
+    ];
+    for (i, pat) in patterns.iter().enumerate() {
+        let a = automatazoo::regex::compile(pat, u32::try_from(i).expect("small"))
+            .unwrap_or_else(|e| panic!("{pat} failed to compile: {e}"));
+        let errors = errors_of(&a);
+        assert!(errors.is_empty(), "{pat} lints dirty: {errors:?}");
+    }
+}
+
+#[test]
+fn benchmarks_stay_error_clean_after_standard_passes() {
+    // The optimization pipeline must not introduce structural breakage
+    // either; spot-check a representative subset (regex-heavy, counter,
+    // and table-driven machines).
+    use automatazoo::passes::{merge_prefixes, remove_dead};
+    for id in [
+        BenchmarkId::Snort,
+        BenchmarkId::Hamming18x3,
+        BenchmarkId::ApPrng4,
+        BenchmarkId::RandomForestA,
+    ] {
+        let bench = id.build(Scale::Tiny);
+        let (merged, _) = merge_prefixes(&bench.automaton);
+        let pruned = remove_dead(&merged);
+        let errors = errors_of(&pruned);
+        assert!(
+            errors.is_empty(),
+            "{} lints dirty after passes: {errors:?}",
+            id.name()
+        );
+    }
+}

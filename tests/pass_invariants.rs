@@ -1,0 +1,155 @@
+//! Differential `verify_pass` tests: every transformation pass, run over
+//! proptest-generated automata, must hold its declared invariants —
+//! identical language samples pre/post (under the pass's input map),
+//! valid output, and no growth for the shrinking passes.
+//!
+//! This is the harness that guards the *next* pass anyone writes: a
+//! deliberately broken "pass" is included to prove the verifier can
+//! fail.
+
+use automatazoo::analyze::{verify_pass, InputMap, VerifySpec};
+use automatazoo::core::{Automaton, StartKind, StateId, SymbolClass};
+use automatazoo::passes::{
+    bit_pattern_chain, bits_of_bytes, merge_prefixes, merge_suffixes, remove_dead, stride8, widen,
+};
+use proptest::prelude::*;
+
+/// Random counter-free automata over a small alphabet (mirrors the
+/// generator in `properties.rs`, deduped edges so validation passes).
+fn arb_automaton() -> impl Strategy<Value = Automaton> {
+    let state = (
+        proptest::collection::vec(prop::bool::ANY, 4),
+        0..3u8,
+        proptest::option::of(0..8u32),
+    );
+    (
+        proptest::collection::vec(state, 1..10),
+        proptest::collection::vec((0..10usize, 0..10usize), 0..16),
+    )
+        .prop_map(|(states, edges)| {
+            let n = states.len();
+            let mut a = Automaton::new();
+            for (class_bits, start, report) in &states {
+                let mut class = SymbolClass::new();
+                for (i, &set) in class_bits.iter().enumerate() {
+                    if set {
+                        class.insert(b'a' + i as u8);
+                    }
+                }
+                if class.is_empty() {
+                    class.insert(b'a');
+                }
+                let start = match start {
+                    0 => StartKind::AllInput,
+                    1 => StartKind::StartOfData,
+                    _ => StartKind::None,
+                };
+                let id = a.add_ste(class, start);
+                if let Some(code) = report {
+                    a.set_report(id, *code);
+                }
+            }
+            let mut seen = std::collections::HashSet::new();
+            for &(from, to) in &edges {
+                if seen.insert((from % n, to % n)) {
+                    a.add_edge(StateId::new(from % n), StateId::new(to % n));
+                }
+            }
+            a
+        })
+        .prop_filter("needs a start state", |a| a.validate().is_ok())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn merge_prefixes_holds_invariants(a in arb_automaton()) {
+        let (merged, _) = merge_prefixes(&a);
+        let diags = verify_pass(&a, &merged, &VerifySpec::new("merge_prefixes").no_growth());
+        prop_assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn merge_suffixes_holds_invariants(a in arb_automaton()) {
+        let (merged, _) = merge_suffixes(&a);
+        let diags = verify_pass(&a, &merged, &VerifySpec::new("merge_suffixes").no_growth());
+        prop_assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn remove_dead_holds_invariants(a in arb_automaton()) {
+        let pruned = remove_dead(&a);
+        let diags = verify_pass(&a, &pruned, &VerifySpec::new("remove_dead").no_growth());
+        prop_assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn stride8_holds_invariants(pattern in proptest::collection::vec(prop::num::u8::ANY, 1..5)) {
+        // stride8 accepts bit-level machines; whole-byte patterns are the
+        // shape whose matches are exactly the byte-aligned ones (the
+        // Stride8 map's precondition).
+        let bits = bit_pattern_chain(&bits_of_bytes(&pattern), 0, StartKind::AllInput);
+        let bytes = stride8(&bits).expect("bit level");
+        let diags = verify_pass(
+            &bits,
+            &bytes,
+            &VerifySpec::new("stride8").map(InputMap::Stride8).samples(6).sample_len(32),
+        );
+        prop_assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn widen_holds_invariants(a in arb_automaton()) {
+        let wide = widen(&a).expect("no counters");
+        let diags = verify_pass(&a, &wide, &VerifySpec::new("widen").map(InputMap::Widen));
+        prop_assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn verifier_catches_a_broken_pass(a in arb_automaton()) {
+        // A "pass" that slaps a brand-new report code on state 0:
+        // structure stays valid and no sampling luck is needed — the
+        // report-code subset invariant catches it on every input.
+        let mut broken = a.clone();
+        broken.set_report(StateId::new(0), 999);
+        let diags = verify_pass(&a, &broken, &VerifySpec::new("bogus_code"));
+        prop_assert!(
+            diags.iter().any(|d| d.message.contains("code 999")),
+            "{diags:?}"
+        );
+    }
+}
+
+/// The acceptance-criterion case, concretely: a deliberately broken pass
+/// (retargets one report) is caught by `verify_pass`.
+#[test]
+fn verifier_catches_report_retarget() {
+    let mut a = Automaton::new();
+    let classes: Vec<SymbolClass> = b"abcd".iter().map(|&b| SymbolClass::from_byte(b)).collect();
+    let (first, last) = a.add_chain(&classes, StartKind::AllInput);
+    a.set_report(last, 7);
+    let mut broken = a.clone();
+    broken.element_mut(last).report = None;
+    broken.set_report(first, 7);
+    let diags = verify_pass(&a, &broken, &VerifySpec::new("retarget"));
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.rule == "pass-invariant" && d.message.contains("language mismatch")),
+        "{diags:?}"
+    );
+}
+
+/// And the opposite: the identity "pass" verifies clean on a benchmark.
+#[test]
+fn identity_pass_verifies_clean_on_benchmark() {
+    use automatazoo::zoo::{BenchmarkId, Scale};
+    let bench = BenchmarkId::Hamming18x3.build(Scale::Tiny);
+    let diags = verify_pass(
+        &bench.automaton,
+        &bench.automaton,
+        &VerifySpec::new("identity").no_growth().samples(4),
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}

@@ -45,8 +45,13 @@ fn arb_automaton() -> impl Strategy<Value = Automaton> {
                     a.set_report(id, *code);
                 }
             }
+            let mut seen = std::collections::HashSet::new();
             for &(from, to) in &edges {
-                a.add_edge(StateId::new(from % n), StateId::new(to % n));
+                // Duplicate edges are a validation error; dedup here so the
+                // prop_filter below rarely rejects.
+                if seen.insert((from % n, to % n)) {
+                    a.add_edge(StateId::new(from % n), StateId::new(to % n));
+                }
             }
             a
         })
