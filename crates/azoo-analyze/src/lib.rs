@@ -28,8 +28,11 @@
 //! use azoo_core::{Automaton, StartKind, SymbolClass};
 //!
 //! let mut a = Automaton::new();
-//! let s = a.add_ste(SymbolClass::from_byte(b'x'), StartKind::AllInput);
-//! a.set_report(s, 0);
+//! let (_, last) = a.add_chain(
+//!     &[SymbolClass::from_byte(b'o'), SymbolClass::from_byte(b'k')],
+//!     StartKind::AllInput,
+//! );
+//! a.set_report(last, 0);
 //! assert!(analyze(&a).is_empty());
 //!
 //! // An orphan state draws a Warn-level diagnostic.

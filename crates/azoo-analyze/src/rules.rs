@@ -127,6 +127,11 @@ pub const RULES: &[Rule] = &[
         severity: Severity::Warn,
         summary: "bit-level symbol classes are mixed into a byte-level machine",
     },
+    Rule {
+        id: "prefilterable",
+        severity: Severity::Warn,
+        summary: "a reporting component cannot be gated by the literal prefilter",
+    },
 ];
 
 /// Looks up a rule by id.
@@ -231,6 +236,7 @@ pub fn analyze_with(a: &Automaton, cfg: &LintConfig) -> Vec<Diagnostic> {
     check_all_input_explosion(a, cfg, &mut em);
     check_nfa_hotspots(a, cfg, &mut em);
     check_bit_residue(a, &mut em);
+    check_prefilterable(a, &mut em);
     em.finish()
 }
 
@@ -493,6 +499,35 @@ fn check_nfa_hotspots(a: &Automaton, cfg: &LintConfig, em: &mut Emitter<'_>) {
     }
 }
 
+/// Documents literal-prefilter coverage: every *reporting* component the
+/// prefilter cannot gate gets one finding naming the blocker, so
+/// `azoo-lint --bench all` shows which parts of the suite fall back to
+/// full simulation. Fully gated automata stay clean.
+fn check_prefilterable(a: &Automaton, em: &mut Emitter<'_>) {
+    use azoo_core::stats::{prefilter_analysis, PrefilterBlock, MIN_PREFILTER_LITERAL};
+    for cp in prefilter_analysis(a) {
+        if !cp.reporting || cp.is_prefilterable() {
+            continue;
+        }
+        let detail = match (cp.block, cp.weak) {
+            (Some(PrefilterBlock::WeakLiteral), Some((state, len))) => format!(
+                "required literal at report state {} is only {len} byte(s) long (need >= {MIN_PREFILTER_LITERAL})",
+                state.index()
+            ),
+            (Some(block), _) => block.to_string(),
+            (None, _) => continue,
+        };
+        em.emit(
+            "prefilterable",
+            Some(cp.first_state),
+            format!(
+                "component of {} state(s) cannot be literal-prefiltered ({detail}); it falls back to full simulation",
+                cp.states
+            ),
+        );
+    }
+}
+
 fn check_bit_residue(a: &Automaton, em: &mut Emitter<'_>) {
     let mut bit_level = 0usize;
     let mut byte_level = 0usize;
@@ -723,6 +758,45 @@ mod tests {
         // A purely bit-level machine is fine.
         let b = chain(&[0, 1, 1], StartKind::AllInput);
         assert!(!rules_of(&analyze(&b)).contains(&"bit-residue"));
+    }
+
+    #[test]
+    fn prefilterable_flags_blocked_components_with_reason() {
+        // Literal chain: gated, no finding.
+        let clean = chain(b"cat", StartKind::AllInput);
+        assert!(!rules_of(&analyze(&clean)).contains(&"prefilterable"));
+        // Counter component: blocked, one finding naming the counter.
+        let mut a = chain(b"cat", StartKind::AllInput);
+        let s = a.add_ste(SymbolClass::from_byte(b'k'), StartKind::AllInput);
+        let c = a.add_counter(3, CounterMode::Latch);
+        a.add_edge(s, c);
+        a.add_reset_edge(s, c);
+        a.set_report(c, 1);
+        let diags = analyze(&a);
+        let finding = diags
+            .iter()
+            .find(|d| d.rule == "prefilterable")
+            .expect("counter component must be flagged");
+        assert!(finding.message.contains("counter"), "{}", finding.message);
+        // A single-byte reporter: blocked with the weak-literal length.
+        let mut b = Automaton::new();
+        let z = b.add_ste(SymbolClass::from_byte(b'z'), StartKind::AllInput);
+        b.set_report(z, 0);
+        let diags = analyze(&b);
+        let finding = diags
+            .iter()
+            .find(|d| d.rule == "prefilterable")
+            .expect("weak literal must be flagged");
+        assert!(
+            finding.message.contains("only 1 byte"),
+            "{}",
+            finding.message
+        );
+        // Non-reporting components are never flagged.
+        let mut n = Automaton::new();
+        n.add_ste(SymbolClass::from_byte(b'q'), StartKind::AllInput);
+        let diags = analyze(&n);
+        assert!(!rules_of(&diags).contains(&"prefilterable"));
     }
 
     #[test]

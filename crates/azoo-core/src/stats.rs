@@ -195,6 +195,279 @@ pub fn longest_path_from_starts(a: &Automaton) -> Option<usize> {
     Some(best)
 }
 
+/// Shortest required literal worth prefiltering on. One-byte literals hit
+/// on random input every ~256 symbols, which costs more in window
+/// re-simulation than full scanning saves.
+pub const MIN_PREFILTER_LITERAL: usize = 2;
+
+/// Longest literal suffix extracted per report state. Selectivity gains
+/// flatten out quickly with length, while the literal matcher's memory is
+/// proportional to total literal bytes.
+pub const MAX_PREFILTER_LITERAL: usize = 8;
+
+/// Why a component is excluded from literal prefiltering and must be
+/// scanned by full simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrefilterBlock {
+    /// Contains a counter element, whose state depends on the entire
+    /// input prefix — no bounded window reproduces it.
+    Counter,
+    /// Contains a `StartOfData` anchor; a cold-started window would
+    /// wrongly re-arm the anchor mid-stream.
+    StartOfData,
+    /// A cycle is reachable from a start state, so matches have no
+    /// finite span and no window bound exists.
+    Cycle,
+    /// Some reachable report state has no required literal of at least
+    /// [`MIN_PREFILTER_LITERAL`] bytes ending at it.
+    WeakLiteral,
+}
+
+impl std::fmt::Display for PrefilterBlock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            PrefilterBlock::Counter => "counter element",
+            PrefilterBlock::StartOfData => "start-of-data anchor",
+            PrefilterBlock::Cycle => "cycle reachable from start",
+            PrefilterBlock::WeakLiteral => "no required literal",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Per-component result of [`prefilter_analysis`].
+#[derive(Debug, Clone)]
+pub struct ComponentPrefilter {
+    /// Dense component label, as assigned by [`component_labels`].
+    pub component: usize,
+    /// Smallest state id in the component (diagnostic anchor).
+    pub first_state: StateId,
+    /// States in the component.
+    pub states: usize,
+    /// Longest start-rooted path in states — the match-span bound — when
+    /// the component is acyclic from its starts.
+    pub window: Option<usize>,
+    /// Whether any reachable element reports. A component that never
+    /// reports needs no scanning at all.
+    pub reporting: bool,
+    /// One required literal per reachable report state (deduplicated),
+    /// each ending exactly at the match offset; `None` when the
+    /// component is not prefilterable. Empty for non-reporting
+    /// components (nothing to find).
+    pub literals: Option<Vec<Vec<u8>>>,
+    /// Why `literals` is `None`.
+    pub block: Option<PrefilterBlock>,
+    /// For [`PrefilterBlock::WeakLiteral`]: the first report state whose
+    /// required factor fell short, and that factor's length.
+    pub weak: Option<(StateId, usize)>,
+}
+
+impl ComponentPrefilter {
+    /// Whether a literal prefilter can stand in for full simulation of
+    /// this component.
+    pub fn is_prefilterable(&self) -> bool {
+        self.literals.is_some()
+    }
+}
+
+/// Required-literal prefilter analysis, per weakly connected component.
+///
+/// For every reachable report state `r` of a counter-free, unanchored,
+/// acyclic-from-starts component, walks backwards from `r` through
+/// singleton-class states with a unique reachable predecessor. Every
+/// accepting path for `r` must traverse that chain immediately before
+/// reaching `r` (each step's state either begins paths itself — a start
+/// state — or forces all paths through its sole predecessor), so the
+/// collected bytes form a **required factor** of every match, ending at
+/// the match offset. A match reported at offset `p` therefore implies a
+/// literal occurrence ending at `p`, and the component only needs to be
+/// simulated inside a `window`-bounded region before each occurrence.
+///
+/// A component qualifies only when *all* of its reachable report states
+/// yield a literal of at least [`MIN_PREFILTER_LITERAL`] bytes
+/// (truncated to the last [`MAX_PREFILTER_LITERAL`]); otherwise some
+/// matches would escape the filter and it falls back to full simulation.
+pub fn prefilter_analysis(a: &Automaton) -> Vec<ComponentPrefilter> {
+    let labels = component_labels(a);
+    let ncomp = labels.iter().copied().max().map_or(0, |m| m + 1);
+    let reachable = reachable_from_starts(a);
+    let windows = component_windows(a, &labels, ncomp);
+    let preds = a.predecessors();
+
+    let mut first_state = vec![usize::MAX; ncomp];
+    let mut states = vec![0usize; ncomp];
+    let mut has_counter = vec![false; ncomp];
+    let mut has_sod = vec![false; ncomp];
+    let mut reporting = vec![false; ncomp];
+    for (id, e) in a.iter() {
+        let c = labels[id.index()];
+        first_state[c] = first_state[c].min(id.index());
+        states[c] += 1;
+        if e.is_counter() {
+            has_counter[c] = true;
+        }
+        if e.start_kind() == crate::element::StartKind::StartOfData {
+            has_sod[c] = true;
+        }
+        if e.report.is_some() && reachable[id.index()] {
+            reporting[c] = true;
+        }
+    }
+
+    let mut out = Vec::with_capacity(ncomp);
+    for c in 0..ncomp {
+        let block = if !reporting[c] {
+            // Nothing observable can ever happen: prefilterable with an
+            // empty literal set (the component is simply dropped).
+            None
+        } else if has_counter[c] {
+            Some(PrefilterBlock::Counter)
+        } else if has_sod[c] {
+            Some(PrefilterBlock::StartOfData)
+        } else if windows[c].is_none() {
+            Some(PrefilterBlock::Cycle)
+        } else {
+            None
+        };
+        out.push(ComponentPrefilter {
+            component: c,
+            first_state: StateId::new(first_state[c]),
+            states: states[c],
+            window: windows[c],
+            reporting: reporting[c],
+            literals: if block.is_none() {
+                Some(Vec::new())
+            } else {
+                None
+            },
+            block,
+            weak: None,
+        });
+    }
+
+    // Literal extraction for the surviving reporting components.
+    for (id, e) in a.iter() {
+        let c = labels[id.index()];
+        if e.report.is_none() || !reachable[id.index()] || !reporting[c] {
+            continue;
+        }
+        let Some(lits) = out[c].literals.as_mut() else {
+            continue;
+        };
+        let lit = required_suffix_literal(a, &preds, &reachable, id);
+        if lit.len() < MIN_PREFILTER_LITERAL {
+            out[c].literals = None;
+            out[c].block = Some(PrefilterBlock::WeakLiteral);
+            out[c].weak = Some((id, lit.len()));
+        } else {
+            lits.push(lit);
+        }
+    }
+    for cp in &mut out {
+        if let Some(lits) = cp.literals.as_mut() {
+            lits.sort_unstable();
+            lits.dedup();
+        }
+    }
+    out
+}
+
+/// The bytes every accepting path must consume immediately before
+/// reporting at `r` (last byte = the match offset), capped at
+/// [`MAX_PREFILTER_LITERAL`]. Empty when `r`'s own class is not a
+/// single byte.
+fn required_suffix_literal(
+    a: &Automaton,
+    preds: &[Vec<(StateId, crate::element::Port)>],
+    reachable: &[bool],
+    r: StateId,
+) -> Vec<u8> {
+    let mut lit = Vec::new();
+    let mut cur = r;
+    loop {
+        let e = a.element(cur);
+        let Some(class) = e.class() else { break };
+        if class.len() != 1 {
+            break;
+        }
+        let Some(b) = class.iter().next() else { break };
+        lit.push(b);
+        // A start state begins paths itself: bytes before it are not
+        // required. (The walk stays inside the reachable subgraph, which
+        // is acyclic for the components this is called on, so it
+        // terminates.)
+        if lit.len() == MAX_PREFILTER_LITERAL || e.start_kind() != crate::element::StartKind::None {
+            break;
+        }
+        let mut unique = None;
+        for &(p, _) in &preds[cur.index()] {
+            if !reachable[p.index()] {
+                continue;
+            }
+            if unique.is_some() {
+                unique = None;
+                break;
+            }
+            unique = Some(p);
+        }
+        match unique {
+            Some(p) if p != cur => cur = p,
+            _ => break,
+        }
+    }
+    lit.reverse();
+    lit
+}
+
+/// Per-component variant of [`longest_path_from_starts`]: a cycle in one
+/// component yields `None` for that component only.
+fn component_windows(a: &Automaton, labels: &[usize], ncomp: usize) -> Vec<Option<usize>> {
+    const WHITE: u8 = 0;
+    const GRAY: u8 = 1;
+    const BLACK: u8 = 2;
+    let n = a.state_count();
+    let mut color = vec![WHITE; n];
+    let mut depth = vec![0usize; n];
+    let mut cyclic = vec![false; ncomp];
+    let mut best = vec![0usize; ncomp];
+    let mut stack: Vec<(usize, usize)> = Vec::new();
+    for start in a.start_states() {
+        let s = start.index();
+        if color[s] == BLACK {
+            best[labels[s]] = best[labels[s]].max(depth[s]);
+            continue;
+        }
+        color[s] = GRAY;
+        stack.push((s, 0));
+        while let Some(frame) = stack.last_mut() {
+            let (v, ei) = *frame;
+            let succs = a.successors(StateId::new(v));
+            if ei < succs.len() {
+                frame.1 += 1;
+                let t = succs[ei].to.index();
+                match color[t] {
+                    WHITE => {
+                        color[t] = GRAY;
+                        stack.push((t, 0));
+                    }
+                    // Back edge: mark the component cyclic and keep
+                    // going — other components still need their bound.
+                    GRAY => cyclic[labels[t]] = true,
+                    _ => {}
+                }
+            } else {
+                depth[v] = 1 + succs.iter().map(|e| depth[e.to.index()]).max().unwrap_or(0);
+                color[v] = BLACK;
+                stack.pop();
+            }
+        }
+        best[labels[s]] = best[labels[s]].max(depth[s]);
+    }
+    (0..ncomp)
+        .map(|c| if cyclic[c] { None } else { Some(best[c]) })
+        .collect()
+}
+
 struct UnionFind {
     parent: Vec<u32>,
 }
@@ -334,6 +607,145 @@ mod tests {
     #[test]
     fn empty_automaton_has_zero_path() {
         assert_eq!(longest_path_from_starts(&Automaton::new()), Some(0));
+    }
+
+    fn word(a: &mut Automaton, w: &[u8], code: u32) {
+        let classes: Vec<SymbolClass> = w.iter().map(|&b| SymbolClass::from_byte(b)).collect();
+        let (_, last) = a.add_chain(&classes, StartKind::AllInput);
+        a.set_report(last, code);
+    }
+
+    #[test]
+    fn literal_chain_is_fully_extracted() {
+        let mut a = Automaton::new();
+        word(&mut a, b"admin", 0);
+        let pf = prefilter_analysis(&a);
+        assert_eq!(pf.len(), 1);
+        assert!(pf[0].is_prefilterable());
+        assert_eq!(pf[0].window, Some(5));
+        assert_eq!(pf[0].literals, Some(vec![b"admin".to_vec()]));
+    }
+
+    #[test]
+    fn long_literals_keep_their_suffix() {
+        let mut a = Automaton::new();
+        word(&mut a, b"0123456789abcdef", 0);
+        let pf = prefilter_analysis(&a);
+        assert_eq!(pf[0].literals, Some(vec![b"89abcdef".to_vec()]));
+        assert_eq!(pf[0].window, Some(16));
+    }
+
+    #[test]
+    fn fanout_stops_the_walk_at_the_join() {
+        // Two prefixes share a reporting suffix "xy": every path still
+        // ends in "xy", but nothing longer is required.
+        let mut a = Automaton::new();
+        let p1 = a.add_ste(SymbolClass::from_byte(b'a'), StartKind::AllInput);
+        let p2 = a.add_ste(SymbolClass::from_byte(b'b'), StartKind::AllInput);
+        let x = a.add_ste(SymbolClass::from_byte(b'x'), StartKind::None);
+        let y = a.add_ste(SymbolClass::from_byte(b'y'), StartKind::None);
+        a.add_edge(p1, x);
+        a.add_edge(p2, x);
+        a.add_edge(x, y);
+        a.set_report(y, 0);
+        let pf = prefilter_analysis(&a);
+        assert_eq!(pf[0].literals, Some(vec![b"xy".to_vec()]));
+    }
+
+    #[test]
+    fn wide_class_at_report_blocks_prefilter() {
+        let mut a = Automaton::new();
+        let s = a.add_ste(SymbolClass::from_byte(b'a'), StartKind::AllInput);
+        let t = a.add_ste(SymbolClass::from_range(b'0', b'9'), StartKind::None);
+        a.add_edge(s, t);
+        a.set_report(t, 0);
+        let pf = prefilter_analysis(&a);
+        assert!(!pf[0].is_prefilterable());
+        assert_eq!(pf[0].block, Some(PrefilterBlock::WeakLiteral));
+    }
+
+    #[test]
+    fn counters_anchors_and_cycles_block() {
+        use crate::element::CounterMode;
+        let mut a = Automaton::new();
+        // Component 0: counter.
+        let s = a.add_ste(SymbolClass::from_byte(b'k'), StartKind::AllInput);
+        let c = a.add_counter(3, CounterMode::Latch);
+        a.add_edge(s, c);
+        a.set_report(c, 0);
+        // Component 1: start-of-data anchor.
+        let mut b = Automaton::new();
+        let (_, last) = b.add_chain(
+            &[SymbolClass::from_byte(b'q'), SymbolClass::from_byte(b'r')],
+            StartKind::StartOfData,
+        );
+        b.set_report(last, 1);
+        a.append(&b);
+        // Component 2: cycle.
+        let mut d = Automaton::new();
+        let (first, last) = d.add_chain(
+            &[SymbolClass::from_byte(b'm'), SymbolClass::from_byte(b'n')],
+            StartKind::AllInput,
+        );
+        d.add_edge(last, first);
+        d.set_report(last, 2);
+        a.append(&d);
+        // Component 3: still fine.
+        word(&mut a, b"ok_literal", 3);
+        let pf = prefilter_analysis(&a);
+        assert_eq!(pf.len(), 4);
+        assert_eq!(pf[0].block, Some(PrefilterBlock::Counter));
+        assert_eq!(pf[1].block, Some(PrefilterBlock::StartOfData));
+        assert_eq!(pf[2].block, Some(PrefilterBlock::Cycle));
+        assert_eq!(pf[2].window, None);
+        assert!(pf[3].is_prefilterable());
+        assert_eq!(pf[3].window, Some(10));
+    }
+
+    #[test]
+    fn cycle_in_one_component_spares_the_others() {
+        let mut a = chain(3);
+        a.add_edge(StateId::new(2), StateId::new(0));
+        let mut b = Automaton::new();
+        word(&mut b, b"hello", 9);
+        a.append(&b);
+        let pf = prefilter_analysis(&a);
+        assert_eq!(pf[0].window, None);
+        assert_eq!(pf[1].window, Some(5));
+    }
+
+    #[test]
+    fn reportless_components_are_droppable() {
+        let a = chain(4); // no report state at all
+        let pf = prefilter_analysis(&a);
+        assert!(!pf[0].reporting);
+        assert!(pf[0].is_prefilterable());
+        assert_eq!(pf[0].literals, Some(vec![]));
+    }
+
+    #[test]
+    fn duplicate_literals_are_deduped() {
+        let mut a = Automaton::new();
+        word(&mut a, b"same", 0);
+        let mut b = Automaton::new();
+        word(&mut b, b"same", 1);
+        // Join them into one component via a shared tail state.
+        a.append(&b);
+        let bridge = a.add_ste(SymbolClass::from_byte(b'!'), StartKind::None);
+        a.add_edge(StateId::new(3), bridge);
+        a.add_edge(StateId::new(7), bridge);
+        let pf = prefilter_analysis(&a);
+        assert_eq!(pf.len(), 1);
+        assert_eq!(pf[0].literals, Some(vec![b"same".to_vec()]));
+    }
+
+    #[test]
+    fn report_state_that_is_also_start_yields_single_byte() {
+        let mut a = Automaton::new();
+        let s = a.add_ste(SymbolClass::from_byte(b'z'), StartKind::AllInput);
+        a.set_report(s, 0);
+        let pf = prefilter_analysis(&a);
+        assert_eq!(pf[0].block, Some(PrefilterBlock::WeakLiteral));
     }
 
     #[test]

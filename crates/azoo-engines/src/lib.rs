@@ -14,6 +14,10 @@
 //! * [`BitParallelEngine`] — a dense multi-pattern Shift-And engine for
 //!   chain-shaped automata (e.g. Random Forest leaf chains), processing
 //!   64 states per machine word per symbol.
+//! * [`PrefilterEngine`] — a literal-prefilter engine: components whose
+//!   matches must contain a *required literal* are gated behind an
+//!   Aho–Corasick trigger and simulated only in a bounded window around
+//!   each candidate hit; everything else falls back to full simulation.
 //! * [`ParallelScanner`] — a multi-threaded wrapper that shards the
 //!   automaton by connected component and (where sound) chunks the input
 //!   across workers, merging reports into the canonical sorted stream.
@@ -43,8 +47,11 @@
 
 mod bitpar;
 mod lazy_dfa;
+mod literal;
+mod memchr;
 mod nfa;
 mod parallel;
+mod prefilter;
 mod profile;
 mod report_stats;
 mod select;
@@ -53,8 +60,10 @@ mod stream;
 
 pub use bitpar::BitParallelEngine;
 pub use lazy_dfa::LazyDfaEngine;
+pub use literal::{AhoCorasick, LiteralHit};
 pub use nfa::NfaEngine;
 pub use parallel::ParallelScanner;
+pub use prefilter::{PrefilterEngine, PREFILTER_COVERAGE_GATE};
 pub use profile::Profile;
 pub use report_stats::ReportStats;
 pub use select::{select_engine, select_engine_threaded, EngineChoice};

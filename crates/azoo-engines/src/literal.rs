@@ -1,0 +1,228 @@
+//! A dense Aho–Corasick multi-literal matcher.
+//!
+//! This is the trigger stage of the prefilter engine: it reports the
+//! *end offset* of every occurrence of every literal, tagged with the
+//! pattern's id. Fail links are folded into the transition table at
+//! build time (the "DFA" Aho–Corasick variant), so the scan loop is one
+//! table load per byte, and the matcher streams trivially — the current
+//! node is the whole cross-chunk state.
+
+/// An occurrence of pattern `pattern` whose last byte is at `end`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LiteralHit {
+    /// Offset of the occurrence's final byte.
+    pub end: u64,
+    /// Index of the matched pattern, as passed to [`AhoCorasick::new`].
+    pub pattern: u32,
+}
+
+/// Dense-transition Aho–Corasick automaton over byte literals.
+#[derive(Debug, Clone)]
+pub struct AhoCorasick {
+    /// `next[node * 256 + byte]` — goto with fail links pre-applied.
+    next: Vec<u32>,
+    /// CSR output lists: patterns ending at each node (own plus
+    /// fail-chain outputs, merged at build time).
+    out_off: Vec<u32>,
+    out_pat: Vec<u32>,
+    /// Current node for streaming scans.
+    state: u32,
+    /// Length of the longest pattern.
+    max_len: usize,
+}
+
+impl AhoCorasick {
+    /// Builds the matcher. Empty patterns are ignored (they would match
+    /// everywhere and carry no filtering power).
+    pub fn new<P: AsRef<[u8]>>(patterns: &[P]) -> AhoCorasick {
+        // Trie construction.
+        let mut next: Vec<u32> = vec![0; 256]; // node 0 = root
+        let mut outs: Vec<Vec<u32>> = vec![Vec::new()];
+        for (pi, p) in patterns.iter().enumerate() {
+            let bytes = p.as_ref();
+            if bytes.is_empty() {
+                continue;
+            }
+            let mut node = 0usize;
+            for &b in bytes {
+                let slot = node * 256 + b as usize;
+                if next[slot] == 0 {
+                    let fresh = outs.len() as u32;
+                    next[slot] = fresh;
+                    next.resize(next.len() + 256, 0);
+                    outs.push(Vec::new());
+                    node = fresh as usize;
+                } else {
+                    node = next[slot] as usize;
+                }
+            }
+            outs[node].push(pi as u32);
+        }
+        // BFS fail links; fold them into the table as we go (a parent's
+        // row is final before its children are visited) and merge output
+        // lists down the fail chain.
+        let nodes = outs.len();
+        let mut fail = vec![0u32; nodes];
+        let mut queue = std::collections::VecDeque::new();
+        for &t in &next[..256] {
+            if t != 0 {
+                queue.push_back(t);
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            let u = u as usize;
+            let f = fail[u] as usize;
+            if !outs[f].is_empty() {
+                let inherited = outs[f].clone();
+                outs[u].extend(inherited);
+            }
+            for b in 0..256usize {
+                let t = next[u * 256 + b];
+                if t != 0 {
+                    fail[t as usize] = next[f * 256 + b];
+                    queue.push_back(t);
+                } else {
+                    next[u * 256 + b] = next[f * 256 + b];
+                }
+            }
+        }
+        let mut out_off = Vec::with_capacity(nodes + 1);
+        let mut out_pat = Vec::new();
+        out_off.push(0);
+        for o in &outs {
+            out_pat.extend_from_slice(o);
+            out_off.push(out_pat.len() as u32);
+        }
+        AhoCorasick {
+            next,
+            out_off,
+            out_pat,
+            state: 0,
+            max_len: patterns.iter().map(|p| p.as_ref().len()).max().unwrap_or(0),
+        }
+    }
+
+    /// Length of the longest pattern.
+    pub fn max_pattern_len(&self) -> usize {
+        self.max_len
+    }
+
+    /// Number of trie nodes (root included).
+    pub fn node_count(&self) -> usize {
+        self.out_off.len() - 1
+    }
+
+    /// Rewinds the streaming state to the root.
+    pub fn reset(&mut self) {
+        self.state = 0;
+    }
+
+    /// Feeds one chunk; hit offsets are `base` plus the in-chunk index.
+    /// Matcher state carries over to the next call, so literals spanning
+    /// chunk boundaries are found.
+    pub fn feed(&mut self, chunk: &[u8], base: u64, hits: &mut Vec<LiteralHit>) {
+        let mut node = self.state as usize;
+        for (i, &b) in chunk.iter().enumerate() {
+            node = self.next[node * 256 + b as usize] as usize;
+            let lo = self.out_off[node] as usize;
+            let hi = self.out_off[node + 1] as usize;
+            for oi in lo..hi {
+                hits.push(LiteralHit {
+                    end: base + i as u64,
+                    pattern: self.out_pat[oi],
+                });
+            }
+        }
+        self.state = node as u32;
+    }
+
+    /// One-shot scan of a whole input.
+    pub fn find_all(&mut self, hay: &[u8]) -> Vec<LiteralHit> {
+        self.reset();
+        let mut hits = Vec::new();
+        self.feed(hay, 0, &mut hits);
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(patterns: &[&[u8]], hay: &[u8]) -> Vec<LiteralHit> {
+        let mut hits = Vec::new();
+        for (i, &b) in hay.iter().enumerate() {
+            let _ = b;
+            for (pi, p) in patterns.iter().enumerate() {
+                if i + 1 >= p.len() && hay[i + 1 - p.len()..=i] == **p {
+                    hits.push(LiteralHit {
+                        end: i as u64,
+                        pattern: pi as u32,
+                    });
+                }
+            }
+        }
+        hits
+    }
+
+    fn sorted(mut v: Vec<LiteralHit>) -> Vec<(u64, u32)> {
+        v.sort_by_key(|h| (h.end, h.pattern));
+        v.into_iter().map(|h| (h.end, h.pattern)).collect()
+    }
+
+    #[test]
+    fn finds_overlapping_and_nested_patterns() {
+        let patterns: Vec<&[u8]> = vec![b"he", b"she", b"his", b"hers"];
+        let mut ac = AhoCorasick::new(&patterns);
+        let hay = b"ushers and his head";
+        assert_eq!(sorted(ac.find_all(hay)), sorted(naive(&patterns, hay)));
+    }
+
+    #[test]
+    fn repeated_and_self_overlapping() {
+        let patterns: Vec<&[u8]> = vec![b"aa", b"aaa"];
+        let mut ac = AhoCorasick::new(&patterns);
+        let hay = b"aaaaa";
+        assert_eq!(sorted(ac.find_all(hay)), sorted(naive(&patterns, hay)));
+    }
+
+    #[test]
+    fn streaming_matches_whole_at_every_cut() {
+        let patterns: Vec<&[u8]> = vec![b"chunk", b"unk", b"boundary"];
+        let hay = b"achunkyboundarychunk";
+        let mut whole = AhoCorasick::new(&patterns);
+        let expect = sorted(whole.find_all(hay));
+        for cut in 0..=hay.len() {
+            let mut ac = AhoCorasick::new(&patterns);
+            ac.reset();
+            let mut hits = Vec::new();
+            ac.feed(&hay[..cut], 0, &mut hits);
+            ac.feed(&hay[cut..], cut as u64, &mut hits);
+            assert_eq!(sorted(hits), expect, "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn duplicate_patterns_report_both_ids() {
+        let patterns: Vec<&[u8]> = vec![b"dup", b"dup"];
+        let mut ac = AhoCorasick::new(&patterns);
+        let hits = ac.find_all(b"dup");
+        assert_eq!(sorted(hits), vec![(2, 0), (2, 1)]);
+    }
+
+    #[test]
+    fn empty_patterns_are_ignored() {
+        let patterns: Vec<&[u8]> = vec![b"", b"x"];
+        let mut ac = AhoCorasick::new(&patterns);
+        assert_eq!(sorted(ac.find_all(b"axa")), vec![(1, 1)]);
+        assert_eq!(ac.max_pattern_len(), 1);
+    }
+
+    #[test]
+    fn binary_bytes_work() {
+        let patterns: Vec<&[u8]> = vec![&[0x00, 0xff], &[0xff, 0x00]];
+        let mut ac = AhoCorasick::new(&patterns);
+        let hay = [0x00u8, 0xff, 0x00, 0xff];
+        assert_eq!(sorted(ac.find_all(&hay)), sorted(naive(&patterns, &hay)));
+    }
+}

@@ -1,0 +1,159 @@
+//! Hand-rolled byte search: SWAR `memchr`/`memchr2`/`memchr3` plus a
+//! table-driven skip loop.
+//!
+//! The workspace vendors no `memchr` crate, and the quiescent-skip fast
+//! path needs exactly these primitives: find the next byte (out of a
+//! small set, or out of an arbitrary 256-entry table) that can wake an
+//! empty active set.
+
+const LO: u64 = 0x0101_0101_0101_0101;
+const HI: u64 = 0x8080_8080_8080_8080;
+
+#[inline]
+fn splat(b: u8) -> u64 {
+    LO * b as u64
+}
+
+/// Sets `0x80` in every byte of `x` that is zero. Borrow propagation can
+/// also set bits in bytes *above* the first zero byte, but never below
+/// it, so the lowest set bit always marks the true first zero — which is
+/// all a first-match search needs.
+#[inline]
+fn zero_bytes(x: u64) -> u64 {
+    x.wrapping_sub(LO) & !x & HI
+}
+
+#[inline]
+fn first_index(mask: u64, off: usize) -> usize {
+    // Words are loaded little-endian, so the lowest set bit is the
+    // earliest byte regardless of host endianness.
+    off + (mask.trailing_zeros() / 8) as usize
+}
+
+/// Index of the first occurrence of `n0` in `hay`.
+pub fn memchr(n0: u8, hay: &[u8]) -> Option<usize> {
+    let s0 = splat(n0);
+    let mut chunks = hay.chunks_exact(8);
+    let mut off = 0;
+    for ch in &mut chunks {
+        let w = u64::from_le_bytes(ch.try_into().expect("8-byte chunk"));
+        let m = zero_bytes(w ^ s0);
+        if m != 0 {
+            return Some(first_index(m, off));
+        }
+        off += 8;
+    }
+    chunks
+        .remainder()
+        .iter()
+        .position(|&b| b == n0)
+        .map(|i| off + i)
+}
+
+/// Index of the first occurrence of `n0` or `n1` in `hay`.
+pub fn memchr2(n0: u8, n1: u8, hay: &[u8]) -> Option<usize> {
+    let (s0, s1) = (splat(n0), splat(n1));
+    let mut chunks = hay.chunks_exact(8);
+    let mut off = 0;
+    for ch in &mut chunks {
+        let w = u64::from_le_bytes(ch.try_into().expect("8-byte chunk"));
+        let m = zero_bytes(w ^ s0) | zero_bytes(w ^ s1);
+        if m != 0 {
+            return Some(first_index(m, off));
+        }
+        off += 8;
+    }
+    chunks
+        .remainder()
+        .iter()
+        .position(|&b| b == n0 || b == n1)
+        .map(|i| off + i)
+}
+
+/// Index of the first occurrence of `n0`, `n1` or `n2` in `hay`.
+pub fn memchr3(n0: u8, n1: u8, n2: u8, hay: &[u8]) -> Option<usize> {
+    let (s0, s1, s2) = (splat(n0), splat(n1), splat(n2));
+    let mut chunks = hay.chunks_exact(8);
+    let mut off = 0;
+    for ch in &mut chunks {
+        let w = u64::from_le_bytes(ch.try_into().expect("8-byte chunk"));
+        let m = zero_bytes(w ^ s0) | zero_bytes(w ^ s1) | zero_bytes(w ^ s2);
+        if m != 0 {
+            return Some(first_index(m, off));
+        }
+        off += 8;
+    }
+    chunks
+        .remainder()
+        .iter()
+        .position(|&b| b == n0 || b == n1 || b == n2)
+        .map(|i| off + i)
+}
+
+/// Index of the first byte of `hay` whose `table` entry is set.
+pub fn find_in_table(table: &[bool; 256], hay: &[u8]) -> Option<usize> {
+    hay.iter().position(|&b| table[b as usize])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(set: &[u8], hay: &[u8]) -> Option<usize> {
+        hay.iter().position(|b| set.contains(b))
+    }
+
+    #[test]
+    fn matches_naive_on_patterned_input() {
+        // Exercise every alignment and in-word position, including bytes
+        // adjacent to matches (the SWAR borrow-noise case).
+        let mut hay = Vec::new();
+        for i in 0..64u32 {
+            hay.push((i % 7) as u8);
+            hay.push(0);
+            hay.push(1);
+            hay.push((i % 3) as u8);
+        }
+        for start in 0..hay.len() {
+            let h = &hay[start..];
+            assert_eq!(memchr(5, h), naive(&[5], h), "start {start}");
+            assert_eq!(memchr2(5, 2, h), naive(&[5, 2], h));
+            assert_eq!(memchr3(5, 2, 6, h), naive(&[5, 2, 6], h));
+        }
+    }
+
+    #[test]
+    fn finds_every_position() {
+        for len in 0..24 {
+            for at in 0..len {
+                let mut hay = vec![b'.'; len];
+                hay[at] = b'X';
+                assert_eq!(memchr(b'X', &hay), Some(at));
+                assert_eq!(memchr2(b'X', b'Y', &hay), Some(at));
+                assert_eq!(memchr3(b'Y', b'Z', b'X', &hay), Some(at));
+            }
+        }
+        assert_eq!(memchr(b'X', b""), None);
+        assert_eq!(memchr(b'X', b"................."), None);
+    }
+
+    #[test]
+    fn high_bytes_and_zero_work() {
+        let hay = [0xffu8, 0x80, 0x7f, 0x00, 0x01, 0xfe];
+        assert_eq!(memchr(0x00, &hay), Some(3));
+        assert_eq!(memchr(0x80, &hay), Some(1));
+        assert_eq!(memchr(0x01, &hay), Some(4));
+        assert_eq!(memchr2(0xfe, 0x7f, &hay), Some(2));
+        assert_eq!(memchr3(0xfe, 0x01, 0x00, &hay), Some(3));
+    }
+
+    #[test]
+    fn table_search_matches_naive() {
+        let mut table = [false; 256];
+        table[7] = true;
+        table[200] = true;
+        let hay: Vec<u8> = (0u16..512).map(|i| (i % 251) as u8).collect();
+        assert_eq!(find_in_table(&table, &hay), naive(&[7, 200], &hay));
+        assert_eq!(find_in_table(&[false; 256], &hay), None);
+    }
+}

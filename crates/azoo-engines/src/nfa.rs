@@ -1,7 +1,8 @@
 //! The VASim-equivalent sparse active-set NFA engine.
 
-use azoo_core::{Automaton, CounterMode, ElementKind, StartKind};
+use azoo_core::{Automaton, CounterMode, ElementKind, StartKind, SymbolClass};
 
+use crate::memchr::{find_in_table, memchr, memchr2, memchr3};
 use crate::profile::Profile;
 use crate::sink::ReportSink;
 use crate::stream::StreamingEngine;
@@ -22,13 +23,26 @@ const PORT_BIT: u32 = 1 << 31;
 /// per-byte match list, and — following the VASim convention — are *not*
 /// counted in the [`Profile`]'s active set.
 ///
+/// When the dynamic active set is empty and no counter is latched, a
+/// symbol can only matter if it wakes an `AllInput` start state, so the
+/// engine jumps straight to the next byte in the precomputed *wake-up
+/// set* (SWAR `memchr` for up to three wake bytes, a table scan
+/// otherwise). The skip is exact — skipped symbols match nothing, report
+/// nothing and change no counter — and it carries across streaming
+/// `feed` chunks, since quiescence is engine state, not scan state.
+/// [`set_quiescent_skip`](NfaEngine::set_quiescent_skip) disables it for
+/// baseline measurements.
+///
 /// Reports are canonical: at most one report per `(offset, code)` pair,
 /// even when several reporting states share a code and match together.
 #[derive(Debug, Clone)]
 pub struct NfaEngine {
     n: usize,
-    classes: Vec<azoo_core::SymbolClass>,
+    classes: Vec<SymbolClass>,
     report_code: Vec<u32>,
+    /// Dense index of each state's report code (for the per-cycle stamp
+    /// table); `u32::MAX` for non-reporting states.
+    code_idx: Vec<u32>,
     report_eod: Vec<bool>,
     is_always: Vec<bool>,
     is_counter: Vec<bool>,
@@ -38,9 +52,14 @@ pub struct NfaEngine {
     succ_off: Vec<u32>,
     succ_tgt: Vec<u32>,
     sod_list: Vec<u32>,
-    always_by_byte: Vec<Vec<u32>>,
+    // CSR of `AllInput` states matching each byte value.
+    always_off: Vec<u32>,
+    always_dat: Vec<u32>,
     counters: Vec<CounterDef>,
     counter_elem_ids: Vec<u32>,
+    wake: WakeFinder,
+    wake_len: usize,
+    quiescent: bool,
 
     // Reusable runtime scratch.
     cur: Vec<u32>,
@@ -53,7 +72,9 @@ pub struct NfaEngine {
     cnt_reset: Vec<bool>,
     touched: Vec<u32>,
     latched_list: Vec<u32>,
-    cycle_codes: Vec<u32>,
+    /// Per-cycle generation stamp per dense report code: replaces a
+    /// linear `contains` scan for the one-report-per-code dedup.
+    code_stamp: Vec<u32>,
     stream_offset: u64,
 }
 
@@ -61,6 +82,51 @@ pub struct NfaEngine {
 struct CounterDef {
     target: u32,
     mode: CounterMode,
+}
+
+/// Finds the next byte that can wake an empty active set.
+#[derive(Debug, Clone)]
+enum WakeFinder {
+    /// No `AllInput` state: once quiescent, always quiescent.
+    Never,
+    /// Every byte wakes some state; skipping can never advance.
+    Always,
+    One(u8),
+    Two(u8, u8),
+    Three(u8, u8, u8),
+    Table(Box<[bool; 256]>),
+}
+
+impl WakeFinder {
+    fn build(wake: &SymbolClass) -> WakeFinder {
+        let bytes: Vec<u8> = wake.iter().collect();
+        match bytes.len() {
+            0 => WakeFinder::Never,
+            1 => WakeFinder::One(bytes[0]),
+            2 => WakeFinder::Two(bytes[0], bytes[1]),
+            3 => WakeFinder::Three(bytes[0], bytes[1], bytes[2]),
+            256 => WakeFinder::Always,
+            _ => {
+                let mut table = Box::new([false; 256]);
+                for &b in &bytes {
+                    table[b as usize] = true;
+                }
+                WakeFinder::Table(table)
+            }
+        }
+    }
+
+    #[inline]
+    fn find(&self, hay: &[u8]) -> Option<usize> {
+        match self {
+            WakeFinder::Never => None,
+            WakeFinder::Always => Some(0),
+            WakeFinder::One(a) => memchr(*a, hay),
+            WakeFinder::Two(a, b) => memchr2(*a, *b, hay),
+            WakeFinder::Three(a, b, c) => memchr3(*a, *b, *c, hay),
+            WakeFinder::Table(t) => find_in_table(t, hay),
+        }
+    }
 }
 
 impl NfaEngine {
@@ -73,7 +139,7 @@ impl NfaEngine {
     pub fn new(a: &Automaton) -> Result<Self, EngineError> {
         a.validate()?;
         let n = a.state_count();
-        let mut classes = vec![azoo_core::SymbolClass::EMPTY; n];
+        let mut classes = vec![SymbolClass::EMPTY; n];
         let mut report_code = vec![NO_REPORT; n];
         let mut report_eod = vec![false; n];
         let mut is_always = vec![false; n];
@@ -125,17 +191,46 @@ impl NfaEngine {
             }
             succ_off.push(succ_tgt.len() as u32);
         }
-        let mut always_by_byte = vec![Vec::new(); 256];
-        for &s in &always {
-            for b in classes[s as usize].iter() {
-                always_by_byte[b as usize].push(s);
+        let mut always_off = Vec::with_capacity(257);
+        let mut always_dat = Vec::new();
+        let mut wake = SymbolClass::EMPTY;
+        always_off.push(0);
+        for b in 0..=255u8 {
+            for &s in &always {
+                if classes[s as usize].contains(b) {
+                    always_dat.push(s);
+                }
             }
+            always_off.push(always_dat.len() as u32);
         }
+        for &s in &always {
+            wake = wake.union(&classes[s as usize]);
+        }
+        let wake_len = wake.len() as usize;
+        // Dense report-code index for the stamped per-cycle dedup.
+        let mut codes: Vec<u32> = report_code
+            .iter()
+            .copied()
+            .filter(|&c| c != NO_REPORT)
+            .collect();
+        codes.sort_unstable();
+        codes.dedup();
+        let code_idx: Vec<u32> = report_code
+            .iter()
+            .map(|&c| {
+                if c == NO_REPORT {
+                    u32::MAX
+                } else {
+                    codes.binary_search(&c).map_or(u32::MAX, |i| i as u32)
+                }
+            })
+            .collect();
         let n_counters = counters.len();
         Ok(NfaEngine {
             n,
             classes,
             report_code,
+            code_idx,
             report_eod,
             is_always,
             is_counter,
@@ -143,9 +238,13 @@ impl NfaEngine {
             succ_off,
             succ_tgt,
             sod_list,
-            always_by_byte,
+            always_off,
+            always_dat,
             counters,
             counter_elem_ids,
+            wake: WakeFinder::build(&wake),
+            wake_len,
+            quiescent: true,
             cur: Vec::new(),
             next: Vec::new(),
             stamp: vec![0; n],
@@ -156,7 +255,7 @@ impl NfaEngine {
             cnt_reset: vec![false; n_counters],
             touched: Vec::new(),
             latched_list: Vec::new(),
-            cycle_codes: Vec::new(),
+            code_stamp: vec![0; codes.len()],
             stream_offset: 0,
         })
     }
@@ -164,6 +263,19 @@ impl NfaEngine {
     /// Number of automaton elements.
     pub fn state_count(&self) -> usize {
         self.n
+    }
+
+    /// Enables or disables the quiescent-skip fast path (on by default).
+    /// The skip is exact; turning it off exists only so harnesses can
+    /// measure the unskipped baseline.
+    pub fn set_quiescent_skip(&mut self, on: bool) {
+        self.quiescent = on;
+    }
+
+    /// Number of byte values that can wake an empty active set (the size
+    /// of the union of all `AllInput` start classes).
+    pub fn wake_set_size(&self) -> usize {
+        self.wake_len
     }
 
     /// Scans `input` while collecting an activity [`Profile`].
@@ -185,6 +297,7 @@ impl NfaEngine {
         self.generation = self.generation.wrapping_add(1);
         if self.generation == 0 {
             self.stamp.fill(u32::MAX);
+            self.code_stamp.fill(u32::MAX);
             self.generation = 1;
         }
         // Seed start-of-data states.
@@ -206,9 +319,34 @@ impl NfaEngine {
         sink: &mut dyn ReportSink,
     ) -> Profile {
         let mut profile = Profile::default();
-        for (pos, &c) in input.iter().enumerate() {
-            let pos = base as usize + pos;
-            let last = eod && pos + 1 == base as usize + input.len();
+        let len = input.len();
+        let mut pos = 0usize;
+        while pos < len {
+            // Quiescent skip: with no dynamically active states and no
+            // latched counter driving its successors, a symbol outside
+            // the wake-up set matches nothing, reports nothing and
+            // leaves every counter untouched — so jump to the next
+            // waking byte. (Held counter counts are unaffected: with no
+            // enable pulse a count simply persists.)
+            if self.quiescent && self.cur.is_empty() && self.latched_list.is_empty() {
+                debug_assert!(self.touched.is_empty());
+                let skipped = match self.wake.find(&input[pos..]) {
+                    Some(d) => d,
+                    None => len - pos,
+                };
+                if PROFILE {
+                    // Skipped symbols are processed symbols with zero
+                    // enabled states, zero matches and zero reports.
+                    profile.symbols += skipped as u64;
+                }
+                pos += skipped;
+                if pos == len {
+                    break;
+                }
+            }
+            let c = input[pos];
+            let apos = base + pos as u64;
+            let last = eod && pos + 1 == len;
             if PROFILE {
                 profile.symbols += 1;
                 profile.total_enabled += self.cur.len() as u64;
@@ -216,12 +354,12 @@ impl NfaEngine {
             self.generation = self.generation.wrapping_add(1);
             if self.generation == 0 {
                 self.stamp.fill(u32::MAX);
+                self.code_stamp.fill(u32::MAX);
                 self.generation = 1;
             }
             let gen = self.generation;
             let mut matched_count = 0u64;
             let mut reports = 0u64;
-            self.cycle_codes.clear();
 
             // Dynamically enabled states.
             for ci in 0..self.cur.len() {
@@ -230,39 +368,22 @@ impl NfaEngine {
                     continue;
                 }
                 matched_count += 1;
-                let code = self.report_code[s];
-                if code != NO_REPORT
-                    && (!self.report_eod[s] || last)
-                    && !self.cycle_codes.contains(&code)
-                {
-                    self.cycle_codes.push(code);
-                    sink.report(pos as u64, azoo_core::ReportCode(code));
-                    reports += 1;
-                }
-                reports += self.activate(s, gen, pos as u64);
+                reports += self.report_if_due(s, gen, apos, last, sink);
+                self.activate(s, gen);
             }
-            // Always-enabled start states that match this byte.
-            // (Split borrows: temporarily take the list to appease the
-            // borrow checker without cloning.)
-            let alist = std::mem::take(&mut self.always_by_byte[c as usize]);
-            for &su in &alist {
-                let s = su as usize;
+            // Always-enabled start states that match this byte (CSR
+            // slice, indexed so `activate` can reborrow `self`).
+            let lo = self.always_off[c as usize] as usize;
+            let hi = self.always_off[c as usize + 1] as usize;
+            for ai in lo..hi {
+                let s = self.always_dat[ai] as usize;
                 matched_count += 1;
-                let code = self.report_code[s];
-                if code != NO_REPORT
-                    && (!self.report_eod[s] || last)
-                    && !self.cycle_codes.contains(&code)
-                {
-                    self.cycle_codes.push(code);
-                    sink.report(pos as u64, azoo_core::ReportCode(code));
-                    reports += 1;
-                }
-                reports += self.activate(s, gen, pos as u64);
+                reports += self.report_if_due(s, gen, apos, last, sink);
+                self.activate(s, gen);
             }
-            self.always_by_byte[c as usize] = alist;
 
             // Counter bookkeeping at end of cycle.
-            reports += self.settle_counters(gen, pos as u64, last, sink);
+            reports += self.settle_counters(gen, apos, last, sink);
 
             if PROFILE {
                 profile.total_matched += matched_count;
@@ -270,14 +391,39 @@ impl NfaEngine {
             }
             std::mem::swap(&mut self.cur, &mut self.next);
             self.next.clear();
+            pos += 1;
         }
         profile
     }
 
-    /// Propagates an activation from element `s`; returns reports emitted
-    /// (counters never report here — they report in `settle_counters`).
+    /// Emits `s`'s report unless it has no code, is end-of-data gated, or
+    /// its code already reported this cycle (stamp dedup).
     #[inline]
-    fn activate(&mut self, s: usize, gen: u32, _pos: u64) -> u64 {
+    fn report_if_due(
+        &mut self,
+        s: usize,
+        gen: u32,
+        pos: u64,
+        last: bool,
+        sink: &mut dyn ReportSink,
+    ) -> u64 {
+        let code = self.report_code[s];
+        if code == NO_REPORT || (self.report_eod[s] && !last) {
+            return 0;
+        }
+        let idx = self.code_idx[s] as usize;
+        if self.code_stamp[idx] == gen {
+            return 0;
+        }
+        self.code_stamp[idx] = gen;
+        sink.report(pos, azoo_core::ReportCode(code));
+        1
+    }
+
+    /// Propagates an activation from element `s` (counters never report
+    /// here — they report in `settle_counters`).
+    #[inline]
+    fn activate(&mut self, s: usize, gen: u32) {
         let lo = self.succ_off[s] as usize;
         let hi = self.succ_off[s + 1] as usize;
         for ei in lo..hi {
@@ -299,7 +445,6 @@ impl NfaEngine {
                 self.next.push(t as u32);
             }
         }
-        0
     }
 
     fn settle_counters(
@@ -345,26 +490,18 @@ impl NfaEngine {
             self.cnt_reset[ci] = false;
             if fired {
                 let elem = self.counter_element(ci);
-                let code = self.report_code[elem];
-                if code != NO_REPORT
-                    && (!self.report_eod[elem] || last)
-                    && !self.cycle_codes.contains(&code)
-                {
-                    self.cycle_codes.push(code);
-                    sink.report(pos, azoo_core::ReportCode(code));
-                    reports += 1;
-                }
-                reports += self.activate(elem, gen, pos);
+                reports += self.report_if_due(elem, gen, pos, last, sink);
+                self.activate(elem, gen);
             }
         }
         self.touched.clear();
-        // Latched counters keep driving their successors every cycle.
-        let llist = std::mem::take(&mut self.latched_list);
-        for &ci in &llist {
-            let elem = self.counter_element(ci as usize);
-            self.activate(elem, gen, pos);
+        // Latched counters keep driving their successors every cycle
+        // (indexed loop: `activate` touches `next`/`touched`/counter
+        // flags, never `latched_list`, so no buffer swap is needed).
+        for li in 0..self.latched_list.len() {
+            let elem = self.counter_element(self.latched_list[li] as usize);
+            self.activate(elem, gen);
         }
-        self.latched_list = llist;
         reports
     }
 
@@ -467,5 +604,98 @@ mod tests {
         let mut sink = CollectSink::new();
         engine.scan(b"k", &mut sink);
         assert_eq!(sink.reports().len(), 3);
+    }
+
+    #[test]
+    fn sparse_codes_deduplicate_per_cycle() {
+        // Codes far apart (dense indexing, not direct indexing by code).
+        let mut a = Automaton::new();
+        for _ in 0..2 {
+            let s = a.add_ste(SymbolClass::from_byte(b'k'), StartKind::AllInput);
+            a.set_report(s, 3_000_000_000);
+        }
+        let s = a.add_ste(SymbolClass::from_byte(b'k'), StartKind::AllInput);
+        a.set_report(s, 5);
+        let mut engine = NfaEngine::new(&a).unwrap();
+        let mut sink = CollectSink::new();
+        engine.scan(b"k", &mut sink);
+        assert_eq!(sink.reports().len(), 2);
+    }
+
+    #[test]
+    fn wake_set_reflects_start_classes() {
+        let mut a = Automaton::new();
+        a.add_chain(
+            &[SymbolClass::from_byte(b'a'), SymbolClass::from_byte(b'b')],
+            StartKind::AllInput,
+        );
+        a.add_chain(&[SymbolClass::from_byte(b'c'); 2], StartKind::AllInput);
+        let engine = NfaEngine::new(&a).unwrap();
+        assert_eq!(engine.wake_set_size(), 2); // 'a' and 'c'; 'b' is not a start
+    }
+
+    #[test]
+    fn quiescent_skip_is_exact() {
+        // Sparse pattern over noisy input: skip on and off must agree,
+        // including the activity profile.
+        let mut a = Automaton::new();
+        let classes: Vec<SymbolClass> = b"needle"
+            .iter()
+            .map(|&b| SymbolClass::from_byte(b))
+            .collect();
+        let (_, last) = a.add_chain(&classes, StartKind::AllInput);
+        a.set_report(last, 0);
+        let mut input = vec![b'.'; 4096];
+        input[100..106].copy_from_slice(b"needle");
+        input[4090..4096].copy_from_slice(b"needle");
+        input[200..206].copy_from_slice(b"nexdle"); // partial arm then die
+        let mut on = NfaEngine::new(&a).unwrap();
+        let mut off = NfaEngine::new(&a).unwrap();
+        off.set_quiescent_skip(false);
+        let (mut s1, mut s2) = (CollectSink::new(), CollectSink::new());
+        let p1 = on.scan_profiled(&input, &mut s1);
+        let p2 = off.scan_profiled(&input, &mut s2);
+        assert_eq!(s1.sorted_reports(), s2.sorted_reports());
+        assert_eq!(s1.reports().len(), 2);
+        assert_eq!(p1, p2);
+        assert_eq!(p1.symbols, 4096);
+    }
+
+    #[test]
+    fn quiescence_carries_across_feed_chunks() {
+        let mut a = Automaton::new();
+        let classes: Vec<SymbolClass> = b"ab".iter().map(|&b| SymbolClass::from_byte(b)).collect();
+        let (_, last) = a.add_chain(&classes, StartKind::AllInput);
+        a.set_report(last, 0);
+        let mut input = vec![b'.'; 300];
+        input[149] = b'a'; // straddles the 150-byte chunk boundary
+        input[150] = b'b';
+        let mut engine = NfaEngine::new(&a).unwrap();
+        let mut sink = CollectSink::new();
+        engine.scan_chunks([&input[..150], &input[150..]], &mut sink);
+        let offsets: Vec<u64> = sink.reports().iter().map(|r| r.offset).collect();
+        assert_eq!(offsets, vec![150]);
+    }
+
+    #[test]
+    fn latched_counter_suppresses_skip() {
+        // Once latched, the counter drives its successor every cycle —
+        // skipping would silence the downstream report.
+        let mut a = Automaton::new();
+        let s = a.add_ste(SymbolClass::from_byte(b'k'), StartKind::AllInput);
+        let c = a.add_counter(2, CounterMode::Latch);
+        let t = a.add_ste(SymbolClass::from_byte(b'z'), StartKind::None);
+        a.add_edge(s, c);
+        a.add_edge(c, t);
+        a.set_report(t, 1);
+        let mut on = NfaEngine::new(&a).unwrap();
+        let mut off = NfaEngine::new(&a).unwrap();
+        off.set_quiescent_skip(false);
+        let input = b"kk..z...z";
+        let (mut s1, mut s2) = (CollectSink::new(), CollectSink::new());
+        on.scan(input, &mut s1);
+        off.scan(input, &mut s2);
+        assert_eq!(s1.sorted_reports(), s2.sorted_reports());
+        assert_eq!(s1.reports().len(), 2);
     }
 }

@@ -29,16 +29,49 @@ use azoo_core::{Automaton, ElementKind, StartKind};
 use azoo_passes::partition;
 
 use crate::nfa::NfaEngine;
+use crate::prefilter::{PrefilterEngine, PREFILTER_COVERAGE_GATE};
 use crate::sink::{Report, ReportSink};
 use crate::stream::StreamingEngine;
 use crate::{Engine, EngineError};
+
+/// A shard's executor: plain sparse simulation, or literal-gated
+/// windowed simulation when the shard's components carry required
+/// literals (opted in via [`ParallelScanner::with_prefilter`]).
+#[derive(Debug, Clone)]
+enum ShardEngine {
+    Nfa(Box<NfaEngine>),
+    Prefilter(Box<PrefilterEngine>),
+}
+
+impl ShardEngine {
+    fn scan(&mut self, input: &[u8], sink: &mut dyn ReportSink) {
+        match self {
+            ShardEngine::Nfa(e) => e.scan(input, sink),
+            ShardEngine::Prefilter(e) => e.scan(input, sink),
+        }
+    }
+
+    fn reset_stream(&mut self) {
+        match self {
+            ShardEngine::Nfa(e) => e.reset_stream(),
+            ShardEngine::Prefilter(e) => e.reset_stream(),
+        }
+    }
+
+    fn feed(&mut self, chunk: &[u8], eod: bool, sink: &mut dyn ReportSink) {
+        match self {
+            ShardEngine::Nfa(e) => e.feed(chunk, eod, sink),
+            ShardEngine::Prefilter(e) => e.feed(chunk, eod, sink),
+        }
+    }
+}
 
 /// One automaton shard plus its chunking capability.
 #[derive(Debug, Clone)]
 struct Shard {
     /// Prototype engine; cloned per job during `scan`, fed in place
     /// during streaming.
-    engine: NfaEngine,
+    engine: ShardEngine,
     /// `Some(w)`: input-chunkable, matches span at most `w` symbols.
     /// `None`: must scan the input sequentially.
     window: Option<usize>,
@@ -97,6 +130,28 @@ impl ParallelScanner {
     /// Returns [`EngineError::Invalid`] if `a` fails
     /// [`Automaton::validate`].
     pub fn new(a: &Automaton, threads: usize) -> Result<Self, EngineError> {
+        Self::with_prefilter(a, threads, false)
+    }
+
+    /// Like [`new`](Self::new), but with `prefilter` true each shard
+    /// whose components mostly carry required literals runs behind a
+    /// [`PrefilterEngine`] instead of a plain [`NfaEngine`] (same gate as
+    /// [`select_engine`](crate::select_engine)). The merged stream is
+    /// unchanged either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Invalid`] if `a` fails
+    /// [`Automaton::validate`].
+    pub fn with_prefilter(
+        a: &Automaton,
+        threads: usize,
+        prefilter: bool,
+    ) -> Result<Self, EngineError> {
         assert!(threads > 0, "thread count must be positive");
         a.validate()?;
         // Pack components into about `threads` shards; a component can
@@ -112,13 +167,31 @@ impl ParallelScanner {
             // above, so at least one shard survives.
             .filter(|p| !p.start_states().is_empty())
             .map(|p| {
+                let engine = if prefilter {
+                    let pf = PrefilterEngine::new(p)?;
+                    if pf.component_count() > 0 && pf.coverage() >= PREFILTER_COVERAGE_GATE {
+                        ShardEngine::Prefilter(Box::new(pf))
+                    } else {
+                        ShardEngine::Nfa(Box::new(NfaEngine::new(p)?))
+                    }
+                } else {
+                    ShardEngine::Nfa(Box::new(NfaEngine::new(p)?))
+                };
                 Ok(Shard {
-                    engine: NfaEngine::new(p)?,
+                    engine,
                     window: chunk_window(p),
                 })
             })
             .collect::<Result<Vec<Shard>, EngineError>>()?;
         Ok(ParallelScanner { shards, threads })
+    }
+
+    /// Number of shards running behind the literal prefilter.
+    pub fn prefiltered_shard_count(&self) -> usize {
+        self.shards
+            .iter()
+            .filter(|s| matches!(s.engine, ShardEngine::Prefilter(_)))
+            .count()
     }
 
     /// Worker thread count.
@@ -237,7 +310,7 @@ fn chunk_window(p: &Automaton) -> Option<usize> {
 /// reuse across jobs is sound).
 struct Worker<'a> {
     shards: &'a [Shard],
-    engines: Vec<Option<NfaEngine>>,
+    engines: Vec<Option<ShardEngine>>,
 }
 
 impl<'a> Worker<'a> {
@@ -538,6 +611,38 @@ mod tests {
                 nfa_reports(&a, b"abxyab")
             );
         }
+    }
+
+    #[test]
+    fn prefiltered_shards_match_plain_shards() {
+        // Literal words plus one cyclic component: the literal shards run
+        // behind the prefilter, the cyclic one stays a plain NFA, and the
+        // merged stream is unchanged.
+        let mut a = words(&[b"cat", b"dog", b"catalog", b"og"]);
+        let s = a.add_ste(SymbolClass::from_byte(b'x'), StartKind::AllInput);
+        let l = a.add_ste(SymbolClass::from_byte(b'y'), StartKind::None);
+        a.add_edge(s, l);
+        a.add_edge(l, l);
+        a.set_report(l, 9);
+        let input = b"the catalog lists a dog xyy and a catdog";
+        let expected = nfa_reports(&a, input);
+        for threads in [1, 2, 4] {
+            let mut scanner = ParallelScanner::with_prefilter(&a, threads, true).unwrap();
+            assert!(scanner.prefiltered_shard_count() >= 1);
+            let mut sink = CollectSink::new();
+            scanner.scan(input, &mut sink);
+            assert_eq!(sink.reports().to_vec(), expected, "{threads} threads");
+            // Streaming path too.
+            let mut sink = CollectSink::new();
+            scanner.scan_chunks([&input[..7], &input[7..30], &input[30..]], &mut sink);
+            assert_eq!(
+                sink.sorted_reports(),
+                expected,
+                "{threads} threads streamed"
+            );
+        }
+        let plain = ParallelScanner::new(&a, 4).unwrap();
+        assert_eq!(plain.prefiltered_shard_count(), 0);
     }
 
     #[test]

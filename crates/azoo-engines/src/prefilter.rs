@@ -1,0 +1,440 @@
+//! The literal-prefilter engine.
+//!
+//! [`PrefilterEngine`] splits the automaton with
+//! [`azoo_passes::prefilter_plan`]: components whose every match must
+//! contain a *required literal* ending exactly at the report offset are
+//! gated behind an [`AhoCorasick`](crate::literal::AhoCorasick) matcher
+//! and simulated only inside a bounded window before each candidate hit;
+//! the rejected remainder falls back to full [`NfaEngine`] simulation.
+//! Components with no reachable reporting element are dropped outright.
+//!
+//! # Soundness
+//!
+//! For a prefilterable component (counter-free, no start-of-data anchor,
+//! acyclic from its starts, window `w` = longest start-rooted path):
+//!
+//! * **No hit → no report.** Every match contains a required literal
+//!   ending at the match offset, so offsets without a hit need no
+//!   simulation at all.
+//! * **Window-bound.** Any activation chain culminating at offset `p`
+//!   began no earlier than `p − (w − 1)`, so a *cold-start* simulation of
+//!   `[p + 1 − w, p + 1)` observes every true report at `p`. Cold starts
+//!   cannot invent reports either: the component's only starts are
+//!   `AllInput`, which full simulation re-arms on every symbol anyway.
+//! * **Streaming dedup.** Overlapping windows are merged per feed, and a
+//!   per-component watermark drops reports below the already-simulated
+//!   prefix; a true report below the watermark was necessarily emitted by
+//!   the feed that consumed its final byte (its hit ends there).
+//!
+//! The merged output is the canonical sorted, deduplicated report stream
+//! — byte-identical to [`NfaEngine`] on the same automaton, which the
+//! differential suite verifies across all 25 benchmarks.
+
+use azoo_core::Automaton;
+use azoo_passes::prefilter_plan;
+
+use crate::literal::{AhoCorasick, LiteralHit};
+use crate::nfa::NfaEngine;
+use crate::sink::{Report, ReportSink};
+use crate::stream::StreamingEngine;
+use crate::{Engine, EngineError};
+
+/// Minimum fraction of states the plan must cover for
+/// [`select_engine`](crate::select_engine) to prefer this engine.
+pub const PREFILTER_COVERAGE_GATE: f64 = 0.5;
+
+/// One gated component and its streaming simulation state.
+#[derive(Debug, Clone)]
+struct GatedComponent {
+    engine: NfaEngine,
+    window: u64,
+    /// Reports at global offsets below this were already emitted.
+    simulated_to: u64,
+}
+
+/// Literal-gated windowed simulation with full-simulation fallback.
+#[derive(Debug, Clone)]
+pub struct PrefilterEngine {
+    matcher: AhoCorasick,
+    /// Pattern index (as fed to the matcher) → gated component index.
+    pat_comp: Vec<u32>,
+    components: Vec<GatedComponent>,
+    fallback: Option<NfaEngine>,
+    coverage: f64,
+    /// `max(window) − 1`: how many trailing stream bytes a window can
+    /// reach back past a chunk boundary.
+    keep: usize,
+
+    // Streaming state and per-feed scratch.
+    tail: Vec<u8>,
+    stream_offset: u64,
+    hits: Vec<LiteralHit>,
+    spans: Vec<Vec<(u64, u64)>>,
+    reports: Vec<Report>,
+}
+
+impl PrefilterEngine {
+    /// Plans and compiles the prefilter for `a`.
+    ///
+    /// Construction succeeds for any valid automaton — with nothing
+    /// prefilterable the engine degenerates to a plain [`NfaEngine`]
+    /// behind a never-matching trigger. Use [`coverage`](Self::coverage)
+    /// and [`component_count`](Self::component_count) to decide whether
+    /// that is worthwhile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Invalid`] if `a` fails validation.
+    pub fn new(a: &Automaton) -> Result<Self, EngineError> {
+        a.validate()?;
+        let plan = prefilter_plan(a);
+        let mut patterns: Vec<Vec<u8>> = Vec::new();
+        let mut pat_comp = Vec::new();
+        let mut components = Vec::with_capacity(plan.components.len());
+        for (ci, pc) in plan.components.iter().enumerate() {
+            for lit in &pc.literals {
+                patterns.push(lit.clone());
+                pat_comp.push(ci as u32);
+            }
+            components.push(GatedComponent {
+                engine: NfaEngine::new(&pc.automaton)?,
+                window: pc.window as u64,
+                simulated_to: 0,
+            });
+        }
+        let fallback = match &plan.fallback {
+            Some(fb) => Some(NfaEngine::new(fb)?),
+            None => None,
+        };
+        let keep = components
+            .iter()
+            .map(|c| c.window as usize)
+            .max()
+            .unwrap_or(0)
+            .saturating_sub(1);
+        let n_comp = components.len();
+        Ok(PrefilterEngine {
+            matcher: AhoCorasick::new(&patterns),
+            pat_comp,
+            components,
+            fallback,
+            coverage: plan.coverage(),
+            keep,
+            tail: Vec::new(),
+            stream_offset: 0,
+            hits: Vec::new(),
+            spans: vec![Vec::new(); n_comp],
+            reports: Vec::new(),
+        })
+    }
+
+    /// Fraction of states spared from full simulation (gated plus
+    /// dropped, over total).
+    pub fn coverage(&self) -> f64 {
+        self.coverage
+    }
+
+    /// Number of literal-gated components.
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Number of literals driving the trigger matcher.
+    pub fn literal_count(&self) -> usize {
+        self.pat_comp.len()
+    }
+
+    /// True when a fallback remainder must be fully simulated.
+    pub fn has_fallback(&self) -> bool {
+        self.fallback.is_some()
+    }
+}
+
+/// Rebases span-local report offsets to global ones, dropping those the
+/// component's watermark already covered.
+struct SpanSink<'a> {
+    base: u64,
+    min: u64,
+    out: &'a mut Vec<Report>,
+}
+
+impl ReportSink for SpanSink<'_> {
+    fn report(&mut self, offset: u64, code: azoo_core::ReportCode) {
+        let global = self.base + offset;
+        if global >= self.min {
+            self.out.push(Report {
+                offset: global,
+                code,
+            });
+        }
+    }
+}
+
+/// Collects fallback reports (already globally offset).
+struct VecSink<'a>(&'a mut Vec<Report>);
+
+impl ReportSink for VecSink<'_> {
+    fn report(&mut self, offset: u64, code: azoo_core::ReportCode) {
+        self.0.push(Report { offset, code });
+    }
+}
+
+impl StreamingEngine for PrefilterEngine {
+    fn reset_stream(&mut self) {
+        self.matcher.reset();
+        for c in &mut self.components {
+            c.simulated_to = 0;
+        }
+        if let Some(fb) = &mut self.fallback {
+            fb.reset_stream();
+        }
+        self.tail.clear();
+        self.stream_offset = 0;
+    }
+
+    fn feed(&mut self, chunk: &[u8], eod: bool, sink: &mut dyn ReportSink) {
+        let base = self.stream_offset;
+        let total = base + chunk.len() as u64;
+        self.reports.clear();
+
+        // Stage 1: literal trigger. Hits arrive in increasing end order,
+        // so per-component spans can be merged as they are produced.
+        self.hits.clear();
+        self.matcher.feed(chunk, base, &mut self.hits);
+        for h in &self.hits {
+            let ci = self.pat_comp[h.pattern as usize] as usize;
+            let w = self.components[ci].window;
+            let s = (h.end + 1).saturating_sub(w);
+            let t = h.end + 1;
+            let spans = &mut self.spans[ci];
+            match spans.last_mut() {
+                Some(last) if s <= last.1 => last.1 = t.max(last.1),
+                _ => spans.push((s, t)),
+            }
+        }
+
+        // Stage 2: cold-start windowed simulation of each merged span.
+        // A span may reach back into the previous chunks' tail, but its
+        // end never passes the bytes consumed so far, so no span is ever
+        // left pending for a later feed.
+        for ci in 0..self.components.len() {
+            for si in 0..self.spans[ci].len() {
+                let (s, t) = self.spans[ci][si];
+                let comp = &mut self.components[ci];
+                comp.engine.reset_stream();
+                let mut ssink = SpanSink {
+                    base: s,
+                    min: comp.simulated_to,
+                    out: &mut self.reports,
+                };
+                if s < base {
+                    let back = (base - s) as usize;
+                    debug_assert!(back <= self.tail.len());
+                    let tail_part = &self.tail[self.tail.len() - back..];
+                    comp.engine.feed(tail_part, false, &mut ssink);
+                }
+                let c0 = (s.max(base) - base) as usize;
+                let c1 = (t - base) as usize;
+                comp.engine
+                    .feed(&chunk[c0..c1], eod && t == total, &mut ssink);
+                comp.simulated_to = t;
+            }
+            self.spans[ci].clear();
+        }
+
+        // Stage 3: full simulation of the fallback remainder.
+        if let Some(fb) = &mut self.fallback {
+            fb.feed(chunk, eod, &mut VecSink(&mut self.reports));
+        }
+
+        // Canonical merge: per-feed sort and dedup. Cross-feed duplicates
+        // are impossible (watermarks), so concatenated feeds remain
+        // globally sorted and deduplicated.
+        self.reports.sort_unstable();
+        self.reports.dedup();
+        for r in &self.reports {
+            sink.report(r.offset, r.code);
+        }
+
+        // Roll the tail window forward for the next feed.
+        self.stream_offset = total;
+        if self.keep > 0 {
+            if chunk.len() >= self.keep {
+                self.tail.clear();
+                self.tail
+                    .extend_from_slice(&chunk[chunk.len() - self.keep..]);
+            } else {
+                let excess = (self.tail.len() + chunk.len()).saturating_sub(self.keep);
+                self.tail.drain(..excess);
+                self.tail.extend_from_slice(chunk);
+            }
+        }
+    }
+}
+
+impl Engine for PrefilterEngine {
+    fn scan(&mut self, input: &[u8], sink: &mut dyn ReportSink) {
+        self.reset_stream();
+        self.feed(input, true, sink);
+    }
+
+    fn name(&self) -> &'static str {
+        "prefilter"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::CollectSink;
+    use azoo_core::{CounterMode, StartKind, SymbolClass};
+
+    fn word(a: &mut Automaton, w: &[u8], code: u32) {
+        let classes: Vec<SymbolClass> = w.iter().map(|&b| SymbolClass::from_byte(b)).collect();
+        let (_, last) = a.add_chain(&classes, StartKind::AllInput);
+        a.set_report(last, code);
+    }
+
+    fn nfa_reports(a: &Automaton, input: &[u8]) -> Vec<Report> {
+        let mut sink = CollectSink::new();
+        NfaEngine::new(a).unwrap().scan(input, &mut sink);
+        sink.sorted_reports()
+    }
+
+    #[test]
+    fn matches_nfa_on_literal_suite() {
+        let mut a = Automaton::new();
+        word(&mut a, b"admin", 0);
+        word(&mut a, b"root", 1);
+        word(&mut a, b"min", 2); // suffix of another literal
+        let mut input = b"the admin went root-level; adminmin".to_vec();
+        input.extend_from_slice(&[0u8; 64]);
+        let mut engine = PrefilterEngine::new(&a).unwrap();
+        assert_eq!(engine.component_count(), 3);
+        assert!(!engine.has_fallback());
+        assert_eq!(engine.coverage(), 1.0);
+        let mut sink = CollectSink::new();
+        engine.scan(&input, &mut sink);
+        assert_eq!(sink.reports(), nfa_reports(&a, &input));
+    }
+
+    #[test]
+    fn fallback_components_still_report() {
+        let mut a = Automaton::new();
+        word(&mut a, b"lit", 0);
+        // Cyclic component: rejected by the analysis, fully simulated.
+        let s = a.add_ste(SymbolClass::from_byte(b'x'), StartKind::AllInput);
+        let l = a.add_ste(SymbolClass::from_byte(b'y'), StartKind::None);
+        a.add_edge(s, l);
+        a.add_edge(l, l);
+        a.set_report(l, 1);
+        let mut engine = PrefilterEngine::new(&a).unwrap();
+        assert_eq!(engine.component_count(), 1);
+        assert!(engine.has_fallback());
+        let input = b"xyyy lit xyy lit";
+        let mut sink = CollectSink::new();
+        engine.scan(input, &mut sink);
+        assert_eq!(sink.reports(), nfa_reports(&a, input));
+    }
+
+    #[test]
+    fn shared_codes_across_components_dedupe() {
+        // Two gated components share a report code and match at the same
+        // offset; the canonical stream holds one report, like the NFA's
+        // per-cycle code dedup.
+        let mut a = Automaton::new();
+        word(&mut a, b"ab", 7);
+        word(&mut a, b"bb", 7);
+        let input = b"xabb"; // "ab" at 2? no: "ab" ends at 2, "bb" ends at 3... use overlap
+        let mut engine = PrefilterEngine::new(&a).unwrap();
+        let mut sink = CollectSink::new();
+        engine.scan(input, &mut sink);
+        assert_eq!(sink.reports(), nfa_reports(&a, input));
+
+        let mut a2 = Automaton::new();
+        word(&mut a2, b"ab", 7);
+        word(&mut a2, b"cb", 7);
+        let mut e2 = PrefilterEngine::new(&a2).unwrap();
+        let mut s2 = CollectSink::new();
+        // No single offset has both, but same-offset same-code from one
+        // component plus fallbackless merge must still be deduped.
+        e2.scan(b"ab cb", &mut s2);
+        assert_eq!(s2.reports(), nfa_reports(&a2, b"ab cb"));
+    }
+
+    #[test]
+    fn streaming_splits_literals_across_chunks() {
+        let mut a = Automaton::new();
+        word(&mut a, b"boundary", 0);
+        word(&mut a, b"dar", 1);
+        let input = b"....boundary....boundary..";
+        let expect = nfa_reports(&a, input);
+        for cut in 0..=input.len() {
+            let mut engine = PrefilterEngine::new(&a).unwrap();
+            let mut sink = CollectSink::new();
+            engine.scan_chunks([&input[..cut], &input[cut..]], &mut sink);
+            assert_eq!(sink.sorted_reports(), expect, "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn overlapping_hits_do_not_duplicate() {
+        let mut a = Automaton::new();
+        word(&mut a, b"aa", 0);
+        let input = b"aaaaaaaa";
+        let mut engine = PrefilterEngine::new(&a).unwrap();
+        let mut sink = CollectSink::new();
+        engine.scan(input, &mut sink);
+        assert_eq!(sink.reports(), nfa_reports(&a, input));
+    }
+
+    #[test]
+    fn counters_go_to_fallback_and_match() {
+        let mut a = Automaton::new();
+        word(&mut a, b"word", 0);
+        let s = a.add_ste(SymbolClass::from_byte(b'k'), StartKind::AllInput);
+        let c = a.add_counter(2, CounterMode::Latch);
+        let t = a.add_ste(SymbolClass::from_byte(b'z'), StartKind::None);
+        a.add_edge(s, c);
+        a.add_edge(c, t);
+        a.set_report(t, 1);
+        let mut engine = PrefilterEngine::new(&a).unwrap();
+        assert!(engine.has_fallback());
+        let input = b"kk..z word z";
+        let mut sink = CollectSink::new();
+        engine.scan(input, &mut sink);
+        assert_eq!(sink.reports(), nfa_reports(&a, input));
+    }
+
+    #[test]
+    fn eod_anchored_fallback_and_empty_automaton() {
+        let mut a = Automaton::new();
+        let s = a.add_ste(SymbolClass::from_byte(b'z'), StartKind::AllInput);
+        a.set_report(s, 0);
+        a.set_report_eod_only(s, true);
+        let mut engine = PrefilterEngine::new(&a).unwrap();
+        let input = b"zzz";
+        let mut sink = CollectSink::new();
+        engine.scan(input, &mut sink);
+        assert_eq!(sink.reports(), nfa_reports(&a, input));
+
+        let empty = Automaton::new();
+        let mut e = PrefilterEngine::new(&empty).unwrap();
+        let mut s = CollectSink::new();
+        e.scan(b"anything", &mut s);
+        assert!(s.reports().is_empty());
+        assert_eq!(e.coverage(), 1.0);
+    }
+
+    #[test]
+    fn engines_are_reusable_across_scans() {
+        let mut a = Automaton::new();
+        word(&mut a, b"hit", 0);
+        let mut engine = PrefilterEngine::new(&a).unwrap();
+        for _ in 0..3 {
+            let mut sink = CollectSink::new();
+            engine.scan(b"a hit and a hit", &mut sink);
+            assert_eq!(sink.reports().len(), 2);
+        }
+    }
+}

@@ -8,7 +8,11 @@
 
 use azoo_core::Automaton;
 
-use crate::{BitParallelEngine, Engine, EngineError, LazyDfaEngine, NfaEngine, ParallelScanner};
+use crate::prefilter::PREFILTER_COVERAGE_GATE;
+use crate::{
+    BitParallelEngine, Engine, EngineError, LazyDfaEngine, NfaEngine, ParallelScanner,
+    PrefilterEngine,
+};
 
 /// Which engine [`select_engine`] picked.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -17,6 +21,9 @@ pub enum EngineChoice {
     BitParallel,
     /// The lazy-DFA engine.
     LazyDfa,
+    /// The literal-prefilter engine (windowed simulation gated behind an
+    /// Aho–Corasick trigger, with NFA fallback for rejected components).
+    Prefilter,
     /// The sparse active-set NFA engine.
     Nfa,
     /// The multi-threaded sharding/chunking scanner.
@@ -32,7 +39,10 @@ pub enum EngineChoice {
 ///    advance; best for literal sets, RF chains, CRISPR filters) —
 ///    chosen only while the state vector stays cache-resident;
 /// 2. counter-free automata of bounded size → [`LazyDfaEngine`];
-/// 3. everything else (counters, huge NFAs) → [`NfaEngine`].
+/// 3. automata whose components mostly carry required literals →
+///    [`PrefilterEngine`] (gated on
+///    [`PREFILTER_COVERAGE_GATE`](crate::PREFILTER_COVERAGE_GATE));
+/// 4. everything else (counters, huge NFAs) → [`NfaEngine`].
 ///
 /// # Errors
 ///
@@ -71,6 +81,13 @@ pub fn select_engine(a: &Automaton) -> Result<(EngineChoice, Box<dyn Engine>), E
             return Ok((EngineChoice::LazyDfa, Box::new(engine)));
         }
     }
+    // Prefilter: worthwhile only when required literals gate most of the
+    // state space; otherwise the fallback remainder dominates and plain
+    // sparse simulation is simpler.
+    let engine = PrefilterEngine::new(a)?;
+    if engine.component_count() > 0 && engine.coverage() >= PREFILTER_COVERAGE_GATE {
+        return Ok((EngineChoice::Prefilter, Box::new(engine)));
+    }
     Ok((EngineChoice::Nfa, Box::new(NfaEngine::new(a)?)))
 }
 
@@ -89,7 +106,10 @@ pub fn select_engine_threaded(
 ) -> Result<(EngineChoice, Box<dyn Engine>), EngineError> {
     if threads > 1 {
         preflight(a)?;
-        let engine = ParallelScanner::new(a, threads)?;
+        // Shards whose components carry required literals run behind the
+        // prefilter (same gate as the single-threaded portfolio); the
+        // merged stream is identical either way.
+        let engine = ParallelScanner::with_prefilter(a, threads, true)?;
         return Ok((EngineChoice::Parallel { threads }, Box::new(engine)));
     }
     select_engine(a)
@@ -140,6 +160,33 @@ mod tests {
         a.set_report(c, 0);
         let (choice, _) = select_engine(&a).unwrap();
         assert_eq!(choice, EngineChoice::Nfa);
+    }
+
+    #[test]
+    fn big_literal_suites_get_the_prefilter() {
+        // Counter-free but too large for the lazy DFA and not
+        // chain-shaped (one fanout component), with required literals
+        // everywhere: the prefilter tier catches it.
+        let mut a = Automaton::new();
+        let s = a.add_ste(SymbolClass::from_byte(b'a'), StartKind::AllInput);
+        let t1 = a.add_ste(SymbolClass::from_byte(b'b'), StartKind::None);
+        let t2 = a.add_ste(SymbolClass::from_byte(b'c'), StartKind::None);
+        a.add_edge(s, t1);
+        a.add_edge(s, t2);
+        a.set_report(t1, 0);
+        a.set_report(t2, 1);
+        for i in 0..30_000u32 {
+            let word = format!("w{i:06}");
+            let classes: Vec<SymbolClass> = word.bytes().map(SymbolClass::from_byte).collect();
+            let (_, last) = a.add_chain(&classes, StartKind::AllInput);
+            a.set_report(last, 2 + i);
+        }
+        assert!(a.state_count() > 200_000);
+        let (choice, mut engine) = select_engine(&a).unwrap();
+        assert_eq!(choice, EngineChoice::Prefilter);
+        let mut sink = CollectSink::new();
+        engine.scan(b"xx w000017 ab", &mut sink);
+        assert_eq!(sink.reports().len(), 2);
     }
 
     #[test]

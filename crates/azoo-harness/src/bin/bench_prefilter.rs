@@ -1,0 +1,104 @@
+//! Records the quiescence/prefilter before-and-after throughput for the
+//! sparse benchmarks (Snort, ClamAV, Brill) as `BENCH_prefilter.json` —
+//! the machine-readable companion to `ablation` row 6 and
+//! `bench/benches/prefilter.rs`.
+//!
+//! Three single-threaded engines per benchmark, identical report
+//! streams (asserted): the baseline NFA with the quiescent skip forced
+//! off, the quiescence-aware NFA, and the literal-prefilter engine.
+//!
+//! Usage: `bench-prefilter [--scale tiny|small|full] [--out PATH]`
+
+use azoo_engines::{CountSink, NfaEngine, PrefilterEngine};
+use azoo_harness::{arg_value, scale_from_args, time_scan_with};
+use azoo_zoo::BenchmarkId;
+
+fn main() {
+    let scale = scale_from_args();
+    let args: Vec<String> = std::env::args().collect();
+    let out_path = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_prefilter.json".into());
+    let mut rows = Vec::new();
+    for id in [BenchmarkId::Snort, BenchmarkId::ClamAv, BenchmarkId::Brill] {
+        let bench = id.build(scale);
+        let window = bench.input.len().min(1 << 18);
+        let input = &bench.input[..window];
+
+        let mut base = NfaEngine::new(&bench.automaton).expect("valid");
+        base.set_quiescent_skip(false);
+        let mut base_sink = CountSink::new();
+        let base_secs = time_scan_with(&mut base, input, &mut base_sink);
+
+        let mut skip = NfaEngine::new(&bench.automaton).expect("valid");
+        let mut skip_sink = CountSink::new();
+        let skip_secs = time_scan_with(&mut skip, input, &mut skip_sink);
+
+        let mut pf = PrefilterEngine::new(&bench.automaton).expect("valid");
+        let mut pf_sink = CountSink::new();
+        let pf_secs = time_scan_with(&mut pf, input, &mut pf_sink);
+
+        assert_eq!(
+            base_sink.count(),
+            skip_sink.count(),
+            "{}: skip diverged",
+            id.name()
+        );
+        assert_eq!(
+            base_sink.count(),
+            pf_sink.count(),
+            "{}: prefilter diverged",
+            id.name()
+        );
+
+        let mbps = |secs: f64| input.len() as f64 / secs / 1e6;
+        rows.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"benchmark\": \"{}\",\n",
+                "      \"input_bytes\": {},\n",
+                "      \"reports\": {},\n",
+                "      \"prefilter_coverage\": {:.4},\n",
+                "      \"baseline_mbps\": {:.3},\n",
+                "      \"quiescent_skip_mbps\": {:.3},\n",
+                "      \"prefilter_mbps\": {:.3},\n",
+                "      \"skip_speedup\": {:.2},\n",
+                "      \"prefilter_speedup\": {:.2}\n",
+                "    }}"
+            ),
+            id.name(),
+            input.len(),
+            base_sink.count(),
+            pf.coverage(),
+            mbps(base_secs),
+            mbps(skip_secs),
+            mbps(pf_secs),
+            base_secs / skip_secs,
+            base_secs / pf_secs,
+        ));
+        eprintln!(
+            "{}: baseline {:.3} MB/s, skip {:.3} MB/s ({:.2}x), prefilter {:.3} MB/s ({:.2}x)",
+            id.name(),
+            mbps(base_secs),
+            mbps(skip_secs),
+            base_secs / skip_secs,
+            mbps(pf_secs),
+            base_secs / pf_secs,
+        );
+    }
+    let scale_name = format!("{scale:?}").to_lowercase();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"artifact\": \"quiescent skip + literal prefilter throughput (DESIGN.md 6d)\",\n",
+            "  \"command\": \"cargo run --release -p azoo-harness --bin bench-prefilter -- --scale {}\",\n",
+            "  \"scale\": \"{}\",\n",
+            "  \"threads\": 1,\n",
+            "  \"rows\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        scale_name,
+        scale_name,
+        rows.join(",\n")
+    );
+    std::fs::write(&out_path, &json).expect("writable output path");
+    eprintln!("wrote {out_path}");
+}

@@ -8,14 +8,15 @@
 //! extreme outlier responsible for over half of all reports) cuts a
 //! further ~2x.
 //!
-//! Usage: `section5 [--scale tiny|small|full] [--threads N]`
+//! Usage: `section5 [--scale tiny|small|full] [--threads N] [--prefilter]`
 //!
 //! With `--threads N` the rulesets are scanned by the multi-threaded
-//! [`ParallelScanner`]; the report stream (and thus every number in the
-//! table) is identical to the single-threaded scan.
+//! [`ParallelScanner`]; with `--prefilter` the scan runs behind the
+//! literal-prefilter engine (per shard when threaded). The report stream
+//! (and thus every number in the table) is identical in every mode.
 
-use azoo_engines::{CollectSink, Engine, NfaEngine, ParallelScanner};
-use azoo_harness::{fmt_count, scale_from_args, threads_from_args, Table};
+use azoo_engines::{CollectSink, Engine, NfaEngine, ParallelScanner, PrefilterEngine};
+use azoo_harness::{flag_present, fmt_count, scale_from_args, threads_from_args, Table};
 use azoo_workloads::network::{pcap_like, PcapConfig};
 use azoo_zoo::snort::{compile_rules, filter_rules, generate_ruleset};
 use azoo_zoo::Scale;
@@ -24,6 +25,7 @@ fn main() {
     let scale = scale_from_args();
     let args: Vec<String> = std::env::args().collect();
     let threads = threads_from_args(&args);
+    let prefilter = flag_present(&args, "--prefilter");
     let (n_rules, input_len) = match scale {
         Scale::Tiny => (400, 1 << 16),
         Scale::Small => (1200, 1 << 18),
@@ -31,8 +33,9 @@ fn main() {
     };
     println!(
         "== Section V: Snort rule filtering (scale: {scale:?}, {n_rules} rules, \
-         {input_len}-byte PCAP-like stream, {threads} scan thread{}) ==\n",
-        if threads == 1 { "" } else { "s" }
+         {input_len}-byte PCAP-like stream, {threads} scan thread{}{}) ==\n",
+        if threads == 1 { "" } else { "s" },
+        if prefilter { ", prefilter on" } else { "" }
     );
     let rules = generate_ruleset(0x5210, n_rules);
     let input = pcap_like(
@@ -61,7 +64,12 @@ fn main() {
         let kept = filter_rules(&rules, no_buffer, no_isdataat);
         let ruleset = compile_rules(&kept);
         let mut engine: Box<dyn Engine> = if threads > 1 {
-            Box::new(ParallelScanner::new(&ruleset.automaton, threads).expect("valid"))
+            Box::new(
+                ParallelScanner::with_prefilter(&ruleset.automaton, threads, prefilter)
+                    .expect("valid"),
+            )
+        } else if prefilter {
+            Box::new(PrefilterEngine::new(&ruleset.automaton).expect("valid"))
         } else {
             Box::new(NfaEngine::new(&ruleset.automaton).expect("valid"))
         };

@@ -4,17 +4,21 @@
 //! compression factor, and the dynamic active set measured with the
 //! VASim-equivalent engine on the standard input.
 //!
-//! Usage: `table1 [--scale tiny|small|full] [--profile-bytes N] [--threads N]`
+//! Usage: `table1 [--scale tiny|small|full] [--profile-bytes N] [--threads N] [--prefilter]`
 //!
 //! The `MB/s` column times an NFA scan over the profile window — with
 //! `--threads N` it uses the sharding/chunking [`ParallelScanner`]
-//! instead, whose report stream is identical.
+//! instead, whose report stream is identical. `--prefilter` routes the
+//! timed scan through the literal-prefilter engine (per shard when
+//! threaded); reports stay byte-identical.
 //!
 //! Paper reference values (states / active set) are printed alongside for
 //! the rows the paper reports.
 
-use azoo_engines::{Engine, NfaEngine, NullSink, ParallelScanner};
-use azoo_harness::{arg_value, fmt_count, scale_from_args, threads_from_args, time_scan, Table};
+use azoo_engines::{Engine, NfaEngine, NullSink, ParallelScanner, PrefilterEngine};
+use azoo_harness::{
+    arg_value, flag_present, fmt_count, scale_from_args, threads_from_args, time_scan, Table,
+};
 use azoo_passes::merge_prefixes;
 use azoo_zoo::{BenchmarkId, Scale};
 
@@ -57,11 +61,13 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(16_384);
     let threads = threads_from_args(&args);
+    let prefilter = flag_present(&args, "--prefilter");
     println!(
         "== Table I: AutomataZoo benchmark statistics (scale: {scale:?}, \
          active set over {profile_bytes} input symbols, {threads} scan \
-         thread{}) ==\n",
-        if threads == 1 { "" } else { "s" }
+         thread{}{}) ==\n",
+        if threads == 1 { "" } else { "s" },
+        if prefilter { ", prefilter on" } else { "" }
     );
     let table = Table::new(&[
         ("Benchmark", 20),
@@ -87,7 +93,12 @@ fn main() {
         let window = bench.input.len().min(profile_bytes);
         let profile = engine.scan_profiled(&bench.input[..window], &mut sink);
         let mut scan_engine: Box<dyn Engine> = if threads > 1 {
-            Box::new(ParallelScanner::new(&bench.automaton, threads).expect("valid benchmark"))
+            Box::new(
+                ParallelScanner::with_prefilter(&bench.automaton, threads, prefilter)
+                    .expect("valid benchmark"),
+            )
+        } else if prefilter {
+            Box::new(PrefilterEngine::new(&bench.automaton).expect("valid benchmark"))
         } else {
             Box::new(engine)
         };

@@ -7,16 +7,20 @@
 //! * lazy-DFA engine (the Hyperscan stand-in, = 1x baseline)
 //! * bit-parallel engine (our stronger CPU automata row)
 //! * parallel scanner (sharded/chunked NFA across `--threads` workers)
+//! * with `--prefilter`: the literal-prefilter engine, single-threaded
+//!   (the parallel row also gates its shards behind the prefilter)
 //! * native forest inference, single-threaded (the scikit-learn row)
 //! * native forest inference, multi-threaded (scikit-learn MT)
 //! * REAPR FPGA analytic model (clock x symbols, as the paper computes)
 //!
-//! Usage: `table4 [--scale tiny|small|full] [--threads N]`
+//! Usage: `table4 [--scale tiny|small|full] [--threads N] [--prefilter]`
 
 use std::time::Instant;
 
-use azoo_engines::{BitParallelEngine, Engine, LazyDfaEngine, NullSink, ParallelScanner};
-use azoo_harness::{arg_value, scale_from_args, Table};
+use azoo_engines::{
+    BitParallelEngine, Engine, LazyDfaEngine, NullSink, ParallelScanner, PrefilterEngine,
+};
+use azoo_harness::{arg_value, flag_present, scale_from_args, Table};
 use azoo_ml::SpatialModel;
 use azoo_zoo::random_forest::{build, RandomForestParams, Variant};
 use azoo_zoo::Scale;
@@ -27,6 +31,7 @@ fn main() {
     let threads: usize = arg_value(&args, "--threads")
         .and_then(|v| v.parse().ok())
         .unwrap_or(std::thread::available_parallelism().map_or(4, |n| n.get()));
+    let prefilter = flag_present(&args, "--prefilter");
     let mut params = RandomForestParams::published(Variant::B);
     match scale {
         Scale::Tiny => {
@@ -81,12 +86,28 @@ fn main() {
     }
     // Sharded/chunked NFA across worker threads.
     {
-        let mut par = ParallelScanner::new(&bench.fa.automaton, threads).expect("valid");
+        let mut par = ParallelScanner::with_prefilter(&bench.fa.automaton, threads, prefilter)
+            .expect("valid");
         let mut sink = NullSink::new();
         let t = Instant::now();
         par.scan(&bench.input, &mut sink);
         let kcps = n as f64 / t.elapsed().as_secs_f64() / 1e3;
         rows.push((format!("Parallel NFA x{threads}"), kcps));
+    }
+    // Literal-prefilter engine (opt-in row; the RF chains carry narrow
+    // feature-range classes, so this documents how much of the model the
+    // literal analysis can actually gate).
+    if prefilter {
+        let mut pf = PrefilterEngine::new(&bench.fa.automaton).expect("valid");
+        let coverage = pf.coverage();
+        let mut sink = NullSink::new();
+        let t = Instant::now();
+        pf.scan(&bench.input, &mut sink);
+        let kcps = n as f64 / t.elapsed().as_secs_f64() / 1e3;
+        rows.push((
+            format!("Prefilter NFA ({:.0}% cov)", coverage * 100.0),
+            kcps,
+        ));
     }
     // Native, single-threaded. Repeat to get a measurable duration.
     {
@@ -125,7 +146,10 @@ fn main() {
         ("Speedup", 9),
         ("Paper", 7),
     ]);
-    let paper = ["1x", "-", "-", "141.5x", "401.1x", "817.9x"];
+    let mut paper = vec!["1x", "-", "-", "141.5x", "401.1x", "817.9x"];
+    if prefilter {
+        paper.insert(3, "-");
+    }
     for ((name, kcps), paper_cell) in rows.iter().zip(paper) {
         table.row(&[
             name.clone(),

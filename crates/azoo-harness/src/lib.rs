@@ -15,9 +15,16 @@
 //! All binaries accept `--scale tiny|small|full` (default `small`);
 //! `table1`, `table4`, `section5`, and `ablation` also accept
 //! `--threads N` to scan with the multi-threaded [`ParallelScanner`]
-//! (default 1 = the single-threaded engines).
+//! (default 1 = the single-threaded engines). `table1`, `table4`, and
+//! `section5` additionally accept `--prefilter` to route the timed
+//! scans through the literal-prefilter engine
+//! ([`PrefilterEngine`] single-threaded,
+//! [`ParallelScanner::with_prefilter`] with `--threads N`); the
+//! report stream is byte-identical either way.
 //!
 //! [`ParallelScanner`]: azoo_engines::ParallelScanner
+//! [`ParallelScanner::with_prefilter`]: azoo_engines::ParallelScanner::with_prefilter
+//! [`PrefilterEngine`]: azoo_engines::PrefilterEngine
 
 use std::time::Instant;
 
@@ -53,6 +60,11 @@ pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .cloned()
+}
+
+/// True when a bare `--flag` is present in argv.
+pub fn flag_present(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
 }
 
 /// Times one engine scan; returns `(seconds, MB/s)`.
@@ -147,5 +159,15 @@ mod tests {
             .collect();
         assert_eq!(arg_value(&args, "--scale").as_deref(), Some("full"));
         assert_eq!(arg_value(&args, "--missing"), None);
+    }
+
+    #[test]
+    fn flag_present_detects_bare_flags() {
+        let args: Vec<String> = ["bin", "--prefilter", "--scale", "tiny"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(flag_present(&args, "--prefilter"));
+        assert!(!flag_present(&args, "--profile"));
     }
 }

@@ -13,16 +13,22 @@
 //!   the paper; used by the File Carving benchmark).
 //! * [`widen`] — pads an automaton with zero-matching states so it
 //!   processes 16-bit-widened input (Section IX-A; the YARA Wide variant).
+//! * [`prefilter_plan`] — required-literal prefilter planning: splits the
+//!   automaton into components a literal matcher can gate (simulated only
+//!   in a bounded window around candidate hits) and a full-simulation
+//!   fallback remainder.
 
 mod dead;
 mod merge;
 mod partition;
+mod prefilter;
 mod stride;
 mod widen;
 
 pub use dead::remove_dead;
 pub use merge::{merge_prefixes, merge_suffixes, MergeStats};
 pub use partition::partition;
+pub use prefilter::{prefilter_plan, PrefilterComponent, PrefilterPlan};
 pub use stride::{bit_pattern_chain, bits_of_bytes, stride8, stride_bits};
 pub use widen::widen;
 

@@ -1,0 +1,63 @@
+//! Quiescence-aware scanning and the literal-prefilter engine: the same
+//! sparse workloads scanned by the baseline NFA (skip disabled), the
+//! quiescence-aware NFA, and the `PrefilterEngine`. This is the
+//! performance dimension behind the DESIGN.md §6d fallback matrix and
+//! the `--prefilter` harness flag.
+
+use azoo_bench::{literal_set, small_ruleset};
+use azoo_engines::{Engine, NfaEngine, NullSink, PrefilterEngine};
+use azoo_workloads::network::{pcap_like, PcapConfig};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_prefilter(c: &mut Criterion) {
+    // Snort-like ruleset over PCAP-like traffic: quiescent most of the
+    // time, so both the wake-up skip and the literal gate pay off.
+    let ruleset = small_ruleset();
+    let input = pcap_like(
+        1,
+        &PcapConfig {
+            len: 1 << 17,
+            ..PcapConfig::default()
+        },
+    );
+    let mut group = c.benchmark_group("snort_scan");
+    group.throughput(Throughput::Bytes(input.len() as u64));
+    group.bench_function("nfa_no_skip", |b| {
+        let mut engine = NfaEngine::new(&ruleset).expect("valid");
+        engine.set_quiescent_skip(false);
+        let mut sink = NullSink::new();
+        b.iter(|| engine.scan(&input, &mut sink));
+    });
+    group.bench_function("nfa_quiescent_skip", |b| {
+        let mut engine = NfaEngine::new(&ruleset).expect("valid");
+        let mut sink = NullSink::new();
+        b.iter(|| engine.scan(&input, &mut sink));
+    });
+    group.bench_function("prefilter", |b| {
+        let mut engine = PrefilterEngine::new(&ruleset).expect("valid");
+        let mut sink = NullSink::new();
+        b.iter(|| engine.scan(&input, &mut sink));
+    });
+    group.finish();
+
+    // Literal set over english-like text: every component carries a
+    // required literal, so the prefilter gates the whole state space.
+    let literals = literal_set(256);
+    let text = azoo_workloads::text::english_like(3, 1 << 17);
+    let mut group = c.benchmark_group("literal_prefilter");
+    group.throughput(Throughput::Bytes(text.len() as u64));
+    group.bench_function("nfa_quiescent_skip", |b| {
+        let mut engine = NfaEngine::new(&literals).expect("valid");
+        let mut sink = NullSink::new();
+        b.iter(|| engine.scan(&text, &mut sink));
+    });
+    group.bench_function("prefilter", |b| {
+        let mut engine = PrefilterEngine::new(&literals).expect("valid");
+        let mut sink = NullSink::new();
+        b.iter(|| engine.scan(&text, &mut sink));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_prefilter);
+criterion_main!(benches);

@@ -12,6 +12,8 @@
 //! * `passes` — prefix merging and 8-striding cost.
 //! * `parallel` — `ParallelScanner` scaling at 1/2/4/8 worker threads on
 //!   Snort and Random Forest workloads.
+//! * `prefilter` — baseline NFA vs quiescence-aware NFA vs the
+//!   literal-prefilter engine on sparse workloads (DESIGN.md §6d).
 
 use azoo_core::Automaton;
 use azoo_regex::compile_ruleset;

@@ -1,0 +1,218 @@
+//! Differential testing for the quiescence-aware NFA scan and the
+//! literal-prefilter engine: both are pure performance features, so the
+//! `(offset, code)`-sorted report stream must be *byte-identical* to the
+//! baseline NFA scan (quiescent skip disabled) on random automata, on
+//! every benchmark in the suite, and across streaming chunk boundaries
+//! that split required literals.
+
+use automatazoo::core::{Automaton, StartKind, StateId, SymbolClass};
+use automatazoo::engines::{
+    CollectSink, Engine, NfaEngine, PrefilterEngine, Report, StreamingEngine,
+};
+use automatazoo::zoo::{BenchmarkId, Scale};
+use proptest::prelude::*;
+
+/// The reference stream: the sparse NFA with the quiescent skip forced
+/// off — the plain byte-at-a-time VASim-equivalent scan.
+fn baseline_reports(a: &Automaton, input: &[u8]) -> Vec<Report> {
+    let mut engine = NfaEngine::new(a).expect("valid");
+    engine.set_quiescent_skip(false);
+    let mut sink = CollectSink::new();
+    engine.scan(input, &mut sink);
+    sink.sorted_reports()
+}
+
+fn sorted_reports(engine: &mut dyn Engine, input: &[u8]) -> Vec<Report> {
+    let mut sink = CollectSink::new();
+    engine.scan(input, &mut sink);
+    sink.sorted_reports()
+}
+
+/// Strategy: a random counter-free automaton over `{a..d}` with random
+/// edges (cycles included), start kinds, and report codes — the same
+/// shape family as `tests/differential.rs`, which exercises every
+/// prefilter decision path (cycles, anchors, weak literals).
+fn arb_automaton() -> impl Strategy<Value = Automaton> {
+    let state = (
+        proptest::collection::vec(prop::bool::ANY, 4),
+        0..3u8,
+        proptest::option::of(0..8u32),
+    );
+    (
+        proptest::collection::vec(state, 1..12),
+        proptest::collection::vec((0..12usize, 0..12usize), 0..24),
+    )
+        .prop_map(|(states, edges)| {
+            let n = states.len();
+            let mut a = Automaton::new();
+            for (class_bits, start, report) in &states {
+                let mut class = SymbolClass::new();
+                for (i, &set) in class_bits.iter().enumerate() {
+                    if set {
+                        class.insert(b'a' + i as u8);
+                    }
+                }
+                if class.is_empty() {
+                    class.insert(b'a');
+                }
+                let start = match start {
+                    0 => StartKind::AllInput,
+                    1 => StartKind::StartOfData,
+                    _ => StartKind::None,
+                };
+                let id = a.add_ste(class, start);
+                if let Some(code) = report {
+                    a.set_report(id, *code);
+                }
+            }
+            for &(from, to) in &edges {
+                a.add_edge(StateId::new(from % n), StateId::new(to % n));
+            }
+            a
+        })
+        .prop_filter("needs a start state", |a| a.validate().is_ok())
+}
+
+/// Strategy: literal chains long enough (up to 8 bytes) that the
+/// prefilter extracts full-strength required literals, embedded in an
+/// input that is mostly filler — the shape the quiescent skip and the
+/// literal gate are built for.
+fn arb_literal_chains() -> impl Strategy<Value = Automaton> {
+    proptest::collection::vec(
+        proptest::collection::vec(proptest::sample::select(vec![b'a', b'b', b'c']), 2..9),
+        1..8,
+    )
+    .prop_map(|words| {
+        let mut a = Automaton::new();
+        for (code, w) in words.iter().enumerate() {
+            let classes: Vec<SymbolClass> = w.iter().map(|&b| SymbolClass::from_byte(b)).collect();
+            let (_, last) = a.add_chain(&classes, StartKind::AllInput);
+            a.set_report(last, code as u32);
+        }
+        a
+    })
+}
+
+fn arb_input() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(
+        proptest::sample::select(vec![b'a', b'b', b'c', b'd', b' ', b' ']),
+        0..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn skip_and_prefilter_match_baseline_on_random_automata(
+        a in arb_automaton(),
+        input in arb_input(),
+    ) {
+        let reference = baseline_reports(&a, &input);
+        let mut skip = NfaEngine::new(&a).expect("valid");
+        prop_assert_eq!(&reference, &sorted_reports(&mut skip, &input),
+                        "quiescent skip diverged");
+        let mut pf = PrefilterEngine::new(&a).expect("valid");
+        prop_assert_eq!(&reference, &sorted_reports(&mut pf, &input),
+                        "prefilter diverged");
+    }
+
+    #[test]
+    fn streaming_cuts_match_baseline_on_literal_chains(
+        a in arb_literal_chains(),
+        input in arb_input(),
+        cut_frac in 0..=100usize,
+    ) {
+        // A random cut lands inside required literals often at these
+        // word lengths; quiescence and the Aho–Corasick state must both
+        // carry across the boundary.
+        let reference = baseline_reports(&a, &input);
+        let cut = input.len() * cut_frac / 100;
+        let chunks = [&input[..cut], &input[cut..]];
+        let mut skip = NfaEngine::new(&a).expect("valid");
+        let mut sink = CollectSink::new();
+        skip.scan_chunks(chunks, &mut sink);
+        prop_assert_eq!(&reference, &sink.sorted_reports(),
+                        "quiescent skip diverged across a feed boundary");
+        let mut pf = PrefilterEngine::new(&a).expect("valid");
+        let mut sink = CollectSink::new();
+        pf.scan_chunks(chunks, &mut sink);
+        prop_assert_eq!(&reference, &sink.sorted_reports(),
+                        "prefilter diverged across a feed boundary");
+    }
+}
+
+/// Every cut position through a hit region: the literal (and the
+/// quiescent stretch before it) is split at each possible byte.
+#[test]
+fn every_cut_through_a_literal_matches() {
+    let mut a = Automaton::new();
+    for (code, word) in [&b"needle"[..], &b"edl"[..]].iter().enumerate() {
+        let classes: Vec<SymbolClass> = word.iter().map(|&b| SymbolClass::from_byte(b)).collect();
+        let (_, last) = a.add_chain(&classes, StartKind::AllInput);
+        a.set_report(last, code as u32);
+    }
+    let input = b"   needle  needleedl ";
+    let reference = baseline_reports(&a, input);
+    assert!(!reference.is_empty());
+    for cut in 0..=input.len() {
+        let chunks = [&input[..cut], &input[cut..]];
+        let mut skip = NfaEngine::new(&a).expect("valid");
+        let mut sink = CollectSink::new();
+        skip.scan_chunks(chunks, &mut sink);
+        assert_eq!(reference, sink.sorted_reports(), "nfa skip @ cut {cut}");
+        let mut pf = PrefilterEngine::new(&a).expect("valid");
+        let mut sink = CollectSink::new();
+        pf.scan_chunks(chunks, &mut sink);
+        assert_eq!(reference, sink.sorted_reports(), "prefilter @ cut {cut}");
+    }
+}
+
+/// The whole suite: all 25 benchmarks at tiny scale, block scans and
+/// uneven streaming chunks, quiescent skip and prefilter vs baseline.
+#[test]
+fn all_benchmarks_match_baseline() {
+    for id in BenchmarkId::ALL {
+        let bench = id.build(Scale::Tiny);
+        let window = bench.input.len().min(8_000);
+        let input = &bench.input[..window];
+        let reference = baseline_reports(&bench.automaton, input);
+
+        let mut skip = NfaEngine::new(&bench.automaton).expect("valid");
+        assert_eq!(
+            reference,
+            sorted_reports(&mut skip, input),
+            "quiescent skip diverged on {}",
+            id.name()
+        );
+
+        let mut pf = PrefilterEngine::new(&bench.automaton).expect("valid");
+        assert_eq!(
+            reference,
+            sorted_reports(&mut pf, input),
+            "prefilter diverged on {}",
+            id.name()
+        );
+
+        // Streaming in uneven chunks (prime size so boundaries drift
+        // through literals); engines are reused from the block scans to
+        // also prove reset_stream fully clears quiescence/gate state.
+        let chunks: Vec<&[u8]> = input.chunks(997).collect();
+        let mut sink = CollectSink::new();
+        skip.scan_chunks(chunks.clone(), &mut sink);
+        assert_eq!(
+            reference,
+            sink.sorted_reports(),
+            "streaming quiescent skip diverged on {}",
+            id.name()
+        );
+        let mut sink = CollectSink::new();
+        pf.scan_chunks(chunks, &mut sink);
+        assert_eq!(
+            reference,
+            sink.sorted_reports(),
+            "streaming prefilter diverged on {}",
+            id.name()
+        );
+    }
+}
