@@ -8,34 +8,20 @@
 //! pass that silently changes matching behaviour is caught without any
 //! hand-written oracle.
 //!
-//! Offset conventions for rescaling passes follow the engine test suite:
-//!
-//! * [`InputMap::Stride8`] — the pre-pass automaton is bit-level (one
-//!   symbol per bit, MSB first); sampled bytes are expanded 8:1 for it.
-//!   Only byte-aligned matches survive striding, so pre-pass reports are
-//!   filtered to offsets with `(o + 1) % 8 == 0` and mapped to `o / 8`.
-//!   This is exact for whole-byte patterns (the only shape `stride8`
-//!   accepts from `bit_pattern_chain`-built machines).
-//! * [`InputMap::Widen`] — the post-pass automaton consumes
-//!   zero-interleaved input (`b` → `b, 0`); a pre-pass report at `o`
-//!   maps to `2 * o + 1` (the pad state reports). Samples are NUL-free
-//!   so pad positions can never alias alphabet bytes.
+//! Offset conventions for rescaling passes are shared with the
+//! differential oracle via [`azoo_passes::InputMap`] (re-exported here):
+//! `Stride8` expands samples 8:1 bit-level for the pre-pass machine and
+//! keeps byte-aligned reports (`(o + 1) % 8 == 0` → `o / 8`); `Widen`
+//! zero-interleaves the post-pass input and maps a report at `o` to
+//! `2 * o + 1`, with NUL-free samples so pad positions can never alias
+//! alphabet bytes.
 
 use azoo_core::Automaton;
 use azoo_engines::{CollectSink, Engine, NfaEngine};
 
 use crate::diag::{Diagnostic, Severity};
 
-/// How the sampled input / report offsets relate across the pass.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum InputMap {
-    /// Input and offsets are unchanged (merging, dead-state removal).
-    Identity,
-    /// Pre-pass machine is bit-level, post-pass machine is byte-level.
-    Stride8,
-    /// Post-pass machine consumes zero-interleaved (16-bit padded) input.
-    Widen,
-}
+pub use azoo_passes::InputMap;
 
 /// What to verify about one transformation.
 #[derive(Debug, Clone)]
@@ -208,24 +194,10 @@ pub fn verify_pass(before: &Automaton, after: &Automaton, spec: &VerifySpec) -> 
         let input: Vec<u8> = (0..len)
             .map(|_| alphabet[(rng.next() as usize) % alphabet.len()])
             .collect();
-        let (input_before, input_after) = match spec.map {
-            InputMap::Identity => (input.clone(), input.clone()),
-            InputMap::Stride8 => (
-                input
-                    .iter()
-                    .flat_map(|&b| (0..8).map(move |j| (b >> (7 - j)) & 1))
-                    .collect(),
-                input.clone(),
-            ),
-            InputMap::Widen => (input.clone(), input.iter().flat_map(|&b| [b, 0]).collect()),
-        };
+        let (input_before, input_after) = (spec.map.pre_input(&input), spec.map.post_input(&input));
         let expected: Vec<(u64, u32)> = scan(&mut eng_before, &input_before)
             .into_iter()
-            .filter_map(|(o, c)| match spec.map {
-                InputMap::Identity => Some((o, c)),
-                InputMap::Stride8 => ((o + 1) % 8 == 0).then_some((o / 8, c)),
-                InputMap::Widen => Some((2 * o + 1, c)),
-            })
+            .filter_map(|(o, c)| spec.map.map_offset(o).map(|o| (o, c)))
             .collect();
         let got = scan(&mut eng_after, &input_after);
         if got != expected {
@@ -295,15 +267,14 @@ fn sample_alphabet(before: &Automaton, map: InputMap) -> Vec<u8> {
             }
         }
     }
-    let forbid_nul = map == InputMap::Widen;
     let mut alphabet: Vec<u8> = (0u16..256)
         .map(|b| b as u8)
-        .filter(|&b| in_class[b as usize] && !(forbid_nul && b == 0))
+        .filter(|&b| in_class[b as usize] && map.allows_byte(b))
         .collect();
     // One miss byte keeps the sample from being all-matching.
     if let Some(miss) = (0u16..256)
         .map(|b| b as u8)
-        .find(|&b| !(in_class[b as usize] || forbid_nul && b == 0))
+        .find(|&b| !in_class[b as usize] && map.allows_byte(b))
     {
         alphabet.push(miss);
     }

@@ -165,6 +165,13 @@ fn node_str<'a>(node: &'a Json, key: &str) -> Option<&'a str> {
 fn node_u32(node: &Json, key: &str) -> Result<Option<u32>, CoreError> {
     match node.get(key) {
         None | Some(Json::Null) => Ok(None),
+        // Real-world MNRL emitters disagree on whether numeric fields
+        // (reportId in particular) are numbers or decimal strings;
+        // accept both.
+        Some(Json::Str(s)) => s
+            .parse::<u32>()
+            .map(Some)
+            .map_err(|_| CoreError::Format(format!("field '{key}' is not a u32"))),
         Some(v) => v
             .as_i64()
             .and_then(|n| u32::try_from(n).ok())
@@ -286,11 +293,26 @@ pub fn from_json(text: &str) -> Result<Automaton, CoreError> {
     Ok(a)
 }
 
+/// Canonical alias for [`to_json`], matching the MNRL tool vocabulary.
+pub fn to_mnrl(a: &Automaton, network_id: &str) -> String {
+    to_json(a, network_id)
+}
+
+/// Canonical alias for [`from_json`], matching the MNRL tool vocabulary.
+///
+/// # Errors
+///
+/// Same as [`from_json`].
+pub fn from_mnrl(text: &str) -> Result<Automaton, CoreError> {
+    from_json(text)
+}
+
 #[cfg(test)]
 #[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::element::CounterMode;
+    use crate::ReportCode;
 
     fn sample() -> Automaton {
         let mut a = Automaton::new();
@@ -351,5 +373,28 @@ mod tests {
             "symbolSet":[[97,97]],"outputConnections":[]}]}"#;
         let a = from_json(json).unwrap();
         assert_eq!(a.report_states().len(), 0);
+    }
+
+    #[test]
+    fn string_report_ids_are_accepted() {
+        // Several MNRL emitters write reportId as a decimal string.
+        let json = r#"{"id":"x","nodes":[{"id":"a","type":"hState","enable":"always",
+            "symbolSet":[[97,97]],"report":true,"reportId":"4294967295",
+            "outputConnections":[]}]}"#;
+        let a = from_json(json).unwrap();
+        let reports = a.report_states();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(a.element(reports[0]).report, Some(ReportCode(u32::MAX)));
+        let bad = r#"{"id":"x","nodes":[{"id":"a","type":"hState","enable":"always",
+            "symbolSet":[[97,97]],"report":true,"reportId":"nope",
+            "outputConnections":[]}]}"#;
+        assert!(matches!(from_json(bad), Err(CoreError::Format(_))));
+    }
+
+    #[test]
+    fn mnrl_aliases_round_trip() {
+        let a = sample();
+        assert_eq!(from_mnrl(&to_mnrl(&a, "t")).unwrap(), a);
+        assert_eq!(to_mnrl(&a, "t"), to_json(&a, "t"));
     }
 }

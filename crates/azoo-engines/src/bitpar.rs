@@ -40,6 +40,11 @@ pub struct BitParallelEngine {
     active: Vec<u64>,
     scratch: Vec<u64>,
     cycle_codes: Vec<u32>,
+    /// End-of-data reports held back on the final symbol of a non-`eod`
+    /// feed; an empty `eod` feed emits them, new data discards them.
+    pending_eod: Vec<(u64, u32)>,
+    /// Per-cycle scratch of eod-gated candidate codes.
+    pending_scratch: Vec<u32>,
     stream_offset: u64,
 }
 
@@ -152,6 +157,8 @@ impl BitParallelEngine {
             active: vec![0; words],
             scratch: vec![0; words],
             cycle_codes: Vec::new(),
+            pending_eod: Vec::new(),
+            pending_scratch: Vec::new(),
             stream_offset: 0,
         })
     }
@@ -167,6 +174,8 @@ impl BitParallelEngine {
         for w in 0..self.words {
             self.active[w] = self.sod[w] | self.always[w];
         }
+        self.pending_eod.clear();
+        self.pending_scratch.clear();
     }
 
     fn process(&mut self, input: &[u8], base: u64, eod: bool, sink: &mut dyn ReportSink) {
@@ -175,9 +184,14 @@ impl BitParallelEngine {
             return;
         }
         let len = input.len();
+        // New symbols invalidate held-back end-of-data candidates.
+        if len > 0 {
+            self.pending_eod.clear();
+        }
         for (pos, &c) in input.iter().enumerate() {
             let acc = &self.accept[c as usize];
             let last = eod && pos + 1 == len;
+            let maybe_last = !eod && pos + 1 == len;
             self.cycle_codes.clear();
             // matched (in scratch) and reports (deduplicated per code).
             for (w, &acc_w) in acc.iter().enumerate() {
@@ -192,8 +206,24 @@ impl BitParallelEngine {
                     if (!self.report_eod[p] || last) && !self.cycle_codes.contains(&code) {
                         self.cycle_codes.push(code);
                         sink.report(base + pos as u64, azoo_core::ReportCode(code));
+                    } else if self.report_eod[p]
+                        && maybe_last
+                        && !self.pending_scratch.contains(&code)
+                    {
+                        self.pending_scratch.push(code);
                     }
                 }
+            }
+            // Keep only the end-of-data candidates no unconditional
+            // report claimed this cycle.
+            if maybe_last && !self.pending_scratch.is_empty() {
+                for i in 0..self.pending_scratch.len() {
+                    let code = self.pending_scratch[i];
+                    if !self.cycle_codes.contains(&code) {
+                        self.pending_eod.push((base + pos as u64, code));
+                    }
+                }
+                self.pending_scratch.clear();
             }
             // active' = ((matched & advance) << 1) | (matched & selfloop) | always
             let mut carry = 0u64;
@@ -218,6 +248,13 @@ impl StreamingEngine for BitParallelEngine {
         let base = self.stream_offset;
         self.process(chunk, base, eod, sink);
         self.stream_offset = base + chunk.len() as u64;
+        if eod {
+            for i in 0..self.pending_eod.len() {
+                let (off, code) = self.pending_eod[i];
+                sink.report(off, azoo_core::ReportCode(code));
+            }
+            self.pending_eod.clear();
+        }
     }
 }
 

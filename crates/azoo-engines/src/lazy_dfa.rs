@@ -17,7 +17,6 @@ use crate::stream::StreamingEngine;
 use crate::{Engine, EngineError};
 
 const UNBUILT: u32 = u32::MAX;
-const NO_REPORT: u32 = u32::MAX;
 
 /// Lazily determinized automaton executor.
 ///
@@ -28,6 +27,8 @@ pub struct LazyDfaEngine {
     // NFA side.
     classes: Vec<SymbolClass>,
     report_code: Vec<u32>,
+    // A separate mask, not a code sentinel: u32::MAX is a legal code.
+    has_report: Vec<bool>,
     report_eod: Vec<bool>,
     is_always: Vec<bool>,
     succ_off: Vec<u32>,
@@ -51,6 +52,9 @@ pub struct LazyDfaEngine {
     flushes: u64,
     stream_cur: u32,
     stream_offset: u64,
+    /// End-of-data reports held back on the final symbol of a non-`eod`
+    /// feed; an empty `eod` feed emits them, new data discards them.
+    pending_eod: Vec<(u64, u32)>,
 }
 
 impl LazyDfaEngine {
@@ -76,7 +80,8 @@ impl LazyDfaEngine {
         a.validate()?;
         let n = a.state_count();
         let mut classes = vec![SymbolClass::EMPTY; n];
-        let mut report_code = vec![NO_REPORT; n];
+        let mut report_code = vec![0u32; n];
+        let mut has_report = vec![false; n];
         let mut report_eod = vec![false; n];
         let mut is_always = vec![false; n];
         let mut always = Vec::new();
@@ -101,6 +106,7 @@ impl LazyDfaEngine {
             }
             if let Some(code) = e.report {
                 report_code[i] = code.0;
+                has_report[i] = true;
             }
             report_eod[i] = e.report_eod_only;
         }
@@ -153,6 +159,7 @@ impl LazyDfaEngine {
         let mut engine = LazyDfaEngine {
             classes,
             report_code,
+            has_report,
             report_eod,
             is_always,
             succ_off,
@@ -172,6 +179,7 @@ impl LazyDfaEngine {
             flushes: 0,
             stream_cur: 0,
             stream_offset: 0,
+            pending_eod: Vec::new(),
         };
         engine.rep_intern.insert(Vec::new(), 0);
         let start = engine.start_key.clone();
@@ -246,7 +254,7 @@ impl LazyDfaEngine {
             if !self.classes[si].contains(byte) {
                 continue;
             }
-            if self.report_code[si] != NO_REPORT {
+            if self.has_report[si] {
                 reports.push((self.report_code[si], self.report_eod[si]));
             }
             let lo = self.succ_off[si] as usize;
@@ -263,6 +271,12 @@ impl LazyDfaEngine {
         next.dedup();
         reports.sort_unstable();
         reports.dedup();
+        // An unconditional report subsumes an end-of-data-gated one with
+        // the same code: keeping both would emit a duplicate
+        // `(offset, code)` pair on the stream's last symbol, where the
+        // NFA's per-cycle code dedup emits exactly one. Sorted order puts
+        // `(code, false)` first, so keep the first entry per code.
+        reports.dedup_by_key(|&mut (code, _)| code);
         let rep_id = if reports.is_empty() {
             0
         } else {
@@ -298,16 +312,26 @@ impl LazyDfaEngine {
         sink: &mut dyn ReportSink,
     ) -> u32 {
         let len = input.len();
+        // New symbols invalidate held-back end-of-data candidates.
+        if len > 0 {
+            self.pending_eod.clear();
+        }
         for (pos, &b) in input.iter().enumerate() {
             let k = self.byte_class[b as usize] as usize;
             let (next, rep) = self.take_transition(cur, k);
             if rep != 0 {
                 let last = eod && pos + 1 == len;
+                let maybe_last = !eod && pos + 1 == len;
                 // Clone is cheap: report lists are tiny and rare.
                 let list = self.rep_lists[rep as usize].clone();
                 for (code, eod_only) in list {
                     if !eod_only || last {
                         sink.report(base + pos as u64, azoo_core::ReportCode(code));
+                    } else if maybe_last {
+                        // The list is deduped per code with the
+                        // unconditional variant winning, so this code was
+                        // not otherwise reported this cycle.
+                        self.pending_eod.push((base + pos as u64, code));
                     }
                 }
             }
@@ -321,12 +345,20 @@ impl StreamingEngine for LazyDfaEngine {
     fn reset_stream(&mut self) {
         self.stream_cur = self.intern_state(self.start_key.clone());
         self.stream_offset = 0;
+        self.pending_eod.clear();
     }
 
     fn feed(&mut self, chunk: &[u8], eod: bool, sink: &mut dyn ReportSink) {
         let base = self.stream_offset;
         self.stream_cur = self.process(self.stream_cur, chunk, base, eod, sink);
         self.stream_offset = base + chunk.len() as u64;
+        if eod {
+            for i in 0..self.pending_eod.len() {
+                let (off, code) = self.pending_eod[i];
+                sink.report(off, azoo_core::ReportCode(code));
+            }
+            self.pending_eod.clear();
+        }
     }
 }
 

@@ -8,7 +8,10 @@ use crate::sink::ReportSink;
 use crate::stream::StreamingEngine;
 use crate::{Engine, EngineError};
 
-const NO_REPORT: u32 = u32::MAX;
+// Non-reporting states are marked in `code_idx` (u32::MAX there is safe:
+// the dense index is bounded by the distinct-code count). The raw report
+// code must NOT double as a sentinel — u32::MAX is a legal code.
+const NO_CODE_IDX: u32 = u32::MAX;
 const PORT_BIT: u32 = 1 << 31;
 
 /// Sparse active-set simulator for homogeneous automata with counters.
@@ -70,11 +73,24 @@ pub struct NfaEngine {
     latched: Vec<bool>,
     cnt_enable: Vec<bool>,
     cnt_reset: Vec<bool>,
+    // Generation of the last cycle each counter counted in. A counter
+    // samples its (OR'd) enable line once per symbol cycle, so a firing
+    // counter re-activating itself — directly or through a counter
+    // cycle — must not count again in the same cycle; without this
+    // stamp a rolling counter in a combinational loop cascades forever.
+    count_stamp: Vec<u32>,
     touched: Vec<u32>,
     latched_list: Vec<u32>,
     /// Per-cycle generation stamp per dense report code: replaces a
     /// linear `contains` scan for the one-report-per-code dedup.
     code_stamp: Vec<u32>,
+    /// End-of-data reports held back because the final symbol of a
+    /// non-`eod` feed *may* turn out to be the last of the stream. An
+    /// empty `eod` feed emits them; a later non-empty feed discards them.
+    pending_eod: Vec<(u64, u32)>,
+    /// Per-cycle scratch of `(dense code index, code)` eod-gated
+    /// candidates, filtered against unconditional reports after the cycle.
+    pending_scratch: Vec<(u32, u32)>,
     stream_offset: u64,
 }
 
@@ -140,7 +156,8 @@ impl NfaEngine {
         a.validate()?;
         let n = a.state_count();
         let mut classes = vec![SymbolClass::EMPTY; n];
-        let mut report_code = vec![NO_REPORT; n];
+        let mut report_code = vec![0u32; n];
+        let mut has_report = vec![false; n];
         let mut report_eod = vec![false; n];
         let mut is_always = vec![false; n];
         let mut is_counter = vec![false; n];
@@ -153,6 +170,7 @@ impl NfaEngine {
             let i = id.index();
             if let Some(code) = e.report {
                 report_code[i] = code.0;
+                has_report[i] = true;
             }
             report_eod[i] = e.report_eod_only;
             match &e.kind {
@@ -210,18 +228,20 @@ impl NfaEngine {
         // Dense report-code index for the stamped per-cycle dedup.
         let mut codes: Vec<u32> = report_code
             .iter()
-            .copied()
-            .filter(|&c| c != NO_REPORT)
+            .zip(&has_report)
+            .filter(|&(_, &has)| has)
+            .map(|(&c, _)| c)
             .collect();
         codes.sort_unstable();
         codes.dedup();
         let code_idx: Vec<u32> = report_code
             .iter()
-            .map(|&c| {
-                if c == NO_REPORT {
-                    u32::MAX
+            .zip(&has_report)
+            .map(|(&c, &has)| {
+                if has {
+                    codes.binary_search(&c).map_or(NO_CODE_IDX, |i| i as u32)
                 } else {
-                    codes.binary_search(&c).map_or(u32::MAX, |i| i as u32)
+                    NO_CODE_IDX
                 }
             })
             .collect();
@@ -253,9 +273,12 @@ impl NfaEngine {
             latched: vec![false; n_counters],
             cnt_enable: vec![false; n_counters],
             cnt_reset: vec![false; n_counters],
+            count_stamp: vec![0; n_counters],
             touched: Vec::new(),
             latched_list: Vec::new(),
             code_stamp: vec![0; codes.len()],
+            pending_eod: Vec::new(),
+            pending_scratch: Vec::new(),
             stream_offset: 0,
         })
     }
@@ -294,10 +317,13 @@ impl NfaEngine {
         self.counts.fill(0);
         self.latched.fill(false);
         self.latched_list.clear();
+        self.pending_eod.clear();
+        self.pending_scratch.clear();
         self.generation = self.generation.wrapping_add(1);
         if self.generation == 0 {
             self.stamp.fill(u32::MAX);
             self.code_stamp.fill(u32::MAX);
+            self.count_stamp.fill(u32::MAX);
             self.generation = 1;
         }
         // Seed start-of-data states.
@@ -320,6 +346,11 @@ impl NfaEngine {
     ) -> Profile {
         let mut profile = Profile::default();
         let len = input.len();
+        // New symbols mean the previously held-back end-of-data
+        // candidates were not at the end of the stream after all.
+        if len > 0 {
+            self.pending_eod.clear();
+        }
         let mut pos = 0usize;
         while pos < len {
             // Quiescent skip: with no dynamically active states and no
@@ -347,6 +378,7 @@ impl NfaEngine {
             let c = input[pos];
             let apos = base + pos as u64;
             let last = eod && pos + 1 == len;
+            let maybe_last = !eod && pos + 1 == len;
             if PROFILE {
                 profile.symbols += 1;
                 profile.total_enabled += self.cur.len() as u64;
@@ -355,6 +387,7 @@ impl NfaEngine {
             if self.generation == 0 {
                 self.stamp.fill(u32::MAX);
                 self.code_stamp.fill(u32::MAX);
+                self.count_stamp.fill(u32::MAX);
                 self.generation = 1;
             }
             let gen = self.generation;
@@ -368,7 +401,7 @@ impl NfaEngine {
                     continue;
                 }
                 matched_count += 1;
-                reports += self.report_if_due(s, gen, apos, last, sink);
+                reports += self.report_if_due(s, gen, apos, last, maybe_last, sink);
                 self.activate(s, gen);
             }
             // Always-enabled start states that match this byte (CSR
@@ -378,12 +411,25 @@ impl NfaEngine {
             for ai in lo..hi {
                 let s = self.always_dat[ai] as usize;
                 matched_count += 1;
-                reports += self.report_if_due(s, gen, apos, last, sink);
+                reports += self.report_if_due(s, gen, apos, last, maybe_last, sink);
                 self.activate(s, gen);
             }
 
             // Counter bookkeeping at end of cycle.
-            reports += self.settle_counters(gen, apos, last, sink);
+            reports += self.settle_counters(gen, apos, last, maybe_last, sink);
+
+            // Keep only the end-of-data candidates no unconditional
+            // report claimed this cycle (one canonical report per
+            // `(offset, code)` either way).
+            if maybe_last && !self.pending_scratch.is_empty() {
+                for i in 0..self.pending_scratch.len() {
+                    let (idx, code) = self.pending_scratch[i];
+                    if self.code_stamp[idx as usize] != gen {
+                        self.pending_eod.push((apos, code));
+                    }
+                }
+                self.pending_scratch.clear();
+            }
 
             if PROFILE {
                 profile.total_matched += matched_count;
@@ -397,7 +443,9 @@ impl NfaEngine {
     }
 
     /// Emits `s`'s report unless it has no code, is end-of-data gated, or
-    /// its code already reported this cycle (stamp dedup).
+    /// its code already reported this cycle (stamp dedup). With
+    /// `maybe_last` (final symbol of a non-`eod` feed), suppressed
+    /// end-of-data reports are remembered as pending candidates instead.
     #[inline]
     fn report_if_due(
         &mut self,
@@ -405,13 +453,23 @@ impl NfaEngine {
         gen: u32,
         pos: u64,
         last: bool,
+        maybe_last: bool,
         sink: &mut dyn ReportSink,
     ) -> u64 {
-        let code = self.report_code[s];
-        if code == NO_REPORT || (self.report_eod[s] && !last) {
+        if self.code_idx[s] == NO_CODE_IDX {
             return 0;
         }
+        let code = self.report_code[s];
         let idx = self.code_idx[s] as usize;
+        if self.report_eod[s] && !last {
+            if maybe_last
+                && self.code_stamp[idx] != gen
+                && !self.pending_scratch.iter().any(|&(i, _)| i == idx as u32)
+            {
+                self.pending_scratch.push((idx as u32, code));
+            }
+            return 0;
+        }
         if self.code_stamp[idx] == gen {
             return 0;
         }
@@ -452,6 +510,7 @@ impl NfaEngine {
         gen: u32,
         pos: u64,
         last: bool,
+        maybe_last: bool,
         sink: &mut dyn ReportSink,
     ) -> u64 {
         let mut reports = 0u64;
@@ -470,7 +529,11 @@ impl NfaEngine {
                     self.latched[ci] = false;
                     self.latched_list.retain(|&x| x as usize != ci);
                 }
-            } else if self.cnt_enable[ci] && self.counts[ci] < def_target {
+            } else if self.cnt_enable[ci]
+                && self.counts[ci] < def_target
+                && self.count_stamp[ci] != gen
+            {
+                self.count_stamp[ci] = gen;
                 self.counts[ci] += 1;
                 if self.counts[ci] == def_target {
                     fired = true;
@@ -490,7 +553,7 @@ impl NfaEngine {
             self.cnt_reset[ci] = false;
             if fired {
                 let elem = self.counter_element(ci);
-                reports += self.report_if_due(elem, gen, pos, last, sink);
+                reports += self.report_if_due(elem, gen, pos, last, maybe_last, sink);
                 self.activate(elem, gen);
             }
         }
@@ -520,6 +583,15 @@ impl StreamingEngine for NfaEngine {
         let base = self.stream_offset;
         self.process::<false>(chunk, base, eod, sink);
         self.stream_offset = base + chunk.len() as u64;
+        if eod {
+            // End of data on an empty chunk: the last symbol was consumed
+            // by an earlier feed — emit the reports it held back.
+            for i in 0..self.pending_eod.len() {
+                let (off, code) = self.pending_eod[i];
+                sink.report(off, azoo_core::ReportCode(code));
+            }
+            self.pending_eod.clear();
+        }
     }
 }
 
@@ -697,5 +769,30 @@ mod tests {
         off.scan(input, &mut s2);
         assert_eq!(s1.sorted_reports(), s2.sorted_reports());
         assert_eq!(s1.reports().len(), 2);
+    }
+
+    #[test]
+    fn rolling_counter_in_a_combinational_loop_counts_once_per_cycle() {
+        // A counter activating itself (found by the differential oracle,
+        // seed 2040): the fire -> self-enable -> count -> fire cascade
+        // used to loop forever inside a single symbol cycle. A counter
+        // samples its enable line once per cycle, so it fires exactly
+        // once per enabling symbol.
+        let mut a = Automaton::new();
+        let s = a.add_ste(SymbolClass::from_byte(b'a'), StartKind::AllInput);
+        let c = a.add_counter(1, CounterMode::Roll);
+        a.add_edge(s, c);
+        a.add_edge(c, c); // combinational loop
+        a.set_report(c, 5);
+        a.validate().unwrap();
+        let mut engine = NfaEngine::new(&a).unwrap();
+        let mut sink = CollectSink::new();
+        engine.scan(b"axa", &mut sink);
+        let got: Vec<(u64, u32)> = sink
+            .sorted_reports()
+            .iter()
+            .map(|r| (r.offset, r.code.0))
+            .collect();
+        assert_eq!(got, vec![(0, 5), (2, 5)]);
     }
 }

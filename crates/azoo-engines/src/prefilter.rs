@@ -50,6 +50,10 @@ struct GatedComponent {
     window: u64,
     /// Reports at global offsets below this were already emitted.
     simulated_to: u64,
+    /// Global offset of the last simulated span's start, so pending
+    /// end-of-data reports (span-relative) can be rebased when an empty
+    /// `eod` feed flushes them.
+    last_span_base: u64,
 }
 
 /// Literal-gated windowed simulation with full-simulation fallback.
@@ -71,6 +75,9 @@ pub struct PrefilterEngine {
     hits: Vec<LiteralHit>,
     spans: Vec<Vec<(u64, u64)>>,
     reports: Vec<Report>,
+    /// Reports emitted at the last consumed offset by the previous feed,
+    /// so an empty-`eod` pending flush never re-emits one of them.
+    tail_reports: Vec<Report>,
 }
 
 impl PrefilterEngine {
@@ -100,6 +107,7 @@ impl PrefilterEngine {
                 engine: NfaEngine::new(&pc.automaton)?,
                 window: pc.window as u64,
                 simulated_to: 0,
+                last_span_base: 0,
             });
         }
         let fallback = match &plan.fallback {
@@ -125,6 +133,7 @@ impl PrefilterEngine {
             hits: Vec::new(),
             spans: vec![Vec::new(); n_comp],
             reports: Vec::new(),
+            tail_reports: Vec::new(),
         })
     }
 
@@ -184,11 +193,14 @@ impl StreamingEngine for PrefilterEngine {
         self.matcher.reset();
         for c in &mut self.components {
             c.simulated_to = 0;
+            c.last_span_base = 0;
+            c.engine.reset_stream();
         }
         if let Some(fb) = &mut self.fallback {
             fb.reset_stream();
         }
         self.tail.clear();
+        self.tail_reports.clear();
         self.stream_offset = 0;
     }
 
@@ -238,8 +250,29 @@ impl StreamingEngine for PrefilterEngine {
                 comp.engine
                     .feed(&chunk[c0..c1], eod && t == total, &mut ssink);
                 comp.simulated_to = t;
+                comp.last_span_base = s;
             }
             self.spans[ci].clear();
+        }
+
+        // Stage 2b: end of data on an empty chunk — the final symbol was
+        // consumed by an earlier feed. Components whose last span reached
+        // the end of the stream may hold back end-of-data reports; flush
+        // them (watermark 0: eod-gated reports cannot have been emitted
+        // before eod arrived). Components whose last span ended earlier
+        // cannot report at the final symbol at all (no literal hit ends
+        // there), so their pending state is stale and stays unflushed.
+        if eod && chunk.is_empty() {
+            for comp in &mut self.components {
+                if comp.simulated_to == total && comp.simulated_to > 0 {
+                    let mut ssink = SpanSink {
+                        base: comp.last_span_base,
+                        min: 0,
+                        out: &mut self.reports,
+                    };
+                    comp.engine.feed(&[], true, &mut ssink);
+                }
+            }
         }
 
         // Stage 3: full simulation of the fallback remainder.
@@ -248,12 +281,29 @@ impl StreamingEngine for PrefilterEngine {
         }
 
         // Canonical merge: per-feed sort and dedup. Cross-feed duplicates
-        // are impossible (watermarks), so concatenated feeds remain
-        // globally sorted and deduplicated.
+        // are impossible (watermarks), except when an empty-`eod` flush
+        // replays a code the previous feed already emitted
+        // unconditionally at the final symbol — filter those.
         self.reports.sort_unstable();
         self.reports.dedup();
+        if eod && chunk.is_empty() && !self.tail_reports.is_empty() {
+            let tail_reports = &self.tail_reports;
+            self.reports.retain(|r| !tail_reports.contains(r));
+        }
         for r in &self.reports {
             sink.report(r.offset, r.code);
+        }
+        if !chunk.is_empty() {
+            // Remember what was emitted at the last consumed offset, for
+            // the empty-`eod` cross-feed dedup above.
+            self.tail_reports.clear();
+            let last_off = total - 1;
+            self.tail_reports.extend(
+                self.reports
+                    .iter()
+                    .filter(|r| r.offset == last_off)
+                    .copied(),
+            );
         }
 
         // Roll the tail window forward for the next feed.

@@ -22,20 +22,21 @@ pub trait StreamingEngine {
     /// Consumes one chunk. `eod` marks the final chunk of the stream.
     ///
     /// End-of-data-anchored (`$`) reports fire on the last symbol of the
-    /// `eod` chunk; an *empty* `eod` chunk therefore cannot emit them —
-    /// pass `eod = true` with the chunk that carries the final symbol.
+    /// stream. When that symbol was consumed by an earlier feed (the
+    /// `eod` chunk is empty), engines emit the reports they held back
+    /// for it, so an empty final chunk matches block-mode output exactly.
     fn feed(&mut self, chunk: &[u8], eod: bool, sink: &mut dyn ReportSink);
 
-    /// Convenience: scans a full stream given as chunks. Empty chunks are
-    /// skipped so the end-of-data marker always lands on the chunk with
-    /// the final symbol.
+    /// Convenience: scans a full stream given as chunks, passing
+    /// `eod = true` on the last chunk (empty chunks included — `feed`
+    /// handles an empty end-of-data chunk exactly).
     fn scan_chunks<'a, I>(&mut self, chunks: I, sink: &mut dyn ReportSink)
     where
         I: IntoIterator<Item = &'a [u8]>,
         Self: Sized,
     {
         self.reset_stream();
-        let mut iter = chunks.into_iter().filter(|c| !c.is_empty()).peekable();
+        let mut iter = chunks.into_iter().peekable();
         while let Some(chunk) = iter.next() {
             let eod = iter.peek().is_none();
             self.feed(chunk, eod, sink);

@@ -1,0 +1,324 @@
+//! The bug bank: divergences checked in as replayable regression cases.
+//!
+//! Every divergence the oracle ever finds is serialized into a
+//! directory of three files and replayed forever after by the
+//! `bugbank` integration test:
+//!
+//! ```text
+//! tests/bugbank/<name>/
+//!   automaton.mnrl.json   MNRL serialization of the machine under test
+//!   input.bin             the raw input bytes
+//!   expected.json         { engine | pass, chunks, reports, note }
+//! ```
+//!
+//! `reports` records the *correct* (baseline) stream — the bank stores
+//! what the fixed engine must produce, so a bank entry replays green
+//! once its bug is fixed and red if the bug ever regresses.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use azoo_core::json::{self, Json};
+use azoo_core::mnrl;
+
+use crate::adapter::{EngineKind, EngineUnderTest, Rep};
+use crate::oracle::{apply_pass, baseline, Divergence, Subject, ORACLE_PASSES};
+
+/// One bank entry: a machine, an input, and the expected reports.
+#[derive(Debug, Clone)]
+pub struct BugbankEntry {
+    /// Directory name of the entry.
+    pub name: String,
+    /// Engine label ([`EngineKind::label`]) this entry replays on;
+    /// `nfa-noskip` for pass entries.
+    pub engine: String,
+    /// Pass to apply before replaying, if the divergence was a pass
+    /// comparison.
+    pub pass: Option<String>,
+    /// Chunk plan for streaming replays; `None` replays in block mode.
+    pub chunks: Option<Vec<usize>>,
+    /// The correct report stream.
+    pub expected: Vec<Rep>,
+    /// Human note: what bug this entry witnessed.
+    pub note: String,
+    /// The machine under test (pre-pass for pass entries).
+    pub automaton: azoo_core::Automaton,
+    /// The raw (pre-map) input.
+    pub input: Vec<u8>,
+}
+
+impl BugbankEntry {
+    /// Builds a bank entry from a divergence. `expected` is taken from
+    /// the divergence's baseline stream, so the entry encodes the
+    /// *correct* behaviour.
+    pub fn from_divergence(name: &str, note: &str, d: &Divergence) -> Option<BugbankEntry> {
+        let (engine, pass) = match &d.subject {
+            Subject::Engine(kind) => (kind.label(), None),
+            Subject::Pass { name, .. } => ("nfa-noskip".to_string(), Some((*name).to_string())),
+            // Mutations are self-check artifacts, not real bugs.
+            Subject::Mutation(_) => return None,
+        };
+        Some(BugbankEntry {
+            name: name.to_string(),
+            engine,
+            pass,
+            chunks: d.chunks.clone(),
+            expected: d.expected.clone(),
+            note: note.to_string(),
+            automaton: d.automaton.clone(),
+            input: d.input.clone(),
+        })
+    }
+
+    /// Replays the entry: runs the recorded engine (after the recorded
+    /// pass, if any) and compares against the recorded stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the mismatch or of any setup failure.
+    pub fn replay(&self) -> Result<(), String> {
+        let name = &self.name;
+        let (machine, input) = match &self.pass {
+            None => (self.automaton.clone(), self.input.clone()),
+            Some(pass) => {
+                let map = ORACLE_PASSES
+                    .iter()
+                    .find(|(n, _)| n == pass)
+                    .map(|&(_, m)| m)
+                    .ok_or_else(|| format!("{name}: unknown pass {pass:?}"))?;
+                let t = apply_pass(pass, &self.automaton)
+                    .ok_or_else(|| format!("{name}: pass {pass:?} no longer applies"))?;
+                (t, map.post_input(&self.input))
+            }
+        };
+        machine
+            .validate()
+            .map_err(|e| format!("{name}: invalid automaton: {e}"))?;
+        let kind = EngineKind::parse(&self.engine)
+            .ok_or_else(|| format!("{name}: unknown engine {:?}", self.engine))?;
+        let mut engine = EngineUnderTest::build(kind, &machine)
+            .map_err(|e| format!("{name}: engine build failed: {e}"))?
+            .ok_or_else(|| format!("{name}: engine {:?} no longer applies", self.engine))?;
+        let got = match &self.chunks {
+            None => engine.run_block(&input),
+            Some(plan) => {
+                if plan.iter().sum::<usize>() != input.len() {
+                    return Err(format!("{name}: chunk plan does not cover the input"));
+                }
+                engine.run_chunks(&input, plan)
+            }
+        };
+        if got != self.expected {
+            return Err(format!(
+                "{name}: {} regressed — expected {:?}, got {:?} (chunks {:?}; note: {})",
+                self.engine, self.expected, got, self.chunks, self.note
+            ));
+        }
+        // The bank also pins the baseline itself: the recorded stream
+        // must be what the reference produces today (`machine` is
+        // already transformed for pass entries, so no offset mapping).
+        let base = baseline(&machine, &input);
+        if base != self.expected {
+            return Err(format!(
+                "{name}: recorded expectation is stale — baseline now {base:?}, bank has {:?}",
+                self.expected
+            ));
+        }
+        Ok(())
+    }
+
+    /// Serializes the entry under `root/<name>/`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self, root: &Path) -> io::Result<()> {
+        let dir = root.join(&self.name);
+        fs::create_dir_all(&dir)?;
+        fs::write(
+            dir.join("automaton.mnrl.json"),
+            mnrl::to_mnrl(&self.automaton, &self.name),
+        )?;
+        fs::write(dir.join("input.bin"), &self.input)?;
+        let chunks = match &self.chunks {
+            None => Json::Null,
+            Some(plan) => Json::Arr(plan.iter().map(|&l| Json::Int(l as i64)).collect()),
+        };
+        let reports = Json::Arr(
+            self.expected
+                .iter()
+                .map(|&(o, c)| Json::Arr(vec![Json::Int(o as i64), Json::Int(i64::from(c))]))
+                .collect(),
+        );
+        let expected = Json::Obj(vec![
+            ("engine".into(), Json::Str(self.engine.clone())),
+            (
+                "pass".into(),
+                match &self.pass {
+                    None => Json::Null,
+                    Some(p) => Json::Str(p.clone()),
+                },
+            ),
+            ("chunks".into(), chunks),
+            ("reports".into(), reports),
+            ("note".into(), Json::Str(self.note.clone())),
+        ]);
+        fs::write(dir.join("expected.json"), expected.pretty())
+    }
+
+    /// Loads one entry from its directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of any missing file or malformed field.
+    pub fn load(dir: &Path) -> Result<BugbankEntry, String> {
+        let name = dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("<unnamed>")
+            .to_string();
+        let read = |file: &str| -> Result<String, String> {
+            fs::read_to_string(dir.join(file)).map_err(|e| format!("{name}/{file}: {e}"))
+        };
+        let automaton = mnrl::from_mnrl(&read("automaton.mnrl.json")?)
+            .map_err(|e| format!("{name}/automaton.mnrl.json: {e}"))?;
+        let input =
+            fs::read(dir.join("input.bin")).map_err(|e| format!("{name}/input.bin: {e}"))?;
+        let doc = json::parse(&read("expected.json")?)
+            .map_err(|e| format!("{name}/expected.json: {e}"))?;
+        let engine = doc
+            .get("engine")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{name}: missing engine"))?
+            .to_string();
+        let pass = match doc.get("pass") {
+            None | Some(Json::Null) => None,
+            Some(p) => Some(
+                p.as_str()
+                    .ok_or_else(|| format!("{name}: pass must be a string"))?
+                    .to_string(),
+            ),
+        };
+        let chunks = match doc.get("chunks") {
+            None | Some(Json::Null) => None,
+            Some(c) => Some(
+                c.as_arr()
+                    .ok_or_else(|| format!("{name}: chunks must be an array"))?
+                    .iter()
+                    .map(|l| {
+                        l.as_i64()
+                            .and_then(|l| usize::try_from(l).ok())
+                            .ok_or_else(|| format!("{name}: bad chunk length"))
+                    })
+                    .collect::<Result<Vec<usize>, String>>()?,
+            ),
+        };
+        let expected = doc
+            .get("reports")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("{name}: missing reports"))?
+            .iter()
+            .map(|r| {
+                let pair = r.as_arr().filter(|p| p.len() == 2);
+                let off = pair
+                    .and_then(|p| p[0].as_i64())
+                    .and_then(|v| u64::try_from(v).ok());
+                let code = pair
+                    .and_then(|p| p[1].as_i64())
+                    .and_then(|v| u32::try_from(v).ok());
+                match (off, code) {
+                    (Some(o), Some(c)) => Ok((o, c)),
+                    _ => Err(format!("{name}: bad report entry")),
+                }
+            })
+            .collect::<Result<Vec<Rep>, String>>()?;
+        let note = doc
+            .get("note")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_string();
+        Ok(BugbankEntry {
+            name,
+            engine,
+            pass,
+            chunks,
+            expected,
+            note,
+            automaton,
+            input,
+        })
+    }
+}
+
+/// Loads every entry directory under `root`, sorted by name. A missing
+/// root is an empty bank.
+///
+/// # Errors
+///
+/// Returns the first malformed entry's description.
+pub fn load_all(root: &Path) -> Result<Vec<BugbankEntry>, String> {
+    let mut entries = Vec::new();
+    let Ok(dir) = fs::read_dir(root) else {
+        return Ok(entries);
+    };
+    let mut dirs: Vec<_> = dir
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    dirs.sort();
+    for d in dirs {
+        entries.push(BugbankEntry::load(&d)?);
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use azoo_core::{Automaton, StartKind, SymbolClass};
+
+    fn entry() -> BugbankEntry {
+        let mut a = Automaton::new();
+        let s = a.add_ste(SymbolClass::from_byte(b'z'), StartKind::AllInput);
+        a.set_report(s, 7);
+        a.set_report_eod_only(s, true);
+        BugbankEntry {
+            name: "roundtrip".into(),
+            engine: "nfa".into(),
+            pass: None,
+            chunks: Some(vec![2, 0]),
+            expected: vec![(1, 7)],
+            note: "test entry".into(),
+            automaton: a,
+            input: b"xz".to_vec(),
+        }
+    }
+
+    #[test]
+    fn save_load_replay_round_trips() {
+        let dir = std::env::temp_dir().join(format!("azoo-bugbank-test-{}", std::process::id()));
+        let e = entry();
+        e.save(&dir).unwrap();
+        let loaded = load_all(&dir).unwrap();
+        assert_eq!(loaded.len(), 1);
+        let l = &loaded[0];
+        assert_eq!(l.engine, e.engine);
+        assert_eq!(l.chunks, e.chunks);
+        assert_eq!(l.expected, e.expected);
+        assert_eq!(l.input, e.input);
+        assert_eq!(l.automaton, e.automaton);
+        l.replay().unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_flags_a_wrong_expectation() {
+        let mut e = entry();
+        e.expected = vec![(0, 7)];
+        let err = e.replay().unwrap_err();
+        assert!(err.contains("regressed"), "{err}");
+    }
+}

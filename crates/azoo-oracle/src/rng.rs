@@ -1,0 +1,83 @@
+//! Deterministic pseudo-random generator for the oracle.
+//!
+//! The workspace builds offline and the oracle's only requirement is
+//! *reproducibility*: a seed printed in a failure report must regenerate
+//! the exact automaton, input, and chunk plan on any machine. An
+//! xorshift64\* generator (seeded through a splitmix64 scramble so
+//! consecutive seeds diverge immediately) is plenty; statistical quality
+//! beyond that is irrelevant here.
+
+/// Deterministic xorshift64\* generator.
+#[derive(Debug, Clone)]
+pub struct OracleRng(u64);
+
+impl OracleRng {
+    /// Creates a generator from a seed. Distinct seeds — including
+    /// consecutive integers — produce unrelated streams.
+    pub fn new(seed: u64) -> Self {
+        // One splitmix64 round decorrelates neighbouring seeds.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        OracleRng((z ^ (z >> 31)) | 1)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `0..n` (`n > 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// True with probability `num / den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+
+    /// Uniformly picks an element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.below(xs.len() as u64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = OracleRng::new(7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = OracleRng::new(7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn neighbouring_seeds_diverge() {
+        let mut a = OracleRng::new(1);
+        let mut b = OracleRng::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut r = OracleRng::new(3);
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! Automatic reduction of divergences to minimal reproducers.
+//!
+//! Given a [`Divergence`], the shrinker greedily tries structural
+//! simplifications — in rough order of payoff — and keeps any candidate
+//! that (a) is still a valid automaton and (b) still makes the *same
+//! subject* disagree with the baseline (any disagreement counts, not
+//! necessarily the original one; a shrink that surfaces a simpler
+//! symptom of the same bug is a better reproducer). The passes run to a
+//! fixpoint:
+//!
+//! 1. drop the chunk plan entirely (block-mode reproducers are best);
+//! 2. remove whole states ([`Automaton::retain_states`]);
+//! 3. remove single edges;
+//! 4. shrink multi-byte symbol classes to one byte;
+//! 5. drop report codes;
+//! 6. delete input bytes (ddmin-style, shrinking the covering chunk);
+//! 7. merge adjacent chunks and drop mid-stream empty chunks.
+//!
+//! Every candidate re-runs the full comparison, so shrinking is
+//! quadratic-ish in case size — fine for the tiny cases the generator
+//! produces.
+
+use azoo_core::{Automaton, Port, StateId, SymbolClass};
+
+use crate::oracle::{compare, Divergence};
+
+/// Shrinks `d` to a (locally) minimal divergence for the same subject.
+pub fn shrink(d: &Divergence) -> Divergence {
+    let mut cur = d.clone();
+    let reproduces = |a: &Automaton, input: &[u8], chunks: Option<&[usize]>| -> bool {
+        a.validate().is_ok() && compare(&d.subject, a, input, chunks).is_some()
+    };
+
+    // Streaming-only divergences are worth one up-front attempt in
+    // block mode; if that reproduces, all chunk bookkeeping disappears.
+    if cur.chunks.is_some() && reproduces(&cur.automaton, &cur.input, None) {
+        cur.chunks = None;
+    }
+
+    loop {
+        let mut changed = false;
+
+        // 1. Whole states.
+        for idx in (0..cur.automaton.state_count()).rev() {
+            let victim = StateId::new(idx);
+            let candidate = cur.automaton.retain_states(|s| s != victim);
+            if reproduces(&candidate, &cur.input, cur.chunks.as_deref()) {
+                cur.automaton = candidate;
+                changed = true;
+            }
+        }
+
+        // 2. Single edges.
+        'edges: loop {
+            let n = cur.automaton.state_count();
+            for s in 0..n {
+                let from = StateId::new(s);
+                for i in 0..cur.automaton.successors(from).len() {
+                    let candidate = without_edge(&cur.automaton, from, i);
+                    if reproduces(&candidate, &cur.input, cur.chunks.as_deref()) {
+                        cur.automaton = candidate;
+                        changed = true;
+                        continue 'edges;
+                    }
+                }
+            }
+            break;
+        }
+
+        // 3. Symbol classes down to one byte.
+        for idx in 0..cur.automaton.state_count() {
+            let id = StateId::new(idx);
+            let Some(class) = cur.automaton.element(id).class() else {
+                continue;
+            };
+            if class.len() <= 1 {
+                continue;
+            }
+            let Some(first) = class.iter().next() else {
+                continue;
+            };
+            let mut candidate = cur.automaton.clone();
+            if let azoo_core::ElementKind::Ste { class, .. } = &mut candidate.element_mut(id).kind {
+                *class = SymbolClass::from_byte(first);
+            }
+            if reproduces(&candidate, &cur.input, cur.chunks.as_deref()) {
+                cur.automaton = candidate;
+                changed = true;
+            }
+        }
+
+        // 4. Report codes.
+        for idx in 0..cur.automaton.state_count() {
+            let id = StateId::new(idx);
+            if cur.automaton.element(id).report.is_none() {
+                continue;
+            }
+            let mut candidate = cur.automaton.clone();
+            candidate.element_mut(id).report = None;
+            candidate.element_mut(id).report_eod_only = false;
+            if reproduces(&candidate, &cur.input, cur.chunks.as_deref()) {
+                cur.automaton = candidate;
+                changed = true;
+            }
+        }
+
+        // 5. Input bytes (with the covering chunk shrunk alongside).
+        let mut pos = 0;
+        while pos < cur.input.len() {
+            let mut input = cur.input.clone();
+            input.remove(pos);
+            let chunks = cur.chunks.as_ref().map(|plan| shrink_plan(plan, pos));
+            if reproduces(&cur.automaton, &input, chunks.as_deref()) {
+                cur.input = input;
+                cur.chunks = chunks;
+                changed = true;
+            } else {
+                pos += 1;
+            }
+        }
+
+        // 6. Chunk-plan simplification.
+        if let Some(plan) = cur.chunks.clone() {
+            let mut i = 0;
+            let mut plan = plan;
+            while i + 1 < plan.len() {
+                let mut candidate = plan.clone();
+                let merged = candidate.remove(i + 1);
+                candidate[i] += merged;
+                if reproduces(&cur.automaton, &cur.input, Some(&candidate)) {
+                    plan = candidate;
+                    changed = true;
+                } else {
+                    i += 1;
+                }
+            }
+            cur.chunks = Some(plan);
+        }
+
+        if !changed {
+            break;
+        }
+    }
+
+    // Refresh the recorded disagreement for the reduced case.
+    if let Some((expected, got)) = compare(
+        &d.subject,
+        &cur.automaton,
+        &cur.input,
+        cur.chunks.as_deref(),
+    ) {
+        cur.expected = expected;
+        cur.got = got;
+    }
+    cur
+}
+
+/// Rebuilds `a` without the `idx`-th successor edge of `from`.
+fn without_edge(a: &Automaton, from: StateId, idx: usize) -> Automaton {
+    let mut b = Automaton::with_capacity(a.state_count());
+    for (_, e) in a.iter() {
+        b.add_element(e.clone());
+    }
+    for (id, _) in a.iter() {
+        for (i, edge) in a.successors(id).iter().enumerate() {
+            if id == from && i == idx {
+                continue;
+            }
+            match edge.port {
+                Port::Activate => b.add_edge(id, edge.to),
+                Port::Reset => b.add_reset_edge(id, edge.to),
+            }
+        }
+    }
+    b
+}
+
+/// Removes one byte (at `pos`) from the chunk plan: the chunk covering
+/// `pos` shrinks by one.
+fn shrink_plan(plan: &[usize], pos: usize) -> Vec<usize> {
+    let mut out = plan.to_vec();
+    let mut start = 0;
+    for len in &mut out {
+        if pos < start + *len {
+            *len -= 1;
+            return out;
+        }
+        start += *len;
+    }
+    // `pos` beyond the plan means the plan was already inconsistent;
+    // shrink the last non-empty chunk as a fallback.
+    if let Some(len) = out.iter_mut().rev().find(|l| **l > 0) {
+        *len -= 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adapter::EngineKind;
+    use crate::mutate::Mutation;
+    use crate::oracle::Subject;
+    use azoo_core::StartKind;
+
+    #[test]
+    fn without_edge_drops_exactly_one_edge() {
+        let mut a = Automaton::new();
+        let s = a.add_ste(SymbolClass::from_bytes(b"ab"), StartKind::AllInput);
+        let junk = a.add_ste(SymbolClass::from_byte(b'q'), StartKind::None);
+        a.add_edge(s, junk);
+        a.add_edge(junk, junk);
+        a.set_report(s, 1);
+        let b = without_edge(&a, s, 0);
+        assert_eq!(b.edge_count(), a.edge_count() - 1);
+        assert_eq!(b.state_count(), a.state_count());
+        assert!(b.successors(s).is_empty());
+        assert_eq!(b.successors(junk).len(), 1);
+    }
+
+    #[test]
+    fn shrink_plan_shrinks_covering_chunk() {
+        assert_eq!(shrink_plan(&[2, 0, 3], 0), vec![1, 0, 3]);
+        assert_eq!(shrink_plan(&[2, 0, 3], 2), vec![2, 0, 2]);
+        assert_eq!(shrink_plan(&[2, 0, 3], 4), vec![2, 0, 2]);
+        assert_eq!(shrink_plan(&[1, 0], 5), vec![0, 0]);
+    }
+
+    /// End-to-end over the real comparison plumbing: plant the
+    /// offset-off-by-one mutation, hand the shrinker a deliberately
+    /// bloated witness, and require a minimal reproducer back.
+    #[test]
+    fn shrink_reduces_a_mutant_witness_to_the_minimum() {
+        let mut a = Automaton::new();
+        let s = a.add_ste(SymbolClass::from_bytes(b"ab"), StartKind::AllInput);
+        a.set_report(s, 1);
+        // Junk the mutation does not need.
+        let j1 = a.add_ste(SymbolClass::from_byte(b'q'), StartKind::None);
+        let j2 = a.add_ste(SymbolClass::from_byte(b'r'), StartKind::AllInput);
+        a.add_edge(s, j1);
+        a.add_edge(j1, j2);
+        a.set_report(j2, 7);
+        let d = Divergence {
+            seed: 0,
+            subject: Subject::Mutation(Mutation::OffsetPlusOne),
+            automaton: a.clone(),
+            input: b"xxaxbxa".to_vec(),
+            chunks: Some(vec![2, 0, 3, 2]),
+            expected: Vec::new(),
+            got: Vec::new(),
+        };
+        let min = shrink(&d);
+        // One state, one byte, block mode.
+        assert_eq!(min.automaton.state_count(), 1, "{:?}", min.automaton);
+        assert_eq!(min.automaton.edge_count(), 0);
+        assert_eq!(min.input.len(), 1);
+        assert_eq!(min.chunks, None);
+        assert_ne!(min.expected, min.got);
+        // And the reduced case still diverges under the same subject.
+        assert!(compare(&d.subject, &min.automaton, &min.input, None).is_some());
+    }
+
+    /// A witness whose subject does not actually diverge (the engines
+    /// are clean) must come back structurally unchanged.
+    #[test]
+    fn clean_witness_is_not_mangled() {
+        let mut a = Automaton::new();
+        let s = a.add_ste(SymbolClass::from_byte(b'a'), StartKind::AllInput);
+        a.set_report(s, 0);
+        let d = Divergence {
+            seed: 0,
+            subject: Subject::Engine(EngineKind::NfaSkip),
+            automaton: a,
+            input: b"aa".to_vec(),
+            chunks: Some(vec![1, 1]),
+            expected: vec![(0, 0)],
+            got: vec![(1, 0)],
+        };
+        let s = shrink(&d);
+        assert_eq!(s.automaton.state_count(), d.automaton.state_count());
+        assert_eq!(s.input, d.input);
+        assert_eq!(s.chunks, d.chunks);
+    }
+}

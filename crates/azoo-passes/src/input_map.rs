@@ -1,0 +1,117 @@
+//! Input/offset relations across rescaling passes.
+//!
+//! A semantics-preserving pass either leaves the input language alone
+//! (merging, dead-state removal) or *rescales* it: [`stride8`](crate::stride8)
+//! turns a bit-level machine into a byte-level one, [`widen`](crate::widen)
+//! turns a byte-level machine into one consuming zero-interleaved 16-bit
+//! symbols. Comparing report streams across such a pass needs three
+//! pieces of bookkeeping — how a byte sample expands for the *pre*-pass
+//! machine, how it expands for the *post*-pass machine, and how a
+//! pre-pass report offset maps to a post-pass one. [`InputMap`] bundles
+//! all three so the pass verifier (`azoo-analyze`) and the differential
+//! oracle (`azoo-oracle`) agree on the conventions.
+//!
+//! Offset conventions:
+//!
+//! * [`InputMap::Stride8`] — the pre-pass automaton is bit-level (one
+//!   symbol per bit, MSB first); sampled bytes are expanded 8:1 for it.
+//!   Only byte-aligned matches survive striding, so pre-pass reports are
+//!   filtered to offsets with `(o + 1) % 8 == 0` and mapped to `o / 8`.
+//!   This is exact for whole-byte patterns (the only shape `stride8`
+//!   accepts from `bit_pattern_chain`-built machines).
+//! * [`InputMap::Widen`] — the post-pass automaton consumes
+//!   zero-interleaved input (`b` → `b, 0`); a pre-pass report at `o`
+//!   maps to `2 * o + 1` (the pad state reports). Samples must be
+//!   NUL-free so pad positions never alias alphabet bytes (see
+//!   [`InputMap::allows_byte`]).
+
+/// How sampled input and report offsets relate across a pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InputMap {
+    /// Input and offsets are unchanged (merging, dead-state removal).
+    Identity,
+    /// Pre-pass machine is bit-level, post-pass machine is byte-level.
+    Stride8,
+    /// Post-pass machine consumes zero-interleaved (16-bit padded) input.
+    Widen,
+}
+
+impl InputMap {
+    /// Expands a byte sample into the input the *pre*-pass machine
+    /// consumes: 8 bits MSB-first per byte for [`InputMap::Stride8`],
+    /// the bytes themselves otherwise.
+    pub fn pre_input(self, sample: &[u8]) -> Vec<u8> {
+        match self {
+            InputMap::Stride8 => sample
+                .iter()
+                .flat_map(|&b| (0..8).map(move |j| (b >> (7 - j)) & 1))
+                .collect(),
+            InputMap::Identity | InputMap::Widen => sample.to_vec(),
+        }
+    }
+
+    /// Expands a byte sample into the input the *post*-pass machine
+    /// consumes: zero-interleaved for [`InputMap::Widen`], the bytes
+    /// themselves otherwise.
+    pub fn post_input(self, sample: &[u8]) -> Vec<u8> {
+        match self {
+            InputMap::Widen => sample.iter().flat_map(|&b| [b, 0]).collect(),
+            InputMap::Identity | InputMap::Stride8 => sample.to_vec(),
+        }
+    }
+
+    /// Maps a pre-pass report offset to the post-pass offset, or `None`
+    /// if the report has no post-pass counterpart (non-byte-aligned
+    /// offsets under [`InputMap::Stride8`]).
+    pub fn map_offset(self, offset: u64) -> Option<u64> {
+        match self {
+            InputMap::Identity => Some(offset),
+            InputMap::Stride8 => (offset + 1).is_multiple_of(8).then_some(offset / 8),
+            InputMap::Widen => Some(2 * offset + 1),
+        }
+    }
+
+    /// Whether `b` may appear in a sampled input under this map.
+    /// [`InputMap::Widen`] forbids NUL (the pad symbol).
+    pub fn allows_byte(self, b: u8) -> bool {
+        !(self == InputMap::Widen && b == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stride8_expands_msb_first() {
+        assert_eq!(
+            InputMap::Stride8.pre_input(&[0b1010_0001]),
+            vec![1, 0, 1, 0, 0, 0, 0, 1]
+        );
+        assert_eq!(InputMap::Stride8.post_input(&[0xAB]), vec![0xAB]);
+    }
+
+    #[test]
+    fn widen_interleaves_zero() {
+        assert_eq!(InputMap::Widen.post_input(b"ab"), vec![b'a', 0, b'b', 0]);
+        assert_eq!(InputMap::Widen.pre_input(b"ab"), b"ab".to_vec());
+    }
+
+    #[test]
+    fn offset_maps_follow_conventions() {
+        assert_eq!(InputMap::Identity.map_offset(5), Some(5));
+        assert_eq!(InputMap::Stride8.map_offset(7), Some(0));
+        assert_eq!(InputMap::Stride8.map_offset(15), Some(1));
+        assert_eq!(InputMap::Stride8.map_offset(8), None);
+        assert_eq!(InputMap::Widen.map_offset(0), Some(1));
+        assert_eq!(InputMap::Widen.map_offset(3), Some(7));
+    }
+
+    #[test]
+    fn widen_forbids_nul() {
+        assert!(!InputMap::Widen.allows_byte(0));
+        assert!(InputMap::Widen.allows_byte(1));
+        assert!(InputMap::Identity.allows_byte(0));
+        assert!(InputMap::Stride8.allows_byte(0));
+    }
+}

@@ -17,8 +17,14 @@
 //!   automaton into components a literal matcher can gate (simulated only
 //!   in a bounded window around candidate hits) and a full-simulation
 //!   fallback remainder.
+//!
+//! [`InputMap`] records the input/offset conventions of the rescaling
+//! passes so differential checkers (`azoo-analyze`'s pass verifier, the
+//! `azoo-oracle` cross-engine oracle) can compare report streams across
+//! a pass.
 
 mod dead;
+mod input_map;
 mod merge;
 mod partition;
 mod prefilter;
@@ -26,6 +32,7 @@ mod stride;
 mod widen;
 
 pub use dead::remove_dead;
+pub use input_map::InputMap;
 pub use merge::{merge_prefixes, merge_suffixes, MergeStats};
 pub use partition::partition;
 pub use prefilter::{prefilter_plan, PrefilterComponent, PrefilterPlan};

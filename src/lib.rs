@@ -16,6 +16,7 @@
 //! * [`passes`] — optimization & transformation passes ([`azoo_passes`])
 //! * [`regex`] — PCRE-subset → Glushkov NFA compiler ([`azoo_regex`])
 //! * [`engines`] — NFA / lazy-DFA / bit-parallel engines ([`azoo_engines`])
+//! * [`oracle`] — cross-engine differential testing oracle ([`azoo_oracle`])
 //! * [`workloads`] — seeded input generators ([`azoo_workloads`])
 //! * [`ml`] — decision trees & random forests ([`azoo_ml`])
 //! * [`zoo`] — the 24 benchmarks ([`azoo_zoo`])
@@ -47,6 +48,7 @@ pub use azoo_analyze as analyze;
 pub use azoo_core as core;
 pub use azoo_engines as engines;
 pub use azoo_ml as ml;
+pub use azoo_oracle as oracle;
 pub use azoo_passes as passes;
 pub use azoo_regex as regex;
 pub use azoo_workloads as workloads;

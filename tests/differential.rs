@@ -99,6 +99,98 @@ fn parallel_reports(a: &Automaton, threads: usize, input: &[u8]) -> Vec<Report> 
     sink.reports().to_vec()
 }
 
+// ---------------------------------------------------------------------
+// Degenerate parallel-scanner shapes: the chunking heuristics must
+// collapse gracefully instead of duplicating or dropping boundary work.
+// ---------------------------------------------------------------------
+
+fn parallel_pf(a: &Automaton, threads: usize, prefilter: bool, input: &[u8]) -> Vec<Report> {
+    let mut sink = CollectSink::new();
+    ParallelScanner::with_prefilter(a, threads, prefilter)
+        .expect("valid")
+        .scan(input, &mut sink);
+    sink.reports().to_vec()
+}
+
+/// One all-input chain per word, reporting `code = index`.
+fn word_chains(list: &[&[u8]]) -> Automaton {
+    let mut a = Automaton::new();
+    for (code, w) in list.iter().enumerate() {
+        let classes: Vec<SymbolClass> = w.iter().map(|&b| SymbolClass::from_byte(b)).collect();
+        let (_, last) = a.add_chain(&classes, StartKind::AllInput);
+        a.set_report(last, code as u32);
+    }
+    a
+}
+
+#[test]
+fn more_threads_than_chunks() {
+    // 5-byte input at 16 threads: most workers get an empty chunk and
+    // must contribute nothing; the match still appears exactly once.
+    let a = word_chains(&[b"abc"]);
+    let input = b"xabcx";
+    let expected = sorted_reports(&mut NfaEngine::new(&a).expect("valid"), input);
+    assert_eq!(expected.len(), 1);
+    for threads in [7, 16, 64] {
+        for prefilter in [false, true] {
+            assert_eq!(
+                parallel_pf(&a, threads, prefilter, input),
+                expected,
+                "{threads} threads, prefilter {prefilter}"
+            );
+        }
+    }
+}
+
+#[test]
+fn input_shorter_than_the_overlap_window() {
+    // The longest chain is 6 states, so each worker re-scans up to 5
+    // bytes before its chunk — more than a whole chunk of a 4-byte
+    // input. Overlap must clamp at offset 0, not underflow or rescan
+    // foreign territory twice.
+    let a = word_chains(&[b"abcdef", b"cd"]);
+    for input in [&b"cd"[..], &b"abcd"[..], &b"cdcd"[..]] {
+        let expected = sorted_reports(&mut NfaEngine::new(&a).expect("valid"), input);
+        for threads in [2, 4, 8] {
+            for prefilter in [false, true] {
+                assert_eq!(
+                    parallel_pf(&a, threads, prefilter, input),
+                    expected,
+                    "input {input:?}, {threads} threads, prefilter {prefilter}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn cyclic_shard_falls_back_to_whole_input_scans() {
+    // A self-loop gives unbounded match length, so the shard is not
+    // chunkable: every worker must scan the whole input once (no chunk
+    // jobs), still deduplicating into one canonical stream.
+    let mut a = word_chains(&[b"ab"]);
+    let hot = a.add_ste(SymbolClass::from_byte(b'z'), StartKind::AllInput);
+    a.add_edge(hot, hot); // cycle: z+ then 'q' reports
+    let fin = a.add_ste(SymbolClass::from_byte(b'q'), StartKind::None);
+    a.add_edge(hot, fin);
+    a.set_report(fin, 77);
+    a.validate().expect("valid");
+    let input = b"abzzzzqab";
+    let expected = sorted_reports(&mut NfaEngine::new(&a).expect("valid"), input);
+    assert!(expected
+        .iter()
+        .any(|r| r.code == automatazoo::core::ReportCode(77)));
+    for threads in [1, 2, 4] {
+        for prefilter in [false, true] {
+            assert_eq!(
+                parallel_pf(&a, threads, prefilter, input),
+                expected,
+                "{threads} threads, prefilter {prefilter}"
+            );
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 

@@ -1,0 +1,118 @@
+//! Lazy-DFA cache-flush stress test.
+//!
+//! The lazy DFA interns determinized states on demand and, when the
+//! cache bound is hit, flushes the whole table and re-interns from the
+//! current state. Tiny bounds (`max_states` of 2 or 3) force a flush
+//! every few symbols on any non-trivial pattern, so these runs hammer
+//! the flush/re-intern path; 17 exercises the mixed regime where some
+//! states survive. Every run must stay byte-identical to the NFA
+//! reference, in block mode and across chunked feeds.
+
+use automatazoo::core::Automaton;
+use automatazoo::engines::{
+    CollectSink, Engine, LazyDfaEngine, NfaEngine, Report, StreamingEngine,
+};
+use automatazoo::regex::compile;
+
+/// The ten golden patterns (same set the lint suite compiles), with an
+/// input that mixes full matches, near-misses, and noise for each.
+const GOLDENS: &[(&str, &[u8])] = &[
+    (r"cat", b"the cat sat on the catalog, concatenated"),
+    (r"/virus_[0-9]{4}/i", b"VIRUS_1337 virus_007 Virus_2026!"),
+    (r"a|b|cd", b"xaxbxcxdxcdxx"),
+    (r"x[^\n]*y", b"x123y\nxy\nx no end\nxxyy"),
+    (r"(ab)+c?", b"ababc ab abab ababababc"),
+    (r"\x00\xff", b"\x00\xff\x00\x00\xff\xff\x00\xff"),
+    (r"[a-fA-F0-9]{2,8}", b"deadbeef 0F zz 123456789abcdef g00d"),
+    (r"^anchored$", b"anchored"),
+    (r".\w\s\d", b"aa 1 b_\t9 x. 4!"),
+    (
+        r"(foo|bar)(baz)*qux",
+        b"fooqux barbazqux foobazbazqux bazqux",
+    ),
+];
+
+fn block(engine: &mut dyn Engine, input: &[u8]) -> Vec<Report> {
+    let mut sink = CollectSink::new();
+    engine.scan(input, &mut sink);
+    sink.sorted_reports()
+}
+
+fn chunked(engine: &mut dyn StreamingEngine, input: &[u8], chunk: usize) -> Vec<Report> {
+    let mut sink = CollectSink::new();
+    let mut fed = 0;
+    for piece in input.chunks(chunk) {
+        fed += piece.len();
+        engine.feed(piece, fed == input.len(), &mut sink);
+    }
+    if input.is_empty() {
+        engine.feed(b"", true, &mut sink);
+    }
+    sink.sorted_reports()
+}
+
+fn golden_automata() -> Vec<(String, Automaton)> {
+    GOLDENS
+        .iter()
+        .enumerate()
+        .map(|(code, &(pat, _))| {
+            (
+                pat.to_string(),
+                compile(pat, code as u32).expect("golden pattern compiles"),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn tiny_cache_bounds_match_the_nfa_in_block_mode() {
+    for (code, &(pat, input)) in GOLDENS.iter().enumerate() {
+        let a = compile(pat, code as u32).expect("golden pattern compiles");
+        let reference = block(&mut NfaEngine::new(&a).expect("nfa builds"), input);
+        for max_states in [2, 3, 17] {
+            let mut dfa = LazyDfaEngine::with_max_states(&a, max_states).expect("dfa builds");
+            assert_eq!(
+                block(&mut dfa, input),
+                reference,
+                "{pat:?} @ max_states {max_states}"
+            );
+        }
+    }
+}
+
+#[test]
+fn tiny_cache_bounds_match_the_nfa_across_chunked_feeds() {
+    // Chunk sizes chosen to land flushes both inside and between feeds.
+    for (code, &(pat, input)) in GOLDENS.iter().enumerate() {
+        let a = compile(pat, code as u32).expect("golden pattern compiles");
+        let reference = block(&mut NfaEngine::new(&a).expect("nfa builds"), input);
+        for max_states in [2, 3, 17] {
+            for chunk in [1, 3, 7] {
+                let mut dfa = LazyDfaEngine::with_max_states(&a, max_states).expect("dfa builds");
+                assert_eq!(
+                    chunked(&mut dfa, input, chunk),
+                    reference,
+                    "{pat:?} @ max_states {max_states}, chunk {chunk}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn repeated_scans_after_flushes_stay_deterministic() {
+    // A flushed-and-rebuilt cache must not depend on scan history: the
+    // same engine instance rescanning the concatenated golden corpus
+    // must produce the same stream every time.
+    let corpus: Vec<u8> = GOLDENS
+        .iter()
+        .flat_map(|&(_, input)| input.iter().copied().chain(*b" "))
+        .collect();
+    for (pat, a) in golden_automata() {
+        let reference = block(&mut NfaEngine::new(&a).expect("nfa builds"), &corpus);
+        let mut dfa = LazyDfaEngine::with_max_states(&a, 3).expect("dfa builds");
+        for round in 0..3 {
+            assert_eq!(block(&mut dfa, &corpus), reference, "{pat:?} round {round}");
+        }
+    }
+}

@@ -91,3 +91,46 @@ fn reserialization_is_idempotent() {
     let twice = mnrl::to_json(&mnrl::from_json(&once).expect("parses"), "feature_zoo");
     assert_eq!(once, twice);
 }
+
+#[test]
+fn every_benchmark_round_trips_through_mnrl() {
+    use automatazoo::zoo::{BenchmarkId, Scale};
+    for id in BenchmarkId::ALL {
+        let bench = id.build(Scale::Tiny);
+        let text = mnrl::to_mnrl(&bench.automaton, &format!("{id:?}"));
+        let back = mnrl::from_mnrl(&text).expect("benchmark MNRL parses");
+        assert_eq!(
+            back, bench.automaton,
+            "{id:?}: MNRL round trip changed the graph"
+        );
+    }
+}
+
+#[test]
+fn degenerate_classes_and_extreme_report_codes_round_trip() {
+    // Corner cases the benchmarks never hit: a full 256-byte class, a
+    // class holding only NUL, only 0xff, report codes 0 and u32::MAX
+    // (which once collided with an engine-internal sentinel — see
+    // tests/bugbank/max-report-code-*), and an eod-gated max-code state.
+    let mut a = Automaton::new();
+    let full = a.add_ste(SymbolClass::FULL, StartKind::AllInput);
+    a.set_report(full, 0);
+    let nul = a.add_ste(SymbolClass::from_byte(0), StartKind::StartOfData);
+    a.set_report(nul, u32::MAX);
+    let hi = a.add_ste(SymbolClass::from_byte(0xff), StartKind::None);
+    a.add_edge(nul, hi);
+    a.set_report(hi, u32::MAX - 1);
+    a.set_report_eod_only(hi, true);
+    a.validate().expect("valid");
+
+    let text = mnrl::to_mnrl(&a, "degenerate");
+    let back = mnrl::from_mnrl(&text).expect("degenerate MNRL parses");
+    assert_eq!(back, a);
+    // Behavioural equality too: the max-code report must survive.
+    let input = b"\x00\xffx";
+    let expected = report_stream(&a, input);
+    assert!(expected
+        .iter()
+        .any(|r| r.code == automatazoo::core::ReportCode(u32::MAX)));
+    assert_eq!(expected, report_stream(&back, input));
+}
