@@ -1,0 +1,266 @@
+//! Stable, order-independent content hash for [`Automaton`].
+//!
+//! Serving layers cache compiled automata by content (see `azoo-serve`):
+//! two clients submitting the *same machine* must land on the same cache
+//! entry even when their builders inserted states in different orders.
+//! [`content_hash`] therefore hashes the automaton as a labelled graph,
+//! not as a state-numbered list:
+//!
+//! 1. each state starts from a hash of its local payload only (STE class
+//!    bits and start kind, or counter target and mode, plus report code
+//!    and the end-of-data-only flag);
+//! 2. three Weisfeiler–Leman-style refinement rounds mix in the
+//!    *multiset* of neighbour hashes, tagged by edge direction and port,
+//!    via a commutative (wrapping-add) accumulator — so successor order
+//!    and state numbering cannot leak in;
+//! 3. the final digest is a commutative sum over the refined state
+//!    hashes, mixed with the state and edge counts.
+//!
+//! The hash uses only fixed-width integer arithmetic (a splitmix64-style
+//! mixer), so it is identical across platforms and releases with the
+//! same [`HASH_VERSION`]. Like any WL scheme it can in principle collide
+//! on payload-identical regular graphs; cache consumers that need
+//! certainty (e.g. `Db::deserialize`) re-verify by recomputing the hash
+//! over the decoded payload, which makes a collision a stale-cache risk,
+//! never a correctness one.
+
+use crate::automaton::{Automaton, StateId};
+use crate::element::{CounterMode, Element, ElementKind, Port, StartKind};
+
+/// Bump when the hash construction changes: persisted artifacts keyed by
+/// an older version must be treated as misses, not mismatches.
+pub const HASH_VERSION: u32 = 1;
+
+/// Refinement rounds. Three rounds distinguish neighbourhoods up to
+/// radius 3, ample for the payload-rich graphs this crate builds (states
+/// carry 256-bit classes and report codes, so ties are already rare
+/// after round one).
+const ROUNDS: usize = 3;
+
+// Direction/port tags, arbitrary odd constants.
+const TAG_OUT: u64 = 0x9ae1_6a3b_2f90_404f;
+const TAG_IN: u64 = 0xd6e8_feb8_6659_fd93;
+const TAG_RESET: u64 = 0xaf25_1af3_b0f0_25b5;
+
+#[inline]
+fn mix(mut x: u64) -> u64 {
+    // splitmix64 finalizer: bijective, strong diffusion, no tables.
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// Hash of one state's local payload, independent of its [`StateId`].
+fn local_signature(e: &Element) -> u64 {
+    let mut h = 0x9e37_79b9_7f4a_7c15u64 ^ u64::from(HASH_VERSION);
+    match &e.kind {
+        ElementKind::Ste { class, start } => {
+            h = mix(h ^ 0x5354_4501); // "STE" tag
+            for (i, &w) in class.as_words().iter().enumerate() {
+                h = mix(h.wrapping_add(w).wrapping_add(i as u64));
+            }
+            let s = match start {
+                StartKind::None => 1u64,
+                StartKind::StartOfData => 2,
+                StartKind::AllInput => 3,
+            };
+            h = mix(h ^ (s << 8));
+        }
+        ElementKind::Counter { target, mode } => {
+            h = mix(h ^ 0x434e_5402); // "CNT" tag
+            h = mix(h ^ u64::from(*target));
+            let m = match mode {
+                CounterMode::Latch => 1u64,
+                CounterMode::Pulse => 2,
+                CounterMode::Roll => 3,
+            };
+            h = mix(h ^ (m << 8));
+        }
+    }
+    if let Some(code) = e.report {
+        h = mix(h ^ 0x5250_5403 ^ (u64::from(code.0) << 16));
+        if e.report_eod_only {
+            h = mix(h ^ 0x454f_4404);
+        }
+    }
+    h
+}
+
+/// Computes the stable content hash of `a`. See the module docs.
+pub fn content_hash(a: &Automaton) -> u64 {
+    let n = a.state_count();
+    let mut h: Vec<u64> = (0..n)
+        .map(|i| local_signature(a.element(StateId::new(i))))
+        .collect();
+    let mut edges = 0u64;
+    for _ in 0..ROUNDS {
+        // Commutative accumulators: the order states and edges are
+        // visited in cannot affect the sums.
+        let mut out_acc = vec![0u64; n];
+        let mut in_acc = vec![0u64; n];
+        edges = 0;
+        for i in 0..n {
+            for e in a.successors(StateId::new(i)) {
+                edges += 1;
+                let port = match e.port {
+                    Port::Activate => 0,
+                    Port::Reset => TAG_RESET,
+                };
+                let j = e.to.index();
+                out_acc[i] = out_acc[i].wrapping_add(mix(h[j] ^ port ^ TAG_OUT));
+                in_acc[j] = in_acc[j].wrapping_add(mix(h[i] ^ port ^ TAG_IN));
+            }
+        }
+        for i in 0..n {
+            h[i] = mix(h[i] ^ mix(out_acc[i] ^ TAG_OUT) ^ mix(in_acc[i] ^ TAG_IN).rotate_left(17));
+        }
+    }
+    let sum = h.iter().fold(0u64, |acc, &x| acc.wrapping_add(mix(x)));
+    mix(sum ^ mix(n as u64 ^ edges.rotate_left(32)))
+}
+
+impl Automaton {
+    /// Stable, order-independent content hash of this machine; the Db
+    /// cache key used by the serving layer. See [`content_hash`].
+    pub fn content_hash(&self) -> u64 {
+        content_hash(self)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::element::ReportCode;
+    use crate::mnrl;
+    use crate::symbol::SymbolClass;
+
+    /// `cat` anywhere, plus a `$`-anchored `z` and a latch counter.
+    fn sample() -> Automaton {
+        let mut a = Automaton::new();
+        let c = a.add_ste(SymbolClass::from_byte(b'c'), StartKind::AllInput);
+        let s1 = a.add_ste(SymbolClass::from_byte(b'a'), StartKind::None);
+        let s2 = a.add_ste(SymbolClass::from_byte(b't'), StartKind::None);
+        a.add_edge(c, s1);
+        a.add_edge(s1, s2);
+        a.set_report(s2, 7);
+        let z = a.add_ste(SymbolClass::from_byte(b'z'), StartKind::AllInput);
+        a.set_report(z, 8);
+        a.set_report_eod_only(z, true);
+        let cnt = a.add_counter(3, CounterMode::Latch);
+        a.add_edge(s2, cnt);
+        a.add_reset_edge(z, cnt);
+        a.set_report(cnt, 9);
+        a
+    }
+
+    /// The same machine as [`sample`], states inserted in reverse order.
+    fn sample_permuted() -> Automaton {
+        let mut a = Automaton::new();
+        let cnt = a.add_counter(3, CounterMode::Latch);
+        a.set_report(cnt, 9);
+        let z = a.add_ste(SymbolClass::from_byte(b'z'), StartKind::AllInput);
+        a.set_report(z, 8);
+        a.set_report_eod_only(z, true);
+        let s2 = a.add_ste(SymbolClass::from_byte(b't'), StartKind::None);
+        a.set_report(s2, 7);
+        let s1 = a.add_ste(SymbolClass::from_byte(b'a'), StartKind::None);
+        let c = a.add_ste(SymbolClass::from_byte(b'c'), StartKind::AllInput);
+        a.add_edge(c, s1);
+        a.add_edge(s1, s2);
+        a.add_edge(s2, cnt);
+        a.add_reset_edge(z, cnt);
+        a
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(content_hash(&sample()), content_hash(&sample()));
+    }
+
+    #[test]
+    fn insertion_order_does_not_matter() {
+        assert_eq!(content_hash(&sample()), content_hash(&sample_permuted()));
+    }
+
+    #[test]
+    fn mnrl_round_trip_preserves_hash() {
+        let a = sample();
+        let back = mnrl::from_json(&mnrl::to_json(&a, "hash-test")).unwrap();
+        assert_eq!(content_hash(&a), content_hash(&back));
+    }
+
+    #[test]
+    fn every_payload_field_is_hashed() {
+        let base = content_hash(&sample());
+        // Symbol class.
+        let mut m = sample();
+        let s = StateId::new(1);
+        if let ElementKind::Ste { class, .. } = &mut m.element_mut(s).kind {
+            class.insert(b'!');
+        }
+        assert_ne!(content_hash(&m), base, "class change must rehash");
+        // Start kind.
+        let mut m = sample();
+        if let ElementKind::Ste { start, .. } = &mut m.element_mut(StateId::new(0)).kind {
+            *start = StartKind::StartOfData;
+        }
+        assert_ne!(content_hash(&m), base, "start change must rehash");
+        // Report code.
+        let mut m = sample();
+        m.element_mut(StateId::new(2)).report = Some(ReportCode(1000));
+        assert_ne!(content_hash(&m), base, "report code change must rehash");
+        // End-of-data-only flag.
+        let mut m = sample();
+        m.element_mut(StateId::new(3)).report_eod_only = false;
+        assert_ne!(content_hash(&m), base, "eod flag change must rehash");
+        // Counter target.
+        let mut m = sample();
+        if let ElementKind::Counter { target, .. } = &mut m.element_mut(StateId::new(4)).kind {
+            *target += 1;
+        }
+        assert_ne!(content_hash(&m), base, "counter target change must rehash");
+        // Counter mode.
+        let mut m = sample();
+        if let ElementKind::Counter { mode, .. } = &mut m.element_mut(StateId::new(4)).kind {
+            *mode = CounterMode::Roll;
+        }
+        assert_ne!(content_hash(&m), base, "counter mode change must rehash");
+    }
+
+    #[test]
+    fn edges_and_ports_are_hashed() {
+        let base = content_hash(&sample());
+        // Extra edge.
+        let mut m = sample();
+        m.add_edge(StateId::new(3), StateId::new(1));
+        assert_ne!(content_hash(&m), base, "extra edge must rehash");
+        // Same endpoints, different port: rebuild with the reset edge as
+        // a plain activation.
+        let mut plain = Automaton::new();
+        let c = plain.add_ste(SymbolClass::from_byte(b'c'), StartKind::AllInput);
+        let s1 = plain.add_ste(SymbolClass::from_byte(b'a'), StartKind::None);
+        let s2 = plain.add_ste(SymbolClass::from_byte(b't'), StartKind::None);
+        plain.add_edge(c, s1);
+        plain.add_edge(s1, s2);
+        plain.set_report(s2, 7);
+        let z = plain.add_ste(SymbolClass::from_byte(b'z'), StartKind::AllInput);
+        plain.set_report(z, 8);
+        plain.set_report_eod_only(z, true);
+        let cnt = plain.add_counter(3, CounterMode::Latch);
+        plain.add_edge(s2, cnt);
+        plain.add_edge(z, cnt); // activate, not reset
+        plain.set_report(cnt, 9);
+        assert_ne!(content_hash(&plain), base, "port change must rehash");
+    }
+
+    #[test]
+    fn empty_automaton_hashes() {
+        let a = Automaton::new();
+        assert_eq!(content_hash(&a), content_hash(&Automaton::new()));
+        assert_ne!(content_hash(&a), content_hash(&sample()));
+    }
+}

@@ -44,6 +44,7 @@ pub mod bitset;
 pub mod dot;
 pub mod element;
 pub mod error;
+pub mod hash;
 pub mod json;
 pub mod mnrl;
 pub mod stats;
@@ -55,5 +56,6 @@ pub use automaton::{Automaton, Edge, StateId};
 pub use bitset::BitSet;
 pub use element::{CounterMode, Element, ElementKind, Port, ReportCode, StartKind};
 pub use error::CoreError;
+pub use hash::{content_hash, HASH_VERSION};
 pub use stats::AutomatonStats;
 pub use symbol::SymbolClass;

@@ -239,6 +239,13 @@ impl BitParallelEngine {
 }
 
 impl StreamingEngine for BitParallelEngine {
+    fn stream_quiesced(&self) -> bool {
+        self.stream_offset == 0
+            && self.pending_eod.is_empty()
+            && self.pending_scratch.is_empty()
+            && (0..self.words).all(|w| self.active[w] == (self.sod[w] | self.always[w]))
+    }
+
     fn reset_stream(&mut self) {
         self.reset_active();
         self.stream_offset = 0;

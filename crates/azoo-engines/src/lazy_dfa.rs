@@ -348,6 +348,15 @@ impl StreamingEngine for LazyDfaEngine {
         self.pending_eod.clear();
     }
 
+    fn stream_quiesced(&self) -> bool {
+        self.stream_offset == 0
+            && self.pending_eod.is_empty()
+            && self
+                .states
+                .get(self.stream_cur as usize)
+                .is_some_and(|key| **key == *self.start_key)
+    }
+
     fn feed(&mut self, chunk: &[u8], eod: bool, sink: &mut dyn ReportSink) {
         let base = self.stream_offset;
         self.stream_cur = self.process(self.stream_cur, chunk, base, eod, sink);

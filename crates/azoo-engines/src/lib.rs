@@ -66,7 +66,10 @@ pub use parallel::ParallelScanner;
 pub use prefilter::{PrefilterEngine, PREFILTER_COVERAGE_GATE};
 pub use profile::Profile;
 pub use report_stats::ReportStats;
-pub use select::{select_engine, select_engine_threaded, EngineChoice};
+pub use select::{
+    select_engine, select_engine_threaded, select_session_engine, select_session_engine_threaded,
+    EngineChoice,
+};
 pub use sink::{CollectSink, CountSink, NullSink, Report, ReportSink};
 pub use stream::StreamingEngine;
 
@@ -82,6 +85,29 @@ pub trait Engine {
 
     /// A short engine name for harness output.
     fn name(&self) -> &'static str;
+}
+
+/// An engine usable as a pooled per-session executor: block scanning,
+/// streaming, `Send` (session pools hand engines across threads), and
+/// cheap duplication of the compiled form.
+///
+/// Blanket-implemented for every `Clone` engine in the portfolio, so
+/// [`select_session_engine`] can box any tier.
+pub trait SessionEngine: Engine + StreamingEngine + Send {
+    /// A fresh executor over the same compiled tables — a memcpy of the
+    /// compiled form, with no recompilation or validation. Session pools
+    /// use this to grow a free list past the prototype; steady-state
+    /// checkouts then reuse pooled engines without any allocation.
+    fn clone_session(&self) -> Box<dyn SessionEngine>;
+}
+
+impl<T> SessionEngine for T
+where
+    T: Engine + StreamingEngine + Clone + Send + 'static,
+{
+    fn clone_session(&self) -> Box<dyn SessionEngine> {
+        Box::new(self.clone())
+    }
 }
 
 /// Errors raised when compiling an automaton for an engine.

@@ -117,6 +117,11 @@ impl AhoCorasick {
         self.state = 0;
     }
 
+    /// Whether the streaming state sits at the root (freshly reset).
+    pub fn is_at_root(&self) -> bool {
+        self.state == 0
+    }
+
     /// Feeds one chunk; hit offsets are `base` plus the in-chunk index.
     /// Matcher state carries over to the next call, so literals spanning
     /// chunk boundaries are found.

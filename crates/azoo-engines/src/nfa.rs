@@ -317,6 +317,15 @@ impl NfaEngine {
         self.counts.fill(0);
         self.latched.fill(false);
         self.latched_list.clear();
+        // A latched counter re-arms its successors after the per-cycle
+        // drain (`settle_counters` runs its drive loop after clearing
+        // `touched`), so pending enables legitimately straddle cycle
+        // boundaries — and therefore survive end of stream. A recycled
+        // engine must not inherit them or the first symbol of the next
+        // stream would settle a counter that was never activated.
+        self.touched.clear();
+        self.cnt_enable.fill(false);
+        self.cnt_reset.fill(false);
         self.pending_eod.clear();
         self.pending_scratch.clear();
         self.generation = self.generation.wrapping_add(1);
@@ -577,6 +586,26 @@ impl StreamingEngine for NfaEngine {
     fn reset_stream(&mut self) {
         self.reset_run_state();
         self.stream_offset = 0;
+    }
+
+    fn stream_quiesced(&self) -> bool {
+        // After a reset the active set holds exactly the seeded
+        // start-of-data states (`sod_list` is duplicate-free); everything
+        // dynamic — counter values, latches, pending enable/reset pulses,
+        // held-back `$` reports, per-cycle scratch, the stream offset —
+        // must be at zero.
+        self.stream_offset == 0
+            && self.next.is_empty()
+            && self.touched.is_empty()
+            && !self.cnt_enable.iter().any(|&b| b)
+            && !self.cnt_reset.iter().any(|&b| b)
+            && self.pending_eod.is_empty()
+            && self.pending_scratch.is_empty()
+            && self.latched_list.is_empty()
+            && !self.latched.iter().any(|&l| l)
+            && self.counts.iter().all(|&c| c == 0)
+            && self.cur.len() == self.sod_list.len()
+            && self.cur.iter().all(|s| self.sod_list.contains(s))
     }
 
     fn feed(&mut self, chunk: &[u8], eod: bool, sink: &mut dyn ReportSink) {

@@ -394,6 +394,13 @@ impl StreamingEngine for ParallelScanner {
         }
     }
 
+    fn stream_quiesced(&self) -> bool {
+        self.shards.iter().all(|s| match &s.engine {
+            ShardEngine::Nfa(e) => e.stream_quiesced(),
+            ShardEngine::Prefilter(e) => e.stream_quiesced(),
+        })
+    }
+
     /// Streaming parallelizes across shards only: chunk workers need the
     /// whole input range up front, but each shard's streaming engine
     /// carries state across `feed` calls independently of the others.

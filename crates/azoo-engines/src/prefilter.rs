@@ -204,6 +204,18 @@ impl StreamingEngine for PrefilterEngine {
         self.stream_offset = 0;
     }
 
+    fn stream_quiesced(&self) -> bool {
+        self.stream_offset == 0
+            && self.tail.is_empty()
+            && self.tail_reports.is_empty()
+            && self.matcher.is_at_root()
+            && self
+                .components
+                .iter()
+                .all(|c| c.simulated_to == 0 && c.last_span_base == 0 && c.engine.stream_quiesced())
+            && self.fallback.as_ref().is_none_or(|fb| fb.stream_quiesced())
+    }
+
     fn feed(&mut self, chunk: &[u8], eod: bool, sink: &mut dyn ReportSink) {
         let base = self.stream_offset;
         let total = base + chunk.len() as u64;

@@ -11,7 +11,7 @@ use azoo_core::Automaton;
 use crate::prefilter::PREFILTER_COVERAGE_GATE;
 use crate::{
     BitParallelEngine, Engine, EngineError, LazyDfaEngine, NfaEngine, ParallelScanner,
-    PrefilterEngine,
+    PrefilterEngine, SessionEngine,
 };
 
 /// Which engine [`select_engine`] picked.
@@ -68,6 +68,24 @@ fn preflight(a: &Automaton) -> Result<(), EngineError> {
 }
 
 pub fn select_engine(a: &Automaton) -> Result<(EngineChoice, Box<dyn Engine>), EngineError> {
+    let (choice, engine) = select_session_engine(a)?;
+    Ok((choice, engine))
+}
+
+/// Streaming-capable variant of [`select_engine`]: the same portfolio
+/// policy, but the boxed engine also exposes the
+/// [`StreamingEngine`](crate::StreamingEngine) feed protocol and
+/// [`SessionEngine::clone_session`], as session pools (azoo-serve)
+/// require. [`select_engine`] delegates here, so the two can never
+/// disagree on the choice.
+///
+/// # Errors
+///
+/// Propagates [`EngineError::Invalid`] if the automaton fails
+/// validation.
+pub fn select_session_engine(
+    a: &Automaton,
+) -> Result<(EngineChoice, Box<dyn SessionEngine>), EngineError> {
     preflight(a)?;
     // Bit-parallel: chain-shaped and small enough that the per-symbol
     // mask walk stays cheap (~256 KiB of active-set words).
@@ -104,6 +122,21 @@ pub fn select_engine_threaded(
     a: &Automaton,
     threads: usize,
 ) -> Result<(EngineChoice, Box<dyn Engine>), EngineError> {
+    let (choice, engine) = select_session_engine_threaded(a, threads)?;
+    Ok((choice, engine))
+}
+
+/// Streaming-capable variant of [`select_engine_threaded`]; see
+/// [`select_session_engine`].
+///
+/// # Errors
+///
+/// Propagates [`EngineError::Invalid`] if the automaton fails
+/// validation.
+pub fn select_session_engine_threaded(
+    a: &Automaton,
+    threads: usize,
+) -> Result<(EngineChoice, Box<dyn SessionEngine>), EngineError> {
     if threads > 1 {
         preflight(a)?;
         // Shards whose components carry required literals run behind the
@@ -112,7 +145,7 @@ pub fn select_engine_threaded(
         let engine = ParallelScanner::with_prefilter(a, threads, true)?;
         return Ok((EngineChoice::Parallel { threads }, Box::new(engine)));
     }
-    select_engine(a)
+    select_session_engine(a)
 }
 
 #[cfg(test)]

@@ -19,6 +19,30 @@ pub trait StreamingEngine {
     /// Restores the engine's initial stream state.
     fn reset_stream(&mut self);
 
+    /// Recycles the engine for a new stream without recompiling or
+    /// reallocating: [`reset_stream`](StreamingEngine::reset_stream)
+    /// plus, in debug builds, an assertion that the mutable stream state
+    /// really returned to its freshly-compiled shape
+    /// ([`stream_quiesced`](StreamingEngine::stream_quiesced)). Session
+    /// pools call this before parking an engine on the free list, so a
+    /// reset that leaks state across streams trips in development
+    /// instead of corrupting a later tenant's scan.
+    fn reset(&mut self) {
+        self.reset_stream();
+        debug_assert!(
+            self.stream_quiesced(),
+            "stream state not quiesced after reset"
+        );
+    }
+
+    /// Whether the engine's mutable stream state (active sets, counter
+    /// values, held-back end-of-data reports, stream offset) equals the
+    /// freshly-reset state. Engines override this; the default `true`
+    /// keeps the check advisory for wrappers without inspectable state.
+    fn stream_quiesced(&self) -> bool {
+        true
+    }
+
     /// Consumes one chunk. `eod` marks the final chunk of the stream.
     ///
     /// End-of-data-anchored (`$`) reports fire on the last symbol of the
@@ -123,6 +147,51 @@ mod tests {
         engine.feed(b"z", true, &mut sink);
         assert_eq!(sink.reports().len(), 1);
         assert_eq!(sink.reports()[0].offset, 1);
+    }
+
+    #[test]
+    fn reset_recycles_every_engine() {
+        use crate::{ParallelScanner, PrefilterEngine};
+        let a = pattern();
+        let input = b"xxabcxxabcxz";
+
+        fn check<E: StreamingEngine + Engine>(mut engine: E, input: &[u8]) {
+            let name = engine.name();
+            let expected = whole(&mut engine, input);
+            // Dirty the stream state: a partial feed with pending work.
+            engine.reset_stream();
+            engine.feed(&input[..input.len() / 2], false, &mut CollectSink::new());
+            // Recycle and rescan: the report stream must match a fresh
+            // engine's block scan exactly.
+            engine.reset();
+            assert!(engine.stream_quiesced(), "{name}: not quiesced after reset");
+            let mut sink = CollectSink::new();
+            engine.feed(input, true, &mut sink);
+            assert_eq!(sink.sorted_reports(), expected, "{name}: reuse diverged");
+        }
+
+        check(NfaEngine::new(&a).unwrap(), input);
+        check(LazyDfaEngine::new(&a).unwrap(), input);
+        check(PrefilterEngine::new(&a).unwrap(), input);
+        check(ParallelScanner::new(&a, 2).unwrap(), input);
+        // Bit-parallel needs a chain shape; counters need the NFA.
+        let mut chain = Automaton::new();
+        let (_, last) = chain.add_chain(
+            &[
+                SymbolClass::from_byte(b'a'),
+                SymbolClass::from_byte(b'b'),
+                SymbolClass::from_byte(b'c'),
+            ],
+            StartKind::AllInput,
+        );
+        chain.set_report(last, 0);
+        check(BitParallelEngine::new(&chain).unwrap(), input);
+        let mut counted = Automaton::new();
+        let s = counted.add_ste(SymbolClass::from_byte(b'a'), StartKind::AllInput);
+        let c = counted.add_counter(2, azoo_core::CounterMode::Latch);
+        counted.add_edge(s, c);
+        counted.set_report(c, 3);
+        check(NfaEngine::new(&counted).unwrap(), b"xaxaxa");
     }
 
     #[test]

@@ -1,0 +1,84 @@
+//! The `azoo-serve` binary: hosts a [`ScanService`] behind the framed
+//! protocol on a TCP address or Unix socket.
+//!
+//! ```text
+//! azoo-serve (--unix PATH | --tcp ADDR)
+//!            [--max-sessions N]          global open-session cap
+//!            [--max-tenant-sessions N]   per-tenant open-session cap
+//!            [--max-bytes N]             global bytes-in-flight cap
+//!            [--max-tenant-bytes N]      per-tenant bytes-in-flight cap
+//!            [--max-buffered-reports N]  per-session undrained-report cap
+//!            [--deadline-ms N]           feed deadline (0 = disabled)
+//!            [--metrics-json PATH]       also write the final snapshot here
+//! ```
+//!
+//! Clients ship their own compiled databases as `OPEN` artifacts (or
+//! reuse a cached key), so the server is ruleset-agnostic. It runs until
+//! a client sends `SHUTDOWN` — the graceful-exit path in place of a
+//! signal handler — then prints the final `azoo-serve-metrics-v1`
+//! snapshot to stdout.
+
+use std::time::Duration;
+
+use azoo_harness::{arg_value, write_metrics_json};
+use azoo_serve::{Listener, ScanService, ServeLimits, Server};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut limits = ServeLimits::default();
+    if let Some(n) = parse(&args, "--max-sessions") {
+        limits.max_sessions = n as usize;
+    }
+    if let Some(n) = parse(&args, "--max-tenant-sessions") {
+        limits.max_sessions_per_tenant = n as usize;
+    }
+    if let Some(n) = parse(&args, "--max-bytes") {
+        limits.max_bytes_in_flight = n;
+    }
+    if let Some(n) = parse(&args, "--max-tenant-bytes") {
+        limits.max_bytes_in_flight_per_tenant = n;
+    }
+    if let Some(n) = parse(&args, "--max-buffered-reports") {
+        limits.max_buffered_reports = n as usize;
+    }
+    if let Some(ms) = parse(&args, "--deadline-ms") {
+        limits.feed_deadline = (ms > 0).then(|| Duration::from_millis(ms));
+    }
+
+    let listener = match (arg_value(&args, "--unix"), arg_value(&args, "--tcp")) {
+        (Some(path), None) => Listener::bind_unix(std::path::Path::new(&path))
+            .unwrap_or_else(|e| fatal(&format!("cannot bind unix socket {path}: {e}"))),
+        (None, Some(addr)) => Listener::bind_tcp(&addr)
+            .unwrap_or_else(|e| fatal(&format!("cannot bind tcp address {addr}: {e}"))),
+        _ => fatal("exactly one of --unix PATH or --tcp ADDR is required"),
+    };
+
+    let svc = ScanService::new(limits);
+    let metrics = svc.metrics().clone();
+    match (arg_value(&args, "--unix"), listener.local_addr()) {
+        (Some(path), _) => eprintln!("azoo-serve: listening on unix socket {path}"),
+        (None, Some(addr)) => eprintln!("azoo-serve: listening on tcp {addr}"),
+        _ => {}
+    }
+
+    let server = Server::new(svc, listener);
+    if let Err(e) = server.run() {
+        fatal(&format!("accept loop failed: {e}"));
+    }
+
+    // Graceful exit (SHUTDOWN frame): print the final snapshot.
+    println!("{}", metrics.to_json_string());
+    write_metrics_json(&args, &metrics);
+}
+
+fn parse(args: &[String], flag: &str) -> Option<u64> {
+    arg_value(args, flag).map(|v| {
+        v.parse()
+            .unwrap_or_else(|_| fatal(&format!("{flag} expects an integer, got {v:?}")))
+    })
+}
+
+fn fatal(msg: &str) -> ! {
+    eprintln!("azoo-serve: {msg}");
+    std::process::exit(2);
+}

@@ -8,7 +8,11 @@
 //! extreme outlier responsible for over half of all reports) cuts a
 //! further ~2x.
 //!
-//! Usage: `section5 [--scale tiny|small|full] [--threads N] [--prefilter]`
+//! Usage: `section5 [--scale tiny|small|full] [--threads N] [--prefilter]
+//! [--metrics-json PATH]`
+//!
+//! `--metrics-json` exports the three ruleset scans as feeds in the
+//! `azoo-serve-metrics-v1` schema shared with the serve binaries.
 //!
 //! With `--threads N` the rulesets are scanned by the multi-threaded
 //! [`ParallelScanner`]; with `--prefilter` the scan runs behind the
@@ -16,7 +20,10 @@
 //! (and thus every number in the table) is identical in every mode.
 
 use azoo_engines::{CollectSink, Engine, NfaEngine, ParallelScanner, PrefilterEngine};
-use azoo_harness::{flag_present, fmt_count, scale_from_args, threads_from_args, Table};
+use azoo_harness::{
+    flag_present, fmt_count, scale_from_args, threads_from_args, write_metrics_json, Table,
+};
+use azoo_serve::MetricsRegistry;
 use azoo_workloads::network::{pcap_like, PcapConfig};
 use azoo_zoo::snort::{compile_rules, filter_rules, generate_ruleset};
 use azoo_zoo::Scale;
@@ -58,6 +65,7 @@ fn main() {
         ("Rep/KB", 10),
         ("Drop", 7),
     ]);
+    let metrics = MetricsRegistry::new();
     let mut prev_rate = None;
     let mut outlier_share = 0.0;
     for (name, no_buffer, no_isdataat) in stages {
@@ -74,8 +82,11 @@ fn main() {
             Box::new(NfaEngine::new(&ruleset.automaton).expect("valid"))
         };
         let mut sink = CollectSink::new();
+        let t = std::time::Instant::now();
         engine.scan(&input, &mut sink);
+        let nanos = t.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
         let reports = sink.reports().len();
+        metrics.record_feed(input.len() as u64, reports as u64, nanos);
         let rate = reports as f64 / (input.len() as f64 / 1024.0);
         let drop = prev_rate
             .map(|p: f64| format!("{:.1}x", p / rate.max(1e-9)))
@@ -116,4 +127,5 @@ fn main() {
          (ours: {:.0}%).",
         outlier_share * 100.0
     );
+    write_metrics_json(&args, &metrics);
 }

@@ -13,15 +13,21 @@
 //! * native forest inference, multi-threaded (scikit-learn MT)
 //! * REAPR FPGA analytic model (clock x symbols, as the paper computes)
 //!
-//! Usage: `table4 [--scale tiny|small|full] [--threads N] [--prefilter]`
+//! Usage: `table4 [--scale tiny|small|full] [--threads N] [--prefilter]
+//! [--metrics-json PATH]`
+//!
+//! `--metrics-json` exports the engine-row scan counters in the
+//! `azoo-serve-metrics-v1` schema (each timed automata scan recorded as
+//! one feed), so serve-side dashboards can ingest offline table runs.
 
 use std::time::Instant;
 
 use azoo_engines::{
-    BitParallelEngine, Engine, LazyDfaEngine, NullSink, ParallelScanner, PrefilterEngine,
+    BitParallelEngine, CountSink, Engine, LazyDfaEngine, ParallelScanner, PrefilterEngine,
 };
-use azoo_harness::{arg_value, flag_present, scale_from_args, Table};
+use azoo_harness::{arg_value, flag_present, scale_from_args, write_metrics_json, Table};
 use azoo_ml::SpatialModel;
+use azoo_serve::MetricsRegistry;
 use azoo_zoo::random_forest::{build, RandomForestParams, Variant};
 use azoo_zoo::Scale;
 
@@ -64,34 +70,44 @@ fn main() {
     );
 
     let mut rows: Vec<(String, f64)> = Vec::new();
+    let metrics = MetricsRegistry::new();
+    // Each timed automata scan is recorded as one "feed" so
+    // --metrics-json exports the run in the serve schema.
+    let record = |metrics: &MetricsRegistry, sink: &CountSink, t: Instant| {
+        let nanos = t.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        metrics.record_feed(bench.input.len() as u64, sink.count(), nanos);
+    };
 
     // Lazy-DFA (Hyperscan stand-in).
     {
         let mut dfa =
             LazyDfaEngine::with_max_states(&bench.fa.automaton, 1 << 16).expect("no counters");
-        let mut sink = NullSink::new();
+        let mut sink = CountSink::new();
         let t = Instant::now();
         dfa.scan(&bench.input, &mut sink);
         let kcps = n as f64 / t.elapsed().as_secs_f64() / 1e3;
+        record(&metrics, &sink, t);
         rows.push(("Lazy DFA (Hyperscan)".into(), kcps));
     }
     // Bit-parallel engine.
     {
         let mut bp = BitParallelEngine::new(&bench.fa.automaton).expect("chains");
-        let mut sink = NullSink::new();
+        let mut sink = CountSink::new();
         let t = Instant::now();
         bp.scan(&bench.input, &mut sink);
         let kcps = n as f64 / t.elapsed().as_secs_f64() / 1e3;
+        record(&metrics, &sink, t);
         rows.push(("Bit-parallel (ours)".into(), kcps));
     }
     // Sharded/chunked NFA across worker threads.
     {
         let mut par = ParallelScanner::with_prefilter(&bench.fa.automaton, threads, prefilter)
             .expect("valid");
-        let mut sink = NullSink::new();
+        let mut sink = CountSink::new();
         let t = Instant::now();
         par.scan(&bench.input, &mut sink);
         let kcps = n as f64 / t.elapsed().as_secs_f64() / 1e3;
+        record(&metrics, &sink, t);
         rows.push((format!("Parallel NFA x{threads}"), kcps));
     }
     // Literal-prefilter engine (opt-in row; the RF chains carry narrow
@@ -100,10 +116,11 @@ fn main() {
     if prefilter {
         let mut pf = PrefilterEngine::new(&bench.fa.automaton).expect("valid");
         let coverage = pf.coverage();
-        let mut sink = NullSink::new();
+        let mut sink = CountSink::new();
         let t = Instant::now();
         pf.scan(&bench.input, &mut sink);
         let kcps = n as f64 / t.elapsed().as_secs_f64() / 1e3;
+        record(&metrics, &sink, t);
         rows.push((
             format!("Prefilter NFA ({:.0}% cov)", coverage * 100.0),
             kcps,
@@ -165,4 +182,5 @@ fn main() {
          Python scikit-learn, so the native-vs-FPGA crossover shifts — see \
          EXPERIMENTS.md.)"
     );
+    write_metrics_json(&args, &metrics);
 }

@@ -11,8 +11,15 @@
 //! | `fig1`     | Figure 1 + Table V — profile-driven mesh pruning |
 //! | `section5` | Section V — Snort rule-filtering report-rate drops |
 //! | `ablation` | DESIGN.md §7 — pass/engine/striding ablations |
+//! | `azoo-serve` | the multi-tenant streaming scan server (README "Serving") |
+//! | `azoo-loadgen` | load generator / smoke client for `azoo-serve` |
 //!
-//! All binaries accept `--scale tiny|small|full` (default `small`);
+//! `table4` and `section5` accept `--metrics-json <path>` to export
+//! their scan counters in the same `azoo-serve-metrics-v1` schema the
+//! service emits, so one set of tooling reads both offline runs and
+//! server snapshots.
+//!
+//! All table/figure binaries accept `--scale tiny|small|full` (default `small`);
 //! `table1`, `table4`, `section5`, and `ablation` also accept
 //! `--threads N` to scan with the multi-threaded [`ParallelScanner`]
 //! (default 1 = the single-threaded engines). `table1`, `table4`, and
@@ -65,6 +72,20 @@ pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
 /// True when a bare `--flag` is present in argv.
 pub fn flag_present(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
+}
+
+/// Writes `registry` as `azoo-serve-metrics-v1` JSON to the path given
+/// by `--metrics-json`, if the flag is present. Errors are reported to
+/// stderr, not fatal: metrics export never fails a table run.
+pub fn write_metrics_json(args: &[String], registry: &azoo_serve::MetricsRegistry) {
+    if let Some(path) = arg_value(args, "--metrics-json") {
+        let mut text = registry.to_json_string();
+        text.push('\n');
+        match std::fs::write(&path, text) {
+            Ok(()) => eprintln!("metrics JSON written to {path}"),
+            Err(e) => eprintln!("failed to write metrics JSON to {path}: {e}"),
+        }
+    }
 }
 
 /// Times one engine scan; returns `(seconds, MB/s)`.

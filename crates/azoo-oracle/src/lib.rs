@@ -49,7 +49,7 @@ pub mod shrink;
 pub use adapter::{EngineKind, EngineUnderTest, Rep};
 pub use bugbank::{load_all, BugbankEntry};
 pub use gen::{gen_automaton, gen_chunk_plan, gen_input, GenConfig};
-pub use mutate::{kill_check, Mutation, MutationOutcome};
+pub use mutate::{kill_check, mutate_automaton, Mutation, MutationOutcome};
 pub use oracle::{
     baseline, compare, run_range, run_seed, Divergence, OracleConfig, OracleReport, Subject,
 };

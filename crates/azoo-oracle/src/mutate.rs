@@ -108,7 +108,11 @@ impl ReportSink for MutatedSink<'_> {
 
 /// Rewrites `a` under an automaton-family mutation; `None` when the
 /// mutation has nothing to bite on (the machine is unchanged).
-fn mutate_automaton(mutation: Mutation, a: &Automaton) -> Option<Automaton> {
+///
+/// Public so semantic-change detectors (the azoo-serve content hash
+/// among them) can assert that every mutation this module can plant
+/// also changes their fingerprint.
+pub fn mutate_automaton(mutation: Mutation, a: &Automaton) -> Option<Automaton> {
     let mut out = a.clone();
     let mut hit = false;
     for idx in 0..out.state_count() {

@@ -1,0 +1,564 @@
+//! Compiled-database artifacts and the shared in-memory cache.
+//!
+//! A [`Db`] is the unit a serving deployment distributes: one automaton,
+//! compiled once through the engine portfolio, plus the configuration
+//! that fixes how client bytes reach it (worker threads, input map). Its
+//! serialized form is versioned and self-verifying:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "AZDB"
+//! 4       4     format version (u32 LE) — DB_FORMAT_VERSION
+//! 8       4     content-hash scheme version (u32 LE) — HASH_VERSION
+//! 12      8     automaton content hash (u64 LE)
+//! 20      1     input map (0 identity, 1 stride8, 2 widen)
+//! 21      2     engine worker threads (u16 LE)
+//! 23      4     payload length (u32 LE)
+//! 27      n     payload: MNRL JSON of the automaton
+//! ```
+//!
+//! Load rules, in check order: wrong magic → [`DbError::BadMagic`];
+//! any header or payload shorter than declared → [`DbError::Truncated`];
+//! other format or hash-scheme version → [`DbError::VersionMismatch`]
+//! (old artifacts are *misses*, recompile and re-publish); stored
+//! content hash ≠ hash recomputed over the decoded automaton →
+//! [`DbError::HashMismatch`] (corruption or tampering — never served).
+//! Every error is typed; no load path panics.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use azoo_core::{content_hash, mnrl, Automaton, CoreError, HASH_VERSION};
+use azoo_engines::{
+    select_session_engine, select_session_engine_threaded, EngineChoice, EngineError, SessionEngine,
+};
+use azoo_passes::InputMap;
+
+/// Current artifact format version.
+pub const DB_FORMAT_VERSION: u32 = 1;
+
+const DB_MAGIC: [u8; 4] = *b"AZDB";
+const HEADER_LEN: usize = 27;
+
+/// Recycled engines kept per database; checkouts past this bound fall
+/// back to cloning the prototype (bounded memory beats unbounded reuse).
+const POOL_CAP: usize = 1024;
+
+/// Locks a mutex, recovering from poisoning: every critical section in
+/// this module is a plain push/pop or map operation that cannot leave
+/// the protected data half-updated.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// How a [`Db`] presents input to its machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DbConfig {
+    /// Input expansion applied to client bytes before they reach the
+    /// (post-pass) machine; report offsets are in post-map coordinates.
+    pub input_map: InputMap,
+    /// Engine worker threads; >1 selects the parallel scanner.
+    pub threads: usize,
+}
+
+impl Default for DbConfig {
+    fn default() -> Self {
+        DbConfig {
+            input_map: InputMap::Identity,
+            threads: 1,
+        }
+    }
+}
+
+/// Typed artifact-load and compile failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DbError {
+    /// The artifact does not begin with the `AZDB` magic.
+    BadMagic,
+    /// The artifact is shorter than its headers declare.
+    Truncated,
+    /// Format or hash-scheme version differs from this build's.
+    VersionMismatch {
+        /// Version stored in the artifact.
+        found: u32,
+        /// Version this build writes.
+        expected: u32,
+    },
+    /// Stored content hash does not match the decoded payload.
+    HashMismatch {
+        /// Hash stored in the artifact header.
+        stored: u64,
+        /// Hash recomputed from the decoded automaton.
+        computed: u64,
+    },
+    /// Unknown input-map tag byte.
+    BadInputMap(u8),
+    /// No cached database under this key.
+    UnknownKey(u64),
+    /// The payload failed MNRL parsing.
+    Core(CoreError),
+    /// The automaton failed engine compilation or validation.
+    Engine(EngineError),
+}
+
+impl std::fmt::Display for DbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DbError::BadMagic => write!(f, "artifact is not an AZDB database"),
+            DbError::Truncated => write!(f, "artifact truncated"),
+            DbError::VersionMismatch { found, expected } => {
+                write!(f, "artifact version {found}, this build reads {expected}")
+            }
+            DbError::HashMismatch { stored, computed } => write!(
+                f,
+                "content hash mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            DbError::BadInputMap(tag) => write!(f, "unknown input-map tag {tag}"),
+            DbError::UnknownKey(key) => write!(f, "no cached database under key {key:#018x}"),
+            DbError::Core(e) => write!(f, "payload error: {e}"),
+            DbError::Engine(e) => write!(f, "compile error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DbError::Core(e) => Some(e),
+            DbError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for DbError {
+    fn from(e: CoreError) -> Self {
+        DbError::Core(e)
+    }
+}
+
+impl From<EngineError> for DbError {
+    fn from(e: EngineError) -> Self {
+        DbError::Engine(e)
+    }
+}
+
+/// A compiled, shareable scan database.
+///
+/// `Arc<Db>`-shared across sessions: the automaton, its artifact bytes
+/// and the engine prototype are compiled once; each session checks a
+/// pooled executor out of the free list ([`Db::checkout`]) and returns
+/// it quiesced on close ([`Db::checkin`]), so steady-state session churn
+/// performs no compilation and no allocation.
+pub struct Db {
+    automaton: Automaton,
+    config: DbConfig,
+    hash: u64,
+    choice: EngineChoice,
+    /// Free list of recycled per-session executors (all quiesced).
+    pool: Mutex<Vec<Box<dyn SessionEngine>>>,
+    /// Pristine executor the pool grows from; never circulated.
+    proto: Mutex<Box<dyn SessionEngine>>,
+}
+
+impl std::fmt::Debug for Db {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Db")
+            .field("hash", &format_args!("{:#018x}", self.hash))
+            .field("choice", &self.choice)
+            .field("config", &self.config)
+            .field("states", &self.automaton.state_count())
+            .finish()
+    }
+}
+
+impl Db {
+    /// Compiles `automaton` under `config` through the streaming engine
+    /// portfolio.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Engine`] when validation or compilation fails.
+    pub fn compile(automaton: Automaton, config: DbConfig) -> Result<Arc<Db>, DbError> {
+        let hash = content_hash(&automaton);
+        let (choice, proto) = if config.threads > 1 {
+            select_session_engine_threaded(&automaton, config.threads)?
+        } else {
+            select_session_engine(&automaton)?
+        };
+        Ok(Arc::new(Db {
+            automaton,
+            config,
+            hash,
+            choice,
+            pool: Mutex::new(Vec::new()),
+            proto: Mutex::new(proto),
+        }))
+    }
+
+    /// The automaton's stable content hash (see
+    /// [`azoo_core::content_hash`]).
+    pub fn content_hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// Cache key: content hash mixed with the serving configuration, so
+    /// the same machine under a different input map or thread count is a
+    /// distinct cache entry.
+    pub fn cache_key(&self) -> u64 {
+        Self::mix_key(self.hash, self.config)
+    }
+
+    fn mix_key(hash: u64, config: DbConfig) -> u64 {
+        let tag = (u64::from(input_map_tag(config.input_map)) << 32) | config.threads as u64;
+        // splitmix64-style finalizer, matching azoo-core's mixer.
+        let mut x = hash ^ tag.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= x >> 31;
+        x
+    }
+
+    /// Which portfolio tier the compile selected.
+    pub fn engine_choice(&self) -> EngineChoice {
+        self.choice
+    }
+
+    /// The serving configuration.
+    pub fn config(&self) -> DbConfig {
+        self.config
+    }
+
+    /// The wrapped automaton.
+    pub fn automaton(&self) -> &Automaton {
+        &self.automaton
+    }
+
+    /// Serializes the database to the versioned artifact format
+    /// described in the module docs.
+    pub fn serialize(&self) -> Vec<u8> {
+        let payload = mnrl::to_json(&self.automaton, "azoo-serve-db");
+        let payload = payload.as_bytes();
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+        out.extend_from_slice(&DB_MAGIC);
+        out.extend_from_slice(&DB_FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&HASH_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.hash.to_le_bytes());
+        out.push(input_map_tag(self.config.input_map));
+        out.extend_from_slice(&(self.config.threads.min(u16::MAX as usize) as u16).to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(payload);
+        out
+    }
+
+    /// Reads the cache key from an artifact header without decoding or
+    /// compiling the payload, so a cache hit skips the expensive path.
+    /// Performs the same magic/version checks as a full load.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::BadMagic`], [`DbError::Truncated`],
+    /// [`DbError::VersionMismatch`], or [`DbError::BadInputMap`].
+    pub fn peek_key(bytes: &[u8]) -> Result<u64, DbError> {
+        let (hash, config, _) = parse_header(bytes)?;
+        Ok(Self::mix_key(hash, config))
+    }
+
+    /// Loads an artifact produced by [`Db::serialize`], verifying magic,
+    /// versions and content hash before compiling. See the module docs
+    /// for the check order.
+    ///
+    /// # Errors
+    ///
+    /// Any [`DbError`]; never panics or yields a partially-built `Db`.
+    pub fn deserialize(bytes: &[u8]) -> Result<Arc<Db>, DbError> {
+        let (stored_hash, config, payload) = parse_header(bytes)?;
+        let text = std::str::from_utf8(payload)
+            .map_err(|_| DbError::Core(CoreError::Format("payload is not UTF-8".into())))?;
+        let automaton = mnrl::from_json(text)?;
+        let computed = content_hash(&automaton);
+        if computed != stored_hash {
+            return Err(DbError::HashMismatch {
+                stored: stored_hash,
+                computed,
+            });
+        }
+        Self::compile(automaton, config)
+    }
+
+    /// Checks a quiesced executor out of the free list, cloning the
+    /// prototype's compiled tables when the list is empty.
+    pub fn checkout(&self) -> Box<dyn SessionEngine> {
+        if let Some(engine) = lock(&self.pool).pop() {
+            return engine;
+        }
+        lock(&self.proto).clone_session()
+    }
+
+    /// Returns an executor to the free list, resetting it first (with
+    /// the debug-build quiesced assertion) so the next checkout starts
+    /// from a provably clean stream state.
+    pub fn checkin(&self, mut engine: Box<dyn SessionEngine>) {
+        engine.reset();
+        let mut pool = lock(&self.pool);
+        if pool.len() < POOL_CAP {
+            pool.push(engine);
+        }
+    }
+
+    /// Executors currently parked on the free list.
+    pub fn pooled(&self) -> usize {
+        lock(&self.pool).len()
+    }
+}
+
+fn input_map_tag(map: InputMap) -> u8 {
+    match map {
+        InputMap::Identity => 0,
+        InputMap::Stride8 => 1,
+        InputMap::Widen => 2,
+    }
+}
+
+fn input_map_from_tag(tag: u8) -> Result<InputMap, DbError> {
+    match tag {
+        0 => Ok(InputMap::Identity),
+        1 => Ok(InputMap::Stride8),
+        2 => Ok(InputMap::Widen),
+        other => Err(DbError::BadInputMap(other)),
+    }
+}
+
+/// Parses and checks the fixed header; returns (content hash, config,
+/// payload slice).
+fn parse_header(bytes: &[u8]) -> Result<(u64, DbConfig, &[u8]), DbError> {
+    if bytes.len() < 4 {
+        return Err(if DB_MAGIC.starts_with(bytes) {
+            DbError::Truncated
+        } else {
+            DbError::BadMagic
+        });
+    }
+    if bytes[0..4] != DB_MAGIC {
+        return Err(DbError::BadMagic);
+    }
+    if bytes.len() < HEADER_LEN {
+        return Err(DbError::Truncated);
+    }
+    let le32 =
+        |at: usize| u32::from_le_bytes([bytes[at], bytes[at + 1], bytes[at + 2], bytes[at + 3]]);
+    let version = le32(4);
+    if version != DB_FORMAT_VERSION {
+        return Err(DbError::VersionMismatch {
+            found: version,
+            expected: DB_FORMAT_VERSION,
+        });
+    }
+    let hash_version = le32(8);
+    if hash_version != HASH_VERSION {
+        return Err(DbError::VersionMismatch {
+            found: hash_version,
+            expected: HASH_VERSION,
+        });
+    }
+    let mut hash_bytes = [0u8; 8];
+    hash_bytes.copy_from_slice(&bytes[12..20]);
+    let hash = u64::from_le_bytes(hash_bytes);
+    let input_map = input_map_from_tag(bytes[20])?;
+    let threads = u16::from_le_bytes([bytes[21], bytes[22]]) as usize;
+    let payload_len = le32(23) as usize;
+    let payload = bytes
+        .get(HEADER_LEN..HEADER_LEN + payload_len)
+        .ok_or(DbError::Truncated)?;
+    Ok((
+        hash,
+        DbConfig {
+            input_map,
+            threads: threads.max(1),
+        },
+        payload,
+    ))
+}
+
+/// Shared in-memory database cache, keyed by [`Db::cache_key`].
+///
+/// N sessions opening the same artifact share one `Arc<Db>` — one
+/// compiled machine, one engine pool. Hit/miss counts are plain atomics;
+/// the map lock is held only for a hash-map operation.
+#[derive(Default)]
+pub struct DbCache {
+    map: Mutex<HashMap<u64, Arc<Db>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl DbCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a database by cache key, counting a hit or miss.
+    pub fn get(&self, key: u64) -> Option<Arc<Db>> {
+        let found = lock(&self.map).get(&key).cloned();
+        match found {
+            Some(db) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(db)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or replaces) a database; returns its cache key.
+    pub fn insert(&self, db: Arc<Db>) -> u64 {
+        let key = db.cache_key();
+        lock(&self.map).insert(key, db);
+        key
+    }
+
+    /// Resolves an artifact through the cache: header-only key peek,
+    /// then a full verify-and-compile only on miss. Returns the database
+    /// and whether this was a hit.
+    ///
+    /// # Errors
+    ///
+    /// Any [`DbError`] from header parsing or the miss-path load.
+    pub fn get_or_load(&self, bytes: &[u8]) -> Result<(Arc<Db>, bool), DbError> {
+        let key = Db::peek_key(bytes)?;
+        if let Some(db) = lock(&self.map).get(&key).cloned() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((db, true));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let db = Db::deserialize(bytes)?;
+        lock(&self.map).insert(key, db.clone());
+        Ok((db, false))
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of cached databases.
+    pub fn len(&self) -> usize {
+        lock(&self.map).len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use azoo_core::{StartKind, SymbolClass};
+
+    fn cat() -> Automaton {
+        let mut a = Automaton::new();
+        let c = a.add_ste(SymbolClass::from_byte(b'c'), StartKind::AllInput);
+        let s1 = a.add_ste(SymbolClass::from_byte(b'a'), StartKind::None);
+        let s2 = a.add_ste(SymbolClass::from_byte(b't'), StartKind::None);
+        a.add_edge(c, s1);
+        a.add_edge(s1, s2);
+        a.set_report(s2, 0);
+        a
+    }
+
+    #[test]
+    fn round_trip_preserves_hash_and_choice() {
+        let db = Db::compile(cat(), DbConfig::default()).expect("compile");
+        let bytes = db.serialize();
+        let back = Db::deserialize(&bytes).expect("load");
+        assert_eq!(back.content_hash(), db.content_hash());
+        assert_eq!(back.cache_key(), db.cache_key());
+        assert_eq!(back.engine_choice(), db.engine_choice());
+        assert_eq!(Db::peek_key(&bytes).expect("peek"), db.cache_key());
+    }
+
+    #[test]
+    fn typed_load_errors() {
+        let db = Db::compile(cat(), DbConfig::default()).expect("compile");
+        let good = db.serialize();
+
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert_eq!(Db::deserialize(&bad).unwrap_err(), DbError::BadMagic);
+
+        let mut bad = good.clone();
+        bad[4] = 0xFF;
+        assert!(matches!(
+            Db::deserialize(&bad),
+            Err(DbError::VersionMismatch { .. })
+        ));
+
+        let mut bad = good.clone();
+        bad[12] ^= 0x01; // stored content hash
+        assert!(matches!(
+            Db::deserialize(&bad),
+            Err(DbError::HashMismatch { .. })
+        ));
+
+        let mut bad = good.clone();
+        bad[20] = 9;
+        assert_eq!(Db::deserialize(&bad).unwrap_err(), DbError::BadInputMap(9));
+
+        assert_eq!(
+            Db::deserialize(&good[..10]).unwrap_err(),
+            DbError::Truncated
+        );
+        assert_eq!(
+            Db::deserialize(&good[..good.len() - 1]).unwrap_err(),
+            DbError::Truncated
+        );
+        assert_eq!(Db::deserialize(b"AZ").unwrap_err(), DbError::Truncated);
+        assert_eq!(Db::deserialize(b"nope").unwrap_err(), DbError::BadMagic);
+    }
+
+    #[test]
+    fn pool_recycles_engines() {
+        let db = Db::compile(cat(), DbConfig::default()).expect("compile");
+        assert_eq!(db.pooled(), 0);
+        let e1 = db.checkout();
+        let e2 = db.checkout();
+        db.checkin(e1);
+        db.checkin(e2);
+        assert_eq!(db.pooled(), 2);
+        let _e = db.checkout();
+        assert_eq!(db.pooled(), 1);
+    }
+
+    #[test]
+    fn cache_shares_one_db() {
+        let cache = DbCache::new();
+        let bytes = Db::compile(cat(), DbConfig::default())
+            .expect("compile")
+            .serialize();
+        let (db1, hit1) = cache.get_or_load(&bytes).expect("load");
+        let (db2, hit2) = cache.get_or_load(&bytes).expect("load");
+        assert!(!hit1);
+        assert!(hit2);
+        assert!(Arc::ptr_eq(&db1, &db2));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -1,0 +1,39 @@
+//! azoo-serve: a multi-tenant streaming scan service runtime.
+//!
+//! The AutomataZoo engines answer "how fast does one scan run?"; this
+//! crate answers "how do thousands of concurrent scans share one
+//! machine?" — the deployment shape of an IDS or AV scanner built on
+//! the suite. It stacks four layers, each usable on its own:
+//!
+//! * **[`db`]** — compiled-database artifacts: a versioned,
+//!   content-hash-verified serialization of an automaton plus its
+//!   serving configuration, and an in-memory cache that shares one
+//!   compiled [`Db`] (and one engine pool) across every session that
+//!   opens it.
+//! * **[`service`]** — the session layer: [`ScanService`] multiplexes
+//!   thin per-stream sessions over shared databases with pooled
+//!   executor reuse, bounded per-tenant admission control
+//!   ([`ServeLimits`]) and typed, deterministic rejections
+//!   ([`ServeError`]).
+//! * **[`metrics`]** — a lock-cheap atomic [`MetricsRegistry`]
+//!   (throughput, sessions, cache, rejection counters, per-feed latency
+//!   histogram) exported as stable-schema JSON.
+//! * **[`proto`]**/**[`server`]** — a length-prefixed framed protocol
+//!   and a blocking TCP/Unix-socket [`Server`] front-end; the
+//!   `azoo-serve` and `azoo-loadgen` harness binaries are thin shells
+//!   over these.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod db;
+pub mod metrics;
+pub mod proto;
+pub mod server;
+pub mod service;
+
+pub use db::{Db, DbCache, DbConfig, DbError, DB_FORMAT_VERSION};
+pub use metrics::{MetricsRegistry, MetricsSnapshot, METRICS_SCHEMA};
+pub use proto::{DbRef, ProtoError, Request, Response, MAX_FRAME};
+pub use server::{Listener, Server};
+pub use service::{ScanService, ServeError, ServeLimits, SessionId, SessionStats};

@@ -1,0 +1,389 @@
+//! Blocking socket server over [`ScanService`].
+//!
+//! One acceptor loop (non-blocking accept + shutdown flag) and one
+//! thread per connection. Each connection speaks the framed protocol
+//! from [`crate::proto`], owns the sessions it opened — they are
+//! auto-closed when the peer disconnects, so a crashed client never
+//! leaks quota — and drains reports back to the client after every
+//! feed.
+//!
+//! `SHUTDOWN` flips a shared flag: the acceptor stops, `run` returns,
+//! and the hosting binary prints the final metrics snapshot. The
+//! container environment has no signal-handling crate, so the frame is
+//! the graceful-exit path a signal handler would normally provide;
+//! connections still open at shutdown are detached, not drained.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::os::unix::net::UnixListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::proto::{error_code, read_frame, write_frame, DbRef, Request, Response};
+use crate::service::{ScanService, ServeError};
+
+/// Transport the server listens on.
+pub enum Listener {
+    /// TCP, e.g. `127.0.0.1:7700`.
+    Tcp(TcpListener),
+    /// Unix domain socket.
+    Unix(UnixListener),
+}
+
+trait Conn: Read + Write + Send {}
+impl<T: Read + Write + Send> Conn for T {}
+
+impl Listener {
+    /// Binds a TCP listener.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind_tcp(addr: &str) -> std::io::Result<Listener> {
+        Ok(Listener::Tcp(TcpListener::bind(addr)?))
+    }
+
+    /// Binds a Unix-socket listener, replacing a stale socket file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind_unix(path: &std::path::Path) -> std::io::Result<Listener> {
+        let _ = std::fs::remove_file(path);
+        Ok(Listener::Unix(UnixListener::bind(path)?))
+    }
+
+    /// The bound TCP address, if this is a TCP listener.
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        match self {
+            Listener::Tcp(l) => l.local_addr().ok(),
+            Listener::Unix(_) => None,
+        }
+    }
+
+    fn set_nonblocking(&self, nb: bool) -> std::io::Result<()> {
+        match self {
+            Listener::Tcp(l) => l.set_nonblocking(nb),
+            Listener::Unix(l) => l.set_nonblocking(nb),
+        }
+    }
+
+    fn accept(&self) -> std::io::Result<Option<Box<dyn Conn>>> {
+        match self {
+            Listener::Tcp(l) => match l.accept() {
+                Ok((s, _)) => {
+                    s.set_nonblocking(false)?;
+                    s.set_nodelay(true)?;
+                    Ok(Some(Box::new(s)))
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
+                Err(e) => Err(e),
+            },
+            Listener::Unix(l) => match l.accept() {
+                Ok((s, _)) => {
+                    s.set_nonblocking(false)?;
+                    Ok(Some(Box::new(s)))
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
+                Err(e) => Err(e),
+            },
+        }
+    }
+}
+
+/// The socket front-end for one [`ScanService`].
+pub struct Server {
+    svc: Arc<ScanService>,
+    listener: Listener,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Serves `svc` on `listener`.
+    pub fn new(svc: Arc<ScanService>, listener: Listener) -> Server {
+        Server {
+            svc,
+            listener,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// A flag that, once set, stops the accept loop (the `SHUTDOWN`
+    /// frame sets it too).
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        self.shutdown.clone()
+    }
+
+    /// The bound TCP address, if listening on TCP.
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accepts and serves connections until the shutdown flag is set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop I/O failures (per-connection failures
+    /// only end that connection).
+    pub fn run(self) -> std::io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        while !self.shutdown.load(Ordering::SeqCst) {
+            match self.listener.accept()? {
+                Some(conn) => {
+                    let svc = self.svc.clone();
+                    let shutdown = self.shutdown.clone();
+                    // Detached: a connection still open at shutdown is
+                    // abandoned, not drained (see the module docs).
+                    std::thread::spawn(move || serve_connection(&svc, conn, &shutdown));
+                }
+                None => std::thread::sleep(Duration::from_millis(2)),
+            }
+        }
+        Ok(())
+    }
+}
+
+fn serve_connection(svc: &ScanService, mut conn: Box<dyn Conn>, shutdown: &AtomicBool) {
+    // Sessions this connection opened; auto-closed on disconnect.
+    let mut owned: Vec<u64> = Vec::new();
+    while let Ok(payload) = read_frame(&mut *conn) {
+        let req = match Request::decode(&payload) {
+            Ok(r) => r,
+            Err(e) => {
+                // Framing is intact, the body is not: report and keep
+                // the connection.
+                let resp = Response::Error {
+                    code: 0,
+                    message: e.to_string(),
+                };
+                if write_frame(&mut *conn, &resp.encode()).is_err() {
+                    break;
+                }
+                continue;
+            }
+        };
+        let mut stop = false;
+        let responses = handle(svc, req, &mut owned, &mut stop, shutdown);
+        for resp in responses {
+            if write_frame(&mut *conn, &resp.encode()).is_err() {
+                stop = true;
+                break;
+            }
+        }
+        if stop {
+            break;
+        }
+    }
+    for sid in owned {
+        let _ = svc.close(sid);
+    }
+}
+
+fn handle(
+    svc: &ScanService,
+    req: Request,
+    owned: &mut Vec<u64>,
+    stop: &mut bool,
+    shutdown: &AtomicBool,
+) -> Vec<Response> {
+    match req {
+        Request::Open { tenant, db } => {
+            let resolved = match db {
+                DbRef::ByKey(key) => svc
+                    .db_by_key(key)
+                    .ok_or(ServeError::Db(crate::db::DbError::UnknownKey(key))),
+                DbRef::Artifact(bytes) => svc.db_from_artifact(&bytes),
+            };
+            match resolved.and_then(|db| svc.open(&tenant, &db)) {
+                Ok(sid) => {
+                    owned.push(sid);
+                    vec![Response::Opened { sid }]
+                }
+                Err(e) => vec![error_response(&e)],
+            }
+        }
+        Request::Feed { sid, eod, data } => match svc.feed(sid, &data, eod) {
+            Ok(_) => drain_response(svc, sid),
+            Err(e) => vec![error_response(&e)],
+        },
+        Request::Close { sid } => {
+            // Final drain first so buffered reports are not lost.
+            let mut out = drain_response(svc, sid);
+            match svc.close(sid) {
+                Ok(stats) => {
+                    owned.retain(|&s| s != sid);
+                    out.push(Response::Closed {
+                        sid,
+                        fed_bytes: stats.fed_bytes,
+                    });
+                }
+                Err(e) => out = vec![error_response(&e)],
+            }
+            out
+        }
+        Request::Metrics => vec![Response::MetricsJson(svc.metrics().to_json_string())],
+        Request::Shutdown => {
+            shutdown.store(true, Ordering::SeqCst);
+            *stop = true;
+            vec![Response::ShuttingDown]
+        }
+    }
+}
+
+fn drain_response(svc: &ScanService, sid: u64) -> Vec<Response> {
+    match svc.drain(sid) {
+        Ok(reports) => vec![Response::Reports {
+            sid,
+            reports: reports.iter().map(|r| (r.offset, r.code.0)).collect(),
+        }],
+        Err(e) => vec![error_response(&e)],
+    }
+}
+
+fn error_response(e: &ServeError) -> Response {
+    Response::Error {
+        code: error_code(e),
+        message: e.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::{Db, DbConfig};
+    use crate::proto::{recv_response, send_request};
+    use crate::service::ServeLimits;
+    use azoo_core::{Automaton, StartKind, SymbolClass};
+    use std::net::TcpStream;
+
+    fn ab_artifact() -> Vec<u8> {
+        let mut a = Automaton::new();
+        let s = a.add_ste(SymbolClass::from_byte(b'a'), StartKind::AllInput);
+        let t = a.add_ste(SymbolClass::from_byte(b'b'), StartKind::None);
+        a.add_edge(s, t);
+        a.set_report(t, 7);
+        Db::compile(a, DbConfig::default())
+            .expect("compile")
+            .serialize()
+    }
+
+    #[test]
+    fn tcp_end_to_end() {
+        let svc = ScanService::new(ServeLimits::default());
+        let listener = Listener::bind_tcp("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let metrics = svc.metrics().clone();
+        let server = Server::new(svc, listener);
+        let handle = std::thread::spawn(move || server.run().expect("run"));
+
+        let mut conn = TcpStream::connect(addr).expect("connect");
+        send_request(
+            &mut conn,
+            &Request::Open {
+                tenant: "t".into(),
+                db: DbRef::Artifact(ab_artifact()),
+            },
+        )
+        .expect("send");
+        let sid = match recv_response(&mut conn).expect("recv") {
+            Response::Opened { sid } => sid,
+            other => panic!("expected Opened, got {other:?}"),
+        };
+
+        send_request(
+            &mut conn,
+            &Request::Feed {
+                sid,
+                eod: false,
+                data: b"xab".to_vec(),
+            },
+        )
+        .expect("send");
+        match recv_response(&mut conn).expect("recv") {
+            Response::Reports { reports, .. } => assert_eq!(reports, vec![(2, 7)]),
+            other => panic!("expected Reports, got {other:?}"),
+        }
+
+        // Feeding an unknown session is a typed error, not a hangup.
+        send_request(
+            &mut conn,
+            &Request::Feed {
+                sid: 999,
+                eod: false,
+                data: b"x".to_vec(),
+            },
+        )
+        .expect("send");
+        match recv_response(&mut conn).expect("recv") {
+            Response::Error { code, .. } => assert_eq!(code, 4),
+            other => panic!("expected Error, got {other:?}"),
+        }
+
+        send_request(&mut conn, &Request::Close { sid }).expect("send");
+        match recv_response(&mut conn).expect("recv") {
+            Response::Reports { reports, .. } => assert!(reports.is_empty()),
+            other => panic!("expected final Reports, got {other:?}"),
+        }
+        match recv_response(&mut conn).expect("recv") {
+            Response::Closed { fed_bytes, .. } => assert_eq!(fed_bytes, 3),
+            other => panic!("expected Closed, got {other:?}"),
+        }
+
+        send_request(&mut conn, &Request::Metrics).expect("send");
+        match recv_response(&mut conn).expect("recv") {
+            Response::MetricsJson(json) => {
+                let parsed = azoo_core::json::parse(&json).expect("valid JSON");
+                assert_eq!(parsed.get("feeds_total").and_then(|j| j.as_i64()), Some(1));
+            }
+            other => panic!("expected MetricsJson, got {other:?}"),
+        }
+
+        send_request(&mut conn, &Request::Shutdown).expect("send");
+        match recv_response(&mut conn).expect("recv") {
+            Response::ShuttingDown => {}
+            other => panic!("expected ShuttingDown, got {other:?}"),
+        }
+        handle.join().expect("server thread");
+        assert_eq!(metrics.snapshot().sessions_open, 0);
+    }
+
+    #[test]
+    fn disconnect_auto_closes_sessions() {
+        let svc = ScanService::new(ServeLimits::default());
+        let listener = Listener::bind_tcp("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let svc2 = svc.clone();
+        let server = Server::new(svc, listener);
+        let flag = server.shutdown_flag();
+        let handle = std::thread::spawn(move || server.run().expect("run"));
+
+        {
+            let mut conn = TcpStream::connect(addr).expect("connect");
+            send_request(
+                &mut conn,
+                &Request::Open {
+                    tenant: "t".into(),
+                    db: DbRef::Artifact(ab_artifact()),
+                },
+            )
+            .expect("send");
+            assert!(matches!(
+                recv_response(&mut conn).expect("recv"),
+                Response::Opened { .. }
+            ));
+            assert_eq!(svc2.session_count(), 1);
+        } // dropped: connection closes without CLOSE
+
+        // The handler notices EOF and releases the session.
+        for _ in 0..500 {
+            if svc2.session_count() == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(svc2.session_count(), 0, "disconnect must close sessions");
+        flag.store(true, Ordering::SeqCst);
+        handle.join().expect("server thread");
+    }
+}

@@ -17,6 +17,7 @@
 //! * [`regex`] — PCRE-subset → Glushkov NFA compiler ([`azoo_regex`])
 //! * [`engines`] — NFA / lazy-DFA / bit-parallel engines ([`azoo_engines`])
 //! * [`oracle`] — cross-engine differential testing oracle ([`azoo_oracle`])
+//! * [`serve`] — multi-tenant streaming scan service ([`azoo_serve`])
 //! * [`workloads`] — seeded input generators ([`azoo_workloads`])
 //! * [`ml`] — decision trees & random forests ([`azoo_ml`])
 //! * [`zoo`] — the 24 benchmarks ([`azoo_zoo`])
@@ -51,5 +52,6 @@ pub use azoo_ml as ml;
 pub use azoo_oracle as oracle;
 pub use azoo_passes as passes;
 pub use azoo_regex as regex;
+pub use azoo_serve as serve;
 pub use azoo_workloads as workloads;
 pub use azoo_zoo as zoo;

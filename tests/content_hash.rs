@@ -1,0 +1,76 @@
+//! Content-hash acceptance over the oracle's generator and mutation
+//! bank: the hash must be invariant under re-serialization (the Db
+//! artifact round trip depends on it) and must *change* under every
+//! automaton-family mutation the oracle can plant — the same mutants
+//! the differential oracle kills behaviourally must also be caught
+//! structurally.
+
+use automatazoo::core::{content_hash, mnrl};
+use automatazoo::oracle::{gen_automaton, mutate_automaton, GenConfig, Mutation, OracleRng};
+
+const AUTOMATON_MUTATIONS: [Mutation; 4] = [
+    Mutation::LatchBecomesPulse,
+    Mutation::CounterTargetOffByOne,
+    Mutation::StartDowngrade,
+    Mutation::DropEodOnlyFlag,
+];
+
+/// MNRL round trips rebuild a semantically-identical machine; its hash
+/// must not move. 100 random machines, counters included.
+#[test]
+fn hash_is_stable_across_serialization_round_trips() {
+    let cfg = GenConfig::default();
+    for seed in 0..100u64 {
+        let mut rng = OracleRng::new(0x4A5_4000 ^ seed);
+        let a = gen_automaton(&mut rng, &cfg);
+        let h = content_hash(&a);
+        let back = mnrl::from_json(&mnrl::to_json(&a, "hash-test")).expect("round trip");
+        assert_eq!(
+            content_hash(&back),
+            h,
+            "seed {seed}: round trip moved the hash"
+        );
+        // And it is pure: hashing twice agrees.
+        assert_eq!(content_hash(&a), h);
+    }
+}
+
+/// Every automaton-family mutation that actually bites a machine must
+/// change its content hash — otherwise a corrupted artifact carrying
+/// that mutation would slip past the Db hash check.
+#[test]
+fn every_oracle_mutation_changes_the_hash() {
+    let cfg = GenConfig {
+        max_states: 10,
+        counters: true,
+        max_input_len: 16,
+        chunk_plans: 0,
+    };
+    let mut bites = [0usize; AUTOMATON_MUTATIONS.len()];
+    for seed in 0..200u64 {
+        let mut rng = OracleRng::new(0x4A5_5000 ^ seed);
+        let a = gen_automaton(&mut rng, &cfg);
+        let h = content_hash(&a);
+        for (i, &m) in AUTOMATON_MUTATIONS.iter().enumerate() {
+            if let Some(mutant) = mutate_automaton(m, &a) {
+                bites[i] += 1;
+                assert_ne!(
+                    content_hash(&mutant),
+                    h,
+                    "seed {seed}: mutation {} left the hash unchanged",
+                    m.name()
+                );
+            }
+        }
+    }
+    // The generator must actually exercise every mutation for the
+    // assertion above to mean anything.
+    for (i, &m) in AUTOMATON_MUTATIONS.iter().enumerate() {
+        assert!(
+            bites[i] >= 10,
+            "mutation {} bit only {} of 200 machines — generator drift?",
+            m.name(),
+            bites[i]
+        );
+    }
+}

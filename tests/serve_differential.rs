@@ -1,0 +1,180 @@
+//! Service-level differential testing: a [`ScanService`] session fed a
+//! random chunk plan must reproduce the block-mode reference oracle
+//! byte-for-byte — across whatever engine tier `Db::compile` selects,
+//! through the artifact round trip, the session pool, and (in the
+//! stress half) 4 threads of interleaved concurrent sessions with
+//! random early closes.
+
+use std::sync::Arc;
+
+use automatazoo::oracle::{
+    baseline, gen_automaton, gen_chunk_plan, gen_input, GenConfig, OracleRng,
+};
+use automatazoo::serve::{Db, DbConfig, ScanService, ServeLimits};
+
+type Rep = (u64, u32);
+
+fn feed_plan(svc: &ScanService, sid: u64, input: &[u8], plan: &[usize]) -> Vec<Rep> {
+    let mut off = 0usize;
+    for (i, &c) in plan.iter().enumerate() {
+        let eod = i + 1 == plan.len();
+        svc.feed(sid, &input[off..off + c], eod).expect("feed");
+        off += c;
+    }
+    assert_eq!(off, input.len(), "chunk plan must cover the input");
+    let mut got: Vec<Rep> = svc
+        .drain(sid)
+        .expect("drain")
+        .into_iter()
+        .map(|r| (r.offset, r.code.0))
+        .collect();
+    got.sort_unstable();
+    got
+}
+
+/// 200 oracle seeds through one shared service: generate an automaton,
+/// an input, and a chunk plan; the session's drained reports must equal
+/// the reference engine's block scan. The Db round-trips through its
+/// serialized artifact first, so the whole serve path is under test.
+#[test]
+fn service_sessions_match_block_oracle_over_200_seeds() {
+    let cfg = GenConfig::default();
+    let svc = ScanService::new(ServeLimits::default());
+    for seed in 0..200u64 {
+        let mut rng = OracleRng::new(0x5EED_0000 ^ seed);
+        let a = gen_automaton(&mut rng, &cfg);
+        let input = gen_input(&mut rng, &cfg, &a);
+        let plan = gen_chunk_plan(&mut rng, input.len());
+        let mut expected = baseline(&a, &input);
+        expected.sort_unstable();
+
+        let artifact = Db::compile(a, DbConfig::default())
+            .expect("every oracle automaton compiles")
+            .serialize();
+        let db = Db::deserialize(&artifact).expect("round trip");
+        let sid = svc.open("oracle", &db).expect("open");
+        let got = feed_plan(&svc, sid, &input, &plan);
+        svc.close(sid).expect("close");
+        assert_eq!(
+            got,
+            expected,
+            "seed {seed}: session reports diverged from the block oracle \
+             (plan {plan:?}, {} input bytes)",
+            input.len()
+        );
+    }
+    assert_eq!(svc.session_count(), 0);
+    assert_eq!(svc.bytes_in_flight(), 0);
+}
+
+/// 64 sessions across 4 threads on one service, interleaved feeds and
+/// random early closes: every completed session must still match its
+/// own oracle (no cross-session leakage), and every gauge must return
+/// to zero.
+#[test]
+fn concurrent_sessions_do_not_leak_state() {
+    const THREADS: usize = 4;
+    const SESSIONS_PER_THREAD: usize = 16;
+
+    // A few distinct workloads with *different* expected report streams,
+    // so any cross-session contamination changes some session's output.
+    let cfg = GenConfig {
+        max_states: 10,
+        counters: true,
+        max_input_len: 96,
+        chunk_plans: 0,
+    };
+    struct Workload {
+        db: Arc<Db>,
+        input: Vec<u8>,
+        expected: Vec<Rep>,
+    }
+    let workloads: Vec<Arc<Workload>> = (0..5u64)
+        .map(|w| {
+            let mut rng = OracleRng::new(0xC0_FFEE ^ w);
+            let a = gen_automaton(&mut rng, &cfg);
+            let input = gen_input(&mut rng, &cfg, &a);
+            let mut expected = baseline(&a, &input);
+            expected.sort_unstable();
+            let db = Db::compile(a, DbConfig::default()).expect("compile");
+            Arc::new(Workload {
+                db,
+                input,
+                expected,
+            })
+        })
+        .collect();
+
+    let svc = ScanService::new(ServeLimits::default());
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let svc = svc.clone();
+        let workloads = workloads.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut rng = OracleRng::new(0xBEEF ^ t as u64);
+            struct Live {
+                wl: Arc<Workload>,
+                sid: u64,
+                fed: usize,
+            }
+            let mut live: Vec<Live> = (0..SESSIONS_PER_THREAD)
+                .map(|s| {
+                    let wl = workloads[(t + s) % workloads.len()].clone();
+                    let sid = svc.open(&format!("tenant-{t}"), &wl.db).expect("open");
+                    Live { wl, sid, fed: 0 }
+                })
+                .collect();
+
+            // Interleave chunked feeds round-robin; close ~1 in 4
+            // sessions early, mid-stream, to exercise executor recycling
+            // under concurrency.
+            while !live.is_empty() {
+                let mut i = 0;
+                while i < live.len() {
+                    let len = live[i].wl.input.len();
+                    if live[i].fed < len && rng.chance(1, 12) {
+                        // Early close: this stream's reports are
+                        // intentionally partial; just release it.
+                        let s = live.swap_remove(i);
+                        svc.close(s.sid).expect("early close");
+                        continue;
+                    }
+                    let chunk = 1 + rng.below(17) as usize;
+                    let end = (live[i].fed + chunk).min(len);
+                    let eod = end == len;
+                    svc.feed(live[i].sid, &live[i].wl.input[live[i].fed..end], eod)
+                        .expect("feed");
+                    live[i].fed = end;
+                    if eod {
+                        let s = live.swap_remove(i);
+                        let mut got: Vec<Rep> = svc
+                            .drain(s.sid)
+                            .expect("drain")
+                            .into_iter()
+                            .map(|r| (r.offset, r.code.0))
+                            .collect();
+                        got.sort_unstable();
+                        assert_eq!(
+                            got, s.wl.expected,
+                            "thread {t} session {} leaked or lost state",
+                            s.sid
+                        );
+                        svc.close(s.sid).expect("close");
+                        continue;
+                    }
+                    i += 1;
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("stress thread");
+    }
+    assert_eq!(svc.session_count(), 0, "all sessions released");
+    assert_eq!(svc.bytes_in_flight(), 0, "no admitted bytes leaked");
+    let snap = svc.metrics().snapshot();
+    assert_eq!(snap.sessions_opened, (THREADS * SESSIONS_PER_THREAD) as u64);
+    assert_eq!(snap.sessions_opened, snap.sessions_closed);
+    assert!(snap.sessions_peak >= SESSIONS_PER_THREAD as u64);
+    assert_eq!(snap.rejected_feeds, 0);
+}

@@ -1,0 +1,139 @@
+//! Admission-control acceptance: overload produces *typed, bounded*
+//! rejections — never a panic, never a corrupted in-flight session —
+//! and every gauge returns to zero when pressure drops.
+
+use std::time::Duration;
+
+use automatazoo::core::{Automaton, StartKind, SymbolClass};
+use automatazoo::serve::{Db, DbConfig, ScanService, ServeError, ServeLimits};
+
+fn ab_db() -> std::sync::Arc<Db> {
+    let mut a = Automaton::new();
+    let s = a.add_ste(SymbolClass::from_byte(b'a'), StartKind::AllInput);
+    let t = a.add_ste(SymbolClass::from_byte(b'b'), StartKind::None);
+    a.add_edge(s, t);
+    a.set_report(t, 1);
+    Db::compile(a, DbConfig::default()).expect("compile")
+}
+
+#[test]
+fn session_quotas_reject_typed_and_leave_survivors_working() {
+    let svc = ScanService::new(ServeLimits {
+        max_sessions: 3,
+        max_sessions_per_tenant: 2,
+        ..ServeLimits::default()
+    });
+    let db = ab_db();
+
+    let s1 = svc.open("alice", &db).expect("open");
+    let _s2 = svc.open("alice", &db).expect("open");
+    // Tenant cap before global cap.
+    match svc.open("alice", &db) {
+        Err(ServeError::QuotaExceeded { tenant, resource }) => {
+            assert_eq!(tenant, "alice");
+            assert_eq!(resource, "sessions");
+        }
+        other => panic!("expected tenant QuotaExceeded, got {other:?}"),
+    }
+    let _s3 = svc.open("bob", &db).expect("open");
+    match svc.open("carol", &db) {
+        Err(ServeError::Overloaded { resource }) => assert_eq!(resource, "sessions"),
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+
+    // The rejections above must not have touched admitted sessions.
+    assert_eq!(svc.feed(s1, b"ab", true).expect("feed"), 1);
+    assert_eq!(svc.drain(s1).expect("drain").len(), 1);
+    assert_eq!(svc.metrics().snapshot().rejected_opens, 2);
+}
+
+#[test]
+fn byte_quotas_reject_typed_and_roll_back_exactly() {
+    let svc = ScanService::new(ServeLimits {
+        max_bytes_in_flight: 64,
+        max_bytes_in_flight_per_tenant: 16,
+        ..ServeLimits::default()
+    });
+    let db = ab_db();
+    let sid = svc.open("alice", &db).expect("open");
+
+    // Over the tenant byte quota: typed, and nothing stays admitted.
+    match svc.feed(sid, &[b'a'; 17], false) {
+        Err(ServeError::QuotaExceeded { tenant, resource }) => {
+            assert_eq!(tenant, "alice");
+            assert_eq!(resource, "bytes");
+        }
+        other => panic!("expected byte QuotaExceeded, got {other:?}"),
+    }
+    assert_eq!(svc.bytes_in_flight(), 0, "rejected bytes fully rolled back");
+
+    // Over the global quota: Overloaded, same rollback guarantee.
+    match svc.feed(sid, &[b'a'; 65], false) {
+        Err(ServeError::Overloaded { resource }) => assert_eq!(resource, "bytes"),
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    assert_eq!(svc.bytes_in_flight(), 0);
+
+    // The session itself is untouched: an admissible feed still scans,
+    // and its stream state never saw the rejected chunks.
+    assert_eq!(svc.feed(sid, b"ab", false).expect("feed"), 1);
+    assert_eq!(svc.feed(sid, b"ab", true).expect("feed"), 1);
+    let reports = svc.drain(sid).expect("drain");
+    assert_eq!(
+        reports.iter().map(|r| r.offset).collect::<Vec<_>>(),
+        vec![1, 3],
+        "rejected chunks must not advance the stream"
+    );
+    svc.close(sid).expect("close");
+    assert_eq!(svc.metrics().snapshot().rejected_feeds, 2);
+    assert_eq!(svc.bytes_in_flight(), 0);
+    assert_eq!(svc.session_count(), 0);
+}
+
+#[test]
+fn report_buffer_backpressure_until_drained() {
+    let svc = ScanService::new(ServeLimits {
+        max_buffered_reports: 2,
+        ..ServeLimits::default()
+    });
+    let db = ab_db();
+    let sid = svc.open("alice", &db).expect("open");
+    // Two reports fill the buffer to the cap.
+    assert_eq!(svc.feed(sid, b"abab", false).expect("feed"), 2);
+    match svc.feed(sid, b"ab", false) {
+        Err(ServeError::QuotaExceeded { resource, .. }) => {
+            assert_eq!(resource, "report-buffer");
+        }
+        other => panic!("expected report-buffer QuotaExceeded, got {other:?}"),
+    }
+    // Draining releases the backpressure; the stream continues exactly
+    // where it left off.
+    assert_eq!(svc.drain(sid).expect("drain").len(), 2);
+    assert_eq!(svc.feed(sid, b"ab", true).expect("feed"), 1);
+    assert_eq!(svc.drain(sid).expect("drain")[0].offset, 5);
+    svc.close(sid).expect("close");
+}
+
+#[test]
+fn zero_deadline_times_out_then_cancels_deterministically() {
+    let svc = ScanService::new(ServeLimits {
+        feed_deadline: Some(Duration::ZERO),
+        ..ServeLimits::default()
+    });
+    let db = ab_db();
+    let sid = svc.open("alice", &db).expect("open");
+    // A zero deadline has always elapsed by the time the session lock
+    // is held: deterministic TimedOut, session cancelled.
+    assert_eq!(svc.feed(sid, b"ab", false), Err(ServeError::TimedOut));
+    // Later feeds see the cancelled state, not another timeout.
+    assert_eq!(svc.feed(sid, b"ab", false), Err(ServeError::Cancelled(sid)));
+    // Drain and close still work; the executor was recycled at cancel.
+    assert!(svc.drain(sid).expect("drain").is_empty());
+    svc.close(sid).expect("close");
+    assert_eq!(db.pooled(), 1, "cancelled session's engine was recycled");
+    let snap = svc.metrics().snapshot();
+    assert_eq!(snap.timed_out_feeds, 1);
+    assert_eq!(snap.rejected_feeds, 0, "timeouts are not quota rejections");
+    assert_eq!(svc.session_count(), 0);
+    assert_eq!(svc.bytes_in_flight(), 0);
+}

@@ -1,0 +1,125 @@
+//! End-to-end framed-protocol test over a real Unix domain socket:
+//! exactly the transport and frame sequence the CI smoke step and the
+//! README quickstart use.
+
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::Ordering;
+
+use automatazoo::core::{Automaton, StartKind, SymbolClass};
+use automatazoo::serve::proto::{recv_response, send_request};
+use automatazoo::serve::{
+    Db, DbConfig, DbRef, Listener, Request, Response, ScanService, ServeLimits, Server,
+};
+
+#[test]
+fn unix_socket_end_to_end() {
+    let path = std::env::temp_dir().join(format!("azoo-serve-test-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    let mut a = Automaton::new();
+    let s = a.add_ste(SymbolClass::from_byte(b'a'), StartKind::AllInput);
+    let t = a.add_ste(SymbolClass::from_byte(b'b'), StartKind::None);
+    a.add_edge(s, t);
+    a.set_report(t, 3);
+    let artifact = Db::compile(a, DbConfig::default())
+        .expect("compile")
+        .serialize();
+
+    let svc = ScanService::new(ServeLimits::default());
+    let listener = Listener::bind_unix(&path).expect("bind");
+    let server = Server::new(svc, listener);
+    let flag = server.shutdown_flag();
+    let handle = std::thread::spawn(move || server.run().expect("run"));
+
+    let mut conn = UnixStream::connect(&path).expect("connect");
+
+    // Open by inline artifact; reopen by cached key later.
+    send_request(
+        &mut conn,
+        &Request::Open {
+            tenant: "ids".into(),
+            db: DbRef::Artifact(artifact.clone()),
+        },
+    )
+    .expect("send");
+    let sid = match recv_response(&mut conn).expect("recv") {
+        Response::Opened { sid } => sid,
+        other => panic!("expected Opened, got {other:?}"),
+    };
+
+    // Chunked stream with a boundary inside the match: "xa" + "b..".
+    for (chunk, eod, want) in [
+        (&b"xa"[..], false, vec![]),
+        (&b"bxx"[..], false, vec![(2u64, 3u32)]),
+        (&b""[..], true, vec![]),
+    ] {
+        send_request(
+            &mut conn,
+            &Request::Feed {
+                sid,
+                eod,
+                data: chunk.to_vec(),
+            },
+        )
+        .expect("send");
+        match recv_response(&mut conn).expect("recv") {
+            Response::Reports { reports, .. } => assert_eq!(reports, want),
+            other => panic!("expected Reports, got {other:?}"),
+        }
+    }
+
+    send_request(&mut conn, &Request::Close { sid }).expect("send");
+    assert!(matches!(
+        recv_response(&mut conn).expect("recv"),
+        Response::Reports { .. }
+    ));
+    match recv_response(&mut conn).expect("recv") {
+        Response::Closed { fed_bytes, .. } => assert_eq!(fed_bytes, 5),
+        other => panic!("expected Closed, got {other:?}"),
+    }
+
+    // The second open of the same artifact is a cache hit server-side.
+    send_request(
+        &mut conn,
+        &Request::Open {
+            tenant: "ids".into(),
+            db: DbRef::Artifact(artifact),
+        },
+    )
+    .expect("send");
+    let sid2 = match recv_response(&mut conn).expect("recv") {
+        Response::Opened { sid } => sid,
+        other => panic!("expected Opened, got {other:?}"),
+    };
+    send_request(&mut conn, &Request::Close { sid: sid2 }).expect("send");
+    assert!(matches!(
+        recv_response(&mut conn).expect("recv"),
+        Response::Reports { .. }
+    ));
+    assert!(matches!(
+        recv_response(&mut conn).expect("recv"),
+        Response::Closed { .. }
+    ));
+
+    send_request(&mut conn, &Request::Metrics).expect("send");
+    let metrics = match recv_response(&mut conn).expect("recv") {
+        Response::MetricsJson(json) => automatazoo::core::json::parse(&json).expect("valid"),
+        other => panic!("expected MetricsJson, got {other:?}"),
+    };
+    let get = |k: &str| metrics.get(k).and_then(|j| j.as_i64()).unwrap();
+    assert_eq!(get("sessions_opened"), 2);
+    assert_eq!(get("sessions_open"), 0);
+    assert_eq!(get("cache_hits"), 1);
+    assert_eq!(get("cache_misses"), 1);
+    assert_eq!(get("rejected_feeds"), 0);
+    assert_eq!(get("reports_emitted"), 1);
+
+    send_request(&mut conn, &Request::Shutdown).expect("send");
+    assert!(matches!(
+        recv_response(&mut conn).expect("recv"),
+        Response::ShuttingDown
+    ));
+    assert!(flag.load(Ordering::SeqCst));
+    handle.join().expect("server thread");
+    let _ = std::fs::remove_file(&path);
+}
