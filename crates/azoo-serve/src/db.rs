@@ -23,7 +23,10 @@
 //! (old artifacts are *misses*, recompile and re-publish); stored
 //! content hash ≠ hash recomputed over the decoded automaton →
 //! [`DbError::HashMismatch`] (corruption or tampering — never served).
-//! Every error is typed; no load path panics.
+//! Every error is typed; no load path panics. The [`DbCache`] hit path
+//! upholds the same guarantee by fingerprinting the raw artifact bytes:
+//! bytes that differ from the verified artifact take the full load path
+//! and fail its checks rather than being answered from the cache.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -392,11 +395,36 @@ fn parse_header(bytes: &[u8]) -> Result<(u64, DbConfig, &[u8]), DbError> {
 /// N sessions opening the same artifact share one `Arc<Db>` — one
 /// compiled machine, one engine pool. Hit/miss counts are plain atomics;
 /// the map lock is held only for a hash-map operation.
+///
+/// The artifact hit path ([`DbCache::get_or_load`]) is only allowed to
+/// skip the decode when the presented bytes fingerprint-match the bytes
+/// the cached entry was verified against — a tampered payload under a
+/// genuine header falls through to the full load and dies on its
+/// [`DbError::HashMismatch`] (or parse error) instead of silently
+/// borrowing the cached database's credibility.
 #[derive(Default)]
 pub struct DbCache {
-    map: Mutex<HashMap<u64, Arc<Db>>>,
+    map: Mutex<HashMap<u64, CacheEntry>>,
     hits: AtomicU64,
     misses: AtomicU64,
+}
+
+/// One cached database plus the fingerprint of the exact artifact bytes
+/// it was verified against (`None` until an artifact load verified it).
+struct CacheEntry {
+    db: Arc<Db>,
+    artifact_fp: Option<u64>,
+}
+
+/// FNV-1a over the raw artifact bytes: cheap relative to a scan feed,
+/// and enough to keep a corrupted payload from riding a cached header.
+fn artifact_fingerprint(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 impl DbCache {
@@ -407,7 +435,7 @@ impl DbCache {
 
     /// Looks up a database by cache key, counting a hit or miss.
     pub fn get(&self, key: u64) -> Option<Arc<Db>> {
-        let found = lock(&self.map).get(&key).cloned();
+        let found = lock(&self.map).get(&key).map(|e| e.db.clone());
         match found {
             Some(db) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -420,29 +448,52 @@ impl DbCache {
         }
     }
 
-    /// Inserts (or replaces) a database; returns its cache key.
+    /// Inserts (or replaces) a database; returns its cache key. The
+    /// entry is fingerprinted against the database's own serialization,
+    /// so the canonical artifact hits [`DbCache::get_or_load`] directly.
     pub fn insert(&self, db: Arc<Db>) -> u64 {
         let key = db.cache_key();
-        lock(&self.map).insert(key, db);
+        let fp = artifact_fingerprint(&db.serialize());
+        lock(&self.map).insert(
+            key,
+            CacheEntry {
+                db,
+                artifact_fp: Some(fp),
+            },
+        );
         key
     }
 
-    /// Resolves an artifact through the cache: header-only key peek,
-    /// then a full verify-and-compile only on miss. Returns the database
-    /// and whether this was a hit.
+    /// Resolves an artifact through the cache: header-only key peek plus
+    /// a fingerprint of the raw bytes, then a full verify-and-compile on
+    /// a miss *or* whenever the bytes differ from what the cached entry
+    /// was verified against. Returns the database and whether this was a
+    /// hit.
     ///
     /// # Errors
     ///
-    /// Any [`DbError`] from header parsing or the miss-path load.
+    /// Any [`DbError`] from header parsing or the verify-and-compile
+    /// path — in particular, a payload that does not match its header's
+    /// content hash is [`DbError::HashMismatch`] even when a database
+    /// under the same key is already cached.
     pub fn get_or_load(&self, bytes: &[u8]) -> Result<(Arc<Db>, bool), DbError> {
         let key = Db::peek_key(bytes)?;
-        if let Some(db) = lock(&self.map).get(&key).cloned() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok((db, true));
+        let fp = artifact_fingerprint(bytes);
+        if let Some(entry) = lock(&self.map).get(&key) {
+            if entry.artifact_fp == Some(fp) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((entry.db.clone(), true));
+            }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let db = Db::deserialize(bytes)?;
-        lock(&self.map).insert(key, db.clone());
+        lock(&self.map).insert(
+            key,
+            CacheEntry {
+                db: db.clone(),
+                artifact_fp: Some(fp),
+            },
+        );
         Ok((db, false))
     }
 
@@ -544,6 +595,41 @@ mod tests {
         assert_eq!(db.pooled(), 2);
         let _e = db.checkout();
         assert_eq!(db.pooled(), 1);
+    }
+
+    #[test]
+    fn tampered_payload_never_served_from_cache() {
+        let cache = DbCache::new();
+        let good = Db::compile(cat(), DbConfig::default())
+            .expect("compile")
+            .serialize();
+        cache.get_or_load(&good).expect("load");
+
+        // Same (valid) header, flipped payload byte: the cache key
+        // matches a verified entry, but the bytes do not — the full
+        // load path must run and reject the artifact.
+        let mut bad = good.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01;
+        assert!(
+            cache.get_or_load(&bad).is_err(),
+            "tampered payload must not ride the cached header"
+        );
+
+        // The genuine artifact still hits.
+        let (_, hit) = cache.get_or_load(&good).expect("load");
+        assert!(hit);
+    }
+
+    #[test]
+    fn registered_db_hits_on_its_canonical_artifact() {
+        let cache = DbCache::new();
+        let db = Db::compile(cat(), DbConfig::default()).expect("compile");
+        let bytes = db.serialize();
+        cache.insert(db.clone());
+        let (found, hit) = cache.get_or_load(&bytes).expect("load");
+        assert!(hit, "canonical serialization of an inserted db is a hit");
+        assert!(Arc::ptr_eq(&found, &db));
     }
 
     #[test]

@@ -5,7 +5,9 @@
 //! from [`crate::proto`], owns the sessions it opened — they are
 //! auto-closed when the peer disconnects, so a crashed client never
 //! leaks quota — and drains reports back to the client after every
-//! feed.
+//! feed. Ownership is enforced, not just tracked: `FEED`/`CLOSE` for a
+//! sid this connection did not open is answered with `UnknownSession`,
+//! so one tenant can never feed, drain or close another's stream.
 //!
 //! `SHUTDOWN` flips a shared flag: the acceptor stops, `run` returns,
 //! and the hosting binary prints the final metrics snapshot. The
@@ -122,22 +124,29 @@ impl Server {
 
     /// Accepts and serves connections until the shutdown flag is set.
     ///
+    /// Accept failures (e.g. fd exhaustion under a connection flood)
+    /// shed that one connection attempt — logged, brief pause, keep
+    /// accepting — they never take the server down.
+    ///
     /// # Errors
     ///
-    /// Propagates accept-loop I/O failures (per-connection failures
-    /// only end that connection).
+    /// Propagates the initial listener setup failure only.
     pub fn run(self) -> std::io::Result<()> {
         self.listener.set_nonblocking(true)?;
         while !self.shutdown.load(Ordering::SeqCst) {
-            match self.listener.accept()? {
-                Some(conn) => {
+            match self.listener.accept() {
+                Ok(Some(conn)) => {
                     let svc = self.svc.clone();
                     let shutdown = self.shutdown.clone();
                     // Detached: a connection still open at shutdown is
                     // abandoned, not drained (see the module docs).
                     std::thread::spawn(move || serve_connection(&svc, conn, &shutdown));
                 }
-                None => std::thread::sleep(Duration::from_millis(2)),
+                Ok(None) => std::thread::sleep(Duration::from_millis(2)),
+                Err(e) => {
+                    eprintln!("azoo-serve: accept failed, shedding connection: {e}");
+                    std::thread::sleep(Duration::from_millis(20));
+                }
             }
         }
         Ok(())
@@ -203,11 +212,23 @@ fn handle(
                 Err(e) => vec![error_response(&e)],
             }
         }
-        Request::Feed { sid, eod, data } => match svc.feed(sid, &data, eod) {
-            Ok(_) => drain_response(svc, sid),
-            Err(e) => vec![error_response(&e)],
-        },
+        Request::Feed { sid, eod, data } => {
+            // Ownership check: a sid opened by another connection is
+            // *unknown* here, whatever the session map says — otherwise
+            // any client could feed, drain or cancel another tenant's
+            // stream by guessing sids.
+            if !owned.contains(&sid) {
+                return vec![error_response(&ServeError::UnknownSession(sid))];
+            }
+            match svc.feed(sid, &data, eod) {
+                Ok(_) => drain_response(svc, sid),
+                Err(e) => vec![error_response(&e)],
+            }
+        }
         Request::Close { sid } => {
+            if !owned.contains(&sid) {
+                return vec![error_response(&ServeError::UnknownSession(sid))];
+            }
             // Final drain first so buffered reports are not lost.
             let mut out = drain_response(svc, sid);
             match svc.close(sid) {
@@ -346,6 +367,70 @@ mod tests {
         }
         handle.join().expect("server thread");
         assert_eq!(metrics.snapshot().sessions_open, 0);
+    }
+
+    #[test]
+    fn foreign_sids_are_rejected_across_connections() {
+        let svc = ScanService::new(ServeLimits::default());
+        let listener = Listener::bind_tcp("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let svc2 = svc.clone();
+        let server = Server::new(svc, listener);
+        let flag = server.shutdown_flag();
+        let handle = std::thread::spawn(move || server.run().expect("run"));
+
+        let mut victim = TcpStream::connect(addr).expect("connect");
+        send_request(
+            &mut victim,
+            &Request::Open {
+                tenant: "victim".into(),
+                db: DbRef::Artifact(ab_artifact()),
+            },
+        )
+        .expect("send");
+        let sid = match recv_response(&mut victim).expect("recv") {
+            Response::Opened { sid } => sid,
+            other => panic!("expected Opened, got {other:?}"),
+        };
+
+        // A second connection must not be able to feed or close the
+        // victim's session, even knowing its sid exactly.
+        let mut attacker = TcpStream::connect(addr).expect("connect");
+        for req in [
+            Request::Feed {
+                sid,
+                eod: false,
+                data: b"ab".to_vec(),
+            },
+            Request::Close { sid },
+        ] {
+            send_request(&mut attacker, &req).expect("send");
+            match recv_response(&mut attacker).expect("recv") {
+                Response::Error { code, .. } => assert_eq!(code, 4, "UnknownSession"),
+                other => panic!("expected Error, got {other:?}"),
+            }
+        }
+        assert_eq!(svc2.session_count(), 1, "victim session untouched");
+
+        // The victim's own stream still works and kept its reports.
+        send_request(
+            &mut victim,
+            &Request::Feed {
+                sid,
+                eod: true,
+                data: b"xab".to_vec(),
+            },
+        )
+        .expect("send");
+        match recv_response(&mut victim).expect("recv") {
+            Response::Reports { reports, .. } => assert_eq!(reports, vec![(2, 7)]),
+            other => panic!("expected Reports, got {other:?}"),
+        }
+
+        flag.store(true, Ordering::SeqCst);
+        drop(victim);
+        drop(attacker);
+        handle.join().expect("server thread");
     }
 
     #[test]

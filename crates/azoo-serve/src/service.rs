@@ -204,6 +204,10 @@ pub struct ScanService {
     cache: DbCache,
     shards: Vec<Mutex<HashMap<SessionId, SessionHandle>>>,
     next_sid: AtomicU64,
+    /// Key for the sid bijection: sids must be unique like a counter but
+    /// not enumerable across connections (defense-in-depth under the
+    /// server's per-connection ownership check).
+    sid_seed: u64,
     open_sessions: AtomicU64,
     bytes_in_flight: AtomicU64,
     tenants: Mutex<HashMap<String, Arc<TenantState>>>,
@@ -212,12 +216,21 @@ pub struct ScanService {
 impl ScanService {
     /// A service with the given quotas and a fresh metrics registry.
     pub fn new(limits: ServeLimits) -> Arc<ScanService> {
+        // No RNG crate in the tree: mix clock nanos with an ASLR-shifted
+        // stack address. Weak as a cryptographic seed, but sids only need
+        // to be non-enumerable, and the server enforces ownership anyway.
+        let clock = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9e37_79b9_7f4a_7c15);
+        let stack = std::ptr::addr_of!(limits) as u64;
         Arc::new(ScanService {
             limits,
             metrics: Arc::new(MetricsRegistry::new()),
             cache: DbCache::new(),
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             next_sid: AtomicU64::new(1),
+            sid_seed: splitmix64(clock ^ stack.rotate_left(32)),
             open_sessions: AtomicU64::new(0),
             bytes_in_flight: AtomicU64::new(0),
             tenants: Mutex::new(HashMap::new()),
@@ -249,8 +262,9 @@ impl ScanService {
         found
     }
 
-    /// Resolves a serialized artifact through the cache (header-keyed;
-    /// full verify-and-compile only on miss).
+    /// Resolves a serialized artifact through the cache (header-keyed
+    /// and byte-fingerprinted; full verify-and-compile whenever the
+    /// bytes are not the ones the cached entry was verified against).
     ///
     /// # Errors
     ///
@@ -281,21 +295,20 @@ impl ScanService {
                 resource: "sessions",
             });
         }
-        let tstate = self.tenant_state(tenant);
-        let tnow = tstate.open_sessions.fetch_add(1, Ordering::SeqCst) + 1;
-        if tnow as usize > self.limits.max_sessions_per_tenant {
-            tstate.open_sessions.fetch_sub(1, Ordering::SeqCst);
-            self.open_sessions.fetch_sub(1, Ordering::SeqCst);
-            self.metrics.record_rejected_open();
-            return Err(ServeError::QuotaExceeded {
-                tenant: tenant.into(),
-                resource: "sessions",
-            });
-        }
+        let tstate = match self.tenant_acquire(tenant) {
+            Ok(t) => t,
+            Err(e) => {
+                self.open_sessions.fetch_sub(1, Ordering::SeqCst);
+                self.metrics.record_rejected_open();
+                return Err(e);
+            }
+        };
 
         let mut engine = db.checkout();
         engine.reset_stream();
-        let sid = self.next_sid.fetch_add(1, Ordering::Relaxed);
+        // A keyed bijection over the counter: as collision-free as the
+        // counter itself, but sids are not guessable from one another.
+        let sid = splitmix64(self.next_sid.fetch_add(1, Ordering::Relaxed) ^ self.sid_seed);
         let inner = Arc::new(Mutex::new(SessionInner {
             tenant_name: tenant.into(),
             tenant: tstate,
@@ -414,10 +427,15 @@ impl ScanService {
         };
         let before = inner.reports.len();
         let t0 = Instant::now();
-        let engine = inner
-            .engine
-            .as_mut()
-            .expect("streaming session always holds an engine");
+        let Some(engine) = inner.engine.as_mut() else {
+            // Terminal phases are caught above and every path that takes
+            // the engine sets one first, so this cannot happen — but a
+            // panic here would leak the in-flight gauges and the caller's
+            // session quota, so degrade to the typed error instead.
+            release_tenant(inner);
+            release_global();
+            return Err(ServeError::Cancelled(sid));
+        };
         engine.feed(bytes, eod, &mut VecSink(&mut inner.reports));
         let nanos = t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
         let emitted = inner.reports.len() - before;
@@ -456,10 +474,14 @@ impl ScanService {
             .remove(&sid)
             .ok_or(ServeError::UnknownSession(sid))?;
         let mut inner = lock(&handle);
+        // A feed that cloned the handle before the map removal is waiting
+        // on this lock: it must see a terminal phase, not a Streaming
+        // session with its engine missing.
+        inner.phase = Phase::Finished;
         if let Some(engine) = inner.engine.take() {
             inner.db.checkin(engine);
         }
-        inner.tenant.open_sessions.fetch_sub(1, Ordering::SeqCst);
+        self.tenant_release(&inner.tenant_name);
         self.open_sessions.fetch_sub(1, Ordering::SeqCst);
         self.metrics.record_session_close();
         Ok(SessionStats {
@@ -479,14 +501,42 @@ impl ScanService {
         self.bytes_in_flight.load(Ordering::SeqCst)
     }
 
-    fn tenant_state(&self, tenant: &str) -> Arc<TenantState> {
+    /// Tenants with admission state right now (0 when idle — tenant
+    /// names are attacker-chosen, so the map must not outlive the
+    /// sessions that justify its entries).
+    pub fn tenant_count(&self) -> usize {
+        lock(&self.tenants).len()
+    }
+
+    /// Registers one more open session for `tenant`, creating its state
+    /// on first use. Session-count mutations happen only under the
+    /// tenants lock so [`Self::tenant_release`] can drop a tenant's
+    /// entry exactly when its last session closes.
+    fn tenant_acquire(&self, tenant: &str) -> Result<Arc<TenantState>, ServeError> {
         let mut tenants = lock(&self.tenants);
-        match tenants.get(tenant) {
-            Some(t) => t.clone(),
-            None => {
-                let t = Arc::new(TenantState::default());
-                tenants.insert(tenant.into(), t.clone());
-                t
+        let state = tenants.entry(tenant.to_string()).or_default().clone();
+        let tnow = state.open_sessions.fetch_add(1, Ordering::SeqCst) + 1;
+        if tnow as usize > self.limits.max_sessions_per_tenant {
+            state.open_sessions.fetch_sub(1, Ordering::SeqCst);
+            if state.open_sessions.load(Ordering::SeqCst) == 0 {
+                tenants.remove(tenant);
+            }
+            return Err(ServeError::QuotaExceeded {
+                tenant: tenant.into(),
+                resource: "sessions",
+            });
+        }
+        Ok(state)
+    }
+
+    /// Releases one open session for `tenant`, dropping its admission
+    /// state when the count returns to zero so attacker-chosen tenant
+    /// names cannot grow the map without bound.
+    fn tenant_release(&self, tenant: &str) {
+        let mut tenants = lock(&self.tenants);
+        if let Some(state) = tenants.get(tenant) {
+            if state.open_sessions.fetch_sub(1, Ordering::SeqCst) == 1 {
+                tenants.remove(tenant);
             }
         }
     }
@@ -494,6 +544,14 @@ impl ScanService {
     fn session(&self, sid: SessionId) -> Option<SessionHandle> {
         lock(&self.shards[shard_of(sid)]).get(&sid).cloned()
     }
+}
+
+/// The splitmix64 finalizer: a bijection on `u64`, used to key sids.
+fn splitmix64(seed: u64) -> u64 {
+    let mut x = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
 }
 
 fn shard_of(sid: SessionId) -> usize {
@@ -559,6 +617,64 @@ mod tests {
         assert_eq!(svc.drain(99).unwrap_err(), ServeError::UnknownSession(99));
         assert_eq!(svc.close(99).unwrap_err(), ServeError::UnknownSession(99));
         assert_eq!(svc.bytes_in_flight(), 0);
+    }
+
+    #[test]
+    fn tenant_state_is_dropped_with_its_last_session() {
+        let svc = ScanService::new(ServeLimits::default());
+        let db = ab_db();
+        // Attacker-style: every open uses a fresh tenant name.
+        for i in 0..64 {
+            let sid = svc.open(&format!("tenant-{i}"), &db).expect("open");
+            svc.close(sid).expect("close");
+        }
+        assert_eq!(
+            svc.tenant_count(),
+            0,
+            "idle service must hold no tenant state"
+        );
+        // Two sessions, one tenant: the entry lives until the *last* close.
+        let s1 = svc.open("t", &db).expect("open");
+        let s2 = svc.open("t", &db).expect("open");
+        assert_eq!(svc.tenant_count(), 1);
+        svc.close(s1).expect("close");
+        assert_eq!(svc.tenant_count(), 1);
+        svc.close(s2).expect("close");
+        assert_eq!(svc.tenant_count(), 0);
+        // A rejected open of a brand-new tenant must not leave an entry.
+        let limits = ServeLimits {
+            max_sessions_per_tenant: 0,
+            ..ServeLimits::default()
+        };
+        let svc = ScanService::new(limits);
+        assert!(matches!(
+            svc.open("fresh", &db),
+            Err(ServeError::QuotaExceeded { .. })
+        ));
+        assert_eq!(svc.tenant_count(), 0);
+    }
+
+    #[test]
+    fn concurrent_close_and_feed_leak_nothing() {
+        // The close/feed race: a feed that grabbed the session handle
+        // right before close removed it must get a typed error, never
+        // panic, and must release every in-flight gauge.
+        let svc = ScanService::new(ServeLimits::default());
+        let db = ab_db();
+        for _ in 0..200 {
+            let sid = svc.open("t", &db).expect("open");
+            let svc2 = svc.clone();
+            let feeder = std::thread::spawn(move || match svc2.feed(sid, b"xabxab", false) {
+                Ok(_) | Err(ServeError::UnknownSession(_)) | Err(ServeError::StreamFinished(_)) => {
+                }
+                Err(other) => panic!("unexpected feed error: {other:?}"),
+            });
+            svc.close(sid).expect("close");
+            feeder.join().expect("feeder thread must not panic");
+        }
+        assert_eq!(svc.session_count(), 0);
+        assert_eq!(svc.bytes_in_flight(), 0);
+        assert_eq!(svc.tenant_count(), 0);
     }
 
     #[test]
