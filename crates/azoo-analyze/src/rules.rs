@@ -132,6 +132,11 @@ pub const RULES: &[Rule] = &[
         severity: Severity::Warn,
         summary: "a reporting component cannot be gated by the literal prefilter",
     },
+    Rule {
+        id: "bisimilar-states",
+        severity: Severity::Warn,
+        summary: "forward-bisimilar states waste capacity; the reduction tier would merge them",
+    },
 ];
 
 /// Looks up a rule by id.
@@ -237,7 +242,41 @@ pub fn analyze_with(a: &Automaton, cfg: &LintConfig) -> Vec<Diagnostic> {
     check_nfa_hotspots(a, cfg, &mut em);
     check_bit_residue(a, &mut em);
     check_prefilterable(a, &mut em);
+    check_bisimilar_states(a, &mut em);
     em.finish()
+}
+
+/// `bisimilar-states`: backed by the same preorder as the reduction
+/// tier ([`azoo_passes::simulation_partition`]) — one finding per
+/// non-singleton bisimulation block, anchored at the block's smallest
+/// member.
+fn check_bisimilar_states(a: &Automaton, em: &mut Emitter<'_>) {
+    let block = azoo_passes::simulation_partition(a);
+    let nblocks = block.iter().copied().max().map_or(0, |m| m as usize + 1);
+    let mut leader: Vec<Option<StateId>> = vec![None; nblocks];
+    let mut extra = vec![0usize; nblocks];
+    for (id, _) in a.iter() {
+        let b = block[id.index()] as usize;
+        match leader[b] {
+            None => leader[b] = Some(id),
+            Some(_) => extra[b] += 1,
+        }
+    }
+    for (b, lead) in leader.iter().enumerate() {
+        let (Some(lead), n) = (lead, extra[b]) else {
+            continue;
+        };
+        if n > 0 {
+            em.emit(
+                "bisimilar-states",
+                Some(*lead),
+                format!(
+                    "{n} state(s) are forward-bisimilar to {lead:?}; \
+                     quotient_simulation would merge them"
+                ),
+            );
+        }
+    }
 }
 
 fn check_unreachable(a: &Automaton, reachable: &[bool], em: &mut Emitter<'_>) {
@@ -828,6 +867,26 @@ mod tests {
         // 16 individual findings plus one suppression summary.
         assert_eq!(unreachable.len(), 17);
         assert!(unreachable.last().unwrap().message.contains("suppressed"));
+    }
+
+    #[test]
+    fn bisimilar_states_flags_mergeable_duplicates() {
+        // Two identical pattern copies with the same report code: every
+        // position is pairwise bisimilar.
+        let mut a = chain(b"cat", StartKind::AllInput);
+        let b = chain(b"cat", StartKind::AllInput);
+        a.append(&b);
+        let diags = analyze(&a);
+        let hits: Vec<_> = diags
+            .iter()
+            .filter(|d| d.rule == "bisimilar-states")
+            .collect();
+        assert_eq!(hits.len(), 3, "{diags:?}");
+        assert_eq!(hits[0].severity, Severity::Warn);
+        // Distinct patterns stay silent.
+        let mut c = chain(b"cat", StartKind::AllInput);
+        c.append(&chain(b"dog", StartKind::AllInput));
+        assert!(!rules_of(&analyze(&c)).contains(&"bisimilar-states"));
     }
 
     #[test]

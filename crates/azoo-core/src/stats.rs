@@ -119,6 +119,47 @@ pub fn component_labels(a: &Automaton) -> Vec<usize> {
     labels
 }
 
+/// Per-component structural profile: the facts reduction and lint
+/// policies gate on (see `azoo-passes`' reduction refusal matrix).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ComponentProfile {
+    /// Dense component label, as assigned by [`component_labels`].
+    pub component: usize,
+    /// Smallest state id in the component (diagnostic anchor).
+    pub first_state: StateId,
+    /// States in the component.
+    pub states: usize,
+    /// Whether the component contains a counter element.
+    pub has_counter: bool,
+    /// Whether the component contains a `StartOfData`-anchored STE.
+    pub has_start_of_data: bool,
+}
+
+/// Profiles every weakly connected component of `a`, in label order.
+pub fn component_profiles(a: &Automaton) -> Vec<ComponentProfile> {
+    let labels = component_labels(a);
+    let ncomp = labels.iter().copied().max().map_or(0, |m| m + 1);
+    let mut out: Vec<ComponentProfile> = (0..ncomp)
+        .map(|c| ComponentProfile {
+            component: c,
+            first_state: StateId::new(0), // overwritten by the first member
+            states: 0,
+            has_counter: false,
+            has_start_of_data: false,
+        })
+        .collect();
+    for (id, e) in a.iter() {
+        let p = &mut out[labels[id.index()]];
+        if p.states == 0 {
+            p.first_state = id;
+        }
+        p.states += 1;
+        p.has_counter |= e.is_counter();
+        p.has_start_of_data |= e.start_kind() == crate::element::StartKind::StartOfData;
+    }
+    out
+}
+
 /// Ids of states reachable from any start state (forward closure over
 /// activation and reset edges).
 pub fn reachable_from_starts(a: &Automaton) -> Vec<bool> {
@@ -746,6 +787,23 @@ mod tests {
         a.set_report(s, 0);
         let pf = prefilter_analysis(&a);
         assert_eq!(pf[0].block, Some(PrefilterBlock::WeakLiteral));
+    }
+
+    #[test]
+    fn component_profiles_flag_counters_and_anchors() {
+        use crate::element::CounterMode;
+        let mut a = chain(2);
+        let mut b = Automaton::new();
+        let s = b.add_ste(SymbolClass::from_byte(b'k'), StartKind::StartOfData);
+        let c = b.add_counter(3, CounterMode::Latch);
+        b.add_edge(s, c);
+        a.append(&b);
+        let profiles = component_profiles(&a);
+        assert_eq!(profiles.len(), 2);
+        assert_eq!(profiles[0].states, 2);
+        assert!(!profiles[0].has_counter && !profiles[0].has_start_of_data);
+        assert_eq!(profiles[1].first_state, StateId::new(2));
+        assert!(profiles[1].has_counter && profiles[1].has_start_of_data);
     }
 
     #[test]

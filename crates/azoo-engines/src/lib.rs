@@ -67,8 +67,8 @@ pub use prefilter::{PrefilterEngine, PREFILTER_COVERAGE_GATE};
 pub use profile::Profile;
 pub use report_stats::ReportStats;
 pub use select::{
-    select_engine, select_engine_threaded, select_session_engine, select_session_engine_threaded,
-    EngineChoice,
+    select_engine, select_engine_threaded, select_engine_with, select_session_engine,
+    select_session_engine_threaded, select_session_engine_with, EngineChoice, SelectOpts,
 };
 pub use sink::{CollectSink, CountSink, NullSink, Report, ReportSink};
 pub use stream::StreamingEngine;

@@ -12,6 +12,8 @@
 //!
 //! Options:
 //!   --scale S       benchmark scale: tiny (default) | small | full
+//!   --reduce        run the reduction tier first and lint the reduced
+//!                   automaton (what `--reduce` compile paths serve)
 //!   --json          machine-readable JSON report on stdout
 //!   --allow RULE    suppress a rule (repeatable)
 //!   --deny RULE     promote a rule to Error (repeatable)
@@ -38,8 +40,8 @@ fn fail(msg: &str) -> i32 {
 
 fn usage() -> String {
     "usage: azoo-lint [--mnrl FILE]... [--bench NAME|all]... \
-     [--scale tiny|small|full] [--json] [--allow RULE]... [--deny RULE]... \
-     [--list-rules]"
+     [--scale tiny|small|full] [--reduce] [--json] [--allow RULE]... \
+     [--deny RULE]... [--list-rules]"
         .into()
 }
 
@@ -68,6 +70,7 @@ fn run() -> i32 {
     let mut cfg = LintConfig::new();
     let mut scale = Scale::Tiny;
     let mut json = false;
+    let mut reduce = false;
     let mut i = 1;
     let value_of = |args: &[String], i: usize| -> Result<String, String> {
         args.get(i + 1)
@@ -112,6 +115,10 @@ fn run() -> i32 {
                 json = true;
                 i += 1;
             }
+            "--reduce" => {
+                reduce = true;
+                i += 1;
+            }
             "--allow" | "--deny" => {
                 let level = if args[i] == "--allow" {
                     Level::Allow
@@ -145,6 +152,18 @@ fn run() -> i32 {
         targets.extend(BenchmarkId::ALL.into_iter().map(Target::Bench));
     }
 
+    // With --reduce, lint what the reduction-tier compile paths would
+    // actually serve. Invalid machines are linted as-is: the reduction
+    // passes assume well-formed input, and the validation findings are
+    // the interesting diagnostics anyway.
+    let lint = |a: &azoo_core::Automaton| -> Vec<Diagnostic> {
+        if reduce && a.validate().is_ok() {
+            analyze_with(&azoo_passes::reduce(a).0, &cfg)
+        } else {
+            analyze_with(a, &cfg)
+        }
+    };
+
     let mut json_targets: Vec<Json> = Vec::new();
     let mut total_errors = 0usize;
     let mut total_warnings = 0usize;
@@ -154,7 +173,7 @@ fn run() -> i32 {
                 let diags = match std::fs::read_to_string(path) {
                     Err(e) => return fail(&format!("cannot read {path}: {e}")),
                     Ok(text) => match mnrl::from_json(&text) {
-                        Ok(a) => analyze_with(&a, &cfg),
+                        Ok(a) => lint(&a),
                         Err(e) => core_error_diagnostics(&e, &cfg),
                     },
                 };
@@ -162,7 +181,7 @@ fn run() -> i32 {
             }
             Target::Bench(id) => {
                 let bench = id.build(scale);
-                (id.name().to_owned(), analyze_with(&bench.automaton, &cfg))
+                (id.name().to_owned(), lint(&bench.automaton))
             }
         };
         let errors = diags

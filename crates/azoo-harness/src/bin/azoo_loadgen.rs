@@ -10,6 +10,7 @@
 //!              [--smoke]           CI preset: tiny scale, 2 conns x 8 sessions
 //!              [--out PATH]        result JSON (default BENCH_serve.json)
 //!              [--no-shutdown]     leave the server running on exit
+//!              [--reduce]          compile databases through the reduction tier
 //! ```
 //!
 //! Sessions replay the suite's Snort and ClamAV corpora
@@ -72,9 +73,10 @@ fn main() {
         .unwrap_or(4096);
     let out = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_serve.json".into());
 
+    let reduce = flag_present(&args, "--reduce");
     let workloads: Vec<Arc<Workload>> = [BenchmarkId::Snort, BenchmarkId::ClamAv]
         .into_iter()
-        .map(|id| Arc::new(build_workload(id, scale)))
+        .map(|id| Arc::new(build_workload(id, scale, reduce)))
         .collect();
     eprintln!(
         "azoo-loadgen: {connections} connections x {sessions} sessions, \
@@ -190,9 +192,13 @@ fn main() {
     );
 }
 
-fn build_workload(id: BenchmarkId, scale: Scale) -> Workload {
+fn build_workload(id: BenchmarkId, scale: Scale, reduce: bool) -> Workload {
     let bench = id.build(scale);
-    let db = Db::compile(bench.automaton, DbConfig::default())
+    let config = DbConfig {
+        reduce,
+        ..DbConfig::default()
+    };
+    let db = Db::compile(bench.automaton, config)
         .unwrap_or_else(|e| fatal(&format!("{} does not compile: {e}", id.name())));
     // Local block scan = ground truth for every session on this corpus.
     let mut engine = db.checkout();

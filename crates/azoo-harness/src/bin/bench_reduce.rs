@@ -1,0 +1,173 @@
+//! Records the reduction tier's state/edge savings and throughput
+//! effect across all 25 benchmarks as `BENCH_reduce.json` — the
+//! machine-readable companion to DESIGN.md 6g.
+//!
+//! For every benchmark the full `reduce` pipeline (simulation quotient
+//! alternated with the residual coverage fold) runs once; the reduced
+//! machine must validate cleanly and produce a report stream
+//! byte-identical to the original, both block-mode and chunked
+//! (asserted, not sampled). Throughput is the reference NFA on a
+//! bounded input window, before and after.
+//!
+//! Usage: `bench-reduce [--scale tiny|small|full] [--out PATH] [--check]`
+//!
+//! `--check` is the CI gate: exits nonzero unless at least 5 benchmarks
+//! lost states and every equivalence assertion held (the assertions
+//! abort the run on their own).
+
+use azoo_engines::{CollectSink, CountSink, Engine, NfaEngine, StreamingEngine};
+use azoo_harness::{arg_value, flag_present, scale_from_args, time_scan_with};
+use azoo_passes::reduce;
+use azoo_zoo::BenchmarkId;
+
+/// Chunk length for the streaming-equivalence check: small enough to
+/// split every tiny-scale corpus into many feeds, odd so chunk edges
+/// drift across pattern boundaries.
+const STREAM_CHUNK: usize = 509;
+
+fn reports(engine: &mut NfaEngine, input: &[u8]) -> Vec<(u64, u32)> {
+    let mut sink = CollectSink::new();
+    engine.scan(input, &mut sink);
+    sink.reports()
+        .iter()
+        .map(|r| (r.offset, r.code.0))
+        .collect()
+}
+
+fn chunked_reports(engine: &mut NfaEngine, input: &[u8]) -> Vec<(u64, u32)> {
+    let mut sink = CollectSink::new();
+    engine.scan_chunks(input.chunks(STREAM_CHUNK.max(1)), &mut sink);
+    sink.reports()
+        .iter()
+        .map(|r| (r.offset, r.code.0))
+        .collect()
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let args: Vec<String> = std::env::args().collect();
+    let out_path = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_reduce.json".into());
+    let check = flag_present(&args, "--check");
+
+    let mut rows = Vec::new();
+    let mut shrunk = 0usize;
+    for id in BenchmarkId::ALL {
+        let bench = id.build(scale);
+        let (reduced, stats) = reduce(&bench.automaton);
+
+        let violations = reduced.validate_all();
+        assert!(
+            violations.is_empty(),
+            "{}: reduced automaton fails validation: {violations:?}",
+            id.name()
+        );
+        assert!(
+            stats.states_after <= stats.states_before,
+            "{}: reduction grew the machine",
+            id.name()
+        );
+
+        // Byte-identical equivalence, block and chunked, on the full
+        // corpus — this is the acceptance criterion, not a sample.
+        let mut before = NfaEngine::new(&bench.automaton).expect("valid");
+        let mut after = NfaEngine::new(&reduced).expect("valid reduced");
+        assert_eq!(
+            reports(&mut before, &bench.input),
+            reports(&mut after, &bench.input),
+            "{}: block reports diverged after reduction",
+            id.name()
+        );
+        assert_eq!(
+            chunked_reports(&mut before, &bench.input),
+            chunked_reports(&mut after, &bench.input),
+            "{}: streaming reports diverged after reduction",
+            id.name()
+        );
+
+        // Throughput on a bounded window (full corpora can be huge).
+        let window = bench.input.len().min(1 << 18);
+        let input = &bench.input[..window];
+        let mut before_sink = CountSink::new();
+        let before_secs = time_scan_with(&mut before, input, &mut before_sink);
+        let mut after_sink = CountSink::new();
+        let after_secs = time_scan_with(&mut after, input, &mut after_sink);
+        let mbps = |secs: f64| input.len() as f64 / secs / 1e6;
+
+        if stats.states_after < stats.states_before {
+            shrunk += 1;
+        }
+        rows.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"benchmark\": \"{}\",\n",
+                "      \"states_before\": {},\n",
+                "      \"states_after\": {},\n",
+                "      \"edges_before\": {},\n",
+                "      \"edges_after\": {},\n",
+                "      \"quotient_removed\": {},\n",
+                "      \"residual_removed\": {},\n",
+                "      \"rounds\": {},\n",
+                "      \"refused_components\": {},\n",
+                "      \"compression_factor\": {:.4},\n",
+                "      \"input_bytes\": {},\n",
+                "      \"reports\": {},\n",
+                "      \"baseline_mbps\": {:.3},\n",
+                "      \"reduced_mbps\": {:.3}\n",
+                "    }}"
+            ),
+            id.name(),
+            stats.states_before,
+            stats.states_after,
+            stats.edges_before,
+            stats.edges_after,
+            stats.quotient_removed,
+            stats.residual_removed,
+            stats.rounds,
+            stats.refused_components,
+            stats.compression_factor(),
+            input.len(),
+            before_sink.count(),
+            mbps(before_secs),
+            mbps(after_secs),
+        ));
+        eprintln!(
+            "{}: {} -> {} states ({} quotient, {} residual), {:.3} -> {:.3} MB/s",
+            id.name(),
+            stats.states_before,
+            stats.states_after,
+            stats.quotient_removed,
+            stats.residual_removed,
+            mbps(before_secs),
+            mbps(after_secs),
+        );
+    }
+
+    let scale_name = format!("{scale:?}").to_lowercase();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"artifact\": \"reduction tier state/edge savings and throughput (DESIGN.md 6g)\",\n",
+            "  \"command\": \"cargo run --release -p azoo-harness --bin bench-reduce -- --scale {}\",\n",
+            "  \"scale\": \"{}\",\n",
+            "  \"benchmarks\": {},\n",
+            "  \"benchmarks_reduced\": {},\n",
+            "  \"rows\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        scale_name,
+        scale_name,
+        BenchmarkId::ALL.len(),
+        shrunk,
+        rows.join(",\n")
+    );
+    std::fs::write(&out_path, &json).expect("writable output path");
+    eprintln!(
+        "wrote {out_path} ({shrunk} of {} benchmarks reduced)",
+        BenchmarkId::ALL.len()
+    );
+
+    if check && shrunk < 5 {
+        eprintln!("bench-reduce: --check expects >=5 reduced benchmarks, saw {shrunk}");
+        std::process::exit(1);
+    }
+}

@@ -4,13 +4,15 @@
 //! compression factor, and the dynamic active set measured with the
 //! VASim-equivalent engine on the standard input.
 //!
-//! Usage: `table1 [--scale tiny|small|full] [--profile-bytes N] [--threads N] [--prefilter]`
+//! Usage: `table1 [--scale tiny|small|full] [--profile-bytes N] [--threads N] [--prefilter] [--reduce]`
 //!
 //! The `MB/s` column times an NFA scan over the profile window — with
 //! `--threads N` it uses the sharding/chunking [`ParallelScanner`]
 //! instead, whose report stream is identical. `--prefilter` routes the
 //! timed scan through the literal-prefilter engine (per shard when
-//! threaded); reports stay byte-identical.
+//! threaded); reports stay byte-identical. `--reduce` computes the
+//! `Compr`/`CmprF` columns with the full reduction tier
+//! (quotient + residual fold) instead of prefix merging alone.
 //!
 //! Paper reference values (states / active set) are printed alongside for
 //! the rows the paper reports.
@@ -62,12 +64,18 @@ fn main() {
         .unwrap_or(16_384);
     let threads = threads_from_args(&args);
     let prefilter = flag_present(&args, "--prefilter");
+    let reduce = flag_present(&args, "--reduce");
     println!(
         "== Table I: AutomataZoo benchmark statistics (scale: {scale:?}, \
          active set over {profile_bytes} input symbols, {threads} scan \
-         thread{}{}) ==\n",
+         thread{}{}{}) ==\n",
         if threads == 1 { "" } else { "s" },
-        if prefilter { ", prefilter on" } else { "" }
+        if prefilter { ", prefilter on" } else { "" },
+        if reduce {
+            ", compression via reduction tier"
+        } else {
+            ""
+        }
     );
     let table = Table::new(&[
         ("Benchmark", 20),
@@ -87,7 +95,13 @@ fn main() {
     for id in BenchmarkId::ALL {
         let bench = id.build(scale);
         let stats = azoo_core::AutomatonStats::compute(&bench.automaton);
-        let (compressed, mstats) = merge_prefixes(&bench.automaton);
+        let (compressed_states, compression) = if reduce {
+            let (r, rstats) = azoo_passes::reduce(&bench.automaton);
+            (r.state_count(), rstats.compression_factor())
+        } else {
+            let (m, mstats) = merge_prefixes(&bench.automaton);
+            (m.state_count(), mstats.compression_factor())
+        };
         let mut engine = NfaEngine::new(&bench.automaton).expect("valid benchmark");
         let mut sink = NullSink::new();
         let window = bench.input.len().min(profile_bytes);
@@ -113,8 +127,8 @@ fn main() {
             fmt_count(stats.subgraphs),
             format!("{:.1}", stats.avg_subgraph_size),
             format!("{:.1}", stats.stddev_subgraph_size),
-            fmt_count(compressed.state_count()),
-            format!("{:.2}", mstats.compression_factor()),
+            fmt_count(compressed_states),
+            format!("{compression:.2}"),
             format!("{:.1}", profile.active_set()),
             format!("{mbps:.1}"),
             format!("{scale_note}{}", fmt_count(paper_states)),

@@ -11,7 +11,10 @@
 //! a [`Divergence`], which carries everything needed to replay it.
 
 use azoo_core::Automaton;
-use azoo_passes::{merge_prefixes, merge_suffixes, remove_dead, widen, InputMap};
+use azoo_passes::{
+    merge_prefixes, merge_suffixes, quotient_simulation, remove_dead, residual_merge, widen,
+    InputMap,
+};
 
 use crate::adapter::{EngineKind, EngineUnderTest, Rep};
 use crate::gen::{gen_automaton, gen_chunk_plan, gen_input, GenConfig};
@@ -48,7 +51,7 @@ pub enum Subject {
     /// baseline mapped through the pass's input map.
     Pass {
         /// Pass name (`merge_prefixes`, `merge_suffixes`, `remove_dead`,
-        /// `widen`).
+        /// `widen`, `quotient_simulation`, `residual_merge`).
         name: &'static str,
         /// The pass's input/offset convention.
         map: InputMap,
@@ -105,6 +108,8 @@ pub fn apply_pass(name: &str, a: &Automaton) -> Option<Automaton> {
         "merge_suffixes" => Some(merge_suffixes(a).0),
         "remove_dead" => Some(remove_dead(a)),
         "widen" => widen(a).ok(),
+        "quotient_simulation" => Some(quotient_simulation(a).0),
+        "residual_merge" => Some(residual_merge(a).0),
         _ => None,
     }
 }
@@ -115,6 +120,8 @@ pub const ORACLE_PASSES: &[(&str, InputMap)] = &[
     ("merge_suffixes", InputMap::Identity),
     ("remove_dead", InputMap::Identity),
     ("widen", InputMap::Widen),
+    ("quotient_simulation", InputMap::Identity),
+    ("residual_merge", InputMap::Identity),
 ];
 
 /// Compares one subject against the baseline. Returns the

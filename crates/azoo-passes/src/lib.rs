@@ -17,6 +17,11 @@
 //!   automaton into components a literal matcher can gate (simulated only
 //!   in a bounded window around candidate hits) and a full-simulation
 //!   fallback remainder.
+//! * [`quotient_simulation`] / [`residual_merge`] / [`reduce`] — the
+//!   simulation-based reduction tier: bisimulation quotienting plus
+//!   residual coverage folds, both semantics-preserving under the
+//!   identity input map (see the `reduce` module doc for the soundness
+//!   argument and refusal matrix).
 //!
 //! [`InputMap`] records the input/offset conventions of the rescaling
 //! passes so differential checkers (`azoo-analyze`'s pass verifier, the
@@ -28,6 +33,7 @@ mod input_map;
 mod merge;
 mod partition;
 mod prefilter;
+mod reduce;
 mod stride;
 mod widen;
 
@@ -36,6 +42,10 @@ pub use input_map::InputMap;
 pub use merge::{merge_prefixes, merge_suffixes, MergeStats};
 pub use partition::partition;
 pub use prefilter::{prefilter_plan, PrefilterComponent, PrefilterPlan};
+pub use reduce::{
+    quotient_simulation, reduce, residual_merge, simulation_partition, ReduceStats,
+    RESIDUAL_COMPONENT_CAP,
+};
 pub use stride::{bit_pattern_chain, bits_of_bytes, stride8, stride_bits};
 pub use widen::widen;
 

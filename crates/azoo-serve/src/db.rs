@@ -12,10 +12,19 @@
 //! 8       4     content-hash scheme version (u32 LE) — HASH_VERSION
 //! 12      8     automaton content hash (u64 LE)
 //! 20      1     input map (0 identity, 1 stride8, 2 widen)
-//! 21      2     engine worker threads (u16 LE)
-//! 23      4     payload length (u32 LE)
-//! 27      n     payload: MNRL JSON of the automaton
+//! 21      1     flags (bit 0: compiled with the reduction tier)
+//! 22      2     engine worker threads (u16 LE)
+//! 24      4     payload length (u32 LE)
+//! 28      n     payload: MNRL JSON of the automaton
 //! ```
+//!
+//! When [`DbConfig::reduce`] is set, [`Db::compile`] runs the
+//! reduction tier (`azoo_passes::reduce`) *before* hashing and
+//! serializing, so the stored content hash and payload describe the
+//! machine that actually serves traffic — a reduced artifact is
+//! self-contained and [`Db::deserialize`] never re-reduces. The flags
+//! byte records the provenance and keeps the cache key distinct from
+//! an unreduced compile of the same source automaton.
 //!
 //! Load rules, in check order: wrong magic → [`DbError::BadMagic`];
 //! any header or payload shorter than declared → [`DbError::Truncated`];
@@ -39,10 +48,13 @@ use azoo_engines::{
 use azoo_passes::InputMap;
 
 /// Current artifact format version.
-pub const DB_FORMAT_VERSION: u32 = 1;
+pub const DB_FORMAT_VERSION: u32 = 2;
 
 const DB_MAGIC: [u8; 4] = *b"AZDB";
-const HEADER_LEN: usize = 27;
+const HEADER_LEN: usize = 28;
+
+/// Header flag bit: the payload was compiled with the reduction tier.
+const FLAG_REDUCED: u8 = 0x01;
 
 /// Recycled engines kept per database; checkouts past this bound fall
 /// back to cloning the prototype (bounded memory beats unbounded reuse).
@@ -66,6 +78,10 @@ pub struct DbConfig {
     pub input_map: InputMap,
     /// Engine worker threads; >1 selects the parallel scanner.
     pub threads: usize,
+    /// Run the reduction tier (`azoo_passes::reduce`) at compile time.
+    /// The artifact then stores the *reduced* machine — hash, payload
+    /// and flags byte all describe post-reduction state.
+    pub reduce: bool,
 }
 
 impl Default for DbConfig {
@@ -73,6 +89,7 @@ impl Default for DbConfig {
         DbConfig {
             input_map: InputMap::Identity,
             threads: 1,
+            reduce: false,
         }
     }
 }
@@ -101,6 +118,8 @@ pub enum DbError {
     },
     /// Unknown input-map tag byte.
     BadInputMap(u8),
+    /// Unknown bits set in the header flags byte.
+    BadFlags(u8),
     /// No cached database under this key.
     UnknownKey(u64),
     /// The payload failed MNRL parsing.
@@ -122,6 +141,7 @@ impl std::fmt::Display for DbError {
                 "content hash mismatch: stored {stored:#018x}, computed {computed:#018x}"
             ),
             DbError::BadInputMap(tag) => write!(f, "unknown input-map tag {tag}"),
+            DbError::BadFlags(flags) => write!(f, "unknown header flag bits {flags:#04x}"),
             DbError::UnknownKey(key) => write!(f, "no cached database under key {key:#018x}"),
             DbError::Core(e) => write!(f, "payload error: {e}"),
             DbError::Engine(e) => write!(f, "compile error: {e}"),
@@ -182,12 +202,31 @@ impl std::fmt::Debug for Db {
 
 impl Db {
     /// Compiles `automaton` under `config` through the streaming engine
-    /// portfolio.
+    /// portfolio. With [`DbConfig::reduce`] set, the reduction tier runs
+    /// first and the database (hash, payload, engine) is built from the
+    /// reduced machine.
     ///
     /// # Errors
     ///
     /// [`DbError::Engine`] when validation or compilation fails.
     pub fn compile(automaton: Automaton, config: DbConfig) -> Result<Arc<Db>, DbError> {
+        let automaton = if config.reduce {
+            // Validate before transforming: the reduction passes assume
+            // a well-formed machine, and a broken input should surface
+            // as the usual typed error, not a pass artifact.
+            automaton.validate()?;
+            azoo_passes::reduce(&automaton).0
+        } else {
+            automaton
+        };
+        Self::finish(automaton, config)
+    }
+
+    /// Builds the database around `automaton` as-is — shared tail of
+    /// [`Db::compile`] (post-reduction) and [`Db::deserialize`] (whose
+    /// payload already is the served machine; re-reducing would break
+    /// the stored hash's bond with the payload).
+    fn finish(automaton: Automaton, config: DbConfig) -> Result<Arc<Db>, DbError> {
         let hash = content_hash(&automaton);
         let (choice, proto) = if config.threads > 1 {
             select_session_engine_threaded(&automaton, config.threads)?
@@ -218,7 +257,9 @@ impl Db {
     }
 
     fn mix_key(hash: u64, config: DbConfig) -> u64 {
-        let tag = (u64::from(input_map_tag(config.input_map)) << 32) | config.threads as u64;
+        let tag = (u64::from(flags_byte(config)) << 40)
+            | (u64::from(input_map_tag(config.input_map)) << 32)
+            | config.threads as u64;
         // splitmix64-style finalizer, matching azoo-core's mixer.
         let mut x = hash ^ tag.wrapping_mul(0x9e37_79b9_7f4a_7c15);
         x ^= x >> 30;
@@ -255,6 +296,7 @@ impl Db {
         out.extend_from_slice(&HASH_VERSION.to_le_bytes());
         out.extend_from_slice(&self.hash.to_le_bytes());
         out.push(input_map_tag(self.config.input_map));
+        out.push(flags_byte(self.config));
         out.extend_from_slice(&(self.config.threads.min(u16::MAX as usize) as u16).to_le_bytes());
         out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         out.extend_from_slice(payload);
@@ -293,7 +335,11 @@ impl Db {
                 computed,
             });
         }
-        Self::compile(automaton, config)
+        // The payload *is* the serving machine: for a reduced artifact,
+        // reduction already ran at compile time. Going through `finish`
+        // (not `compile`) keeps the load path from reducing again, which
+        // would desynchronize the verified hash from the served states.
+        Self::finish(automaton, config)
     }
 
     /// Checks a quiesced executor out of the free list, cloning the
@@ -319,6 +365,14 @@ impl Db {
     /// Executors currently parked on the free list.
     pub fn pooled(&self) -> usize {
         lock(&self.pool).len()
+    }
+}
+
+fn flags_byte(config: DbConfig) -> u8 {
+    if config.reduce {
+        FLAG_REDUCED
+    } else {
+        0
     }
 }
 
@@ -375,8 +429,12 @@ fn parse_header(bytes: &[u8]) -> Result<(u64, DbConfig, &[u8]), DbError> {
     hash_bytes.copy_from_slice(&bytes[12..20]);
     let hash = u64::from_le_bytes(hash_bytes);
     let input_map = input_map_from_tag(bytes[20])?;
-    let threads = u16::from_le_bytes([bytes[21], bytes[22]]) as usize;
-    let payload_len = le32(23) as usize;
+    let flags = bytes[21];
+    if flags & !FLAG_REDUCED != 0 {
+        return Err(DbError::BadFlags(flags));
+    }
+    let threads = u16::from_le_bytes([bytes[22], bytes[23]]) as usize;
+    let payload_len = le32(24) as usize;
     let payload = bytes
         .get(HEADER_LEN..HEADER_LEN + payload_len)
         .ok_or(DbError::Truncated)?;
@@ -385,6 +443,7 @@ fn parse_header(bytes: &[u8]) -> Result<(u64, DbConfig, &[u8]), DbError> {
         DbConfig {
             input_map,
             threads: threads.max(1),
+            reduce: flags & FLAG_REDUCED != 0,
         },
         payload,
     ))
@@ -572,6 +631,10 @@ mod tests {
         bad[20] = 9;
         assert_eq!(Db::deserialize(&bad).unwrap_err(), DbError::BadInputMap(9));
 
+        let mut bad = good.clone();
+        bad[21] = 0xFE; // unknown flag bits
+        assert_eq!(Db::deserialize(&bad).unwrap_err(), DbError::BadFlags(0xFE));
+
         assert_eq!(
             Db::deserialize(&good[..10]).unwrap_err(),
             DbError::Truncated
@@ -582,6 +645,57 @@ mod tests {
         );
         assert_eq!(Db::deserialize(b"AZ").unwrap_err(), DbError::Truncated);
         assert_eq!(Db::deserialize(b"nope").unwrap_err(), DbError::BadMagic);
+    }
+
+    /// Two identical report chains — the reduction tier folds them.
+    fn double_cat() -> Automaton {
+        let mut a = Automaton::new();
+        for _ in 0..2 {
+            let (_, last) = a.add_chain(
+                &[
+                    SymbolClass::from_byte(b'c'),
+                    SymbolClass::from_byte(b'a'),
+                    SymbolClass::from_byte(b't'),
+                ],
+                StartKind::AllInput,
+            );
+            a.set_report(last, 0);
+        }
+        a
+    }
+
+    #[test]
+    fn reduced_compile_stores_the_reduced_machine() {
+        let plain = Db::compile(double_cat(), DbConfig::default()).expect("compile");
+        let reduced = Db::compile(
+            double_cat(),
+            DbConfig {
+                reduce: true,
+                ..DbConfig::default()
+            },
+        )
+        .expect("compile reduced");
+
+        assert!(
+            reduced.automaton().state_count() < plain.automaton().state_count(),
+            "reduction must shrink the duplicated machine"
+        );
+        // The hash covers the machine that serves traffic, so the
+        // reduced artifact hashes differently and caches separately.
+        assert_ne!(reduced.content_hash(), plain.content_hash());
+        assert_ne!(reduced.cache_key(), plain.cache_key());
+
+        // Round trip: the payload already is the reduced machine, and
+        // the load path must accept it verbatim (no re-reduction).
+        let bytes = reduced.serialize();
+        let back = Db::deserialize(&bytes).expect("load reduced artifact");
+        assert!(back.config().reduce);
+        assert_eq!(back.content_hash(), reduced.content_hash());
+        assert_eq!(back.cache_key(), reduced.cache_key());
+        assert_eq!(
+            back.automaton().state_count(),
+            reduced.automaton().state_count()
+        );
     }
 
     #[test]

@@ -60,7 +60,7 @@ fn benchmarks_stay_error_clean_after_standard_passes() {
     // The optimization pipeline must not introduce structural breakage
     // either; spot-check a representative subset (regex-heavy, counter,
     // and table-driven machines).
-    use automatazoo::passes::{merge_prefixes, remove_dead};
+    use automatazoo::passes::{merge_prefixes, reduce, remove_dead};
     for id in [
         BenchmarkId::Snort,
         BenchmarkId::Hamming18x3,
@@ -74,6 +74,13 @@ fn benchmarks_stay_error_clean_after_standard_passes() {
         assert!(
             errors.is_empty(),
             "{} lints dirty after passes: {errors:?}",
+            id.name()
+        );
+        let (reduced, _) = reduce(&pruned);
+        let errors = errors_of(&reduced);
+        assert!(
+            errors.is_empty(),
+            "{} lints dirty after reduction: {errors:?}",
             id.name()
         );
     }

@@ -9,8 +9,10 @@
 
 use automatazoo::analyze::{verify_pass, InputMap, VerifySpec};
 use automatazoo::core::{Automaton, StartKind, StateId, SymbolClass};
+use automatazoo::oracle::{gen_automaton, GenConfig, OracleRng};
 use automatazoo::passes::{
-    bit_pattern_chain, bits_of_bytes, merge_prefixes, merge_suffixes, remove_dead, stride8, widen,
+    bit_pattern_chain, bits_of_bytes, merge_prefixes, merge_suffixes, quotient_simulation,
+    remove_dead, residual_merge, stride8, widen,
 };
 use proptest::prelude::*;
 
@@ -60,6 +62,15 @@ fn arb_automaton() -> impl Strategy<Value = Automaton> {
         .prop_filter("needs a start state", |a| a.validate().is_ok())
 }
 
+/// The oracle's own generator, driven by a proptest-chosen seed: unlike
+/// [`arb_automaton`] it produces counters (all three modes), `$`-anchored
+/// reports, reset edges and cycles — the shapes the reduction tier's
+/// refusal matrix exists for.
+fn arb_oracle_automaton() -> impl Strategy<Value = Automaton> {
+    prop::num::u64::ANY
+        .prop_map(|seed| gen_automaton(&mut OracleRng::new(seed), &GenConfig::default()))
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -107,6 +118,34 @@ proptest! {
     }
 
     #[test]
+    fn quotient_simulation_holds_invariants(a in arb_automaton()) {
+        let (merged, _) = quotient_simulation(&a);
+        let diags = verify_pass(&a, &merged, &VerifySpec::new("quotient_simulation").no_growth());
+        prop_assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn residual_merge_holds_invariants(a in arb_automaton()) {
+        let (merged, _) = residual_merge(&a);
+        let diags = verify_pass(&a, &merged, &VerifySpec::new("residual_merge").no_growth());
+        prop_assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn quotient_simulation_holds_on_counter_machines(a in arb_oracle_automaton()) {
+        let (merged, _) = quotient_simulation(&a);
+        let diags = verify_pass(&a, &merged, &VerifySpec::new("quotient_simulation").no_growth());
+        prop_assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn residual_merge_holds_on_counter_machines(a in arb_oracle_automaton()) {
+        let (merged, _) = residual_merge(&a);
+        let diags = verify_pass(&a, &merged, &VerifySpec::new("residual_merge").no_growth());
+        prop_assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
     fn verifier_catches_a_broken_pass(a in arb_automaton()) {
         // A "pass" that slaps a brand-new report code on state 0:
         // structure stays valid and no sampling luck is needed — the
@@ -137,6 +176,52 @@ fn verifier_catches_report_retarget() {
         diags
             .iter()
             .any(|d| d.rule == "pass-invariant" && d.message.contains("language mismatch")),
+        "{diags:?}"
+    );
+}
+
+/// A broken "reduction" that merges two *non*-similar states the way
+/// the quotient merges a real block — union class, one surviving report
+/// code. The language changes (`y` now fires, and with the wrong code),
+/// and `verify_pass` must say so.
+#[test]
+fn verifier_catches_merge_of_non_similar_states() {
+    let mut a = Automaton::new();
+    let x = a.add_ste(SymbolClass::from_byte(b'x'), StartKind::AllInput);
+    a.set_report(x, 1);
+    let y = a.add_ste(SymbolClass::from_byte(b'y'), StartKind::AllInput);
+    a.set_report(y, 2);
+
+    let mut broken = Automaton::new();
+    let mut class = SymbolClass::from_byte(b'x');
+    class.insert(b'y');
+    let m = broken.add_ste(class, StartKind::AllInput);
+    broken.set_report(m, 1); // code 2 silently rewritten
+    let diags = verify_pass(&a, &broken, &VerifySpec::new("broken_quotient").no_growth());
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.message.contains("language mismatch")),
+        "{diags:?}"
+    );
+}
+
+/// A broken "reduction" that drops a report code while leaving the
+/// graph untouched — the residual fold's failure mode if it ever folded
+/// a reporter into a non-reporting cover.
+#[test]
+fn verifier_catches_dropped_report_code() {
+    let mut a = Automaton::new();
+    let classes: Vec<SymbolClass> = b"no".iter().map(|&b| SymbolClass::from_byte(b)).collect();
+    let (_, last) = a.add_chain(&classes, StartKind::AllInput);
+    a.set_report(last, 5);
+    let mut broken = a.clone();
+    broken.element_mut(last).report = None;
+    let diags = verify_pass(&a, &broken, &VerifySpec::new("dropped_code"));
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.message.contains("language mismatch")),
         "{diags:?}"
     );
 }

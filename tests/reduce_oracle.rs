@@ -1,0 +1,72 @@
+//! A 1000-seed differential-oracle campaign over the semantics-
+//! preserving passes — now including the reduction tier's
+//! `quotient_simulation` and `residual_merge` — with zero tolerated
+//! divergences.
+//!
+//! Engines are left out of the matrix (`engines: vec![]`): the engine
+//! cross-checks have their own campaigns, and a pass-only run keeps a
+//! thousand seeds inside a debug-profile test budget. Each seed still
+//! compares every pass against the reference baseline on a generated
+//! automaton (counters, `$`-anchors, reset edges, cycles) and input.
+//!
+//! If a seed ever diverges, the shrunk witness is banked under
+//! `tests/bugbank/` before the test fails, so the regression corpus
+//! grows by exactly the machinery this suite uses everywhere else.
+
+use std::path::Path;
+
+use automatazoo::oracle::{run_seed, shrink, BugbankEntry, OracleConfig, Subject};
+
+const SEEDS: u64 = 1000;
+
+#[test]
+fn thousand_seed_pass_campaign_is_divergence_free() {
+    let cfg = OracleConfig {
+        engines: vec![],
+        ..OracleConfig::default()
+    };
+    let mut divergences = Vec::new();
+    for seed in 0..SEEDS {
+        if let Some(d) = run_seed(seed, &cfg) {
+            let d = shrink(&d);
+            let name = format!("reduce-oracle-seed-{seed}");
+            if let Some(entry) =
+                BugbankEntry::from_divergence(&name, "found by tests/reduce_oracle.rs", &d)
+            {
+                // Bank the witness before failing: the repro outlives
+                // this test run.
+                let _ = entry.save(Path::new("tests/bugbank"));
+            }
+            divergences.push(format!(
+                "seed {seed} diverged on {}: expected {:?}, got {:?} (banked as {name})",
+                d.subject.label(),
+                d.expected,
+                d.got
+            ));
+        }
+    }
+    assert!(
+        divergences.is_empty(),
+        "pass campaign found divergences:\n{}",
+        divergences.join("\n")
+    );
+}
+
+/// The campaign above only proves something about the reduction passes
+/// if they are actually in the oracle's matrix — pin that.
+#[test]
+fn oracle_matrix_includes_the_reduction_passes() {
+    use automatazoo::oracle::oracle::ORACLE_PASSES;
+    for pass in ["quotient_simulation", "residual_merge"] {
+        assert!(
+            ORACLE_PASSES.iter().any(|(name, _)| *name == pass),
+            "{pass} missing from ORACLE_PASSES"
+        );
+        // And the Subject label round-trips for bank entries.
+        let subject = Subject::Pass {
+            name: pass,
+            map: automatazoo::passes::InputMap::Identity,
+        };
+        assert_eq!(subject.label(), format!("pass:{pass}"));
+    }
+}

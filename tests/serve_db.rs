@@ -54,11 +54,11 @@ fn tampered_benchmark_artifacts_fail_typed() {
     let good = db.serialize();
 
     let mut newer = good.clone();
-    newer[4..8].copy_from_slice(&2u32.to_le_bytes()); // format version
+    newer[4..8].copy_from_slice(&3u32.to_le_bytes()); // format version
     match Db::deserialize(&newer) {
         Err(DbError::VersionMismatch {
-            found: 2,
-            expected: 1,
+            found: 3,
+            expected: 2,
         }) => {}
         other => panic!("expected format VersionMismatch, got {other:?}"),
     }
