@@ -43,6 +43,7 @@
 //! assert_eq!(diags[0].severity, Severity::Warn);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(clippy::unwrap_used)]
 
 pub mod config;

@@ -37,6 +37,7 @@
 // Library code must not panic on malformed input: parse and validation
 // failures are `CoreError`s the lint layer can report as diagnostics.
 // Tests opt back in with a module-level allow.
+#![forbid(unsafe_code)]
 #![warn(clippy::unwrap_used)]
 
 pub mod anml;

@@ -383,6 +383,7 @@ impl Engine for LazyDfaEngine {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::sink::CollectSink;

@@ -45,6 +45,8 @@
 //! # Ok::<(), azoo_engines::EngineError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used)]
 mod bitpar;
 mod lazy_dfa;
 mod literal;

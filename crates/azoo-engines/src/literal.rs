@@ -151,6 +151,7 @@ impl AhoCorasick {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -96,6 +96,7 @@ pub fn find_in_table(table: &[bool; 256], hay: &[u8]) -> Option<usize> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

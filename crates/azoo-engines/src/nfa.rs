@@ -635,6 +635,7 @@ impl Engine for NfaEngine {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::sink::{CollectSink, CountSink};

@@ -17,16 +17,19 @@
 //!    fall back to scanning the whole input on one worker (shard-level
 //!    parallelism still applies).
 //!
-//! Workers drain a shared job queue and the merged stream is sorted by
-//! `(offset, code)` and deduplicated, so the output is **byte-identical
-//! to a single [`NfaEngine`] scan** and independent of thread scheduling
-//! — the property the differential tests pin down.
+//! Workers drain a shared job queue, batch their reports locally, and
+//! append each batch once into a shared rank-ordered merge accumulator
+//! ([`azoo_sync::OrderedMutex`], rank `ENGINE_MERGE`); the merged stream
+//! is sorted by `(offset, code)` and deduplicated, so the output is
+//! **byte-identical to a single [`NfaEngine`] scan** and independent of
+//! thread scheduling — the property the differential tests pin down.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use azoo_core::stats::{component_sizes, longest_path_from_starts};
 use azoo_core::{Automaton, ElementKind, StartKind};
 use azoo_passes::partition;
+use azoo_sync::{ranks, OrderedMutex};
 
 use crate::nfa::NfaEngine;
 use crate::prefilter::{PrefilterEngine, PREFILTER_COVERAGE_GATE};
@@ -248,29 +251,27 @@ impl ParallelScanner {
             out
         } else {
             let queue = AtomicUsize::new(0);
-            let (queue, jobs, shards) = (&queue, &jobs[..], &self.shards[..]);
-            let per_worker = crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|_| {
-                        scope.spawn(move |_| {
-                            let mut worker = Worker::new(shards);
-                            let mut out = Vec::new();
-                            loop {
-                                let j = queue.fetch_add(1, Ordering::Relaxed);
-                                let Some(job) = jobs.get(j) else { break };
-                                worker.run_job(*job, input, &mut out);
-                            }
-                            out
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("scan worker panicked"))
-                    .collect::<Vec<Vec<Report>>>()
+            // Workers batch reports locally and take the shared merge
+            // lock (rank ENGINE_MERGE) exactly once, after their last
+            // job — one contended acquisition per worker, not per report.
+            let merge_acc = OrderedMutex::new(ranks::ENGINE_MERGE, Vec::new());
+            let (queue, jobs, shards, merge) = (&queue, &jobs[..], &self.shards[..], &merge_acc);
+            crossbeam::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(move |_| {
+                        let mut worker = Worker::new(shards);
+                        let mut out = Vec::new();
+                        loop {
+                            let j = queue.fetch_add(1, Ordering::Relaxed);
+                            let Some(job) = jobs.get(j) else { break };
+                            worker.run_job(*job, input, &mut out);
+                        }
+                        merge.lock().append(&mut out);
+                    });
+                }
             })
             .expect("scan worker panicked");
-            per_worker.into_iter().flatten().collect()
+            merge_acc.into_inner()
         };
         // Canonical order. Distinct shards may report the same code at
         // the same offset; a single engine deduplicates those per cycle,
@@ -414,26 +415,21 @@ impl StreamingEngine for ParallelScanner {
             out
         } else {
             let per_worker = self.shards.len().div_ceil(workers);
+            let merge_acc = OrderedMutex::new(ranks::ENGINE_MERGE, Vec::new());
+            let merge = &merge_acc;
             crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = self
-                    .shards
-                    .chunks_mut(per_worker)
-                    .map(|group| {
-                        scope.spawn(move |_| {
-                            let mut out = Vec::new();
-                            for s in group {
-                                s.engine.feed(chunk, eod, &mut VecSink(&mut out));
-                            }
-                            out
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("feed worker panicked"))
-                    .collect::<Vec<Report>>()
+                for group in self.shards.chunks_mut(per_worker) {
+                    scope.spawn(move |_| {
+                        let mut out = Vec::new();
+                        for s in group {
+                            s.engine.feed(chunk, eod, &mut VecSink(&mut out));
+                        }
+                        merge.lock().append(&mut out);
+                    });
+                }
             })
-            .expect("feed worker panicked")
+            .expect("feed worker panicked");
+            merge_acc.into_inner()
         };
         merged.sort_unstable();
         merged.dedup();
@@ -444,6 +440,7 @@ impl StreamingEngine for ParallelScanner {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::sink::CollectSink;

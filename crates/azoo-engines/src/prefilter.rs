@@ -346,6 +346,7 @@ impl Engine for PrefilterEngine {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::sink::CollectSink;

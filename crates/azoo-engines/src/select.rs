@@ -199,6 +199,7 @@ pub fn select_session_engine_threaded(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::sink::CollectSink;

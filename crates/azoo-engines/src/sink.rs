@@ -95,6 +95,7 @@ impl ReportSink for CollectSink {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -69,6 +69,7 @@ pub trait StreamingEngine {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::sink::CollectSink;

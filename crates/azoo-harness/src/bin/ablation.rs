@@ -16,6 +16,9 @@
 //!
 //! Usage: `ablation [--scale tiny|small|full] [--threads N]`
 
+#![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used)]
+
 use azoo_core::{Automaton, CounterMode};
 use azoo_engines::{CountSink, Engine, LazyDfaEngine, NfaEngine, ParallelScanner, PrefilterEngine};
 use azoo_harness::{arg_value, fmt_count, scale_from_args, time_scan, Table};

@@ -19,9 +19,21 @@
 //!   --deny RULE     promote a rule to Error (repeatable)
 //!   --list-rules    print the rule registry and exit
 //!
+//! Concurrency mode (replaces the MNRL targets):
+//!   --lock-graph    exercise the workspace's concurrent subsystems
+//!                   (database cache, scan service, parallel scanner)
+//!                   in-process and dump the observed lock-acquisition
+//!                   graph recorded by azoo-sync
+//!   --check         with --lock-graph: exit 2 if the graph has a cycle
+//!                   (a latent lock-ordering deadlock)
+//!
 //! Exit status: 0 clean (warnings allowed), 1 any Error-level finding,
-//! 2 usage or I/O error.
+//! 2 usage or I/O error (or an acquisition cycle under
+//! `--lock-graph --check`).
 //! ```
+
+#![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used)]
 
 use azoo_analyze::{analyze_with, rule, rule_for_core_error, Diagnostic, Severity};
 use azoo_analyze::{Level, LintConfig, RULES};
@@ -41,7 +53,7 @@ fn fail(msg: &str) -> i32 {
 fn usage() -> String {
     "usage: azoo-lint [--mnrl FILE]... [--bench NAME|all]... \
      [--scale tiny|small|full] [--reduce] [--json] [--allow RULE]... \
-     [--deny RULE]... [--list-rules]"
+     [--deny RULE]... [--list-rules] | --lock-graph [--check]"
         .into()
 }
 
@@ -71,6 +83,8 @@ fn run() -> i32 {
     let mut scale = Scale::Tiny;
     let mut json = false;
     let mut reduce = false;
+    let mut lock_graph = false;
+    let mut check = false;
     let mut i = 1;
     let value_of = |args: &[String], i: usize| -> Result<String, String> {
         args.get(i + 1)
@@ -119,6 +133,14 @@ fn run() -> i32 {
                 reduce = true;
                 i += 1;
             }
+            "--lock-graph" => {
+                lock_graph = true;
+                i += 1;
+            }
+            "--check" => {
+                check = true;
+                i += 1;
+            }
             "--allow" | "--deny" => {
                 let level = if args[i] == "--allow" {
                     Level::Allow
@@ -147,6 +169,15 @@ fn run() -> i32 {
             }
             other => return fail(&format!("unknown argument '{other}'\n{}", usage())),
         }
+    }
+    if lock_graph {
+        if !targets.is_empty() {
+            return fail("--lock-graph takes no lint targets");
+        }
+        return run_lock_graph(check);
+    }
+    if check {
+        return fail("--check requires --lock-graph");
     }
     if targets.is_empty() {
         targets.extend(BenchmarkId::ALL.into_iter().map(Target::Bench));
@@ -224,6 +255,103 @@ fn run() -> i32 {
         );
     }
     i32::from(total_errors > 0)
+}
+
+/// `--lock-graph`: drives every concurrent subsystem in-process so their
+/// lock acquisitions land in azoo-sync's global registry, then dumps the
+/// observed acquisition graph. With `--check`, a cycle (a latent
+/// lock-ordering deadlock that no single run needs to hit) exits 2.
+///
+/// Edges are recorded in release builds too — enforcement (the
+/// inversion panic) is debug-only, observation is not — so this works
+/// on the optimized binary CI actually ships.
+fn run_lock_graph(check: bool) -> i32 {
+    exercise_concurrency();
+    let g = azoo_sync::graph::snapshot();
+    print!("{}", g.to_text());
+    if check && !g.cycles().is_empty() {
+        eprintln!("azoo-lint: lock-acquisition graph has a cycle");
+        return 2;
+    }
+    0
+}
+
+/// Touches each lock-nesting path the workspace actually has: database
+/// compile + engine pool churn, concurrent cache resolution, the scan
+/// service's session lifecycle across threads (including the
+/// feed-deadline cancellation path, which checks the executor back in
+/// while the session lock is held), and the parallel scanner's shared
+/// merge accumulator.
+fn exercise_concurrency() {
+    use azoo_engines::{CollectSink, Engine, ParallelScanner};
+    use azoo_serve::{Db, DbCache, DbConfig, ScanService, ServeLimits};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let mut a = azoo_core::Automaton::new();
+    let s = a.add_ste(
+        azoo_core::SymbolClass::from_byte(b'a'),
+        azoo_core::StartKind::AllInput,
+    );
+    let t = a.add_ste(
+        azoo_core::SymbolClass::from_byte(b'b'),
+        azoo_core::StartKind::None,
+    );
+    a.add_edge(s, t);
+    a.set_report(t, 1);
+
+    // Cache: concurrent artifact resolution (DB_CACHE, bare).
+    let db = Db::compile(a.clone(), DbConfig::default()).expect("compile");
+    let bytes = db.serialize();
+    let cache = Arc::new(DbCache::new());
+    let loaders: Vec<_> = (0..4)
+        .map(|_| {
+            let (cache, bytes) = (cache.clone(), bytes.clone());
+            std::thread::spawn(move || {
+                cache.get_or_load(&bytes).expect("artifact loads");
+            })
+        })
+        .collect();
+    for h in loaders {
+        h.join().expect("loader thread");
+    }
+
+    // Service: full session lifecycle across threads. close() holds the
+    // session lock across engine check-in (→ DB_POOL) and tenant
+    // release (→ SERVE_TENANTS) — the workspace's two nested chains.
+    let svc = ScanService::new(ServeLimits::default());
+    let workers: Vec<_> = (0..4)
+        .map(|w| {
+            let (svc, db) = (svc.clone(), db.clone());
+            std::thread::spawn(move || {
+                let tenant = format!("tenant-{w}");
+                let sid = svc.open(&tenant, &db).expect("open");
+                svc.feed(sid, b"xabxab", false).expect("feed");
+                svc.feed(sid, b"", true).expect("eod");
+                svc.drain(sid).expect("drain");
+                svc.close(sid).expect("close");
+            })
+        })
+        .collect();
+    for h in workers {
+        h.join().expect("service thread");
+    }
+
+    // Deadline cancellation: a zero feed deadline forces the timeout
+    // path, which also checks the executor in under the session lock.
+    let strict = ScanService::new(ServeLimits {
+        feed_deadline: Some(Duration::ZERO),
+        ..ServeLimits::default()
+    });
+    let sid = strict.open("t", &db).expect("open");
+    let _ = strict.feed(sid, b"ab", false); // TimedOut (or a 0ns feed)
+    let _ = strict.close(sid);
+
+    // Parallel scanner: workers append batches into the shared
+    // ENGINE_MERGE accumulator.
+    let mut scanner = ParallelScanner::new(&a, 4).expect("scanner");
+    let mut sink = CollectSink::new();
+    scanner.scan(&b"ab".repeat(512), &mut sink);
 }
 
 /// Renders a frontend (parse/validation) failure as diagnostics,

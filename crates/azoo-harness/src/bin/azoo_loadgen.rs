@@ -26,6 +26,9 @@
 //! Exit code: 0 = all sessions verified; 1 = any mismatch or protocol
 //! error; 2 = bad usage.
 
+#![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used)]
+
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::os::unix::net::UnixStream;

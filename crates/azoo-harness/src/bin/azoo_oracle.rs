@@ -8,6 +8,9 @@
 //! Exit status is non-zero if any divergence is found, or if the
 //! mutation self-check kills fewer than 8 of its 10 planted bugs.
 
+#![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used)]
+
 use std::path::PathBuf;
 use std::process::ExitCode;
 

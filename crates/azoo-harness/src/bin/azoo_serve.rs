@@ -18,6 +18,9 @@
 //! signal handler — then prints the final `azoo-serve-metrics-v1`
 //! snapshot to stdout.
 
+#![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used)]
+
 use std::time::Duration;
 
 use azoo_harness::{arg_value, write_metrics_json};

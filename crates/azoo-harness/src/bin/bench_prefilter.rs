@@ -9,6 +9,9 @@
 //!
 //! Usage: `bench-prefilter [--scale tiny|small|full] [--out PATH]`
 
+#![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used)]
+
 use azoo_engines::{CountSink, NfaEngine, PrefilterEngine};
 use azoo_harness::{arg_value, scale_from_args, time_scan_with};
 use azoo_zoo::BenchmarkId;

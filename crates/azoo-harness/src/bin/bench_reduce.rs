@@ -15,6 +15,9 @@
 //! lost states and every equivalence assertion held (the assertions
 //! abort the run on their own).
 
+#![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used)]
+
 use azoo_engines::{CollectSink, CountSink, Engine, NfaEngine, StreamingEngine};
 use azoo_harness::{arg_value, flag_present, scale_from_args, time_scan_with};
 use azoo_passes::reduce;

@@ -13,6 +13,9 @@
 //! symbols; `--csv` additionally writes the Figure-1 series as
 //! `kernel,d,l,reports_per_million` rows for plotting)
 
+#![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used)]
+
 use azoo_engines::{CountSink, Engine, NfaEngine};
 use azoo_harness::{arg_value, scale_from_args, Table};
 use azoo_workloads::dna;

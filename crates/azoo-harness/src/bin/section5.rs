@@ -19,6 +19,9 @@
 //! literal-prefilter engine (per shard when threaded). The report stream
 //! (and thus every number in the table) is identical in every mode.
 
+#![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used)]
+
 use azoo_engines::{CollectSink, Engine, NfaEngine, ParallelScanner, PrefilterEngine};
 use azoo_harness::{
     flag_present, fmt_count, scale_from_args, threads_from_args, write_metrics_json, Table,

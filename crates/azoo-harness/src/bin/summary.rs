@@ -4,6 +4,9 @@
 //!
 //! Usage: `summary [--scale tiny|small|full] [--notes]`
 
+#![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used)]
+
 use azoo_harness::{fmt_count, scale_from_args, Table};
 use azoo_zoo::BenchmarkId;
 

@@ -17,6 +17,9 @@
 //! Paper reference values (states / active set) are printed alongside for
 //! the rows the paper reports.
 
+#![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used)]
+
 use azoo_engines::{Engine, NfaEngine, NullSink, ParallelScanner, PrefilterEngine};
 use azoo_harness::{
     arg_value, flag_present, fmt_count, scale_from_args, threads_from_args, time_scan, Table,

@@ -10,6 +10,9 @@
 //!
 //! Usage: `table2 [--scale tiny|small|full]`
 
+#![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used)]
+
 use azoo_harness::{fmt_count, scale_from_args, Table};
 use azoo_zoo::random_forest::{build, RandomForestParams, Variant};
 use azoo_zoo::Scale;

@@ -9,6 +9,9 @@
 //!
 //! Usage: `table3 [--scale tiny|small|full] [--filters N]`
 
+#![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used)]
+
 use azoo_core::Automaton;
 use azoo_engines::{Engine, LazyDfaEngine, NfaEngine};
 use azoo_harness::{arg_value, scale_from_args, Table};

@@ -20,6 +20,9 @@
 //! `azoo-serve-metrics-v1` schema (each timed automata scan recorded as
 //! one feed), so serve-side dashboards can ingest offline table runs.
 
+#![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used)]
+
 use std::time::Instant;
 
 use azoo_engines::{

@@ -33,6 +33,9 @@
 //! [`ParallelScanner::with_prefilter`]: azoo_engines::ParallelScanner::with_prefilter
 //! [`PrefilterEngine`]: azoo_engines::PrefilterEngine
 
+#![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used)]
+
 use std::time::Instant;
 
 use azoo_engines::{Engine, NullSink, ReportSink};
@@ -146,6 +149,7 @@ pub fn fmt_count(n: usize) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -164,6 +164,7 @@ impl ForestAutomaton {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::dataset::synthetic_mnist;

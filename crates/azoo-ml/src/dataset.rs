@@ -150,6 +150,7 @@ pub fn synthetic_mnist(seed: u64, n_samples: usize) -> Dataset {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -179,6 +179,7 @@ pub(crate) fn majority(votes: &[u32]) -> u8 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::dataset::synthetic_mnist;

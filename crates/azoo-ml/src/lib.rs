@@ -37,6 +37,8 @@
 //! assert!(acc > 0.5, "forest should beat chance by far, got {acc}");
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used)]
 mod automata;
 mod dataset;
 mod forest;

@@ -380,6 +380,7 @@ fn partition(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::dataset::synthetic_mnist;

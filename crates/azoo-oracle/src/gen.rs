@@ -209,6 +209,7 @@ pub fn gen_chunk_plan(rng: &mut OracleRng, len: usize) -> Vec<usize> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -36,6 +36,7 @@
 // An oracle that panics on malformed data would mask the very bugs it
 // hunts; only the baseline construction (whose failure is a harness
 // bug, not an engine bug) is allowed to unwrap.
+#![forbid(unsafe_code)]
 #![warn(clippy::unwrap_used)]
 
 pub mod adapter;

@@ -268,6 +268,7 @@ pub fn kill_check(seeds: u64, gen: &GenConfig) -> Vec<MutationOutcome> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

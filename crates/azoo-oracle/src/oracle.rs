@@ -233,6 +233,7 @@ pub fn run_range(start: u64, count: u64, cfg: &OracleConfig, shrink_found: bool)
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

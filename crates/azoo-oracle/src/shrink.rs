@@ -196,6 +196,7 @@ fn shrink_plan(plan: &[usize], pos: usize) -> Vec<usize> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::adapter::EngineKind;

@@ -47,6 +47,7 @@ pub fn remove_dead(a: &Automaton) -> Automaton {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use azoo_core::{StartKind, SymbolClass};

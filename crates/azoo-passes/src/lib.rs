@@ -28,6 +28,8 @@
 //! `azoo-oracle` cross-engine oracle) can compare report streams across
 //! a pass.
 
+#![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used)]
 mod dead;
 mod input_map;
 mod merge;

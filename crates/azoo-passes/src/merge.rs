@@ -202,6 +202,7 @@ fn merge_round(a: &Automaton, dir: Direction) -> (Automaton, bool) {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use azoo_core::{StartKind, SymbolClass};

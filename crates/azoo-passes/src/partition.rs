@@ -92,6 +92,7 @@ pub fn partition(a: &Automaton, capacity: usize) -> Result<Vec<Automaton>, PassE
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use azoo_core::{StartKind, SymbolClass};

@@ -266,6 +266,7 @@ pub fn bits_of_bytes(bytes: &[u8]) -> Vec<Option<bool>> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

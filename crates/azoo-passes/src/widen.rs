@@ -68,6 +68,7 @@ pub fn widen(a: &Automaton) -> Result<Automaton, PassError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

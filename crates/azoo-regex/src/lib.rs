@@ -29,6 +29,8 @@
 //! # Ok::<(), azoo_regex::RegexError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used)]
 mod ast;
 mod compile;
 mod parser;

@@ -449,6 +449,7 @@ fn expand_repeat(atom: Ast, min: u32, max: Option<u32>) -> Ast {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -39,13 +39,14 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::Arc;
 
 use azoo_core::{content_hash, mnrl, Automaton, CoreError, HASH_VERSION};
 use azoo_engines::{
     select_session_engine, select_session_engine_threaded, EngineChoice, EngineError, SessionEngine,
 };
 use azoo_passes::InputMap;
+use azoo_sync::{ranks, sched, OrderedMutex};
 
 /// Current artifact format version.
 pub const DB_FORMAT_VERSION: u32 = 2;
@@ -59,16 +60,6 @@ const FLAG_REDUCED: u8 = 0x01;
 /// Recycled engines kept per database; checkouts past this bound fall
 /// back to cloning the prototype (bounded memory beats unbounded reuse).
 const POOL_CAP: usize = 1024;
-
-/// Locks a mutex, recovering from poisoning: every critical section in
-/// this module is a plain push/pop or map operation that cannot leave
-/// the protected data half-updated.
-pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    match m.lock() {
-        Ok(g) => g,
-        Err(poisoned) => poisoned.into_inner(),
-    }
-}
 
 /// How a [`Db`] presents input to its machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -184,9 +175,12 @@ pub struct Db {
     hash: u64,
     choice: EngineChoice,
     /// Free list of recycled per-session executors (all quiesced).
-    pool: Mutex<Vec<Box<dyn SessionEngine>>>,
+    /// Rank DB_POOL: acquired while a session lock is held (close and
+    /// feed-timeout check-in), never while holding anything higher.
+    pool: OrderedMutex<Vec<Box<dyn SessionEngine>>>,
     /// Pristine executor the pool grows from; never circulated.
-    proto: Mutex<Box<dyn SessionEngine>>,
+    /// Rank DB_PROTO: leaf lock, acquires nothing.
+    proto: OrderedMutex<Box<dyn SessionEngine>>,
 }
 
 impl std::fmt::Debug for Db {
@@ -238,8 +232,8 @@ impl Db {
             config,
             hash,
             choice,
-            pool: Mutex::new(Vec::new()),
-            proto: Mutex::new(proto),
+            pool: OrderedMutex::new(ranks::DB_POOL, Vec::new()),
+            proto: OrderedMutex::new(ranks::DB_PROTO, proto),
         }))
     }
 
@@ -345,10 +339,10 @@ impl Db {
     /// Checks a quiesced executor out of the free list, cloning the
     /// prototype's compiled tables when the list is empty.
     pub fn checkout(&self) -> Box<dyn SessionEngine> {
-        if let Some(engine) = lock(&self.pool).pop() {
+        if let Some(engine) = self.pool.lock().pop() {
             return engine;
         }
-        lock(&self.proto).clone_session()
+        self.proto.lock().clone_session()
     }
 
     /// Returns an executor to the free list, resetting it first (with
@@ -356,7 +350,7 @@ impl Db {
     /// from a provably clean stream state.
     pub fn checkin(&self, mut engine: Box<dyn SessionEngine>) {
         engine.reset();
-        let mut pool = lock(&self.pool);
+        let mut pool = self.pool.lock();
         if pool.len() < POOL_CAP {
             pool.push(engine);
         }
@@ -364,7 +358,7 @@ impl Db {
 
     /// Executors currently parked on the free list.
     pub fn pooled(&self) -> usize {
-        lock(&self.pool).len()
+        self.pool.lock().len()
     }
 }
 
@@ -461,11 +455,22 @@ fn parse_header(bytes: &[u8]) -> Result<(u64, DbConfig, &[u8]), DbError> {
 /// genuine header falls through to the full load and dies on its
 /// [`DbError::HashMismatch`] (or parse error) instead of silently
 /// borrowing the cached database's credibility.
-#[derive(Default)]
 pub struct DbCache {
-    map: Mutex<HashMap<u64, CacheEntry>>,
+    /// Rank DB_CACHE: lowest rank in the workspace — the cache map may
+    /// be consulted on any path, so nothing may be held across it.
+    map: OrderedMutex<HashMap<u64, CacheEntry>>,
     hits: AtomicU64,
     misses: AtomicU64,
+}
+
+impl Default for DbCache {
+    fn default() -> Self {
+        DbCache {
+            map: OrderedMutex::new(ranks::DB_CACHE, HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
 }
 
 /// One cached database plus the fingerprint of the exact artifact bytes
@@ -494,7 +499,7 @@ impl DbCache {
 
     /// Looks up a database by cache key, counting a hit or miss.
     pub fn get(&self, key: u64) -> Option<Arc<Db>> {
-        let found = lock(&self.map).get(&key).map(|e| e.db.clone());
+        let found = self.map.lock().get(&key).map(|e| e.db.clone());
         match found {
             Some(db) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -513,7 +518,7 @@ impl DbCache {
     pub fn insert(&self, db: Arc<Db>) -> u64 {
         let key = db.cache_key();
         let fp = artifact_fingerprint(&db.serialize());
-        lock(&self.map).insert(
+        self.map.lock().insert(
             key,
             CacheEntry {
                 db,
@@ -538,7 +543,8 @@ impl DbCache {
     pub fn get_or_load(&self, bytes: &[u8]) -> Result<(Arc<Db>, bool), DbError> {
         let key = Db::peek_key(bytes)?;
         let fp = artifact_fingerprint(bytes);
-        if let Some(entry) = lock(&self.map).get(&key) {
+        sched::point("cache:lookup");
+        if let Some(entry) = self.map.lock().get(&key) {
             if entry.artifact_fp == Some(fp) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return Ok((entry.db.clone(), true));
@@ -546,7 +552,8 @@ impl DbCache {
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let db = Db::deserialize(bytes)?;
-        lock(&self.map).insert(
+        sched::point("cache:loaded");
+        self.map.lock().insert(
             key,
             CacheEntry {
                 db: db.clone(),
@@ -568,7 +575,7 @@ impl DbCache {
 
     /// Number of cached databases.
     pub fn len(&self) -> usize {
-        lock(&self.map).len()
+        self.map.lock().len()
     }
 
     /// Whether the cache is empty.
@@ -578,6 +585,7 @@ impl DbCache {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use azoo_core::{StartKind, SymbolClass};

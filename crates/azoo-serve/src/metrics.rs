@@ -252,6 +252,7 @@ fn bucket_upper_us(bucket: usize) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -434,6 +434,7 @@ impl<'a> Cursor<'a> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -270,6 +270,7 @@ fn error_response(e: &ServeError) -> Response {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::db::{Db, DbConfig};

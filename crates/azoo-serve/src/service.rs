@@ -42,13 +42,14 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use azoo_core::ReportCode;
 use azoo_engines::{Report, ReportSink, SessionEngine};
+use azoo_sync::{ranks, sched, OrderedMutex};
 
-use crate::db::{lock, Db, DbCache, DbError};
+use crate::db::{Db, DbCache, DbError};
 use crate::metrics::MetricsRegistry;
 
 /// Session identifier handed out by [`ScanService::open`].
@@ -177,7 +178,10 @@ struct SessionInner {
     map_buf: Vec<u8>,
 }
 
-type SessionHandle = Arc<Mutex<SessionInner>>;
+/// Rank SERVE_SESSION: held across the scan and across engine check-in
+/// (→ DB_POOL) and tenant release (→ SERVE_TENANTS) — the only two
+/// nested acquisitions in the service.
+type SessionHandle = Arc<OrderedMutex<SessionInner>>;
 
 /// Summary returned by [`ScanService::close`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -202,7 +206,9 @@ pub struct ScanService {
     limits: ServeLimits,
     metrics: Arc<MetricsRegistry>,
     cache: DbCache,
-    shards: Vec<Mutex<HashMap<SessionId, SessionHandle>>>,
+    /// Rank SERVE_SHARD, shared by all 16 shards: no path may hold two
+    /// shards at once, and the equal-rank check enforces exactly that.
+    shards: Vec<OrderedMutex<HashMap<SessionId, SessionHandle>>>,
     next_sid: AtomicU64,
     /// Key for the sid bijection: sids must be unique like a counter but
     /// not enumerable across connections (defense-in-depth under the
@@ -210,7 +216,9 @@ pub struct ScanService {
     sid_seed: u64,
     open_sessions: AtomicU64,
     bytes_in_flight: AtomicU64,
-    tenants: Mutex<HashMap<String, Arc<TenantState>>>,
+    /// Rank SERVE_TENANTS: acquired bare (open path) or while a session
+    /// lock is held (close path); acquires nothing itself.
+    tenants: OrderedMutex<HashMap<String, Arc<TenantState>>>,
 }
 
 impl ScanService {
@@ -228,12 +236,14 @@ impl ScanService {
             limits,
             metrics: Arc::new(MetricsRegistry::new()),
             cache: DbCache::new(),
-            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..SHARDS)
+                .map(|_| OrderedMutex::new(ranks::SERVE_SHARD, HashMap::new()))
+                .collect(),
             next_sid: AtomicU64::new(1),
             sid_seed: splitmix64(clock ^ stack.rotate_left(32)),
             open_sessions: AtomicU64::new(0),
             bytes_in_flight: AtomicU64::new(0),
-            tenants: Mutex::new(HashMap::new()),
+            tenants: OrderedMutex::new(ranks::SERVE_TENANTS, HashMap::new()),
         })
     }
 
@@ -289,15 +299,18 @@ impl ScanService {
         // Global gauge first: reserve, verify, roll back on failure.
         let now = self.open_sessions.fetch_add(1, Ordering::SeqCst) + 1;
         if now as usize > self.limits.max_sessions {
+            sched::point("open:rollback");
             self.open_sessions.fetch_sub(1, Ordering::SeqCst);
             self.metrics.record_rejected_open();
             return Err(ServeError::Overloaded {
                 resource: "sessions",
             });
         }
+        sched::point("open:reserved");
         let tstate = match self.tenant_acquire(tenant) {
             Ok(t) => t,
             Err(e) => {
+                sched::point("open:rollback");
                 self.open_sessions.fetch_sub(1, Ordering::SeqCst);
                 self.metrics.record_rejected_open();
                 return Err(e);
@@ -309,17 +322,20 @@ impl ScanService {
         // A keyed bijection over the counter: as collision-free as the
         // counter itself, but sids are not guessable from one another.
         let sid = splitmix64(self.next_sid.fetch_add(1, Ordering::Relaxed) ^ self.sid_seed);
-        let inner = Arc::new(Mutex::new(SessionInner {
-            tenant_name: tenant.into(),
-            tenant: tstate,
-            db: db.clone(),
-            engine: Some(engine),
-            reports: Vec::new(),
-            phase: Phase::Streaming,
-            fed_bytes: 0,
-            map_buf: Vec::new(),
-        }));
-        lock(&self.shards[shard_of(sid)]).insert(sid, inner);
+        let inner = Arc::new(OrderedMutex::new(
+            ranks::SERVE_SESSION,
+            SessionInner {
+                tenant_name: tenant.into(),
+                tenant: tstate,
+                db: db.clone(),
+                engine: Some(engine),
+                reports: Vec::new(),
+                phase: Phase::Streaming,
+                fed_bytes: 0,
+                map_buf: Vec::new(),
+            },
+        ));
+        self.shards[shard_of(sid)].lock().insert(sid, inner);
         self.metrics.record_session_open();
         Ok(sid)
     }
@@ -344,6 +360,7 @@ impl ScanService {
         let release_global = || {
             self.bytes_in_flight.fetch_sub(len, Ordering::SeqCst);
         };
+        sched::point("feed:reserved");
 
         let handle = match self.session(sid) {
             Some(h) => h,
@@ -352,9 +369,10 @@ impl ScanService {
                 return Err(ServeError::UnknownSession(sid));
             }
         };
+        sched::point("feed:lock");
 
         let wait_start = Instant::now();
-        let mut inner = lock(&handle);
+        let mut inner = handle.lock();
         match inner.phase {
             Phase::Streaming => {}
             Phase::Finished => {
@@ -460,7 +478,7 @@ impl ScanService {
     /// [`ServeError::UnknownSession`].
     pub fn drain(&self, sid: SessionId) -> Result<Vec<Report>, ServeError> {
         let handle = self.session(sid).ok_or(ServeError::UnknownSession(sid))?;
-        let mut inner = lock(&handle);
+        let mut inner = handle.lock();
         Ok(std::mem::take(&mut inner.reports))
     }
 
@@ -470,10 +488,13 @@ impl ScanService {
     ///
     /// [`ServeError::UnknownSession`].
     pub fn close(&self, sid: SessionId) -> Result<SessionStats, ServeError> {
-        let handle = lock(&self.shards[shard_of(sid)])
+        sched::point("close:remove");
+        let handle = self.shards[shard_of(sid)]
+            .lock()
             .remove(&sid)
             .ok_or(ServeError::UnknownSession(sid))?;
-        let mut inner = lock(&handle);
+        sched::point("close:lock");
+        let mut inner = handle.lock();
         // A feed that cloned the handle before the map removal is waiting
         // on this lock: it must see a terminal phase, not a Streaming
         // session with its engine missing.
@@ -505,7 +526,7 @@ impl ScanService {
     /// names are attacker-chosen, so the map must not outlive the
     /// sessions that justify its entries).
     pub fn tenant_count(&self) -> usize {
-        lock(&self.tenants).len()
+        self.tenants.lock().len()
     }
 
     /// Registers one more open session for `tenant`, creating its state
@@ -513,7 +534,7 @@ impl ScanService {
     /// tenants lock so [`Self::tenant_release`] can drop a tenant's
     /// entry exactly when its last session closes.
     fn tenant_acquire(&self, tenant: &str) -> Result<Arc<TenantState>, ServeError> {
-        let mut tenants = lock(&self.tenants);
+        let mut tenants = self.tenants.lock();
         let state = tenants.entry(tenant.to_string()).or_default().clone();
         let tnow = state.open_sessions.fetch_add(1, Ordering::SeqCst) + 1;
         if tnow as usize > self.limits.max_sessions_per_tenant {
@@ -533,7 +554,7 @@ impl ScanService {
     /// state when the count returns to zero so attacker-chosen tenant
     /// names cannot grow the map without bound.
     fn tenant_release(&self, tenant: &str) {
-        let mut tenants = lock(&self.tenants);
+        let mut tenants = self.tenants.lock();
         if let Some(state) = tenants.get(tenant) {
             if state.open_sessions.fetch_sub(1, Ordering::SeqCst) == 1 {
                 tenants.remove(tenant);
@@ -542,7 +563,7 @@ impl ScanService {
     }
 
     fn session(&self, sid: SessionId) -> Option<SessionHandle> {
-        lock(&self.shards[shard_of(sid)]).get(&sid).cloned()
+        self.shards[shard_of(sid)].lock().get(&sid).cloned()
     }
 }
 
@@ -559,6 +580,7 @@ fn shard_of(sid: SessionId) -> usize {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::db::DbConfig;

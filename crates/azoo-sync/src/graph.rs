@@ -1,0 +1,295 @@
+//! The process-global lock-acquisition graph.
+//!
+//! Every time a thread acquires an [`crate::OrderedMutex`] or
+//! [`crate::OrderedRwLock`] while already holding locks, one
+//! *(held-rank → acquired-rank)* edge per held lock is recorded here —
+//! in **every** build, debug and release. The graph is therefore the
+//! union of acquisition orders observed across a whole run, and a cycle
+//! in it is a latent deadlock even if no single interleaving ever
+//! deadlocked (two threads that each completed their ABBA halves at
+//! different times still deposit both edges). `azoo-lint --lock-graph`
+//! exercises the concurrent subsystems, dumps this graph, and fails on
+//! any cycle.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+use crate::rank::LockRank;
+
+/// One observed acquisition edge: `to` was acquired while `from` was
+/// held, `count` times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// The rank already held.
+    pub from: LockRank,
+    /// The rank being acquired.
+    pub to: LockRank,
+    /// How many acquisitions deposited this edge.
+    pub count: u64,
+}
+
+/// Keyed by (from.rank, to.rank); names are taken from the first sighting.
+static EDGES: OnceLock<Mutex<BTreeMap<(u16, u16), Edge>>> = OnceLock::new();
+
+fn edges() -> &'static Mutex<BTreeMap<(u16, u16), Edge>> {
+    EDGES.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+fn with_edges<R>(f: impl FnOnce(&mut BTreeMap<(u16, u16), Edge>) -> R) -> R {
+    // A plain std mutex, deliberately outside the rank discipline: it is
+    // only ever held for one map operation and acquires nothing else.
+    let mut map = match edges().lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    f(&mut map)
+}
+
+/// Records one observed edge (called by the wrappers on every nested
+/// acquisition).
+pub(crate) fn record(from: LockRank, to: LockRank) {
+    with_edges(|map| {
+        map.entry((from.rank, to.rank))
+            .or_insert(Edge { from, to, count: 0 })
+            .count += 1;
+    });
+}
+
+/// Clears the registry (test isolation).
+pub fn reset() {
+    with_edges(|map| map.clear());
+}
+
+/// Snapshots the registry into an analyzable [`LockGraph`].
+pub fn snapshot() -> LockGraph {
+    LockGraph {
+        edges: with_edges(|map| map.values().copied().collect()),
+    }
+}
+
+/// An immutable snapshot of the acquisition graph.
+#[derive(Debug, Clone)]
+pub struct LockGraph {
+    edges: Vec<Edge>,
+}
+
+impl LockGraph {
+    /// The observed edges, ordered by (from, to) rank.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// The distinct ranks appearing in any edge, ascending.
+    pub fn nodes(&self) -> Vec<LockRank> {
+        let mut nodes: BTreeMap<u16, LockRank> = BTreeMap::new();
+        for e in &self.edges {
+            nodes.entry(e.from.rank).or_insert(e.from);
+            nodes.entry(e.to.rank).or_insert(e.to);
+        }
+        nodes.into_values().collect()
+    }
+
+    /// Every cycle in the graph, reported as the strongly connected
+    /// components with more than one node (plus self-loops), each
+    /// listed ascending by rank. An empty result means the observed
+    /// acquisition order is consistent — no latent ordering deadlock.
+    pub fn cycles(&self) -> Vec<Vec<LockRank>> {
+        let nodes = self.nodes();
+        let index_of: BTreeMap<u16, usize> =
+            nodes.iter().enumerate().map(|(i, r)| (r.rank, i)).collect();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+        let mut self_loop = vec![false; nodes.len()];
+        for e in &self.edges {
+            let (f, t) = (index_of[&e.from.rank], index_of[&e.to.rank]);
+            if f == t {
+                self_loop[f] = true;
+            } else {
+                adj[f].push(t);
+            }
+        }
+        let mut out: Vec<Vec<LockRank>> = Vec::new();
+        for scc in tarjan_sccs(&adj) {
+            if scc.len() > 1 {
+                let mut cycle: Vec<LockRank> = scc.iter().map(|&i| nodes[i]).collect();
+                cycle.sort_unstable();
+                out.push(cycle);
+            }
+        }
+        for (i, &looped) in self_loop.iter().enumerate() {
+            if looped {
+                out.push(vec![nodes[i]]);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Human-readable dump: the edge table, then any cycles.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "lock-acquisition graph: {} edge(s)", self.edges.len());
+        for e in &self.edges {
+            let _ = writeln!(s, "  {} -> {}  (x{})", e.from, e.to, e.count);
+        }
+        let cycles = self.cycles();
+        if cycles.is_empty() {
+            let _ = writeln!(s, "no cycles: acquisition order is consistent");
+        } else {
+            for c in &cycles {
+                let names: Vec<String> = c.iter().map(LockRank::to_string).collect();
+                let _ = writeln!(s, "CYCLE: {}", names.join(" <-> "));
+            }
+        }
+        s
+    }
+
+    /// Graphviz rendering of the observed edges.
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::from("digraph lock_order {\n");
+        for n in self.nodes() {
+            let _ = writeln!(s, "  \"{}\" [label=\"{}\"];", n.name, n);
+        }
+        for e in &self.edges {
+            let _ = writeln!(
+                s,
+                "  \"{}\" -> \"{}\" [label=\"x{}\"];",
+                e.from.name, e.to.name, e.count
+            );
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// Iterative Tarjan strongly-connected components (no recursion: lock
+/// graphs are small, but the detector must not assume so).
+fn tarjan_sccs(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    #[derive(Clone, Copy)]
+    struct NodeState {
+        index: usize,
+        lowlink: usize,
+        on_stack: bool,
+        visited: bool,
+    }
+    let n = adj.len();
+    let mut state = vec![
+        NodeState {
+            index: 0,
+            lowlink: 0,
+            on_stack: false,
+            visited: false,
+        };
+        n
+    ];
+    let mut next_index = 0usize;
+    let mut stack: Vec<usize> = Vec::new();
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+
+    for root in 0..n {
+        if state[root].visited {
+            continue;
+        }
+        // Explicit DFS frames: (node, next child position).
+        let mut frames: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&mut (v, ref mut child)) = frames.last_mut() {
+            if *child == 0 {
+                state[v].visited = true;
+                state[v].index = next_index;
+                state[v].lowlink = next_index;
+                next_index += 1;
+                stack.push(v);
+                state[v].on_stack = true;
+            }
+            if let Some(&w) = adj[v].get(*child) {
+                *child += 1;
+                if !state[w].visited {
+                    frames.push((w, 0));
+                } else if state[w].on_stack {
+                    state[v].lowlink = state[v].lowlink.min(state[w].index);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    let low = state[v].lowlink;
+                    state[parent].lowlink = state[parent].lowlink.min(low);
+                }
+                if state[v].lowlink == state[v].index {
+                    let mut scc = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        state[w].on_stack = false;
+                        scc.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sccs.push(scc);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    fn r(rank: u16, name: &'static str) -> LockRank {
+        LockRank::new(rank, name)
+    }
+
+    fn graph(edges: &[(u16, u16)]) -> LockGraph {
+        LockGraph {
+            edges: edges
+                .iter()
+                .map(|&(f, t)| Edge {
+                    from: r(f, "n"),
+                    to: r(t, "n"),
+                    count: 1,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn acyclic_chain_has_no_cycles() {
+        assert!(graph(&[(1, 2), (2, 3), (1, 3)]).cycles().is_empty());
+    }
+
+    #[test]
+    fn abba_is_a_cycle() {
+        let cycles = graph(&[(1, 2), (2, 1)]).cycles();
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(
+            cycles[0].iter().map(|x| x.rank).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let cycles = graph(&[(5, 5)]).cycles();
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0][0].rank, 5);
+    }
+
+    #[test]
+    fn three_node_cycle_found_among_acyclic_edges() {
+        let g = graph(&[(1, 2), (2, 3), (3, 1), (1, 9), (9, 10)]);
+        let cycles = g.cycles();
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(
+            cycles[0].iter().map(|x| x.rank).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn text_dump_flags_cycles() {
+        assert!(graph(&[(1, 2)]).to_text().contains("no cycles"));
+        assert!(graph(&[(1, 2), (2, 1)]).to_text().contains("CYCLE"));
+    }
+}

@@ -1,0 +1,45 @@
+//! azoo-sync: the workspace's concurrency correctness layer.
+//!
+//! Three of this repository's subsystems are genuinely concurrent — the
+//! multi-tenant scan service, its compiled-database cache, and the
+//! multi-threaded scanner — and their failure modes (lock-order
+//! inversion, lost rollbacks, races on session teardown) do not show up
+//! in ordinary tests because no single interleaving hits them. This
+//! crate makes those properties machine-checked instead of
+//! reviewer-checked:
+//!
+//! * **[`OrderedMutex`] / [`OrderedRwLock`]** — drop-in lock wrappers
+//!   that carry a declared [`LockRank`] from the single workspace-wide
+//!   rank table in [`ranks`]. A thread may only acquire a lock whose
+//!   rank is *strictly greater* than every rank it already holds; in
+//!   debug/test builds any violation panics at the acquisition site,
+//!   naming both locks.
+//! * **[`graph`]** — a process-global registry of every observed
+//!   *(held-rank → acquired-rank)* edge, in every build. Cycle
+//!   detection over the union of edges seen across a whole test run
+//!   catches ABBA orderings that never deadlocked at runtime —
+//!   a race detector for lock-ordering bugs. `azoo-lint --lock-graph`
+//!   dumps and checks it.
+//! * **[`sched`]** — a deterministic schedule-permutation harness (the
+//!   vendored-`loom` fallback; see DESIGN.md §6h): threads pause at
+//!   explicit [`sched::point`] hooks, a controller enumerates *every*
+//!   interleaving of those pause points depth-first, and model tests
+//!   assert their invariants under each one.
+//!
+//! Locks are never poisoned-fatal here: every guard recovers from
+//! poisoning, because every critical section in the workspace is a
+//! plain push/pop or map operation that cannot be left half-updated.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
+
+pub mod graph;
+mod ordered;
+mod rank;
+pub mod sched;
+
+pub use ordered::{
+    OrderedMutex, OrderedMutexGuard, OrderedRwLock, OrderedRwLockReadGuard, OrderedRwLockWriteGuard,
+};
+pub use rank::{ranks, LockRank};

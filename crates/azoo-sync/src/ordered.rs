@@ -1,0 +1,336 @@
+//! Rank-ordered lock wrappers and the per-thread held-rank stack.
+
+use std::cell::RefCell;
+use std::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use crate::graph;
+use crate::rank::LockRank;
+
+thread_local! {
+    /// Locks this thread currently holds (acquisition tokens + ranks).
+    /// A plain stack is not enough — guards may be dropped in any order
+    /// — so entries carry a token and are removed by identity.
+    static HELD: RefCell<HeldSet> = const {
+        RefCell::new(HeldSet {
+            entries: Vec::new(),
+            next_token: 0,
+        })
+    };
+}
+
+struct HeldSet {
+    entries: Vec<(u64, LockRank)>,
+    next_token: u64,
+}
+
+/// Registers the intent to acquire `rank` on this thread: records one
+/// *(held → acquired)* edge per lock currently held (in every build),
+/// then — in debug/test builds — panics if the acquisition inverts the
+/// rank order. Returns the token the guard releases on drop.
+///
+/// Edges are recorded **before** the inversion check panics, so an
+/// inversion that a debug run aborts still lands in the lock graph:
+/// the same run's dump shows the cycle.
+fn acquire(rank: LockRank) -> u64 {
+    HELD.with(|held| {
+        let mut held = held.borrow_mut();
+        let mut worst: Option<LockRank> = None;
+        for &(_, h) in &held.entries {
+            graph::record(h, rank);
+            if worst.is_none_or(|w| h.rank > w.rank) {
+                worst = Some(h);
+            }
+        }
+        if let Some(worst) = worst {
+            if cfg!(debug_assertions) && rank.rank <= worst.rank {
+                panic!(
+                    "lock rank inversion: acquiring {rank} while holding {worst}; \
+                     ranks must be strictly increasing (workspace table: \
+                     azoo_sync::ranks, DESIGN.md §6h)"
+                );
+            }
+        }
+        let token = held.next_token;
+        held.next_token += 1;
+        held.entries.push((token, rank));
+        token
+    })
+}
+
+fn release(token: u64) {
+    HELD.with(|held| {
+        let mut held = held.borrow_mut();
+        if let Some(i) = held.entries.iter().position(|&(t, _)| t == token) {
+            held.entries.swap_remove(i);
+        }
+    });
+}
+
+/// Releases the held-set entry when the guard drops.
+struct HeldToken(u64);
+
+impl Drop for HeldToken {
+    fn drop(&mut self) {
+        release(self.0);
+    }
+}
+
+/// Recovers a poisoned guard: every workspace critical section is a
+/// plain push/pop or map operation that cannot be left half-updated,
+/// so a panic elsewhere in a holder must not cascade.
+fn unpoison<G>(r: Result<G, std::sync::PoisonError<G>>) -> G {
+    match r {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// A [`Mutex`] that carries a declared [`LockRank`] and enforces the
+/// workspace acquisition order (see [`crate::ranks`]).
+///
+/// [`lock`](OrderedMutex::lock) panics in debug/test builds when this
+/// lock's rank is not strictly greater than every rank the thread
+/// already holds; in all builds the acquisition edge is recorded in
+/// [`crate::graph`]. Poisoning is recovered, never propagated.
+#[derive(Debug)]
+pub struct OrderedMutex<T> {
+    rank: LockRank,
+    inner: Mutex<T>,
+}
+
+impl<T> OrderedMutex<T> {
+    /// Wraps `value` under `rank`.
+    pub const fn new(rank: LockRank, value: T) -> OrderedMutex<T> {
+        OrderedMutex {
+            rank,
+            inner: Mutex::new(value),
+        }
+    }
+
+    /// The declared rank.
+    pub fn rank(&self) -> LockRank {
+        self.rank
+    }
+
+    /// Acquires the lock, enforcing the rank discipline.
+    pub fn lock(&self) -> OrderedMutexGuard<'_, T> {
+        let token = HeldToken(acquire(self.rank));
+        OrderedMutexGuard {
+            guard: unpoison(self.inner.lock()),
+            _token: token,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership,
+    /// so the rank discipline is trivially upheld).
+    pub fn get_mut(&mut self) -> &mut T {
+        unpoison(self.inner.get_mut())
+    }
+
+    /// Consumes the lock, returning the protected value.
+    pub fn into_inner(self) -> T {
+        unpoison(self.inner.into_inner())
+    }
+}
+
+/// RAII guard for [`OrderedMutex`]; releases the held-rank entry on drop.
+pub struct OrderedMutexGuard<'a, T> {
+    guard: MutexGuard<'a, T>,
+    _token: HeldToken,
+}
+
+impl<T> std::ops::Deref for OrderedMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> std::ops::DerefMut for OrderedMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+/// An [`RwLock`] carrying a declared [`LockRank`]; read and write
+/// acquisitions follow the same strictly-increasing discipline as
+/// [`OrderedMutex`] (a read held at rank r still forbids acquiring
+/// ranks ≤ r — reader/reader deadlocks through writer queuing are real).
+#[derive(Debug)]
+pub struct OrderedRwLock<T> {
+    rank: LockRank,
+    inner: RwLock<T>,
+}
+
+impl<T> OrderedRwLock<T> {
+    /// Wraps `value` under `rank`.
+    pub const fn new(rank: LockRank, value: T) -> OrderedRwLock<T> {
+        OrderedRwLock {
+            rank,
+            inner: RwLock::new(value),
+        }
+    }
+
+    /// The declared rank.
+    pub fn rank(&self) -> LockRank {
+        self.rank
+    }
+
+    /// Acquires a shared read guard, enforcing the rank discipline.
+    pub fn read(&self) -> OrderedRwLockReadGuard<'_, T> {
+        let token = HeldToken(acquire(self.rank));
+        OrderedRwLockReadGuard {
+            guard: unpoison(self.inner.read()),
+            _token: token,
+        }
+    }
+
+    /// Acquires the exclusive write guard, enforcing the rank discipline.
+    pub fn write(&self) -> OrderedRwLockWriteGuard<'_, T> {
+        let token = HeldToken(acquire(self.rank));
+        OrderedRwLockWriteGuard {
+            guard: unpoison(self.inner.write()),
+            _token: token,
+        }
+    }
+
+    /// Mutable access without locking.
+    pub fn get_mut(&mut self) -> &mut T {
+        unpoison(self.inner.get_mut())
+    }
+
+    /// Consumes the lock, returning the protected value.
+    pub fn into_inner(self) -> T {
+        unpoison(self.inner.into_inner())
+    }
+}
+
+/// Shared-read RAII guard for [`OrderedRwLock`].
+pub struct OrderedRwLockReadGuard<'a, T> {
+    guard: RwLockReadGuard<'a, T>,
+    _token: HeldToken,
+}
+
+impl<T> std::ops::Deref for OrderedRwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+/// Exclusive-write RAII guard for [`OrderedRwLock`].
+pub struct OrderedRwLockWriteGuard<'a, T> {
+    guard: RwLockWriteGuard<'a, T>,
+    _token: HeldToken,
+}
+
+impl<T> std::ops::Deref for OrderedRwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> std::ops::DerefMut for OrderedRwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::rank::ranks;
+
+    fn r(rank: u16, name: &'static str) -> LockRank {
+        assert!(rank >= ranks::TEST_BASE);
+        LockRank::new(rank, name)
+    }
+
+    #[test]
+    fn ascending_acquisition_is_legal() {
+        let a = OrderedMutex::new(r(0x8100, "ord-a"), 1);
+        let b = OrderedMutex::new(r(0x8101, "ord-b"), 2);
+        let ga = a.lock();
+        let gb = b.lock();
+        assert_eq!(*ga + *gb, 3);
+    }
+
+    #[test]
+    fn out_of_order_guard_drops_are_tracked_correctly() {
+        let a = OrderedMutex::new(r(0x8110, "drop-a"), ());
+        let b = OrderedMutex::new(r(0x8111, "drop-b"), ());
+        let c = OrderedMutex::new(r(0x8112, "drop-c"), ());
+        let ga = a.lock();
+        let gb = b.lock();
+        drop(ga); // dropped before b: the held set must not corrupt
+        let gc = c.lock(); // still legal: only drop-b (lower) is held
+        drop(gb);
+        drop(gc);
+        // Everything released: a low-rank acquisition is legal again.
+        let _ga = a.lock();
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "lock rank inversion"))]
+    fn descending_acquisition_panics_in_debug() {
+        let a = OrderedMutex::new(r(0x8120, "inv-a"), ());
+        let b = OrderedMutex::new(r(0x8121, "inv-b"), ());
+        let _gb = b.lock();
+        let _ga = a.lock(); // inversion
+                            // In release builds this is reachable: the edge is recorded
+                            // for the graph instead of panicking.
+        if !cfg!(debug_assertions) {
+            panic!("lock rank inversion (recorded, not enforced)");
+        }
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "lock rank inversion"))]
+    fn equal_rank_acquisition_panics_in_debug() {
+        let a = OrderedMutex::new(r(0x8130, "eq-a"), ());
+        let b = OrderedMutex::new(r(0x8130, "eq-b"), ());
+        let _ga = a.lock();
+        let _gb = b.lock(); // same rank: two shards held at once
+        if !cfg!(debug_assertions) {
+            panic!("lock rank inversion (recorded, not enforced)");
+        }
+    }
+
+    #[test]
+    fn rwlock_read_then_higher_write_is_legal() {
+        let a = OrderedRwLock::new(r(0x8140, "rw-a"), 7);
+        let b = OrderedRwLock::new(r(0x8141, "rw-b"), 0);
+        let ra = a.read();
+        let mut wb = b.write();
+        *wb = *ra;
+        drop(wb);
+        drop(ra);
+        assert_eq!(*b.read(), 7);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "lock rank inversion"))]
+    fn rwlock_read_does_not_exempt_the_discipline() {
+        let a = OrderedRwLock::new(r(0x8150, "rwinv-a"), ());
+        let b = OrderedRwLock::new(r(0x8151, "rwinv-b"), ());
+        let _rb = b.read();
+        let _ra = a.read(); // reads still must ascend
+        if !cfg!(debug_assertions) {
+            panic!("lock rank inversion (recorded, not enforced)");
+        }
+    }
+
+    #[test]
+    fn poisoned_lock_recovers() {
+        let a = std::sync::Arc::new(OrderedMutex::new(r(0x8160, "poison-a"), 5));
+        let a2 = a.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = a2.lock();
+            panic!("poison it");
+        })
+        .join();
+        assert_eq!(*a.lock(), 5, "poisoning must not propagate");
+    }
+}

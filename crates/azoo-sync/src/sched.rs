@@ -1,0 +1,499 @@
+//! Deterministic schedule-permutation model checking.
+//!
+//! `loom` cannot be vendored into this offline workspace (see DESIGN.md
+//! §6h), so this module provides the fallback it prescribes: a
+//! cooperative scheduler that runs real code on real threads but
+//! serializes them at explicit [`point`] hooks and enumerates **every**
+//! interleaving of those hooks depth-first.
+//!
+//! # How it works
+//!
+//! Code under test calls [`point("name")`](point) at its racy
+//! boundaries (a relaxed atomic load makes it free outside model runs).
+//! A model test wraps a scenario in [`model`]; inside, [`run`] starts
+//! the scenario's threads under a controller that lets **exactly one
+//! thread run at a time**. At every pause point the controller chooses
+//! which paused thread resumes; the sequence of choices is recorded,
+//! and [`model`] replays the scenario with the next untried choice
+//! sequence until the whole tree is explored (or the cap is hit —
+//! reported in [`ModelStats::complete`]).
+//!
+//! Because only one thread runs at a time, exploration is deterministic
+//! and the harness itself cannot deadlock — **provided no schedule
+//! point sits inside a lock-held critical section** (the running thread
+//! must always be able to reach its next point without waiting on a
+//! paused thread). Every hook placed in the workspace honours that
+//! rule; the rank discipline ([`crate::OrderedMutex`]) independently
+//! checks it at runtime.
+//!
+//! # Scope and limits
+//!
+//! Unlike `loom`, interleavings are explored only at the coarse
+//! granularity of the placed hooks, and weak-memory reorderings are not
+//! modelled (all workspace protocols use `SeqCst` gauges and mutexes).
+//! What it does share with `loom`: exhaustiveness over the modelled
+//! schedule space, deterministic replay of a failing schedule (the
+//! failing choice sequence is printed on panic), and assertions that
+//! run under every explored interleaving.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Wall-clock bound on one scheduling step; hitting it means a
+/// scheduled thread blocked outside a schedule point (a placement bug),
+/// and the harness panics with a diagnosis instead of hanging CI.
+const STALL_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Number of live controllers, so [`point`] costs one relaxed load when
+/// no model is running.
+static ACTIVE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// The controller this thread is scheduled under, if any.
+    static CONTROLLER: RefCell<Option<ThreadCtx>> = const { RefCell::new(None) };
+    /// Exploration state for the `model` driver running on this thread.
+    static MODEL: RefCell<Option<ModelCtx>> = const { RefCell::new(None) };
+}
+
+struct ThreadCtx {
+    ctrl: Arc<Controller>,
+    id: usize,
+}
+
+struct ModelCtx {
+    /// Choice indices to replay, decided by the previous schedules.
+    plan: Vec<usize>,
+    /// Decisions this schedule actually made: (arity, chosen).
+    log: Vec<(usize, usize)>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    /// Waiting at a schedule point (or not yet started).
+    Ready,
+    /// The one thread currently allowed to run.
+    Running,
+    /// Body returned (or panicked).
+    Finished,
+}
+
+struct SchedState {
+    status: Vec<Status>,
+    /// The thread allowed to run; `None` once all are finished.
+    current: Option<usize>,
+    /// Full replay plan and the number of decisions consumed before
+    /// this `run` started (a schedule may contain several `run`s).
+    plan: Vec<usize>,
+    base: usize,
+    log: Vec<(usize, usize)>,
+    /// Panic messages from scheduled threads.
+    panics: Vec<String>,
+}
+
+struct Controller {
+    state: Mutex<SchedState>,
+    cv: Condvar,
+}
+
+impl Controller {
+    fn lock(&self) -> MutexGuard<'_, SchedState> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Picks the next thread to run among the ready ones (ascending id
+    /// order, so arity and choice meaning are deterministic), consuming
+    /// the replay plan first and defaulting to the first thereafter.
+    fn choose(&self, st: &mut SchedState) {
+        let ready: Vec<usize> = st
+            .status
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == Status::Ready)
+            .map(|(i, _)| i)
+            .collect();
+        if ready.is_empty() {
+            st.current = None;
+            return;
+        }
+        let decision = st.base + st.log.len();
+        let chosen = st
+            .plan
+            .get(decision)
+            .copied()
+            .unwrap_or(0)
+            .min(ready.len() - 1);
+        st.log.push((ready.len(), chosen));
+        st.current = Some(ready[chosen]);
+    }
+
+    /// Called from [`point`]: yield, let the controller choose, and
+    /// block until chosen again. (Stalls are diagnosed by [`run`]'s
+    /// timed wait, not here — a long-running sibling is legitimate.)
+    fn pause(&self, id: usize) {
+        let mut st = self.lock();
+        st.status[id] = Status::Ready;
+        self.choose(&mut st);
+        self.cv.notify_all();
+        while st.current != Some(id) {
+            st = match self.cv.wait(st) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+        st.status[id] = Status::Running;
+    }
+
+    /// First wait: block until this thread is chosen to start.
+    fn wait_for_start(&self, id: usize) {
+        let mut st = self.lock();
+        while st.current != Some(id) {
+            st = match self.cv.wait(st) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+        st.status[id] = Status::Running;
+    }
+
+    fn finish(&self, id: usize, panic_msg: Option<String>) {
+        let mut st = self.lock();
+        st.status[id] = Status::Finished;
+        if let Some(msg) = panic_msg {
+            st.panics.push(msg);
+        }
+        self.choose(&mut st);
+        self.cv.notify_all();
+    }
+}
+
+/// A schedule point. In code under test, marks a boundary where the
+/// model checker may switch threads; outside a model run (or on threads
+/// not scheduled by one) it is a no-op costing one relaxed atomic load.
+///
+/// **Placement rule:** never call this while holding a lock — the
+/// paused thread would block the running one. The rank discipline's
+/// held-set makes violations visible as harness stalls, caught by a
+/// timeout panic rather than a CI hang.
+pub fn point(_name: &'static str) {
+    if ACTIVE.load(Ordering::Relaxed) == 0 {
+        return;
+    }
+    let ctx = CONTROLLER.with(|c| c.borrow().as_ref().map(|ctx| (ctx.ctrl.clone(), ctx.id)));
+    if let Some((ctrl, id)) = ctx {
+        ctrl.pause(id);
+    }
+}
+
+/// One scheduled thread of a scenario; build with [`thread`].
+pub struct ScheduledThread {
+    body: Box<dyn FnOnce() + Send + 'static>,
+}
+
+/// Wraps a closure as a scenario thread for [`run`].
+pub fn thread(f: impl FnOnce() + Send + 'static) -> ScheduledThread {
+    ScheduledThread { body: Box::new(f) }
+}
+
+/// Runs a scenario's threads under the scheduler and joins them all.
+///
+/// Inside [`model`], the exploration plan decides every scheduling
+/// choice; standalone, the default (first-ready) schedule runs once.
+/// Thread registration order is the choice-index order, so scenarios
+/// must register threads deterministically.
+///
+/// # Panics
+///
+/// Re-raises the first panic from any scenario thread (after all
+/// threads finished, so no state is left astray), and panics on a
+/// harness stall (a schedule point inside a lock-held region).
+pub fn run(threads: Vec<ScheduledThread>) {
+    let n = threads.len();
+    let (plan, base) = MODEL.with(|m| {
+        m.borrow()
+            .as_ref()
+            .map(|ctx| (ctx.plan.clone(), ctx.log.len()))
+            .unwrap_or_default()
+    });
+    let ctrl = Arc::new(Controller {
+        state: Mutex::new(SchedState {
+            status: vec![Status::Ready; n],
+            current: None,
+            plan,
+            base,
+            log: Vec::new(),
+            panics: Vec::new(),
+        }),
+        cv: Condvar::new(),
+    });
+    ACTIVE.fetch_add(1, Ordering::SeqCst);
+    let handles: Vec<_> = threads
+        .into_iter()
+        .enumerate()
+        .map(|(id, t)| {
+            let ctrl = ctrl.clone();
+            std::thread::spawn(move || {
+                CONTROLLER.with(|c| {
+                    *c.borrow_mut() = Some(ThreadCtx {
+                        ctrl: ctrl.clone(),
+                        id,
+                    });
+                });
+                ctrl.wait_for_start(id);
+                let result = catch_unwind(AssertUnwindSafe(t.body));
+                CONTROLLER.with(|c| *c.borrow_mut() = None);
+                let msg = result.err().map(|e| panic_message(&e));
+                ctrl.finish(id, msg);
+            })
+        })
+        .collect();
+
+    // Kick the first choice, then wait for every thread to finish.
+    let mut stalled = false;
+    {
+        let mut st = ctrl.lock();
+        ctrl.choose(&mut st);
+        ctrl.cv.notify_all();
+        while st.status.iter().any(|s| *s != Status::Finished) {
+            let (g, timeout) = match ctrl.cv.wait_timeout(st, STALL_TIMEOUT) {
+                Ok(r) => r,
+                Err(p) => p.into_inner(),
+            };
+            st = g;
+            if timeout.timed_out() && st.status.iter().any(|s| *s != Status::Finished) {
+                stalled = true;
+                break;
+            }
+        }
+    }
+    if !stalled {
+        // All finished; joins cannot block.
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+    ACTIVE.fetch_sub(1, Ordering::SeqCst);
+    assert!(
+        !stalled,
+        "sched: harness stalled — a scheduled thread blocked outside a schedule \
+         point (is a point placed inside a lock-held region?)"
+    );
+
+    let st = ctrl.lock();
+    MODEL.with(|m| {
+        if let Some(ctx) = m.borrow_mut().as_mut() {
+            ctx.log.extend(st.log.iter().copied());
+        }
+    });
+    if let Some(first) = st.panics.first().cloned() {
+        let log = st.log.clone();
+        drop(st);
+        panic!("scenario thread panicked under schedule {log:?}: {first}");
+    }
+}
+
+fn panic_message(e: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
+/// Exploration bounds for [`model_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct ModelOpts {
+    /// Stop after this many schedules even if the tree is not exhausted.
+    pub max_schedules: usize,
+}
+
+impl Default for ModelOpts {
+    fn default() -> Self {
+        ModelOpts {
+            max_schedules: 100_000,
+        }
+    }
+}
+
+/// What [`model`] explored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelStats {
+    /// Distinct schedules executed.
+    pub schedules: usize,
+    /// Total scheduling decisions across all schedules.
+    pub decisions: usize,
+    /// Whether the whole schedule tree was exhausted (false only when
+    /// [`ModelOpts::max_schedules`] stopped exploration early).
+    pub complete: bool,
+}
+
+/// Explores every interleaving of a scenario (see the module docs).
+///
+/// `scenario` is invoked once per schedule; it must build fresh state,
+/// call [`run`] with its threads, and assert its invariants afterwards.
+/// Returns exploration statistics; asserting
+/// [`ModelStats::complete`] in the caller guards against silent
+/// truncation.
+///
+/// # Panics
+///
+/// Propagates the first assertion failure, printing the choice
+/// sequence of the failing schedule for replay.
+pub fn model(scenario: impl FnMut()) -> ModelStats {
+    model_with(ModelOpts::default(), scenario)
+}
+
+/// [`model`] with explicit exploration bounds.
+pub fn model_with(opts: ModelOpts, mut scenario: impl FnMut()) -> ModelStats {
+    let mut stats = ModelStats {
+        schedules: 0,
+        decisions: 0,
+        complete: true,
+    };
+    let mut plan: Vec<usize> = Vec::new();
+    loop {
+        MODEL.with(|m| {
+            *m.borrow_mut() = Some(ModelCtx {
+                plan: plan.clone(),
+                log: Vec::new(),
+            });
+        });
+        let result = catch_unwind(AssertUnwindSafe(&mut scenario));
+        let ctx = MODEL.with(|m| m.borrow_mut().take());
+        let log = ctx.map(|c| c.log).unwrap_or_default();
+        if let Err(e) = result {
+            eprintln!(
+                "sched::model: schedule {} failed; choices: {:?}",
+                stats.schedules, log
+            );
+            resume_unwind(e);
+        }
+        stats.schedules += 1;
+        stats.decisions += log.len();
+
+        // Depth-first: bump the rightmost decision that still has an
+        // untried branch; exhausted when none does.
+        let next = log.iter().enumerate().rev().find_map(|(i, &(arity, c))| {
+            (c + 1 < arity).then(|| {
+                let mut p: Vec<usize> = log[..i].iter().map(|&(_, c)| c).collect();
+                p.push(c + 1);
+                p
+            })
+        });
+        match next {
+            Some(p) => {
+                if stats.schedules >= opts.max_schedules {
+                    stats.complete = false;
+                    break;
+                }
+                plan = p;
+            }
+            None => break,
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn explores_all_interleavings_of_two_threads() {
+        // Two threads, one point each: sequences of per-thread segments
+        // A1 A2 / B1 B2 interleave in C(4,2) = 6 ways. Record the order
+        // segments ran and check every distinct order appears.
+        let seen = Arc::new(Mutex::new(std::collections::BTreeSet::new()));
+        let seen2 = seen.clone();
+        let stats = model(move || {
+            let trace = Arc::new(Mutex::new(String::new()));
+            let (ta, tb) = (trace.clone(), trace.clone());
+            run(vec![
+                thread(move || {
+                    ta.lock().unwrap().push('a');
+                    point("a-mid");
+                    ta.lock().unwrap().push('A');
+                }),
+                thread(move || {
+                    tb.lock().unwrap().push('b');
+                    point("b-mid");
+                    tb.lock().unwrap().push('B');
+                }),
+            ]);
+            let t = trace.lock().unwrap().clone();
+            assert_eq!(t.len(), 4);
+            seen2.lock().unwrap().insert(t);
+        });
+        assert!(stats.complete);
+        assert_eq!(stats.schedules, 6, "C(4,2) interleavings");
+        assert_eq!(seen.lock().unwrap().len(), 6, "all distinct orders seen");
+    }
+
+    #[test]
+    fn finds_a_lost_update_some_schedule() {
+        // Classic read-modify-write race at schedule-point granularity:
+        // some interleaving must lose an update.
+        let lost = std::cell::Cell::new(false);
+        let stats = model(|| {
+            let counter = Arc::new(AtomicU64::new(0));
+            let mut bodies = Vec::new();
+            for _ in 0..2 {
+                let c = counter.clone();
+                bodies.push(thread(move || {
+                    let v = c.load(Ordering::SeqCst);
+                    point("between-read-and-write");
+                    c.store(v + 1, Ordering::SeqCst);
+                }));
+            }
+            run(bodies);
+            // Cannot assert == 2: that is exactly the bug this harness
+            // exists to surface. Record whether any schedule lost one.
+            if counter.load(Ordering::SeqCst) != 2 {
+                lost.set(true);
+            }
+        });
+        assert!(stats.complete);
+        assert!(
+            lost.get(),
+            "exploration must hit the lost-update interleaving"
+        );
+    }
+
+    #[test]
+    fn failing_assertion_propagates_with_schedule() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            model(|| {
+                run(vec![thread(|| point("only")), thread(|| {})]);
+                panic!("scenario assertion failed");
+            });
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn point_is_a_noop_outside_models() {
+        point("free");
+    }
+
+    #[test]
+    fn schedule_cap_reports_incomplete() {
+        let stats = model_with(ModelOpts { max_schedules: 2 }, || {
+            run(vec![
+                thread(|| point("x")),
+                thread(|| point("y")),
+                thread(|| point("z")),
+            ]);
+        });
+        assert_eq!(stats.schedules, 2);
+        assert!(!stats.complete);
+    }
+}

@@ -1,0 +1,112 @@
+//! The detector detecting itself: deliberately-broken lock usage must
+//! be caught — by a panic at the acquisition site in debug builds, and
+//! by cycle detection over the recorded graph in every build, even when
+//! no deadlock occurred at runtime.
+
+#![allow(clippy::unwrap_used)]
+
+use azoo_sync::{graph, ranks, LockRank, OrderedMutex};
+use std::sync::Arc;
+
+fn r(rank: u16, name: &'static str) -> LockRank {
+    assert!(rank >= ranks::TEST_BASE, "tests must use private ranks");
+    LockRank::new(rank, name)
+}
+
+/// A deliberately rank-inverted pair of locks must panic in debug
+/// builds, at the second acquisition, naming both locks.
+#[test]
+#[cfg(debug_assertions)]
+fn deliberate_inversion_panics_at_the_acquisition_site() {
+    let low = Arc::new(OrderedMutex::new(r(0x9000, "det-low"), ()));
+    let high = Arc::new(OrderedMutex::new(r(0x9001, "det-high"), ()));
+    let (l2, h2) = (low.clone(), high.clone());
+    let err = std::thread::spawn(move || {
+        let _h = h2.lock();
+        let _l = l2.lock(); // inversion: det-low under det-high
+    })
+    .join()
+    .expect_err("inverted acquisition must panic in debug builds");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .expect("panic message");
+    assert!(msg.contains("lock rank inversion"), "got: {msg}");
+    assert!(
+        msg.contains("det-low") && msg.contains("det-high"),
+        "got: {msg}"
+    );
+}
+
+/// The ABBA pattern run on two threads that never overlap — thread 1
+/// finishes its A→B half before thread 2 starts its B→A half, so no
+/// interleaving could deadlock — must still surface as a cycle in the
+/// dumped lock graph: the registry accumulates edges across the whole
+/// run, which is exactly what makes it a race detector for ordering
+/// bugs no single schedule hits.
+#[test]
+fn abba_without_runtime_deadlock_is_a_graph_cycle() {
+    let a = Arc::new(OrderedMutex::new(r(0x9010, "abba-a"), ()));
+    let b = Arc::new(OrderedMutex::new(r(0x9011, "abba-b"), ()));
+
+    // Thread 1: A then B (legal; deposits edge A→B) — run to completion.
+    let (a1, b1) = (a.clone(), b.clone());
+    std::thread::spawn(move || {
+        let _ga = a1.lock();
+        let _gb = b1.lock();
+    })
+    .join()
+    .expect("ascending half must not panic");
+
+    // Thread 2, strictly afterwards: B then A. In debug builds the
+    // acquisition panics — but the edge B→A is recorded *before* the
+    // panic, so the cycle lands in the graph either way.
+    let (a2, b2) = (a.clone(), b.clone());
+    let second = std::thread::spawn(move || {
+        let _gb = b2.lock();
+        let _ga = a2.lock();
+    })
+    .join();
+    assert_eq!(
+        second.is_err(),
+        cfg!(debug_assertions),
+        "descending half panics exactly in debug builds"
+    );
+
+    let g = graph::snapshot();
+    let cycle = g
+        .cycles()
+        .into_iter()
+        .find(|c| c.iter().any(|n| n.rank == 0x9010))
+        .expect("ABBA edges must form a cycle in the dumped graph");
+    let ranks: Vec<u16> = cycle.iter().map(|n| n.rank).collect();
+    assert_eq!(ranks, vec![0x9010, 0x9011]);
+    assert!(g.to_text().contains("CYCLE"));
+    // And the dot rendering names both locks.
+    let dot = g.to_dot();
+    assert!(dot.contains("abba-a") && dot.contains("abba-b"));
+}
+
+/// Clean nested use deposits edges but no cycle.
+#[test]
+fn consistent_nesting_yields_an_acyclic_graph() {
+    let outer = Arc::new(OrderedMutex::new(r(0x9020, "nest-outer"), ()));
+    let inner = Arc::new(OrderedMutex::new(r(0x9021, "nest-inner"), ()));
+    for _ in 0..3 {
+        let _go = outer.lock();
+        let _gi = inner.lock();
+    }
+    let g = graph::snapshot();
+    let edge = g
+        .edges()
+        .iter()
+        .find(|e| e.from.rank == 0x9020 && e.to.rank == 0x9021)
+        .expect("nested acquisition must be recorded");
+    assert!(edge.count >= 3);
+    assert!(
+        !g.cycles()
+            .iter()
+            .any(|c| c.iter().any(|n| n.rank == 0x9020)),
+        "consistent order must not cycle"
+    );
+}

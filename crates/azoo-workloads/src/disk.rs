@@ -106,6 +106,7 @@ pub fn malware_files(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -68,6 +68,7 @@ pub fn random_guide(seed: u64, len: usize) -> Vec<u8> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

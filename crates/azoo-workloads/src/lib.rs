@@ -19,6 +19,8 @@
 //! assert!(a.iter().all(|c| b"ACGT".contains(c)));
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used)]
 pub mod disk;
 pub mod dna;
 pub mod media;
@@ -45,6 +47,7 @@ pub fn random_bytes(seed: u64, len: usize) -> Vec<u8> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -161,6 +161,7 @@ pub fn carving_stimulus(seed: u64, config: &CarvingConfig) -> Vec<u8> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

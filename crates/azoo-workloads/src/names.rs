@@ -165,6 +165,7 @@ pub fn streaming_database(seed: u64, known: &[Name], config: &StreamConfig) -> V
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

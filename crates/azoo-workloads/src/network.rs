@@ -79,6 +79,7 @@ pub fn pcap_like(seed: u64, config: &PcapConfig) -> Vec<u8> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -59,6 +59,7 @@ pub fn tagged_corpus(seed: u64, tokens: usize) -> Vec<u8> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -214,6 +214,7 @@ pub fn bit_quality(bits: &[bool]) -> BitQuality {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use azoo_engines::{CollectSink, CountSink, Engine, NfaEngine};

@@ -83,6 +83,7 @@ pub fn build(params: &BrillParams) -> (azoo_core::Automaton, Vec<u8>) {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use azoo_engines::{CountSink, Engine, NfaEngine};
@@ -209,6 +210,7 @@ pub fn apply_corrections(corpus: &[u8], reports: &[(u64, u32)], rules: &[BrillRu
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod kernel_tests {
     use super::*;
     use azoo_engines::{CollectSink, Engine, NfaEngine};

@@ -172,6 +172,7 @@ pub fn build(params: &ClamAvParams) -> (azoo_core::Automaton, Vec<u8>) {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use azoo_engines::{CollectSink, Engine, NfaEngine};

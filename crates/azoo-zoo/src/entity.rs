@@ -65,6 +65,7 @@ pub fn build(params: &EntityParams) -> (azoo_core::Automaton, Vec<u8>) {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use azoo_engines::{CollectSink, Engine, NfaEngine};
@@ -173,6 +174,7 @@ pub fn resolve(database: &[u8], reports: &[(u64, u32)]) -> Vec<Resolution> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod kernel_tests {
     use super::*;
     use azoo_engines::{CollectSink, Engine, NfaEngine};

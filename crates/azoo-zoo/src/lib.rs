@@ -20,6 +20,8 @@
 //! bench.automaton.validate().unwrap();
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used)]
 pub mod ap_prng;
 pub mod brill;
 pub mod clamav;

@@ -183,6 +183,7 @@ pub fn build(params: &ProtomataParams) -> (azoo_core::Automaton, Vec<u8>) {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use azoo_engines::{CollectSink, Engine, NfaEngine};

@@ -118,6 +118,7 @@ pub fn build(params: &RandomForestParams) -> RandomForestBenchmark {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use azoo_engines::{CollectSink, Engine, NfaEngine};

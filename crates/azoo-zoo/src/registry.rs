@@ -378,6 +378,7 @@ fn prng(scale: Scale, sides: usize) -> (Automaton, Vec<u8>) {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -240,6 +240,7 @@ pub fn stream_with_sequence(seed: u64, sequence: &Sequence, occurrences: usize) 
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use azoo_engines::{CollectSink, CountSink, Engine, NfaEngine};

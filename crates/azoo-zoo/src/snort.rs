@@ -206,6 +206,7 @@ pub fn build(params: &SnortParams) -> (azoo_core::Automaton, Vec<u8>) {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use azoo_engines::{CountSink, Engine, NfaEngine};

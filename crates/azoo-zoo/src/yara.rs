@@ -340,6 +340,7 @@ pub fn build(params: &YaraParams) -> (Automaton, Vec<u8>) {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use azoo_engines::{CollectSink, Engine, NfaEngine};
@@ -439,6 +440,7 @@ mod tests {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod string_class_tests {
     use super::*;
     use azoo_engines::{CollectSink, Engine, NfaEngine};

@@ -15,6 +15,9 @@
 //! * `prefilter` — baseline NFA vs quiescence-aware NFA vs the
 //!   literal-prefilter engine on sparse workloads (DESIGN.md §6d).
 
+#![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used)]
+
 use azoo_core::Automaton;
 use azoo_regex::compile_ruleset;
 

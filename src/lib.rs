@@ -45,6 +45,9 @@
 //! assert!(bench.automaton.state_count() >= 10 * 17); // ten ~20-state chains
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used)]
+
 pub use azoo_analyze as analyze;
 pub use azoo_core as core;
 pub use azoo_engines as engines;
