@@ -259,8 +259,8 @@ pub enum PrefilterBlock {
     /// A cycle is reachable from a start state, so matches have no
     /// finite span and no window bound exists.
     Cycle,
-    /// Some reachable report state has no required literal of at least
-    /// [`MIN_PREFILTER_LITERAL`] bytes ending at it.
+    /// Some reachable report state has no required factor of at least
+    /// [`MIN_PREFILTER_LITERAL`] bytes on its accepting paths.
     WeakLiteral,
 }
 
@@ -273,6 +273,39 @@ impl std::fmt::Display for PrefilterBlock {
             PrefilterBlock::WeakLiteral => "no required literal",
         };
         f.write_str(s)
+    }
+}
+
+/// A required factor of every match of a component: a byte string each
+/// accepting path must consume consecutively, plus the span geometry
+/// locating the match relative to an occurrence.
+///
+/// If the factor occurs ending at offset `e`, the path that consumed it
+/// armed no earlier than `e + 1 - bytes.len() - before`, and the report
+/// it culminates in fires no later than `e + after`. A factor ending at
+/// the match offset has `after == 0` (the classic suffix literal); one
+/// at the start of an otherwise unconstrained pattern has `before == 0`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RequiredLiteral {
+    /// The forced bytes, in path order.
+    pub bytes: Vec<u8>,
+    /// Most states any accepting path consumes strictly before the
+    /// factor's first byte.
+    pub before: usize,
+    /// Most states any accepting path consumes strictly after the
+    /// factor's last byte, up to and including the report state.
+    pub after: usize,
+}
+
+impl RequiredLiteral {
+    /// A factor ending exactly at the match offset, armed at most
+    /// `before` states earlier.
+    pub fn suffix(bytes: Vec<u8>, before: usize) -> RequiredLiteral {
+        RequiredLiteral {
+            bytes,
+            before,
+            after: 0,
+        }
     }
 }
 
@@ -291,11 +324,11 @@ pub struct ComponentPrefilter {
     /// Whether any reachable element reports. A component that never
     /// reports needs no scanning at all.
     pub reporting: bool,
-    /// One required literal per reachable report state (deduplicated),
-    /// each ending exactly at the match offset; `None` when the
-    /// component is not prefilterable. Empty for non-reporting
-    /// components (nothing to find).
-    pub literals: Option<Vec<Vec<u8>>>,
+    /// One required factor per reachable report state (deduplicated by
+    /// bytes, geometry merged conservatively); `None` when the component
+    /// is not prefilterable. Empty for non-reporting components (nothing
+    /// to find).
+    pub literals: Option<Vec<RequiredLiteral>>,
     /// Why `literals` is `None`.
     pub block: Option<PrefilterBlock>,
     /// For [`PrefilterBlock::WeakLiteral`]: the first report state whose
@@ -314,18 +347,20 @@ impl ComponentPrefilter {
 /// Required-literal prefilter analysis, per weakly connected component.
 ///
 /// For every reachable report state `r` of a counter-free, unanchored,
-/// acyclic-from-starts component, walks backwards from `r` through
-/// singleton-class states with a unique reachable predecessor. Every
-/// accepting path for `r` must traverse that chain immediately before
-/// reaching `r` (each step's state either begins paths itself — a start
-/// state — or forces all paths through its sole predecessor), so the
-/// collected bytes form a **required factor** of every match, ending at
-/// the match offset. A match reported at offset `p` therefore implies a
-/// literal occurrence ending at `p`, and the component only needs to be
-/// simulated inside a `window`-bounded region before each occurrence.
+/// acyclic-from-starts component, finds a **required factor**: a run of
+/// consecutive singleton-class states every accepting path for `r` must
+/// traverse. Candidates are the *dominators* of `r` (states on every
+/// start-rooted path to `r`); a dominator whose only report-co-reachable
+/// successor is the next dominator forces every path to consume the two
+/// bytes back to back, so maximal such runs are factors every match
+/// contains. The factor need not end at the match offset: each
+/// [`RequiredLiteral`] carries `before`/`after` bounds locating the
+/// match span around an occurrence, so trailing wildcards or bounded
+/// jumps after the forced bytes no longer disqualify a component (the
+/// dominant pattern shape in malware-signature suites).
 ///
 /// A component qualifies only when *all* of its reachable report states
-/// yield a literal of at least [`MIN_PREFILTER_LITERAL`] bytes
+/// yield a factor of at least [`MIN_PREFILTER_LITERAL`] bytes
 /// (truncated to the last [`MAX_PREFILTER_LITERAL`]); otherwise some
 /// matches would escape the filter and it falls back to full simulation.
 pub fn prefilter_analysis(a: &Automaton) -> Vec<ComponentPrefilter> {
@@ -387,30 +422,294 @@ pub fn prefilter_analysis(a: &Automaton) -> Vec<ComponentPrefilter> {
     }
 
     // Literal extraction for the surviving reporting components.
-    for (id, e) in a.iter() {
+    let co = coreachable_to_report(a);
+    let mut comp_states: Vec<Vec<StateId>> = vec![Vec::new(); ncomp];
+    for (id, _) in a.iter() {
         let c = labels[id.index()];
-        if e.report.is_none() || !reachable[id.index()] || !reporting[c] {
-            continue;
-        }
-        let Some(lits) = out[c].literals.as_mut() else {
-            continue;
-        };
-        let lit = required_suffix_literal(a, &preds, &reachable, id);
-        if lit.len() < MIN_PREFILTER_LITERAL {
-            out[c].literals = None;
-            out[c].block = Some(PrefilterBlock::WeakLiteral);
-            out[c].weak = Some((id, lit.len()));
-        } else {
-            lits.push(lit);
+        if reachable[id.index()] && reporting[c] && out[c].literals.is_some() {
+            comp_states[c].push(id);
         }
     }
+    let mut topo_pos = vec![u32::MAX; a.state_count()];
     for cp in &mut out {
-        if let Some(lits) = cp.literals.as_mut() {
-            lits.sort_unstable();
-            lits.dedup();
+        let members = &comp_states[cp.component];
+        if members.is_empty() {
+            continue;
+        }
+        let window = cp.window.unwrap_or(0);
+        match component_literals(a, &preds, &reachable, &co, members, window, &mut topo_pos) {
+            Ok(lits) => {
+                cp.literals = Some(lits);
+            }
+            Err((state, len)) => {
+                cp.literals = None;
+                cp.block = Some(PrefilterBlock::WeakLiteral);
+                cp.weak = Some((state, len));
+            }
         }
     }
     out
+}
+
+/// States from which a reporting state is reachable (backward closure
+/// over activation and reset edges).
+fn coreachable_to_report(a: &Automaton) -> Vec<bool> {
+    let preds = a.predecessors();
+    let mut co = vec![false; a.state_count()];
+    let mut stack = Vec::new();
+    for (id, e) in a.iter() {
+        if e.report.is_some() {
+            co[id.index()] = true;
+            stack.push(id);
+        }
+    }
+    while let Some(v) = stack.pop() {
+        for &(p, _) in &preds[v.index()] {
+            if !co[p.index()] {
+                co[p.index()] = true;
+                stack.push(p);
+            }
+        }
+    }
+    co
+}
+
+/// Components larger than this skip the dominator computation (quadratic
+/// in bits) and fall back to the cheaper suffix-spine walk with a
+/// conservative window-wide `before`.
+const DOMINATOR_STATE_CAP: usize = 4096;
+
+/// Extracts one [`RequiredLiteral`] per reachable report state of a
+/// qualifying component (`members` = its reachable states, in id order),
+/// deduplicated by bytes with geometry merged conservatively. Errors
+/// with the first report state whose best factor is shorter than
+/// [`MIN_PREFILTER_LITERAL`] (and that factor's length).
+fn component_literals(
+    a: &Automaton,
+    preds: &[Vec<(StateId, crate::element::Port)>],
+    reachable: &[bool],
+    co: &[bool],
+    members: &[StateId],
+    window: usize,
+    topo_pos: &mut [u32],
+) -> Result<Vec<RequiredLiteral>, (StateId, usize)> {
+    let mut lits: Vec<RequiredLiteral> = Vec::new();
+    let m = members.len();
+    if m > DOMINATOR_STATE_CAP {
+        for &r in members {
+            if a.element(r).report.is_none() {
+                continue;
+            }
+            let bytes = required_suffix_literal(a, preds, reachable, r);
+            if bytes.len() < MIN_PREFILTER_LITERAL {
+                return Err((r, bytes.len()));
+            }
+            let before = window.saturating_sub(bytes.len());
+            lits.push(RequiredLiteral::suffix(bytes, before));
+        }
+        dedup_literals(&mut lits);
+        return Ok(lits);
+    }
+
+    // Topological order of the component's reachable subgraph (a DAG:
+    // the component is acyclic from its starts and every member is
+    // start-reachable). DFS post-order, reversed.
+    let mut order: Vec<StateId> = Vec::with_capacity(m);
+    {
+        const WHITE: u8 = 0;
+        const GRAY: u8 = 1;
+        let mut color = vec![WHITE; m];
+        // Temporarily index members for the DFS colors.
+        for (i, &s) in members.iter().enumerate() {
+            topo_pos[s.index()] = i as u32;
+        }
+        let mut stack: Vec<(StateId, usize)> = Vec::new();
+        for &s in members {
+            if a.element(s).start_kind() == crate::element::StartKind::None
+                || color[topo_pos[s.index()] as usize] != WHITE
+            {
+                continue;
+            }
+            color[topo_pos[s.index()] as usize] = GRAY;
+            stack.push((s, 0));
+            while let Some(frame) = stack.last_mut() {
+                let (v, ei) = *frame;
+                let succs = a.successors(v);
+                if ei < succs.len() {
+                    frame.1 += 1;
+                    let t = succs[ei].to;
+                    let ti = topo_pos[t.index()] as usize;
+                    if color[ti] == WHITE {
+                        color[ti] = GRAY;
+                        stack.push((t, 0));
+                    }
+                } else {
+                    order.push(v);
+                    stack.pop();
+                }
+            }
+        }
+        order.reverse();
+    }
+    debug_assert_eq!(order.len(), m);
+    for (i, &s) in order.iter().enumerate() {
+        topo_pos[s.index()] = i as u32;
+    }
+
+    // Dominators of every state, as bitsets over topo positions:
+    // dom(v) = {v} ∪ ⋂ dom(pred). A start state begins paths itself, so
+    // nothing before it is required and its set is just {v}.
+    let words = m.div_ceil(64);
+    let mut doms = vec![0u64; m * words];
+    let mut scratch = vec![0u64; words];
+    for (i, &v) in order.iter().enumerate() {
+        let is_start = a.element(v).start_kind() != crate::element::StartKind::None;
+        if is_start {
+            scratch.fill(0);
+        } else {
+            scratch.fill(!0);
+            for &(p, _) in &preds[v.index()] {
+                if !reachable[p.index()] {
+                    continue;
+                }
+                let pi = topo_pos[p.index()] as usize;
+                let pd = &doms[pi * words..(pi + 1) * words];
+                for (s, d) in scratch.iter_mut().zip(pd) {
+                    *s &= d;
+                }
+            }
+        }
+        scratch[i / 64] |= 1u64 << (i % 64);
+        doms[i * words..(i + 1) * words].copy_from_slice(&scratch);
+    }
+
+    // Longest start-rooted path to each state (states, inclusive), and
+    // longest path from each state to a report it co-reaches (states
+    // strictly after it, report inclusive; MAX = reaches none).
+    let mut lp_to = vec![0usize; m];
+    for (i, &v) in order.iter().enumerate() {
+        let mut best = 0usize;
+        for &(p, _) in &preds[v.index()] {
+            if reachable[p.index()] {
+                best = best.max(lp_to[topo_pos[p.index()] as usize]);
+            }
+        }
+        lp_to[i] = best + 1;
+    }
+    let mut rep_dist = vec![usize::MAX; m];
+    for (i, &v) in order.iter().enumerate().rev() {
+        let mut best = if a.element(v).report.is_some() {
+            Some(0usize)
+        } else {
+            None
+        };
+        for e in a.successors(v) {
+            let si = topo_pos[e.to.index()] as usize;
+            if rep_dist[si] != usize::MAX {
+                best = Some(best.unwrap_or(0).max(1 + rep_dist[si]));
+            }
+        }
+        if let Some(b) = best {
+            rep_dist[i] = b;
+        }
+    }
+
+    // The byte of each singleton-class state, and its unique
+    // report-co-reachable successor (the forced-adjacency link).
+    let byte_of: Vec<Option<u8>> = order
+        .iter()
+        .map(|&v| {
+            let class = a.element(v).class()?;
+            if class.len() == 1 {
+                class.iter().next()
+            } else {
+                None
+            }
+        })
+        .collect();
+    let forced_next: Vec<Option<StateId>> = order
+        .iter()
+        .map(|&v| {
+            let mut unique = None;
+            for e in a.successors(v) {
+                if !co[e.to.index()] || !reachable[e.to.index()] {
+                    continue;
+                }
+                if unique.is_some() && unique != Some(e.to) {
+                    return None;
+                }
+                unique = Some(e.to);
+            }
+            unique
+        })
+        .collect();
+
+    // Per report state: walk its dominators in topo order (they form a
+    // chain) and keep the best run of forced-adjacent singleton states.
+    let mut run: Vec<usize> = Vec::new();
+    for &r in members {
+        if a.element(r).report.is_none() {
+            continue;
+        }
+        let ri = topo_pos[r.index()] as usize;
+        let dom = &doms[ri * words..(ri + 1) * words];
+        let mut best: Option<Vec<usize>> = None;
+        run.clear();
+        for i in 0..m {
+            if dom[i / 64] & (1u64 << (i % 64)) == 0 {
+                continue;
+            }
+            if byte_of[i].is_none() {
+                run.clear();
+                continue;
+            }
+            let extends = run
+                .last()
+                .is_some_and(|&p| forced_next[p] == Some(order[i]));
+            if !extends {
+                run.clear();
+            }
+            run.push(i);
+            let capped = run.len().min(MAX_PREFILTER_LITERAL);
+            // `>=` keeps the latest equally-long run: a later factor has
+            // a smaller `after`, so fewer spans extend past a feed.
+            if best.as_ref().is_none_or(|b| capped >= b.len()) {
+                best = Some(run[run.len() - capped..].to_vec());
+            }
+        }
+        let best_len = best.as_ref().map_or(0, |b| b.len());
+        let Some(chain) = best.filter(|b| b.len() >= MIN_PREFILTER_LITERAL) else {
+            return Err((r, best_len));
+        };
+        let first = chain[0];
+        let last = chain[chain.len() - 1];
+        let bytes: Vec<u8> = chain.iter().map(|&i| byte_of[i].unwrap_or(0)).collect();
+        let before = lp_to[first] - 1;
+        let after = rep_dist[last];
+        debug_assert_ne!(after, usize::MAX);
+        debug_assert!(before + bytes.len() + after <= window);
+        lits.push(RequiredLiteral {
+            bytes,
+            before,
+            after,
+        });
+    }
+    dedup_literals(&mut lits);
+    Ok(lits)
+}
+
+/// Sorts, merges same-byte literals (geometry maxed), and dedups.
+fn dedup_literals(lits: &mut Vec<RequiredLiteral>) {
+    lits.sort_unstable();
+    lits.dedup_by(|b, a| {
+        if a.bytes == b.bytes {
+            a.before = a.before.max(b.before);
+            a.after = a.after.max(b.after);
+            true
+        } else {
+            false
+        }
+    });
 }
 
 /// The bytes every accepting path must consume immediately before
@@ -664,7 +963,10 @@ mod tests {
         assert_eq!(pf.len(), 1);
         assert!(pf[0].is_prefilterable());
         assert_eq!(pf[0].window, Some(5));
-        assert_eq!(pf[0].literals, Some(vec![b"admin".to_vec()]));
+        assert_eq!(
+            pf[0].literals,
+            Some(vec![RequiredLiteral::suffix(b"admin".to_vec(), 0)])
+        );
     }
 
     #[test]
@@ -672,7 +974,10 @@ mod tests {
         let mut a = Automaton::new();
         word(&mut a, b"0123456789abcdef", 0);
         let pf = prefilter_analysis(&a);
-        assert_eq!(pf[0].literals, Some(vec![b"89abcdef".to_vec()]));
+        assert_eq!(
+            pf[0].literals,
+            Some(vec![RequiredLiteral::suffix(b"89abcdef".to_vec(), 8)])
+        );
         assert_eq!(pf[0].window, Some(16));
     }
 
@@ -690,7 +995,10 @@ mod tests {
         a.add_edge(x, y);
         a.set_report(y, 0);
         let pf = prefilter_analysis(&a);
-        assert_eq!(pf[0].literals, Some(vec![b"xy".to_vec()]));
+        assert_eq!(
+            pf[0].literals,
+            Some(vec![RequiredLiteral::suffix(b"xy".to_vec(), 1)])
+        );
     }
 
     #[test]
@@ -703,6 +1011,90 @@ mod tests {
         let pf = prefilter_analysis(&a);
         assert!(!pf[0].is_prefilterable());
         assert_eq!(pf[0].block, Some(PrefilterBlock::WeakLiteral));
+    }
+
+    #[test]
+    fn trailing_wildcards_no_longer_block() {
+        // "ab" followed by two wide states, report at the end: the
+        // suffix at the report is weak, but "ab" is a required factor
+        // with `after = 2`.
+        let mut a = Automaton::new();
+        let s = a.add_ste(SymbolClass::from_byte(b'a'), StartKind::AllInput);
+        let b = a.add_ste(SymbolClass::from_byte(b'b'), StartKind::None);
+        let w1 = a.add_ste(SymbolClass::FULL, StartKind::None);
+        let w2 = a.add_ste(SymbolClass::FULL, StartKind::None);
+        a.add_edge(s, b);
+        a.add_edge(b, w1);
+        a.add_edge(w1, w2);
+        a.set_report(w2, 0);
+        let pf = prefilter_analysis(&a);
+        assert!(pf[0].is_prefilterable());
+        assert_eq!(
+            pf[0].literals,
+            Some(vec![RequiredLiteral {
+                bytes: b"ab".to_vec(),
+                before: 0,
+                after: 2,
+            }])
+        );
+    }
+
+    #[test]
+    fn interior_factor_found_behind_a_fanout() {
+        // a → {x|y} → b → c → wide(report): neither the prefix walk from
+        // the start (breaks at the fanout) nor the suffix walk from the
+        // report (breaks at the wide class) sees "bc"; the dominator
+        // chain does.
+        let mut a = Automaton::new();
+        let s = a.add_ste(SymbolClass::from_byte(b'a'), StartKind::AllInput);
+        let x = a.add_ste(SymbolClass::from_byte(b'x'), StartKind::None);
+        let y = a.add_ste(SymbolClass::from_byte(b'y'), StartKind::None);
+        let b = a.add_ste(SymbolClass::from_byte(b'b'), StartKind::None);
+        let c = a.add_ste(SymbolClass::from_byte(b'c'), StartKind::None);
+        let w = a.add_ste(SymbolClass::FULL, StartKind::None);
+        a.add_edge(s, x);
+        a.add_edge(s, y);
+        a.add_edge(x, b);
+        a.add_edge(y, b);
+        a.add_edge(b, c);
+        a.add_edge(c, w);
+        a.set_report(w, 0);
+        let pf = prefilter_analysis(&a);
+        assert!(pf[0].is_prefilterable());
+        assert_eq!(
+            pf[0].literals,
+            Some(vec![RequiredLiteral {
+                bytes: b"bc".to_vec(),
+                before: 2,
+                after: 1,
+            }])
+        );
+    }
+
+    #[test]
+    fn later_factor_wins_ties() {
+        // Two 2-byte runs separated by a wide state; the later one (at
+        // the report) is kept, minimizing the forward span.
+        let mut a = Automaton::new();
+        let s = a.add_ste(SymbolClass::from_byte(b'p'), StartKind::AllInput);
+        let q = a.add_ste(SymbolClass::from_byte(b'q'), StartKind::None);
+        let w = a.add_ste(SymbolClass::FULL, StartKind::None);
+        let u = a.add_ste(SymbolClass::from_byte(b'u'), StartKind::None);
+        let v = a.add_ste(SymbolClass::from_byte(b'v'), StartKind::None);
+        a.add_edge(s, q);
+        a.add_edge(q, w);
+        a.add_edge(w, u);
+        a.add_edge(u, v);
+        a.set_report(v, 0);
+        let pf = prefilter_analysis(&a);
+        assert_eq!(
+            pf[0].literals,
+            Some(vec![RequiredLiteral {
+                bytes: b"uv".to_vec(),
+                before: 3,
+                after: 0,
+            }])
+        );
     }
 
     #[test]
@@ -777,7 +1169,10 @@ mod tests {
         a.add_edge(StateId::new(7), bridge);
         let pf = prefilter_analysis(&a);
         assert_eq!(pf.len(), 1);
-        assert_eq!(pf[0].literals, Some(vec![b"same".to_vec()]));
+        assert_eq!(
+            pf[0].literals,
+            Some(vec![RequiredLiteral::suffix(b"same".to_vec(), 0)])
+        );
     }
 
     #[test]

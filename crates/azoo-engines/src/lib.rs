@@ -11,6 +11,10 @@
 //! * [`LazyDfaEngine`] — an RE2/Hyperscan-style engine that determinizes
 //!   the automaton on the fly with a bounded state cache, giving
 //!   active-set-independent throughput on DFA-friendly workloads.
+//! * [`ShengEngine`] — a Sheng-style shuffle DFA for machines that
+//!   determinize to at most 16 states: the whole transition function of a
+//!   symbol class lives in one 16-byte vector and a step is a single
+//!   `pshufb` (with a scalar twin via [`azoo_simd`]).
 //! * [`BitParallelEngine`] — a dense multi-pattern Shift-And engine for
 //!   chain-shaped automata (e.g. Random Forest leaf chains), processing
 //!   64 states per machine word per symbol.
@@ -50,13 +54,13 @@
 mod bitpar;
 mod lazy_dfa;
 mod literal;
-mod memchr;
 mod nfa;
 mod parallel;
 mod prefilter;
 mod profile;
 mod report_stats;
 mod select;
+mod sheng;
 mod sink;
 mod stream;
 
@@ -69,9 +73,11 @@ pub use prefilter::{PrefilterEngine, PREFILTER_COVERAGE_GATE};
 pub use profile::Profile;
 pub use report_stats::ReportStats;
 pub use select::{
-    select_engine, select_engine_threaded, select_engine_with, select_session_engine,
-    select_session_engine_threaded, select_session_engine_with, EngineChoice, SelectOpts,
+    prefilter_gate, select_engine, select_engine_threaded, select_engine_with,
+    select_session_engine, select_session_engine_explained, select_session_engine_threaded,
+    select_session_engine_with, EngineChoice, SelectOpts,
 };
+pub use sheng::{ShengEngine, SHENG_MAX_NFA_STATES};
 pub use sink::{CollectSink, CountSink, NullSink, Report, ReportSink};
 pub use stream::StreamingEngine;
 
@@ -122,6 +128,9 @@ pub enum EngineError {
     /// [`BitParallelEngine`]): some state has more than one non-self
     /// successor or more than one non-self predecessor.
     NotChainShaped(StateId),
+    /// The automaton does not determinize within the 16-state shuffle-DFA
+    /// budget (required by [`ShengEngine`]).
+    TooManyDfaStates,
     /// The automaton failed core validation.
     Invalid(azoo_core::CoreError),
 }
@@ -134,6 +143,9 @@ impl std::fmt::Display for EngineError {
             }
             EngineError::NotChainShaped(id) => {
                 write!(f, "state {id:?} breaks the chain shape")
+            }
+            EngineError::TooManyDfaStates => {
+                write!(f, "automaton exceeds the 16-state shuffle-DFA budget")
             }
             EngineError::Invalid(e) => write!(f, "invalid automaton: {e}"),
         }

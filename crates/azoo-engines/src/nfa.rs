@@ -2,7 +2,8 @@
 
 use azoo_core::{Automaton, CounterMode, ElementKind, StartKind, SymbolClass};
 
-use crate::memchr::{find_in_table, memchr, memchr2, memchr3};
+use azoo_simd::ByteFinder;
+
 use crate::profile::Profile;
 use crate::sink::ReportSink;
 use crate::stream::StreamingEngine;
@@ -29,8 +30,9 @@ const PORT_BIT: u32 = 1 << 31;
 /// When the dynamic active set is empty and no counter is latched, a
 /// symbol can only matter if it wakes an `AllInput` start state, so the
 /// engine jumps straight to the next byte in the precomputed *wake-up
-/// set* (SWAR `memchr` for up to three wake bytes, a table scan
-/// otherwise). The skip is exact — skipped symbols match nothing, report
+/// set* via [`azoo_simd::ByteFinder`] (vector `memchr` for up to three
+/// wake bytes, a Truffle classifier for larger sets, with scalar twins
+/// when SIMD is unavailable). The skip is exact — skipped symbols match nothing, report
 /// nothing and change no counter — and it carries across streaming
 /// `feed` chunks, since quiescence is engine state, not scan state.
 /// [`set_quiescent_skip`](NfaEngine::set_quiescent_skip) disables it for
@@ -60,7 +62,7 @@ pub struct NfaEngine {
     always_dat: Vec<u32>,
     counters: Vec<CounterDef>,
     counter_elem_ids: Vec<u32>,
-    wake: WakeFinder,
+    wake: ByteFinder,
     wake_len: usize,
     quiescent: bool,
 
@@ -98,51 +100,6 @@ pub struct NfaEngine {
 struct CounterDef {
     target: u32,
     mode: CounterMode,
-}
-
-/// Finds the next byte that can wake an empty active set.
-#[derive(Debug, Clone)]
-enum WakeFinder {
-    /// No `AllInput` state: once quiescent, always quiescent.
-    Never,
-    /// Every byte wakes some state; skipping can never advance.
-    Always,
-    One(u8),
-    Two(u8, u8),
-    Three(u8, u8, u8),
-    Table(Box<[bool; 256]>),
-}
-
-impl WakeFinder {
-    fn build(wake: &SymbolClass) -> WakeFinder {
-        let bytes: Vec<u8> = wake.iter().collect();
-        match bytes.len() {
-            0 => WakeFinder::Never,
-            1 => WakeFinder::One(bytes[0]),
-            2 => WakeFinder::Two(bytes[0], bytes[1]),
-            3 => WakeFinder::Three(bytes[0], bytes[1], bytes[2]),
-            256 => WakeFinder::Always,
-            _ => {
-                let mut table = Box::new([false; 256]);
-                for &b in &bytes {
-                    table[b as usize] = true;
-                }
-                WakeFinder::Table(table)
-            }
-        }
-    }
-
-    #[inline]
-    fn find(&self, hay: &[u8]) -> Option<usize> {
-        match self {
-            WakeFinder::Never => None,
-            WakeFinder::Always => Some(0),
-            WakeFinder::One(a) => memchr(*a, hay),
-            WakeFinder::Two(a, b) => memchr2(*a, *b, hay),
-            WakeFinder::Three(a, b, c) => memchr3(*a, *b, *c, hay),
-            WakeFinder::Table(t) => find_in_table(t, hay),
-        }
-    }
 }
 
 impl NfaEngine {
@@ -262,7 +219,7 @@ impl NfaEngine {
             always_dat,
             counters,
             counter_elem_ids,
-            wake: WakeFinder::build(&wake),
+            wake: ByteFinder::from_bytes(&wake.iter().collect::<Vec<u8>>()),
             wake_len,
             quiescent: true,
             cur: Vec::new(),

@@ -33,16 +33,20 @@ use azoo_sync::{ranks, OrderedMutex};
 
 use crate::nfa::NfaEngine;
 use crate::prefilter::{PrefilterEngine, PREFILTER_COVERAGE_GATE};
+use crate::sheng::ShengEngine;
 use crate::sink::{Report, ReportSink};
 use crate::stream::StreamingEngine;
 use crate::{Engine, EngineError};
 
-/// A shard's executor: plain sparse simulation, or literal-gated
-/// windowed simulation when the shard's components carry required
-/// literals (opted in via [`ParallelScanner::with_prefilter`]).
+/// A shard's executor: a shuffle DFA when the shard determinizes to at
+/// most 16 states, literal-gated windowed simulation when the shard's
+/// components carry required literals (opted in via
+/// [`ParallelScanner::with_prefilter`]), plain sparse simulation
+/// otherwise.
 #[derive(Debug, Clone)]
 enum ShardEngine {
     Nfa(Box<NfaEngine>),
+    Sheng(Box<ShengEngine>),
     Prefilter(Box<PrefilterEngine>),
 }
 
@@ -50,6 +54,7 @@ impl ShardEngine {
     fn scan(&mut self, input: &[u8], sink: &mut dyn ReportSink) {
         match self {
             ShardEngine::Nfa(e) => e.scan(input, sink),
+            ShardEngine::Sheng(e) => e.scan(input, sink),
             ShardEngine::Prefilter(e) => e.scan(input, sink),
         }
     }
@@ -57,6 +62,7 @@ impl ShardEngine {
     fn reset_stream(&mut self) {
         match self {
             ShardEngine::Nfa(e) => e.reset_stream(),
+            ShardEngine::Sheng(e) => e.reset_stream(),
             ShardEngine::Prefilter(e) => e.reset_stream(),
         }
     }
@@ -64,6 +70,7 @@ impl ShardEngine {
     fn feed(&mut self, chunk: &[u8], eod: bool, sink: &mut dyn ReportSink) {
         match self {
             ShardEngine::Nfa(e) => e.feed(chunk, eod, sink),
+            ShardEngine::Sheng(e) => e.feed(chunk, eod, sink),
             ShardEngine::Prefilter(e) => e.feed(chunk, eod, sink),
         }
     }
@@ -170,7 +177,12 @@ impl ParallelScanner {
             // above, so at least one shard survives.
             .filter(|p| !p.start_states().is_empty())
             .map(|p| {
-                let engine = if prefilter {
+                // Shuffle-DFA gating first: a shard that determinizes
+                // to <= 16 states steps in one pshufb, beating both the
+                // prefilter and plain simulation.
+                let engine = if let Ok(sh) = ShengEngine::new(p) {
+                    ShardEngine::Sheng(Box::new(sh))
+                } else if prefilter {
                     let pf = PrefilterEngine::new(p)?;
                     if pf.component_count() > 0 && pf.coverage() >= PREFILTER_COVERAGE_GATE {
                         ShardEngine::Prefilter(Box::new(pf))
@@ -194,6 +206,14 @@ impl ParallelScanner {
         self.shards
             .iter()
             .filter(|s| matches!(s.engine, ShardEngine::Prefilter(_)))
+            .count()
+    }
+
+    /// Number of shards running as a shuffle DFA.
+    pub fn sheng_shard_count(&self) -> usize {
+        self.shards
+            .iter()
+            .filter(|s| matches!(s.engine, ShardEngine::Sheng(_)))
             .count()
     }
 
@@ -398,6 +418,7 @@ impl StreamingEngine for ParallelScanner {
     fn stream_quiesced(&self) -> bool {
         self.shards.iter().all(|s| match &s.engine {
             ShardEngine::Nfa(e) => e.stream_quiesced(),
+            ShardEngine::Sheng(e) => e.stream_quiesced(),
             ShardEngine::Prefilter(e) => e.stream_quiesced(),
         })
     }
@@ -619,10 +640,18 @@ mod tests {
 
     #[test]
     fn prefiltered_shards_match_plain_shards() {
-        // Literal words plus one cyclic component: the literal shards run
-        // behind the prefilter, the cyclic one stays a plain NFA, and the
-        // merged stream is unchanged.
-        let mut a = words(&[b"cat", b"dog", b"catalog", b"og"]);
+        // Literal words plus one cyclic component: shards too big for the
+        // shuffle DFA run behind the prefilter (the two long words keep
+        // every packing above 16 DFA states), small shards may run as a
+        // shuffle DFA, and the merged stream is unchanged either way.
+        let mut a = words(&[
+            b"cat",
+            b"dog",
+            b"catalog",
+            b"og",
+            b"internationalization",
+            b"electroencephalogram",
+        ]);
         let s = a.add_ste(SymbolClass::from_byte(b'x'), StartKind::AllInput);
         let l = a.add_ste(SymbolClass::from_byte(b'y'), StartKind::None);
         a.add_edge(s, l);

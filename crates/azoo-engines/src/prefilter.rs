@@ -2,36 +2,48 @@
 //!
 //! [`PrefilterEngine`] splits the automaton with
 //! [`azoo_passes::prefilter_plan`]: components whose every match must
-//! contain a *required literal* ending exactly at the report offset are
-//! gated behind an [`AhoCorasick`](crate::literal::AhoCorasick) matcher
-//! and simulated only inside a bounded window before each candidate hit;
-//! the rejected remainder falls back to full [`NfaEngine`] simulation.
-//! Components with no reachable reporting element are dropped outright.
+//! contain a *required factor* — a forced byte chain with known
+//! `before`/`after` span geometry (see
+//! [`azoo_core::stats::RequiredLiteral`]) — are gated behind an
+//! [`AhoCorasick`](crate::literal::AhoCorasick) matcher and simulated
+//! only inside a bounded span around each candidate hit; the rejected
+//! remainder falls back to full simulation ([`NfaEngine`], or
+//! [`LazyDfaEngine`] when the remainder determinizes well). Components
+//! with no reachable reporting element are dropped outright.
 //!
 //! # Soundness
 //!
 //! For a prefilterable component (counter-free, no start-of-data anchor,
-//! acyclic from its starts, window `w` = longest start-rooted path):
+//! acyclic from its starts), every match contains a factor occurrence.
+//! With `back = max(len + before)` and `fwd = max(after)` over the
+//! component's factors:
 //!
-//! * **No hit → no report.** Every match contains a required literal
-//!   ending at the match offset, so offsets without a hit need no
-//!   simulation at all.
-//! * **Window-bound.** Any activation chain culminating at offset `p`
-//!   began no earlier than `p − (w − 1)`, so a *cold-start* simulation of
-//!   `[p + 1 − w, p + 1)` observes every true report at `p`. Cold starts
-//!   cannot invent reports either: the component's only starts are
-//!   `AllInput`, which full simulation re-arms on every symbol anyway.
-//! * **Streaming dedup.** Overlapping windows are merged per feed, and a
-//!   per-component watermark drops reports below the already-simulated
-//!   prefix; a true report below the watermark was necessarily emitted by
-//!   the feed that consumed its final byte (its hit ends there).
+//! * **No hit → no report.** Offsets with no factor occurrence in
+//!   `[p − fwd, p]`-range need no simulation at all.
+//! * **Span-bound.** A match whose factor occurrence ends at `e` armed
+//!   no earlier than `e + 1 − back` and reports no later than `e + fwd`,
+//!   so a *cold-start* simulation of `[e + 1 − back, e + 1 + fwd)`
+//!   observes every true report it is responsible for. Cold starts
+//!   cannot invent reports: the component's only starts are `AllInput`,
+//!   which full simulation re-arms on every symbol anyway.
+//! * **Forward spans stay open across feeds.** `fwd > 0` lets a span
+//!   outrun the bytes consumed so far; the component's engine then stays
+//!   *hot* and the residual span (`open_until`) is continued by later feeds, so
+//!   arms from the triggering chunk survive to their report offsets.
+//! * **Streaming dedup.** Overlapping spans are merged per feed (span
+//!   ends are monotone in hit ends because the geometry is uniform per
+//!   component), and a per-component watermark drops reports below the
+//!   already-simulated prefix.
 //!
 //! The merged output is the canonical sorted, deduplicated report stream
 //! — byte-identical to [`NfaEngine`] on the same automaton, which the
 //! differential suite verifies across all 25 benchmarks.
 
-use azoo_core::Automaton;
+use azoo_core::{stats::longest_path_from_starts, Automaton};
 use azoo_passes::prefilter_plan;
+
+use crate::lazy_dfa::LazyDfaEngine;
+use azoo_simd::{Teddy, TeddyMatch};
 
 use crate::literal::{AhoCorasick, LiteralHit};
 use crate::nfa::NfaEngine;
@@ -43,30 +55,213 @@ use crate::{Engine, EngineError};
 /// [`select_engine`](crate::select_engine) to prefer this engine.
 pub const PREFILTER_COVERAGE_GATE: f64 = 0.5;
 
+/// Widest compressed alphabet for which the fallback remainder is
+/// simulated with a lazy DFA instead of the NFA. Wildcard-heavy
+/// remainders (e.g. `??`-laden signatures) blow the subset construction
+/// up; literal-ish remainders determinize to a handful of states and
+/// scan several times faster.
+const FALLBACK_DFA_CLASS_CAP: usize = 64;
+
 /// One gated component and its streaming simulation state.
 #[derive(Debug, Clone)]
 struct GatedComponent {
+    /// When set, the component's sole factor *is* its every match: the
+    /// factor starts at a start state (`before == 0`), ends at the only
+    /// report state (`after == 0`), and spans the component's longest
+    /// path, so each accepting path is exactly the factor's chain. A
+    /// trigger hit ending at `e` then reports `(e, code)` directly,
+    /// with no simulation at all.
+    exact: Option<azoo_core::ReportCode>,
     engine: NfaEngine,
-    window: u64,
+    /// Span reach behind a hit end: `max(len + before)` over factors.
+    back: u64,
+    /// Span reach past a hit end: `max(after)` over factors.
+    fwd: u64,
     /// Reports at global offsets below this were already emitted.
     simulated_to: u64,
-    /// Global offset of the last simulated span's start, so pending
-    /// end-of-data reports (span-relative) can be rebased when an empty
-    /// `eod` feed flushes them.
+    /// Global offset of the last cold start, so pending end-of-data
+    /// reports (span-relative) can be rebased when an empty `eod` feed
+    /// flushes them.
     last_span_base: u64,
+    /// A span extended past the bytes consumed so far: simulation must
+    /// continue to this global offset in later feeds. `0` = none.
+    open_until: u64,
+    /// The engine holds live state continuous with `simulated_to` (not
+    /// reset since its last cold start), so a span starting at or before
+    /// the watermark may continue it instead of cold-starting.
+    hot: bool,
+    /// An `eod` feed already flushed this component's end-of-data
+    /// reports this round (transient, cleared every feed).
+    eod_flushed: bool,
+}
+
+/// The full-simulation engine behind the gated components.
+#[derive(Debug, Clone)]
+enum FallbackSim {
+    Nfa(Box<NfaEngine>),
+    Dfa(Box<LazyDfaEngine>),
+}
+
+impl FallbackSim {
+    /// Picks an engine for the remainder: a lazy DFA when the remainder
+    /// is counter-free, acyclic from its starts, and its compressed
+    /// alphabet is narrow (all statically checkable predictors of a
+    /// small, fast subset automaton); otherwise the NFA.
+    fn build(fb: &Automaton) -> Result<FallbackSim, EngineError> {
+        if longest_path_from_starts(fb).is_some() && fb.counter_count() == 0 {
+            if let Ok(dfa) = LazyDfaEngine::new(fb) {
+                if dfa.alphabet_classes() <= FALLBACK_DFA_CLASS_CAP {
+                    return Ok(FallbackSim::Dfa(Box::new(dfa)));
+                }
+            }
+        }
+        Ok(FallbackSim::Nfa(Box::new(NfaEngine::new(fb)?)))
+    }
+
+    fn feed(&mut self, chunk: &[u8], eod: bool, sink: &mut dyn ReportSink) {
+        match self {
+            FallbackSim::Nfa(e) => e.feed(chunk, eod, sink),
+            FallbackSim::Dfa(e) => e.feed(chunk, eod, sink),
+        }
+    }
+
+    fn reset_stream(&mut self) {
+        match self {
+            FallbackSim::Nfa(e) => e.reset_stream(),
+            FallbackSim::Dfa(e) => e.reset_stream(),
+        }
+    }
+
+    fn stream_quiesced(&self) -> bool {
+        match self {
+            FallbackSim::Nfa(e) => e.stream_quiesced(),
+            FallbackSim::Dfa(e) => e.stream_quiesced(),
+        }
+    }
+
+    fn is_dfa(&self) -> bool {
+        matches!(self, FallbackSim::Dfa(_))
+    }
+}
+
+/// The multi-literal trigger scanner: a vectorized Teddy prefilter when
+/// the literal set is small enough for its nibble masks and the host has
+/// SIMD, the Aho–Corasick automaton otherwise.
+///
+/// Teddy is stateless per scan, so streaming keeps a seam carry of the
+/// last `max_len - 1` stream bytes and rescans it ahead of each chunk; a
+/// hit is new exactly when its *end* lands in the new chunk (anything
+/// ending earlier was found by the previous feed, whose scan covered
+/// every byte before `base`). Hits are re-sorted by end position because
+/// Teddy reports in start order and pattern lengths differ.
+#[derive(Debug, Clone)]
+enum Trigger {
+    Ac(AhoCorasick),
+    Teddy {
+        teddy: Teddy,
+        /// Pattern lengths, indexed as fed to [`Teddy::new`].
+        pat_len: Vec<u32>,
+        /// Longest pattern length (seam carry is `max_len - 1` bytes).
+        max_len: usize,
+        carry: Vec<u8>,
+        buf: Vec<u8>,
+        scratch: Vec<TeddyMatch>,
+    },
+}
+
+impl Trigger {
+    fn build_with(patterns: &[Vec<u8>], level: azoo_simd::SimdLevel) -> Trigger {
+        // Teddy pays off only when its vector kernels run; under
+        // forced-scalar (or on non-SIMD hosts) the scalar twin would
+        // re-derive candidates byte-at-a-time, slower than one AC step.
+        if level > azoo_simd::SimdLevel::Scalar {
+            if let Some(teddy) = Teddy::new(patterns) {
+                let pat_len = patterns.iter().map(|p| p.len() as u32).collect();
+                let max_len = patterns.iter().map(Vec::len).max().unwrap_or(1);
+                return Trigger::Teddy {
+                    teddy,
+                    pat_len,
+                    max_len,
+                    carry: Vec::new(),
+                    buf: Vec::new(),
+                    scratch: Vec::new(),
+                };
+            }
+        }
+        Trigger::Ac(AhoCorasick::new(patterns))
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Trigger::Ac(_) => "aho-corasick",
+            Trigger::Teddy { .. } => "teddy",
+        }
+    }
+
+    fn reset(&mut self) {
+        match self {
+            Trigger::Ac(m) => m.reset(),
+            Trigger::Teddy { carry, .. } => carry.clear(),
+        }
+    }
+
+    fn quiesced(&self) -> bool {
+        match self {
+            Trigger::Ac(m) => m.is_at_root(),
+            Trigger::Teddy { carry, .. } => carry.is_empty(),
+        }
+    }
+
+    /// Emits this chunk's hits in nondecreasing end order, `base` being
+    /// the chunk's global offset.
+    fn feed(&mut self, chunk: &[u8], base: u64, hits: &mut Vec<LiteralHit>) {
+        match self {
+            Trigger::Ac(m) => m.feed(chunk, base, hits),
+            Trigger::Teddy {
+                teddy,
+                pat_len,
+                max_len,
+                carry,
+                buf,
+                scratch,
+            } => {
+                buf.clear();
+                buf.extend_from_slice(carry);
+                buf.extend_from_slice(chunk);
+                let buf_base = base - carry.len() as u64;
+                scratch.clear();
+                teddy.find(buf, scratch);
+                for m in scratch.iter() {
+                    let end =
+                        buf_base + m.start as u64 + u64::from(pat_len[m.pattern as usize]) - 1;
+                    if end >= base {
+                        hits.push(LiteralHit {
+                            end,
+                            pattern: m.pattern,
+                        });
+                    }
+                }
+                hits.sort_unstable_by_key(|h| (h.end, h.pattern));
+                let keep = buf.len().min(*max_len - 1);
+                carry.clear();
+                carry.extend_from_slice(&buf[buf.len() - keep..]);
+            }
+        }
+    }
 }
 
 /// Literal-gated windowed simulation with full-simulation fallback.
 #[derive(Debug, Clone)]
 pub struct PrefilterEngine {
-    matcher: AhoCorasick,
+    matcher: Trigger,
     /// Pattern index (as fed to the matcher) → gated component index.
     pat_comp: Vec<u32>,
     components: Vec<GatedComponent>,
-    fallback: Option<NfaEngine>,
+    fallback: Option<FallbackSim>,
     coverage: f64,
-    /// `max(window) − 1`: how many trailing stream bytes a window can
-    /// reach back past a chunk boundary.
+    min_literal_len: usize,
+    /// `max(back) − 1`: how many trailing stream bytes a span can reach
+    /// back past a chunk boundary.
     keep: usize,
 
     // Streaming state and per-feed scratch.
@@ -93,40 +288,86 @@ impl PrefilterEngine {
     ///
     /// Returns [`EngineError::Invalid`] if `a` fails validation.
     pub fn new(a: &Automaton) -> Result<Self, EngineError> {
+        Self::build_for_level(a, azoo_simd::level())
+    }
+
+    /// [`new`](Self::new) with the trigger pinned to the scalar tier: the
+    /// literal matcher is always the Aho–Corasick automaton, never Teddy,
+    /// regardless of host SIMD. The report stream is identical either
+    /// way; the oracle and the prefilter bench use this configuration to
+    /// differentiate the two trigger paths inside one process (the
+    /// `AZOO_FORCE_SCALAR` environment variable covers the whole-process
+    /// equivalent).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Invalid`] if `a` fails validation.
+    pub fn with_scalar_trigger(a: &Automaton) -> Result<Self, EngineError> {
+        Self::build_for_level(a, azoo_simd::SimdLevel::Scalar)
+    }
+
+    fn build_for_level(a: &Automaton, level: azoo_simd::SimdLevel) -> Result<Self, EngineError> {
         a.validate()?;
         let plan = prefilter_plan(a);
         let mut patterns: Vec<Vec<u8>> = Vec::new();
         let mut pat_comp = Vec::new();
         let mut components = Vec::with_capacity(plan.components.len());
         for (ci, pc) in plan.components.iter().enumerate() {
+            let mut back = 0u64;
+            let mut fwd = 0u64;
             for lit in &pc.literals {
-                patterns.push(lit.clone());
+                patterns.push(lit.bytes.clone());
                 pat_comp.push(ci as u32);
+                back = back.max((lit.bytes.len() + lit.before) as u64);
+                fwd = fwd.max(lit.after as u64);
             }
+            let exact = if let [lit] = pc.literals.as_slice() {
+                let reps = pc.automaton.report_states();
+                if lit.before == 0
+                    && lit.after == 0
+                    && lit.bytes.len() == pc.window
+                    && reps.len() == 1
+                    && !pc.automaton.element(reps[0]).report_eod_only
+                {
+                    pc.automaton.element(reps[0]).report
+                } else {
+                    None
+                }
+            } else {
+                None
+            };
             components.push(GatedComponent {
+                exact,
                 engine: NfaEngine::new(&pc.automaton)?,
-                window: pc.window as u64,
+                back,
+                fwd,
                 simulated_to: 0,
                 last_span_base: 0,
+                open_until: 0,
+                hot: false,
+                eod_flushed: false,
             });
         }
         let fallback = match &plan.fallback {
-            Some(fb) => Some(NfaEngine::new(fb)?),
+            Some(fb) => Some(FallbackSim::build(fb)?),
             None => None,
         };
         let keep = components
             .iter()
-            .map(|c| c.window as usize)
+            .filter(|c| c.exact.is_none())
+            .map(|c| c.back as usize)
             .max()
             .unwrap_or(0)
             .saturating_sub(1);
         let n_comp = components.len();
+        let min_literal_len = patterns.iter().map(Vec::len).min().unwrap_or(0);
         Ok(PrefilterEngine {
-            matcher: AhoCorasick::new(&patterns),
+            matcher: Trigger::build_with(&patterns, level),
             pat_comp,
             components,
             fallback,
             coverage: plan.coverage(),
+            min_literal_len,
             keep,
             tail: Vec::new(),
             stream_offset: 0,
@@ -153,9 +394,35 @@ impl PrefilterEngine {
         self.pat_comp.len()
     }
 
+    /// Which literal matcher drives the gate: `"teddy"` (vectorized
+    /// nibble-mask prefilter) or `"aho-corasick"` (the scalar trigger).
+    pub fn trigger_kind(&self) -> &'static str {
+        self.matcher.kind()
+    }
+
+    /// Length of the shortest trigger literal, 0 with no literals. Short
+    /// minimums mean frequent trigger hits and wide relative windows —
+    /// the selection gate weighs this against coverage.
+    pub fn min_literal_len(&self) -> usize {
+        self.min_literal_len
+    }
+
+    /// Number of gated components whose matches are exactly their factor
+    /// (reported straight from trigger hits, no simulation).
+    pub fn exact_component_count(&self) -> usize {
+        self.components.iter().filter(|c| c.exact.is_some()).count()
+    }
+
     /// True when a fallback remainder must be fully simulated.
     pub fn has_fallback(&self) -> bool {
         self.fallback.is_some()
+    }
+
+    /// Name of the engine simulating the fallback remainder, if any.
+    pub fn fallback_engine(&self) -> Option<&'static str> {
+        self.fallback
+            .as_ref()
+            .map(|fb| if fb.is_dfa() { "lazy-dfa" } else { "nfa" })
     }
 }
 
@@ -194,6 +461,9 @@ impl StreamingEngine for PrefilterEngine {
         for c in &mut self.components {
             c.simulated_to = 0;
             c.last_span_base = 0;
+            c.open_until = 0;
+            c.hot = false;
+            c.eod_flushed = false;
             c.engine.reset_stream();
         }
         if let Some(fb) = &mut self.fallback {
@@ -208,11 +478,14 @@ impl StreamingEngine for PrefilterEngine {
         self.stream_offset == 0
             && self.tail.is_empty()
             && self.tail_reports.is_empty()
-            && self.matcher.is_at_root()
-            && self
-                .components
-                .iter()
-                .all(|c| c.simulated_to == 0 && c.last_span_base == 0 && c.engine.stream_quiesced())
+            && self.matcher.quiesced()
+            && self.components.iter().all(|c| {
+                c.simulated_to == 0
+                    && c.last_span_base == 0
+                    && c.open_until == 0
+                    && !c.hot
+                    && c.engine.stream_quiesced()
+            })
             && self.fallback.as_ref().is_none_or(|fb| fb.stream_quiesced())
     }
 
@@ -221,15 +494,23 @@ impl StreamingEngine for PrefilterEngine {
         let total = base + chunk.len() as u64;
         self.reports.clear();
 
-        // Stage 1: literal trigger. Hits arrive in increasing end order,
-        // so per-component spans can be merged as they are produced.
+        // Stage 1: literal trigger. Hits arrive in increasing end order
+        // and the span geometry is uniform per component, so spans can
+        // be merged as they are produced (both endpoints are monotone).
         self.hits.clear();
         self.matcher.feed(chunk, base, &mut self.hits);
         for h in &self.hits {
             let ci = self.pat_comp[h.pattern as usize] as usize;
-            let w = self.components[ci].window;
-            let s = (h.end + 1).saturating_sub(w);
-            let t = h.end + 1;
+            let comp = &self.components[ci];
+            if let Some(code) = comp.exact {
+                self.reports.push(Report {
+                    offset: h.end,
+                    code,
+                });
+                continue;
+            }
+            let s = (h.end + 1).saturating_sub(comp.back);
+            let t = h.end + 1 + comp.fwd;
             let spans = &mut self.spans[ci];
             match spans.last_mut() {
                 Some(last) if s <= last.1 => last.1 = t.max(last.1),
@@ -237,32 +518,81 @@ impl StreamingEngine for PrefilterEngine {
             }
         }
 
-        // Stage 2: cold-start windowed simulation of each merged span.
-        // A span may reach back into the previous chunks' tail, but its
-        // end never passes the bytes consumed so far, so no span is ever
-        // left pending for a later feed.
+        // Stage 1b: a span left open by the previous feed (its forward
+        // reach outran the stream) resumes as a continuation span over
+        // the still-unsimulated range, merged with this feed's first
+        // span when they touch. The continuation is contiguous with the
+        // hot engine state by construction (`simulated_to` was clamped
+        // to the previous stream end).
         for ci in 0..self.components.len() {
+            let comp = &self.components[ci];
+            if comp.open_until == 0 {
+                continue;
+            }
+            debug_assert!(comp.hot && comp.simulated_to == base);
+            let spans = &mut self.spans[ci];
+            match spans.first_mut() {
+                Some(first) if first.0 <= comp.open_until => {
+                    first.0 = first.0.min(comp.simulated_to);
+                    first.1 = first.1.max(comp.open_until);
+                }
+                _ => spans.insert(0, (comp.simulated_to, comp.open_until)),
+            }
+        }
+
+        // Stage 2: simulate each merged span. A span overlapping the
+        // already-simulated prefix of a hot engine continues it (the hot
+        // arms are a superset of any cold start at or after the last
+        // cold-start base, and new-hit spans never begin before that
+        // base); a disjoint span restarts cold. Spans may reach back
+        // into the previous chunks' tail, and a span whose forward reach
+        // outruns this feed is clipped and left open for the next one.
+        for ci in 0..self.components.len() {
+            self.components[ci].eod_flushed = false;
             for si in 0..self.spans[ci].len() {
                 let (s, t) = self.spans[ci][si];
                 let comp = &mut self.components[ci];
-                comp.engine.reset_stream();
-                let mut ssink = SpanSink {
-                    base: s,
-                    min: comp.simulated_to,
-                    out: &mut self.reports,
-                };
-                if s < base {
-                    let back = (base - s) as usize;
-                    debug_assert!(back <= self.tail.len());
-                    let tail_part = &self.tail[self.tail.len() - back..];
-                    comp.engine.feed(tail_part, false, &mut ssink);
+                let t_clip = t.min(total);
+                let span_eod = eod && t_clip == total;
+                if comp.hot && s <= comp.simulated_to {
+                    // Continue the live arms from the watermark.
+                    debug_assert!(s >= comp.last_span_base);
+                    let mut ssink = SpanSink {
+                        base: comp.last_span_base,
+                        min: comp.simulated_to,
+                        out: &mut self.reports,
+                    };
+                    if comp.simulated_to < base {
+                        let back = (base - comp.simulated_to) as usize;
+                        debug_assert!(back <= self.tail.len());
+                        let tail_part = &self.tail[self.tail.len() - back..];
+                        comp.engine.feed(tail_part, false, &mut ssink);
+                    }
+                    let c0 = (comp.simulated_to.max(base) - base) as usize;
+                    let c1 = (t_clip.max(base) - base) as usize;
+                    comp.engine.feed(&chunk[c0..c1], span_eod, &mut ssink);
+                } else {
+                    comp.engine.reset_stream();
+                    let mut ssink = SpanSink {
+                        base: s,
+                        min: comp.simulated_to,
+                        out: &mut self.reports,
+                    };
+                    if s < base {
+                        let back = (base - s) as usize;
+                        debug_assert!(back <= self.tail.len());
+                        let tail_part = &self.tail[self.tail.len() - back..];
+                        comp.engine.feed(tail_part, false, &mut ssink);
+                    }
+                    let c0 = (s.max(base) - base) as usize;
+                    let c1 = (t_clip.max(base) - base) as usize;
+                    comp.engine.feed(&chunk[c0..c1], span_eod, &mut ssink);
+                    comp.last_span_base = s;
                 }
-                let c0 = (s.max(base) - base) as usize;
-                let c1 = (t - base) as usize;
-                comp.engine
-                    .feed(&chunk[c0..c1], eod && t == total, &mut ssink);
-                comp.simulated_to = t;
-                comp.last_span_base = s;
+                comp.simulated_to = t_clip;
+                comp.hot = true;
+                comp.open_until = if t > total && !eod { t } else { 0 };
+                comp.eod_flushed |= span_eod;
             }
             self.spans[ci].clear();
         }
@@ -271,12 +601,14 @@ impl StreamingEngine for PrefilterEngine {
         // consumed by an earlier feed. Components whose last span reached
         // the end of the stream may hold back end-of-data reports; flush
         // them (watermark 0: eod-gated reports cannot have been emitted
-        // before eod arrived). Components whose last span ended earlier
-        // cannot report at the final symbol at all (no literal hit ends
-        // there), so their pending state is stale and stays unflushed.
+        // before eod arrived) unless a continuation span already carried
+        // the eod flag to the engine above. Components whose last span
+        // ended earlier cannot report at the final symbol at all (no
+        // literal hit reaches it), so their pending state is stale and
+        // stays unflushed.
         if eod && chunk.is_empty() {
             for comp in &mut self.components {
-                if comp.simulated_to == total && comp.simulated_to > 0 {
+                if comp.simulated_to == total && comp.simulated_to > 0 && !comp.eod_flushed {
                     let mut ssink = SpanSink {
                         base: comp.last_span_base,
                         min: 0,

@@ -13,6 +13,8 @@ pub struct ReportStats {
     symbols: u64,
     per_code: std::collections::HashMap<u32, u64>,
     reporting_symbols: u64,
+    engine_tier: Option<String>,
+    tier_reason: Option<String>,
 }
 
 impl ReportStats {
@@ -32,7 +34,29 @@ impl ReportStats {
             symbols,
             per_code,
             reporting_symbols: offsets.len() as u64,
+            engine_tier: None,
+            tier_reason: None,
         }
+    }
+
+    /// Annotates the stream with the engine tier that produced it and
+    /// the selection reason (from
+    /// [`select_session_engine_explained`](crate::select_session_engine_explained)),
+    /// so bench rows built from these stats are self-explaining.
+    pub fn set_engine_tier(&mut self, tier: impl Into<String>, reason: impl Into<String>) {
+        self.engine_tier = Some(tier.into());
+        self.tier_reason = Some(reason.into());
+    }
+
+    /// The annotated engine tier, if [`set_engine_tier`](Self::set_engine_tier)
+    /// was called.
+    pub fn engine_tier(&self) -> Option<&str> {
+        self.engine_tier.as_deref()
+    }
+
+    /// The annotated selection reason, if any.
+    pub fn tier_reason(&self) -> Option<&str> {
+        self.tier_reason.as_deref()
     }
 
     /// Total reports.
@@ -130,6 +154,15 @@ mod tests {
         assert_eq!(top[0], (ReportCode(3), 7));
         assert_eq!(top[1], (ReportCode(9), 1));
         assert_eq!(top.len(), 2);
+    }
+
+    #[test]
+    fn tier_annotation_round_trips() {
+        let mut stats = ReportStats::compute(&[], 0);
+        assert!(stats.engine_tier().is_none() && stats.tier_reason().is_none());
+        stats.set_engine_tier("sheng", "fits the 16-state budget");
+        assert_eq!(stats.engine_tier(), Some("sheng"));
+        assert_eq!(stats.tier_reason(), Some("fits the 16-state budget"));
     }
 
     #[test]

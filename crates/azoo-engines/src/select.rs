@@ -11,7 +11,7 @@ use azoo_core::Automaton;
 use crate::prefilter::PREFILTER_COVERAGE_GATE;
 use crate::{
     BitParallelEngine, Engine, EngineError, LazyDfaEngine, NfaEngine, ParallelScanner,
-    PrefilterEngine, SessionEngine,
+    PrefilterEngine, SessionEngine, ShengEngine,
 };
 
 /// Which engine [`select_engine`] picked.
@@ -21,6 +21,9 @@ pub enum EngineChoice {
     BitParallel,
     /// The lazy-DFA engine.
     LazyDfa,
+    /// The Sheng-style shuffle-DFA engine (machines determinizing to at
+    /// most 16 states; one `pshufb` per symbol).
+    Sheng,
     /// The literal-prefilter engine (windowed simulation gated behind an
     /// Aho–Corasick trigger, with NFA fallback for rejected components).
     Prefilter,
@@ -38,10 +41,13 @@ pub enum EngineChoice {
 /// 1. chain-shaped automata → [`BitParallelEngine`] (dense bitwise
 ///    advance; best for literal sets, RF chains, CRISPR filters) —
 ///    chosen only while the state vector stays cache-resident;
-/// 2. counter-free automata of bounded size → [`LazyDfaEngine`];
+/// 2. counter-free automata of bounded size → the DFA tier:
+///    [`ShengEngine`] when the machine determinizes to at most 16
+///    states (single-`pshufb` stepping), [`LazyDfaEngine`] otherwise;
 /// 3. automata whose components mostly carry required literals →
-///    [`PrefilterEngine`] (gated on
-///    [`PREFILTER_COVERAGE_GATE`](crate::PREFILTER_COVERAGE_GATE));
+///    [`PrefilterEngine`] (admitted by [`prefilter_gate`], the
+///    [`PREFILTER_COVERAGE_GATE`](crate::PREFILTER_COVERAGE_GATE)
+///    weighted by literal length and trigger bucket load);
 /// 4. everything else (counters, huge NFAs) → [`NfaEngine`].
 ///
 /// # Errors
@@ -70,6 +76,40 @@ fn preflight(a: &Automaton) -> Result<(), EngineError> {
 pub fn select_engine(a: &Automaton) -> Result<(EngineChoice, Box<dyn Engine>), EngineError> {
     let (choice, engine) = select_session_engine(a)?;
     Ok((choice, engine))
+}
+
+/// The prefilter tier's admission gate for `pf`, as an effective
+/// coverage threshold.
+///
+/// A flat coverage cut treats every literal set alike, which mis-ranks
+/// the edges (the paper's Brill near-parity row): what the gated slice
+/// actually costs depends on how often the trigger fires and how
+/// expensive each candidate is to confirm. The gate therefore weighs
+/// the raw [`PREFILTER_COVERAGE_GATE`] by literal length and trigger
+/// bucket load:
+///
+/// * **Literal length** — each byte past the
+///   [`MIN_STRONG_LITERAL`](azoo_passes::MIN_STRONG_LITERAL) floor cuts
+///   expected trigger traffic ~256×, so longer minimum literals admit a
+///   thinner gated slice (`gate × floor/min_len`).
+/// * **Bucket load** — a set within the Teddy trigger's capacity
+///   ([`TEDDY_MAX_PATTERNS`](azoo_simd::TEDDY_MAX_PATTERNS)) confirms
+///   candidates at vector speed, lowering the bar a step further; a set
+///   overflowing eight times that capacity saturates the Aho–Corasick
+///   trigger's buckets and raises it back up.
+pub fn prefilter_gate(pf: &PrefilterEngine) -> f64 {
+    let mut gate = PREFILTER_COVERAGE_GATE;
+    let floor = azoo_passes::MIN_STRONG_LITERAL as f64;
+    let min_len = pf.min_literal_len() as f64;
+    if min_len > 0.0 {
+        gate *= (floor / min_len).min(1.0);
+    }
+    if pf.trigger_kind() == "teddy" {
+        gate *= 0.8;
+    } else if pf.literal_count() > 8 * azoo_simd::TEDDY_MAX_PATTERNS {
+        gate *= 1.2;
+    }
+    gate.min(0.95)
 }
 
 /// Compile-path options for [`select_engine_with`] /
@@ -136,27 +176,81 @@ pub fn select_session_engine_with(
 pub fn select_session_engine(
     a: &Automaton,
 ) -> Result<(EngineChoice, Box<dyn SessionEngine>), EngineError> {
+    let (choice, _, engine) = select_session_engine_explained(a)?;
+    Ok((choice, engine))
+}
+
+/// [`select_session_engine`] plus a human-readable reason for the
+/// choice, suitable for bench-row and report annotations (see
+/// [`ReportStats::set_engine_tier`](crate::ReportStats::set_engine_tier)).
+///
+/// # Errors
+///
+/// Propagates [`EngineError::Invalid`] if the automaton fails
+/// validation.
+pub fn select_session_engine_explained(
+    a: &Automaton,
+) -> Result<(EngineChoice, String, Box<dyn SessionEngine>), EngineError> {
     preflight(a)?;
     // Bit-parallel: chain-shaped and small enough that the per-symbol
     // mask walk stays cheap (~256 KiB of active-set words).
     if a.state_count() <= 2_000_000 {
         if let Ok(engine) = BitParallelEngine::new(a) {
-            return Ok((EngineChoice::BitParallel, Box::new(engine)));
+            let reason = format!(
+                "chain-shaped, {} states: dense bit-parallel advance",
+                a.state_count()
+            );
+            return Ok((EngineChoice::BitParallel, reason, Box::new(engine)));
         }
     }
     if a.counter_count() == 0 && a.state_count() <= 200_000 {
+        // Within the DFA tier the shuffle DFA wins whenever it applies:
+        // a machine that fits 16 DFA states steps in one pshufb with no
+        // cache probes, so the lazy DFA only takes the remainder.
+        if let Ok(engine) = ShengEngine::new(a) {
+            let reason = format!(
+                "counter-free, determinizes to {} states (within the 16-state shuffle-DFA budget)",
+                engine.state_count()
+            );
+            return Ok((EngineChoice::Sheng, reason, Box::new(engine)));
+        }
         if let Ok(engine) = LazyDfaEngine::new(a) {
-            return Ok((EngineChoice::LazyDfa, Box::new(engine)));
+            let reason = format!(
+                "counter-free, {} NFA states: lazy subset construction",
+                a.state_count()
+            );
+            return Ok((EngineChoice::LazyDfa, reason, Box::new(engine)));
         }
     }
     // Prefilter: worthwhile only when required literals gate most of the
-    // state space; otherwise the fallback remainder dominates and plain
-    // sparse simulation is simpler.
+    // state space at an acceptable trigger cost (see [`prefilter_gate`]);
+    // otherwise the fallback remainder dominates and plain sparse
+    // simulation is simpler.
     let engine = PrefilterEngine::new(a)?;
-    if engine.component_count() > 0 && engine.coverage() >= PREFILTER_COVERAGE_GATE {
-        return Ok((EngineChoice::Prefilter, Box::new(engine)));
+    let gate = prefilter_gate(&engine);
+    if engine.component_count() > 0 && engine.coverage() >= gate {
+        let reason = format!(
+            "literal coverage {:.2} >= weighted gate {:.2} ({} literals, min len {}, {} trigger)",
+            engine.coverage(),
+            gate,
+            engine.literal_count(),
+            engine.min_literal_len(),
+            engine.trigger_kind()
+        );
+        return Ok((EngineChoice::Prefilter, reason, Box::new(engine)));
     }
-    Ok((EngineChoice::Nfa, Box::new(NfaEngine::new(a)?)))
+    let reason = if engine.component_count() == 0 {
+        "no prefilterable literals: sparse NFA simulation".to_string()
+    } else {
+        format!(
+            "literal coverage {:.2} below weighted gate {:.2} ({} literals, min len {}): sparse NFA simulation",
+            engine.coverage(),
+            gate,
+            engine.literal_count(),
+            engine.min_literal_len()
+        )
+    };
+    Ok((EngineChoice::Nfa, reason, Box::new(NfaEngine::new(a)?)))
 }
 
 /// Thread-aware variant of [`select_engine`]: with more than one thread
@@ -218,7 +312,9 @@ mod tests {
     }
 
     #[test]
-    fn fanout_gets_lazy_dfa() {
+    fn small_fanout_gets_sheng() {
+        // Not chain-shaped, counter-free, determinizes to a handful of
+        // states: the shuffle DFA takes it.
         let mut a = Automaton::new();
         let s = a.add_ste(SymbolClass::from_byte(b'a'), StartKind::AllInput);
         let t1 = a.add_ste(SymbolClass::from_byte(b'b'), StartKind::None);
@@ -227,6 +323,27 @@ mod tests {
         a.add_edge(s, t2);
         a.set_report(t1, 0);
         a.set_report(t2, 1);
+        let (choice, mut engine) = select_engine(&a).unwrap();
+        assert_eq!(choice, EngineChoice::Sheng);
+        let mut sink = CollectSink::new();
+        engine.scan(b"ab.ac.a", &mut sink);
+        assert_eq!(sink.reports().len(), 2);
+    }
+
+    #[test]
+    fn fanout_gets_lazy_dfa() {
+        // Same fan-out shape plus a 20-deep tail: more than 16 DFA
+        // states, so the DFA tier falls through to the lazy DFA.
+        let mut a = Automaton::new();
+        let s = a.add_ste(SymbolClass::from_byte(b'a'), StartKind::AllInput);
+        let t1 = a.add_ste(SymbolClass::from_byte(b'b'), StartKind::None);
+        let t2 = a.add_ste(SymbolClass::from_byte(b'c'), StartKind::None);
+        a.add_edge(s, t1);
+        a.add_edge(s, t2);
+        a.set_report(t1, 0);
+        a.set_report(t2, 1);
+        let (_, last) = a.add_chain(&[SymbolClass::from_byte(b'x'); 20], StartKind::AllInput);
+        a.set_report(last, 2);
         let (choice, _) = select_engine(&a).unwrap();
         assert_eq!(choice, EngineChoice::LazyDfa);
     }
@@ -271,6 +388,56 @@ mod tests {
         let mut sink = CollectSink::new();
         engine.scan(b"xx w000017 ab", &mut sink);
         assert_eq!(sink.reports().len(), 2);
+    }
+
+    #[test]
+    fn explained_selection_reports_the_gate_math() {
+        // The Brill shape in miniature: literals exist but gate a small
+        // minority of the states, so the weighted gate rejects the
+        // prefilter and the reason says why.
+        let mut a = Automaton::new();
+        let (_, last) = a.add_chain(
+            &b"word"
+                .iter()
+                .map(|&b| SymbolClass::from_byte(b))
+                .collect::<Vec<_>>(),
+            StartKind::AllInput,
+        );
+        a.set_report(last, 0);
+        // A large counter-guarded remainder (counters keep the DFA tier
+        // out of the race) drowns the coverage.
+        for i in 0..60u32 {
+            let s = a.add_ste(SymbolClass::from_byte(b'a'), StartKind::AllInput);
+            let c = a.add_counter(2 + i, CounterMode::Latch);
+            a.add_edge(s, c);
+            a.set_report(c, 1 + i);
+        }
+        let pf = PrefilterEngine::new(&a).unwrap();
+        assert!(pf.coverage() < prefilter_gate(&pf));
+        let (choice, reason, _) = select_session_engine_explained(&a).unwrap();
+        assert_eq!(choice, EngineChoice::Nfa);
+        assert!(
+            reason.contains("below weighted gate"),
+            "reason should explain the rejection: {reason}"
+        );
+    }
+
+    #[test]
+    fn weighted_gate_drops_with_literal_strength() {
+        // Longer minimum literals admit a thinner gated slice.
+        fn suite(len: usize) -> Automaton {
+            let mut a = Automaton::new();
+            let word: Vec<SymbolClass> = (0..len)
+                .map(|i| SymbolClass::from_byte(b'a' + (i % 3) as u8))
+                .collect();
+            let (_, last) = a.add_chain(&word, StartKind::AllInput);
+            a.set_report(last, 0);
+            a
+        }
+        let short = PrefilterEngine::new(&suite(4)).unwrap();
+        let long = PrefilterEngine::new(&suite(8)).unwrap();
+        assert!(prefilter_gate(&long) < prefilter_gate(&short));
+        assert!(prefilter_gate(&short) <= PREFILTER_COVERAGE_GATE);
     }
 
     #[test]

@@ -1,0 +1,410 @@
+//! A Sheng-style shuffle-DFA engine for machines that determinize to at
+//! most 16 states.
+//!
+//! Full subset construction is run ahead of time (unlike the lazy DFA):
+//! if the machine fits in 16 DFA states, the whole transition function
+//! for each alphabet class fits in one 16-byte vector and a step is one
+//! `pshufb` via [`azoo_simd::ShengKernel`] — no hash probes, no cache
+//! flushes, no memory-indexed dependency chain. Machines that blow the
+//! budget are rejected at compile time and fall to the lazy DFA.
+//!
+//! Reports are Moore-ized: the lazy DFA attaches report lists to
+//! *transitions*, so here each destination state is split by the report
+//! list emitted on entry, and states are numbered with reporting states
+//! at the high end. The kernel then only compares the post-step state
+//! against a threshold; mapping states back to codes (and end-of-data
+//! gating) happens on the rare hit path.
+
+use std::collections::HashMap;
+
+use azoo_core::{Automaton, ElementKind, StartKind, SymbolClass};
+use azoo_simd::ShengKernel;
+
+use crate::sink::ReportSink;
+use crate::stream::StreamingEngine;
+use crate::{Engine, EngineError};
+
+/// Largest NFA the engine will even attempt to determinize. Machines
+/// that fit 16 DFA states are tiny; the cap keeps a doomed subset
+/// construction from scanning a huge automaton's edge lists 16 times.
+pub const SHENG_MAX_NFA_STATES: usize = 512;
+
+/// Shuffle-DFA executor for small determinizable automata.
+///
+/// Does not support counter elements (same model limit as the lazy DFA).
+#[derive(Debug, Clone)]
+pub struct ShengEngine {
+    kernel: ShengKernel,
+    /// Report list `(code, eod_only)` of each DFA state, entered-on.
+    rep_of: Vec<Vec<(u32, bool)>>,
+    /// DFA states `>= threshold` carry a non-empty report list.
+    threshold: u8,
+    start: u8,
+    stream_state: u8,
+    stream_offset: u64,
+    /// End-of-data reports held back on the final symbol of a non-`eod`
+    /// feed; an empty `eod` feed emits them, new data discards them.
+    pending_eod: Vec<(u64, u32)>,
+    hits: Vec<(usize, u8)>,
+}
+
+impl ShengEngine {
+    /// Compiles `a`, or fails if it cannot run as a 16-state shuffle DFA.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::CountersUnsupported`] for counter machines,
+    /// [`EngineError::TooManyDfaStates`] when the subset construction
+    /// exceeds 16 states (or `a` exceeds [`SHENG_MAX_NFA_STATES`]), or
+    /// [`EngineError::Invalid`] if validation fails.
+    pub fn new(a: &Automaton) -> Result<Self, EngineError> {
+        a.validate()?;
+        if a.state_count() > SHENG_MAX_NFA_STATES {
+            return Err(EngineError::TooManyDfaStates);
+        }
+        let n = a.state_count();
+        let mut classes = vec![SymbolClass::EMPTY; n];
+        let mut report: Vec<Option<(u32, bool)>> = vec![None; n];
+        let mut is_always = vec![false; n];
+        let mut always = Vec::new();
+        let mut sod = Vec::new();
+        for (id, e) in a.iter() {
+            let i = id.index();
+            match &e.kind {
+                ElementKind::Counter { .. } => {
+                    return Err(EngineError::CountersUnsupported(id));
+                }
+                ElementKind::Ste { class, start } => {
+                    classes[i] = *class;
+                    match start {
+                        StartKind::None => {}
+                        StartKind::StartOfData => sod.push(i as u32),
+                        StartKind::AllInput => {
+                            is_always[i] = true;
+                            always.push(i as u32);
+                        }
+                    }
+                }
+            }
+            if let Some(code) = e.report {
+                report[i] = Some((code.0, e.report_eod_only));
+            }
+        }
+        let mut succ: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (id, _) in a.iter() {
+            for edge in a.successors(id) {
+                let t = edge.to.index();
+                if !is_always[t] {
+                    succ[id.index()].push(t as u32);
+                }
+            }
+        }
+        sod.sort_unstable();
+        sod.dedup();
+
+        // Alphabet compression, as in the lazy DFA but with u8 class ids
+        // (the kernel's `class_of` table is bytes).
+        let (class_of, class_rep) = compress_alphabet(&classes);
+        let n_classes = class_rep.len();
+
+        // Subset construction over (state set, report-list-on-entry)
+        // pairs. Splitting by report list Moore-izes the machine: every
+        // report the lazy DFA would emit on a transition is emitted here
+        // on entering the destination.
+        type Key = (Vec<u32>, Vec<(u32, bool)>);
+        let start_key: Key = (sod, Vec::new());
+        let mut intern: HashMap<Key, usize> = HashMap::new();
+        let mut states: Vec<Key> = Vec::new();
+        let mut trans: Vec<Vec<usize>> = Vec::new();
+        intern.insert(start_key.clone(), 0);
+        states.push(start_key);
+        let mut at = 0;
+        while at < states.len() {
+            let mut row = Vec::with_capacity(n_classes);
+            for &byte in class_rep.iter().take(n_classes) {
+                let mut next: Vec<u32> = Vec::new();
+                let mut reps: Vec<(u32, bool)> = Vec::new();
+                for &s in states[at].0.iter().chain(always.iter()) {
+                    let si = s as usize;
+                    if !classes[si].contains(byte) {
+                        continue;
+                    }
+                    if let Some(r) = report[si] {
+                        reps.push(r);
+                    }
+                    next.extend_from_slice(&succ[si]);
+                }
+                next.sort_unstable();
+                next.dedup();
+                reps.sort_unstable();
+                reps.dedup();
+                // An unconditional report subsumes an eod-gated one with
+                // the same code (sorted order puts `(code, false)` first).
+                reps.dedup_by_key(|&mut (code, _)| code);
+                let key = (next, reps);
+                let id = match intern.get(&key) {
+                    Some(&id) => id,
+                    None => {
+                        let id = states.len();
+                        if id >= azoo_simd::sheng::SHENG_MAX_STATES {
+                            return Err(EngineError::TooManyDfaStates);
+                        }
+                        intern.insert(key.clone(), id);
+                        states.push(key);
+                        id
+                    }
+                };
+                row.push(id);
+            }
+            trans.push(row);
+            at += 1;
+        }
+
+        // Renumber with reporting states at the high end so the kernel's
+        // threshold compare identifies them.
+        let n_dfa = states.len();
+        let mut order: Vec<usize> = (0..n_dfa).collect();
+        order.sort_by_key(|&i| !states[i].1.is_empty());
+        let mut perm = vec![0u8; n_dfa]; // old id -> new id
+        for (new, &old) in order.iter().enumerate() {
+            perm[old] = new as u8;
+        }
+        let threshold = order
+            .iter()
+            .position(|&old| !states[old].1.is_empty())
+            .unwrap_or(n_dfa) as u8;
+        let mut tables = vec![[0u8; 16]; n_classes];
+        for (old, row) in trans.iter().enumerate() {
+            for (k, &tgt) in row.iter().enumerate() {
+                tables[k][perm[old] as usize] = perm[tgt];
+            }
+        }
+        let rep_of: Vec<Vec<(u32, bool)>> =
+            order.iter().map(|&old| states[old].1.clone()).collect();
+        let start = perm[0];
+        let kernel =
+            ShengKernel::new(class_of, tables, n_dfa as u8).ok_or(EngineError::TooManyDfaStates)?;
+        Ok(ShengEngine {
+            kernel,
+            rep_of,
+            threshold,
+            start,
+            stream_state: start,
+            stream_offset: 0,
+            pending_eod: Vec::new(),
+            hits: Vec::new(),
+        })
+    }
+
+    /// Number of DFA states.
+    pub fn state_count(&self) -> usize {
+        self.kernel.state_count() as usize
+    }
+
+    /// Number of compressed alphabet classes.
+    pub fn alphabet_classes(&self) -> usize {
+        self.kernel.class_count()
+    }
+
+    fn process(
+        &mut self,
+        cur: u8,
+        input: &[u8],
+        base: u64,
+        eod: bool,
+        sink: &mut dyn ReportSink,
+    ) -> u8 {
+        let len = input.len();
+        if len > 0 {
+            self.pending_eod.clear();
+        }
+        let mut hits = std::mem::take(&mut self.hits);
+        hits.clear();
+        let end = self.kernel.scan(cur, input, self.threshold, &mut hits);
+        for &(pos, s) in &hits {
+            let last = eod && pos + 1 == len;
+            let maybe_last = !eod && pos + 1 == len;
+            for &(code, eod_only) in &self.rep_of[s as usize] {
+                if !eod_only || last {
+                    sink.report(base + pos as u64, azoo_core::ReportCode(code));
+                } else if maybe_last {
+                    self.pending_eod.push((base + pos as u64, code));
+                }
+            }
+        }
+        self.hits = hits;
+        end
+    }
+}
+
+/// Compresses the byte alphabet: bytes indistinguishable by every symbol
+/// class share a column. Returns the byte→class map and one
+/// representative byte per class.
+fn compress_alphabet(classes: &[SymbolClass]) -> ([u8; 256], Vec<u8>) {
+    let mut distinct: Vec<SymbolClass> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for c in classes {
+        if seen.insert(*c.as_words()) {
+            distinct.push(*c);
+        }
+    }
+    let mut class_of = [0u8; 256];
+    let mut n_classes = 1usize;
+    for c in &distinct {
+        let mut remap: HashMap<(u8, bool), u8> = HashMap::new();
+        let mut next = 0u8;
+        let mut new_class = [0u8; 256];
+        for b in 0..256usize {
+            let key = (class_of[b], c.contains(b as u8));
+            let id = *remap.entry(key).or_insert_with(|| {
+                let v = next;
+                next = next.wrapping_add(1);
+                v
+            });
+            new_class[b] = id;
+        }
+        class_of = new_class;
+        n_classes = remap.len();
+    }
+    let mut class_rep = vec![0u8; n_classes];
+    for b in (0..256usize).rev() {
+        class_rep[class_of[b] as usize] = b as u8;
+    }
+    (class_of, class_rep)
+}
+
+impl StreamingEngine for ShengEngine {
+    fn reset_stream(&mut self) {
+        self.stream_state = self.start;
+        self.stream_offset = 0;
+        self.pending_eod.clear();
+    }
+
+    fn stream_quiesced(&self) -> bool {
+        self.stream_offset == 0 && self.pending_eod.is_empty() && self.stream_state == self.start
+    }
+
+    fn feed(&mut self, chunk: &[u8], eod: bool, sink: &mut dyn ReportSink) {
+        let base = self.stream_offset;
+        self.stream_state = self.process(self.stream_state, chunk, base, eod, sink);
+        self.stream_offset = base + chunk.len() as u64;
+        if eod {
+            for i in 0..self.pending_eod.len() {
+                let (off, code) = self.pending_eod[i];
+                sink.report(off, azoo_core::ReportCode(code));
+            }
+            self.pending_eod.clear();
+        }
+    }
+}
+
+impl Engine for ShengEngine {
+    fn scan(&mut self, input: &[u8], sink: &mut dyn ReportSink) {
+        self.process(self.start, input, 0, true, sink);
+    }
+
+    fn name(&self) -> &'static str {
+        "sheng"
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::sink::CollectSink;
+    use crate::LazyDfaEngine;
+
+    fn abc() -> Automaton {
+        let mut a = Automaton::new();
+        let classes: Vec<SymbolClass> = b"abc".iter().map(|&b| SymbolClass::from_byte(b)).collect();
+        let (_, last) = a.add_chain(&classes, StartKind::AllInput);
+        a.set_report(last, 0);
+        a
+    }
+
+    #[test]
+    fn matches_lazy_dfa_on_simple_chain() {
+        let a = abc();
+        let mut sheng = ShengEngine::new(&a).unwrap();
+        let mut dfa = LazyDfaEngine::new(&a).unwrap();
+        let hay = b"ababcxxabcabc..abc";
+        let (mut s1, mut s2) = (CollectSink::new(), CollectSink::new());
+        sheng.scan(hay, &mut s1);
+        dfa.scan(hay, &mut s2);
+        assert_eq!(s1.reports(), s2.reports());
+        assert_eq!(s1.reports().len(), 4);
+    }
+
+    #[test]
+    fn rejects_big_machines() {
+        let mut a = Automaton::new();
+        // 20 distinct-length chains of 'x' determinize to > 16 states.
+        for len in 1..=20usize {
+            let (_, last) = a.add_chain(
+                &vec![SymbolClass::from_byte(b'x'); len],
+                StartKind::AllInput,
+            );
+            a.set_report(last, len as u32);
+        }
+        assert!(matches!(
+            ShengEngine::new(&a),
+            Err(EngineError::TooManyDfaStates)
+        ));
+    }
+
+    #[test]
+    fn streaming_matches_block_at_odd_chunk_sizes() {
+        let a = abc();
+        let hay = b"ababcxxabcabc..abcab";
+        let mut block = ShengEngine::new(&a).unwrap();
+        let mut want = CollectSink::new();
+        block.scan(hay, &mut want);
+        for chunk in [1usize, 2, 3, 7] {
+            let mut eng = ShengEngine::new(&a).unwrap();
+            eng.reset_stream();
+            let mut got = CollectSink::new();
+            let mut it = hay.chunks(chunk).peekable();
+            while let Some(part) = it.next() {
+                eng.feed(part, it.peek().is_none(), &mut got);
+            }
+            assert_eq!(got.reports(), want.reports(), "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn eod_only_reports_wait_for_end() {
+        let mut a = Automaton::new();
+        let s = a.add_ste(SymbolClass::from_byte(b'z'), StartKind::AllInput);
+        a.set_report(s, 9);
+        a.set_report_eod_only(s, true);
+        let mut eng = ShengEngine::new(&a).unwrap();
+        let mut sink = CollectSink::new();
+        eng.scan(b"azbz", &mut sink);
+        // Only the final 'z' is at end of data.
+        assert_eq!(sink.reports().len(), 1);
+        assert_eq!(sink.reports()[0].offset, 3);
+
+        // Streaming: mid-stream 'z' held back then discarded by new data.
+        eng.reset_stream();
+        let mut sink = CollectSink::new();
+        eng.feed(b"az", false, &mut sink);
+        assert!(sink.reports().is_empty());
+        eng.feed(b"bz", true, &mut sink);
+        assert_eq!(sink.reports().len(), 1);
+        assert_eq!(sink.reports()[0].offset, 3);
+    }
+
+    #[test]
+    fn quiescence_tracks_stream_state() {
+        let a = abc();
+        let mut eng = ShengEngine::new(&a).unwrap();
+        eng.reset_stream();
+        assert!(eng.stream_quiesced());
+        let mut sink = CollectSink::new();
+        eng.feed(b"ab", false, &mut sink);
+        assert!(!eng.stream_quiesced());
+        eng.reset_stream();
+        assert!(eng.stream_quiesced());
+    }
+}

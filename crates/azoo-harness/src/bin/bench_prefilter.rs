@@ -1,24 +1,80 @@
-//! Records the quiescence/prefilter before-and-after throughput for the
-//! sparse benchmarks (Snort, ClamAV, Brill) as `BENCH_prefilter.json` —
-//! the machine-readable companion to `ablation` row 6 and
+//! Records the quiescence/prefilter/SIMD before-and-after throughput for
+//! the sparse benchmarks (Snort, ClamAV, Brill) as `BENCH_prefilter.json`
+//! — the machine-readable companion to `ablation` row 6 and
 //! `bench/benches/prefilter.rs`.
 //!
-//! Three single-threaded engines per benchmark, identical report
+//! Up to five single-threaded engines per benchmark, identical report
 //! streams (asserted): the baseline NFA with the quiescent skip forced
-//! off, the quiescence-aware NFA, and the literal-prefilter engine.
+//! off, the quiescence-aware NFA, the literal-prefilter engine with its
+//! trigger pinned scalar (Aho–Corasick), the same engine with the
+//! ambient vectorized trigger (Teddy where the literal set fits — the
+//! `simd_prefilter` column, `null` when the process runs scalar), and
+//! the Sheng shuffle DFA (`null` when the machine exceeds its 16-state
+//! budget, as all three suites do). Each row also records the portfolio
+//! tier [`select_session_engine_explained`] would pick and its reason,
+//! routed through [`ReportStats::set_engine_tier`], so near-parity rows
+//! explain themselves.
 //!
-//! Usage: `bench-prefilter [--scale tiny|small|full] [--out PATH]`
+//! Usage: `bench-prefilter [--scale tiny|small|full] [--out PATH]
+//! [--simd|--no-simd]`
+//!
+//! `--no-simd` forces `AZOO_FORCE_SCALAR=1` for the whole process before
+//! the dispatch level is first probed (it is cached per process), so
+//! every kernel runs its scalar twin; `--simd` (the default) keeps
+//! runtime dispatch.
 
 #![forbid(unsafe_code)]
 #![warn(clippy::unwrap_used)]
 
-use azoo_engines::{CountSink, NfaEngine, PrefilterEngine};
+use azoo_engines::{
+    select_session_engine_explained, CollectSink, CountSink, Engine, EngineChoice, NfaEngine,
+    PrefilterEngine, ReportStats, ShengEngine,
+};
 use azoo_harness::{arg_value, scale_from_args, time_scan_with};
 use azoo_zoo::BenchmarkId;
 
+/// Best-of-3 scan time in seconds plus the (stable) report count.
+fn best_of3(engine: &mut dyn Engine, input: &[u8]) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut count = 0u64;
+    for run in 0..3 {
+        let mut sink = CountSink::new();
+        let secs = time_scan_with(engine, input, &mut sink);
+        best = best.min(secs);
+        if run > 0 {
+            assert_eq!(count, sink.count(), "nondeterministic report count");
+        }
+        count = sink.count();
+    }
+    (best, count)
+}
+
+fn tier_name(choice: EngineChoice) -> &'static str {
+    match choice {
+        EngineChoice::BitParallel => "bit-parallel",
+        EngineChoice::LazyDfa => "lazy-dfa",
+        EngineChoice::Sheng => "sheng",
+        EngineChoice::Prefilter => "prefilter",
+        EngineChoice::Nfa => "nfa",
+        EngineChoice::Parallel { .. } => "parallel",
+    }
+}
+
 fn main() {
-    let scale = scale_from_args();
     let args: Vec<String> = std::env::args().collect();
+    let no_simd = args.iter().any(|a| a == "--no-simd");
+    if no_simd && args.iter().any(|a| a == "--simd") {
+        eprintln!("--simd and --no-simd are mutually exclusive");
+        std::process::exit(2);
+    }
+    if no_simd {
+        // Must precede the first azoo_simd::level() call anywhere in the
+        // process: the dispatch level is probed once and cached.
+        std::env::set_var("AZOO_FORCE_SCALAR", "1");
+    }
+    let level = azoo_simd::level();
+    let simd_on = level > azoo_simd::SimdLevel::Scalar;
+    let scale = scale_from_args();
     let out_path = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_prefilter.json".into());
     let mut rows = Vec::new();
     for id in [BenchmarkId::Snort, BenchmarkId::ClamAv, BenchmarkId::Brill] {
@@ -26,33 +82,58 @@ fn main() {
         let window = bench.input.len().min(1 << 18);
         let input = &bench.input[..window];
 
+        // Reference stream (also the warmup) and the tier annotation.
         let mut base = NfaEngine::new(&bench.automaton).expect("valid");
         base.set_quiescent_skip(false);
-        let mut base_sink = CountSink::new();
-        let base_secs = time_scan_with(&mut base, input, &mut base_sink);
+        let mut ref_sink = CollectSink::new();
+        base.scan(input, &mut ref_sink);
+        let mut stats = ReportStats::compute(ref_sink.reports(), input.len() as u64);
+        let (choice, reason, _) = select_session_engine_explained(&bench.automaton).expect("valid");
+        stats.set_engine_tier(tier_name(choice), reason);
+
+        let (base_secs, base_count) = best_of3(&mut base, input);
+        assert_eq!(base_count, stats.total(), "{}: baseline drifted", id.name());
 
         let mut skip = NfaEngine::new(&bench.automaton).expect("valid");
-        let mut skip_sink = CountSink::new();
-        let skip_secs = time_scan_with(&mut skip, input, &mut skip_sink);
+        let (skip_secs, skip_count) = best_of3(&mut skip, input);
+        assert_eq!(base_count, skip_count, "{}: skip diverged", id.name());
 
-        let mut pf = PrefilterEngine::new(&bench.automaton).expect("valid");
-        let mut pf_sink = CountSink::new();
-        let pf_secs = time_scan_with(&mut pf, input, &mut pf_sink);
+        // Scalar-trigger prefilter: the Aho–Corasick path, regardless of
+        // host SIMD (inner kernels still follow the process level).
+        let mut pf = PrefilterEngine::with_scalar_trigger(&bench.automaton).expect("valid");
+        let (pf_secs, pf_count) = best_of3(&mut pf, input);
+        assert_eq!(base_count, pf_count, "{}: prefilter diverged", id.name());
 
-        assert_eq!(
-            base_sink.count(),
-            skip_sink.count(),
-            "{}: skip diverged",
-            id.name()
-        );
-        assert_eq!(
-            base_sink.count(),
-            pf_sink.count(),
-            "{}: prefilter diverged",
-            id.name()
-        );
+        // Ambient-trigger prefilter: only meaningful when dispatch found
+        // a vector tier.
+        let mut simd_pf = PrefilterEngine::new(&bench.automaton).expect("valid");
+        let simd_trigger = simd_pf.trigger_kind();
+        let simd_pf_secs = if simd_on {
+            let (secs, count) = best_of3(&mut simd_pf, input);
+            assert_eq!(base_count, count, "{}: simd prefilter diverged", id.name());
+            Some(secs)
+        } else {
+            None
+        };
+
+        let sheng_secs = match ShengEngine::new(&bench.automaton) {
+            Ok(mut sheng) => {
+                let (secs, count) = best_of3(&mut sheng, input);
+                assert_eq!(base_count, count, "{}: sheng diverged", id.name());
+                Some(secs)
+            }
+            Err(_) => None,
+        };
 
         let mbps = |secs: f64| input.len() as f64 / secs / 1e6;
+        let opt_mbps = |secs: Option<f64>| match secs {
+            Some(s) => format!("{:.3}", mbps(s)),
+            None => "null".into(),
+        };
+        let opt_speedup = |secs: Option<f64>| match secs {
+            Some(s) => format!("{:.2}", base_secs / s),
+            None => "null".into(),
+        };
         rows.push(format!(
             concat!(
                 "    {{\n",
@@ -60,46 +141,66 @@ fn main() {
                 "      \"input_bytes\": {},\n",
                 "      \"reports\": {},\n",
                 "      \"prefilter_coverage\": {:.4},\n",
+                "      \"selected_tier\": \"{}\",\n",
+                "      \"tier_reason\": \"{}\",\n",
+                "      \"simd_trigger\": \"{}\",\n",
                 "      \"baseline_mbps\": {:.3},\n",
                 "      \"quiescent_skip_mbps\": {:.3},\n",
                 "      \"prefilter_mbps\": {:.3},\n",
+                "      \"simd_prefilter_mbps\": {},\n",
+                "      \"sheng_mbps\": {},\n",
                 "      \"skip_speedup\": {:.2},\n",
-                "      \"prefilter_speedup\": {:.2}\n",
+                "      \"prefilter_speedup\": {:.2},\n",
+                "      \"simd_prefilter_speedup\": {}\n",
                 "    }}"
             ),
             id.name(),
             input.len(),
-            base_sink.count(),
+            base_count,
             pf.coverage(),
+            stats.engine_tier().unwrap_or("?"),
+            stats.tier_reason().unwrap_or("?"),
+            simd_trigger,
             mbps(base_secs),
             mbps(skip_secs),
             mbps(pf_secs),
+            opt_mbps(simd_pf_secs),
+            opt_mbps(sheng_secs),
             base_secs / skip_secs,
             base_secs / pf_secs,
+            opt_speedup(simd_pf_secs),
         ));
         eprintln!(
-            "{}: baseline {:.3} MB/s, skip {:.3} MB/s ({:.2}x), prefilter {:.3} MB/s ({:.2}x)",
+            "{}: baseline {:.3} MB/s, skip {:.3} MB/s, prefilter {:.3} MB/s, simd {} MB/s ({} trigger), sheng {} MB/s [{}]",
             id.name(),
             mbps(base_secs),
             mbps(skip_secs),
-            base_secs / skip_secs,
             mbps(pf_secs),
-            base_secs / pf_secs,
+            opt_mbps(simd_pf_secs),
+            simd_trigger,
+            opt_mbps(sheng_secs),
+            stats.tier_reason().unwrap_or("?"),
         );
     }
     let scale_name = format!("{scale:?}").to_lowercase();
     let json = format!(
         concat!(
             "{{\n",
-            "  \"artifact\": \"quiescent skip + literal prefilter throughput (DESIGN.md 6d)\",\n",
-            "  \"command\": \"cargo run --release -p azoo-harness --bin bench-prefilter -- --scale {}\",\n",
+            "  \"artifact\": \"quiescent skip + literal prefilter + SIMD throughput (DESIGN.md 6d, 6i)\",\n",
+            "  \"version\": 2,\n",
+            "  \"command\": \"cargo run --release -p azoo-harness --bin bench-prefilter -- --scale {}{}\",\n",
             "  \"scale\": \"{}\",\n",
             "  \"threads\": 1,\n",
+            "  \"simd\": {},\n",
+            "  \"simd_level\": \"{}\",\n",
             "  \"rows\": [\n{}\n  ]\n",
             "}}\n"
         ),
         scale_name,
+        if no_simd { " --no-simd" } else { "" },
         scale_name,
+        simd_on,
+        format!("{level:?}").to_lowercase(),
         rows.join(",\n")
     );
     std::fs::write(&out_path, &json).expect("writable output path");

@@ -12,7 +12,7 @@
 use azoo_core::Automaton;
 use azoo_engines::{
     BitParallelEngine, CollectSink, Engine, EngineError, LazyDfaEngine, NfaEngine, ParallelScanner,
-    PrefilterEngine, StreamingEngine,
+    PrefilterEngine, ShengEngine, StreamingEngine,
 };
 
 /// One normalized report: `(offset, code)`.
@@ -33,8 +33,17 @@ pub enum EngineKind {
     },
     /// Bit-parallel Shift-And (chain-shaped automata only).
     BitPar,
-    /// Literal-prefilter gated engine.
+    /// Literal-prefilter gated engine with the ambient trigger (the
+    /// vectorized Teddy scanner when the literal set fits and the host
+    /// has SIMD, Aho–Corasick otherwise).
     Prefilter,
+    /// Literal-prefilter engine with the trigger pinned to the scalar
+    /// Aho–Corasick matcher. Divergence between this and [`Prefilter`]
+    /// is exactly a Teddy trigger bug.
+    PrefilterScalarTrigger,
+    /// Sheng-style shuffle DFA (machines determinizing to at most 16
+    /// states).
+    Sheng,
     /// Multi-threaded component/chunk scanner.
     Parallel {
         /// Worker thread count.
@@ -58,6 +67,8 @@ impl EngineKind {
             EngineKind::LazyDfa { max_states: 17 },
             EngineKind::BitPar,
             EngineKind::Prefilter,
+            EngineKind::PrefilterScalarTrigger,
+            EngineKind::Sheng,
             EngineKind::Parallel {
                 threads: 2,
                 prefilter: false,
@@ -79,6 +90,8 @@ impl EngineKind {
             EngineKind::LazyDfa { max_states } => format!("lazydfa:{max_states}"),
             EngineKind::BitPar => "bitpar".into(),
             EngineKind::Prefilter => "prefilter".into(),
+            EngineKind::PrefilterScalarTrigger => "prefilter-scalar".into(),
+            EngineKind::Sheng => "sheng".into(),
             EngineKind::Parallel {
                 threads,
                 prefilter: false,
@@ -110,6 +123,8 @@ impl EngineKind {
             }),
             "bitpar" if arg.is_none() => Some(EngineKind::BitPar),
             "prefilter" if arg.is_none() => Some(EngineKind::Prefilter),
+            "prefilter-scalar" if arg.is_none() => Some(EngineKind::PrefilterScalarTrigger),
+            "sheng" if arg.is_none() => Some(EngineKind::Sheng),
             "parallel" => Some(EngineKind::Parallel {
                 threads: num(2)?,
                 prefilter: false,
@@ -133,10 +148,11 @@ impl EngineKind {
 }
 
 enum Inner {
-    Nfa(NfaEngine),
-    LazyDfa(LazyDfaEngine),
+    Nfa(Box<NfaEngine>),
+    LazyDfa(Box<LazyDfaEngine>),
     BitPar(BitParallelEngine),
     Prefilter(PrefilterEngine),
+    Sheng(ShengEngine),
     Parallel(ParallelScanner),
 }
 
@@ -155,26 +171,32 @@ impl EngineUnderTest {
     /// generator bug, not an engine bug.
     pub fn build(kind: EngineKind, a: &Automaton) -> Result<Option<Self>, EngineError> {
         let built = match kind {
-            EngineKind::NfaSkip => NfaEngine::new(a).map(Inner::Nfa),
+            EngineKind::NfaSkip => NfaEngine::new(a).map(|e| Inner::Nfa(Box::new(e))),
             EngineKind::NfaNoSkip => NfaEngine::new(a).map(|mut e| {
                 e.set_quiescent_skip(false);
-                Inner::Nfa(e)
+                Inner::Nfa(Box::new(e))
             }),
-            EngineKind::LazyDfa { max_states: 0 } => LazyDfaEngine::new(a).map(Inner::LazyDfa),
+            EngineKind::LazyDfa { max_states: 0 } => {
+                LazyDfaEngine::new(a).map(|e| Inner::LazyDfa(Box::new(e)))
+            }
             EngineKind::LazyDfa { max_states } => {
-                LazyDfaEngine::with_max_states(a, max_states).map(Inner::LazyDfa)
+                LazyDfaEngine::with_max_states(a, max_states).map(|e| Inner::LazyDfa(Box::new(e)))
             }
             EngineKind::BitPar => BitParallelEngine::new(a).map(Inner::BitPar),
             EngineKind::Prefilter => PrefilterEngine::new(a).map(Inner::Prefilter),
+            EngineKind::PrefilterScalarTrigger => {
+                PrefilterEngine::with_scalar_trigger(a).map(Inner::Prefilter)
+            }
+            EngineKind::Sheng => ShengEngine::new(a).map(Inner::Sheng),
             EngineKind::Parallel { threads, prefilter } => {
                 ParallelScanner::with_prefilter(a, threads, prefilter).map(Inner::Parallel)
             }
         };
         match built {
             Ok(inner) => Ok(Some(EngineUnderTest { kind, inner })),
-            Err(EngineError::CountersUnsupported(_)) | Err(EngineError::NotChainShaped(_)) => {
-                Ok(None)
-            }
+            Err(EngineError::CountersUnsupported(_))
+            | Err(EngineError::NotChainShaped(_))
+            | Err(EngineError::TooManyDfaStates) => Ok(None),
             Err(e) => Err(e),
         }
     }
@@ -186,20 +208,22 @@ impl EngineUnderTest {
 
     fn as_engine(&mut self) -> &mut dyn Engine {
         match &mut self.inner {
-            Inner::Nfa(e) => e,
-            Inner::LazyDfa(e) => e,
+            Inner::Nfa(e) => &mut **e,
+            Inner::LazyDfa(e) => &mut **e,
             Inner::BitPar(e) => e,
             Inner::Prefilter(e) => e,
+            Inner::Sheng(e) => e,
             Inner::Parallel(e) => e,
         }
     }
 
     fn as_streaming(&mut self) -> &mut dyn StreamingEngine {
         match &mut self.inner {
-            Inner::Nfa(e) => e,
-            Inner::LazyDfa(e) => e,
+            Inner::Nfa(e) => &mut **e,
+            Inner::LazyDfa(e) => &mut **e,
             Inner::BitPar(e) => e,
             Inner::Prefilter(e) => e,
+            Inner::Sheng(e) => e,
             Inner::Parallel(e) => e,
         }
     }

@@ -43,7 +43,7 @@ pub use dead::remove_dead;
 pub use input_map::InputMap;
 pub use merge::{merge_prefixes, merge_suffixes, MergeStats};
 pub use partition::partition;
-pub use prefilter::{prefilter_plan, PrefilterComponent, PrefilterPlan};
+pub use prefilter::{prefilter_plan, PrefilterComponent, PrefilterPlan, MIN_STRONG_LITERAL};
 pub use reduce::{
     quotient_simulation, reduce, residual_merge, simulation_partition, ReduceStats,
     RESIDUAL_COMPONENT_CAP,

@@ -17,8 +17,16 @@
 //! [`Automaton::retain_states`] per component, which would be
 //! quadratic in the suite size).
 
-use azoo_core::stats::{prefilter_analysis, ComponentPrefilter};
+use azoo_core::stats::{prefilter_analysis, ComponentPrefilter, RequiredLiteral};
 use azoo_core::{stats::component_labels, Automaton, Port};
+
+/// Shortest required factor worth triggering on. Shorter factors hit so
+/// often that windowed simulation costs more than fully simulating the
+/// component in the fallback remainder — unless the factor is the
+/// component's *entire* match (single factor, `before == after == 0`,
+/// spanning the longest path, one non-eod report state), in which case
+/// trigger hits are reports and cost nothing beyond the scan.
+pub const MIN_STRONG_LITERAL: usize = 4;
 
 /// One prefilterable component, detached into its own automaton.
 #[derive(Debug, Clone)]
@@ -28,9 +36,9 @@ pub struct PrefilterComponent {
     /// Longest start-rooted path in states: a match reported at offset
     /// `p` began no earlier than `p - (window - 1)`.
     pub window: usize,
-    /// Required literals; every match of this component contains one of
-    /// them ending exactly at the match offset.
-    pub literals: Vec<Vec<u8>>,
+    /// Required factors; every match of this component contains one of
+    /// them, located by the factor's `before`/`after` span geometry.
+    pub literals: Vec<RequiredLiteral>,
 }
 
 /// The full prefilter plan for an automaton.
@@ -50,6 +58,12 @@ pub struct PrefilterPlan {
     pub fallback_states: usize,
     /// States in dropped (never-reporting) components.
     pub dropped_states: usize,
+    /// Components the analysis passed but the plan demoted to the
+    /// fallback because their factors are too short to trigger on
+    /// (their states are included in `fallback_states`).
+    pub demoted_components: usize,
+    /// States in demoted components.
+    pub demoted_states: usize,
 }
 
 impl PrefilterPlan {
@@ -79,12 +93,25 @@ pub fn prefilter_plan(a: &Automaton) -> PrefilterPlan {
     let analysis = prefilter_analysis(a);
     let labels = component_labels(a);
 
+    // Per-component report shape, for the exact-match carve-out of the
+    // short-factor demotion rule (component index == label).
+    let mut rep_count = vec![0usize; analysis.len()];
+    let mut rep_eod = vec![false; analysis.len()];
+    for (id, e) in a.iter() {
+        if e.report.is_some() {
+            rep_count[labels[id.index()]] += 1;
+            rep_eod[labels[id.index()]] |= e.report_eod_only;
+        }
+    }
+
     let mut bucket_of = Vec::with_capacity(analysis.len());
     let mut components = Vec::new();
     let mut prefiltered_states = 0usize;
     let mut fallback_states = 0usize;
     let mut dropped_states = 0usize;
-    for cp in &analysis {
+    let mut demoted_components = 0usize;
+    let mut demoted_states = 0usize;
+    for (ci, cp) in analysis.iter().enumerate() {
         match &cp.literals {
             Some(lits) if !cp.reporting => {
                 debug_assert!(lits.is_empty());
@@ -92,13 +119,27 @@ pub fn prefilter_plan(a: &Automaton) -> PrefilterPlan {
                 dropped_states += cp.states;
             }
             Some(lits) => {
-                bucket_of.push(Bucket::Component(components.len()));
-                prefiltered_states += cp.states;
-                components.push(PrefilterComponent {
-                    automaton: Automaton::new(),
-                    window: cp.window.unwrap_or(0),
-                    literals: lits.clone(),
-                });
+                let window = cp.window.unwrap_or(0);
+                let exact = matches!(
+                    lits.as_slice(),
+                    [l] if l.before == 0 && l.after == 0 && l.bytes.len() == window
+                ) && rep_count[ci] == 1
+                    && !rep_eod[ci];
+                let min_len = lits.iter().map(|l| l.bytes.len()).min().unwrap_or(0);
+                if !exact && min_len < MIN_STRONG_LITERAL {
+                    bucket_of.push(Bucket::Fallback);
+                    fallback_states += cp.states;
+                    demoted_components += 1;
+                    demoted_states += cp.states;
+                } else {
+                    bucket_of.push(Bucket::Component(components.len()));
+                    prefiltered_states += cp.states;
+                    components.push(PrefilterComponent {
+                        automaton: Automaton::new(),
+                        window,
+                        literals: lits.clone(),
+                    });
+                }
             }
             None => {
                 bucket_of.push(Bucket::Fallback);
@@ -146,6 +187,8 @@ pub fn prefilter_plan(a: &Automaton) -> PrefilterPlan {
         prefiltered_states,
         fallback_states,
         dropped_states,
+        demoted_components,
+        demoted_states,
     }
 }
 

@@ -1,0 +1,202 @@
+//! Wake-byte search: find the first byte of a haystack that belongs to a
+//! byte set.
+//!
+//! The NFA engine's quiescent-skip fast path repeatedly asks "where is the
+//! next byte that can wake the empty active set?". [`ByteFinder`] answers
+//! it: small sets use `memchr`-style scans (SSE2 compare loops with SWAR
+//! twins), arbitrary sets use a Truffle-style two-`pshufb` classifier with
+//! a table-scan twin.
+
+use crate::{scalar, SimdLevel};
+
+/// A Truffle-style byte-set classifier: 256 membership bits packed as two
+/// 16-column nibble tables.
+///
+/// `lo_half[l]` holds bit `h` for byte `(h << 4) | l` when `h < 8`;
+/// `hi_half[l]` holds bit `h - 8` for `h >= 8`. A byte is a member when
+/// the probe bit `1 << (h & 7)` is set in its column.
+#[derive(Debug, Clone)]
+pub struct ByteSet {
+    lo_half: [u8; 16],
+    hi_half: [u8; 16],
+    table: [bool; 256],
+}
+
+impl ByteSet {
+    /// Builds the classifier for the given member bytes.
+    pub fn new(members: impl IntoIterator<Item = u8>) -> ByteSet {
+        let mut set = ByteSet {
+            lo_half: [0; 16],
+            hi_half: [0; 16],
+            table: [false; 256],
+        };
+        for b in members {
+            let (hi, lo) = (b >> 4, (b & 0x0f) as usize);
+            if hi < 8 {
+                set.lo_half[lo] |= 1 << hi;
+            } else {
+                set.hi_half[lo] |= 1 << (hi - 8);
+            }
+            set.table[b as usize] = true;
+        }
+        set
+    }
+
+    /// True when `b` is a member.
+    pub fn contains(&self, b: u8) -> bool {
+        self.table[b as usize]
+    }
+}
+
+/// First-member-byte search with runtime dispatch.
+///
+/// Build once from the wake set, then call [`find`](ByteFinder::find) per
+/// scan. The variant is chosen by set size; the implementation (vector or
+/// scalar twin) by [`crate::level`].
+#[derive(Debug, Clone)]
+pub enum ByteFinder {
+    /// The empty set: never matches.
+    Never,
+    /// The full set: matches at index 0 of any non-empty haystack.
+    Always,
+    /// One-byte set.
+    One(u8),
+    /// Two-byte set.
+    Two(u8, u8),
+    /// Three-byte set.
+    Three(u8, u8, u8),
+    /// Arbitrary set.
+    Set(Box<ByteSet>),
+}
+
+impl ByteFinder {
+    /// Builds a finder for the given member bytes (duplicates are fine).
+    pub fn from_bytes(members: &[u8]) -> ByteFinder {
+        let mut seen = [false; 256];
+        let mut uniq = Vec::new();
+        for &b in members {
+            if !seen[b as usize] {
+                seen[b as usize] = true;
+                uniq.push(b);
+            }
+        }
+        match *uniq.as_slice() {
+            [] => ByteFinder::Never,
+            [a] => ByteFinder::One(a),
+            [a, b] => ByteFinder::Two(a, b),
+            [a, b, c] => ByteFinder::Three(a, b, c),
+            _ if uniq.len() == 256 => ByteFinder::Always,
+            _ => ByteFinder::Set(Box::new(ByteSet::new(uniq))),
+        }
+    }
+
+    /// Index of the first member byte in `hay`, using the process-wide
+    /// dispatch level.
+    pub fn find(&self, hay: &[u8]) -> Option<usize> {
+        self.find_with(crate::level(), hay)
+    }
+
+    /// As [`find`](ByteFinder::find) with an explicit level (clamped to
+    /// host support); differential tests pin both sides through this.
+    pub fn find_with(&self, level: SimdLevel, hay: &[u8]) -> Option<usize> {
+        let level = crate::supported(level);
+        match self {
+            ByteFinder::Never => None,
+            ByteFinder::Always => {
+                if hay.is_empty() {
+                    None
+                } else {
+                    Some(0)
+                }
+            }
+            #[cfg(target_arch = "x86_64")]
+            ByteFinder::One(a) if level > SimdLevel::Scalar => {
+                crate::x86::memchr_up_to3(&[*a], hay)
+            }
+            #[cfg(target_arch = "x86_64")]
+            ByteFinder::Two(a, b) if level > SimdLevel::Scalar => {
+                crate::x86::memchr_up_to3(&[*a, *b], hay)
+            }
+            #[cfg(target_arch = "x86_64")]
+            ByteFinder::Three(a, b, c) if level > SimdLevel::Scalar => {
+                crate::x86::memchr_up_to3(&[*a, *b, *c], hay)
+            }
+            #[cfg(target_arch = "x86_64")]
+            ByteFinder::Set(s) if level > SimdLevel::Scalar => {
+                crate::x86::truffle(&s.lo_half, &s.hi_half, hay)
+            }
+            ByteFinder::One(a) => scalar::memchr(*a, hay),
+            ByteFinder::Two(a, b) => scalar::memchr2(*a, *b, hay),
+            ByteFinder::Three(a, b, c) => scalar::memchr3(*a, *b, *c, hay),
+            ByteFinder::Set(s) => scalar::find_in_table(&s.table, hay),
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+mod tests {
+    use super::*;
+
+    const LEVELS: [SimdLevel; 3] = [SimdLevel::Scalar, SimdLevel::Ssse3, SimdLevel::Avx2];
+
+    fn naive(members: &[u8], hay: &[u8]) -> Option<usize> {
+        hay.iter().position(|b| members.contains(b))
+    }
+
+    #[test]
+    fn all_variants_match_naive_at_all_levels() {
+        let hay: Vec<u8> = (0u32..400)
+            .map(|i| (i.wrapping_mul(37) % 256) as u8)
+            .collect();
+        let sets: [&[u8]; 6] = [
+            &[],
+            &[7],
+            &[7, 200],
+            &[7, 200, 0],
+            &[1, 2, 3, 4, 5, 0x80, 0xff, 0x90],
+            &[0, 0x7f, 0x80, 0x8f, 0xf0, 0xff],
+        ];
+        for set in sets {
+            let f = ByteFinder::from_bytes(set);
+            for start in 0..64 {
+                let h = &hay[start..];
+                let want = naive(set, h);
+                for level in LEVELS {
+                    assert_eq!(f.find_with(level, h), want, "set {set:?} start {start}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn always_and_never() {
+        let all: Vec<u8> = (0u16..256).map(|b| b as u8).collect();
+        assert!(matches!(ByteFinder::from_bytes(&all), ByteFinder::Always));
+        assert_eq!(ByteFinder::from_bytes(&all).find(b"x"), Some(0));
+        assert_eq!(ByteFinder::from_bytes(&all).find(b""), None);
+        assert_eq!(ByteFinder::from_bytes(&[]).find(b"xyz"), None);
+    }
+
+    #[test]
+    fn set_membership_every_byte() {
+        // A set crossing the 0x80 pshufb boundary, checked at every byte
+        // value and position within a block.
+        let members: Vec<u8> = (0u16..256)
+            .filter(|b| b % 5 == 0)
+            .map(|b| b as u8)
+            .collect();
+        let f = ByteFinder::from_bytes(&members);
+        for b in 0u16..=255 {
+            let mut hay = vec![1u8; 40]; // 1 is not a member (1 % 5 != 0)
+            for at in [0, 7, 15, 16, 17, 31, 32, 39] {
+                hay[at] = b as u8;
+                let want = naive(&members, &hay);
+                for level in LEVELS {
+                    assert_eq!(f.find_with(level, &hay), want, "byte {b} at {at}");
+                }
+                hay[at] = 1;
+            }
+        }
+    }
+}

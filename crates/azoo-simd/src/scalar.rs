@@ -1,17 +1,17 @@
-//! Hand-rolled byte search: SWAR `memchr`/`memchr2`/`memchr3` plus a
-//! table-driven skip loop.
+//! Portable scalar twins of the vector kernels.
 //!
-//! The workspace vendors no `memchr` crate, and the quiescent-skip fast
-//! path needs exactly these primitives: find the next byte (out of a
-//! small set, or out of an arbitrary 256-entry table) that can wake an
-//! empty active set.
+//! These are the reference implementations: safe on every target, selected
+//! at runtime when the host lacks the required CPU features (or when
+//! `AZOO_FORCE_SCALAR=1`), and asserted byte-identical to the intrinsic
+//! kernels by the differential tests. The byte searches are SWAR (eight
+//! bytes per step in a `u64`), the rest are plain loops.
 
 const LO: u64 = 0x0101_0101_0101_0101;
 const HI: u64 = 0x8080_8080_8080_8080;
 
 #[inline]
 fn splat(b: u8) -> u64 {
-    LO * b as u64
+    LO * u64::from(b)
 }
 
 /// Sets `0x80` in every byte of `x` that is zero. Borrow propagation can
@@ -24,6 +24,7 @@ fn zero_bytes(x: u64) -> u64 {
 }
 
 #[inline]
+#[allow(clippy::cast_possible_truncation)]
 fn first_index(mask: u64, off: usize) -> usize {
     // Words are loaded little-endian, so the lowest set bit is the
     // earliest byte regardless of host endianness.

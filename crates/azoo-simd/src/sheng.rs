@@ -1,0 +1,218 @@
+//! A Sheng-style shuffle-DFA stepper for machines with at most 16 states.
+//!
+//! When a determinized machine fits in 16 states, the entire transition
+//! function for one symbol class fits in a single 16-byte vector:
+//! `tables[class][s]` is the successor of state `s`. Splatting the current
+//! state across all lanes and executing `pshufb(tables[class], splat(s))`
+//! both steps the DFA *and* re-splats the new state — one instruction per
+//! input byte, no memory-indexed load in the dependency chain. This is the
+//! "Sheng" trick from Hyperscan.
+//!
+//! # Reporting
+//!
+//! The kernel is deliberately dumb about reports: callers number their
+//! states so every *reporting* state has an id `>= threshold`, and the
+//! kernel pushes `(index, state)` whenever the post-step state clears the
+//! threshold. Mapping states back to report codes (and end-of-data-only
+//! handling) stays in the engine layer.
+//!
+//! # Dispatch
+//!
+//! The SSSE3 kernel serves both the [`SimdLevel::Ssse3`] and
+//! [`SimdLevel::Avx2`] tiers: the state is a single lane, so wider vectors
+//! buy nothing — a 256-bit shuffle cannot shorten the serial
+//! state-to-state dependency chain. The scalar twin is a plain
+//! table-walk, byte-identical by construction.
+
+use crate::SimdLevel;
+
+/// Maximum number of DFA states the kernel can represent.
+pub const SHENG_MAX_STATES: usize = 16;
+
+/// A compiled shuffle-DFA transition table.
+#[derive(Debug, Clone)]
+pub struct ShengKernel {
+    class_of: [u8; 256],
+    tables: Vec<[u8; 16]>,
+    n_states: u8,
+}
+
+impl ShengKernel {
+    /// Builds a kernel, or `None` if the shape is invalid: zero or more
+    /// than 16 states, no classes, a `class_of` entry out of range, or a
+    /// transition target out of range. Lanes `>= n_states` of each table
+    /// are ignored by valid scans but must still be `< n_states` so an
+    /// out-of-range state can never be produced.
+    pub fn new(class_of: [u8; 256], tables: Vec<[u8; 16]>, n_states: u8) -> Option<ShengKernel> {
+        if n_states == 0 || n_states as usize > SHENG_MAX_STATES || tables.is_empty() {
+            return None;
+        }
+        if class_of.iter().any(|&c| c as usize >= tables.len()) {
+            return None;
+        }
+        if tables.iter().any(|t| t.iter().any(|&s| s >= n_states)) {
+            return None;
+        }
+        Some(ShengKernel {
+            class_of,
+            tables,
+            n_states,
+        })
+    }
+
+    /// Number of DFA states.
+    pub fn state_count(&self) -> u8 {
+        self.n_states
+    }
+
+    /// Number of symbol classes.
+    pub fn class_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Steps one byte from `state`.
+    pub fn step(&self, state: u8, byte: u8) -> u8 {
+        debug_assert!(state < self.n_states);
+        self.tables[self.class_of[byte as usize] as usize][state as usize]
+    }
+
+    /// Scans `hay` from `state` using the process-wide dispatch level.
+    ///
+    /// For every position `i` whose *post-step* state `s` satisfies
+    /// `s >= threshold`, pushes `(i, s)` onto `hits`. Returns the state
+    /// after the last byte.
+    pub fn scan(&self, state: u8, hay: &[u8], threshold: u8, hits: &mut Vec<(usize, u8)>) -> u8 {
+        self.scan_with(crate::level(), state, hay, threshold, hits)
+    }
+
+    /// As [`scan`](ShengKernel::scan) with an explicit level (clamped to
+    /// host support); differential tests pin both sides through this.
+    pub fn scan_with(
+        &self,
+        level: SimdLevel,
+        state: u8,
+        hay: &[u8],
+        threshold: u8,
+        hits: &mut Vec<(usize, u8)>,
+    ) -> u8 {
+        assert!(state < self.n_states, "start state out of range");
+        let level = crate::supported(level);
+        #[cfg(target_arch = "x86_64")]
+        if level > SimdLevel::Scalar {
+            return crate::x86::sheng_scan_ssse3(
+                &self.tables,
+                &self.class_of,
+                state,
+                hay,
+                threshold,
+                hits,
+            );
+        }
+        let _ = level;
+        let mut cur = state;
+        for (i, &b) in hay.iter().enumerate() {
+            cur = self.tables[self.class_of[b as usize] as usize][cur as usize];
+            if cur >= threshold {
+                hits.push((i, cur));
+            }
+        }
+        cur
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+mod tests {
+    use super::*;
+
+    const LEVELS: [SimdLevel; 3] = [SimdLevel::Scalar, SimdLevel::Ssse3, SimdLevel::Avx2];
+
+    /// DFA matching the literal "abc": states 0..=2 are chain progress,
+    /// state 3 (the only reporting state) means "just saw abc".
+    fn abc_kernel() -> ShengKernel {
+        let mut class_of = [0u8; 256]; // class 0: other
+        class_of[b'a' as usize] = 1;
+        class_of[b'b' as usize] = 2;
+        class_of[b'c' as usize] = 3;
+        let mut tables = vec![[0u8; 16]; 4];
+        // On 'a' every state goes to 1; on 'b' only state 1 advances to 2;
+        // on 'c' only state 2 advances to 3; everything else resets.
+        tables[1] = [1; 16];
+        tables[2][1] = 2;
+        tables[3][2] = 3;
+        ShengKernel::new(class_of, tables, 4).unwrap()
+    }
+
+    #[test]
+    fn rejects_invalid_shapes() {
+        assert!(ShengKernel::new([0; 256], vec![[0; 16]], 0).is_none());
+        assert!(ShengKernel::new([0; 256], vec![[0; 16]], 17).is_none());
+        assert!(ShengKernel::new([0; 256], vec![], 4).is_none());
+        assert!(ShengKernel::new([1; 256], vec![[0; 16]], 4).is_none()); // class oob
+        assert!(ShengKernel::new([0; 256], vec![[9; 16]], 4).is_none()); // target oob
+        assert!(ShengKernel::new([0; 256], vec![[0; 16]], 16).is_some());
+    }
+
+    #[test]
+    fn finds_abc_at_all_levels() {
+        let k = abc_kernel();
+        let hay = b"xxabcxabababcabc";
+        for level in LEVELS {
+            let mut hits = Vec::new();
+            let end = k.scan_with(level, 0, hay, 3, &mut hits);
+            assert_eq!(hits, vec![(4, 3), (12, 3), (15, 3)], "level {level:?}");
+            assert_eq!(end, 3);
+        }
+    }
+
+    #[test]
+    fn random_dfa_differential() {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0x5eed);
+        for trial in 0..50 {
+            let n_states = rng.random_range(1..=16u8);
+            let n_classes = rng.random_range(1..=8usize);
+            let mut class_of = [0u8; 256];
+            for c in &mut class_of {
+                *c = rng.random_range(0..n_classes) as u8;
+            }
+            let tables: Vec<[u8; 16]> = (0..n_classes)
+                .map(|_| std::array::from_fn(|_| rng.random_range(0..n_states)))
+                .collect();
+            let k = ShengKernel::new(class_of, tables, n_states).unwrap();
+            let len = rng.random_range(0..300);
+            let hay: Vec<u8> = (0..len).map(|_| rng.random()).collect();
+            let threshold = rng.random_range(0..=n_states);
+            let start = rng.random_range(0..n_states);
+
+            let mut want = Vec::new();
+            let want_end = k.scan_with(SimdLevel::Scalar, start, &hay, threshold, &mut want);
+            for level in [SimdLevel::Ssse3, SimdLevel::Avx2] {
+                let mut got = Vec::new();
+                let end = k.scan_with(level, start, &hay, threshold, &mut got);
+                assert_eq!(got, want, "trial {trial} level {level:?}");
+                assert_eq!(end, want_end, "trial {trial}");
+            }
+        }
+    }
+
+    #[test]
+    fn state_carries_across_chunked_scans() {
+        let k = abc_kernel();
+        let hay = b"xxabcxabababcabc";
+        for level in LEVELS {
+            for chunk in [1usize, 3, 7] {
+                let mut hits = Vec::new();
+                let mut s = 0u8;
+                let mut base = 0usize;
+                for part in hay.chunks(chunk) {
+                    let mut local = Vec::new();
+                    s = k.scan_with(level, s, part, 3, &mut local);
+                    hits.extend(local.into_iter().map(|(i, st)| (base + i, st)));
+                    base += part.len();
+                }
+                assert_eq!(hits, vec![(4, 3), (12, 3), (15, 3)], "chunk {chunk}");
+            }
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! A Teddy-style multi-literal prefilter.
+//!
+//! Teddy (from Hyperscan, popularised by the `aho-corasick` crate) packs
+//! the leading bytes of a small literal set into per-position *nibble
+//! masks*: for mask position `j`, `lo[j][n]` is the bitset of *buckets*
+//! containing a pattern whose byte `j` has low nibble `n` (`hi[j]`
+//! likewise for high nibbles). A byte's candidate-bucket bits are then
+//! `lo[j][b & 15] & hi[j][b >> 4]` — two `pshufb`s evaluate this for 16
+//! bytes at once — and AND-ing the per-position results (each shifted to a
+//! common anchor) leaves only positions where some bucket matches on all
+//! mask positions. Candidates are confirmed by comparing the bucket's
+//! patterns against the haystack.
+//!
+//! This implementation uses 1–3 mask positions (the shorter of 3 and the
+//! shortest pattern), eight buckets, and anchors candidates at the *last*
+//! mask byte so earlier positions shift in from the previous block's
+//! carry — a start is never reported before enough bytes exist to check.
+//!
+//! # Output contract
+//!
+//! [`Teddy::find`] reports every `(start, pattern)` occurrence whose full
+//! pattern lies inside the haystack, in nondecreasing `start` order —
+//! exactly the occurrence set an Aho–Corasick scan of the same patterns
+//! produces (modulo order). Verification makes false candidates
+//! unobservable; the scalar twin evaluates the same mask algebra so the
+//! candidate *semantics* (not just the confirmed matches) agree across
+//! levels.
+
+use crate::SimdLevel;
+
+/// Maximum number of patterns; beyond this the nibble masks saturate and
+/// candidate density destroys the advantage over an automaton scan.
+pub const TEDDY_MAX_PATTERNS: usize = 64;
+
+/// Number of buckets (bits in a candidate byte).
+const BUCKETS: usize = 8;
+
+/// One confirmed occurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TeddyMatch {
+    /// Start index of the occurrence in the haystack.
+    pub start: usize,
+    /// Pattern index as passed to [`Teddy::new`].
+    pub pattern: u32,
+}
+
+/// Nibble masks in plain-array form (shared with the intrinsic kernels).
+#[cfg(target_arch = "x86_64")]
+pub(crate) use crate::x86::TeddyMasks;
+
+/// Portable stand-in so the type exists off x86 too.
+#[cfg(not(target_arch = "x86_64"))]
+#[derive(Debug, Clone)]
+pub(crate) struct TeddyMasks {
+    pub lo: [[u8; 16]; 3],
+    pub hi: [[u8; 16]; 3],
+    pub mask_len: usize,
+}
+
+/// A compiled Teddy scanner.
+#[derive(Debug, Clone)]
+pub struct Teddy {
+    masks: TeddyMasks,
+    /// Patterns per bucket as `(pattern_index, bytes)`.
+    buckets: Vec<Vec<(u32, Vec<u8>)>>,
+    min_len: usize,
+    /// Scratch: `(anchor_position, bucket_bits)` candidates.
+    cand: Vec<(usize, u8)>,
+}
+
+impl Teddy {
+    /// Compiles a scanner for `patterns`, or `None` when the set is
+    /// unsuitable: empty, more than [`TEDDY_MAX_PATTERNS`] entries, or any
+    /// pattern shorter than 2 bytes (1-byte needles belong in
+    /// [`crate::ByteFinder`]).
+    pub fn new<P: AsRef<[u8]>>(patterns: &[P]) -> Option<Teddy> {
+        if patterns.is_empty() || patterns.len() > TEDDY_MAX_PATTERNS {
+            return None;
+        }
+        let min_len = patterns.iter().map(|p| p.as_ref().len()).min().unwrap_or(0);
+        if min_len < 2 {
+            return None;
+        }
+        let mask_len = min_len.min(3);
+
+        // Bucket assignment: group patterns sharing a mask prefix into the
+        // same bucket (they produce identical candidate bits anyway), and
+        // spread distinct prefixes round-robin.
+        // Cap checked above: at most TEDDY_MAX_PATTERNS (64) patterns.
+        #[allow(clippy::cast_possible_truncation)]
+        let mut order: Vec<u32> = (0..patterns.len() as u32).collect();
+        order.sort_by_key(|&i| patterns[i as usize].as_ref());
+        let mut buckets: Vec<Vec<(u32, Vec<u8>)>> = vec![Vec::new(); BUCKETS];
+        let mut prev_prefix: Option<&[u8]> = None;
+        let mut next_bucket = 0usize;
+        for &i in &order {
+            let p = patterns[i as usize].as_ref();
+            let prefix = &p[..mask_len];
+            let bucket = match prev_prefix {
+                Some(q) if q == prefix => (next_bucket + BUCKETS - 1) % BUCKETS,
+                _ => {
+                    let b = next_bucket;
+                    next_bucket = (next_bucket + 1) % BUCKETS;
+                    prev_prefix = Some(prefix);
+                    b
+                }
+            };
+            buckets[bucket].push((i, p.to_vec()));
+        }
+
+        let mut masks = TeddyMasks {
+            lo: [[0; 16]; 3],
+            hi: [[0; 16]; 3],
+            mask_len,
+        };
+        for (b, members) in buckets.iter().enumerate() {
+            for (_, p) in members {
+                for (j, &byte) in p[..mask_len].iter().enumerate() {
+                    masks.lo[j][(byte & 0x0f) as usize] |= 1 << b;
+                    masks.hi[j][(byte >> 4) as usize] |= 1 << b;
+                }
+            }
+        }
+
+        Some(Teddy {
+            masks,
+            buckets,
+            min_len,
+            cand: Vec::new(),
+        })
+    }
+
+    /// Shortest pattern length.
+    pub fn min_len(&self) -> usize {
+        self.min_len
+    }
+
+    /// Number of mask positions in use (2 or 3).
+    pub fn mask_len(&self) -> usize {
+        self.masks.mask_len
+    }
+
+    /// Finds all occurrences using the process-wide dispatch level.
+    pub fn find(&mut self, hay: &[u8], out: &mut Vec<TeddyMatch>) {
+        self.find_with(crate::level(), hay, out);
+    }
+
+    /// As [`find`](Teddy::find) with an explicit level (clamped to host
+    /// support); differential tests pin both sides through this.
+    pub fn find_with(&mut self, level: SimdLevel, hay: &[u8], out: &mut Vec<TeddyMatch>) {
+        let level = crate::supported(level);
+        let mut cand = std::mem::take(&mut self.cand);
+        cand.clear();
+        let covered = match level {
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Avx2 => crate::x86::teddy_candidates_avx2(&self.masks, hay, &mut cand),
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Ssse3 => crate::x86::teddy_candidates_ssse3(&self.masks, hay, &mut cand),
+            _ => 0,
+        };
+        // Scalar twin over whatever the vector kernel did not cover: the
+        // same per-position nibble-mask algebra, anchored at the last mask
+        // byte. Starting `mask_len - 1` before the covered boundary
+        // re-anchors without re-reporting (anchors below `covered` were
+        // already emitted by the kernel).
+        let ml = self.masks.mask_len;
+        for p in covered.max(ml - 1)..hay.len() {
+            let mut bits = 0xffu8;
+            for j in 0..ml {
+                let b = hay[p + 1 - ml + j];
+                bits &= self.masks.lo[j][(b & 0x0f) as usize] & self.masks.hi[j][(b >> 4) as usize];
+                if bits == 0 {
+                    break;
+                }
+            }
+            if bits != 0 {
+                cand.push((p, bits));
+            }
+        }
+
+        for &(p, bits) in &cand {
+            let start = p + 1 - ml;
+            let mut b = bits;
+            while b != 0 {
+                let bucket = b.trailing_zeros() as usize;
+                b &= b - 1;
+                for (idx, pat) in &self.buckets[bucket] {
+                    if hay[start..].len() >= pat.len() && hay[start..start + pat.len()] == pat[..] {
+                        out.push(TeddyMatch {
+                            start,
+                            pattern: *idx,
+                        });
+                    }
+                }
+            }
+        }
+        // Candidates arrive anchor-ordered from both the kernel and the
+        // tail loop, and anchor order equals start order (fixed mask_len).
+        debug_assert!(out.windows(2).all(|w| w[0].start <= w[1].start));
+        self.cand = cand;
+    }
+}
+
+/// Reference finder used by tests: every occurrence of every pattern.
+#[cfg(test)]
+#[allow(clippy::cast_possible_truncation)] // pattern count capped well below u32::MAX
+fn naive_find<P: AsRef<[u8]>>(patterns: &[P], hay: &[u8]) -> Vec<TeddyMatch> {
+    let mut out = Vec::new();
+    for start in 0..hay.len() {
+        for (i, p) in patterns.iter().enumerate() {
+            let p = p.as_ref();
+            if hay[start..].len() >= p.len() && &hay[start..start + p.len()] == p {
+                out.push(TeddyMatch {
+                    start,
+                    pattern: i as u32,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+mod tests {
+    use super::*;
+
+    const LEVELS: [SimdLevel; 3] = [SimdLevel::Scalar, SimdLevel::Ssse3, SimdLevel::Avx2];
+
+    fn sorted(mut v: Vec<TeddyMatch>) -> Vec<TeddyMatch> {
+        v.sort_unstable();
+        v
+    }
+
+    fn check_all_levels<P: AsRef<[u8]>>(patterns: &[P], hay: &[u8]) {
+        let want = sorted(naive_find(patterns, hay));
+        let mut teddy = Teddy::new(patterns).expect("buildable");
+        for level in LEVELS {
+            let mut got = Vec::new();
+            teddy.find_with(level, hay, &mut got);
+            assert_eq!(sorted(got), want, "level {level:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_unsuitable_sets() {
+        assert!(Teddy::new::<&[u8]>(&[]).is_none());
+        assert!(Teddy::new(&[b"x".as_slice()]).is_none());
+        assert!(Teddy::new(&[b"ok".as_slice(), b"y".as_slice()]).is_none());
+        let many: Vec<Vec<u8>> = (0..65u32).map(|i| i.to_le_bytes().to_vec()).collect();
+        assert!(Teddy::new(&many).is_none());
+        assert!(Teddy::new(&[b"ab".as_slice()]).is_some());
+    }
+
+    #[test]
+    fn finds_simple_literals() {
+        let patterns: &[&[u8]] = &[b"abc", b"xyz", b"abq"];
+        let hay = b"..abc..xyzabc_abq..ab.xy.";
+        check_all_levels(patterns, hay);
+    }
+
+    #[test]
+    fn two_byte_masks_and_short_patterns() {
+        let patterns: &[&[u8]] = &[b"ab", b"ba", b"aa"];
+        let hay = b"aababbaaab";
+        check_all_levels(patterns, hay);
+    }
+
+    #[test]
+    fn overlapping_and_shared_prefixes() {
+        let patterns: &[&[u8]] = &[b"aaa", b"aaaa", b"aab", b"aa"];
+        let hay = b"aaaaaaabaaab";
+        check_all_levels(patterns, hay);
+    }
+
+    #[test]
+    fn block_boundaries_every_offset() {
+        // A match placed at every offset across several 16/32-byte block
+        // boundaries, including the carry lanes.
+        let patterns: &[&[u8]] = &[b"needle", b"ndl"];
+        for at in 0..80 {
+            let mut hay = vec![b'.'; 96];
+            hay[at..at + 6].copy_from_slice(b"needle");
+            check_all_levels(patterns, &hay);
+        }
+    }
+
+    #[test]
+    fn matches_longer_than_masks_verify() {
+        let patterns: &[&[u8]] = &[b"abcdefgh", b"abcdzzzz"];
+        let mut hay = vec![b'a'; 64];
+        hay.extend_from_slice(b"abcdefgh");
+        hay.extend_from_slice(b"abcdzzzzabcde");
+        check_all_levels(patterns, &hay);
+    }
+
+    #[test]
+    fn high_bytes_and_binary_patterns() {
+        let patterns: &[&[u8]] = &[&[0xff, 0x00, 0x80], &[0x80, 0x81], &[0x00, 0x00]];
+        let mut hay = Vec::new();
+        for i in 0..200u32 {
+            hay.push((i.wrapping_mul(131)) as u8);
+        }
+        hay.extend_from_slice(&[0xff, 0x00, 0x80, 0x81, 0x00, 0x00, 0x00]);
+        check_all_levels(patterns, &hay);
+    }
+
+    #[test]
+    fn sixty_four_patterns_ok() {
+        let patterns: Vec<Vec<u8>> = (0..64u32)
+            .map(|i| vec![b'a' + (i % 26) as u8, b'A' + (i / 26) as u8, (i % 7) as u8])
+            .collect();
+        let mut hay = Vec::new();
+        for p in &patterns {
+            hay.extend_from_slice(p);
+            hay.push(b'.');
+        }
+        check_all_levels(&patterns, &hay);
+    }
+
+    #[test]
+    fn empty_and_tiny_haystacks() {
+        let patterns: &[&[u8]] = &[b"abc"];
+        for hay in [&b""[..], b"a", b"ab", b"abc", b"xabc"] {
+            check_all_levels(patterns, hay);
+        }
+    }
+}

@@ -18,6 +18,7 @@
 //! * [`engines`] — NFA / lazy-DFA / bit-parallel engines ([`azoo_engines`])
 //! * [`oracle`] — cross-engine differential testing oracle ([`azoo_oracle`])
 //! * [`serve`] — multi-tenant streaming scan service ([`azoo_serve`])
+//! * [`simd`] — vectorized scanning kernels with runtime CPU dispatch ([`azoo_simd`])
 //! * [`workloads`] — seeded input generators ([`azoo_workloads`])
 //! * [`ml`] — decision trees & random forests ([`azoo_ml`])
 //! * [`zoo`] — the 24 benchmarks ([`azoo_zoo`])
@@ -56,5 +57,6 @@ pub use azoo_oracle as oracle;
 pub use azoo_passes as passes;
 pub use azoo_regex as regex;
 pub use azoo_serve as serve;
+pub use azoo_simd as simd;
 pub use azoo_workloads as workloads;
 pub use azoo_zoo as zoo;
