@@ -1,0 +1,1324 @@
+//! SFA-style speculative chunk scanning for hard shards.
+//!
+//! [`ParallelScanner`](crate::ParallelScanner) chunks the input for
+//! counter-free, acyclic, unanchored shards by re-scanning a bounded
+//! overlap window. The remaining shards — counters, cycles,
+//! `StartOfData` anchors — used to degrade to one whole-input job. This
+//! module removes that fallback with the construction of *simultaneous
+//! finite automata* (Sin'ya & Matsuzaki): a worker scans its chunk
+//! **speculatively from every reachable entry configuration at once**
+//! and records a transfer summary — which exit configuration, which
+//! reports and which counter pulses each entry would produce — and
+//! summaries compose left-to-right, so the true entry configuration
+//! (known only once the previous chunk resolves) selects the real
+//! outcome without rescanning.
+//!
+//! Rather than one scan per entry state, [`FrontierScanner::summarize`]
+//! runs a single *tagged* sparse simulation: each state carries a small
+//! bitmask recording which entry states would have activated it. Bit 0
+//! is the *base* tag — activity every entry shares, namely whatever the
+//! `AllInput` start states generate — and each *frontier* state (a
+//! possible chunk-entry state: a `StartOfData` seed or any state with an
+//! incoming activate edge) owns one further bit. NFA activation is a
+//! union-linear function of the entry set, so OR-ing masks along
+//! activations is exact. That linearity breaks only if a counter's
+//! *output* feeds back into the state layer — whether a counter fires
+//! depends non-linearly on the whole pulse history — so this module
+//! requires every counter to be *terminal* (report-only, no successors);
+//! [`ParallelScanner`](crate::ParallelScanner) routes components with
+//! non-terminal counters to a whole-input fallback sub-shard instead.
+//!
+//! Counter soundness across seams: with terminal counters, every
+//! enable/reset pulse is produced and consumed within one symbol cycle,
+//! so no pulse straddles a chunk boundary. A summary therefore records,
+//! per cycle and counter, the masked enable and reset lines; the stitch
+//! replays the pulse sequence against the counter's true running value
+//! (reset wins, one count per cycle, latch/pulse/roll fire semantics)
+//! and resolves counter reports only then.
+//!
+//! Tags live in per-*component* spaces that share the same mask words:
+//! edges never cross weakly-connected components, so a bit position can
+//! be reused by every component simultaneously and the stitch selector
+//! is built per component. Masks are capped at [`MAX_TAG_WORDS`] words;
+//! a component with more frontier states than tag bits is *sampled*
+//! (its lowest-numbered frontier states get tags) and any chunk whose
+//! true entry contains an untagged state of that component is verified
+//! by an exact re-scan of just that component during the stitch —
+//! speculation with a verified fallback, never an approximation.
+//!
+//! Report streams here are *not* deduplicated per cycle (unlike
+//! [`NfaEngine`](crate::NfaEngine)); callers sort and dedup the merged
+//! stream, which restores the canonical one-report-per-`(offset, code)`
+//! form.
+
+use azoo_core::stats::{component_labels, reachable_from_starts};
+use azoo_core::{Automaton, CounterMode, ElementKind, ReportCode, StartKind, SymbolClass};
+
+use azoo_simd::ByteFinder;
+
+use crate::sink::Report;
+use crate::EngineError;
+
+const PORT_BIT: u32 = 1 << 31;
+const TAG_NONE: u32 = u32::MAX;
+/// Mask words per state are capped at 4 (255 frontier tags plus the
+/// base bit); larger frontiers are sampled and verified on stitch.
+const MAX_TAG_WORDS: usize = 4;
+
+#[derive(Debug, Clone)]
+struct CounterDef {
+    target: u32,
+    mode: CounterMode,
+}
+
+/// Compiled speculative scanner for one shard's taggable components.
+///
+/// Immutable after construction: workers summarize chunks against it
+/// concurrently, each with its own [`FrontierScratch`]; all mutable
+/// stream state lives in [`SpecConfig`] values owned by the caller.
+#[derive(Debug, Clone)]
+pub(crate) struct FrontierScanner {
+    n: usize,
+    /// Mask words per state (1..=[`MAX_TAG_WORDS`]).
+    w: usize,
+    n_comps: usize,
+    classes: Vec<SymbolClass>,
+    report_code: Vec<u32>,
+    has_report: Vec<bool>,
+    report_eod: Vec<bool>,
+    is_always: Vec<bool>,
+    is_counter: Vec<bool>,
+    counter_idx: Vec<u32>,
+    // CSR adjacency; top bit of a target marks the reset port.
+    succ_off: Vec<u32>,
+    succ_tgt: Vec<u32>,
+    sod_list: Vec<u32>,
+    // CSR of `AllInput` states matching each byte value.
+    always_off: Vec<u32>,
+    always_dat: Vec<u32>,
+    /// `AllInput` states per component, for component-filtered re-scans.
+    comp_always: Vec<Vec<u32>>,
+    counters: Vec<CounterDef>,
+    counter_elem_ids: Vec<u32>,
+    comp_of: Vec<u32>,
+    /// Tag index per state (1-based within its component's tag space);
+    /// [`TAG_NONE`] for states that can never be a chunk entry, and for
+    /// unsampled frontier states of oversized components.
+    tag_of: Vec<u32>,
+    /// All tagged states, in seeding order.
+    frontier: Vec<u32>,
+    /// Components whose frontier overflowed the tag space.
+    sampled: Vec<bool>,
+    wake: ByteFinder,
+}
+
+/// A resolved stream configuration: the true active set and counter
+/// state at a chunk boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct SpecConfig {
+    /// Dynamically active states, sorted and deduplicated.
+    pub(crate) active: Vec<u32>,
+    pub(crate) counts: Vec<u32>,
+    pub(crate) latched: Vec<bool>,
+}
+
+#[derive(Debug, Clone)]
+struct SumReport {
+    cycle: u32,
+    comp: u32,
+    code: u32,
+}
+
+#[derive(Debug, Clone)]
+struct SumCand {
+    comp: u32,
+    code: u32,
+}
+
+#[derive(Debug, Clone)]
+struct SumPulse {
+    cycle: u32,
+    ci: u32,
+}
+
+/// One chunk's transfer summary: entry-conditional exit configuration,
+/// report events, held-back end-of-data candidates, and counter pulses.
+/// Masks are arenas with stride `w` (`2 * w` for pulses: enable then
+/// reset).
+#[derive(Debug, Clone)]
+pub(crate) struct ChunkSummary {
+    len: usize,
+    last: bool,
+    maybe_last: bool,
+    exit_states: Vec<u32>,
+    exit_masks: Vec<u64>,
+    reports: Vec<SumReport>,
+    report_masks: Vec<u64>,
+    cands: Vec<SumCand>,
+    cand_masks: Vec<u64>,
+    pulses: Vec<SumPulse>,
+    pulse_masks: Vec<u64>,
+}
+
+/// Reusable per-worker runtime state for [`FrontierScanner`] passes.
+#[derive(Debug, Clone)]
+pub(crate) struct FrontierScratch {
+    cur: Vec<u32>,
+    next: Vec<u32>,
+    stamp: Vec<u32>,
+    generation: u32,
+    cur_masks: Vec<u64>,
+    next_masks: Vec<u64>,
+    cnt_enable_mask: Vec<u64>,
+    cnt_reset_mask: Vec<u64>,
+    cnt_enable: Vec<bool>,
+    cnt_reset: Vec<bool>,
+    cnt_touched: Vec<bool>,
+    touched: Vec<u32>,
+    // Stitch-phase selector state.
+    sigma: Vec<u64>,
+    rescan: Vec<bool>,
+}
+
+impl FrontierScratch {
+    fn begin(&mut self) {
+        self.cur.clear();
+        self.next.clear();
+        debug_assert!(self.touched.is_empty());
+        debug_assert!(!self.cnt_touched.iter().any(|&t| t));
+    }
+
+    fn bump_generation(&mut self) -> u32 {
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            self.stamp.fill(u32::MAX);
+            self.generation = 1;
+        }
+        self.generation
+    }
+}
+
+fn or_into(dst: &mut [u64], src: &[u64]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d |= s;
+    }
+}
+
+fn intersects(a: &[u64], b: &[u64]) -> bool {
+    a.iter().zip(b).any(|(x, y)| x & y != 0)
+}
+
+impl FrontierScanner {
+    /// Compiles the speculative sub-automaton `a` (every counter must be
+    /// terminal — checked by the caller, asserted here in debug builds).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Invalid`] if `a` fails
+    /// [`Automaton::validate`].
+    pub(crate) fn new(a: &Automaton) -> Result<Self, EngineError> {
+        a.validate()?;
+        let n = a.state_count();
+        let mut classes = vec![SymbolClass::EMPTY; n];
+        let mut report_code = vec![0u32; n];
+        let mut has_report = vec![false; n];
+        let mut report_eod = vec![false; n];
+        let mut is_always = vec![false; n];
+        let mut is_counter = vec![false; n];
+        let mut counter_idx = vec![u32::MAX; n];
+        let mut sod_list = Vec::new();
+        let mut counters = Vec::new();
+        let mut counter_elem_ids = Vec::new();
+        let mut always = Vec::new();
+        for (id, e) in a.iter() {
+            let i = id.index();
+            if let Some(code) = e.report {
+                report_code[i] = code.0;
+                has_report[i] = true;
+            }
+            report_eod[i] = e.report_eod_only;
+            match &e.kind {
+                ElementKind::Ste { class, start } => {
+                    classes[i] = *class;
+                    match start {
+                        StartKind::None => {}
+                        StartKind::StartOfData => sod_list.push(i as u32),
+                        StartKind::AllInput => {
+                            is_always[i] = true;
+                            always.push(i as u32);
+                        }
+                    }
+                }
+                ElementKind::Counter { target, mode } => {
+                    debug_assert!(
+                        a.successors(id).is_empty(),
+                        "speculative scanning requires terminal counters"
+                    );
+                    is_counter[i] = true;
+                    counter_idx[i] = counters.len() as u32;
+                    counter_elem_ids.push(i as u32);
+                    counters.push(CounterDef {
+                        target: *target,
+                        mode: *mode,
+                    });
+                }
+            }
+        }
+        let mut succ_off = Vec::with_capacity(n + 1);
+        let mut succ_tgt = Vec::with_capacity(a.edge_count());
+        succ_off.push(0);
+        for (id, _) in a.iter() {
+            for edge in a.successors(id) {
+                let mut t = edge.to.index() as u32;
+                if edge.port == azoo_core::Port::Reset {
+                    t |= PORT_BIT;
+                }
+                succ_tgt.push(t);
+            }
+            succ_off.push(succ_tgt.len() as u32);
+        }
+        let mut always_off = Vec::with_capacity(257);
+        let mut always_dat = Vec::new();
+        let mut wake = SymbolClass::EMPTY;
+        always_off.push(0);
+        for b in 0..=255u8 {
+            for &s in &always {
+                if classes[s as usize].contains(b) {
+                    always_dat.push(s);
+                }
+            }
+            always_off.push(always_dat.len() as u32);
+        }
+        for &s in &always {
+            wake = wake.union(&classes[s as usize]);
+        }
+
+        // Dense component ids.
+        let labels = component_labels(a);
+        let mut distinct: Vec<usize> = labels.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let n_comps = distinct.len();
+        let comp_of: Vec<u32> = labels
+            .iter()
+            .map(|l| distinct.binary_search(l).map_or(0, |i| i as u32))
+            .collect();
+        let mut comp_always = vec![Vec::new(); n_comps];
+        for &s in &always {
+            comp_always[comp_of[s as usize] as usize].push(s);
+        }
+
+        // Frontier: states that can appear in a chunk-entry active set —
+        // `StartOfData` seeds plus any non-always, non-counter state
+        // with an incoming activate edge — restricted to states
+        // reachable from a start (unreachable ones are never entered, so
+        // tagging them would waste bits and seed dead work).
+        let reach = reachable_from_starts(a);
+        let mut activatable = vec![false; n];
+        for (id, _) in a.iter() {
+            for edge in a.successors(id) {
+                let t = edge.to.index();
+                if edge.port == azoo_core::Port::Activate && !is_counter[t] && !is_always[t] {
+                    activatable[t] = true;
+                }
+            }
+        }
+        for &s in &sod_list {
+            activatable[s as usize] = true;
+        }
+        let mut per_comp: Vec<Vec<u32>> = vec![Vec::new(); n_comps];
+        for s in 0..n {
+            if activatable[s] && reach[s] {
+                per_comp[comp_of[s] as usize].push(s as u32);
+            }
+        }
+        let max_f = per_comp.iter().map(Vec::len).max().unwrap_or(0);
+        let w = (max_f.min(MAX_TAG_WORDS * 64 - 1) + 1).div_ceil(64).max(1);
+        let max_tags = w * 64 - 1;
+        let mut tag_of = vec![TAG_NONE; n];
+        let mut frontier = Vec::new();
+        let mut sampled = vec![false; n_comps];
+        for (c, states) in per_comp.iter().enumerate() {
+            sampled[c] = states.len() > max_tags;
+            for (j, &s) in states.iter().take(max_tags).enumerate() {
+                tag_of[s as usize] = (j + 1) as u32;
+                frontier.push(s);
+            }
+        }
+
+        Ok(FrontierScanner {
+            n,
+            w,
+            n_comps,
+            classes,
+            report_code,
+            has_report,
+            report_eod,
+            is_always,
+            is_counter,
+            counter_idx,
+            succ_off,
+            succ_tgt,
+            sod_list,
+            always_off,
+            always_dat,
+            comp_always,
+            counters,
+            counter_elem_ids,
+            comp_of,
+            tag_of,
+            frontier,
+            sampled,
+            wake: ByteFinder::from_bytes(&wake.iter().collect::<Vec<u8>>()),
+        })
+    }
+
+    /// Components whose frontier overflowed the tag space (their chunks
+    /// may need verified re-scans during the stitch).
+    pub(crate) fn sampled_comp_count(&self) -> usize {
+        self.sampled.iter().filter(|&&s| s).count()
+    }
+
+    /// The stream-start configuration: `StartOfData` seeds active,
+    /// every counter at zero.
+    pub(crate) fn initial_config(&self) -> SpecConfig {
+        SpecConfig {
+            active: self.sod_list.clone(),
+            counts: vec![0; self.counters.len()],
+            latched: vec![false; self.counters.len()],
+        }
+    }
+
+    /// Whether `cfg` equals the freshly-reset stream configuration.
+    pub(crate) fn quiesced(&self, cfg: &SpecConfig) -> bool {
+        cfg.active == self.sod_list
+            && cfg.counts.iter().all(|&c| c == 0)
+            && !cfg.latched.iter().any(|&l| l)
+    }
+
+    /// Runs the tagged speculative pass over `chunk`, producing its
+    /// transfer summary. `last` marks the final subchunk of an
+    /// end-of-data feed, `maybe_last` the final subchunk of a non-eod
+    /// feed (both gate end-of-data reports at the chunk's last cycle).
+    pub(crate) fn summarize(
+        &self,
+        scratch: &mut FrontierScratch,
+        chunk: &[u8],
+        last: bool,
+        maybe_last: bool,
+    ) -> ChunkSummary {
+        debug_assert!(chunk.len() < u32::MAX as usize);
+        let w = self.w;
+        let len = chunk.len();
+        let mut sum = ChunkSummary {
+            len,
+            last,
+            maybe_last,
+            exit_states: Vec::new(),
+            exit_masks: Vec::new(),
+            reports: Vec::new(),
+            report_masks: Vec::new(),
+            cands: Vec::new(),
+            cand_masks: Vec::new(),
+            pulses: Vec::new(),
+            pulse_masks: Vec::new(),
+        };
+        scratch.begin();
+        // Seed every tagged frontier state with its own tag: the pass
+        // simulates all entry hypotheses at once.
+        for &q in &self.frontier {
+            scratch.cur.push(q);
+            let m = &mut scratch.cur_masks[q as usize * w..][..w];
+            m.fill(0);
+            let t = self.tag_of[q as usize] as usize;
+            m[t / 64] |= 1u64 << (t % 64);
+        }
+        let mut pos = 0usize;
+        while pos < len {
+            // Quiescent skip: counters here are terminal, so a latch
+            // cannot create activity; with the dynamic set empty only an
+            // `AllInput` start can matter, and only on a wake byte.
+            if scratch.cur.is_empty() {
+                let skipped = self.wake.find(&chunk[pos..]).unwrap_or(len - pos);
+                pos += skipped;
+                if pos == len {
+                    break;
+                }
+            }
+            let c = chunk[pos];
+            let last_sym = last && pos + 1 == len;
+            let maybe_sym = maybe_last && pos + 1 == len;
+            let gen = scratch.bump_generation();
+            let cycle_start = sum.reports.len();
+            let mut m = [0u64; MAX_TAG_WORDS];
+            for i in 0..scratch.cur.len() {
+                let s = scratch.cur[i] as usize;
+                if !self.classes[s].contains(c) {
+                    continue;
+                }
+                m[..w].copy_from_slice(&scratch.cur_masks[s * w..][..w]);
+                if self.has_report[s] {
+                    self.record_summary_report(
+                        s,
+                        &m[..w],
+                        pos as u32,
+                        last_sym,
+                        maybe_sym,
+                        cycle_start,
+                        &mut sum,
+                    );
+                }
+                self.activate_masked(scratch, s, &m[..w], gen);
+            }
+            // Always-enabled start states carry the base tag alone.
+            m = [0u64; MAX_TAG_WORDS];
+            m[0] = 1;
+            let lo = self.always_off[c as usize] as usize;
+            let hi = self.always_off[c as usize + 1] as usize;
+            for ai in lo..hi {
+                let s = self.always_dat[ai] as usize;
+                if self.has_report[s] {
+                    self.record_summary_report(
+                        s,
+                        &m[..w],
+                        pos as u32,
+                        last_sym,
+                        maybe_sym,
+                        cycle_start,
+                        &mut sum,
+                    );
+                }
+                self.activate_masked(scratch, s, &m[..w], gen);
+            }
+            // Drain counter pulses: one event per touched counter per
+            // cycle (terminal counters settle within the cycle, so no
+            // pulse ever crosses a chunk seam).
+            for ti in 0..scratch.touched.len() {
+                let ci = scratch.touched[ti] as usize;
+                sum.pulses.push(SumPulse {
+                    cycle: pos as u32,
+                    ci: ci as u32,
+                });
+                sum.pulse_masks
+                    .extend_from_slice(&scratch.cnt_enable_mask[ci * w..][..w]);
+                sum.pulse_masks
+                    .extend_from_slice(&scratch.cnt_reset_mask[ci * w..][..w]);
+                scratch.cnt_enable_mask[ci * w..][..w].fill(0);
+                scratch.cnt_reset_mask[ci * w..][..w].fill(0);
+                scratch.cnt_touched[ci] = false;
+            }
+            scratch.touched.clear();
+            std::mem::swap(&mut scratch.cur, &mut scratch.next);
+            std::mem::swap(&mut scratch.cur_masks, &mut scratch.next_masks);
+            scratch.next.clear();
+            pos += 1;
+        }
+        for &s in &scratch.cur {
+            sum.exit_states.push(s);
+            sum.exit_masks
+                .extend_from_slice(&scratch.cur_masks[s as usize * w..][..w]);
+        }
+        scratch.cur.clear();
+        sum
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn record_summary_report(
+        &self,
+        s: usize,
+        mask: &[u64],
+        cycle: u32,
+        last_sym: bool,
+        maybe_sym: bool,
+        cycle_start: usize,
+        sum: &mut ChunkSummary,
+    ) {
+        let w = self.w;
+        let code = self.report_code[s];
+        let comp = self.comp_of[s];
+        if self.report_eod[s] && !last_sym {
+            if maybe_sym {
+                for (i, cd) in sum.cands.iter().enumerate() {
+                    if cd.comp == comp && cd.code == code {
+                        or_into(&mut sum.cand_masks[i * w..][..w], mask);
+                        return;
+                    }
+                }
+                sum.cands.push(SumCand { comp, code });
+                sum.cand_masks.extend_from_slice(mask);
+            }
+            return;
+        }
+        // Merge same-(component, code) events within a cycle so a
+        // report is emitted once no matter how many tagged states claim
+        // it; cross-component duplicates collapse in the final dedup.
+        for i in cycle_start..sum.reports.len() {
+            if sum.reports[i].comp == comp && sum.reports[i].code == code {
+                or_into(&mut sum.report_masks[i * w..][..w], mask);
+                return;
+            }
+        }
+        sum.reports.push(SumReport { cycle, comp, code });
+        sum.report_masks.extend_from_slice(mask);
+    }
+
+    fn activate_masked(&self, scratch: &mut FrontierScratch, s: usize, m: &[u64], gen: u32) {
+        let w = self.w;
+        let lo = self.succ_off[s] as usize;
+        let hi = self.succ_off[s + 1] as usize;
+        for ei in lo..hi {
+            let raw = self.succ_tgt[ei];
+            let reset = raw & PORT_BIT != 0;
+            let t = (raw & !PORT_BIT) as usize;
+            if self.is_counter[t] {
+                let ci = self.counter_idx[t] as usize;
+                if !scratch.cnt_touched[ci] {
+                    scratch.cnt_touched[ci] = true;
+                    scratch.touched.push(ci as u32);
+                }
+                if reset {
+                    or_into(&mut scratch.cnt_reset_mask[ci * w..][..w], m);
+                } else {
+                    or_into(&mut scratch.cnt_enable_mask[ci * w..][..w], m);
+                }
+            } else if !self.is_always[t] {
+                if scratch.stamp[t] != gen {
+                    scratch.stamp[t] = gen;
+                    scratch.next.push(t as u32);
+                    scratch.next_masks[t * w..][..w].copy_from_slice(m);
+                } else {
+                    or_into(&mut scratch.next_masks[t * w..][..w], m);
+                }
+            }
+        }
+    }
+
+    /// One counter cycle against concrete state: reset wins, a counter
+    /// counts at most once per cycle, and firing follows the mode
+    /// (latch holds, pulse saturates, roll wraps). Returns whether the
+    /// counter fired. Mirrors `NfaEngine::settle_counters` minus the
+    /// successor drive (counters here are terminal).
+    fn step_counter(
+        &self,
+        ci: usize,
+        enable: bool,
+        reset: bool,
+        counts: &mut [u32],
+        latched: &mut [bool],
+    ) -> bool {
+        let target = self.counters[ci].target;
+        if reset {
+            counts[ci] = 0;
+            latched[ci] = false;
+            return false;
+        }
+        if enable && counts[ci] < target {
+            counts[ci] += 1;
+            if counts[ci] == target {
+                match self.counters[ci].mode {
+                    CounterMode::Latch => latched[ci] = true,
+                    CounterMode::Pulse => {}
+                    CounterMode::Roll => counts[ci] = 0,
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    fn emit(
+        &self,
+        s: usize,
+        apos: u64,
+        last_sym: bool,
+        maybe_sym: bool,
+        out: &mut Vec<Report>,
+        pending: &mut Vec<(u64, u32)>,
+    ) {
+        let code = self.report_code[s];
+        if self.report_eod[s] && !last_sym {
+            if maybe_sym {
+                pending.push((apos, code));
+            }
+            return;
+        }
+        out.push(Report {
+            offset: apos,
+            code: ReportCode(code),
+        });
+    }
+
+    /// Exact concrete simulation of `chunk` from a known entry: used for
+    /// the first subchunk of every feed (whose entry configuration *is*
+    /// known) and for stitch-time verification of sampled components.
+    /// With `comp = Some(c)` only component `c` is simulated (the entry
+    /// must be restricted to it).
+    ///
+    /// Reports land in `out` with absolute offsets (`base` + cycle),
+    /// held-back end-of-data candidates in `pending`, and the exit
+    /// active set is appended to `exit_active` (unsorted). Counter state
+    /// is updated in place.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_exact(
+        &self,
+        scratch: &mut FrontierScratch,
+        comp: Option<u32>,
+        entry: &[u32],
+        counts: &mut [u32],
+        latched: &mut [bool],
+        chunk: &[u8],
+        base: u64,
+        last: bool,
+        maybe_last: bool,
+        out: &mut Vec<Report>,
+        pending: &mut Vec<(u64, u32)>,
+        exit_active: &mut Vec<u32>,
+    ) {
+        scratch.begin();
+        scratch.cur.extend_from_slice(entry);
+        let len = chunk.len();
+        let mut pos = 0usize;
+        while pos < len {
+            if scratch.cur.is_empty() {
+                // The global wake set is a superset of any component's,
+                // so the skip stays exact under a component filter.
+                let skipped = self.wake.find(&chunk[pos..]).unwrap_or(len - pos);
+                pos += skipped;
+                if pos == len {
+                    break;
+                }
+            }
+            let c = chunk[pos];
+            let apos = base + pos as u64;
+            let last_sym = last && pos + 1 == len;
+            let maybe_sym = maybe_last && pos + 1 == len;
+            let gen = scratch.bump_generation();
+            for i in 0..scratch.cur.len() {
+                let s = scratch.cur[i] as usize;
+                if !self.classes[s].contains(c) {
+                    continue;
+                }
+                if self.has_report[s] {
+                    self.emit(s, apos, last_sym, maybe_sym, out, pending);
+                }
+                self.activate_concrete(scratch, s, gen);
+            }
+            match comp {
+                None => {
+                    let lo = self.always_off[c as usize] as usize;
+                    let hi = self.always_off[c as usize + 1] as usize;
+                    for ai in lo..hi {
+                        let s = self.always_dat[ai] as usize;
+                        if self.has_report[s] {
+                            self.emit(s, apos, last_sym, maybe_sym, out, pending);
+                        }
+                        self.activate_concrete(scratch, s, gen);
+                    }
+                }
+                Some(cid) => {
+                    for &s in &self.comp_always[cid as usize] {
+                        let s = s as usize;
+                        if !self.classes[s].contains(c) {
+                            continue;
+                        }
+                        if self.has_report[s] {
+                            self.emit(s, apos, last_sym, maybe_sym, out, pending);
+                        }
+                        self.activate_concrete(scratch, s, gen);
+                    }
+                }
+            }
+            for ti in 0..scratch.touched.len() {
+                let ci = scratch.touched[ti] as usize;
+                let en = scratch.cnt_enable[ci];
+                let rs = scratch.cnt_reset[ci];
+                scratch.cnt_enable[ci] = false;
+                scratch.cnt_reset[ci] = false;
+                scratch.cnt_touched[ci] = false;
+                if self.step_counter(ci, en, rs, counts, latched) {
+                    let elem = self.counter_elem_ids[ci] as usize;
+                    if self.has_report[elem] {
+                        self.emit(elem, apos, last_sym, maybe_sym, out, pending);
+                    }
+                }
+            }
+            scratch.touched.clear();
+            std::mem::swap(&mut scratch.cur, &mut scratch.next);
+            scratch.next.clear();
+            pos += 1;
+        }
+        exit_active.extend_from_slice(&scratch.cur);
+        scratch.cur.clear();
+    }
+
+    fn activate_concrete(&self, scratch: &mut FrontierScratch, s: usize, gen: u32) {
+        let lo = self.succ_off[s] as usize;
+        let hi = self.succ_off[s + 1] as usize;
+        for ei in lo..hi {
+            let raw = self.succ_tgt[ei];
+            let reset = raw & PORT_BIT != 0;
+            let t = (raw & !PORT_BIT) as usize;
+            if self.is_counter[t] {
+                let ci = self.counter_idx[t] as usize;
+                if !scratch.cnt_touched[ci] {
+                    scratch.cnt_touched[ci] = true;
+                    scratch.touched.push(ci as u32);
+                }
+                if reset {
+                    scratch.cnt_reset[ci] = true;
+                } else {
+                    scratch.cnt_enable[ci] = true;
+                }
+            } else if !self.is_always[t] && scratch.stamp[t] != gen {
+                scratch.stamp[t] = gen;
+                scratch.next.push(t as u32);
+            }
+        }
+    }
+
+    /// Composes one chunk onto the stream: the true entry configuration
+    /// `cfg` selects the real outcome from `sum`, emitting resolved
+    /// reports into `out` (absolute offsets via `base`), held-back
+    /// end-of-data candidates into `pending`, replaying counter pulses
+    /// against the true counter state, and advancing `cfg` to the
+    /// chunk's exit configuration. Components whose entry contains an
+    /// untagged (sampled-out) state are verified by an exact re-scan of
+    /// `chunk` restricted to that component.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn stitch(
+        &self,
+        scratch: &mut FrontierScratch,
+        cfg: &mut SpecConfig,
+        sum: &ChunkSummary,
+        chunk: &[u8],
+        base: u64,
+        out: &mut Vec<Report>,
+        pending: &mut Vec<(u64, u32)>,
+    ) {
+        debug_assert_eq!(chunk.len(), sum.len);
+        let w = self.w;
+        // Selector: base bit for every component, plus the tags of the
+        // true entry states.
+        scratch.sigma.fill(0);
+        scratch.rescan.fill(false);
+        for comp in 0..self.n_comps {
+            scratch.sigma[comp * w] |= 1;
+        }
+        let mut rescan_comps: Vec<u32> = Vec::new();
+        for &s in &cfg.active {
+            let comp = self.comp_of[s as usize] as usize;
+            let t = self.tag_of[s as usize];
+            if t == TAG_NONE {
+                if !scratch.rescan[comp] {
+                    scratch.rescan[comp] = true;
+                    rescan_comps.push(comp as u32);
+                }
+            } else {
+                let t = t as usize;
+                scratch.sigma[comp * w + t / 64] |= 1u64 << (t % 64);
+            }
+        }
+        let mut new_active: Vec<u32> = Vec::new();
+        // Verified fallback for sampled components.
+        for &comp in &rescan_comps {
+            let entry: Vec<u32> = cfg
+                .active
+                .iter()
+                .copied()
+                .filter(|&s| self.comp_of[s as usize] == comp)
+                .collect();
+            self.run_exact(
+                scratch,
+                Some(comp),
+                &entry,
+                &mut cfg.counts,
+                &mut cfg.latched,
+                chunk,
+                base,
+                sum.last,
+                sum.maybe_last,
+                out,
+                pending,
+                &mut new_active,
+            );
+        }
+        // Resolve speculative report events.
+        for (i, r) in sum.reports.iter().enumerate() {
+            let comp = r.comp as usize;
+            if scratch.rescan[comp] {
+                continue;
+            }
+            if intersects(
+                &sum.report_masks[i * w..][..w],
+                &scratch.sigma[comp * w..][..w],
+            ) {
+                out.push(Report {
+                    offset: base + r.cycle as u64,
+                    code: ReportCode(r.code),
+                });
+            }
+        }
+        // Replay counter pulses (already in cycle order) against the
+        // true counter state; counter reports resolve only here.
+        for (i, p) in sum.pulses.iter().enumerate() {
+            let ci = p.ci as usize;
+            let elem = self.counter_elem_ids[ci] as usize;
+            let comp = self.comp_of[elem] as usize;
+            if scratch.rescan[comp] {
+                continue;
+            }
+            let masks = &sum.pulse_masks[i * 2 * w..][..2 * w];
+            let sg = &scratch.sigma[comp * w..][..w];
+            let en = intersects(&masks[..w], sg);
+            let rs = intersects(&masks[w..], sg);
+            if !en && !rs {
+                continue;
+            }
+            if self.step_counter(ci, en, rs, &mut cfg.counts, &mut cfg.latched)
+                && self.has_report[elem]
+            {
+                let cycle = p.cycle as usize;
+                let apos = base + p.cycle as u64;
+                let last_sym = sum.last && cycle + 1 == sum.len;
+                let maybe_sym = sum.maybe_last && cycle + 1 == sum.len;
+                if self.report_eod[elem] && !last_sym {
+                    if maybe_sym {
+                        pending.push((apos, self.report_code[elem]));
+                    }
+                } else {
+                    out.push(Report {
+                        offset: apos,
+                        code: ReportCode(self.report_code[elem]),
+                    });
+                }
+            }
+        }
+        // Resolve held-back end-of-data candidates.
+        for (i, cd) in sum.cands.iter().enumerate() {
+            let comp = cd.comp as usize;
+            if scratch.rescan[comp] {
+                continue;
+            }
+            if intersects(
+                &sum.cand_masks[i * w..][..w],
+                &scratch.sigma[comp * w..][..w],
+            ) {
+                pending.push((base + (sum.len - 1) as u64, cd.code));
+            }
+        }
+        // Resolve the exit configuration.
+        for (i, &s) in sum.exit_states.iter().enumerate() {
+            let comp = self.comp_of[s as usize] as usize;
+            if scratch.rescan[comp] {
+                continue;
+            }
+            if intersects(
+                &sum.exit_masks[i * w..][..w],
+                &scratch.sigma[comp * w..][..w],
+            ) {
+                new_active.push(s);
+            }
+        }
+        new_active.sort_unstable();
+        new_active.dedup();
+        cfg.active = new_active;
+    }
+
+    /// Fresh runtime scratch sized for this scanner.
+    pub(crate) fn new_scratch(&self) -> FrontierScratch {
+        let nc = self.counters.len();
+        FrontierScratch {
+            cur: Vec::new(),
+            next: Vec::new(),
+            stamp: vec![0; self.n],
+            generation: 0,
+            cur_masks: vec![0; self.n * self.w],
+            next_masks: vec![0; self.n * self.w],
+            cnt_enable_mask: vec![0; nc * self.w],
+            cnt_reset_mask: vec![0; nc * self.w],
+            cnt_enable: vec![false; nc],
+            cnt_reset: vec![false; nc],
+            cnt_touched: vec![false; nc],
+            touched: Vec::new(),
+            sigma: vec![0; self.n_comps * self.w],
+            rescan: vec![false; self.n_comps],
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::sink::CollectSink;
+    use crate::{Engine, NfaEngine, StreamingEngine};
+    use azoo_core::Port;
+
+    fn nfa_scan(a: &Automaton, input: &[u8]) -> Vec<(u64, u32)> {
+        let mut e = NfaEngine::new(a).unwrap();
+        let mut sink = CollectSink::new();
+        e.scan(input, &mut sink);
+        sink.sorted_reports()
+            .into_iter()
+            .map(|r| (r.offset, r.code.0))
+            .collect()
+    }
+
+    fn nfa_feed(a: &Automaton, feeds: &[&[u8]]) -> Vec<(u64, u32)> {
+        let mut e = NfaEngine::new(a).unwrap();
+        let mut sink = CollectSink::new();
+        e.reset_stream();
+        for (i, chunk) in feeds.iter().enumerate() {
+            e.feed(chunk, i + 1 == feeds.len(), &mut sink);
+        }
+        sink.sorted_reports()
+            .into_iter()
+            .map(|r| (r.offset, r.code.0))
+            .collect()
+    }
+
+    /// Test-local mirror of the scanner-side stitching protocol: exact
+    /// first subchunk, speculative rest, cross-feed pending handling via
+    /// the tail filter.
+    struct Harness {
+        fs: FrontierScanner,
+        scratch: FrontierScratch,
+        cfg: SpecConfig,
+        pending: Vec<(u64, u32)>,
+        tail: Vec<(u64, u32)>,
+        offset: u64,
+    }
+
+    impl Harness {
+        fn new(a: &Automaton) -> Harness {
+            let fs = FrontierScanner::new(a).unwrap();
+            let scratch = fs.new_scratch();
+            let cfg = fs.initial_config();
+            Harness {
+                fs,
+                scratch,
+                cfg,
+                pending: Vec::new(),
+                tail: Vec::new(),
+                offset: 0,
+            }
+        }
+
+        fn feed(&mut self, chunk: &[u8], k: usize, eod: bool) -> Vec<(u64, u32)> {
+            let mut out: Vec<Report> = Vec::new();
+            if chunk.is_empty() {
+                if eod {
+                    let mut flushed: Vec<(u64, u32)> = self
+                        .pending
+                        .drain(..)
+                        .filter(|p| !self.tail.contains(p))
+                        .collect();
+                    flushed.sort_unstable();
+                    flushed.dedup();
+                    return flushed;
+                }
+                return Vec::new();
+            }
+            self.pending.clear();
+            let k = k.clamp(1, chunk.len());
+            let step = chunk.len().div_ceil(k);
+            let bounds: Vec<(usize, usize)> = (0..chunk.len())
+                .step_by(step)
+                .map(|s| (s, (s + step).min(chunk.len())))
+                .collect();
+            let n_sub = bounds.len();
+            // Speculate on every subchunk but the first, whose entry is
+            // already known.
+            let sums: Vec<Option<ChunkSummary>> = bounds
+                .iter()
+                .enumerate()
+                .map(|(i, &(s, e))| {
+                    if i == 0 {
+                        None
+                    } else {
+                        let last = eod && i + 1 == n_sub;
+                        let maybe = !eod && i + 1 == n_sub;
+                        Some(
+                            self.fs
+                                .summarize(&mut self.scratch, &chunk[s..e], last, maybe),
+                        )
+                    }
+                })
+                .collect();
+            for (i, &(s, e)) in bounds.iter().enumerate() {
+                let base = self.offset + s as u64;
+                let last = eod && i + 1 == n_sub;
+                let maybe = !eod && i + 1 == n_sub;
+                match &sums[i] {
+                    None => {
+                        let entry = std::mem::take(&mut self.cfg.active);
+                        let mut exits = Vec::new();
+                        self.fs.run_exact(
+                            &mut self.scratch,
+                            None,
+                            &entry,
+                            &mut self.cfg.counts,
+                            &mut self.cfg.latched,
+                            &chunk[s..e],
+                            base,
+                            last,
+                            maybe,
+                            &mut out,
+                            &mut self.pending,
+                            &mut exits,
+                        );
+                        exits.sort_unstable();
+                        exits.dedup();
+                        self.cfg.active = exits;
+                    }
+                    Some(sum) => {
+                        self.fs.stitch(
+                            &mut self.scratch,
+                            &mut self.cfg,
+                            sum,
+                            &chunk[s..e],
+                            base,
+                            &mut out,
+                            &mut self.pending,
+                        );
+                    }
+                }
+            }
+            self.offset += chunk.len() as u64;
+            let mut reps: Vec<(u64, u32)> = out.iter().map(|r| (r.offset, r.code.0)).collect();
+            reps.sort_unstable();
+            reps.dedup();
+            self.tail = reps
+                .iter()
+                .copied()
+                .filter(|&(o, _)| o + 1 == self.offset)
+                .collect();
+            self.pending.sort_unstable();
+            self.pending.dedup();
+            reps
+        }
+    }
+
+    fn spec_scan(a: &Automaton, input: &[u8], k: usize) -> Vec<(u64, u32)> {
+        let mut h = Harness::new(a);
+        h.feed(input, k, true)
+    }
+
+    fn spec_feed(a: &Automaton, feeds: &[&[u8]], k: usize) -> Vec<(u64, u32)> {
+        let mut h = Harness::new(a);
+        let mut all = Vec::new();
+        for (i, chunk) in feeds.iter().enumerate() {
+            all.extend(h.feed(chunk, k, i + 1 == feeds.len()));
+        }
+        all.sort_unstable();
+        all
+    }
+
+    fn lcg_input(len: usize, alphabet: &[u8], seed: u64) -> Vec<u8> {
+        let mut x = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (0..len)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                alphabet[(x >> 33) as usize % alphabet.len()]
+            })
+            .collect()
+    }
+
+    /// `ab` chain feeding a terminal latch counter (SPM shape), with a
+    /// reset line driven by `z`.
+    fn counter_machine(mode: CounterMode) -> Automaton {
+        let mut a = Automaton::new();
+        let classes: Vec<SymbolClass> = b"ab".iter().map(|&b| SymbolClass::from_byte(b)).collect();
+        let (_, last) = a.add_chain(&classes, StartKind::AllInput);
+        let c = a.add_counter(3, mode);
+        a.add_edge(last, c);
+        a.set_report(c, 7);
+        let z = a.add_ste(SymbolClass::from_byte(b'z'), StartKind::AllInput);
+        a.add_reset_edge(z, c);
+        a
+    }
+
+    /// `a (b)* c` — the cyclic fallback shape from the parallel tests.
+    fn cycle_machine() -> Automaton {
+        let mut a = Automaton::new();
+        let s0 = a.add_ste(SymbolClass::from_byte(b'a'), StartKind::AllInput);
+        let s1 = a.add_ste(SymbolClass::from_byte(b'b'), StartKind::None);
+        let s2 = a.add_ste(SymbolClass::from_byte(b'c'), StartKind::None);
+        a.add_edge(s0, s1);
+        a.add_edge(s1, s1);
+        a.add_edge(s0, s2);
+        a.add_edge(s1, s2);
+        a.set_report(s2, 4);
+        a
+    }
+
+    /// Anchored `qr` — the `StartOfData` fallback shape.
+    fn sod_machine() -> Automaton {
+        let mut a = Automaton::new();
+        let classes: Vec<SymbolClass> = b"qr".iter().map(|&b| SymbolClass::from_byte(b)).collect();
+        let (_, last) = a.add_chain(&classes, StartKind::StartOfData);
+        a.set_report(last, 2);
+        a
+    }
+
+    #[test]
+    fn counter_chunks_match_nfa() {
+        for mode in [CounterMode::Latch, CounterMode::Pulse, CounterMode::Roll] {
+            let a = counter_machine(mode);
+            let input = lcg_input(997, b"abzx", 1);
+            let expected = nfa_scan(&a, &input);
+            assert!(!expected.is_empty(), "{mode:?} vacuous");
+            for k in [1, 2, 3, 5, 8, 16] {
+                assert_eq!(spec_scan(&a, &input, k), expected, "{mode:?} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_chunks_match_nfa() {
+        let a = cycle_machine();
+        let input = lcg_input(512, b"abcx", 2);
+        let expected = nfa_scan(&a, &input);
+        assert!(!expected.is_empty());
+        for k in [1, 2, 4, 7, 32] {
+            assert_eq!(spec_scan(&a, &input, k), expected, "k={k}");
+        }
+    }
+
+    #[test]
+    fn anchored_chunks_match_nfa() {
+        let a = sod_machine();
+        for input in [&b"qrqrqr"[..], &b"xqr"[..], &b"qr"[..], &b"q"[..]] {
+            let expected = nfa_scan(&a, input);
+            for k in [1, 2, 3] {
+                assert_eq!(spec_scan(&a, input, k), expected, "k={k} input={input:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn eod_anchored_reports_resolve_across_feeds() {
+        let mut a = cycle_machine();
+        for (id, _) in a.clone().iter() {
+            a.set_report_eod_only(id, true);
+        }
+        let input = lcg_input(301, b"abcx", 3);
+        let expected = nfa_scan(&a, &input);
+        for k in [1, 2, 4] {
+            assert_eq!(spec_scan(&a, &input, k), expected, "block k={k}");
+        }
+        // Streaming: candidates held at a feed seam must flush on an
+        // empty eod feed and cancel on a later non-empty feed.
+        let (h1, h2) = input.split_at(150);
+        for k in [1, 3] {
+            assert_eq!(
+                spec_feed(&a, &[h1, h2], k),
+                nfa_feed(&a, &[h1, h2]),
+                "two feeds k={k}"
+            );
+            assert_eq!(
+                spec_feed(&a, &[&input, b""], k),
+                nfa_feed(&a, &[&input, b""]),
+                "empty eod flush k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_feeds_match_nfa() {
+        for a in [
+            counter_machine(CounterMode::Latch),
+            cycle_machine(),
+            sod_machine(),
+        ] {
+            let input = lcg_input(300, b"abczqrx", 5);
+            let mut feeds: Vec<&[u8]> = vec![&input[..1], b"", &input[1..2]];
+            feeds.push(&input[2..150]);
+            feeds.push(&input[150..]);
+            feeds.push(b"");
+            for k in [1, 2, 4] {
+                assert_eq!(spec_feed(&a, &feeds, k), nfa_feed(&a, &feeds), "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_component_samples_and_verifies() {
+        // A 300-state cycle: frontier exceeds the 255-tag budget, so the
+        // component is sampled and stitches through verified re-scans.
+        let mut a = Automaton::new();
+        let head = a.add_ste(SymbolClass::from_byte(b'a'), StartKind::AllInput);
+        let mut prev = head;
+        for _ in 0..299 {
+            let s = a.add_ste(SymbolClass::from_bytes(b"ab"), StartKind::None);
+            a.add_edge(prev, s);
+            prev = s;
+        }
+        a.add_edge(prev, head);
+        a.set_report(prev, 9);
+        let fs = FrontierScanner::new(&a).unwrap();
+        assert_eq!(fs.sampled_comp_count(), 1);
+        let input = lcg_input(2048, b"ab", 11);
+        let expected = nfa_scan(&a, &input);
+        assert!(!expected.is_empty());
+        for k in [2, 5] {
+            assert_eq!(spec_scan(&a, &input, k), expected, "k={k}");
+        }
+    }
+
+    #[test]
+    fn multi_component_tag_spaces_are_independent() {
+        // Two components share mask words; reports and exits must not
+        // bleed between them.
+        let mut a = Automaton::new();
+        let s0 = a.add_ste(SymbolClass::from_byte(b'a'), StartKind::AllInput);
+        let s1 = a.add_ste(SymbolClass::from_byte(b'b'), StartKind::None);
+        a.add_edge(s0, s1);
+        a.add_edge(s1, s1);
+        a.set_report(s1, 1);
+        let t0 = a.add_ste(SymbolClass::from_byte(b'b'), StartKind::AllInput);
+        let t1 = a.add_ste(SymbolClass::from_byte(b'a'), StartKind::None);
+        a.add_edge(t0, t1);
+        a.add_edge(t1, t1);
+        a.set_report(t1, 2);
+        let input = lcg_input(600, b"abx", 21);
+        let expected = nfa_scan(&a, &input);
+        for k in [1, 2, 3, 9] {
+            assert_eq!(spec_scan(&a, &input, k), expected, "k={k}");
+        }
+    }
+
+    #[test]
+    fn quiescent_skip_is_exact_in_both_passes() {
+        // Sparse hits inside long dead stretches exercise the wake-set
+        // skip in summarize and run_exact.
+        let a = counter_machine(CounterMode::Latch);
+        let mut input = vec![b'x'; 4096];
+        for i in [100usize, 101, 900, 901, 2000, 2001, 3000, 3001] {
+            input[i] = if i % 2 == 0 { b'a' } else { b'b' };
+        }
+        input[2500] = b'z';
+        let expected = nfa_scan(&a, &input);
+        for k in [1, 4, 16] {
+            assert_eq!(spec_scan(&a, &input, k), expected, "k={k}");
+        }
+    }
+
+    #[test]
+    fn reset_edge_maps_to_port_bit() {
+        let a = counter_machine(CounterMode::Latch);
+        let fs = FrontierScanner::new(&a).unwrap();
+        let mut saw_reset = false;
+        for (id, _) in a.iter() {
+            for e in a.successors(id) {
+                if e.port == Port::Reset {
+                    saw_reset = true;
+                }
+            }
+        }
+        assert!(saw_reset);
+        assert!(fs.succ_tgt.iter().any(|&t| t & PORT_BIT != 0));
+    }
+}

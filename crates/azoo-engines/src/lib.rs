@@ -52,6 +52,7 @@
 #![forbid(unsafe_code)]
 #![warn(clippy::unwrap_used)]
 mod bitpar;
+mod frontier;
 mod lazy_dfa;
 mod literal;
 mod nfa;
@@ -133,6 +134,9 @@ pub enum EngineError {
     TooManyDfaStates,
     /// The automaton failed core validation.
     Invalid(azoo_core::CoreError),
+    /// A zero worker-thread count was requested from
+    /// [`ParallelScanner`].
+    InvalidThreads,
 }
 
 impl std::fmt::Display for EngineError {
@@ -148,6 +152,9 @@ impl std::fmt::Display for EngineError {
                 write!(f, "automaton exceeds the 16-state shuffle-DFA budget")
             }
             EngineError::Invalid(e) => write!(f, "invalid automaton: {e}"),
+            EngineError::InvalidThreads => {
+                write!(f, "thread count must be positive")
+            }
         }
     }
 }

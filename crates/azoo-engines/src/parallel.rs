@@ -13,24 +13,34 @@
 //!    cut into chunks that different workers scan concurrently. Each
 //!    worker re-scans a bounded *overlap window* before its chunk to
 //!    catch matches that span the boundary, and discards reports it does
-//!    not own. Shards with counters, cycles, or start-of-data anchors
-//!    fall back to scanning the whole input on one worker (shard-level
-//!    parallelism still applies).
+//!    not own. Shards with counters, cycles, or start-of-data anchors —
+//!    where no finite overlap window exists — are chunked *speculatively*
+//!    instead: workers run every subchunk but the first through
+//!    [`FrontierScanner::summarize`], recording an entry-conditional
+//!    transfer summary, and the summaries are stitched left-to-right by
+//!    composition once each subchunk's true entry configuration is known
+//!    (see [`frontier`](crate::frontier) for the construction and its
+//!    soundness argument). Only components whose counters feed other
+//!    elements — where speculation is not union-linear — still scan the
+//!    whole input on one worker.
 //!
 //! Workers drain a shared job queue, batch their reports locally, and
 //! append each batch once into a shared rank-ordered merge accumulator
-//! ([`azoo_sync::OrderedMutex`], rank `ENGINE_MERGE`); the merged stream
-//! is sorted by `(offset, code)` and deduplicated, so the output is
-//! **byte-identical to a single [`NfaEngine`] scan** and independent of
-//! thread scheduling — the property the differential tests pin down.
+//! ([`azoo_sync::OrderedMutex`], rank `ENGINE_MERGE`; speculative
+//! summaries travel through a second accumulator at rank
+//! `ENGINE_SUMMARY`); the merged stream is sorted by `(offset, code)`
+//! and deduplicated, so the output is **byte-identical to a single
+//! [`NfaEngine`] scan** and independent of thread scheduling — the
+//! property the differential tests pin down.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use azoo_core::stats::{component_sizes, longest_path_from_starts};
-use azoo_core::{Automaton, ElementKind, StartKind};
+use azoo_core::stats::{component_labels, component_sizes, longest_path_from_starts};
+use azoo_core::{Automaton, ElementKind, ReportCode, StartKind};
 use azoo_passes::partition;
 use azoo_sync::{ranks, OrderedMutex};
 
+use crate::frontier::{ChunkSummary, FrontierScanner, FrontierScratch, SpecConfig};
 use crate::nfa::NfaEngine;
 use crate::prefilter::{PrefilterEngine, PREFILTER_COVERAGE_GATE};
 use crate::sheng::ShengEngine;
@@ -74,17 +84,61 @@ impl ShardEngine {
             ShardEngine::Prefilter(e) => e.feed(chunk, eod, sink),
         }
     }
+
+    fn stream_quiesced(&self) -> bool {
+        match self {
+            ShardEngine::Nfa(e) => e.stream_quiesced(),
+            ShardEngine::Sheng(e) => e.stream_quiesced(),
+            ShardEngine::Prefilter(e) => e.stream_quiesced(),
+        }
+    }
+}
+
+/// Mutable stream state of a speculative shard: the resolved
+/// configuration at the current stream position plus end-of-data report
+/// candidates held back at the last feed seam.
+#[derive(Debug, Clone)]
+struct SpecStream {
+    cfg: SpecConfig,
+    pending: Vec<(u64, u32)>,
+    scratch: FrontierScratch,
 }
 
 /// One automaton shard plus its chunking capability.
 #[derive(Debug, Clone)]
-struct Shard {
-    /// Prototype engine; cloned per job during `scan`, fed in place
-    /// during streaming.
-    engine: ShardEngine,
-    /// `Some(w)`: input-chunkable, matches span at most `w` symbols.
-    /// `None`: must scan the input sequentially.
-    window: Option<usize>,
+enum Shard {
+    /// A conventional engine shard. `window: Some(w)` means
+    /// input-chunkable with a `w`-symbol overlap; `None` means the shard
+    /// must scan the input sequentially (now only components whose
+    /// counters have successors).
+    Engine {
+        /// Prototype engine; cloned per job during `scan`, fed in place
+        /// during streaming.
+        engine: ShardEngine,
+        window: Option<usize>,
+    },
+    /// A speculatively-chunked shard (counters, cycles, `StartOfData`).
+    Spec {
+        scanner: Box<FrontierScanner>,
+        stream: Box<SpecStream>,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+enum JobKind {
+    /// Scan `0..input.len()` as a complete input (whole-input job).
+    Whole,
+    /// Overlap-window chunk job.
+    Window(usize),
+    /// First speculative subchunk: its entry configuration is known, so
+    /// it runs exactly and its reports are final.
+    Exact { last: bool, maybe_last: bool },
+    /// Later speculative subchunk: summarize from the full frontier.
+    Summary {
+        index: usize,
+        last: bool,
+        maybe_last: bool,
+    },
 }
 
 /// A unit of work: one shard over one input range.
@@ -94,9 +148,26 @@ struct Job {
     /// Input range this job owns reports for.
     start: usize,
     end: usize,
-    /// Overlap window for chunk jobs; `None` means scan `start..end` as a
-    /// complete input (whole-input job).
-    window: Option<usize>,
+    kind: JobKind,
+}
+
+/// A worker's speculative-job product, deposited into the
+/// `ENGINE_SUMMARY`-ranked accumulator for the main-thread stitch.
+enum SpecOut {
+    /// Exact first subchunk: final reports, held-back candidates, and
+    /// the resolved exit configuration.
+    Exact {
+        shard: usize,
+        cfg: SpecConfig,
+        reports: Vec<Report>,
+        pending: Vec<(u64, u32)>,
+    },
+    /// One later subchunk's transfer summary.
+    Sum {
+        shard: usize,
+        index: usize,
+        sum: ChunkSummary,
+    },
 }
 
 /// Scans with a pool of worker threads, merging shard and chunk report
@@ -126,19 +197,22 @@ struct Job {
 pub struct ParallelScanner {
     shards: Vec<Shard>,
     threads: usize,
+    /// Cumulative stream position across `feed` calls.
+    stream_offset: u64,
+    /// Merged reports at the final offset of the last non-empty feed:
+    /// an empty end-of-data feed's flush is filtered against these so a
+    /// candidate one shard held back is not re-emitted when another
+    /// shard already reported the same `(offset, code)` unconditionally.
+    tail: Vec<(u64, u32)>,
 }
 
 impl ParallelScanner {
     /// Compiles `a` for scanning with `threads` workers.
     ///
-    /// # Panics
-    ///
-    /// Panics if `threads` is zero.
-    ///
     /// # Errors
     ///
-    /// Returns [`EngineError::Invalid`] if `a` fails
-    /// [`Automaton::validate`].
+    /// Returns [`EngineError::InvalidThreads`] if `threads` is zero, and
+    /// [`EngineError::Invalid`] if `a` fails [`Automaton::validate`].
     pub fn new(a: &Automaton, threads: usize) -> Result<Self, EngineError> {
         Self::with_prefilter(a, threads, false)
     }
@@ -149,63 +223,124 @@ impl ParallelScanner {
     /// [`select_engine`](crate::select_engine)). The merged stream is
     /// unchanged either way.
     ///
-    /// # Panics
-    ///
-    /// Panics if `threads` is zero.
-    ///
     /// # Errors
     ///
-    /// Returns [`EngineError::Invalid`] if `a` fails
-    /// [`Automaton::validate`].
+    /// Returns [`EngineError::InvalidThreads`] if `threads` is zero, and
+    /// [`EngineError::Invalid`] if `a` fails [`Automaton::validate`].
     pub fn with_prefilter(
         a: &Automaton,
         threads: usize,
         prefilter: bool,
     ) -> Result<Self, EngineError> {
-        assert!(threads > 0, "thread count must be positive");
+        if threads == 0 {
+            return Err(EngineError::InvalidThreads);
+        }
         a.validate()?;
         // Pack components into about `threads` shards; a component can
         // never be split, so the capacity is at least the largest one.
         let max_component = component_sizes(a).last().copied().unwrap_or(0);
         let capacity = a.state_count().div_ceil(threads).max(max_component).max(1);
         let parts = partition(a, capacity).expect("capacity covers the largest component");
-        let shards = parts
-            .iter()
-            // A shard whose components have no start state can never
-            // activate anything — drop it rather than fail its
-            // (per-shard) validation. The whole automaton validated
-            // above, so at least one shard survives.
-            .filter(|p| !p.start_states().is_empty())
-            .map(|p| {
-                // Shuffle-DFA gating first: a shard that determinizes
-                // to <= 16 states steps in one pshufb, beating both the
-                // prefilter and plain simulation.
-                let engine = if let Ok(sh) = ShengEngine::new(p) {
-                    ShardEngine::Sheng(Box::new(sh))
-                } else if prefilter {
-                    let pf = PrefilterEngine::new(p)?;
-                    if pf.component_count() > 0 && pf.coverage() >= PREFILTER_COVERAGE_GATE {
-                        ShardEngine::Prefilter(Box::new(pf))
-                    } else {
-                        ShardEngine::Nfa(Box::new(NfaEngine::new(p)?))
+        let mut shards = Vec::new();
+        // A shard whose components have no start state can never
+        // activate anything — drop it rather than fail its (per-shard)
+        // validation. The whole automaton validated above, so at least
+        // one shard survives.
+        for p in parts.iter().filter(|p| !p.start_states().is_empty()) {
+            if let Some(w) = chunk_window(p) {
+                shards.push(Shard::Engine {
+                    engine: build_shard_engine(p, prefilter)?,
+                    window: Some(w),
+                });
+                continue;
+            }
+            // Hard shard: classify its components. *Easy* components
+            // (counter-free, unanchored, acyclic) keep the bounded-
+            // overlap path; components whose counters are all terminal
+            // chunk speculatively; components whose counters drive
+            // successors keep the sequential whole-input path.
+            let labels = component_labels(p);
+            let mut unsound = vec![false; p.state_count()];
+            let mut hard = vec![false; p.state_count()];
+            for (id, e) in p.iter() {
+                match e.kind {
+                    ElementKind::Counter { .. } => {
+                        hard[labels[id.index()]] = true;
+                        if !p.successors(id).is_empty() {
+                            unsound[labels[id.index()]] = true;
+                        }
                     }
+                    ElementKind::Ste {
+                        start: StartKind::StartOfData,
+                        ..
+                    } => hard[labels[id.index()]] = true,
+                    ElementKind::Ste { .. } => {}
+                }
+            }
+            mark_reachable_cycles(p, &labels, &mut hard);
+            let class = |id: azoo_core::StateId| {
+                let l = labels[id.index()];
+                if unsound[l] {
+                    CompClass::Unsound
+                } else if hard[l] {
+                    CompClass::Spec
                 } else {
-                    ShardEngine::Nfa(Box::new(NfaEngine::new(p)?))
-                };
-                Ok(Shard {
-                    engine,
-                    window: chunk_window(p),
-                })
-            })
-            .collect::<Result<Vec<Shard>, EngineError>>()?;
-        Ok(ParallelScanner { shards, threads })
+                    CompClass::Easy
+                }
+            };
+            for want in [CompClass::Easy, CompClass::Spec, CompClass::Unsound] {
+                if !p.iter().any(|(id, _)| class(id) == want) {
+                    continue;
+                }
+                let sub = p.retain_states(|id| class(id) == want);
+                if sub.start_states().is_empty() {
+                    continue;
+                }
+                match want {
+                    CompClass::Easy => shards.push(Shard::Engine {
+                        engine: build_shard_engine(&sub, prefilter)?,
+                        window: chunk_window(&sub),
+                    }),
+                    CompClass::Spec => {
+                        let scanner = FrontierScanner::new(&sub)?;
+                        let stream = Box::new(SpecStream {
+                            cfg: scanner.initial_config(),
+                            pending: Vec::new(),
+                            scratch: scanner.new_scratch(),
+                        });
+                        shards.push(Shard::Spec {
+                            scanner: Box::new(scanner),
+                            stream,
+                        });
+                    }
+                    CompClass::Unsound => shards.push(Shard::Engine {
+                        engine: build_shard_engine(&sub, prefilter)?,
+                        window: None,
+                    }),
+                }
+            }
+        }
+        Ok(ParallelScanner {
+            shards,
+            threads,
+            stream_offset: 0,
+            tail: Vec::new(),
+        })
     }
 
     /// Number of shards running behind the literal prefilter.
     pub fn prefiltered_shard_count(&self) -> usize {
         self.shards
             .iter()
-            .filter(|s| matches!(s.engine, ShardEngine::Prefilter(_)))
+            .filter(|s| {
+                matches!(
+                    s,
+                    Shard::Engine {
+                        engine: ShardEngine::Prefilter(_),
+                        ..
+                    }
+                )
+            })
             .count()
     }
 
@@ -213,7 +348,15 @@ impl ParallelScanner {
     pub fn sheng_shard_count(&self) -> usize {
         self.shards
             .iter()
-            .filter(|s| matches!(s.engine, ShardEngine::Sheng(_)))
+            .filter(|s| {
+                matches!(
+                    s,
+                    Shard::Engine {
+                        engine: ShardEngine::Sheng(_),
+                        ..
+                    }
+                )
+            })
             .count()
     }
 
@@ -227,72 +370,186 @@ impl ParallelScanner {
         self.shards.len()
     }
 
-    /// Number of shards eligible for input chunking.
+    /// Number of shards eligible for bounded-overlap input chunking.
     pub fn chunkable_shard_count(&self) -> usize {
-        self.shards.iter().filter(|s| s.window.is_some()).count()
+        self.shards
+            .iter()
+            .filter(|s| {
+                matches!(
+                    s,
+                    Shard::Engine {
+                        window: Some(_),
+                        ..
+                    }
+                )
+            })
+            .count()
+    }
+
+    /// Number of shards chunked speculatively (counters, cycles,
+    /// `StartOfData` anchors).
+    pub fn speculative_shard_count(&self) -> usize {
+        self.shards
+            .iter()
+            .filter(|s| matches!(s, Shard::Spec { .. }))
+            .count()
+    }
+
+    /// Number of shards still pinned to a sequential whole-input scan
+    /// (components whose counters drive successors).
+    pub fn whole_input_shard_count(&self) -> usize {
+        self.shards
+            .iter()
+            .filter(|s| matches!(s, Shard::Engine { window: None, .. }))
+            .count()
+    }
+
+    /// Number of speculative shards whose frontier overflowed the tag
+    /// space: their chunks speculate on a *sampled* frontier and may pay
+    /// verified re-scans during the stitch (a throughput diagnostic, not
+    /// a correctness concern).
+    pub fn sampled_speculative_shard_count(&self) -> usize {
+        self.shards
+            .iter()
+            .filter(|s| match s {
+                Shard::Spec { scanner, .. } => scanner.sampled_comp_count() > 0,
+                Shard::Engine { .. } => false,
+            })
+            .count()
+    }
+
+    /// Subchunk count for a speculative shard over `len` input bytes.
+    fn spec_subchunks(&self, len: usize) -> usize {
+        if self.threads > 1 {
+            self.threads.min(len).max(1)
+        } else {
+            1
+        }
     }
 
     /// Scans `input` and returns the merged, `(offset, code)`-sorted,
     /// deduplicated report stream.
     fn scan_merged(&self, input: &[u8]) -> Vec<Report> {
+        let len = input.len();
         let mut jobs = Vec::new();
         for (si, shard) in self.shards.iter().enumerate() {
-            match shard.window {
+            match shard {
                 // Chunking pays off only with input to split and more
                 // workers than shards.
-                Some(w) if self.threads > 1 && !input.is_empty() => {
-                    let k = self.threads.min(input.len());
+                Shard::Engine {
+                    window: Some(w), ..
+                } if self.threads > 1 && len > 0 => {
+                    let k = self.threads.min(len);
                     for c in 0..k {
                         jobs.push(Job {
                             shard: si,
-                            start: input.len() * c / k,
-                            end: input.len() * (c + 1) / k,
-                            window: Some(w),
+                            start: len * c / k,
+                            end: len * (c + 1) / k,
+                            kind: JobKind::Window(*w),
                         });
                     }
                 }
-                _ => jobs.push(Job {
+                Shard::Engine { .. } => jobs.push(Job {
                     shard: si,
                     start: 0,
-                    end: input.len(),
-                    window: None,
+                    end: len,
+                    kind: JobKind::Whole,
                 }),
+                Shard::Spec { .. } => {
+                    let k = self.spec_subchunks(len);
+                    for c in 0..k {
+                        let kind = if c == 0 {
+                            JobKind::Exact {
+                                last: k == 1,
+                                maybe_last: false,
+                            }
+                        } else {
+                            JobKind::Summary {
+                                index: c,
+                                last: c + 1 == k,
+                                maybe_last: false,
+                            }
+                        };
+                        jobs.push(Job {
+                            shard: si,
+                            start: len * c / k,
+                            end: len * (c + 1) / k,
+                            kind,
+                        });
+                    }
+                }
             }
         }
         let workers = self.threads.min(jobs.len());
-        let mut merged: Vec<Report> = if workers <= 1 {
+        let (mut merged, spec_outs) = if workers <= 1 {
             // Run inline: the single-thread baseline should not pay a
             // spawn/join round trip.
             let mut worker = Worker::new(&self.shards);
             let mut out = Vec::new();
+            let mut spec = Vec::new();
             for job in &jobs {
-                worker.run_job(*job, input, &mut out);
+                worker.run_job(*job, input, 0, &mut out, &mut spec);
             }
-            out
+            (out, spec)
         } else {
             let queue = AtomicUsize::new(0);
             // Workers batch reports locally and take the shared merge
             // lock (rank ENGINE_MERGE) exactly once, after their last
             // job — one contended acquisition per worker, not per report.
+            // Speculative products go through a second accumulator at
+            // rank ENGINE_SUMMARY; neither lock is held while the other
+            // is.
             let merge_acc = OrderedMutex::new(ranks::ENGINE_MERGE, Vec::new());
-            let (queue, jobs, shards, merge) = (&queue, &jobs[..], &self.shards[..], &merge_acc);
+            let sum_acc = OrderedMutex::new(ranks::ENGINE_SUMMARY, Vec::new());
+            let (queue, jobs, shards) = (&queue, &jobs[..], &self.shards[..]);
+            let (merge, sums) = (&merge_acc, &sum_acc);
             crossbeam::thread::scope(|scope| {
                 for _ in 0..workers {
                     scope.spawn(move |_| {
                         let mut worker = Worker::new(shards);
                         let mut out = Vec::new();
+                        let mut spec = Vec::new();
                         loop {
                             let j = queue.fetch_add(1, Ordering::Relaxed);
                             let Some(job) = jobs.get(j) else { break };
-                            worker.run_job(*job, input, &mut out);
+                            worker.run_job(*job, input, 0, &mut out, &mut spec);
+                        }
+                        if !spec.is_empty() {
+                            sums.lock().append(&mut spec);
                         }
                         merge.lock().append(&mut out);
                     });
                 }
             })
             .expect("scan worker panicked");
-            merge_acc.into_inner()
+            (merge_acc.into_inner(), sum_acc.into_inner())
         };
+        // Stitch the speculative shards left-to-right on this thread.
+        let mut slots = SpecSlots::collect(self.shards.len(), spec_outs, &mut merged);
+        for (si, shard) in self.shards.iter().enumerate() {
+            let Shard::Spec { scanner, .. } = shard else {
+                continue;
+            };
+            let k = self.spec_subchunks(len);
+            let mut cfg = slots.take_cfg(si);
+            let mut scratch = scanner.new_scratch();
+            let mut pending = Vec::new();
+            for c in 1..k {
+                let (s, e) = (len * c / k, len * (c + 1) / k);
+                let sum = slots.take_sum(si, c);
+                scanner.stitch(
+                    &mut scratch,
+                    &mut cfg,
+                    &sum,
+                    &input[s..e],
+                    s as u64,
+                    &mut merged,
+                    &mut pending,
+                );
+            }
+            // A block scan ends the stream, so nothing is held back.
+            debug_assert!(pending.is_empty());
+        }
         // Canonical order. Distinct shards may report the same code at
         // the same offset; a single engine deduplicates those per cycle,
         // so the merge must too.
@@ -300,12 +557,288 @@ impl ParallelScanner {
         merged.dedup();
         merged
     }
+
+    /// One streaming feed, returning the merged sorted stream for this
+    /// chunk.
+    fn feed_merged(&mut self, chunk: &[u8], eod: bool) -> Vec<Report> {
+        let len = chunk.len();
+        let base0 = self.stream_offset;
+        if len == 0 {
+            let mut merged = Vec::new();
+            for shard in &mut self.shards {
+                match shard {
+                    Shard::Engine { engine, .. } => {
+                        engine.feed(chunk, eod, &mut VecSink(&mut merged));
+                    }
+                    Shard::Spec { stream, .. } => {
+                        if eod {
+                            merged.extend(stream.pending.drain(..).map(|(o, c)| Report {
+                                offset: o,
+                                code: ReportCode(c),
+                            }));
+                        }
+                    }
+                }
+            }
+            merged.sort_unstable();
+            merged.dedup();
+            if eod {
+                // The held-back candidates resolve at the last symbol of
+                // the previous feed; drop any a shard already reported
+                // there unconditionally.
+                let tail = &self.tail;
+                merged.retain(|r| !tail.contains(&(r.offset, r.code.0)));
+            }
+            return merged;
+        }
+        // A non-empty feed extends the stream: candidates held at the
+        // previous seam are cancelled, exactly as `NfaEngine` does.
+        for shard in &mut self.shards {
+            if let Shard::Spec { stream, .. } = shard {
+                stream.pending.clear();
+            }
+        }
+        // Phase 1: conventional shards, parallel across shards only
+        // (each engine carries mutable stream state).
+        let engine_shards = self
+            .shards
+            .iter()
+            .filter(|s| matches!(s, Shard::Engine { .. }))
+            .count();
+        let workers = self.threads.min(engine_shards);
+        let mut merged: Vec<Report> = if workers <= 1 {
+            let mut out = Vec::new();
+            for shard in &mut self.shards {
+                if let Shard::Engine { engine, .. } = shard {
+                    engine.feed(chunk, eod, &mut VecSink(&mut out));
+                }
+            }
+            out
+        } else {
+            let per_worker = self.shards.len().div_ceil(workers);
+            let merge_acc = OrderedMutex::new(ranks::ENGINE_MERGE, Vec::new());
+            let merge = &merge_acc;
+            crossbeam::thread::scope(|scope| {
+                for group in self.shards.chunks_mut(per_worker) {
+                    scope.spawn(move |_| {
+                        let mut out = Vec::new();
+                        for shard in group {
+                            if let Shard::Engine { engine, .. } = shard {
+                                engine.feed(chunk, eod, &mut VecSink(&mut out));
+                            }
+                        }
+                        merge.lock().append(&mut out);
+                    });
+                }
+            })
+            .expect("feed worker panicked");
+            merge_acc.into_inner()
+        };
+        // Phase 2: speculative shards, parallel across subchunks.
+        let mut jobs = Vec::new();
+        for (si, shard) in self.shards.iter().enumerate() {
+            let Shard::Spec { .. } = shard else { continue };
+            let k = self.spec_subchunks(len);
+            for c in 0..k {
+                let final_sub = c + 1 == k;
+                let kind = if c == 0 {
+                    JobKind::Exact {
+                        last: eod && final_sub,
+                        maybe_last: !eod && final_sub,
+                    }
+                } else {
+                    JobKind::Summary {
+                        index: c,
+                        last: eod && final_sub,
+                        maybe_last: !eod && final_sub,
+                    }
+                };
+                jobs.push(Job {
+                    shard: si,
+                    start: len * c / k,
+                    end: len * (c + 1) / k,
+                    kind,
+                });
+            }
+        }
+        let workers = self.threads.min(jobs.len());
+        let spec_outs = if jobs.is_empty() {
+            Vec::new()
+        } else if workers <= 1 {
+            let mut worker = Worker::new(&self.shards);
+            let mut spec = Vec::new();
+            let mut out = Vec::new();
+            for job in &jobs {
+                worker.run_job(*job, chunk, base0, &mut out, &mut spec);
+            }
+            debug_assert!(out.is_empty(), "spec jobs report via SpecOut");
+            spec
+        } else {
+            let queue = AtomicUsize::new(0);
+            let sum_acc = OrderedMutex::new(ranks::ENGINE_SUMMARY, Vec::new());
+            let (queue, jobs, shards, sums) = (&queue, &jobs[..], &self.shards[..], &sum_acc);
+            crossbeam::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(move |_| {
+                        let mut worker = Worker::new(shards);
+                        let mut out = Vec::new();
+                        let mut spec = Vec::new();
+                        loop {
+                            let j = queue.fetch_add(1, Ordering::Relaxed);
+                            let Some(job) = jobs.get(j) else { break };
+                            worker.run_job(*job, chunk, base0, &mut out, &mut spec);
+                        }
+                        debug_assert!(out.is_empty(), "spec jobs report via SpecOut");
+                        sums.lock().append(&mut spec);
+                    });
+                }
+            })
+            .expect("feed worker panicked");
+            sum_acc.into_inner()
+        };
+        // Stitch, adopting each shard's resolved exit configuration.
+        let mut slots = SpecSlots::collect(self.shards.len(), spec_outs, &mut merged);
+        let k = self.spec_subchunks(len);
+        for (si, shard) in self.shards.iter_mut().enumerate() {
+            let Shard::Spec { scanner, stream } = shard else {
+                continue;
+            };
+            stream.cfg = slots.take_cfg(si);
+            stream.pending.append(&mut slots.take_pending(si));
+            for c in 1..k {
+                let (s, e) = (len * c / k, len * (c + 1) / k);
+                let sum = slots.take_sum(si, c);
+                scanner.stitch(
+                    &mut stream.scratch,
+                    &mut stream.cfg,
+                    &sum,
+                    &chunk[s..e],
+                    base0 + s as u64,
+                    &mut merged,
+                    &mut stream.pending,
+                );
+            }
+            stream.pending.sort_unstable();
+            stream.pending.dedup();
+        }
+        merged.sort_unstable();
+        merged.dedup();
+        self.stream_offset += len as u64;
+        let end = self.stream_offset;
+        self.tail = merged
+            .iter()
+            .filter(|r| r.offset + 1 == end)
+            .map(|r| (r.offset, r.code.0))
+            .collect();
+        merged
+    }
 }
 
-/// `Some(longest match span)` if `p` supports input chunking: no
-/// counters (their state depends on the whole prefix), no start-of-data
-/// anchors (chunk workers start mid-stream), and no reachable cycles
-/// (unbounded match length means no finite overlap window).
+/// Per-shard collection bins for worker [`SpecOut`] products; exact
+/// subchunks' final reports drain straight into the merge stream.
+struct SpecSlots {
+    cfgs: Vec<Option<SpecConfig>>,
+    pendings: Vec<Vec<(u64, u32)>>,
+    sums: Vec<Vec<Option<ChunkSummary>>>,
+}
+
+impl SpecSlots {
+    fn collect(n_shards: usize, outs: Vec<SpecOut>, merged: &mut Vec<Report>) -> SpecSlots {
+        let mut slots = SpecSlots {
+            cfgs: vec![None; n_shards],
+            pendings: vec![Vec::new(); n_shards],
+            sums: (0..n_shards).map(|_| Vec::new()).collect(),
+        };
+        for out in outs {
+            match out {
+                SpecOut::Exact {
+                    shard,
+                    cfg,
+                    mut reports,
+                    mut pending,
+                } => {
+                    merged.append(&mut reports);
+                    slots.cfgs[shard] = Some(cfg);
+                    slots.pendings[shard].append(&mut pending);
+                }
+                SpecOut::Sum { shard, index, sum } => {
+                    let bin = &mut slots.sums[shard];
+                    if bin.len() <= index {
+                        bin.resize_with(index + 1, || None);
+                    }
+                    bin[index] = Some(sum);
+                }
+            }
+        }
+        slots
+    }
+
+    fn take_cfg(&mut self, shard: usize) -> SpecConfig {
+        self.cfgs[shard].take().expect("exact subchunk result")
+    }
+
+    fn take_pending(&mut self, shard: usize) -> Vec<(u64, u32)> {
+        std::mem::take(&mut self.pendings[shard])
+    }
+
+    fn take_sum(&mut self, shard: usize, index: usize) -> ChunkSummary {
+        self.sums[shard][index].take().expect("subchunk summary")
+    }
+}
+
+/// Component execution class for a shard that failed whole-shard
+/// chunking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CompClass {
+    /// Counter-free, unanchored, acyclic: bounded-overlap chunkable.
+    Easy,
+    /// Hard but speculation-eligible (any counters are terminal).
+    Spec,
+    /// A counter drives successors: sequential whole-input scan.
+    Unsound,
+}
+
+/// Marks (by component label) every component containing a cycle
+/// reachable from a start state — the components with no finite overlap
+/// window.
+fn mark_reachable_cycles(p: &Automaton, labels: &[usize], cyclic: &mut [bool]) {
+    const WHITE: u8 = 0;
+    const GRAY: u8 = 1;
+    const BLACK: u8 = 2;
+    let mut color = vec![WHITE; p.state_count()];
+    for start in p.start_states() {
+        if color[start.index()] != WHITE {
+            continue;
+        }
+        let mut stack = vec![(start, 0usize)];
+        color[start.index()] = GRAY;
+        while let Some(top) = stack.last_mut() {
+            let (v, ei) = *top;
+            let succs = p.successors(v);
+            if ei < succs.len() {
+                top.1 += 1;
+                let t = succs[ei].to;
+                match color[t.index()] {
+                    WHITE => {
+                        color[t.index()] = GRAY;
+                        stack.push((t, 0));
+                    }
+                    GRAY => cyclic[labels[v.index()]] = true,
+                    _ => {}
+                }
+            } else {
+                color[v.index()] = BLACK;
+                stack.pop();
+            }
+        }
+    }
+}
+
+/// `Some(longest match span)` if `p` supports bounded-overlap input
+/// chunking: no counters (their state depends on the whole prefix), no
+/// start-of-data anchors (chunk workers start mid-stream), and no
+/// reachable cycles (unbounded match length means no finite overlap
+/// window). Shards failing this are chunked speculatively instead.
 fn chunk_window(p: &Automaton) -> Option<usize> {
     if p.counter_count() > 0 {
         return None;
@@ -325,13 +858,31 @@ fn chunk_window(p: &Automaton) -> Option<usize> {
     longest_path_from_starts(p).filter(|&w| w > 0)
 }
 
-/// Per-thread job executor. Keeps one engine clone per shard so a worker
-/// that draws several chunks of the same shard clones it only once
-/// (both `scan` and `reset_stream`/`feed` restart from initial state, so
-/// reuse across jobs is sound).
+/// Shuffle-DFA gating first: a shard that determinizes to <= 16 states
+/// steps in one pshufb, beating both the prefilter and plain simulation.
+fn build_shard_engine(p: &Automaton, prefilter: bool) -> Result<ShardEngine, EngineError> {
+    Ok(if let Ok(sh) = ShengEngine::new(p) {
+        ShardEngine::Sheng(Box::new(sh))
+    } else if prefilter {
+        let pf = PrefilterEngine::new(p)?;
+        if pf.component_count() > 0 && pf.coverage() >= PREFILTER_COVERAGE_GATE {
+            ShardEngine::Prefilter(Box::new(pf))
+        } else {
+            ShardEngine::Nfa(Box::new(NfaEngine::new(p)?))
+        }
+    } else {
+        ShardEngine::Nfa(Box::new(NfaEngine::new(p)?))
+    })
+}
+
+/// Per-thread job executor. Keeps one engine clone (or speculative
+/// scratch) per shard so a worker that draws several chunks of the same
+/// shard allocates it only once (both `scan` and `reset_stream`/`feed`
+/// restart from initial state, so reuse across jobs is sound).
 struct Worker<'a> {
     shards: &'a [Shard],
     engines: Vec<Option<ShardEngine>>,
+    scratches: Vec<Option<FrontierScratch>>,
 }
 
 impl<'a> Worker<'a> {
@@ -339,23 +890,33 @@ impl<'a> Worker<'a> {
         Worker {
             shards,
             engines: vec![None; shards.len()],
+            scratches: vec![None; shards.len()],
         }
     }
 
-    /// Executes one job, appending owned reports (absolute offsets in
-    /// `job.start..job.end`) to `out`.
-    fn run_job(&mut self, job: Job, input: &[u8], out: &mut Vec<Report>) {
-        let engine =
-            self.engines[job.shard].get_or_insert_with(|| self.shards[job.shard].engine.clone());
-        match job.window {
-            None => {
+    /// Executes one job. Conventional jobs append owned reports
+    /// (absolute offsets) to `out`; speculative jobs deposit their
+    /// products into `spec_out`. `base` is the stream offset of
+    /// `input[0]` (zero for block scans).
+    fn run_job(
+        &mut self,
+        job: Job,
+        input: &[u8],
+        base: u64,
+        out: &mut Vec<Report>,
+        spec_out: &mut Vec<SpecOut>,
+    ) {
+        match job.kind {
+            JobKind::Whole => {
+                let engine = self.engine(job.shard);
                 let mut sink = VecSink(out);
                 engine.scan(input, &mut sink);
             }
-            Some(window) => {
+            JobKind::Window(window) => {
                 // Re-scan up to `window - 1` bytes before the chunk so
                 // matches spanning the boundary are seen, then keep only
                 // the reports this chunk owns.
+                let engine = self.engine(job.shard);
                 let slice_start = job.start.saturating_sub(window - 1);
                 let eod = job.end == input.len();
                 let mut sink = RebaseSink {
@@ -366,7 +927,70 @@ impl<'a> Worker<'a> {
                 engine.reset_stream();
                 engine.feed(&input[slice_start..job.end], eod, &mut sink);
             }
+            JobKind::Exact { last, maybe_last } => {
+                let Shard::Spec { scanner, stream } = &self.shards[job.shard] else {
+                    unreachable!("exact job on a non-speculative shard")
+                };
+                let scratch =
+                    self.scratches[job.shard].get_or_insert_with(|| scanner.new_scratch());
+                // The stream configuration is adopted (not mutated) so a
+                // failed scan cannot corrupt shard state.
+                let mut cfg = stream.cfg.clone();
+                let entry = std::mem::take(&mut cfg.active);
+                let mut reports = Vec::new();
+                let mut pending = Vec::new();
+                let mut exits = Vec::new();
+                scanner.run_exact(
+                    scratch,
+                    None,
+                    &entry,
+                    &mut cfg.counts,
+                    &mut cfg.latched,
+                    &input[job.start..job.end],
+                    base + job.start as u64,
+                    last,
+                    maybe_last,
+                    &mut reports,
+                    &mut pending,
+                    &mut exits,
+                );
+                exits.sort_unstable();
+                exits.dedup();
+                cfg.active = exits;
+                spec_out.push(SpecOut::Exact {
+                    shard: job.shard,
+                    cfg,
+                    reports,
+                    pending,
+                });
+            }
+            JobKind::Summary {
+                index,
+                last,
+                maybe_last,
+            } => {
+                let Shard::Spec { scanner, .. } = &self.shards[job.shard] else {
+                    unreachable!("summary job on a non-speculative shard")
+                };
+                let scratch =
+                    self.scratches[job.shard].get_or_insert_with(|| scanner.new_scratch());
+                let sum = scanner.summarize(scratch, &input[job.start..job.end], last, maybe_last);
+                spec_out.push(SpecOut::Sum {
+                    shard: job.shard,
+                    index,
+                    sum,
+                });
+            }
         }
+    }
+
+    fn engine(&mut self, shard: usize) -> &mut ShardEngine {
+        self.engines[shard].get_or_insert_with(|| {
+            let Shard::Engine { engine, .. } = &self.shards[shard] else {
+                unreachable!("engine job on a speculative shard")
+            };
+            engine.clone()
+        })
     }
 }
 
@@ -411,50 +1035,34 @@ impl Engine for ParallelScanner {
 impl StreamingEngine for ParallelScanner {
     fn reset_stream(&mut self) {
         for s in &mut self.shards {
-            s.engine.reset_stream();
+            match s {
+                Shard::Engine { engine, .. } => engine.reset_stream(),
+                Shard::Spec { scanner, stream } => {
+                    stream.cfg = scanner.initial_config();
+                    stream.pending.clear();
+                }
+            }
         }
+        self.stream_offset = 0;
+        self.tail.clear();
     }
 
     fn stream_quiesced(&self) -> bool {
-        self.shards.iter().all(|s| match &s.engine {
-            ShardEngine::Nfa(e) => e.stream_quiesced(),
-            ShardEngine::Sheng(e) => e.stream_quiesced(),
-            ShardEngine::Prefilter(e) => e.stream_quiesced(),
-        })
-    }
-
-    /// Streaming parallelizes across shards only: chunk workers need the
-    /// whole input range up front, but each shard's streaming engine
-    /// carries state across `feed` calls independently of the others.
-    fn feed(&mut self, chunk: &[u8], eod: bool, sink: &mut dyn ReportSink) {
-        let workers = self.threads.min(self.shards.len());
-        let mut merged: Vec<Report> = if workers <= 1 {
-            let mut out = Vec::new();
-            for s in &mut self.shards {
-                s.engine.feed(chunk, eod, &mut VecSink(&mut out));
-            }
-            out
-        } else {
-            let per_worker = self.shards.len().div_ceil(workers);
-            let merge_acc = OrderedMutex::new(ranks::ENGINE_MERGE, Vec::new());
-            let merge = &merge_acc;
-            crossbeam::thread::scope(|scope| {
-                for group in self.shards.chunks_mut(per_worker) {
-                    scope.spawn(move |_| {
-                        let mut out = Vec::new();
-                        for s in group {
-                            s.engine.feed(chunk, eod, &mut VecSink(&mut out));
-                        }
-                        merge.lock().append(&mut out);
-                    });
+        self.stream_offset == 0
+            && self.tail.is_empty()
+            && self.shards.iter().all(|s| match s {
+                Shard::Engine { engine, .. } => engine.stream_quiesced(),
+                Shard::Spec { scanner, stream } => {
+                    scanner.quiesced(&stream.cfg) && stream.pending.is_empty()
                 }
             })
-            .expect("feed worker panicked");
-            merge_acc.into_inner()
-        };
-        merged.sort_unstable();
-        merged.dedup();
-        for r in merged {
+    }
+
+    /// Streaming parallelizes conventional shards across shards (each
+    /// engine carries state between `feed` calls) and speculative shards
+    /// across subchunks of the fed chunk.
+    fn feed(&mut self, chunk: &[u8], eod: bool, sink: &mut dyn ReportSink) {
+        for r in self.feed_merged(chunk, eod) {
             sink.report(r.offset, r.code);
         }
     }
@@ -527,8 +1135,9 @@ mod tests {
     }
 
     #[test]
-    fn counters_fall_back_to_whole_input() {
-        // k at least 3 times (latched counter).
+    fn terminal_counters_chunk_speculatively() {
+        // k at least 3 times (latched counter): previously a whole-input
+        // fallback, now a speculative shard.
         let mut a = Automaton::new();
         let s = a.add_ste(SymbolClass::from_byte(b'k'), StartKind::AllInput);
         let c = a.add_counter(3, CounterMode::Latch);
@@ -536,6 +1145,8 @@ mod tests {
         a.set_report(c, 9);
         let scanner = ParallelScanner::new(&a, 4).unwrap();
         assert_eq!(scanner.chunkable_shard_count(), 0);
+        assert_eq!(scanner.speculative_shard_count(), 1);
+        assert_eq!(scanner.whole_input_shard_count(), 0);
         let input = b"kkxkkkxk";
         for threads in [1, 2, 4] {
             assert_eq!(parallel_reports(&a, threads, input), nfa_reports(&a, input));
@@ -543,8 +1154,52 @@ mod tests {
     }
 
     #[test]
-    fn cycles_fall_back_to_whole_input() {
-        // a(b)*c — unbounded match span.
+    fn non_terminal_counters_fall_back_to_whole_input() {
+        // The counter drives a successor, so speculation is unsound and
+        // the component keeps the sequential whole-input path.
+        let mut a = Automaton::new();
+        let s = a.add_ste(SymbolClass::from_byte(b'k'), StartKind::AllInput);
+        let c = a.add_counter(2, CounterMode::Latch);
+        a.add_edge(s, c);
+        let y = a.add_ste(SymbolClass::from_byte(b'y'), StartKind::None);
+        a.add_edge(c, y);
+        a.set_report(y, 5);
+        let scanner = ParallelScanner::new(&a, 4).unwrap();
+        assert_eq!(scanner.speculative_shard_count(), 0);
+        assert_eq!(scanner.whole_input_shard_count(), 1);
+        let input = b"kkyky";
+        for threads in [1, 2, 4] {
+            assert_eq!(parallel_reports(&a, threads, input), nfa_reports(&a, input));
+        }
+    }
+
+    #[test]
+    fn mixed_shard_splits_into_spec_and_fallback() {
+        // One taggable counter component plus one non-terminal-counter
+        // component packed together: the shard splits.
+        let mut a = Automaton::new();
+        let s = a.add_ste(SymbolClass::from_byte(b'k'), StartKind::AllInput);
+        let c = a.add_counter(3, CounterMode::Latch);
+        a.add_edge(s, c);
+        a.set_report(c, 9);
+        let s2 = a.add_ste(SymbolClass::from_byte(b'm'), StartKind::AllInput);
+        let c2 = a.add_counter(2, CounterMode::Latch);
+        a.add_edge(s2, c2);
+        let y = a.add_ste(SymbolClass::from_byte(b'y'), StartKind::None);
+        a.add_edge(c2, y);
+        a.set_report(y, 5);
+        let scanner = ParallelScanner::new(&a, 1).unwrap();
+        assert_eq!(scanner.speculative_shard_count(), 1);
+        assert_eq!(scanner.whole_input_shard_count(), 1);
+        let input = b"kkmkymmyk";
+        for threads in [1, 2, 4] {
+            assert_eq!(parallel_reports(&a, threads, input), nfa_reports(&a, input));
+        }
+    }
+
+    #[test]
+    fn cycles_chunk_speculatively() {
+        // a(b)*c — unbounded match span, no finite overlap window.
         let mut a = Automaton::new();
         let s = a.add_ste(SymbolClass::from_byte(b'a'), StartKind::AllInput);
         let loop_ = a.add_ste(SymbolClass::from_byte(b'b'), StartKind::None);
@@ -556,6 +1211,7 @@ mod tests {
         a.set_report(end, 0);
         let scanner = ParallelScanner::new(&a, 4).unwrap();
         assert_eq!(scanner.chunkable_shard_count(), 0);
+        assert_eq!(scanner.speculative_shard_count(), 1);
         let input = b"abbbbbbbbbbcxac";
         for threads in [1, 2, 4, 8] {
             assert_eq!(parallel_reports(&a, threads, input), nfa_reports(&a, input));
@@ -563,7 +1219,7 @@ mod tests {
     }
 
     #[test]
-    fn start_of_data_falls_back_to_whole_input() {
+    fn start_of_data_chunks_speculatively() {
         let mut a = Automaton::new();
         let (_, last) = a.add_chain(
             &[SymbolClass::from_byte(b'q'), SymbolClass::from_byte(b'r')],
@@ -572,6 +1228,7 @@ mod tests {
         a.set_report(last, 0);
         let scanner = ParallelScanner::new(&a, 4).unwrap();
         assert_eq!(scanner.chunkable_shard_count(), 0);
+        assert_eq!(scanner.speculative_shard_count(), 1);
         // Must match only at offset 1, never at the later "qr".
         let input = b"qrxqr";
         for threads in [1, 2, 4] {
@@ -603,6 +1260,38 @@ mod tests {
             let mut sink = CollectSink::new();
             scanner.scan_chunks([&input[..cut], &input[cut..]], &mut sink);
             assert_eq!(sink.reports().to_vec(), whole, "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn streaming_speculative_shards_match_whole_scan() {
+        // Counter + cycle + anchor all in one automaton; every cut point
+        // must produce the whole-scan stream.
+        let mut a = Automaton::new();
+        let s = a.add_ste(SymbolClass::from_byte(b'k'), StartKind::AllInput);
+        let c = a.add_counter(3, CounterMode::Latch);
+        a.add_edge(s, c);
+        a.set_report(c, 9);
+        let s0 = a.add_ste(SymbolClass::from_byte(b'a'), StartKind::AllInput);
+        let s1 = a.add_ste(SymbolClass::from_byte(b'b'), StartKind::None);
+        a.add_edge(s0, s1);
+        a.add_edge(s1, s1);
+        a.set_report(s1, 4);
+        let (_, qlast) = a.add_chain(
+            &[SymbolClass::from_byte(b'q'), SymbolClass::from_byte(b'r')],
+            StartKind::StartOfData,
+        );
+        a.set_report(qlast, 2);
+        let input = b"qrkabbkxkkabqrkk";
+        let whole = nfa_reports(&a, input);
+        assert!(!whole.is_empty());
+        for threads in [1, 2, 4] {
+            let mut scanner = ParallelScanner::new(&a, threads).unwrap();
+            for cut in 0..=input.len() {
+                let mut sink = CollectSink::new();
+                scanner.scan_chunks([&input[..cut], &input[cut..]], &mut sink);
+                assert_eq!(sink.sorted_reports(), whole, "{threads} threads cut {cut}");
+            }
         }
     }
 
@@ -679,10 +1368,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "positive")]
-    fn zero_threads_panics() {
+    fn zero_threads_is_a_typed_error() {
         let a = words(&[b"a"]);
-        let _ = ParallelScanner::new(&a, 0);
+        assert_eq!(
+            ParallelScanner::new(&a, 0).err(),
+            Some(EngineError::InvalidThreads)
+        );
+        assert_eq!(
+            ParallelScanner::with_prefilter(&a, 0, true).err(),
+            Some(EngineError::InvalidThreads)
+        );
     }
 
     #[test]

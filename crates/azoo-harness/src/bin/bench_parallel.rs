@@ -1,0 +1,212 @@
+//! Records chunk-parallel scanning throughput at 1/2/4/8 worker threads
+//! as `BENCH_parallel.json` — the machine-readable companion to
+//! DESIGN.md §6j (speculative frontier summaries).
+//!
+//! Three workload shapes, chosen to cover every shard classification:
+//!
+//! * Snort — many counter-free components: automaton sharding plus
+//!   bounded-overlap input chunking (the pre-existing cheap path);
+//! * SPM 6w6p — the same filters without counters, for the
+//!   counter-cost comparison;
+//! * SPM 6w6p wC — every filter ends in a *terminal* support counter,
+//!   so the whole shard takes the speculative summary-and-stitch path
+//!   (before this tier it was pinned to a sequential whole-input scan).
+//!
+//! Every thread count's report stream is asserted byte-identical to the
+//! single-threaded reference NFA — the differential gate, not a sample.
+//!
+//! Usage: `bench-parallel [--scale tiny|small|full] [--out PATH] [--check]`
+//!
+//! `--check` is the CI gate: exits nonzero unless the counter-bearing
+//! benchmark is fully speculative (zero whole-input shards) and every
+//! equivalence assertion held (the assertions abort the run on their
+//! own).
+//!
+//! The JSON records `host_cpus`: on a single-core host the multi-thread
+//! rows measure oversubscription overhead, not speedup — read them as a
+//! soundness artifact, not a performance claim, unless
+//! `host_cpus >= threads`.
+
+#![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used)]
+
+use azoo_core::{Automaton, CounterMode};
+use azoo_engines::{CollectSink, Engine, NfaEngine, ParallelScanner};
+use azoo_harness::{arg_value, flag_present, scale_from_args, time_scan_with};
+use azoo_zoo::{sequence_match, BenchmarkId};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// A counter-bearing SPM instance whose input *embeds* one candidate
+/// sequence past its support threshold, so the latch counters actually
+/// count, latch, and report — the random registry corpus rarely
+/// satisfies support on a bounded window, which would leave the
+/// counter-seam differential untested in this artifact.
+fn seeded_spm() -> (Automaton, Vec<u8>) {
+    let mut r = azoo_workloads::rng(0x5EED);
+    let mut a = Automaton::new();
+    let mut first = None;
+    for code in 0..20u32 {
+        let seq = sequence_match::generate_sequence(&mut r, 6, 6);
+        sequence_match::append_filter(&mut a, &seq, code, Some((3, CounterMode::Latch)), None);
+        first.get_or_insert(seq);
+    }
+    let seq = first.expect("at least one filter");
+    let input = sequence_match::stream_with_sequence(0xFEED, &seq, 12);
+    (a, input)
+}
+
+fn reports(engine: &mut dyn Engine, input: &[u8]) -> Vec<(u64, u32)> {
+    let mut sink = CollectSink::new();
+    engine.scan(input, &mut sink);
+    sink.sorted_reports()
+        .iter()
+        .map(|r| (r.offset, r.code.0))
+        .collect()
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let args: Vec<String> = std::env::args().collect();
+    let out_path = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_parallel.json".into());
+    let check = flag_present(&args, "--check");
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let ids = [
+        BenchmarkId::Snort,
+        BenchmarkId::SeqMatch6w6p,
+        BenchmarkId::SeqMatch6w6pWc,
+    ];
+    let mut cases: Vec<(String, Automaton, Vec<u8>, bool)> = ids
+        .iter()
+        .map(|id| {
+            let bench = id.build(scale);
+            (
+                id.name().to_string(),
+                bench.automaton,
+                bench.input,
+                *id == BenchmarkId::SeqMatch6w6pWc,
+            )
+        })
+        .collect();
+    let (seeded, seeded_input) = seeded_spm();
+    cases.push(("SPM wC (seeded support)".into(), seeded, seeded_input, true));
+
+    let mut rows = Vec::new();
+    let mut counter_bench_speculative = true;
+    let mut seeded_reports = 0usize;
+    for (name, automaton, full_input, is_counter_gate) in &cases {
+        // Bounded window: full corpora can be huge, and every thread
+        // count scans it four-plus times (reference + 4 scanners).
+        let window = full_input.len().min(1 << 18);
+        let input = &full_input[..window];
+
+        let mut reference = NfaEngine::new(automaton).expect("valid");
+        let expect = reports(&mut reference, input);
+
+        let probe = ParallelScanner::new(automaton, 4).expect("valid");
+        let speculative = probe.speculative_shard_count();
+        let whole_input = probe.whole_input_shard_count();
+        let chunkable = probe.chunkable_shard_count();
+        if *is_counter_gate {
+            counter_bench_speculative &= speculative >= 1 && whole_input == 0;
+        }
+        if name.starts_with("SPM wC (seeded") {
+            seeded_reports = expect.len();
+        }
+
+        let mut mbps = Vec::new();
+        for threads in THREADS {
+            let mut scanner = ParallelScanner::new(automaton, threads).expect("valid");
+            assert_eq!(
+                reports(&mut scanner, input),
+                expect,
+                "{name}: {threads}-thread reports diverged from the reference NFA"
+            );
+            let mut sink = CollectSink::new();
+            let secs = time_scan_with(&mut scanner, input, &mut sink);
+            mbps.push(input.len() as f64 / secs / 1e6);
+        }
+
+        rows.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"benchmark\": \"{}\",\n",
+                "      \"states\": {},\n",
+                "      \"counters\": {},\n",
+                "      \"shards\": {},\n",
+                "      \"chunkable_shards\": {},\n",
+                "      \"speculative_shards\": {},\n",
+                "      \"whole_input_shards\": {},\n",
+                "      \"input_bytes\": {},\n",
+                "      \"reports\": {},\n",
+                "      \"mbps_1t\": {:.3},\n",
+                "      \"mbps_2t\": {:.3},\n",
+                "      \"mbps_4t\": {:.3},\n",
+                "      \"mbps_8t\": {:.3}\n",
+                "    }}"
+            ),
+            name,
+            automaton.state_count(),
+            automaton.counter_count(),
+            probe.shard_count(),
+            chunkable,
+            speculative,
+            whole_input,
+            input.len(),
+            expect.len(),
+            mbps[0],
+            mbps[1],
+            mbps[2],
+            mbps[3],
+        ));
+        eprintln!(
+            "{}: {} shards ({} chunkable, {} speculative, {} whole-input), \
+             {:.3} / {:.3} / {:.3} / {:.3} MB/s at 1/2/4/8 threads",
+            name,
+            probe.shard_count(),
+            chunkable,
+            speculative,
+            whole_input,
+            mbps[0],
+            mbps[1],
+            mbps[2],
+            mbps[3],
+        );
+    }
+
+    let scale_name = format!("{scale:?}").to_lowercase();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"artifact\": \"chunk-parallel scanning throughput, speculative tier (DESIGN.md 6j)\",\n",
+            "  \"command\": \"cargo run --release -p azoo-harness --bin bench-parallel -- --scale {}\",\n",
+            "  \"scale\": \"{}\",\n",
+            "  \"host_cpus\": {},\n",
+            "  \"cpu_caveat\": \"multi-thread rows on a host with fewer cores than threads measure oversubscription overhead, not speedup\",\n",
+            "  \"rows\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        scale_name,
+        scale_name,
+        host_cpus,
+        rows.join(",\n")
+    );
+    std::fs::write(&out_path, &json).expect("writable output path");
+    eprintln!("wrote {out_path} (host has {host_cpus} CPUs)");
+
+    if check && !counter_bench_speculative {
+        eprintln!(
+            "bench-parallel: --check expects the SPM wC benchmarks to chunk \
+             speculatively with zero whole-input shards"
+        );
+        std::process::exit(1);
+    }
+    if check && seeded_reports == 0 {
+        eprintln!(
+            "bench-parallel: --check expects the seeded SPM wC input to \
+             actually fire its support counters"
+        );
+        std::process::exit(1);
+    }
+}

@@ -39,6 +39,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let threads: usize = arg_value(&args, "--threads")
         .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
         .unwrap_or(std::thread::available_parallelism().map_or(4, |n| n.get()));
     let prefilter = flag_present(&args, "--prefilter");
     let mut params = RandomForestParams::published(Variant::B);

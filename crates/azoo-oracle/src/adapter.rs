@@ -77,6 +77,16 @@ impl EngineKind {
                 threads: 3,
                 prefilter: true,
             },
+            // Thread counts above the shard count drive the speculative
+            // subchunk split on counter/cycle/anchor shards.
+            EngineKind::Parallel {
+                threads: 4,
+                prefilter: false,
+            },
+            EngineKind::Parallel {
+                threads: 8,
+                prefilter: true,
+            },
         ]
     }
 
@@ -125,12 +135,16 @@ impl EngineKind {
             "prefilter" if arg.is_none() => Some(EngineKind::Prefilter),
             "prefilter-scalar" if arg.is_none() => Some(EngineKind::PrefilterScalarTrigger),
             "sheng" if arg.is_none() => Some(EngineKind::Sheng),
+            // `parallel:0` is rejected here rather than surfacing the
+            // engine's InvalidThreads later: the oracle treats build
+            // errors as "engine inapplicable", which would silently
+            // drop the configuration from every comparison.
             "parallel" => Some(EngineKind::Parallel {
-                threads: num(2)?,
+                threads: num(2).filter(|&n| n > 0)?,
                 prefilter: false,
             }),
             "parallel-pf" => Some(EngineKind::Parallel {
-                threads: num(2)?,
+                threads: num(2).filter(|&n| n > 0)?,
                 prefilter: true,
             }),
             _ => None,
@@ -286,6 +300,13 @@ mod tests {
     fn parse_list_reports_unknown_names() {
         assert!(EngineKind::parse_list("nfa, bitpar").is_ok());
         assert!(EngineKind::parse_list("nfa, wat").is_err());
+    }
+
+    #[test]
+    fn zero_thread_parallel_is_rejected_at_parse() {
+        assert!(EngineKind::parse("parallel:0").is_none());
+        assert!(EngineKind::parse("parallel-pf:0").is_none());
+        assert!(EngineKind::parse("parallel:1").is_some());
     }
 
     #[test]

@@ -3,10 +3,11 @@
 //! Every counter is a relaxed atomic: the hot path (one `feed`) performs
 //! a handful of `fetch_add`s and one histogram-bucket increment, no
 //! locks, no allocation. Latencies land in 64 power-of-two nanosecond
-//! buckets; quantiles are read back as the upper bound of the bucket
-//! containing the requested rank, which is exact to within 2x — the
-//! right fidelity for an overload dashboard, at the cost of three words
-//! per recorded feed.
+//! buckets; quantiles are read back by locating the bucket containing
+//! the requested rank and interpolating linearly within it, alongside
+//! an honestly-named `*_upper_bound` field carrying the raw bucket
+//! edge (the guaranteed ceiling) — the right fidelity for an overload
+//! dashboard, at the cost of three words per recorded feed.
 //!
 //! [`MetricsRegistry::to_json`] exports the registry in a stable schema
 //! (`azoo-serve-metrics-v1`) shared by the server binary, `azoo-loadgen`
@@ -69,10 +70,17 @@ pub struct MetricsSnapshot {
     pub cache_misses: u64,
     /// Feeds recorded in the latency histogram.
     pub latency_count: u64,
-    /// Median per-feed latency, microseconds (bucket upper bound).
+    /// Median per-feed latency, microseconds, interpolated linearly
+    /// within the power-of-two bucket holding the rank.
     pub p50_us: f64,
-    /// 99th-percentile per-feed latency, microseconds.
+    /// Upper bound of the bucket holding the median rank, microseconds
+    /// — the guaranteed ceiling on the true p50.
+    pub p50_us_upper_bound: f64,
+    /// 99th-percentile per-feed latency, microseconds, interpolated.
     pub p99_us: f64,
+    /// Upper bound of the bucket holding the p99 rank, microseconds —
+    /// the guaranteed ceiling on the true p99.
+    pub p99_us_upper_bound: f64,
     /// Largest recorded latency bucket upper bound, microseconds.
     pub max_us: f64,
 }
@@ -159,6 +167,8 @@ impl MetricsRegistry {
             .map(|b| b.load(Ordering::Relaxed))
             .collect();
         let count: u64 = buckets.iter().sum();
+        let p50 = quantile_us(&buckets, count, 0.50);
+        let p99 = quantile_us(&buckets, count, 0.99);
         MetricsSnapshot {
             bytes_scanned: self.bytes_scanned.load(Ordering::Relaxed),
             reports_emitted: self.reports_emitted.load(Ordering::Relaxed),
@@ -173,8 +183,10 @@ impl MetricsRegistry {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             latency_count: count,
-            p50_us: quantile_us(&buckets, count, 0.50),
-            p99_us: quantile_us(&buckets, count, 0.99),
+            p50_us: p50.estimate_us,
+            p50_us_upper_bound: p50.upper_bound_us,
+            p99_us: p99.estimate_us,
+            p99_us_upper_bound: p99.upper_bound_us,
             max_us: max_us(&buckets),
         }
     }
@@ -214,7 +226,15 @@ impl MetricsSnapshot {
                 Json::Obj(vec![
                     ("count".into(), int(self.latency_count)),
                     ("p50".into(), Json::Float(self.p50_us)),
+                    (
+                        "p50_upper_bound".into(),
+                        Json::Float(self.p50_us_upper_bound),
+                    ),
                     ("p99".into(), Json::Float(self.p99_us)),
+                    (
+                        "p99_upper_bound".into(),
+                        Json::Float(self.p99_us_upper_bound),
+                    ),
                     ("max".into(), Json::Float(self.max_us)),
                 ]),
             ),
@@ -222,20 +242,47 @@ impl MetricsSnapshot {
     }
 }
 
-/// Upper bound (µs) of the bucket holding the `q`-quantile rank.
-fn quantile_us(buckets: &[u64], count: u64, q: f64) -> f64 {
+/// A quantile read out of the power-of-two histogram: a linearly
+/// interpolated point estimate plus the raw bucket edge it cannot
+/// exceed. The histogram only knows which bucket each sample landed
+/// in, so the estimate assumes samples spread uniformly within the
+/// bucket; the upper bound is the only *guaranteed* statement.
+struct Quantile {
+    estimate_us: f64,
+    upper_bound_us: f64,
+}
+
+/// Locates the bucket holding the `q`-quantile rank and interpolates
+/// within it: rank r of the `b` samples in bucket i (with `before`
+/// samples below) sits at `lower + (r - before) / b` of the bucket's
+/// `[2^i, 2^{i+1})` ns span.
+fn quantile_us(buckets: &[u64], count: u64, q: f64) -> Quantile {
     if count == 0 {
-        return 0.0;
+        return Quantile {
+            estimate_us: 0.0,
+            upper_bound_us: 0.0,
+        };
     }
     let rank = ((count as f64 * q).ceil() as u64).clamp(1, count);
     let mut seen = 0u64;
     for (i, &b) in buckets.iter().enumerate() {
+        let before = seen;
         seen += b;
         if seen >= rank {
-            return bucket_upper_us(i);
+            let lower = bucket_lower_us(i);
+            let upper = bucket_upper_us(i);
+            let frac = (rank - before) as f64 / b as f64;
+            return Quantile {
+                estimate_us: lower + frac * (upper - lower),
+                upper_bound_us: upper,
+            };
         }
     }
-    bucket_upper_us(buckets.len() - 1)
+    let last = buckets.len() - 1;
+    Quantile {
+        estimate_us: bucket_upper_us(last),
+        upper_bound_us: bucket_upper_us(last),
+    }
 }
 
 fn max_us(buckets: &[u64]) -> f64 {
@@ -249,6 +296,10 @@ fn max_us(buckets: &[u64]) -> f64 {
 fn bucket_upper_us(bucket: usize) -> f64 {
     // Bucket i covers [2^i, 2^{i+1}) ns.
     (1u128 << (bucket + 1)) as f64 / 1_000.0
+}
+
+fn bucket_lower_us(bucket: usize) -> f64 {
+    (1u128 << bucket) as f64 / 1_000.0
 }
 
 #[cfg(test)]
@@ -268,8 +319,53 @@ mod tests {
         assert_eq!(s.feeds_total, 3);
         assert_eq!(s.latency_count, 3);
         assert!(s.p50_us <= 4.1, "p50 {} µs", s.p50_us);
-        assert!(s.p99_us >= 2_000.0, "p99 {} µs", s.p99_us);
+        assert!(s.p99_us >= 1_048.0, "p99 {} µs", s.p99_us);
         assert!(s.max_us >= s.p99_us);
+        assert!(s.p50_us <= s.p50_us_upper_bound);
+        assert!(s.p99_us <= s.p99_us_upper_bound);
+    }
+
+    /// Pins the within-bucket rounding: four samples in bucket 10
+    /// ([1.024, 2.048) µs) put the p50 rank (2 of 4) exactly half-way
+    /// through the bucket, and p99 (rank 4) at the top. The old code
+    /// reported the raw bucket edge (2.048) for *both* — the bug that
+    /// made BENCH_serve.json's p99 a power-of-two artifact.
+    #[test]
+    fn quantiles_interpolate_within_the_bucket() {
+        let m = MetricsRegistry::new();
+        for _ in 0..4 {
+            m.record_feed(1, 0, 1_500); // bucket 10: [1024, 2048) ns
+        }
+        let s = m.snapshot();
+        let lower = 1024.0 / 1_000.0;
+        let upper = 2048.0 / 1_000.0;
+        // rank 2 of 4 → 2/4 of the way through the bucket.
+        assert!((s.p50_us - (lower + 0.5 * (upper - lower))).abs() < 1e-12);
+        assert_eq!(s.p50_us_upper_bound, upper);
+        // rank 4 of 4 → the bucket's top; the estimate meets the bound.
+        assert!((s.p99_us - upper).abs() < 1e-12);
+        assert_eq!(s.p99_us_upper_bound, upper);
+        assert_eq!(s.max_us, upper);
+    }
+
+    /// A mid-bucket rank must report strictly below the bucket edge —
+    /// the estimate and the upper bound are different numbers.
+    #[test]
+    fn mid_bucket_rank_stays_below_the_edge() {
+        let m = MetricsRegistry::new();
+        for _ in 0..100 {
+            m.record_feed(1, 0, 1_500); // bucket 10
+        }
+        m.record_feed(1, 0, 2_000_000); // bucket 20, the tail
+        let s = m.snapshot();
+        // p99 rank = 100 of 101 → still inside bucket 10, at 100/100.
+        assert!(s.p99_us < s.max_us);
+        assert!(s.p99_us <= s.p99_us_upper_bound);
+        // p50 rank = 51 of 101 → 51% through bucket 10.
+        let lower = 1024.0 / 1_000.0;
+        let upper = 2048.0 / 1_000.0;
+        assert!((s.p50_us - (lower + 0.51 * (upper - lower))).abs() < 1e-12);
+        assert!(s.p50_us < upper, "estimate must not sit on the edge");
     }
 
     #[test]

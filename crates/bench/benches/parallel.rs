@@ -5,12 +5,16 @@
 //! * a Snort-like ruleset — many connected components, so both automaton
 //!   sharding and input chunking apply;
 //! * Random Forest leaf chains — thousands of tiny chunkable components,
-//!   the best case for chunked scanning.
+//!   the best case for chunked scanning;
+//! * SPM `wC` support counters — counter-bearing filters that used to
+//!   pin the scanner to a sequential whole-input fallback and now run
+//!   chunk-parallel through speculative frontier summaries.
 
 use azoo_bench::small_ruleset;
 use azoo_engines::{Engine, NfaEngine, NullSink, ParallelScanner};
 use azoo_workloads::network::{pcap_like, PcapConfig};
 use azoo_zoo::random_forest::{build, RandomForestParams, Variant};
+use azoo_zoo::sequence_match::{self, SeqMatchParams};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn bench_parallel(c: &mut Criterion) {
@@ -62,6 +66,38 @@ fn bench_parallel(c: &mut Criterion) {
                 let mut engine = ParallelScanner::new(&bench.fa.automaton, threads).expect("valid");
                 let mut sink = NullSink::new();
                 b.iter(|| engine.scan(&bench.input, &mut sink));
+            },
+        );
+    }
+    group.finish();
+
+    // SPM with support counters: every filter ends in a terminal latch
+    // counter, so the shard takes the speculative summary-and-stitch
+    // path rather than the old whole-input fallback.
+    let mut params = SeqMatchParams::published(6, true);
+    params.filters = 40;
+    params.transactions = 2_000;
+    let (spm, input) = sequence_match::build(&params);
+    let mut group = c.benchmark_group("parallel_spm_counters");
+    group.throughput(Throughput::Bytes(input.len() as u64));
+    group.bench_function("nfa_baseline", |b| {
+        let mut engine = NfaEngine::new(&spm).expect("valid");
+        let mut sink = NullSink::new();
+        b.iter(|| engine.scan(&input, &mut sink));
+    });
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                let mut engine = ParallelScanner::new(&spm, threads).expect("valid");
+                assert_eq!(
+                    engine.whole_input_shard_count(),
+                    0,
+                    "SPM wC must chunk speculatively, not fall back"
+                );
+                let mut sink = NullSink::new();
+                b.iter(|| engine.scan(&input, &mut sink));
             },
         );
     }

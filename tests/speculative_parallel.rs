@@ -1,0 +1,268 @@
+//! Differential tests for the speculative chunk-parallel scanner on the
+//! three shapes that used to force a whole-input fallback: counter-bearing
+//! components, reachable cycles, and `StartOfData` anchors. The
+//! `ParallelScanner` must produce the *byte-identical* sorted report
+//! stream as the single-threaded [`NfaEngine`] at every thread count —
+//! both for block scans (where the input is split into speculative
+//! subchunks stitched by summary composition) and for streaming feeds
+//! (including 1-byte and empty chunks).
+
+use automatazoo::core::{Automaton, CounterMode, StartKind, SymbolClass};
+use automatazoo::engines::{
+    CollectSink, Engine, NfaEngine, ParallelScanner, Report, StreamingEngine,
+};
+
+const THREADS: &[usize] = &[1, 2, 4, 8];
+
+fn nfa_reports(a: &Automaton, input: &[u8]) -> Vec<Report> {
+    let mut engine = NfaEngine::new(a).expect("valid");
+    let mut sink = CollectSink::new();
+    engine.scan(input, &mut sink);
+    sink.sorted_reports()
+}
+
+fn parallel_reports(a: &Automaton, threads: usize, input: &[u8]) -> Vec<Report> {
+    let mut scanner = ParallelScanner::new(a, threads).expect("valid");
+    let mut sink = CollectSink::new();
+    scanner.scan(input, &mut sink);
+    sink.sorted_reports()
+}
+
+/// Feeds `chunks` through the streaming interface (final chunk carries
+/// end-of-data) and returns the merged sorted stream.
+fn streamed_reports(a: &Automaton, threads: usize, chunks: &[&[u8]]) -> Vec<Report> {
+    let mut scanner = ParallelScanner::new(a, threads).expect("valid");
+    let mut sink = CollectSink::new();
+    for (i, chunk) in chunks.iter().enumerate() {
+        scanner.feed(chunk, i + 1 == chunks.len(), &mut sink);
+    }
+    sink.sorted_reports()
+}
+
+fn nfa_streamed_reports(a: &Automaton, chunks: &[&[u8]]) -> Vec<Report> {
+    let mut engine = NfaEngine::new(a).expect("valid");
+    let mut sink = CollectSink::new();
+    for (i, chunk) in chunks.iter().enumerate() {
+        engine.feed(chunk, i + 1 == chunks.len(), &mut sink);
+    }
+    sink.sorted_reports()
+}
+
+/// `ab` repeated into a terminal latch counter with an AllInput reset —
+/// the SPM shape: counting requires the true prefix state, so a naive
+/// chunk scan is unsound and the old scanner ran the whole input on one
+/// worker.
+fn counter_machine(mode: CounterMode) -> Automaton {
+    let mut a = Automaton::new();
+    let s0 = a.add_ste(SymbolClass::from_byte(b'a'), StartKind::AllInput);
+    let s1 = a.add_ste(SymbolClass::from_byte(b'b'), StartKind::None);
+    a.add_edge(s0, s1);
+    let c = a.add_counter(3, mode);
+    a.add_edge(s1, c);
+    a.set_report(c, 7);
+    let z = a.add_ste(SymbolClass::from_byte(b'z'), StartKind::AllInput);
+    a.add_reset_edge(z, c);
+    a.validate().expect("valid");
+    a
+}
+
+/// `a b* c` — a reachable self-loop, so activity can persist across any
+/// chunk boundary.
+fn cycle_machine() -> Automaton {
+    let mut a = Automaton::new();
+    let s0 = a.add_ste(SymbolClass::from_byte(b'a'), StartKind::AllInput);
+    let s1 = a.add_ste(SymbolClass::from_byte(b'b'), StartKind::None);
+    let s2 = a.add_ste(SymbolClass::from_byte(b'c'), StartKind::None);
+    a.add_edge(s0, s1);
+    a.add_edge(s1, s1);
+    a.add_edge(s0, s2);
+    a.add_edge(s1, s2);
+    a.set_report(s2, 4);
+    a.validate().expect("valid");
+    a
+}
+
+/// Anchored `qr` — only matches at offset 1, so every chunk except the
+/// first must know it is not at the start of data.
+fn anchored_machine() -> Automaton {
+    let mut a = Automaton::new();
+    let s0 = a.add_ste(SymbolClass::from_byte(b'q'), StartKind::StartOfData);
+    let s1 = a.add_ste(SymbolClass::from_byte(b'r'), StartKind::None);
+    a.add_edge(s0, s1);
+    a.set_report(s1, 2);
+    a.validate().expect("valid");
+    a
+}
+
+/// A deterministic pseudorandom input over the alphabet the three
+/// machines care about.
+fn lcg_input(len: usize, seed: u64) -> Vec<u8> {
+    let mut x = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    (0..len)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            b"abcqrz"[(x >> 33) as usize % 6]
+        })
+        .collect()
+}
+
+#[test]
+fn counter_shards_agree_with_nfa_at_every_thread_count() {
+    for mode in [CounterMode::Latch, CounterMode::Pulse, CounterMode::Roll] {
+        let a = counter_machine(mode);
+        for seed in 0..4 {
+            let input = lcg_input(257, seed);
+            let expect = nfa_reports(&a, &input);
+            for &t in THREADS {
+                assert_eq!(
+                    parallel_reports(&a, t, &input),
+                    expect,
+                    "mode {mode:?}, seed {seed}, {t} threads"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn cycle_shards_agree_with_nfa_at_every_thread_count() {
+    let a = cycle_machine();
+    for seed in 0..4 {
+        let input = lcg_input(313, seed);
+        let expect = nfa_reports(&a, &input);
+        for &t in THREADS {
+            assert_eq!(
+                parallel_reports(&a, t, &input),
+                expect,
+                "seed {seed}, {t} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn anchored_shards_agree_with_nfa_at_every_thread_count() {
+    let a = anchored_machine();
+    // Both a matching prefix and a non-matching one: the anchored pair
+    // must fire exactly once at offset 1 or never.
+    for input in [b"qr".to_vec(), lcg_input(101, 9), {
+        let mut v = b"qr".to_vec();
+        v.extend(lcg_input(99, 3));
+        v
+    }] {
+        let expect = nfa_reports(&a, &input);
+        for &t in THREADS {
+            assert_eq!(parallel_reports(&a, t, &input), expect, "{t} threads");
+        }
+    }
+}
+
+#[test]
+fn hard_shapes_actually_take_the_speculative_path() {
+    for a in [
+        counter_machine(CounterMode::Latch),
+        cycle_machine(),
+        anchored_machine(),
+    ] {
+        let scanner = ParallelScanner::new(&a, 4).expect("valid");
+        assert_eq!(scanner.speculative_shard_count(), 1);
+        assert_eq!(
+            scanner.whole_input_shard_count(),
+            0,
+            "no whole-input fallback for a terminal-counter machine"
+        );
+    }
+}
+
+#[test]
+fn streaming_with_one_byte_and_empty_chunks_matches_nfa() {
+    let machines = [
+        counter_machine(CounterMode::Latch),
+        cycle_machine(),
+        anchored_machine(),
+    ];
+    let input = lcg_input(61, 5);
+    for a in &machines {
+        // Byte-at-a-time, with empty feeds interleaved and an empty
+        // end-of-data feed.
+        let mut chunks: Vec<&[u8]> = Vec::new();
+        for (i, b) in input.iter().enumerate() {
+            chunks.push(std::slice::from_ref(b));
+            if i % 7 == 0 {
+                chunks.push(&[]);
+            }
+        }
+        chunks.push(&[]);
+        let expect = nfa_streamed_reports(a, &chunks);
+        for &t in THREADS {
+            assert_eq!(streamed_reports(a, t, &chunks), expect, "{t} threads");
+        }
+    }
+}
+
+#[test]
+fn streaming_mixed_chunk_sizes_matches_nfa() {
+    let machines = [
+        counter_machine(CounterMode::Pulse),
+        cycle_machine(),
+        anchored_machine(),
+    ];
+    let input = lcg_input(500, 11);
+    // Uneven cuts: 1, 2, 3, ... byte chunks wrapping around.
+    let mut chunks: Vec<&[u8]> = Vec::new();
+    let mut pos = 0usize;
+    let mut step = 1usize;
+    while pos < input.len() {
+        let end = (pos + step).min(input.len());
+        chunks.push(&input[pos..end]);
+        pos = end;
+        step = step % 9 + 1;
+    }
+    for a in &machines {
+        let expect = nfa_streamed_reports(a, &chunks);
+        for &t in THREADS {
+            assert_eq!(streamed_reports(a, t, &chunks), expect, "{t} threads");
+        }
+    }
+}
+
+#[test]
+fn more_subchunks_than_threads_stress() {
+    // A long input at low thread counts forces the job queue to hand
+    // multiple speculative subchunks to the same worker, exercising the
+    // summary-slot indexing rather than a 1:1 worker:chunk mapping.
+    let mut a = Automaton::new();
+    // Combine all three hard shapes into one automaton so a single scan
+    // carries counter pulses, cycle activity, and the anchor seam.
+    let s0 = a.add_ste(SymbolClass::from_byte(b'a'), StartKind::AllInput);
+    let s1 = a.add_ste(SymbolClass::from_byte(b'b'), StartKind::None);
+    a.add_edge(s0, s1);
+    let c = a.add_counter(2, CounterMode::Latch);
+    a.add_edge(s1, c);
+    a.set_report(c, 1);
+    let z = a.add_ste(SymbolClass::from_byte(b'z'), StartKind::AllInput);
+    a.add_reset_edge(z, c);
+    let l0 = a.add_ste(SymbolClass::from_byte(b'c'), StartKind::AllInput);
+    let l1 = a.add_ste(SymbolClass::from_byte(b'q'), StartKind::None);
+    a.add_edge(l0, l1);
+    a.add_edge(l1, l1);
+    a.set_report(l1, 2);
+    let m0 = a.add_ste(SymbolClass::from_byte(b'a'), StartKind::StartOfData);
+    a.set_report(m0, 3);
+    a.validate().expect("valid");
+
+    let input = lcg_input(4096, 17);
+    let expect = nfa_reports(&a, &input);
+    for &t in THREADS {
+        assert_eq!(parallel_reports(&a, t, &input), expect, "{t} threads");
+    }
+    // And the same input streamed in chunks far outnumbering the
+    // workers.
+    let chunks: Vec<&[u8]> = input.chunks(37).collect();
+    let expect = nfa_streamed_reports(&a, &chunks);
+    for &t in THREADS {
+        assert_eq!(streamed_reports(&a, t, &chunks), expect, "{t} threads");
+    }
+}
