@@ -31,6 +31,12 @@ pub struct LintConfig {
     /// matching per input symbol (summed over `AllInput` states, class
     /// width / 256, plus their immediate fan-out) exceeds this budget.
     pub active_set_budget: f64,
+    /// `fuzzy-blowup`: warn when one acyclic component carries more
+    /// wide-class states (128+ symbols — the signature of Levenshtein
+    /// error tracks) than this budget. Wide states grow as roughly
+    /// `k × pattern length`; a `k = 3` mesh over a ~22-byte pattern
+    /// clears the default.
+    pub fuzzy_active_budget: usize,
     /// Cap on diagnostics emitted per rule; the rest fold into one
     /// summary diagnostic so a degenerate machine cannot flood output.
     pub max_per_rule: usize,
@@ -42,6 +48,7 @@ impl Default for LintConfig {
             overrides: Vec::new(),
             hotspot_fanout: 8,
             active_set_budget: 64.0,
+            fuzzy_active_budget: 64,
             max_per_rule: 16,
         }
     }

@@ -137,6 +137,11 @@ pub const RULES: &[Rule] = &[
         severity: Severity::Warn,
         summary: "forward-bisimilar states waste capacity; the reduction tier would merge them",
     },
+    Rule {
+        id: "fuzzy-blowup",
+        severity: Severity::Warn,
+        summary: "an edit-distance mesh predicts an explosive error-layer frontier",
+    },
 ];
 
 /// Looks up a rule by id.
@@ -243,7 +248,54 @@ pub fn analyze_with(a: &Automaton, cfg: &LintConfig) -> Vec<Diagnostic> {
     check_bit_residue(a, &mut em);
     check_prefilterable(a, &mut em);
     check_bisimilar_states(a, &mut em);
+    check_fuzzy_blowup(a, cfg, &mut em);
     em.finish()
+}
+
+/// `fuzzy-blowup`: a Levenshtein mesh keeps most of its error layers
+/// enabled on nearly every byte — the Σ insertion tracks between layers
+/// are wide classes, so the sustained active frontier scales with
+/// `k × pattern length`, not with how often the pattern occurs. Flag any
+/// *acyclic* component whose wide-class states (128+ symbols) exceed the
+/// budget and make up a substantial share (≥ 1/4, the measured ratio of
+/// insertion tracks in a deep mesh) of the component; the acyclicity
+/// gate keeps Σ-self-loop machines (SeqMatch-style sliding windows) out,
+/// and the share gate keeps large exact machines with a few wildcard
+/// positions out.
+fn check_fuzzy_blowup(a: &Automaton, cfg: &LintConfig, em: &mut Emitter<'_>) {
+    let labels = component_labels(a);
+    let ncomp = labels.iter().copied().max().map_or(0, |m| m + 1);
+    if ncomp == 0 {
+        return;
+    }
+    let cyclic = cyclic_components(a, &labels);
+    let mut wide = vec![0usize; ncomp];
+    let mut states = vec![0usize; ncomp];
+    let mut anchor: Vec<Option<StateId>> = vec![None; ncomp];
+    for (id, e) in a.iter() {
+        let l = labels[id.index()];
+        states[l] += 1;
+        if anchor[l].is_none() {
+            anchor[l] = Some(id);
+        }
+        if e.class().is_some_and(|c| c.len() >= 128) {
+            wide[l] += 1;
+        }
+    }
+    for l in 0..ncomp {
+        if !cyclic[l] && wide[l] > cfg.fuzzy_active_budget && wide[l] * 4 >= states[l] {
+            em.emit(
+                "fuzzy-blowup",
+                anchor[l],
+                format!(
+                    "{} of {} states in this component carry wide (128+ symbol) \
+                     error-track classes (budget {}); the mesh sustains that frontier \
+                     on every byte — lower the edit budget or split the pattern set",
+                    wide[l], states[l], cfg.fuzzy_active_budget
+                ),
+            );
+        }
+    }
 }
 
 /// `bisimilar-states`: backed by the same preorder as the reduction
@@ -887,6 +939,59 @@ mod tests {
         let mut c = chain(b"cat", StartKind::AllInput);
         c.append(&chain(b"dog", StartKind::AllInput));
         assert!(!rules_of(&analyze(&c)).contains(&"bisimilar-states"));
+    }
+
+    #[test]
+    fn fuzzy_blowup_flags_deep_meshes_only() {
+        use azoo_fuzzy::{fuzzy_from_bytes, EditProfile};
+        // k = 3 over a 30-byte pattern: ~k × (len + 1) Σ insertion
+        // tracks (93 of 213 states), well past the 64-state budget.
+        let (deep, stats) = fuzzy_from_bytes(
+            b"suspicious_payload_signature_x",
+            3,
+            EditProfile::LEVENSHTEIN,
+            7,
+        )
+        .expect("fuzzify");
+        assert_eq!(stats.layers, 4);
+        let diags = analyze(&deep);
+        let finding = diags
+            .iter()
+            .find(|d| d.rule == "fuzzy-blowup")
+            .expect("deep mesh must be flagged");
+        assert_eq!(finding.severity, Severity::Warn);
+        assert!(finding.message.contains("budget 64"), "{}", finding.message);
+
+        // A shallow mesh stays under budget: no finding.
+        let (shallow, _) =
+            fuzzy_from_bytes(b"explojt", 1, EditProfile::LEVENSHTEIN, 7).expect("fuzzify");
+        assert!(!rules_of(&analyze(&shallow)).contains(&"fuzzy-blowup"));
+
+        // Wide classes alone are not enough: a Σ sliding window with
+        // self-loops is cyclic, not an error-layer mesh.
+        let mut window = Automaton::new();
+        let mut prev: Option<StateId> = None;
+        for i in 0..200 {
+            let kind = if i == 0 {
+                StartKind::AllInput
+            } else {
+                StartKind::None
+            };
+            let s = window.add_ste(SymbolClass::FULL, kind);
+            window.add_edge(s, s);
+            if let Some(p) = prev {
+                window.add_edge(p, s);
+            }
+            prev = Some(s);
+        }
+        window.set_report(prev.expect("non-empty"), 0);
+        assert!(!rules_of(&analyze(&window)).contains(&"fuzzy-blowup"));
+
+        // The budget is configurable: tightening it catches the
+        // shallow mesh too.
+        let mut cfg = LintConfig::new();
+        cfg.fuzzy_active_budget = 4;
+        assert!(rules_of(&analyze_with(&shallow, &cfg)).contains(&"fuzzy-blowup"));
     }
 
     #[test]

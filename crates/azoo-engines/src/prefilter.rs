@@ -37,7 +37,7 @@
 //!
 //! The merged output is the canonical sorted, deduplicated report stream
 //! — byte-identical to [`NfaEngine`] on the same automaton, which the
-//! differential suite verifies across all 25 benchmarks.
+//! differential suite verifies across all 27 benchmarks.
 
 use azoo_core::{stats::longest_path_from_starts, Automaton};
 use azoo_passes::prefilter_plan;

@@ -6,7 +6,7 @@
 //! counters or explosive subset construction require the sparse NFA
 //! engine. [`select_engine`] encodes that portfolio policy.
 
-use azoo_core::Automaton;
+use azoo_core::{Automaton, ElementKind, Port};
 
 use crate::prefilter::PREFILTER_COVERAGE_GATE;
 use crate::{
@@ -76,6 +76,62 @@ fn preflight(a: &Automaton) -> Result<(), EngineError> {
 pub fn select_engine(a: &Automaton) -> Result<(EngineChoice, Box<dyn Engine>), EngineError> {
     let (choice, engine) = select_session_engine(a)?;
     Ok((choice, engine))
+}
+
+/// Detects the layered edit-distance mesh shape `azoo-fuzzy` emits
+/// (and the zoo's Levenshtein/Hamming filters hand-build): counter-free,
+/// acyclic, and dominated by Σ / near-Σ error-track states. Returns the
+/// wide-class state count when the shape matches.
+///
+/// Subset construction over such a mesh enumerates the pattern's
+/// positions-×-edits antichains and blows up exponentially in the edit
+/// budget, while sparse simulation carries at most one active frontier
+/// per error layer — so the portfolio routes these straight to the NFA
+/// tier rather than letting the lazy DFA thrash its cache. The acyclic
+/// check keeps self-looping shapes (SeqMatch skip states, `.*` cores)
+/// out: those determinize fine.
+fn fuzzy_layered_shape(a: &Automaton) -> Option<usize> {
+    if a.counter_count() != 0 || a.state_count() == 0 {
+        return None;
+    }
+    // Error-track states accept Σ (insertion tracks) or a large
+    // complement class (substitution/deletion tracks): anything over
+    // half the alphabet counts as "wide".
+    let mut wide = 0usize;
+    for (_, el) in a.iter() {
+        if let ElementKind::Ste { class, .. } = &el.kind {
+            if class.len() >= 128 {
+                wide += 1;
+            }
+        }
+    }
+    if wide < 16 || wide * 4 < a.state_count() {
+        return None;
+    }
+    // Kahn toposort over activate edges: any cycle disqualifies.
+    let mut indegree = vec![0usize; a.state_count()];
+    for (id, _) in a.iter() {
+        for edge in a.successors(id) {
+            if edge.port == Port::Activate {
+                indegree[edge.to.index()] += 1;
+            }
+        }
+    }
+    let mut queue: Vec<usize> = (0..a.state_count()).filter(|&i| indegree[i] == 0).collect();
+    let mut seen = 0usize;
+    while let Some(i) = queue.pop() {
+        seen += 1;
+        for edge in a.successors(azoo_core::StateId::new(i)) {
+            if edge.port == Port::Activate {
+                let j = edge.to.index();
+                indegree[j] -= 1;
+                if indegree[j] == 0 {
+                    queue.push(j);
+                }
+            }
+        }
+    }
+    (seen == a.state_count()).then_some(wide)
 }
 
 /// The prefilter tier's admission gate for `pf`, as an effective
@@ -202,6 +258,19 @@ pub fn select_session_engine_explained(
             );
             return Ok((EngineChoice::BitParallel, reason, Box::new(engine)));
         }
+    }
+    // Layered edit-distance meshes (azoo-fuzzy, the zoo's Levenshtein /
+    // Hamming filters) determinize explosively — the subset automaton
+    // enumerates position-×-edit antichains — while sparse simulation
+    // tracks one frontier per error layer. Route them past the DFA tier.
+    if let Some(wide) = fuzzy_layered_shape(a) {
+        let reason = format!(
+            "layered edit-distance mesh ({} of {} states carry wide error-track classes): \
+             determinizes explosively, sparse NFA frontier wins",
+            wide,
+            a.state_count()
+        );
+        return Ok((EngineChoice::Nfa, reason, Box::new(NfaEngine::new(a)?)));
     }
     if a.counter_count() == 0 && a.state_count() <= 200_000 {
         // Within the DFA tier the shuffle DFA wins whenever it applies:
@@ -438,6 +507,63 @@ mod tests {
         let long = PrefilterEngine::new(&suite(8)).unwrap();
         assert!(prefilter_gate(&long) < prefilter_gate(&short));
         assert!(prefilter_gate(&short) <= PREFILTER_COVERAGE_GATE);
+    }
+
+    #[test]
+    fn fuzzy_meshes_route_straight_to_nfa() {
+        // A 24-byte pattern at edit distance 2: well within the DFA
+        // tier's size cut, but the layered-mesh detector must route it
+        // to sparse simulation before subset construction gets a vote.
+        let (a, _) = azoo_fuzzy::fuzzy_from_bytes(
+            b"approximate_dictionary_x",
+            2,
+            azoo_fuzzy::EditProfile::LEVENSHTEIN,
+            7,
+        )
+        .unwrap();
+        assert!(a.state_count() <= 200_000);
+        let (choice, reason, mut engine) = select_session_engine_explained(&a).unwrap();
+        assert_eq!(choice, EngineChoice::Nfa, "{reason}");
+        assert!(
+            reason.contains("edit-distance mesh"),
+            "reason should name the shape: {reason}"
+        );
+        let mut sink = CollectSink::new();
+        engine.scan(b"zz approxmiate_dictionary_x zz", &mut sink);
+        assert!(!sink.reports().is_empty());
+    }
+
+    #[test]
+    fn small_fuzzy_meshes_stay_in_the_dfa_tier() {
+        // Below the wide-state floor the heuristic stays out of the way:
+        // a 4-byte pattern at k = 1 carries too few error-track states
+        // to justify skipping the DFA tier.
+        let (a, _) =
+            azoo_fuzzy::fuzzy_from_bytes(b"gene", 1, azoo_fuzzy::EditProfile::HAMMING, 0).unwrap();
+        assert!(fuzzy_layered_shape(&a).is_none());
+        let (choice, _, _) = select_session_engine_explained(&a).unwrap();
+        assert_ne!(choice, EngineChoice::Nfa);
+    }
+
+    #[test]
+    fn self_looping_wide_states_are_not_fuzzy_shaped() {
+        // SeqMatch-style Σ skip states self-loop; the acyclic check must
+        // refuse them even when wide states dominate.
+        let mut a = Automaton::new();
+        let mut prev = None;
+        for _ in 0..20 {
+            let s = a.add_ste(SymbolClass::FULL, StartKind::None);
+            a.add_edge(s, s);
+            if let Some(p) = prev {
+                a.add_edge(p, s);
+            } else {
+                let head = a.add_ste(SymbolClass::from_byte(b'a'), StartKind::AllInput);
+                a.add_edge(head, s);
+            }
+            prev = Some(s);
+        }
+        a.set_report(prev.unwrap(), 0);
+        assert!(fuzzy_layered_shape(&a).is_none());
     }
 
     #[test]

@@ -243,6 +243,7 @@ fn run_connection(
             &Request::Open {
                 tenant: wl.name.into(),
                 db: DbRef::Artifact(wl.artifact.as_ref().clone()),
+                max_edits: 0,
             },
         )
         .map_err(|e| e.to_string())?;

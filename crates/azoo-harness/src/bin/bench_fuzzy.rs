@@ -1,0 +1,173 @@
+//! Records the fuzzy (bounded edit-distance) workload family's
+//! per-budget cost as `BENCH_fuzzy.json` — the machine-readable
+//! companion to DESIGN.md 6k.
+//!
+//! Both corpora (fuzzy-Snort under the full Levenshtein profile,
+//! fuzzy-DNA under the substitution-only Hamming profile) are compiled
+//! at `k = 0, 1, 2` from one pinned seed, so every row within a family
+//! meshes the *same* pattern set at a different budget. All budgets
+//! then scan the family's `k = 1` stimulus — noise plus exact and
+//! 1-edit-mutated plants — so report counts must grow monotonically
+//! with `k` and the mutated plants are invisible at `k = 0`. Each row
+//! records the mesh size (states, edges, layers, estimated active
+//! width), which engine tier the portfolio picks and why, and the
+//! measured scan throughput.
+//!
+//! Usage: `bench-fuzzy [--scale tiny|small|full] [--out PATH] [--check]`
+//!
+//! `--check` is the CI gate: exits nonzero unless, per family, report
+//! counts are monotone in `k` and `k = 1` strictly beats `k = 0` (the
+//! mesh does real work), on top of the validation asserts that abort
+//! the run on their own.
+
+#![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used)]
+
+use azoo_engines::{select_session_engine_explained, CountSink, EngineChoice};
+use azoo_harness::{arg_value, flag_present, scale_from_args, time_scan_with};
+use azoo_zoo::fuzzy::{build_dna, build_snort, FuzzyParams};
+use azoo_zoo::Scale;
+
+fn tier_name(choice: EngineChoice) -> &'static str {
+    match choice {
+        EngineChoice::BitParallel => "bit-parallel",
+        EngineChoice::LazyDfa => "lazy-dfa",
+        EngineChoice::Sheng => "sheng",
+        EngineChoice::Prefilter => "prefilter",
+        EngineChoice::Nfa => "nfa",
+        EngineChoice::Parallel { .. } => "parallel",
+    }
+}
+
+/// One family's pinned-seed parameter set at budget `k`: the published
+/// instance rescaled, with the `k = 1` seed shared across budgets so
+/// the pattern set (and thus language containment) is identical.
+fn params(scale: Scale, snort: bool, k: usize) -> FuzzyParams {
+    let mut p = if snort {
+        FuzzyParams::published_snort(1)
+    } else {
+        FuzzyParams::published_dna(1)
+    };
+    p.max_edits = k;
+    p.patterns = scale.count(p.patterns);
+    p.input_len = scale.input(p.input_len);
+    p
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let args: Vec<String> = std::env::args().collect();
+    let out_path = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_fuzzy.json".into());
+    let check = flag_present(&args, "--check");
+
+    let mut rows = Vec::new();
+    let mut gate_ok = true;
+    for (family, profile, snort) in [
+        ("fuzzy_snort", "levenshtein", true),
+        ("fuzzy_dna", "hamming", false),
+    ] {
+        // Shared stimulus: the k = 1 build's input carries exact plants
+        // and plants mutated by exactly one edit.
+        let build = |k: usize| {
+            let p = params(scale, snort, k);
+            if snort {
+                build_snort(&p)
+            } else {
+                build_dna(&p)
+            }
+        };
+        let (_, stimulus, _) = build(1);
+        let window = stimulus.len().min(1 << 18);
+        let input = &stimulus[..window];
+
+        let mut counts = Vec::new();
+        for k in 0..=2usize {
+            let (a, _, stats) = build(k);
+            let violations = a.validate_all();
+            assert!(
+                violations.is_empty(),
+                "{family} k={k}: mesh fails validation: {violations:?}"
+            );
+            assert_eq!(stats.layers, k + 1, "{family} k={k}: wrong layer count");
+
+            let (choice, reason, mut engine) =
+                select_session_engine_explained(&a).expect("valid mesh");
+            let mut sink = CountSink::new();
+            let secs = time_scan_with(engine.as_mut(), input, &mut sink);
+            let mbps = input.len() as f64 / secs / 1e6;
+            counts.push(sink.count());
+
+            rows.push(format!(
+                concat!(
+                    "    {{\n",
+                    "      \"family\": \"{}\",\n",
+                    "      \"profile\": \"{}\",\n",
+                    "      \"max_edits\": {},\n",
+                    "      \"layers\": {},\n",
+                    "      \"states\": {},\n",
+                    "      \"edges\": {},\n",
+                    "      \"est_active_width\": {},\n",
+                    "      \"engine\": \"{}\",\n",
+                    "      \"engine_reason\": \"{}\",\n",
+                    "      \"input_bytes\": {},\n",
+                    "      \"reports\": {},\n",
+                    "      \"mbps\": {:.3}\n",
+                    "    }}"
+                ),
+                family,
+                profile,
+                k,
+                stats.layers,
+                stats.states,
+                stats.edges,
+                stats.est_active_width,
+                tier_name(choice),
+                reason.replace('"', "'"),
+                input.len(),
+                sink.count(),
+                mbps,
+            ));
+            eprintln!(
+                "{family} k={k}: {} states, {} layers, {} via {}, {} reports, {mbps:.3} MB/s",
+                stats.states,
+                stats.layers,
+                reason.replace('"', "'"),
+                tier_name(choice),
+                sink.count(),
+            );
+        }
+
+        // Containment on a shared stimulus: a bigger budget accepts a
+        // superset of the language, and the 1-edit plants need k >= 1.
+        if !(counts[0] <= counts[1] && counts[1] <= counts[2]) {
+            eprintln!("{family}: report counts not monotone in k: {counts:?}");
+            gate_ok = false;
+        }
+        if counts[1] <= counts[0] {
+            eprintln!("{family}: k=1 found nothing beyond k=0: {counts:?}");
+            gate_ok = false;
+        }
+    }
+
+    let scale_name = format!("{scale:?}").to_lowercase();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"artifact\": \"fuzzy workload per-budget mesh cost and throughput (DESIGN.md 6k)\",\n",
+            "  \"command\": \"cargo run --release -p azoo-harness --bin bench-fuzzy -- --scale {}\",\n",
+            "  \"scale\": \"{}\",\n",
+            "  \"rows\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        scale_name,
+        scale_name,
+        rows.join(",\n")
+    );
+    std::fs::write(&out_path, &json).expect("writable output path");
+    eprintln!("wrote {out_path} ({} rows)", rows.len());
+
+    if check && !gate_ok {
+        eprintln!("bench-fuzzy: --check found a containment violation");
+        std::process::exit(1);
+    }
+}

@@ -1,5 +1,5 @@
 //! Records the reduction tier's state/edge savings and throughput
-//! effect across all 25 benchmarks as `BENCH_reduce.json` — the
+//! effect across all 27 benchmarks as `BENCH_reduce.json` — the
 //! machine-readable companion to DESIGN.md 6g.
 //!
 //! For every benchmark the full `reduce` pipeline (simulation quotient

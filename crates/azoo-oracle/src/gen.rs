@@ -9,6 +9,7 @@
 //! passes [`Automaton::validate`] by construction.
 
 use azoo_core::{Automaton, CounterMode, ElementKind, Port, StartKind, SymbolClass};
+use azoo_fuzzy::{fuzzy_from_bytes, EditProfile};
 
 use crate::rng::OracleRng;
 
@@ -23,6 +24,10 @@ pub struct GenConfig {
     pub max_input_len: usize,
     /// Streaming chunk plans tried per seed (in addition to block mode).
     pub chunk_plans: usize,
+    /// Generate fuzzy (edit-distance mesh) automata instead of random
+    /// graphs: [`gen_fuzzy_automaton`] machines over inputs seeded with
+    /// near-miss pattern copies ([`gen_fuzzy_input`]).
+    pub fuzzy: bool,
 }
 
 impl Default for GenConfig {
@@ -32,6 +37,7 @@ impl Default for GenConfig {
             counters: true,
             max_input_len: 48,
             chunk_plans: 3,
+            fuzzy: false,
         }
     }
 }
@@ -131,6 +137,94 @@ pub fn gen_automaton(rng: &mut OracleRng, cfg: &GenConfig) -> Automaton {
         a.validate()
     );
     a
+}
+
+/// Edit-cost profiles the fuzzy generator samples: the two named
+/// profiles plus both mixed pairs, so every down-edge kind is exercised
+/// alone and in combination.
+const FUZZY_PROFILES: [EditProfile; 4] = [
+    EditProfile::LEVENSHTEIN,
+    EditProfile::HAMMING,
+    EditProfile {
+        substitutions: true,
+        insertions: true,
+        deletions: false,
+    },
+    EditProfile {
+        substitutions: true,
+        insertions: false,
+        deletions: true,
+    },
+];
+
+/// Generates a small fuzzy automaton: one or two patterns over [`POOL`],
+/// each compiled at a random edit budget `k <= 3` (always below the
+/// pattern length) under a random edit-cost profile. Returns the
+/// patterns alongside so [`gen_fuzzy_input`] can plant near misses.
+pub fn gen_fuzzy_automaton(rng: &mut OracleRng, _cfg: &GenConfig) -> (Automaton, Vec<Vec<u8>>) {
+    let mut a = Automaton::new();
+    let mut patterns = Vec::new();
+    let n = 1 + rng.below(2) as usize;
+    for i in 0..n {
+        let len = 2 + rng.below(6) as usize;
+        let pattern: Vec<u8> = (0..len).map(|_| *rng.pick(POOL)).collect();
+        let k = rng.below((len as u64).min(4)) as usize;
+        let profile = FUZZY_PROFILES[rng.below(FUZZY_PROFILES.len() as u64) as usize];
+        let (f, _) = fuzzy_from_bytes(&pattern, k, profile, i as u32)
+            .expect("generated pattern is within construction bounds");
+        a.append(&f);
+        patterns.push(pattern);
+    }
+    // Occasionally $-anchor the whole machine: every accepting state of
+    // a mesh may report, so eod gating exercises the engines' pending-
+    // report paths on realistic (multi-report-state) automata.
+    if rng.chance(1, 6) {
+        for r in a.report_states() {
+            a.set_report_eod_only(r, true);
+        }
+    }
+    debug_assert!(
+        a.validate().is_ok(),
+        "fuzzy generator produced {:?}",
+        a.validate()
+    );
+    (a, patterns)
+}
+
+/// Generates an input for a fuzzy automaton: [`POOL`] noise with, per
+/// pattern, an occasional spliced-in copy carrying zero to two random
+/// edits — near misses that straddle the machine's edit budget.
+pub fn gen_fuzzy_input(rng: &mut OracleRng, cfg: &GenConfig, patterns: &[Vec<u8>]) -> Vec<u8> {
+    let len = rng.below(cfg.max_input_len as u64 + 1) as usize;
+    let mut input: Vec<u8> = (0..len).map(|_| *rng.pick(POOL)).collect();
+    for p in patterns {
+        if rng.chance(1, 4) {
+            continue;
+        }
+        let mut copy = p.clone();
+        for _ in 0..rng.below(3) {
+            match rng.below(3) {
+                0 if !copy.is_empty() => {
+                    let at = rng.below(copy.len() as u64) as usize;
+                    copy[at] = *rng.pick(POOL);
+                }
+                1 => {
+                    let at = rng.below(copy.len() as u64 + 1) as usize;
+                    copy.insert(at, *rng.pick(POOL));
+                }
+                _ if !copy.is_empty() => {
+                    let at = rng.below(copy.len() as u64) as usize;
+                    copy.remove(at);
+                }
+                _ => {}
+            }
+        }
+        if !copy.is_empty() && copy.len() <= input.len() {
+            let at = rng.below((input.len() - copy.len()) as u64 + 1) as usize;
+            input[at..at + copy.len()].copy_from_slice(&copy);
+        }
+    }
+    input
 }
 
 /// Generates an input drawn from the automaton's own alphabet plus one
@@ -259,6 +353,35 @@ mod tests {
             }
         }
         assert!(saw_empty_mid && saw_empty_eod);
+    }
+
+    #[test]
+    fn fuzzy_automata_validate_and_are_deterministic() {
+        let cfg = GenConfig {
+            fuzzy: true,
+            ..GenConfig::default()
+        };
+        let mut saw_multi_layer = false;
+        let mut saw_eod = false;
+        for seed in 0..200 {
+            let mut rng = OracleRng::new(seed);
+            let (a, patterns) = gen_fuzzy_automaton(&mut rng, &cfg);
+            assert_eq!(a.validate_all(), Vec::new(), "seed {seed}");
+            assert!(!patterns.is_empty());
+            assert!(!a.report_states().is_empty(), "seed {seed} has no reports");
+            // Multi-layer machines have more report states than patterns.
+            saw_multi_layer |= a.report_states().len() > patterns.len();
+            saw_eod |= a.iter().any(|(_, e)| e.report_eod_only);
+            let input = gen_fuzzy_input(&mut rng, &cfg, &patterns);
+            assert!(input.len() <= cfg.max_input_len);
+
+            let mut r2 = OracleRng::new(seed);
+            let (a2, p2) = gen_fuzzy_automaton(&mut r2, &cfg);
+            assert_eq!(a, a2);
+            assert_eq!(patterns, p2);
+            assert_eq!(input, gen_fuzzy_input(&mut r2, &cfg, &p2));
+        }
+        assert!(saw_multi_layer && saw_eod);
     }
 
     #[test]

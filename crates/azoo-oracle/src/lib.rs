@@ -49,7 +49,9 @@ pub mod shrink;
 
 pub use adapter::{EngineKind, EngineUnderTest, Rep};
 pub use bugbank::{load_all, BugbankEntry};
-pub use gen::{gen_automaton, gen_chunk_plan, gen_input, GenConfig};
+pub use gen::{
+    gen_automaton, gen_chunk_plan, gen_fuzzy_automaton, gen_fuzzy_input, gen_input, GenConfig,
+};
 pub use mutate::{kill_check, mutate_automaton, Mutation, MutationOutcome};
 pub use oracle::{
     baseline, compare, run_range, run_seed, Divergence, OracleConfig, OracleReport, Subject,

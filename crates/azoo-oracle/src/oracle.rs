@@ -17,7 +17,9 @@ use azoo_passes::{
 };
 
 use crate::adapter::{EngineKind, EngineUnderTest, Rep};
-use crate::gen::{gen_automaton, gen_chunk_plan, gen_input, GenConfig};
+use crate::gen::{
+    gen_automaton, gen_chunk_plan, gen_fuzzy_automaton, gen_fuzzy_input, gen_input, GenConfig,
+};
 use crate::rng::OracleRng;
 use crate::shrink;
 
@@ -173,8 +175,15 @@ pub fn compare(
 /// Runs one seed through the full matrix. Returns the first divergence.
 pub fn run_seed(seed: u64, cfg: &OracleConfig) -> Option<Divergence> {
     let mut rng = OracleRng::new(seed);
-    let a = gen_automaton(&mut rng, &cfg.gen);
-    let input = gen_input(&mut rng, &cfg.gen, &a);
+    let (a, input) = if cfg.gen.fuzzy {
+        let (a, patterns) = gen_fuzzy_automaton(&mut rng, &cfg.gen);
+        let input = gen_fuzzy_input(&mut rng, &cfg.gen, &patterns);
+        (a, input)
+    } else {
+        let a = gen_automaton(&mut rng, &cfg.gen);
+        let input = gen_input(&mut rng, &cfg.gen, &a);
+        (a, input)
+    };
     let plans: Vec<Vec<usize>> = (0..cfg.gen.chunk_plans)
         .map(|_| gen_chunk_plan(&mut rng, input.len()))
         .collect();

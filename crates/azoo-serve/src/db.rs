@@ -12,7 +12,7 @@
 //! 8       4     content-hash scheme version (u32 LE) — HASH_VERSION
 //! 12      8     automaton content hash (u64 LE)
 //! 20      1     input map (0 identity, 1 stride8, 2 widen)
-//! 21      1     flags (bit 0: compiled with the reduction tier)
+//! 21      1     flags (bit 0: reduced; bit 1: fuzzy; bits 4-5: edits)
 //! 22      2     engine worker threads (u16 LE)
 //! 24      4     payload length (u32 LE)
 //! 28      n     payload: MNRL JSON of the automaton
@@ -25,6 +25,16 @@
 //! self-contained and [`Db::deserialize`] never re-reduces. The flags
 //! byte records the provenance and keeps the cache key distinct from
 //! an unreduced compile of the same source automaton.
+//!
+//! [`DbConfig::max_edits`] works the same way for approximate matching:
+//! a non-zero edit budget makes `compile` replace each literal chain of
+//! the source machine with its Levenshtein mesh (`azoo_fuzzy::fuzzify`,
+//! under the protocol's pinned [`EditProfile::LEVENSHTEIN`] cost model)
+//! before any reduction, hashing or serialization. The artifact stores
+//! the *mesh*; the flags byte sets [`FLAG_FUZZY`] and carries the edit
+//! budget in bits 4-5, and a header whose fuzzy bit and edit field
+//! disagree (fuzzy with zero edits, or edits without the bit) is
+//! [`DbError::BadFlags`] — the same typed rejection as unknown bits.
 //!
 //! Load rules, in check order: wrong magic → [`DbError::BadMagic`];
 //! any header or payload shorter than declared → [`DbError::Truncated`];
@@ -45,17 +55,30 @@ use azoo_core::{content_hash, mnrl, Automaton, CoreError, HASH_VERSION};
 use azoo_engines::{
     select_session_engine, select_session_engine_threaded, EngineChoice, EngineError, SessionEngine,
 };
+use azoo_fuzzy::{fuzzify, EditProfile, FuzzyError, MAX_EDITS};
 use azoo_passes::InputMap;
 use azoo_sync::{ranks, sched, OrderedMutex};
 
-/// Current artifact format version.
-pub const DB_FORMAT_VERSION: u32 = 2;
+/// Current artifact format version. Version 3 added the fuzzy flag bits
+/// (bit 1 + edit budget in bits 4-5); version-2 artifacts are typed
+/// misses, recompile and re-publish.
+pub const DB_FORMAT_VERSION: u32 = 3;
 
 const DB_MAGIC: [u8; 4] = *b"AZDB";
 const HEADER_LEN: usize = 28;
 
 /// Header flag bit: the payload was compiled with the reduction tier.
 const FLAG_REDUCED: u8 = 0x01;
+
+/// Header flag bit: the payload is a Levenshtein mesh compiled with a
+/// non-zero [`DbConfig::max_edits`]; the budget lives in bits 4-5.
+const FLAG_FUZZY: u8 = 0x02;
+
+/// Bit position of the edit budget inside the flags byte.
+const FLAG_EDITS_SHIFT: u32 = 4;
+
+/// Mask of the edit-budget field (two bits hold `MAX_EDITS = 3`).
+const FLAG_EDITS_MASK: u8 = 0x30;
 
 /// Recycled engines kept per database; checkouts past this bound fall
 /// back to cloning the prototype (bounded memory beats unbounded reuse).
@@ -73,6 +96,11 @@ pub struct DbConfig {
     /// The artifact then stores the *reduced* machine — hash, payload
     /// and flags byte all describe post-reduction state.
     pub reduce: bool,
+    /// Approximate-matching edit budget, `0..=MAX_EDITS`. Non-zero makes
+    /// [`Db::compile`] fuzzify every literal chain of the source machine
+    /// into its Levenshtein mesh before reduction; the artifact stores
+    /// the mesh and flags its provenance, so loading never re-fuzzifies.
+    pub max_edits: u8,
 }
 
 impl Default for DbConfig {
@@ -81,6 +109,7 @@ impl Default for DbConfig {
             input_map: InputMap::Identity,
             threads: 1,
             reduce: false,
+            max_edits: 0,
         }
     }
 }
@@ -109,14 +138,20 @@ pub enum DbError {
     },
     /// Unknown input-map tag byte.
     BadInputMap(u8),
-    /// Unknown bits set in the header flags byte.
+    /// Unknown bits set in the header flags byte, or the fuzzy bit and
+    /// the edit-budget field disagree.
     BadFlags(u8),
+    /// Requested edit budget above [`azoo_fuzzy::MAX_EDITS`].
+    BadEdits(u8),
     /// No cached database under this key.
     UnknownKey(u64),
     /// The payload failed MNRL parsing.
     Core(CoreError),
     /// The automaton failed engine compilation or validation.
     Engine(EngineError),
+    /// The source machine could not be fuzzified at the requested edit
+    /// budget (not chain-shaped, chain shorter than the budget, ...).
+    Fuzzy(FuzzyError),
 }
 
 impl std::fmt::Display for DbError {
@@ -132,10 +167,14 @@ impl std::fmt::Display for DbError {
                 "content hash mismatch: stored {stored:#018x}, computed {computed:#018x}"
             ),
             DbError::BadInputMap(tag) => write!(f, "unknown input-map tag {tag}"),
-            DbError::BadFlags(flags) => write!(f, "unknown header flag bits {flags:#04x}"),
+            DbError::BadFlags(flags) => write!(f, "bad header flag bits {flags:#04x}"),
+            DbError::BadEdits(edits) => {
+                write!(f, "edit budget {edits} exceeds the maximum of {MAX_EDITS}")
+            }
             DbError::UnknownKey(key) => write!(f, "no cached database under key {key:#018x}"),
             DbError::Core(e) => write!(f, "payload error: {e}"),
             DbError::Engine(e) => write!(f, "compile error: {e}"),
+            DbError::Fuzzy(e) => write!(f, "fuzzify error: {e}"),
         }
     }
 }
@@ -145,6 +184,7 @@ impl std::error::Error for DbError {
         match self {
             DbError::Core(e) => Some(e),
             DbError::Engine(e) => Some(e),
+            DbError::Fuzzy(e) => Some(e),
             _ => None,
         }
     }
@@ -159,6 +199,12 @@ impl From<CoreError> for DbError {
 impl From<EngineError> for DbError {
     fn from(e: EngineError) -> Self {
         DbError::Engine(e)
+    }
+}
+
+impl From<FuzzyError> for DbError {
+    fn from(e: FuzzyError) -> Self {
+        DbError::Fuzzy(e)
     }
 }
 
@@ -196,20 +242,44 @@ impl std::fmt::Debug for Db {
 
 impl Db {
     /// Compiles `automaton` under `config` through the streaming engine
-    /// portfolio. With [`DbConfig::reduce`] set, the reduction tier runs
-    /// first and the database (hash, payload, engine) is built from the
-    /// reduced machine.
+    /// portfolio. With [`DbConfig::max_edits`] non-zero, the machine's
+    /// literal chains are fuzzified into Levenshtein meshes first; with
+    /// [`DbConfig::reduce`] set, the reduction tier then runs, and the
+    /// database (hash, payload, engine) is built from the transformed
+    /// machine.
     ///
     /// # Errors
     ///
-    /// [`DbError::Engine`] when validation or compilation fails.
+    /// [`DbError::Engine`] when validation or compilation fails,
+    /// [`DbError::BadEdits`] for a budget above the flag encoding's
+    /// [`MAX_EDITS`], [`DbError::Fuzzy`] when the machine cannot be
+    /// fuzzified.
     pub fn compile(automaton: Automaton, config: DbConfig) -> Result<Arc<Db>, DbError> {
-        let automaton = if config.reduce {
-            // Validate before transforming: the reduction passes assume
-            // a well-formed machine, and a broken input should surface
+        if config.max_edits > MAX_EDITS {
+            return Err(DbError::BadEdits(config.max_edits));
+        }
+        let automaton = if config.max_edits > 0 || config.reduce {
+            // Validate before transforming: the passes assume a
+            // well-formed machine, and a broken input should surface
             // as the usual typed error, not a pass artifact.
             automaton.validate()?;
-            azoo_passes::reduce(&automaton).0
+            let fuzzed = if config.max_edits > 0 {
+                // Fuzzify before reducing: chain extraction needs the
+                // published literal chains, not their reduced quotient.
+                fuzzify(
+                    &automaton,
+                    config.max_edits as usize,
+                    EditProfile::LEVENSHTEIN,
+                )?
+                .0
+            } else {
+                automaton
+            };
+            if config.reduce {
+                azoo_passes::reduce(&fuzzed).0
+            } else {
+                fuzzed
+            }
         } else {
             automaton
         };
@@ -363,11 +433,14 @@ impl Db {
 }
 
 fn flags_byte(config: DbConfig) -> u8 {
+    let mut flags = 0;
     if config.reduce {
-        FLAG_REDUCED
-    } else {
-        0
+        flags |= FLAG_REDUCED;
     }
+    if config.max_edits > 0 {
+        flags |= FLAG_FUZZY | ((config.max_edits << FLAG_EDITS_SHIFT) & FLAG_EDITS_MASK);
+    }
+    flags
 }
 
 fn input_map_tag(map: InputMap) -> u8 {
@@ -424,7 +497,13 @@ fn parse_header(bytes: &[u8]) -> Result<(u64, DbConfig, &[u8]), DbError> {
     let hash = u64::from_le_bytes(hash_bytes);
     let input_map = input_map_from_tag(bytes[20])?;
     let flags = bytes[21];
-    if flags & !FLAG_REDUCED != 0 {
+    if flags & !(FLAG_REDUCED | FLAG_FUZZY | FLAG_EDITS_MASK) != 0 {
+        return Err(DbError::BadFlags(flags));
+    }
+    let max_edits = (flags & FLAG_EDITS_MASK) >> FLAG_EDITS_SHIFT;
+    // The fuzzy bit and the edit field encode one fact twice; an
+    // artifact where they disagree was not written by this serializer.
+    if (flags & FLAG_FUZZY != 0) != (max_edits > 0) {
         return Err(DbError::BadFlags(flags));
     }
     let threads = u16::from_le_bytes([bytes[22], bytes[23]]) as usize;
@@ -438,6 +517,7 @@ fn parse_header(bytes: &[u8]) -> Result<(u64, DbConfig, &[u8]), DbError> {
             input_map,
             threads: threads.max(1),
             reduce: flags & FLAG_REDUCED != 0,
+            max_edits,
         },
         payload,
     ))
@@ -510,6 +590,21 @@ impl DbCache {
                 None
             }
         }
+    }
+
+    /// Inserts (or replaces) a database under a caller-chosen key —
+    /// used for server-derived variants (per-session fuzzy compiles)
+    /// whose key is a function of the *base* database, not of their own
+    /// artifact. No fingerprint is stored, so these entries only answer
+    /// [`DbCache::get`], never [`DbCache::get_or_load`].
+    pub fn insert_under(&self, key: u64, db: Arc<Db>) {
+        self.map.lock().insert(
+            key,
+            CacheEntry {
+                db,
+                artifact_fp: None,
+            },
+        );
     }
 
     /// Inserts (or replaces) a database; returns its cache key. The
@@ -640,8 +735,17 @@ mod tests {
         assert_eq!(Db::deserialize(&bad).unwrap_err(), DbError::BadInputMap(9));
 
         let mut bad = good.clone();
-        bad[21] = 0xFE; // unknown flag bits
-        assert_eq!(Db::deserialize(&bad).unwrap_err(), DbError::BadFlags(0xFE));
+        bad[21] = 0xCE; // unknown flag bits
+        assert_eq!(Db::deserialize(&bad).unwrap_err(), DbError::BadFlags(0xCE));
+
+        // Internally inconsistent fuzzy flags: the fuzzy bit without an
+        // edit budget, and an edit budget without the bit.
+        let mut bad = good.clone();
+        bad[21] = 0x02;
+        assert_eq!(Db::deserialize(&bad).unwrap_err(), DbError::BadFlags(0x02));
+        let mut bad = good.clone();
+        bad[21] = 0x10;
+        assert_eq!(Db::deserialize(&bad).unwrap_err(), DbError::BadFlags(0x10));
 
         assert_eq!(
             Db::deserialize(&good[..10]).unwrap_err(),
@@ -704,6 +808,96 @@ mod tests {
             back.automaton().state_count(),
             reduced.automaton().state_count()
         );
+    }
+
+    #[test]
+    fn fuzzy_compile_stores_the_mesh_and_round_trips() {
+        let plain = Db::compile(cat(), DbConfig::default()).expect("compile");
+        let fuzzy = Db::compile(
+            cat(),
+            DbConfig {
+                max_edits: 1,
+                ..DbConfig::default()
+            },
+        )
+        .expect("compile fuzzy");
+
+        assert!(
+            fuzzy.automaton().state_count() > plain.automaton().state_count(),
+            "the mesh must add an error layer"
+        );
+        assert_ne!(fuzzy.content_hash(), plain.content_hash());
+        assert_ne!(fuzzy.cache_key(), plain.cache_key());
+
+        // "cut" is within distance 1 of "cat"; the exact machine misses
+        // it, the mesh reports it.
+        let scan = |db: &Db| {
+            let mut engine = db.checkout();
+            let mut sink = azoo_engines::CollectSink::new();
+            engine.feed(b"a cut here", true, &mut sink);
+            sink.reports().len()
+        };
+        assert_eq!(scan(&plain), 0);
+        assert!(scan(&fuzzy) > 0);
+
+        // The payload already is the mesh: the load path must accept it
+        // verbatim, never re-fuzzify, and keep the provenance flags.
+        let bytes = fuzzy.serialize();
+        assert_eq!(bytes[21], FLAG_FUZZY | (1 << FLAG_EDITS_SHIFT));
+        let back = Db::deserialize(&bytes).expect("load fuzzy artifact");
+        assert_eq!(back.config().max_edits, 1);
+        assert_eq!(back.content_hash(), fuzzy.content_hash());
+        assert_eq!(back.cache_key(), fuzzy.cache_key());
+        assert_eq!(
+            back.automaton().state_count(),
+            fuzzy.automaton().state_count()
+        );
+
+        // Every budget is a distinct artifact and a distinct cache key.
+        let deeper = Db::compile(
+            cat(),
+            DbConfig {
+                max_edits: 2,
+                ..DbConfig::default()
+            },
+        )
+        .expect("compile k=2");
+        assert_ne!(deeper.cache_key(), fuzzy.cache_key());
+    }
+
+    #[test]
+    fn fuzzy_compile_failures_are_typed() {
+        assert_eq!(
+            Db::compile(
+                cat(),
+                DbConfig {
+                    max_edits: MAX_EDITS + 1,
+                    ..DbConfig::default()
+                }
+            )
+            .unwrap_err(),
+            DbError::BadEdits(MAX_EDITS + 1)
+        );
+
+        // A machine with fan-out is not a literal chain set; the
+        // fuzzify rejection surfaces as the typed DbError.
+        let mut branchy = Automaton::new();
+        let s = branchy.add_ste(SymbolClass::from_byte(b'c'), StartKind::AllInput);
+        for b in [b'a', b'o'] {
+            let t = branchy.add_ste(SymbolClass::from_byte(b), StartKind::None);
+            branchy.add_edge(s, t);
+            branchy.set_report(t, 0);
+        }
+        assert!(matches!(
+            Db::compile(
+                branchy,
+                DbConfig {
+                    max_edits: 1,
+                    ..DbConfig::default()
+                }
+            ),
+            Err(DbError::Fuzzy(_))
+        ));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //!
 //! | opcode | frame                 | body                                            |
 //! |--------|-----------------------|-------------------------------------------------|
-//! | 1      | `OPEN`                | tenant (u16 len + utf8), db-ref (see below)     |
+//! | 1      | `OPEN`                | tenant (u16 len + utf8), db-ref, max_edits u8   |
 //! | 2      | `FEED`                | sid u64, eod u8, chunk bytes                    |
 //! | 3      | `CLOSE`               | sid u64                                         |
 //! | 4      | `METRICS`             | —                                               |
@@ -23,6 +23,11 @@
 //!
 //! A db-ref is a `u8` tag: `0` + `u64` for a cached database key,
 //! `1` + `u32` length + bytes for an inline serialized artifact.
+//! `max_edits` is the session's approximate-matching budget: `0` scans
+//! the referenced database exactly; `1..=3` has the server derive (and
+//! cache) the Levenshtein mesh of that database's literal chains at the
+//! requested distance, answering with a typed `ERROR` when the machine
+//! cannot be fuzzified.
 //!
 //! `FEED` with `eod = 1` finishes the stream (an empty chunk is the
 //! explicit end-of-data marker). The server replies to every `FEED`
@@ -105,6 +110,9 @@ pub enum Request {
         tenant: String,
         /// Database to scan with.
         db: DbRef,
+        /// Approximate-matching edit budget for this session; `0` scans
+        /// exactly, `1..=3` scans the server-derived Levenshtein mesh.
+        max_edits: u8,
     },
     /// Feed one chunk; `eod` finishes the stream.
     Feed {
@@ -180,7 +188,11 @@ impl Request {
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
         match self {
-            Request::Open { tenant, db } => {
+            Request::Open {
+                tenant,
+                db,
+                max_edits,
+            } => {
                 out.push(1);
                 out.extend_from_slice(&(tenant.len() as u16).to_le_bytes());
                 out.extend_from_slice(tenant.as_bytes());
@@ -195,6 +207,7 @@ impl Request {
                         out.extend_from_slice(bytes);
                     }
                 }
+                out.push(*max_edits);
             }
             Request::Feed { sid, eod, data } => {
                 out.push(2);
@@ -233,7 +246,12 @@ impl Request {
                     }
                     tag => return Err(ProtoError::BadOpcode(tag)),
                 };
-                Request::Open { tenant, db }
+                let max_edits = r.u8()?;
+                Request::Open {
+                    tenant,
+                    db,
+                    max_edits,
+                }
             }
             2 => Request::Feed {
                 sid: r.u64()?,
@@ -444,10 +462,12 @@ mod tests {
             Request::Open {
                 tenant: "snort".into(),
                 db: DbRef::ByKey(0xDEAD_BEEF),
+                max_edits: 0,
             },
             Request::Open {
                 tenant: "".into(),
                 db: DbRef::Artifact(vec![1, 2, 3]),
+                max_edits: 3,
             },
             Request::Feed {
                 sid: 7,
@@ -545,6 +565,17 @@ mod tests {
         // Body truncated mid-field.
         assert!(matches!(
             Request::decode(&[3, 1, 2]),
+            Err(ProtoError::Truncated)
+        ));
+        // OPEN missing its trailing max_edits byte.
+        let open = Request::Open {
+            tenant: "t".into(),
+            db: DbRef::ByKey(1),
+            max_edits: 2,
+        }
+        .encode();
+        assert!(matches!(
+            Request::decode(&open[..open.len() - 1]),
             Err(ProtoError::Truncated)
         ));
         // Non-UTF-8 tenant.

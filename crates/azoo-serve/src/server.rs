@@ -197,14 +197,21 @@ fn handle(
     shutdown: &AtomicBool,
 ) -> Vec<Response> {
     match req {
-        Request::Open { tenant, db } => {
+        Request::Open {
+            tenant,
+            db,
+            max_edits,
+        } => {
             let resolved = match db {
                 DbRef::ByKey(key) => svc
                     .db_by_key(key)
                     .ok_or(ServeError::Db(crate::db::DbError::UnknownKey(key))),
                 DbRef::Artifact(bytes) => svc.db_from_artifact(&bytes),
             };
-            match resolved.and_then(|db| svc.open(&tenant, &db)) {
+            match resolved
+                .and_then(|db| svc.db_at_distance(&db, max_edits))
+                .and_then(|db| svc.open(&tenant, &db))
+            {
                 Ok(sid) => {
                     owned.push(sid);
                     vec![Response::Opened { sid }]
@@ -305,6 +312,7 @@ mod tests {
             &Request::Open {
                 tenant: "t".into(),
                 db: DbRef::Artifact(ab_artifact()),
+                max_edits: 0,
             },
         )
         .expect("send");
@@ -386,6 +394,7 @@ mod tests {
             &Request::Open {
                 tenant: "victim".into(),
                 db: DbRef::Artifact(ab_artifact()),
+                max_edits: 0,
             },
         )
         .expect("send");
@@ -451,6 +460,7 @@ mod tests {
                 &Request::Open {
                     tenant: "t".into(),
                     db: DbRef::Artifact(ab_artifact()),
+                    max_edits: 0,
                 },
             )
             .expect("send");

@@ -49,7 +49,7 @@ use azoo_core::ReportCode;
 use azoo_engines::{Report, ReportSink, SessionEngine};
 use azoo_sync::{ranks, sched, OrderedMutex};
 
-use crate::db::{Db, DbCache, DbError};
+use crate::db::{Db, DbCache, DbConfig, DbError};
 use crate::metrics::MetricsRegistry;
 
 /// Session identifier handed out by [`ScanService::open`].
@@ -287,6 +287,44 @@ impl ScanService {
             self.metrics.record_cache_miss();
         }
         Ok(db)
+    }
+
+    /// Resolves the per-session edit-distance variant of `db`: with
+    /// `max_edits == 0` the base database serves as-is; otherwise its
+    /// source machine is fuzzified at that distance (the protocol pins
+    /// the Levenshtein cost model) and compiled once, with the derived
+    /// database cached so every later open at the same distance shares
+    /// one mesh and one engine pool.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Db`] when the distance exceeds the encodable
+    /// maximum or the base machine cannot be fuzzified (already a mesh,
+    /// fan-out, chains shorter than the budget, ...).
+    pub fn db_at_distance(&self, db: &Arc<Db>, max_edits: u8) -> Result<Arc<Db>, ServeError> {
+        if max_edits == 0 {
+            return Ok(db.clone());
+        }
+        // Keyed off the *base* database: the derived machine's own
+        // content hash is unknown until it is built, and rebuilding it
+        // just to compute a key would defeat the cache.
+        let key = splitmix64(db.cache_key() ^ ((u64::from(max_edits) << 56) | 0xF022));
+        if let Some(found) = self.cache.get(key) {
+            self.metrics.record_cache_hit();
+            return Ok(found);
+        }
+        self.metrics.record_cache_miss();
+        let config = DbConfig {
+            max_edits,
+            // The base automaton is already post-reduction if the base
+            // artifact was; re-running the tier here would make the
+            // derived machine depend on load order.
+            reduce: false,
+            ..db.config()
+        };
+        let derived = Db::compile(db.automaton().clone(), config)?;
+        self.cache.insert_under(key, derived.clone());
+        Ok(derived)
     }
 
     /// Opens a session for `tenant` over `db`.

@@ -1,0 +1,320 @@
+//! Fuzzy (bounded edit-distance) workload family — the ROADMAP's
+//! "approximate matching as a first-class scenario".
+//!
+//! Two corpora, both built on `azoo_fuzzy`'s general Levenshtein-
+//! automaton construction rather than the fixed Table-V instances:
+//!
+//! * **Fuzzy Snort** — the synthetic Snort corpus's plain content
+//!   literals (`word_word_NNNNN`, case-insensitive) compiled at edit
+//!   distance `k` with the full Levenshtein profile, modelling
+//!   signature matching that survives attacker typo-mutations;
+//! * **Fuzzy DNA** — random DNA motifs compiled at mismatch budget `k`
+//!   with the substitution-only (Hamming) profile, the
+//!   motifs-with-mismatches search CRISPR-style pipelines run.
+//!
+//! Inputs plant both exact occurrences and copies mutated by exactly
+//! `k` edits, so every error layer of the mesh does real work during a
+//! scan (and `k = 0` automata genuinely miss the mutated plants).
+
+use azoo_core::{Automaton, SymbolClass};
+use azoo_fuzzy::{fuzzy_automaton, fuzzy_from_bytes, EditProfile, FuzzyStats};
+use azoo_workloads::dna;
+use rand::RngExt;
+use rand_chacha::ChaCha8Rng;
+
+/// Parameters for one fuzzy workload build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuzzyParams {
+    /// Number of patterns compiled into the database.
+    pub patterns: usize,
+    /// Edit budget `k` (error layers = `k + 1`).
+    pub max_edits: usize,
+    /// Input length in bytes.
+    pub input_len: usize,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+impl FuzzyParams {
+    /// Standard fuzzy-Snort instance at edit distance `k`.
+    pub fn published_snort(max_edits: usize) -> Self {
+        FuzzyParams {
+            patterns: 400,
+            max_edits,
+            input_len: 1 << 20,
+            seed: 0xF0220 + max_edits as u64,
+        }
+    }
+
+    /// Standard fuzzy-DNA instance (20bp motifs) at mismatch budget `k`.
+    pub fn published_dna(max_edits: usize) -> Self {
+        FuzzyParams {
+            patterns: 1000,
+            max_edits,
+            input_len: 1 << 20,
+            seed: 0xD2A00 + max_edits as u64,
+        }
+    }
+}
+
+/// Length of the generated DNA motifs.
+const MOTIF_LEN: usize = 20;
+
+/// The Snort-corpus content strings the fuzzy family compiles: the same
+/// `word_word_NNNNN` literals `snort::generate_ruleset` emits as plain
+/// content rules.
+pub fn content_strings(seed: u64, n: usize) -> Vec<Vec<u8>> {
+    crate::snort::generate_ruleset(seed, 4 * n)
+        .into_iter()
+        .filter_map(|rule| {
+            // Plain content rules read /word_word_NNNNN/i with no
+            // buffer modifiers; keep the literal. The underscore check
+            // excludes the tiny http-buffer fragments (`/er/i`, ...).
+            if !rule.modifiers.is_empty() {
+                return None;
+            }
+            let p = rule.pattern.as_str();
+            let body = p.strip_prefix('/')?.strip_suffix("/i")?;
+            (body.contains('_') && body.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_'))
+                .then(|| body.as_bytes().to_vec())
+        })
+        .take(n)
+        .collect()
+}
+
+/// Applies exactly `edits` random edits of the given profile to `p`.
+fn mutate(
+    rng: &mut ChaCha8Rng,
+    p: &[u8],
+    edits: usize,
+    profile: EditProfile,
+    pool: &[u8],
+) -> Vec<u8> {
+    let mut out = p.to_vec();
+    let mut kinds = Vec::new();
+    if profile.substitutions {
+        kinds.push(0u8);
+    }
+    if profile.insertions {
+        kinds.push(1);
+    }
+    if profile.deletions {
+        kinds.push(2);
+    }
+    for _ in 0..edits {
+        if out.is_empty() || kinds.is_empty() {
+            break;
+        }
+        let at = rng.random_range(0..out.len());
+        match kinds[rng.random_range(0..kinds.len())] {
+            0 => {
+                let old = out[at];
+                let mut new = pool[rng.random_range(0..pool.len())];
+                while new == old {
+                    new = pool[rng.random_range(0..pool.len())];
+                }
+                out[at] = new;
+            }
+            1 => out.insert(at, pool[rng.random_range(0..pool.len())]),
+            _ => {
+                out.remove(at);
+            }
+        }
+    }
+    out
+}
+
+/// Plants `plants` into `noise` at evenly strided offsets.
+fn plant(noise: &mut [u8], plants: &[Vec<u8>]) {
+    if plants.is_empty() {
+        return;
+    }
+    let stride = noise.len() / plants.len();
+    for (i, p) in plants.iter().enumerate() {
+        let at = i * stride;
+        if at + p.len() <= noise.len() {
+            noise[at..at + p.len()].copy_from_slice(p);
+        }
+    }
+}
+
+/// Builds the fuzzy-Snort workload: case-insensitive content strings at
+/// edit distance `max_edits` under the full Levenshtein profile, over an
+/// ASCII stream seeded with exact and `k`-mutated occurrences.
+pub fn build_snort(params: &FuzzyParams) -> (Automaton, Vec<u8>, FuzzyStats) {
+    let mut rng = azoo_workloads::rng(params.seed);
+    let patterns = content_strings(params.seed, params.patterns);
+    let mut a = Automaton::new();
+    let mut stats = FuzzyStats {
+        states: 0,
+        edges: 0,
+        layers: params.max_edits + 1,
+        pattern_len: 0,
+        est_active_width: 0,
+    };
+    for (i, p) in patterns.iter().enumerate() {
+        let classes: Vec<SymbolClass> = p
+            .iter()
+            .map(|&b| SymbolClass::from_byte(b).ascii_case_fold())
+            .collect();
+        let (f, s) = fuzzy_automaton(
+            &classes,
+            params.max_edits,
+            EditProfile::LEVENSHTEIN,
+            i as u32,
+        )
+        .expect("content strings are longer than any supported edit budget");
+        a.append(&f);
+        stats.states += s.states;
+        stats.edges += s.edges;
+        stats.pattern_len = stats.pattern_len.max(s.pattern_len);
+        stats.est_active_width += s.est_active_width;
+    }
+    // Printable ASCII noise with exact and k-mutated plants; mutations
+    // use the benchmark's own alphabet so k = 0 automata miss them.
+    const ASCII: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_ /:.&=-";
+    let mut input: Vec<u8> = (0..params.input_len)
+        .map(|_| ASCII[rng.random_range(0..ASCII.len())])
+        .collect();
+    let plants: Vec<Vec<u8>> = patterns
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            if i % 2 == 0 {
+                p.clone()
+            } else {
+                mutate(
+                    &mut rng,
+                    p,
+                    params.max_edits.max(1),
+                    EditProfile::LEVENSHTEIN,
+                    ASCII,
+                )
+            }
+        })
+        .collect();
+    plant(&mut input, &plants);
+    (a, input, stats)
+}
+
+/// Builds the fuzzy-DNA workload: random motifs at mismatch budget
+/// `max_edits` under the substitution-only profile, over random DNA with
+/// exact and `k`-substituted plants.
+pub fn build_dna(params: &FuzzyParams) -> (Automaton, Vec<u8>, FuzzyStats) {
+    let mut rng = azoo_workloads::rng(params.seed ^ 0xD0A);
+    let motifs: Vec<Vec<u8>> = (0..params.patterns)
+        .map(|i| dna::random_dna(params.seed ^ (i as u64 + 1), MOTIF_LEN))
+        .collect();
+    let mut a = Automaton::new();
+    let mut stats = FuzzyStats {
+        states: 0,
+        edges: 0,
+        layers: params.max_edits + 1,
+        pattern_len: 0,
+        est_active_width: 0,
+    };
+    for (i, m) in motifs.iter().enumerate() {
+        let (f, s) = fuzzy_from_bytes(m, params.max_edits, EditProfile::HAMMING, i as u32)
+            .expect("motifs are longer than any supported edit budget");
+        a.append(&f);
+        stats.states += s.states;
+        stats.edges += s.edges;
+        stats.pattern_len = stats.pattern_len.max(s.pattern_len);
+        stats.est_active_width += s.est_active_width;
+    }
+    let mut input = dna::random_dna(params.seed ^ 0xFFFF_0003, params.input_len);
+    let plants: Vec<Vec<u8>> = motifs
+        .iter()
+        .enumerate()
+        .map(|(i, m)| {
+            if i % 2 == 0 {
+                m.clone()
+            } else {
+                mutate(
+                    &mut rng,
+                    m,
+                    params.max_edits.max(1),
+                    EditProfile::HAMMING,
+                    &dna::DNA,
+                )
+            }
+        })
+        .collect();
+    plant(&mut input, &plants);
+    (a, input, stats)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use azoo_engines::{CollectSink, Engine, NfaEngine};
+
+    fn report_count(a: &Automaton, input: &[u8]) -> usize {
+        let mut engine = NfaEngine::new(a).unwrap();
+        let mut sink = CollectSink::new();
+        engine.scan(input, &mut sink);
+        sink.reports().len()
+    }
+
+    #[test]
+    fn content_strings_come_from_the_snort_corpus() {
+        let strings = content_strings(0xF0221, 16);
+        assert_eq!(strings.len(), 16);
+        for s in &strings {
+            // word_word_NNNNN shape: two corpus words and a 5-digit tag.
+            let text = std::str::from_utf8(s).unwrap();
+            let parts: Vec<&str> = text.split('_').collect();
+            assert!(parts.len() >= 3, "unexpected content string {text}");
+            assert_eq!(parts.last().unwrap().len(), 5);
+            assert!(s.len() > azoo_fuzzy::MAX_EDITS as usize);
+        }
+    }
+
+    #[test]
+    fn snort_workload_reports_grow_with_k() {
+        // One shared stimulus (the k = 1 build's, with 1-edit mutated
+        // plants) scanned by all three budgets: larger budgets accept
+        // supersets of the language, so counts must be monotone.
+        let params = |k: usize| {
+            let mut p = FuzzyParams::published_snort(k);
+            p.patterns = 6;
+            p.input_len = 4096;
+            p.seed = 0xF0220;
+            p
+        };
+        let (_, input, _) = build_snort(&params(1));
+        let counts: Vec<usize> = (0..=2)
+            .map(|k| {
+                let (a, _, stats) = build_snort(&params(k));
+                assert_eq!(a.validate_all(), Vec::new());
+                assert_eq!(stats.layers, k + 1);
+                report_count(&a, &input)
+            })
+            .collect();
+        assert!(
+            counts[0] <= counts[1] && counts[1] <= counts[2],
+            "{counts:?}"
+        );
+        assert!(
+            counts[1] > counts[0],
+            "mutated plants need k >= 1: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn dna_workload_detects_mutated_motifs_only_at_k() {
+        let mut p = FuzzyParams::published_dna(2);
+        p.patterns = 4;
+        p.input_len = 4096;
+        let (a2, input, _) = build_dna(&p);
+        assert_eq!(a2.validate_all(), Vec::new());
+        let with_k = report_count(&a2, &input);
+        let (a0, _, _) = build_dna(&FuzzyParams { max_edits: 0, ..p });
+        // Same motifs at k = 0 see strictly fewer hits on the same
+        // stimulus: the 2-substituted plants are invisible to them.
+        let without_k = report_count(&a0, &input);
+        assert!(with_k > without_k, "k=2 {with_k} vs k=0 {without_k}");
+        assert!(with_k >= 4, "every plant should be found at k=2");
+    }
+}

@@ -28,6 +28,7 @@ pub mod clamav;
 pub mod crispr;
 pub mod entity;
 pub mod file_carving;
+pub mod fuzzy;
 pub mod hamming;
 pub mod levenshtein;
 pub mod protomata;

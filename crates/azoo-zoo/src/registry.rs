@@ -3,7 +3,7 @@
 use azoo_core::Automaton;
 
 use crate::{
-    ap_prng, brill, clamav, crispr, entity, file_carving, hamming, levenshtein, protomata,
+    ap_prng, brill, clamav, crispr, entity, file_carving, fuzzy, hamming, levenshtein, protomata,
     random_forest, sequence_match, snort, yara,
 };
 
@@ -81,11 +81,14 @@ pub enum BenchmarkId {
     FileCarving,
     ApPrng4,
     ApPrng8,
+    FuzzySnort,
+    FuzzyDna,
 }
 
 impl BenchmarkId {
-    /// All 24 benchmarks, in Table I order.
-    pub const ALL: [BenchmarkId; 25] = [
+    /// All benchmarks: the 24 Table I rows (plus the AP PRNG variant
+    /// split) and the two fuzzy approximate-matching extensions.
+    pub const ALL: [BenchmarkId; 27] = [
         BenchmarkId::Snort,
         BenchmarkId::ClamAv,
         BenchmarkId::Protomata,
@@ -111,6 +114,8 @@ impl BenchmarkId {
         BenchmarkId::FileCarving,
         BenchmarkId::ApPrng4,
         BenchmarkId::ApPrng8,
+        BenchmarkId::FuzzySnort,
+        BenchmarkId::FuzzyDna,
     ];
 
     /// The Table I row label.
@@ -141,6 +146,8 @@ impl BenchmarkId {
             BenchmarkId::FileCarving => "File Carving",
             BenchmarkId::ApPrng4 => "AP PRNG 4-sided",
             BenchmarkId::ApPrng8 => "AP PRNG 8-sided",
+            BenchmarkId::FuzzySnort => "Fuzzy Snort k1",
+            BenchmarkId::FuzzyDna => "Fuzzy DNA k2",
         }
     }
 
@@ -169,6 +176,7 @@ impl BenchmarkId {
             BenchmarkId::Yara | BenchmarkId::YaraWide => "Malware pattern search",
             BenchmarkId::FileCarving => "File metadata search",
             BenchmarkId::ApPrng4 | BenchmarkId::ApPrng8 => "Pseudo-random number generation",
+            BenchmarkId::FuzzySnort | BenchmarkId::FuzzyDna => "Approximate matching",
         }
     }
 
@@ -255,6 +263,18 @@ impl BenchmarkId {
                  states, per-chain salted walks); input is uniform random \
                  bytes; face-0 reports form the PRNG bit stream."
             }
+            FuzzySnort => {
+                "400 Snort-corpus content literals (case-insensitive) compiled \
+                 by azoo-fuzzy at edit distance 1 with the full Levenshtein \
+                 profile; input is printable noise seeded with exact and \
+                 1-edit-mutated occurrences."
+            }
+            FuzzyDna => {
+                "1,000 random 20bp DNA motifs compiled by azoo-fuzzy at \
+                 mismatch budget 2 with the substitution-only (Hamming) \
+                 profile; input is random DNA seeded with exact and \
+                 2-substituted occurrences."
+            }
         }
     }
 
@@ -333,6 +353,8 @@ impl BenchmarkId {
             }),
             BenchmarkId::ApPrng4 => prng(scale, 4),
             BenchmarkId::ApPrng8 => prng(scale, 8),
+            BenchmarkId::FuzzySnort => fz(scale, fuzzy::FuzzyParams::published_snort(1), true),
+            BenchmarkId::FuzzyDna => fz(scale, fuzzy::FuzzyParams::published_dna(2), false),
         };
         Benchmark {
             id: self,
@@ -370,6 +392,17 @@ fn cr(scale: Scale, design: crispr::CrisprDesign) -> (Automaton, Vec<u8>) {
     crispr::build(&p)
 }
 
+fn fz(scale: Scale, mut p: fuzzy::FuzzyParams, snort: bool) -> (Automaton, Vec<u8>) {
+    p.patterns = scale.count(p.patterns);
+    p.input_len = scale.input(p.input_len);
+    let (a, input, _) = if snort {
+        fuzzy::build_snort(&p)
+    } else {
+        fuzzy::build_dna(&p)
+    };
+    (a, input)
+}
+
 fn prng(scale: Scale, sides: usize) -> (Automaton, Vec<u8>) {
     let mut p = ap_prng::ApPrngParams::published(sides);
     p.chains = scale.count(p.chains);
@@ -384,10 +417,10 @@ mod tests {
 
     #[test]
     fn registry_lists_24_benchmarks() {
-        assert_eq!(BenchmarkId::ALL.len(), 25);
+        assert_eq!(BenchmarkId::ALL.len(), 27);
         let names: std::collections::HashSet<&str> =
             BenchmarkId::ALL.iter().map(|b| b.name()).collect();
-        assert_eq!(names.len(), 25);
+        assert_eq!(names.len(), 27);
     }
 
     #[test]

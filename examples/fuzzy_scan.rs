@@ -1,0 +1,41 @@
+//! Approximate-matching scenario: compile a signature at edit distance
+//! `k` with `azoo-fuzzy`, scan a stream carrying a misspelled
+//! occurrence, and show how the edit budget trades states for recall
+//! (the README "Approximate matching" walkthrough).
+//!
+//! Run with: `cargo run --release --example fuzzy_scan`
+
+use automatazoo::engines::{CollectSink, Engine, NfaEngine};
+use automatazoo::fuzzy::{fuzzy_from_bytes, EditProfile};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let haystack = b"an explojt, slightly misspelled";
+
+    for k in 0..=2usize {
+        let (mesh, stats) = fuzzy_from_bytes(b"exploit", k, EditProfile::LEVENSHTEIN, 42)?;
+        let mut engine = NfaEngine::new(&mesh)?;
+        let mut sink = CollectSink::new();
+        engine.scan(haystack, &mut sink);
+        println!(
+            "k = {k}: {} states, {} error layers, {} report(s)",
+            stats.states,
+            stats.layers,
+            sink.reports().len()
+        );
+        if k == 0 {
+            assert!(sink.reports().is_empty(), "explojt is not exploit");
+        } else {
+            assert!(!sink.reports().is_empty(), "one substitution, k >= 1");
+        }
+    }
+
+    // Hamming (substitution-only) budgets reject insertions/deletions:
+    // the same k = 1 budget no longer absorbs a dropped byte.
+    let (ham, _) = fuzzy_from_bytes(b"exploit", 1, EditProfile::HAMMING, 7)?;
+    let mut engine = NfaEngine::new(&ham)?;
+    let mut sink = CollectSink::new();
+    engine.scan(b"an explot (one byte deleted)", &mut sink);
+    assert!(sink.reports().is_empty(), "deletion needs the full profile");
+    println!("hamming k = 1: deletion correctly missed");
+    Ok(())
+}

@@ -16,6 +16,7 @@
 //! * [`passes`] — optimization & transformation passes ([`azoo_passes`])
 //! * [`regex`] — PCRE-subset → Glushkov NFA compiler ([`azoo_regex`])
 //! * [`engines`] — NFA / lazy-DFA / bit-parallel engines ([`azoo_engines`])
+//! * [`fuzzy`] — bounded edit-distance automaton construction ([`azoo_fuzzy`])
 //! * [`oracle`] — cross-engine differential testing oracle ([`azoo_oracle`])
 //! * [`serve`] — multi-tenant streaming scan service ([`azoo_serve`])
 //! * [`simd`] — vectorized scanning kernels with runtime CPU dispatch ([`azoo_simd`])
@@ -52,6 +53,7 @@
 pub use azoo_analyze as analyze;
 pub use azoo_core as core;
 pub use azoo_engines as engines;
+pub use azoo_fuzzy as fuzzy;
 pub use azoo_ml as ml;
 pub use azoo_oracle as oracle;
 pub use azoo_passes as passes;

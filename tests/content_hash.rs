@@ -45,6 +45,7 @@ fn every_oracle_mutation_changes_the_hash() {
         counters: true,
         max_input_len: 16,
         chunk_plans: 0,
+        fuzzy: false,
     };
     let mut bites = [0usize; AUTOMATON_MUTATIONS.len()];
     for seed in 0..200u64 {

@@ -1,4 +1,4 @@
-//! The lint-clean suite: every shipped automaton — all 25 generated zoo
+//! The lint-clean suite: every shipped automaton — all 27 generated zoo
 //! benchmarks and a spread of `azoo-regex`-compiled patterns — must
 //! produce **zero Error-level** diagnostics from `azoo-analyze`.
 //!

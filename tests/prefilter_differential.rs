@@ -168,7 +168,7 @@ fn every_cut_through_a_literal_matches() {
     }
 }
 
-/// The whole suite: all 25 benchmarks at tiny scale, block scans and
+/// The whole suite: all 27 benchmarks at tiny scale, block scans and
 /// uneven streaming chunks, quiescent skip and prefilter vs baseline.
 #[test]
 fn all_benchmarks_match_baseline() {

@@ -1,4 +1,4 @@
-//! Database artifact acceptance: every one of the 25 benchmarks must
+//! Database artifact acceptance: every one of the 27 benchmarks must
 //! survive `compile → serialize → deserialize` with a report-identical
 //! machine on the other side, and corrupted artifacts must fail with
 //! the documented typed errors.
@@ -21,7 +21,7 @@ fn session_reports(db: &Db, input: &[u8]) -> Vec<(u64, u32)> {
     reps
 }
 
-/// All 25 benchmarks round-trip report-identically at tiny scale.
+/// All 27 benchmarks round-trip report-identically at tiny scale.
 #[test]
 fn all_benchmarks_round_trip_report_identical() {
     for id in BenchmarkId::ALL {
@@ -54,11 +54,11 @@ fn tampered_benchmark_artifacts_fail_typed() {
     let good = db.serialize();
 
     let mut newer = good.clone();
-    newer[4..8].copy_from_slice(&3u32.to_le_bytes()); // format version
+    newer[4..8].copy_from_slice(&4u32.to_le_bytes()); // format version
     match Db::deserialize(&newer) {
         Err(DbError::VersionMismatch {
-            found: 3,
-            expected: 2,
+            found: 4,
+            expected: 3,
         }) => {}
         other => panic!("expected format VersionMismatch, got {other:?}"),
     }

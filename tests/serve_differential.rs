@@ -7,10 +7,15 @@
 
 use std::sync::Arc;
 
+use automatazoo::core::{Automaton, StartKind, SymbolClass};
+use automatazoo::fuzzy::{fuzzify, EditProfile};
 use automatazoo::oracle::{
-    baseline, gen_automaton, gen_chunk_plan, gen_input, GenConfig, OracleRng,
+    baseline, gen_automaton, gen_chunk_plan, gen_fuzzy_input, gen_input, GenConfig, OracleRng,
 };
-use automatazoo::serve::{Db, DbConfig, ScanService, ServeLimits};
+use automatazoo::serve::proto::{recv_response, send_request};
+use automatazoo::serve::{
+    Db, DbConfig, DbRef, Listener, Request, Response, ScanService, ServeLimits, Server,
+};
 
 type Rep = (u64, u32);
 
@@ -67,6 +72,158 @@ fn service_sessions_match_block_oracle_over_200_seeds() {
     assert_eq!(svc.bytes_in_flight(), 0);
 }
 
+/// Fuzzy sessions through the service: the client publishes an *exact*
+/// literal-chain database, opens it at an edit distance, and the
+/// session's chunked reports must equal the block oracle run on the
+/// locally-fuzzified Levenshtein mesh — 100 seeds of random chains,
+/// inputs spliced with near-miss occurrences, `k` in `1..=2`.
+#[test]
+fn fuzzy_sessions_match_the_fuzzified_block_oracle() {
+    const POOL: &[u8] = b"abz";
+    let cfg = GenConfig::default();
+    let svc = ScanService::new(ServeLimits::default());
+    for seed in 0..100u64 {
+        let mut rng = OracleRng::new(0xF0_2217 ^ seed);
+        let chains = 1 + rng.below(2) as usize;
+        let mut a = Automaton::new();
+        let mut patterns = Vec::new();
+        for c in 0..chains {
+            let len = 4 + rng.below(4) as usize;
+            let pattern: Vec<u8> = (0..len).map(|_| *rng.pick(POOL)).collect();
+            let classes: Vec<SymbolClass> =
+                pattern.iter().map(|&b| SymbolClass::from_byte(b)).collect();
+            let (_, last) = a.add_chain(&classes, StartKind::AllInput);
+            a.set_report(last, c as u32);
+            patterns.push(pattern);
+        }
+        let k = 1 + rng.below(2) as u8;
+        let input = gen_fuzzy_input(&mut rng, &cfg, &patterns);
+        let plan = gen_chunk_plan(&mut rng, input.len());
+        let mesh = fuzzify(&a, k as usize, EditProfile::LEVENSHTEIN)
+            .expect("literal chains fuzzify")
+            .0;
+        let mut expected = baseline(&mesh, &input);
+        expected.sort_unstable();
+
+        // The artifact round trip carries the *exact* machine; the
+        // distance is a session-open property, resolved server-side.
+        let artifact = Db::compile(a, DbConfig::default())
+            .expect("compile")
+            .serialize();
+        let base = Db::deserialize(&artifact).expect("round trip");
+        let db = svc.db_at_distance(&base, k).expect("derive mesh db");
+        let sid = svc.open("fuzzy", &db).expect("open");
+        let got = feed_plan(&svc, sid, &input, &plan);
+        svc.close(sid).expect("close");
+        assert_eq!(
+            got,
+            expected,
+            "seed {seed}: fuzzy session diverged from the fuzzified block \
+             oracle (k {k}, plan {plan:?}, {} input bytes)",
+            input.len()
+        );
+    }
+    assert_eq!(svc.session_count(), 0);
+}
+
+/// `OPEN` carries `max_edits` over the wire: the same artifact opened
+/// at distance 0 and distance 1 on one connection gives an exact and an
+/// approximate stream respectively, verified against the block oracle;
+/// an unencodable distance is a typed `ERROR`, not a hangup.
+#[test]
+fn open_with_max_edits_round_trips_over_the_wire() {
+    let pattern = b"exploit";
+    let classes: Vec<SymbolClass> = pattern.iter().map(|&b| SymbolClass::from_byte(b)).collect();
+    let mut a = Automaton::new();
+    let (_, last) = a.add_chain(&classes, StartKind::AllInput);
+    a.set_report(last, 42);
+    let input = b"zz explojt zz exploit zz".to_vec();
+    let mesh = fuzzify(&a, 1, EditProfile::LEVENSHTEIN).expect("fuzzify").0;
+    let mut fuzzy_expected: Vec<Rep> = baseline(&mesh, &input);
+    fuzzy_expected.sort_unstable();
+    let mut exact_expected: Vec<Rep> = baseline(&a, &input);
+    exact_expected.sort_unstable();
+    assert!(
+        fuzzy_expected.len() > exact_expected.len(),
+        "the mutated occurrence must separate the two streams"
+    );
+    let artifact = Db::compile(a, DbConfig::default())
+        .expect("compile")
+        .serialize();
+
+    let svc = ScanService::new(ServeLimits::default());
+    let listener = Listener::bind_tcp("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let server = Server::new(svc, listener);
+    let flag = server.shutdown_flag();
+    let handle = std::thread::spawn(move || server.run().expect("run"));
+    let mut conn = std::net::TcpStream::connect(addr).expect("connect");
+
+    let mut session = |max_edits: u8| -> Vec<Rep> {
+        send_request(
+            &mut conn,
+            &Request::Open {
+                tenant: "ids".into(),
+                db: DbRef::Artifact(artifact.clone()),
+                max_edits,
+            },
+        )
+        .expect("send open");
+        let sid = match recv_response(&mut conn).expect("recv") {
+            Response::Opened { sid } => sid,
+            other => panic!("expected Opened, got {other:?}"),
+        };
+        send_request(
+            &mut conn,
+            &Request::Feed {
+                sid,
+                eod: true,
+                data: input.clone(),
+            },
+        )
+        .expect("send feed");
+        let mut got: Vec<Rep> = match recv_response(&mut conn).expect("recv") {
+            Response::Reports { reports, .. } => reports,
+            other => panic!("expected Reports, got {other:?}"),
+        };
+        send_request(&mut conn, &Request::Close { sid }).expect("send close");
+        match recv_response(&mut conn).expect("recv") {
+            Response::Reports { reports, .. } => got.extend(reports),
+            other => panic!("expected final Reports, got {other:?}"),
+        }
+        assert!(matches!(
+            recv_response(&mut conn).expect("recv"),
+            Response::Closed { .. }
+        ));
+        got.sort_unstable();
+        got
+    };
+    assert_eq!(session(0), exact_expected);
+    assert_eq!(session(1), fuzzy_expected);
+
+    // Distance 9 does not fit the artifact encoding: typed Db error.
+    send_request(
+        &mut conn,
+        &Request::Open {
+            tenant: "ids".into(),
+            db: DbRef::Artifact(artifact.clone()),
+            max_edits: 9,
+        },
+    )
+    .expect("send open");
+    match recv_response(&mut conn).expect("recv") {
+        Response::Error { code, message } => {
+            assert_eq!(code, 7, "Db error category");
+            assert!(message.contains("edit budget"), "got {message:?}");
+        }
+        other => panic!("expected Error, got {other:?}"),
+    }
+
+    flag.store(true, std::sync::atomic::Ordering::SeqCst);
+    drop(conn);
+    handle.join().expect("server thread");
+}
+
 /// 64 sessions across 4 threads on one service, interleaved feeds and
 /// random early closes: every completed session must still match its
 /// own oracle (no cross-session leakage), and every gauge must return
@@ -83,6 +240,7 @@ fn concurrent_sessions_do_not_leak_state() {
         counters: true,
         max_input_len: 96,
         chunk_plans: 0,
+        fuzzy: false,
     };
     struct Workload {
         db: Arc<Db>,

@@ -39,6 +39,7 @@ fn unix_socket_end_to_end() {
         &Request::Open {
             tenant: "ids".into(),
             db: DbRef::Artifact(artifact.clone()),
+            max_edits: 0,
         },
     )
     .expect("send");
@@ -84,6 +85,7 @@ fn unix_socket_end_to_end() {
         &Request::Open {
             tenant: "ids".into(),
             db: DbRef::Artifact(artifact),
+            max_edits: 0,
         },
     )
     .expect("send");
